@@ -1,0 +1,141 @@
+//===- bench/bench_hsm.cpp - E3: HSM prover cost -------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the Hierarchical Sequence Map machinery of Section VIII on the
+// paper's own derivations: converting the NAS-CG transpose expressions to
+// HSMs, the set-equality (surjectivity) proof, the sequence-equality
+// (identity) proof, and the complete send/receive match for the square
+// and rectangular grids plus the Figure 7 shift blocks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hsm/HsmExpr.h"
+#include "lang/Parser.h"
+#include "support/Casting.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace csdf;
+
+namespace {
+
+/// Holds a parsed expression and its facts for reuse across iterations.
+struct Setup {
+  Program Prog;
+  const Expr *E = nullptr;
+  FactEnv Facts;
+};
+
+Setup squareSetup() {
+  Setup S;
+  ParseResult R =
+      parseProgram("x = (id % nrows) * nrows + id / nrows;");
+  S.Prog = std::move(R.Prog);
+  S.E = cast<AssignStmt>(S.Prog.body()[0])->value();
+  Poly N = Poly::var("nrows");
+  S.Facts.addRewrite("np", N.times(N));
+  return S;
+}
+
+Setup rectSetup() {
+  Setup S;
+  ParseResult R = parseProgram(
+      "x = 2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows)) + id % 2;");
+  S.Prog = std::move(R.Prog);
+  S.E = cast<AssignStmt>(S.Prog.body()[0])->value();
+  Poly N = Poly::var("nrows");
+  S.Facts.addRewrite("ncols", Poly(2).times(N));
+  S.Facts.addRewrite("np", Poly(2).times(N).times(N));
+  return S;
+}
+
+void BM_HsmOfExprSquare(benchmark::State &State) {
+  Setup S = squareSetup();
+  Hsm Domain = Hsm::range(Poly(0), Poly::var("np"));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(hsmOfExpr(S.E, Domain, S.Facts));
+}
+
+void BM_HsmOfExprRect(benchmark::State &State) {
+  Setup S = rectSetup();
+  Hsm Domain = Hsm::range(Poly(0), Poly::var("np"));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(hsmOfExpr(S.E, Domain, S.Facts));
+}
+
+void BM_SurjectivitySquare(benchmark::State &State) {
+  Setup S = squareSetup();
+  Hsm Domain = Hsm::range(Poly(0), Poly::var("np"));
+  Hsm Image = *hsmOfExpr(S.E, Domain, S.Facts);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(hsmSetEquals(Image, Domain, S.Facts));
+}
+
+void BM_IdentitySquare(benchmark::State &State) {
+  Setup S = squareSetup();
+  Hsm Domain = Hsm::range(Poly(0), Poly::var("np"));
+  Hsm Image = *hsmOfExpr(S.E, Domain, S.Facts);
+  for (auto _ : State) {
+    auto Composed = hsmOfExpr(S.E, Image, S.Facts);
+    benchmark::DoNotOptimize(
+        hsmSequenceEquals(*Composed, Domain, S.Facts));
+  }
+}
+
+void BM_FullMatchSquare(benchmark::State &State) {
+  Setup S = squareSetup();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(hsmFullSetMatch(S.E, Poly(0), Poly::var("np"),
+                                             S.E, Poly(0), Poly::var("np"),
+                                             S.Facts));
+}
+
+void BM_FullMatchRect(benchmark::State &State) {
+  Setup S = rectSetup();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(hsmFullSetMatch(S.E, Poly(0), Poly::var("np"),
+                                             S.E, Poly(0), Poly::var("np"),
+                                             S.Facts));
+}
+
+void BM_FullMatchShiftBlock(benchmark::State &State) {
+  // Interior block of Figure 7: [1..np-3] -> [2..np-2].
+  Setup S;
+  ParseResult RS = parseProgram("a = id + 1; b = id - 1;");
+  S.Prog = std::move(RS.Prog);
+  const Expr *SendE = cast<AssignStmt>(S.Prog.body()[0])->value();
+  const Expr *RecvE = cast<AssignStmt>(S.Prog.body()[1])->value();
+  Poly Count = Poly::var("np").minus(Poly(3));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(hsmFullSetMatch(SendE, Poly(1), Count, RecvE,
+                                             Poly(2), Count, S.Facts));
+}
+
+void BM_RejectNonMatching(benchmark::State &State) {
+  // A prover must also be fast at *failing*: send id+1 vs recv id+2.
+  Setup S;
+  ParseResult RS = parseProgram("a = id + 1; b = id + 2;");
+  S.Prog = std::move(RS.Prog);
+  const Expr *SendE = cast<AssignStmt>(S.Prog.body()[0])->value();
+  const Expr *RecvE = cast<AssignStmt>(S.Prog.body()[1])->value();
+  Poly Count = Poly::var("np").minus(Poly(3));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(hsmFullSetMatch(SendE, Poly(1), Count, RecvE,
+                                             Poly(2), Count, S.Facts));
+}
+
+} // namespace
+
+BENCHMARK(BM_HsmOfExprSquare)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HsmOfExprRect)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SurjectivitySquare)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IdentitySquare)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FullMatchSquare)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FullMatchRect)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FullMatchShiftBlock)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RejectNonMatching)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+//===- bench/bench_interp.cpp - E9: simulator substrate ------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Benchmarks the concrete message-passing interpreter (the ground-truth
+// substrate): execution cost vs np for the corpus kernels, and the cost
+// of different schedulers — whose *results* are identical by the
+// interleaving-obliviousness property of Section III (asserted here).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgBuilder.h"
+#include "interp/Interpreter.h"
+#include "lang/Corpus.h"
+#include "lang/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace csdf;
+
+namespace {
+
+struct Kernel {
+  Program Prog;
+  Cfg Graph;
+};
+
+Kernel makeKernel(const std::string &Source) {
+  Kernel K;
+  K.Prog = parseProgramOrDie(Source);
+  K.Graph = buildCfg(K.Prog);
+  return K;
+}
+
+void BM_InterpBroadcast(benchmark::State &State) {
+  Kernel K = makeKernel(corpus::fanOutBroadcast());
+  RunOptions Opts;
+  Opts.NumProcs = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    RunResult R = runProgram(K.Graph, Opts);
+    if (!R.finished())
+      State.SkipWithError("run did not finish");
+    benchmark::DoNotOptimize(R.Trace.size());
+  }
+  State.SetItemsProcessed(State.iterations() * (State.range(0) - 1));
+}
+
+void BM_InterpTranspose(benchmark::State &State) {
+  Kernel K = makeKernel(corpus::transposeSquare());
+  int NRows = static_cast<int>(State.range(0));
+  RunOptions Opts;
+  Opts.NumProcs = NRows * NRows;
+  Opts.Params = {{"nrows", NRows}};
+  for (auto _ : State) {
+    RunResult R = runProgram(K.Graph, Opts);
+    if (!R.finished())
+      State.SkipWithError("run did not finish");
+    benchmark::DoNotOptimize(R.Trace.size());
+  }
+}
+
+void BM_InterpExchangeWithRoot(benchmark::State &State) {
+  Kernel K = makeKernel(corpus::exchangeWithRoot());
+  RunOptions Opts;
+  Opts.NumProcs = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    RunResult R = runProgram(K.Graph, Opts);
+    benchmark::DoNotOptimize(R.Trace.size());
+  }
+}
+
+void BM_SchedulerComparison(benchmark::State &State) {
+  Kernel K = makeKernel(corpus::exchangeWithRoot());
+  RunOptions Opts;
+  Opts.NumProcs = 32;
+  RoundRobinScheduler RR;
+  RunResult Reference = runProgram(K.Graph, Opts, RR);
+  for (auto _ : State) {
+    RunResult R = [&] {
+      switch (State.range(0)) {
+      case 0: {
+        RoundRobinScheduler S;
+        return runProgram(K.Graph, Opts, S);
+      }
+      case 1: {
+        LifoScheduler S;
+        return runProgram(K.Graph, Opts, S);
+      }
+      default: {
+        RandomScheduler S(static_cast<std::uint64_t>(State.iterations()) +
+                          1);
+        return runProgram(K.Graph, Opts, S);
+      }
+      }
+    }();
+    // Interleaving-obliviousness: all schedulers agree on the outcome.
+    if (R.FinalVars != Reference.FinalVars)
+      State.SkipWithError("schedule changed the outcome!");
+    benchmark::DoNotOptimize(R.Trace.size());
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_InterpBroadcast)
+    ->RangeMultiplier(4)
+    ->Range(8, 2048)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InterpTranspose)
+    ->DenseRange(4, 20, 4)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InterpExchangeWithRoot)
+    ->RangeMultiplier(4)
+    ->Range(8, 512)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SchedulerComparison)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

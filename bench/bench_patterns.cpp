@@ -1,0 +1,157 @@
+//===- bench/bench_patterns.cpp - E2/E10: pattern suite sweep ------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Two claims are regenerated here:
+//
+// E2  — the per-figure detection results: which corpus kernels each client
+//       analysis (Section VII linear, Section VIII cartesian) converges
+//       on, and that the detected topology matches the dynamic truth.
+//
+// E10 — the framework's complexity argument: because dataflow runs over
+//       process *sets*, analysis cost depends on the number of roles in
+//       the pattern, not on np. The sweep analyzes the broadcast kernel
+//       pinned to growing np and shows flat analysis cost, while the
+//       interpreter's execution cost grows linearly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgBuilder.h"
+#include "interp/Interpreter.h"
+#include "lang/Corpus.h"
+#include "lang/Parser.h"
+#include "pcfg/Engine.h"
+#include "topology/CommTopology.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace csdf;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+void patternTable() {
+  std::printf("--- E2: detection per kernel and client analysis ---\n");
+  std::printf("%-22s %12s %12s %8s %9s %s\n", "kernel", "linear",
+              "cartesian", "states", "time(ms)", "validation(np=8)");
+  for (const auto &[Name, Source] : corpus::allPatterns()) {
+    Program Prog = parseProgramOrDie(Source);
+    Cfg Graph = buildCfg(Prog);
+
+    AnalysisResult Linear =
+        analyzeProgram(Graph, AnalysisOptions::simpleSymbolic());
+
+    auto Start = std::chrono::steady_clock::now();
+    AnalysisResult Cart = analyzeProgram(Graph, AnalysisOptions::cartesian());
+    double Ms = msSince(Start);
+
+    // Pipelined kernels need a concrete np (no loop variable names their
+    // progress); retry the cartesian client pinned to np = 8.
+    std::string CartVerdict = Cart.Converged ? "converged" : "Top";
+    if (!Cart.Converged) {
+      AnalysisOptions Fixed = AnalysisOptions::cartesian();
+      Fixed.FixedNp = 8;
+      Fixed.Params = {{"nrows", 2}, {"ncols", 4}, {"half", 4}};
+      AnalysisResult CartFixed = analyzeProgram(Graph, Fixed);
+      if (CartFixed.Converged) {
+        Cart = std::move(CartFixed);
+        CartVerdict = "conv(np=8)";
+      }
+    }
+
+    // Validate the strongest result against a concrete run.
+    const AnalysisResult &Best = Cart.Converged ? Cart : Linear;
+    std::string Validation = "-";
+    RunOptions Opts;
+    Opts.NumProcs = 8;
+    Opts.Params = {{"nrows", 2}, {"ncols", 4}, {"half", 4}};
+    RunResult Run = runProgram(Graph, Opts);
+    if (Run.finished()) {
+      ValidationReport Report = validateTopology(Best, Run);
+      if (!Best.Converged)
+        Validation =
+            Report.MissedPairs.empty() ? "sound" : "Top(incomplete)";
+      else if (Report.MissedPairs.empty())
+        Validation = Report.Exact ? "sound+exact" : "sound+inexact";
+      else
+        Validation = "UNSOUND";
+    }
+    std::printf("%-22s %12s %12s %8u %9.2f %s\n", Name.c_str(),
+                Linear.Converged ? "converged" : "Top", CartVerdict.c_str(),
+                Cart.StatesExplored, Ms, Validation.c_str());
+  }
+  std::printf("\n");
+}
+
+void npSweep() {
+  std::printf("--- E10: analysis cost vs np (fan-out broadcast) ---\n");
+  std::printf("%-8s %18s %8s %20s %12s\n", "np", "analysis(ms)", "states",
+              "interpreter(ms)", "messages");
+  Program Prog = parseProgramOrDie(corpus::fanOutBroadcast());
+  Cfg Graph = buildCfg(Prog);
+  for (int NP : {8, 16, 32, 64, 128, 256}) {
+    AnalysisOptions Opts = AnalysisOptions::simpleSymbolic();
+    Opts.FixedNp = NP;
+    auto StartA = std::chrono::steady_clock::now();
+    AnalysisResult Result = analyzeProgram(Graph, Opts);
+    double AnalysisMs = msSince(StartA);
+
+    RunOptions RunOpts;
+    RunOpts.NumProcs = NP;
+    auto StartI = std::chrono::steady_clock::now();
+    RunResult Run = runProgram(Graph, RunOpts);
+    double InterpMs = msSince(StartI);
+
+    std::printf("%-8d %18.2f %8u %20.2f %12zu\n", NP, AnalysisMs,
+                Result.StatesExplored, InterpMs, Run.Trace.size());
+  }
+  std::printf("\nsymbolic analysis (np unbounded): ");
+  auto Start = std::chrono::steady_clock::now();
+  AnalysisResult Sym =
+      analyzeProgram(Graph, AnalysisOptions::simpleSymbolic());
+  std::printf("%s in %.2f ms — one run covers every np\n",
+              Sym.Converged ? "converged" : "Top", msSince(Start));
+}
+
+void aggregationAblation() {
+  std::printf("\n--- E11: Section X communication-loop aggregation ---\n");
+  std::printf("%-24s %-16s %8s %8s %10s\n", "kernel", "engine", "states",
+              "records", "verdict");
+  for (const char *Name :
+       {"fan-out-broadcast", "gather-to-root", "broadcast-then-gather"}) {
+    std::string Source;
+    for (const auto &P : corpus::allPatterns())
+      if (P.Name == Name)
+        Source = P.Source;
+    Program Prog = parseProgramOrDie(Source);
+    Cfg Graph = buildCfg(Prog);
+    for (auto [EngineName, Opts] :
+         {std::pair{"per-iteration", AnalysisOptions::cartesian()},
+          std::pair{"aggregated", AnalysisOptions::sectionX()}}) {
+      AnalysisResult R = analyzeProgram(Graph, Opts);
+      std::printf("%-24s %-16s %8u %8zu %10s\n", Name, EngineName,
+                  R.StatesExplored, R.Matches.size(),
+                  R.Converged ? "converged" : "Top");
+    }
+  }
+  std::printf("  loop summaries match whole process-set blocks in one "
+              "record; the two-phase kernel becomes fully symbolic.\n");
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== E2 / E10 / E11: pattern detection sweep ===\n\n");
+  patternTable();
+  npSweep();
+  aggregationAblation();
+  return 0;
+}

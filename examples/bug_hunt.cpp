@@ -1,0 +1,73 @@
+//===- examples/bug_hunt.cpp - Static communication bug detection --------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's "Error Detection and Verification" client (Section I):
+// instantiating the framework turns unmatched communication into bug
+// reports — message leaks (sent, never received), head-to-head deadlocks,
+// and tag mismatches. Each static verdict is confirmed by executing the
+// buggy program in the interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgBuilder.h"
+#include "interp/Interpreter.h"
+#include "lang/Corpus.h"
+#include "lang/Parser.h"
+#include "pcfg/Engine.h"
+
+#include <cstdio>
+
+using namespace csdf;
+
+namespace {
+
+bool hunt(const char *Title, const std::string &Source,
+          AnalysisBug::Kind Expected, RunStatus ExpectedRun) {
+  std::printf("--- %s ---\n%s\n", Title, Source.c_str());
+  Program Prog = parseProgramOrDie(Source);
+  Cfg Graph = buildCfg(Prog);
+
+  AnalysisResult Result = analyzeProgram(Graph, AnalysisOptions::cartesian());
+  std::printf("static verdict: %s\n",
+              Result.Converged ? "converged" : "Top (cannot match)");
+  bool Found = false;
+  for (const AnalysisBug &B : Result.Bugs) {
+    std::printf("  bug [%s]: %s\n", analysisBugKindName(B.TheKind),
+                B.Detail.c_str());
+    Found |= B.TheKind == Expected;
+  }
+
+  RunOptions Opts;
+  Opts.NumProcs = 4;
+  RunResult Run = runProgram(Graph, Opts);
+  std::printf("dynamic confirmation: %s", runStatusName(Run.Status));
+  for (const LeakedMessage &L : Run.Leaks)
+    std::printf("; leaked message %lld from rank %d to rank %d",
+                static_cast<long long>(L.Value), L.Sender, L.Receiver);
+  std::printf("\n\n");
+
+  return Found && Run.Status == ExpectedRun;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== static bug hunting with the pCFG framework ===\n\n");
+  bool Ok = true;
+  Ok &= hunt("message leak: second send never received",
+             corpus::messageLeak(), AnalysisBug::Kind::MessageLeak,
+             RunStatus::Finished);
+  Ok &= hunt("head-to-head deadlock: both sides receive first",
+             corpus::headToHeadDeadlock(),
+             AnalysisBug::Kind::PossibleDeadlock, RunStatus::Deadlock);
+  Ok &= hunt("tag mismatch: the channel head never matches",
+             corpus::tagMismatch(), AnalysisBug::Kind::TagMismatch,
+             RunStatus::Deadlock);
+  std::printf(Ok ? "all three bugs detected statically and confirmed "
+                   "dynamically\n"
+                 : "FAILED\n");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+//===- examples/mdcask_exchange.cpp - Figures 1 and 5 --------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The mdcask molecular-dynamics kernel from the paper's introduction
+// (Figure 1): process 0 exchanges a message with every other process.
+// The paper's headline optimization claim is that once the analysis
+// detects this exchange-with-root pattern, the code can be condensed into
+// collective operations.
+//
+// This example runs the Section VII client on both phases of the kernel
+// symbolically (any np), shows the loop-invariant process sets of
+// Figure 5, classifies the detected patterns, and cross-checks against
+// concrete executions at several process counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgBuilder.h"
+#include "interp/Interpreter.h"
+#include "lang/Corpus.h"
+#include "lang/Parser.h"
+#include "pcfg/Engine.h"
+#include "topology/CommTopology.h"
+
+#include <cstdio>
+
+using namespace csdf;
+
+static bool analyzeKernel(const char *Title, const std::string &Source) {
+  std::printf("--- %s ---\n%s\n", Title, Source.c_str());
+  Program Prog = parseProgramOrDie(Source);
+  Cfg Graph = buildCfg(Prog);
+
+  AnalysisResult Result =
+      analyzeProgram(Graph, AnalysisOptions::simpleSymbolic());
+  std::printf("analysis: %s, %u states, max %u process sets\n",
+              Result.Converged ? "converged" : "Top",
+              Result.StatesExplored, Result.MaxSetsSeen);
+
+  for (const MatchRecord &M : Result.Matches)
+    std::printf("  match: %-22s -> %-22s  %s -> %s\n",
+                Graph.nodeLabel(M.SendNode).c_str(),
+                Graph.nodeLabel(M.RecvNode).c_str(), M.SenderRange.c_str(),
+                M.ReceiverRange.c_str());
+
+  std::vector<ClassifiedPattern> Patterns = classifyMatches(Graph, Result);
+  for (const ClassifiedPattern &P : Patterns)
+    std::printf("  pattern: %-14s %s\n", patternKindName(P.Kind),
+                P.Description.c_str());
+  if (hasExchangeWithRoot(Patterns))
+    std::printf("  => exchange-with-root detected: collective "
+                "broadcast+gather transformation applies\n");
+
+  bool AllExact = Result.Converged;
+  for (int NP : {4, 7, 16}) {
+    RunOptions Opts;
+    Opts.NumProcs = NP;
+    RunResult Run = runProgram(Graph, Opts);
+    ValidationReport Report = validateTopology(Result, Run);
+    std::printf("  np=%-3d run=%s  validation=%s\n", NP,
+                runStatusName(Run.Status), Report.str(Graph).c_str());
+    AllExact = AllExact && Report.Exact && Run.finished();
+  }
+  std::printf("\n");
+  return AllExact;
+}
+
+int main() {
+  std::printf("=== mdcask (ASCI Purple) root-communication kernels ===\n\n");
+  bool Ok = true;
+  Ok &= analyzeKernel("phase 1: gather to root (Figure 1)",
+                      corpus::gatherToRoot());
+  Ok &= analyzeKernel("phase 2: exchange with root (Figures 1/5)",
+                      corpus::exchangeWithRoot());
+  Ok &= analyzeKernel("fan-out broadcast (Section IX workload)",
+                      corpus::fanOutBroadcast());
+  std::printf(Ok ? "all kernels detected and validated exactly\n"
+                 : "some kernel failed validation\n");
+  return Ok ? 0 : 1;
+}

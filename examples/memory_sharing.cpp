@@ -1,0 +1,88 @@
+//===- examples/memory_sharing.cpp - The constant-sharing client ---------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's third motivating client (Section I): "Distributed-memory
+// applications can waste memory on multi-core hardware by having multiple
+// processes keep private copies of identical data. By instantiating the
+// framework with a traditional constant propagation and dependence
+// analyses, we can reduce application memory footprint by sharing common
+// read-only data among different processes."
+//
+// This example broadcasts a configuration value, computes derived data,
+// and asks the client which variables provably hold one identical
+// constant on every process — those need only one shared copy per node.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Clients.h"
+#include "cfg/CfgBuilder.h"
+#include "interp/Interpreter.h"
+#include "lang/Parser.h"
+
+#include <cstdio>
+
+using namespace csdf;
+
+int main() {
+  std::printf("=== memory-footprint reduction via shared constants ===\n\n");
+  std::string Source = R"mpl(
+# Root reads a configuration constant and broadcasts it; every process
+# derives the same table size from it. The per-process slice differs.
+if id == 0 then
+  config = 1024;
+  for i = 1 to np - 1 do
+    send config -> i;
+  end
+else
+  recv config <- 0;
+end
+tablesize = config * 8;
+myslice = id * 100;
+)mpl";
+  std::printf("program:\n%s\n", Source.c_str());
+
+  Program Prog = parseProgramOrDie(Source);
+  Cfg Graph = buildCfg(Prog);
+  ClientReport Report = runClients(Graph, AnalysisOptions::sectionX());
+
+  std::printf("analysis: %s\n",
+              Report.Analysis.Converged ? "converged" : "Top");
+  std::printf("\nshareable read-only data (one copy per node suffices):\n");
+  for (const auto &[Var, Value] : Report.ShareableConstants)
+    std::printf("  %-10s == %lld on every process\n", Var.c_str(),
+                static_cast<long long>(Value));
+
+  bool ConfigShared = false;
+  bool TableShared = false;
+  bool SliceShared = false;
+  for (const auto &[Var, Value] : Report.ShareableConstants) {
+    ConfigShared |= Var == "config" && Value == 1024;
+    TableShared |= Var == "tablesize" && Value == 8192;
+    SliceShared |= Var == "myslice";
+  }
+  std::printf("\nper-process data (must stay private):\n");
+  std::printf("  myslice  (= id * 100, differs per rank)%s\n",
+              SliceShared ? "  [WRONGLY SHARED!]" : "");
+
+  // Ground truth: run and check every process really holds the constants.
+  RunOptions Opts;
+  Opts.NumProcs = 6;
+  RunResult Run = runProgram(Graph, Opts);
+  bool RuntimeAgrees = Run.finished();
+  for (int Rank = 0; Rank < 6 && RuntimeAgrees; ++Rank)
+    RuntimeAgrees = Run.FinalVars[Rank].at("config") == 1024 &&
+                    Run.FinalVars[Rank].at("tablesize") == 8192;
+  std::printf("\nruntime check (np=6): %s\n",
+              RuntimeAgrees ? "all processes hold config=1024, "
+                              "tablesize=8192"
+                            : "MISMATCH");
+
+  bool Ok = Report.Analysis.Converged && ConfigShared && TableShared &&
+            !SliceShared && RuntimeAgrees;
+  std::printf(Ok ? "\n2 of 3 variables shareable; footprint reduced\n"
+                 : "\nFAILED\n");
+  return Ok ? 0 : 1;
+}

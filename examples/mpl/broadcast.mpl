@@ -1,0 +1,11 @@
+# Fan-out broadcast: process 0 distributes a value to everyone.
+# Try: csdf analyze examples/mpl/broadcast.mpl --client linear --validate
+if id == 0 then
+  x = 42;
+  for i = 1 to np - 1 do
+    send x -> i;
+  end
+else
+  recv y <- 0;
+  print y;
+end

@@ -1,0 +1,9 @@
+# A message leak: the second send is never received.
+# Try: csdf analyze examples/mpl/leak.mpl ; csdf run examples/mpl/leak.mpl --np 2
+if id == 0 then
+  x = 1;
+  send x -> 1;
+  send x -> 1;
+elif id == 1 then
+  recv y <- 0;
+end

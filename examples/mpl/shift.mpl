@@ -1,0 +1,11 @@
+# 1-D nearest-neighbor shift (Figure 7).
+# Try: csdf analyze examples/mpl/shift.mpl --fixed-np 8 --np 8 --validate
+x = id;
+if id == 0 then
+  send x -> id + 1;
+elif id == np - 1 then
+  recv y <- id - 1;
+else
+  recv y <- id - 1;
+  send x -> id + 1;
+end

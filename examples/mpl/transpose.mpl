@@ -1,0 +1,6 @@
+# NAS-CG square transpose (Figure 6).
+# Try: csdf analyze examples/mpl/transpose.mpl --validate --np 16 --param nrows=4
+assume np == nrows * nrows;
+x = id + 100;
+send x -> (id % nrows) * nrows + id / nrows;
+recv y <- (id % nrows) * nrows + id / nrows;

@@ -1,0 +1,80 @@
+//===- examples/nascg_transpose.cpp - Figure 6 ---------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The NAS-CG transpose kernel of Figure 6: each process exchanges a value
+// with its transpose position on an nrows x ncols process grid, where the
+// grid is square or 1:2 rectangular. Matching these sends and receives
+// requires the Hierarchical Sequence Map abstraction of Section VIII —
+// the expressions use *, / and %, far beyond the `var + c` fragment.
+//
+// The analysis here is fully symbolic: one run covers every grid size
+// satisfying the assume facts. Concrete runs at several sizes validate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgBuilder.h"
+#include "interp/Interpreter.h"
+#include "lang/Corpus.h"
+#include "lang/Parser.h"
+#include "pcfg/Engine.h"
+#include "topology/CommTopology.h"
+
+#include <cstdio>
+
+using namespace csdf;
+
+int main() {
+  std::printf("=== NAS-CG transpose exchange (Figure 6) ===\n\n");
+  std::string Source = corpus::nascgTranspose();
+  std::printf("program:\n%s\n", Source.c_str());
+
+  Program Prog = parseProgramOrDie(Source);
+  Cfg Graph = buildCfg(Prog);
+
+  // The cartesian client: HSM matcher + buffered sends (everyone sends
+  // before anyone receives, so blocking-send matching cannot apply).
+  AnalysisResult Result = analyzeProgram(Graph, AnalysisOptions::cartesian());
+  std::printf("analysis: %s, %u states\n",
+              Result.Converged ? "converged" : "Top", Result.StatesExplored);
+  for (const MatchRecord &M : Result.Matches)
+    std::printf("  match: %s -> %s\n", Graph.nodeLabel(M.SendNode).c_str(),
+                Graph.nodeLabel(M.RecvNode).c_str());
+  for (const ClassifiedPattern &P : classifyMatches(Graph, Result))
+    std::printf("  pattern: %-14s %s\n", patternKindName(P.Kind),
+                P.Description.c_str());
+
+  // For contrast: the Section VII client alone cannot match these.
+  AnalysisOptions NoHsm = AnalysisOptions::cartesian();
+  NoHsm.UseHsmMatcher = false;
+  AnalysisResult Weak = analyzeProgram(Graph, NoHsm);
+  std::printf("\nwithout HSMs the framework %s (as expected: '%s')\n",
+              Weak.Converged ? "unexpectedly converged" : "passes Top",
+              Weak.TopReason.c_str());
+
+  struct GridCase {
+    int NRows, NCols;
+  };
+  bool Ok = Result.Converged && !Weak.Converged;
+  std::printf("\nvalidation against concrete grids:\n");
+  for (GridCase G : {GridCase{3, 3}, GridCase{4, 4}, GridCase{2, 4},
+                     GridCase{3, 6}}) {
+    RunOptions Opts;
+    Opts.NumProcs = G.NRows * G.NCols;
+    Opts.Params = {{"nrows", G.NRows}, {"ncols", G.NCols}};
+    RunResult Run = runProgram(Graph, Opts);
+    ValidationReport Report = validateTopology(Result, Run);
+    // One grid shape exercises one branch; the other branch's match pair
+    // stays unobserved in that run, which the report calls out.
+    bool Sound = Report.MissedPairs.empty() && Run.finished();
+    std::printf("  %dx%d grid (np=%d): run=%s, soundness=%s\n", G.NRows,
+                G.NCols, Opts.NumProcs, runStatusName(Run.Status),
+                Sound ? "ok" : "VIOLATED");
+    Ok = Ok && Sound;
+  }
+  std::printf(Ok ? "\ntranspose detected symbolically for all grid shapes\n"
+                 : "\nFAILED\n");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+//===- examples/quickstart.cpp - Figure 2 end to end ---------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Figure 2 as a five-minute tour of the library:
+//
+//   1. parse an MPL program (processes 0 and 1 exchange a value),
+//   2. build its CFG,
+//   3. run the pCFG dataflow analysis (Section VI) with the simple
+//      symbolic client (Section VII),
+//   4. show the detected communication topology and the constant the
+//      analysis proves both processes print,
+//   5. execute the program concretely and check the static matches
+//      against the dynamic trace.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgBuilder.h"
+#include "dataflow/SeqAnalyses.h"
+#include "interp/Interpreter.h"
+#include "lang/Corpus.h"
+#include "lang/Parser.h"
+#include "pcfg/Engine.h"
+#include "topology/CommTopology.h"
+
+#include <cstdio>
+
+using namespace csdf;
+
+int main() {
+  std::printf("=== csdf quickstart: the paper's Figure 2 ===\n\n");
+  std::string Source = corpus::figure2Exchange();
+  std::printf("program:\n%s\n", Source.c_str());
+
+  Program Prog = parseProgramOrDie(Source);
+  Cfg Graph = buildCfg(Prog);
+
+  AnalysisResult Result =
+      analyzeProgram(Graph, AnalysisOptions::simpleSymbolic());
+  std::printf("analysis: %s (%u states explored)\n",
+              Result.Converged ? "converged" : "gave up (Top)",
+              Result.StatesExplored);
+
+  std::printf("\ncommunication topology (statically matched):\n");
+  for (const MatchRecord &M : Result.Matches)
+    std::printf("  %-24s ->  %-24s   senders %s, receivers %s\n",
+                Graph.nodeLabel(M.SendNode).c_str(),
+                Graph.nodeLabel(M.RecvNode).c_str(), M.SenderRange.c_str(),
+                M.ReceiverRange.c_str());
+
+  std::printf("\nconstant propagation across processes:\n");
+  for (const PrintFact &F : Result.PrintFacts) {
+    if (F.Value)
+      std::printf("  processes %s provably print %lld at %s\n",
+                  F.SetRange.c_str(), static_cast<long long>(*F.Value),
+                  Graph.nodeLabel(F.Node).c_str());
+    else
+      std::printf("  processes %s print an unknown value at %s\n",
+                  F.SetRange.c_str(), Graph.nodeLabel(F.Node).c_str());
+  }
+
+  // The paper's contrast: a traditional per-process constant propagation
+  // sees `recv` as an unknown value and proves nothing here.
+  auto Seq = computeSeqConstants(Graph);
+  unsigned SeqProved = 0;
+  for (const CfgNode &N : Graph.nodes())
+    if (N.Kind == CfgNodeKind::Print && seqConstantAt(Seq, N.Id, "y"))
+      ++SeqProved;
+  std::printf("\ntraditional sequential constant propagation proves %u of "
+              "2 prints\n(\"neither task can be accomplished by "
+              "traditional analyses\")\n",
+              SeqProved);
+
+  std::printf("\nground truth (interpreter, np = 8):\n");
+  RunOptions Opts;
+  Opts.NumProcs = 8;
+  RunResult Run = runProgram(Graph, Opts);
+  std::printf("  run %s; process 0 printed %lld, process 1 printed %lld\n",
+              runStatusName(Run.Status),
+              static_cast<long long>(Run.Prints[0].at(0)),
+              static_cast<long long>(Run.Prints[1].at(0)));
+
+  ValidationReport Report = validateTopology(Result, Run);
+  std::printf("  static vs dynamic topology: %s\n",
+              Report.str(Graph).c_str());
+  return Report.Exact && Result.Converged ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+//===- analysis/Clients.cpp ------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Clients.h"
+
+using namespace csdf;
+
+std::vector<CollectiveSuggestion>
+csdf::suggestCollectives(const std::vector<ClassifiedPattern> &Patterns) {
+  std::vector<CollectiveSuggestion> Suggestions;
+  bool Scatter = false;
+  bool Gather = false;
+  for (const ClassifiedPattern &P : Patterns) {
+    switch (P.Kind) {
+    case PatternKind::RootScatter:
+      Scatter = true;
+      Suggestions.push_back({P.Kind, "MPI_Bcast/MPI_Scatter",
+                             "one-to-many from a root: " + P.Description});
+      break;
+    case PatternKind::RootGather:
+      Gather = true;
+      Suggestions.push_back({P.Kind, "MPI_Gather",
+                             "many-to-one to a root: " + P.Description});
+      break;
+    case PatternKind::TransposeLike:
+      Suggestions.push_back({P.Kind, "MPI_Alltoall (pairwise)",
+                             "cartesian self-inverse exchange: " +
+                                 P.Description});
+      break;
+    case PatternKind::ShiftRight:
+    case PatternKind::ShiftLeft:
+      Suggestions.push_back(
+          {P.Kind, "MPI_Sendrecv along MPI_Cart_shift",
+           "nearest-neighbor dimension shift: " + P.Description});
+      break;
+    case PatternKind::PointToPoint:
+    case PatternKind::Unknown:
+      break;
+    }
+  }
+  if (Scatter && Gather)
+    Suggestions.push_back(
+        {PatternKind::Unknown, "MPI_Bcast + MPI_Gather",
+         "exchange-with-root (the paper's mdcask optimization): condense "
+         "the root loop into two collectives"});
+  return Suggestions;
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+csdf::findShareableConstants(const AnalysisResult &Result) {
+  std::vector<std::pair<std::string, std::int64_t>> Shareable;
+  if (!Result.Converged || Result.FinalSnapshots.empty())
+    return Shareable;
+  const auto &First = Result.FinalSnapshots.front();
+  for (const auto &[Var, Value] : First) {
+    if (!Value)
+      continue;
+    bool SameEverywhere = true;
+    for (const auto &Snapshot : Result.FinalSnapshots) {
+      auto It = Snapshot.find(Var);
+      if (It == Snapshot.end() || It->second != Value) {
+        SameEverywhere = false;
+        break;
+      }
+    }
+    if (SameEverywhere)
+      Shareable.emplace_back(Var, *Value);
+  }
+  return Shareable;
+}
+
+ClientReport csdf::runClients(const Cfg &Graph, const AnalysisOptions &Opts) {
+  ClientReport Report;
+  Report.Analysis = analyzeProgram(Graph, Opts);
+  Report.Patterns = classifyMatches(Graph, Report.Analysis);
+  Report.Suggestions = suggestCollectives(Report.Patterns);
+  Report.ShareableConstants = findShareableConstants(Report.Analysis);
+  return Report;
+}

@@ -1,0 +1,70 @@
+//===- analysis/Clients.h - The paper's client applications --------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// High-level entry points packaging the framework into the client
+/// applications Section I motivates:
+///
+///   * communication optimization — detect the topology and name the
+///     collective pattern it can be condensed into;
+///   * error detection — message leaks, deadlocks, tag mismatches;
+///   * constant propagation / memory-footprint reduction — variables that
+///     provably hold one identical constant on every process at program
+///     end are candidates for sharing a single copy on multi-core nodes.
+///
+/// Everything here is a convenience layer over analyzeProgram() and the
+/// topology module; library users wanting control call those directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_ANALYSIS_CLIENTS_H
+#define CSDF_ANALYSIS_CLIENTS_H
+
+#include "cfg/Cfg.h"
+#include "pcfg/AnalysisResult.h"
+#include "pcfg/Engine.h"
+#include "topology/CommTopology.h"
+
+#include <string>
+#include <vector>
+
+namespace csdf {
+
+/// A collective-substitution suggestion for the communication optimizer.
+struct CollectiveSuggestion {
+  PatternKind Kind = PatternKind::Unknown;
+  /// The collective the pattern can be condensed into, e.g. "MPI_Bcast".
+  std::string Collective;
+  std::string Description;
+};
+
+/// The combined report of all three clients.
+struct ClientReport {
+  AnalysisResult Analysis;
+  std::vector<ClassifiedPattern> Patterns;
+  std::vector<CollectiveSuggestion> Suggestions;
+  /// Variables provably identical (one constant) on all processes in
+  /// every terminal state — safe to keep as one shared read-only copy.
+  std::vector<std::pair<std::string, std::int64_t>> ShareableConstants;
+};
+
+/// Runs the framework and all client post-passes over \p Graph.
+ClientReport runClients(const Cfg &Graph, const AnalysisOptions &Opts);
+
+/// The collective-substitution table for a classified pattern set (the
+/// paper's mdcask example: exchange-with-root condenses into a broadcast
+/// plus a gather).
+std::vector<CollectiveSuggestion>
+suggestCollectives(const std::vector<ClassifiedPattern> &Patterns);
+
+/// Variables whose final value is one identical constant on every process
+/// in every terminal state of \p Result.
+std::vector<std::pair<std::string, std::int64_t>>
+findShareableConstants(const AnalysisResult &Result);
+
+} // namespace csdf
+
+#endif // CSDF_ANALYSIS_CLIENTS_H

@@ -1,0 +1,47 @@
+//===- baseline/MpiCfg.cpp --------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/MpiCfg.h"
+
+#include "lang/ExprOps.h"
+#include "pcfg/PartnerExpr.h"
+
+using namespace csdf;
+
+MpiCfgResult csdf::buildMpiCfg(const Cfg &Graph) {
+  MpiCfgResult Result;
+  for (const CfgNode &Send : Graph.nodes()) {
+    if (Send.Kind != CfgNodeKind::Send)
+      continue;
+    for (const CfgNode &Recv : Graph.nodes()) {
+      if (Recv.Kind != CfgNodeKind::Recv)
+        continue;
+      ++Result.InitialEdges;
+
+      // Tag pruning: constant tags that cannot match (absent tag = 0).
+      auto SendTag =
+          Send.Tag ? foldConstant(Send.Tag) : std::optional<std::int64_t>(0);
+      auto RecvTag =
+          Recv.Tag ? foldConstant(Recv.Tag) : std::optional<std::int64_t>(0);
+      if (SendTag && RecvTag && *SendTag != *RecvTag) {
+        ++Result.PrunedByTag;
+        continue;
+      }
+
+      // Shift pruning: id+k composed with id+m is never the identity when
+      // k + m != 0, so no message on this edge can be addressed both ways.
+      auto DestShift = matchIdPlusC(Send.Partner);
+      auto SrcShift = matchIdPlusC(Recv.Partner);
+      if (DestShift && SrcShift && *DestShift + *SrcShift != 0) {
+        ++Result.PrunedByShift;
+        continue;
+      }
+
+      Result.Edges.insert({Send.Id, Recv.Id});
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,47 @@
+//===- baseline/MpiCfg.h - The MPI-CFG baseline --------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MPI-CFG construction the paper compares against (Shires et al.,
+/// discussed in Section II): start from an edge between *every* send and
+/// *every* receive, then prune edges that sequential information rules
+/// out. No parallel reasoning: no process sets, no rank propagation.
+///
+/// Pruning rules implemented (all purely expression-local):
+///   * constant tags that differ;
+///   * `id + k` / `id + m` partner shifts whose composition cannot be the
+///     identity (k + m != 0).
+///
+/// The benchmark E8 measures this baseline's precision (spurious edges)
+/// against the pCFG analysis and the dynamic ground truth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_BASELINE_MPICFG_H
+#define CSDF_BASELINE_MPICFG_H
+
+#include "cfg/Cfg.h"
+
+#include <set>
+#include <utility>
+
+namespace csdf {
+
+/// Result of the MPI-CFG construction.
+struct MpiCfgResult {
+  /// Surviving send -> recv edges.
+  std::set<std::pair<CfgNodeId, CfgNodeId>> Edges;
+  unsigned InitialEdges = 0;
+  unsigned PrunedByTag = 0;
+  unsigned PrunedByShift = 0;
+};
+
+/// Builds the MPI-CFG communication edges of \p Graph.
+MpiCfgResult buildMpiCfg(const Cfg &Graph);
+
+} // namespace csdf
+
+#endif // CSDF_BASELINE_MPICFG_H

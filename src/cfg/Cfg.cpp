@@ -1,0 +1,105 @@
+//===- cfg/Cfg.cpp ----------------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include "lang/ExprOps.h"
+#include "support/ErrorHandling.h"
+
+using namespace csdf;
+
+const char *csdf::cfgNodeKindName(CfgNodeKind Kind) {
+  switch (Kind) {
+  case CfgNodeKind::Entry:
+    return "entry";
+  case CfgNodeKind::Exit:
+    return "exit";
+  case CfgNodeKind::Assign:
+    return "assign";
+  case CfgNodeKind::Branch:
+    return "branch";
+  case CfgNodeKind::Send:
+    return "send";
+  case CfgNodeKind::Recv:
+    return "recv";
+  case CfgNodeKind::Print:
+    return "print";
+  case CfgNodeKind::Assume:
+    return "assume";
+  case CfgNodeKind::Assert:
+    return "assert";
+  case CfgNodeKind::Skip:
+    return "skip";
+  }
+  csdf_unreachable("unhandled CfgNodeKind");
+}
+
+CfgNodeId Cfg::addNode(CfgNodeKind Kind, const Stmt *Origin) {
+  CfgNode Node;
+  Node.Id = static_cast<CfgNodeId>(Nodes.size());
+  Node.Kind = Kind;
+  Node.Origin = Origin;
+  Nodes.push_back(std::move(Node));
+  return Nodes.back().Id;
+}
+
+void Cfg::addEdge(CfgNodeId From, CfgNodeId To, CfgEdgeKind Kind) {
+  assert(From < Nodes.size() && To < Nodes.size() && "edge endpoint missing");
+  Nodes[From].Succs.push_back({To, Kind});
+  Nodes[To].Preds.push_back(From);
+}
+
+CfgNodeId Cfg::soleSuccessor(CfgNodeId Id) const {
+  const CfgNode &N = node(Id);
+  assert(N.Succs.size() == 1 && "node does not have exactly one successor");
+  return N.Succs.front().Target;
+}
+
+CfgNodeId Cfg::branchSuccessor(CfgNodeId Id, bool TakeTrue) const {
+  const CfgNode &N = node(Id);
+  assert(N.isBranch() && "branchSuccessor on non-branch node");
+  CfgEdgeKind Wanted = TakeTrue ? CfgEdgeKind::True : CfgEdgeKind::False;
+  for (const CfgEdge &E : N.Succs)
+    if (E.Kind == Wanted)
+      return E.Target;
+  csdf_unreachable("branch node missing true/false edge");
+}
+
+std::string Cfg::nodeLabel(CfgNodeId Id) const {
+  const CfgNode &N = node(Id);
+  std::string Label = "n" + std::to_string(Id) + ":";
+  switch (N.Kind) {
+  case CfgNodeKind::Entry:
+  case CfgNodeKind::Exit:
+  case CfgNodeKind::Skip:
+    return Label + cfgNodeKindName(N.Kind);
+  case CfgNodeKind::Assign:
+    return Label + N.Var + " = " + exprToString(N.Value);
+  case CfgNodeKind::Branch:
+    return Label + "branch " + exprToString(N.Cond);
+  case CfgNodeKind::Send: {
+    std::string S = Label + "send " + exprToString(N.Value) + " -> " +
+                    exprToString(N.Partner);
+    if (N.Tag)
+      S += " tag " + exprToString(N.Tag);
+    return S;
+  }
+  case CfgNodeKind::Recv: {
+    std::string S =
+        Label + "recv " + N.Var + " <- " + exprToString(N.Partner);
+    if (N.Tag)
+      S += " tag " + exprToString(N.Tag);
+    return S;
+  }
+  case CfgNodeKind::Print:
+    return Label + "print " + exprToString(N.Value);
+  case CfgNodeKind::Assume:
+    return Label + "assume " + exprToString(N.Cond);
+  case CfgNodeKind::Assert:
+    return Label + "assert " + exprToString(N.Cond);
+  }
+  csdf_unreachable("unhandled CfgNodeKind");
+}

@@ -1,0 +1,132 @@
+//===- cfg/Cfg.h - Control-flow graphs for MPL ------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The control-flow graph over which the pCFG analysis runs. One statement
+/// per node (as in the paper's Figure 2): assignments, sends, receives,
+/// prints, assumes and branches. `for` loops are lowered to
+/// init/test/increment; `if`/`while` become Branch nodes with True/False
+/// edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_CFG_CFG_H
+#define CSDF_CFG_CFG_H
+
+#include "lang/Ast.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace csdf {
+
+/// Identifies a CFG node within its Cfg. Dense, starting at 0.
+using CfgNodeId = unsigned;
+
+/// The statement classes a CFG node can carry.
+enum class CfgNodeKind {
+  Entry,
+  Exit,
+  Assign,
+  Branch,
+  Send,
+  Recv,
+  Print,
+  Assume,
+  Assert,
+  Skip,
+};
+
+/// Returns a short name for \p Kind ("entry", "send", ...).
+const char *cfgNodeKindName(CfgNodeKind Kind);
+
+/// How control leaves a node.
+enum class CfgEdgeKind {
+  Fallthrough,
+  True,
+  False,
+};
+
+/// A directed CFG edge.
+struct CfgEdge {
+  CfgNodeId Target = 0;
+  CfgEdgeKind Kind = CfgEdgeKind::Fallthrough;
+};
+
+/// A single CFG node. Which payload fields are meaningful depends on Kind:
+///   Assign: Var, Value;   Branch/Assume: Cond;
+///   Send: Value, Partner, Tag;   Recv: Var, Partner, Tag;
+///   Print: Value.
+struct CfgNode {
+  CfgNodeId Id = 0;
+  CfgNodeKind Kind = CfgNodeKind::Skip;
+  /// Originating statement, if any (null for Entry/Exit/synthesized nodes).
+  const Stmt *Origin = nullptr;
+
+  std::string Var;
+  const Expr *Value = nullptr;
+  const Expr *Cond = nullptr;
+  const Expr *Partner = nullptr;
+  const Expr *Tag = nullptr;
+
+  std::vector<CfgEdge> Succs;
+  std::vector<CfgNodeId> Preds;
+
+  bool isCommOp() const {
+    return Kind == CfgNodeKind::Send || Kind == CfgNodeKind::Recv;
+  }
+  bool isBranch() const { return Kind == CfgNodeKind::Branch; }
+  bool isExit() const { return Kind == CfgNodeKind::Exit; }
+};
+
+/// A whole-program CFG: nodes, dense ids, distinguished entry/exit.
+class Cfg {
+public:
+  CfgNodeId entryId() const { return Entry; }
+  CfgNodeId exitId() const { return Exit; }
+
+  const CfgNode &node(CfgNodeId Id) const {
+    assert(Id < Nodes.size() && "CFG node id out of range");
+    return Nodes[Id];
+  }
+  CfgNode &node(CfgNodeId Id) {
+    assert(Id < Nodes.size() && "CFG node id out of range");
+    return Nodes[Id];
+  }
+
+  size_t size() const { return Nodes.size(); }
+  const std::vector<CfgNode> &nodes() const { return Nodes; }
+
+  /// Creates a node of kind \p Kind and returns its id.
+  CfgNodeId addNode(CfgNodeKind Kind, const Stmt *Origin = nullptr);
+
+  /// Adds an edge From -> To of kind \p Kind (updates Preds of To).
+  void addEdge(CfgNodeId From, CfgNodeId To,
+               CfgEdgeKind Kind = CfgEdgeKind::Fallthrough);
+
+  /// Returns the unique fallthrough successor of \p Id; asserts if there is
+  /// not exactly one successor.
+  CfgNodeId soleSuccessor(CfgNodeId Id) const;
+
+  /// Returns the successor of branch node \p Id along the \p TakeTrue edge.
+  CfgNodeId branchSuccessor(CfgNodeId Id, bool TakeTrue) const;
+
+  /// Short human-readable description of node \p Id (kind + payload).
+  std::string nodeLabel(CfgNodeId Id) const;
+
+  void setEntry(CfgNodeId Id) { Entry = Id; }
+  void setExit(CfgNodeId Id) { Exit = Id; }
+
+private:
+  std::vector<CfgNode> Nodes;
+  CfgNodeId Entry = 0;
+  CfgNodeId Exit = 0;
+};
+
+} // namespace csdf
+
+#endif // CSDF_CFG_CFG_H

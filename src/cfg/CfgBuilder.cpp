@@ -1,0 +1,176 @@
+//===- cfg/CfgBuilder.cpp ----------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgBuilder.h"
+
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+using namespace csdf;
+
+namespace {
+
+/// A dangling edge waiting for its target node.
+struct PendingEdge {
+  CfgNodeId From;
+  CfgEdgeKind Kind;
+};
+
+class Builder {
+public:
+  explicit Builder(Program &Prog) : Prog(Prog) {}
+
+  Cfg build() {
+    CfgNodeId Entry = Graph.addNode(CfgNodeKind::Entry);
+    Graph.setEntry(Entry);
+    std::vector<PendingEdge> Frontier = {{Entry, CfgEdgeKind::Fallthrough}};
+    Frontier = buildStmts(Prog.body(), std::move(Frontier));
+    CfgNodeId Exit = Graph.addNode(CfgNodeKind::Exit);
+    Graph.setExit(Exit);
+    connect(Frontier, Exit);
+    return std::move(Graph);
+  }
+
+private:
+  void connect(const std::vector<PendingEdge> &Frontier, CfgNodeId Target) {
+    for (const PendingEdge &E : Frontier)
+      Graph.addEdge(E.From, Target, E.Kind);
+  }
+
+  std::vector<PendingEdge> buildStmts(const StmtList &Body,
+                                      std::vector<PendingEdge> Frontier) {
+    for (const Stmt *S : Body)
+      Frontier = buildStmt(S, std::move(Frontier));
+    return Frontier;
+  }
+
+  /// Appends a simple (single-successor) node and rewires the frontier.
+  std::vector<PendingEdge> appendSimple(CfgNodeId Node,
+                                        std::vector<PendingEdge> Frontier) {
+    connect(Frontier, Node);
+    return {{Node, CfgEdgeKind::Fallthrough}};
+  }
+
+  std::vector<PendingEdge> buildStmt(const Stmt *S,
+                                     std::vector<PendingEdge> Frontier) {
+    switch (S->kind()) {
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      CfgNodeId Node = Graph.addNode(CfgNodeKind::Assign, S);
+      Graph.node(Node).Var = A->var();
+      Graph.node(Node).Value = A->value();
+      return appendSimple(Node, std::move(Frontier));
+    }
+    case Stmt::Kind::Send: {
+      const auto *Send = cast<SendStmt>(S);
+      CfgNodeId Node = Graph.addNode(CfgNodeKind::Send, S);
+      Graph.node(Node).Value = Send->value();
+      Graph.node(Node).Partner = Send->dest();
+      Graph.node(Node).Tag = Send->tag();
+      return appendSimple(Node, std::move(Frontier));
+    }
+    case Stmt::Kind::Recv: {
+      const auto *Recv = cast<RecvStmt>(S);
+      CfgNodeId Node = Graph.addNode(CfgNodeKind::Recv, S);
+      Graph.node(Node).Var = Recv->var();
+      Graph.node(Node).Partner = Recv->src();
+      Graph.node(Node).Tag = Recv->tag();
+      return appendSimple(Node, std::move(Frontier));
+    }
+    case Stmt::Kind::Print: {
+      CfgNodeId Node = Graph.addNode(CfgNodeKind::Print, S);
+      Graph.node(Node).Value = cast<PrintStmt>(S)->value();
+      return appendSimple(Node, std::move(Frontier));
+    }
+    case Stmt::Kind::Assume: {
+      CfgNodeId Node = Graph.addNode(CfgNodeKind::Assume, S);
+      Graph.node(Node).Cond = cast<AssumeStmt>(S)->cond();
+      return appendSimple(Node, std::move(Frontier));
+    }
+    case Stmt::Kind::Assert: {
+      // Asserts are runtime proof obligations: the interpreter checks
+      // them; the static analysis treats them as no-ops (they assert, not
+      // assume).
+      CfgNodeId Node = Graph.addNode(CfgNodeKind::Assert, S);
+      Graph.node(Node).Cond = cast<AssertStmt>(S)->cond();
+      return appendSimple(Node, std::move(Frontier));
+    }
+    case Stmt::Kind::Skip: {
+      CfgNodeId Node = Graph.addNode(CfgNodeKind::Skip, S);
+      return appendSimple(Node, std::move(Frontier));
+    }
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(S);
+      CfgNodeId Branch = Graph.addNode(CfgNodeKind::Branch, S);
+      Graph.node(Branch).Cond = If->cond();
+      connect(Frontier, Branch);
+      std::vector<PendingEdge> ThenFrontier =
+          buildStmts(If->thenBody(), {{Branch, CfgEdgeKind::True}});
+      std::vector<PendingEdge> ElseFrontier =
+          buildStmts(If->elseBody(), {{Branch, CfgEdgeKind::False}});
+      for (const PendingEdge &E : ElseFrontier)
+        ThenFrontier.push_back(E);
+      return ThenFrontier;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      CfgNodeId Branch = Graph.addNode(CfgNodeKind::Branch, S);
+      Graph.node(Branch).Cond = W->cond();
+      connect(Frontier, Branch);
+      std::vector<PendingEdge> BodyFrontier =
+          buildStmts(W->body(), {{Branch, CfgEdgeKind::True}});
+      connect(BodyFrontier, Branch);
+      return {{Branch, CfgEdgeKind::False}};
+    }
+    case Stmt::Kind::For: {
+      // for v = a to b do BODY end
+      //   v = a;
+      //   branch (v <= b): true -> BODY; v = v + 1; back to branch
+      //                    false -> continue
+      const auto *F = cast<ForStmt>(S);
+      SourceLoc Loc = F->loc();
+
+      CfgNodeId Init = Graph.addNode(CfgNodeKind::Assign, S);
+      Graph.node(Init).Var = F->var();
+      Graph.node(Init).Value = F->from();
+      connect(Frontier, Init);
+
+      const Expr *VarRef = Prog.makeExpr<VarRefExpr>(F->var(), Loc);
+      const Expr *Test =
+          Prog.makeExpr<BinaryExpr>(BinaryOp::Le, VarRef, F->to(), Loc);
+      CfgNodeId Branch = Graph.addNode(CfgNodeKind::Branch, S);
+      Graph.node(Branch).Cond = Test;
+      Graph.addEdge(Init, Branch);
+
+      std::vector<PendingEdge> BodyFrontier =
+          buildStmts(F->body(), {{Branch, CfgEdgeKind::True}});
+
+      const Expr *One = Prog.makeExpr<IntLitExpr>(1, Loc);
+      const Expr *VarRef2 = Prog.makeExpr<VarRefExpr>(F->var(), Loc);
+      const Expr *Inc =
+          Prog.makeExpr<BinaryExpr>(BinaryOp::Add, VarRef2, One, Loc);
+      CfgNodeId Step = Graph.addNode(CfgNodeKind::Assign, S);
+      Graph.node(Step).Var = F->var();
+      Graph.node(Step).Value = Inc;
+      connect(BodyFrontier, Step);
+      Graph.addEdge(Step, Branch);
+
+      return {{Branch, CfgEdgeKind::False}};
+    }
+    }
+    csdf_unreachable("unhandled Stmt::Kind");
+  }
+
+  Program &Prog;
+  Cfg Graph;
+};
+
+} // namespace
+
+Cfg csdf::buildCfg(Program &Prog) {
+  Builder B(Prog);
+  return B.build();
+}

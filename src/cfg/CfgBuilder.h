@@ -1,0 +1,31 @@
+//===- cfg/CfgBuilder.h - AST -> CFG lowering -------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers an MPL AST to a Cfg. `for v = a to b` becomes
+/// `v = a; branch(v <= b) { body; v = v + 1; }`; `assert` lowers to Skip
+/// (a proof obligation, not a transfer), `if`/`while` become Branch nodes.
+///
+/// Synthesized expressions (the loop test and increment) are allocated in
+/// the Program's arena, so the Program must outlive the Cfg.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_CFG_CFGBUILDER_H
+#define CSDF_CFG_CFGBUILDER_H
+
+#include "cfg/Cfg.h"
+#include "lang/Ast.h"
+
+namespace csdf {
+
+/// Builds the CFG of \p Prog. \p Prog is mutated only by arena allocation of
+/// synthesized loop expressions.
+Cfg buildCfg(Program &Prog);
+
+} // namespace csdf
+
+#endif // CSDF_CFG_CFGBUILDER_H

@@ -1,0 +1,52 @@
+//===- cfg/CfgDot.cpp ----------------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgDot.h"
+
+#include <sstream>
+
+using namespace csdf;
+
+namespace {
+
+std::string escape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string csdf::cfgToDot(const Cfg &Graph, const std::string &Name) {
+  std::ostringstream OS;
+  OS << "digraph " << Name << " {\n";
+  OS << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const CfgNode &N : Graph.nodes()) {
+    OS << "  n" << N.Id << " [label=\"" << escape(Graph.nodeLabel(N.Id))
+       << "\"";
+    if (N.Kind == CfgNodeKind::Entry || N.Kind == CfgNodeKind::Exit)
+      OS << ", shape=ellipse";
+    else if (N.isCommOp())
+      OS << ", style=filled, fillcolor=lightblue";
+    OS << "];\n";
+  }
+  for (const CfgNode &N : Graph.nodes()) {
+    for (const CfgEdge &E : N.Succs) {
+      OS << "  n" << N.Id << " -> n" << E.Target;
+      if (E.Kind == CfgEdgeKind::True)
+        OS << " [label=\"T\"]";
+      else if (E.Kind == CfgEdgeKind::False)
+        OS << " [label=\"F\"]";
+      OS << ";\n";
+    }
+  }
+  OS << "}\n";
+  return OS.str();
+}

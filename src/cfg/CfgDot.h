@@ -1,0 +1,26 @@
+//===- cfg/CfgDot.h - Graphviz export of CFGs ---------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a Cfg as Graphviz DOT text for debugging and documentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_CFG_CFGDOT_H
+#define CSDF_CFG_CFGDOT_H
+
+#include "cfg/Cfg.h"
+
+#include <string>
+
+namespace csdf {
+
+/// Returns a DOT digraph of \p Graph named \p Name.
+std::string cfgToDot(const Cfg &Graph, const std::string &Name = "cfg");
+
+} // namespace csdf
+
+#endif // CSDF_CFG_CFGDOT_H

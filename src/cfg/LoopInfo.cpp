@@ -1,0 +1,64 @@
+//===- cfg/LoopInfo.cpp -------------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/LoopInfo.h"
+
+#include <vector>
+
+using namespace csdf;
+
+LoopInfo::LoopInfo(const Cfg &Graph) {
+  enum class Color { White, Gray, Black };
+  std::vector<Color> Colors(Graph.size(), Color::White);
+
+  // Iterative DFS from the entry; an edge into a Gray node is a back edge.
+  struct Frame {
+    CfgNodeId Node;
+    size_t NextSucc = 0;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({Graph.entryId()});
+  Colors[Graph.entryId()] = Color::Gray;
+
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    const CfgNode &N = Graph.node(Top.Node);
+    if (Top.NextSucc >= N.Succs.size()) {
+      Colors[Top.Node] = Color::Black;
+      Stack.pop_back();
+      continue;
+    }
+    CfgNodeId Succ = N.Succs[Top.NextSucc++].Target;
+    switch (Colors[Succ]) {
+    case Color::White:
+      Colors[Succ] = Color::Gray;
+      Stack.push_back({Succ});
+      break;
+    case Color::Gray:
+      BackEdges.emplace_back(Top.Node, Succ);
+      Headers.insert(Succ);
+      break;
+    case Color::Black:
+      break;
+    }
+  }
+
+  // Natural loop bodies: for each back edge (tail, header), every node
+  // that reaches the tail without passing through the header, plus the
+  // header itself.
+  for (const auto &[Tail, Header] : BackEdges) {
+    LoopNodes.insert(Header);
+    std::vector<CfgNodeId> Work = {Tail};
+    while (!Work.empty()) {
+      CfgNodeId N = Work.back();
+      Work.pop_back();
+      if (N == Header || !LoopNodes.insert(N).second)
+        continue;
+      for (CfgNodeId Pred : Graph.node(N).Preds)
+        Work.push_back(Pred);
+    }
+  }
+}

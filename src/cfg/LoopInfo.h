@@ -1,0 +1,57 @@
+//===- cfg/LoopInfo.h - Back edges and loop headers --------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifies back edges and loop headers of a Cfg by depth-first search.
+/// The pCFG engine widens dataflow states whenever a process set re-enters a
+/// loop header, which guarantees termination for client analyses with
+/// infinite lattices (Section VI of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_CFG_LOOPINFO_H
+#define CSDF_CFG_LOOPINFO_H
+
+#include "cfg/Cfg.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace csdf {
+
+/// Loop structure summary of a Cfg.
+class LoopInfo {
+public:
+  /// Computes loop info for \p Graph.
+  explicit LoopInfo(const Cfg &Graph);
+
+  /// True if \p Id is the target of some back edge.
+  bool isLoopHeader(CfgNodeId Id) const { return Headers.count(Id) != 0; }
+
+  /// All (tail, header) back edges found.
+  const std::vector<std::pair<CfgNodeId, CfgNodeId>> &backEdges() const {
+    return BackEdges;
+  }
+
+  /// All loop headers.
+  const std::set<CfgNodeId> &headers() const { return Headers; }
+
+  /// True if \p Id belongs to some natural loop body (including headers).
+  bool isInLoop(CfgNodeId Id) const { return LoopNodes.count(Id) != 0; }
+
+  /// All nodes inside some natural loop.
+  const std::set<CfgNodeId> &loopNodes() const { return LoopNodes; }
+
+private:
+  std::vector<std::pair<CfgNodeId, CfgNodeId>> BackEdges;
+  std::set<CfgNodeId> Headers;
+  std::set<CfgNodeId> LoopNodes;
+};
+
+} // namespace csdf
+
+#endif // CSDF_CFG_LOOPINFO_H

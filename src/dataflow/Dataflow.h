@@ -1,0 +1,119 @@
+//===- dataflow/Dataflow.h - Classical intra-process dataflow ------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small classical dataflow framework over MPL CFGs — the "traditional
+/// sequential analyses" the paper contrasts with (Section I/IV): they see
+/// one process at a time and must treat every `recv` as an unknown value.
+/// The pCFG framework's Figure 2 claim ("neither task can be accomplished
+/// by traditional analyses") is demonstrated against these.
+///
+/// The solver is a standard iterative worklist over a join semilattice.
+/// A Domain provides:
+///
+///   using Fact = ...;                          // lattice element
+///   static constexpr bool IsForward = ...;
+///   Fact boundary(const Cfg &) const;          // entry (or exit) fact
+///   Fact initial(const Cfg &) const;           // optimistic start value
+///   bool join(Fact &Into, const Fact &From) const;  // true if changed
+///   Fact transfer(const Cfg &, const CfgNode &, const Fact &In) const;
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_DATAFLOW_DATAFLOW_H
+#define CSDF_DATAFLOW_DATAFLOW_H
+
+#include "cfg/Cfg.h"
+
+#include <deque>
+#include <vector>
+
+namespace csdf {
+
+/// Per-node dataflow results: the fact holding before and after each node
+/// (in execution order, regardless of analysis direction).
+template <typename Domain> struct DataflowResult {
+  std::vector<typename Domain::Fact> In;
+  std::vector<typename Domain::Fact> Out;
+};
+
+/// Runs \p D to fixpoint over \p Graph.
+template <typename Domain>
+DataflowResult<Domain> solveDataflow(const Cfg &Graph, const Domain &D) {
+  using Fact = typename Domain::Fact;
+  const size_t N = Graph.size();
+  DataflowResult<Domain> R;
+  R.In.assign(N, D.initial(Graph));
+  R.Out.assign(N, D.initial(Graph));
+
+  // For a backward domain, "input" flows from successors; unify by
+  // talking about pred/succ in *analysis* direction.
+  auto AnalysisPreds = [&](CfgNodeId Id) {
+    std::vector<CfgNodeId> Nodes;
+    if constexpr (Domain::IsForward) {
+      for (CfgNodeId P : Graph.node(Id).Preds)
+        Nodes.push_back(P);
+    } else {
+      for (const CfgEdge &E : Graph.node(Id).Succs)
+        Nodes.push_back(E.Target);
+    }
+    return Nodes;
+  };
+  auto AnalysisSuccs = [&](CfgNodeId Id) {
+    std::vector<CfgNodeId> Nodes;
+    if constexpr (Domain::IsForward) {
+      for (const CfgEdge &E : Graph.node(Id).Succs)
+        Nodes.push_back(E.Target);
+    } else {
+      for (CfgNodeId P : Graph.node(Id).Preds)
+        Nodes.push_back(P);
+    }
+    return Nodes;
+  };
+
+  CfgNodeId Start = Domain::IsForward ? Graph.entryId() : Graph.exitId();
+
+  std::deque<CfgNodeId> Worklist;
+  std::vector<bool> Queued(N, false);
+  for (CfgNodeId Id = 0; Id < N; ++Id) {
+    Worklist.push_back(Id);
+    Queued[Id] = true;
+  }
+
+  auto &Before = Domain::IsForward ? R.In : R.Out;
+  auto &After = Domain::IsForward ? R.Out : R.In;
+  Before[Start] = D.boundary(Graph);
+
+  while (!Worklist.empty()) {
+    CfgNodeId Id = Worklist.front();
+    Worklist.pop_front();
+    Queued[Id] = false;
+
+    Fact InFact = Id == Start ? D.boundary(Graph) : D.initial(Graph);
+    for (CfgNodeId P : AnalysisPreds(Id))
+      D.join(InFact, After[P]);
+    Before[Id] = InFact;
+    Fact OutFact = D.transfer(Graph, Graph.node(Id), InFact);
+
+    bool Changed = D.join(After[Id], OutFact);
+    // join() accumulates; for must-analyses transfer output may *shrink*,
+    // so also detect plain inequality via a second join direction: if the
+    // stored fact changed at all, requeue successors.
+    if (Changed) {
+      for (CfgNodeId S : AnalysisSuccs(Id)) {
+        if (!Queued[S]) {
+          Worklist.push_back(S);
+          Queued[S] = true;
+        }
+      }
+    }
+  }
+  return R;
+}
+
+} // namespace csdf
+
+#endif // CSDF_DATAFLOW_DATAFLOW_H

@@ -1,0 +1,159 @@
+//===- dataflow/SeqAnalyses.cpp --------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/SeqAnalyses.h"
+
+#include "lang/ExprOps.h"
+
+using namespace csdf;
+
+//===----------------------------------------------------------------------===//
+// Reaching definitions
+//===----------------------------------------------------------------------===//
+
+bool ReachingDefsDomain::join(Fact &Into, const Fact &From) const {
+  bool Changed = false;
+  for (const Definition &D : From)
+    Changed |= Into.insert(D).second;
+  return Changed;
+}
+
+ReachingDefsDomain::Fact
+ReachingDefsDomain::transfer(const Cfg &, const CfgNode &Node,
+                             const Fact &In) const {
+  if (Node.Kind != CfgNodeKind::Assign && Node.Kind != CfgNodeKind::Recv)
+    return In;
+  Fact Out;
+  for (const Definition &D : In)
+    if (D.first != Node.Var)
+      Out.insert(D);
+  Out.insert({Node.Var, Node.Id});
+  return Out;
+}
+
+DataflowResult<ReachingDefsDomain>
+csdf::computeReachingDefs(const Cfg &Graph) {
+  return solveDataflow(Graph, ReachingDefsDomain());
+}
+
+//===----------------------------------------------------------------------===//
+// Live variables
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void addUses(const Expr *E, std::set<std::string> &Into) {
+  if (!E)
+    return;
+  std::set<std::string> Vars;
+  collectVars(E, Vars);
+  for (const std::string &V : Vars)
+    if (V != "id" && V != "np")
+      Into.insert(V);
+}
+
+} // namespace
+
+bool LiveVarsDomain::join(Fact &Into, const Fact &From) const {
+  bool Changed = false;
+  for (const std::string &V : From)
+    Changed |= Into.insert(V).second;
+  return Changed;
+}
+
+LiveVarsDomain::Fact LiveVarsDomain::transfer(const Cfg &,
+                                              const CfgNode &Node,
+                                              const Fact &In) const {
+  Fact Out = In;
+  if (Node.Kind == CfgNodeKind::Assign || Node.Kind == CfgNodeKind::Recv)
+    Out.erase(Node.Var);
+  addUses(Node.Value, Out);
+  addUses(Node.Cond, Out);
+  addUses(Node.Partner, Out);
+  addUses(Node.Tag, Out);
+  return Out;
+}
+
+DataflowResult<LiveVarsDomain> csdf::computeLiveVars(const Cfg &Graph) {
+  return solveDataflow(Graph, LiveVarsDomain());
+}
+
+//===----------------------------------------------------------------------===//
+// Sequential constant propagation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Flat-lattice merge toward NonConst.
+bool mergeConst(ConstVal &Into, const ConstVal &From) {
+  if (From.TheKind == ConstVal::Kind::Unknown)
+    return false;
+  if (Into.TheKind == ConstVal::Kind::Unknown) {
+    Into = From;
+    return true;
+  }
+  if (Into == From)
+    return false;
+  if (Into.TheKind != ConstVal::Kind::NonConst) {
+    Into = ConstVal::nonConst();
+    return true;
+  }
+  return false;
+}
+
+/// Evaluates \p E with the constants known in \p In; anything else (a
+/// non-constant variable, input(), division by zero) is NonConst.
+ConstVal evalConst(const Expr *E, const SeqConstDomain::Fact &In) {
+  auto V = evalExpr(E, [&](const std::string &Name)
+                           -> std::optional<std::int64_t> {
+    auto It = In.find(Name);
+    if (It == In.end() || !It->second.isConst())
+      return std::nullopt;
+    return It->second.Value;
+  });
+  return V ? ConstVal::constant(*V) : ConstVal::nonConst();
+}
+
+} // namespace
+
+bool SeqConstDomain::join(Fact &Into, const Fact &From) const {
+  bool Changed = false;
+  for (const auto &[Var, Val] : From)
+    Changed |= mergeConst(Into[Var], Val);
+  return Changed;
+}
+
+SeqConstDomain::Fact SeqConstDomain::transfer(const Cfg &,
+                                              const CfgNode &Node,
+                                              const Fact &In) const {
+  Fact Out = In;
+  switch (Node.Kind) {
+  case CfgNodeKind::Assign:
+    Out[Node.Var] = evalConst(Node.Value, In);
+    return Out;
+  case CfgNodeKind::Recv:
+    // The sequential view cannot know what arrives.
+    Out[Node.Var] = ConstVal::nonConst();
+    return Out;
+  default:
+    return Out;
+  }
+}
+
+DataflowResult<SeqConstDomain>
+csdf::computeSeqConstants(const Cfg &Graph) {
+  return solveDataflow(Graph, SeqConstDomain());
+}
+
+std::optional<std::int64_t>
+csdf::seqConstantAt(const DataflowResult<SeqConstDomain> &R, CfgNodeId Node,
+                    const std::string &Var) {
+  const auto &Fact = R.In[Node];
+  auto It = Fact.find(Var);
+  if (It == Fact.end() || !It->second.isConst())
+    return std::nullopt;
+  return It->second.Value;
+}

@@ -1,0 +1,116 @@
+//===- dataflow/SeqAnalyses.h - Classic per-process analyses -------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Three textbook dataflow analyses instantiated over MPL CFGs:
+///
+///   * reaching definitions (forward, may);
+///   * live variables (backward, may);
+///   * sequential constant propagation (forward, flat lattice), which —
+///     being blind to the parallel structure — must treat every `recv`
+///     and `input()` as an unknown value. It therefore cannot prove the
+///     Figure 2 prints, which the pCFG analysis can (tested).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_DATAFLOW_SEQANALYSES_H
+#define CSDF_DATAFLOW_SEQANALYSES_H
+
+#include "dataflow/Dataflow.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace csdf {
+
+//===----------------------------------------------------------------------===//
+// Reaching definitions
+//===----------------------------------------------------------------------===//
+
+/// A definition site: the variable and the CFG node that assigns it
+/// (Assign or Recv).
+using Definition = std::pair<std::string, CfgNodeId>;
+
+/// Forward may-analysis: which definitions may reach each point.
+struct ReachingDefsDomain {
+  using Fact = std::set<Definition>;
+  static constexpr bool IsForward = true;
+
+  Fact boundary(const Cfg &) const { return {}; }
+  Fact initial(const Cfg &) const { return {}; }
+  bool join(Fact &Into, const Fact &From) const;
+  Fact transfer(const Cfg &Graph, const CfgNode &Node, const Fact &In) const;
+};
+
+/// Convenience wrapper.
+DataflowResult<ReachingDefsDomain> computeReachingDefs(const Cfg &Graph);
+
+//===----------------------------------------------------------------------===//
+// Live variables
+//===----------------------------------------------------------------------===//
+
+/// Backward may-analysis: which variables may be read before their next
+/// redefinition. `id` and `np` are ambient and excluded.
+struct LiveVarsDomain {
+  using Fact = std::set<std::string>;
+  static constexpr bool IsForward = false;
+
+  Fact boundary(const Cfg &) const { return {}; }
+  Fact initial(const Cfg &) const { return {}; }
+  bool join(Fact &Into, const Fact &From) const;
+  Fact transfer(const Cfg &Graph, const CfgNode &Node, const Fact &In) const;
+};
+
+DataflowResult<LiveVarsDomain> computeLiveVars(const Cfg &Graph);
+
+//===----------------------------------------------------------------------===//
+// Sequential constant propagation
+//===----------------------------------------------------------------------===//
+
+/// The flat constant lattice: unset = not yet known (optimistic top),
+/// value = constant, NonConst = bottom of the flat lattice.
+struct ConstVal {
+  enum class Kind { Unknown, Const, NonConst };
+  Kind TheKind = Kind::Unknown;
+  std::int64_t Value = 0;
+
+  static ConstVal constant(std::int64_t V) {
+    return {Kind::Const, V};
+  }
+  static ConstVal nonConst() { return {Kind::NonConst, 0}; }
+  bool isConst() const { return TheKind == Kind::Const; }
+  bool operator==(const ConstVal &O) const {
+    return TheKind == O.TheKind && (TheKind != Kind::Const ||
+                                    Value == O.Value);
+  }
+};
+
+/// Forward must-analysis over per-variable flat lattices. Receives and
+/// input() produce NonConst — a sequential analysis has no way to know
+/// what arrives.
+struct SeqConstDomain {
+  using Fact = std::map<std::string, ConstVal>;
+  static constexpr bool IsForward = true;
+
+  Fact boundary(const Cfg &) const { return {}; }
+  Fact initial(const Cfg &) const { return {}; }
+  bool join(Fact &Into, const Fact &From) const;
+  Fact transfer(const Cfg &Graph, const CfgNode &Node, const Fact &In) const;
+};
+
+DataflowResult<SeqConstDomain> computeSeqConstants(const Cfg &Graph);
+
+/// The constant \p Var provably holds on entry to \p Node, if any.
+std::optional<std::int64_t>
+seqConstantAt(const DataflowResult<SeqConstDomain> &R, CfgNodeId Node,
+              const std::string &Var);
+
+} // namespace csdf
+
+#endif // CSDF_DATAFLOW_SEQANALYSES_H

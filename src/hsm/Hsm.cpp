@@ -1,0 +1,414 @@
+//===- hsm/Hsm.cpp ---------------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Division and modulus use one generalized form of the two Table I rules.
+// For h = Base + sum_k i_k * S_k (i_k < R_k) and a monomial divisor q:
+// split the levels into D = {k : q | S_k} and N = the rest, and Base into
+// a q-divisible part BD plus remainder BN. If the N-part's maximal value
+//
+//     max = BN + sum_{k in N} (R_k - 1) * S_k
+//
+// provably satisfies max <= q - 1 (so the non-divisible part never crosses
+// a q-window), then
+//
+//     h / q = BD/q + sum_D i_k * (S_k / q)          (N levels keep their
+//                                                    repeats, stride 0)
+//     h % q = BN   + sum_N i_k * S_k                (D levels zeroed)
+//
+// Levels whose stride does not divide q are first *split* using the
+// sequence-equality [e : r1*r2, s] = [[e : r1, s] : r2, s*r1] with
+// r1 = q / s, which manufactures a q-stride outer level — this is exactly
+// how the paper rewrites [0 : np, 1] into [[0 : nrows, 1] : nrows, nrows]
+// before taking % nrows.
+//
+// The max <= q - 1 comparison reduces to non-negativity of q - 1 - max,
+// which is decided conservatively assuming every symbolic parameter is
+// >= 1 (process counts and grid extents are at least 1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hsm/Hsm.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+using namespace csdf;
+
+Poly Hsm::length() const {
+  Poly Len(1);
+  for (const HsmLevel &L : Levels)
+    Len = Len.times(L.Repeat);
+  return Len;
+}
+
+Hsm Hsm::repeated(Poly Repeat, Poly Stride) const {
+  Hsm R = *this;
+  R.Levels.push_back({std::move(Repeat), std::move(Stride)});
+  return R;
+}
+
+std::string Hsm::str() const {
+  std::string S = Base.str();
+  for (const HsmLevel &L : Levels)
+    S = "[" + S + " : " + L.Repeat.str() + ", " + L.Stride.str() + "]";
+  return S;
+}
+
+std::optional<std::int64_t> Hsm::valueAt(
+    std::uint64_t Index,
+    const std::vector<std::pair<std::string, std::int64_t>> &Env) const {
+  auto Value = Base.eval(Env);
+  if (!Value)
+    return std::nullopt;
+  std::uint64_t Rest = Index;
+  for (const HsmLevel &L : Levels) {
+    auto Repeat = L.Repeat.eval(Env);
+    auto Stride = L.Stride.eval(Env);
+    if (!Repeat || !Stride || *Repeat <= 0)
+      return std::nullopt;
+    std::uint64_t K = Rest % static_cast<std::uint64_t>(*Repeat);
+    Rest /= static_cast<std::uint64_t>(*Repeat);
+    *Value += static_cast<std::int64_t>(K) * *Stride;
+  }
+  if (Rest != 0)
+    return std::nullopt; // Index out of range.
+  return Value;
+}
+
+std::optional<std::vector<std::int64_t>> Hsm::enumerate(
+    const std::vector<std::pair<std::string, std::int64_t>> &Env) const {
+  auto Len = length().eval(Env);
+  if (!Len || *Len < 0)
+    return std::nullopt;
+  std::vector<std::int64_t> Seq;
+  Seq.reserve(static_cast<size_t>(*Len));
+  for (std::int64_t I = 0; I < *Len; ++I) {
+    auto V = valueAt(static_cast<std::uint64_t>(I), Env);
+    if (!V)
+      return std::nullopt;
+    Seq.push_back(*V);
+  }
+  return Seq;
+}
+
+//===----------------------------------------------------------------------===//
+// Addition
+//===----------------------------------------------------------------------===//
+
+std::optional<Hsm> csdf::hsmAdd(const Hsm &A, const Hsm &B,
+                                const FactEnv &Facts) {
+  // Work on canonical copies of the level lists, splitting levels on
+  // either side until the repeat structures line up.
+  std::vector<HsmLevel> LA = A.levels();
+  std::vector<HsmLevel> LB = B.levels();
+  for (HsmLevel &L : LA) {
+    L.Repeat = Facts.canon(L.Repeat);
+    L.Stride = Facts.canon(L.Stride);
+  }
+  for (HsmLevel &L : LB) {
+    L.Repeat = Facts.canon(L.Repeat);
+    L.Stride = Facts.canon(L.Stride);
+  }
+
+  std::vector<HsmLevel> Out;
+  size_t IA = 0;
+  size_t IB = 0;
+  while (IA < LA.size() || IB < LB.size()) {
+    if (IA >= LA.size() || IB >= LB.size())
+      return std::nullopt; // Length mismatch.
+    HsmLevel &La = LA[IA];
+    HsmLevel &Lb = LB[IB];
+    if (La.Repeat == Lb.Repeat) {
+      Out.push_back({La.Repeat, Facts.canon(La.Stride.plus(Lb.Stride))});
+      ++IA;
+      ++IB;
+      continue;
+    }
+    // Split the level with the larger repeat so the fronts match:
+    // [e : r1*r2, s] = [[e : r1, s] : r2, s*r1].
+    if (auto Q = Facts.divide(La.Repeat, Lb.Repeat)) {
+      if (Q->constantValue() != 1) {
+        HsmLevel Outer = {*Q, Facts.canon(La.Stride.times(Lb.Repeat))};
+        La.Repeat = Lb.Repeat;
+        LA.insert(LA.begin() + static_cast<long>(IA) + 1, Outer);
+        continue;
+      }
+    }
+    if (auto Q = Facts.divide(Lb.Repeat, La.Repeat)) {
+      if (Q->constantValue() != 1) {
+        HsmLevel Outer = {*Q, Facts.canon(Lb.Stride.times(La.Repeat))};
+        Lb.Repeat = La.Repeat;
+        LB.insert(LB.begin() + static_cast<long>(IB) + 1, Outer);
+        continue;
+      }
+    }
+    return std::nullopt;
+  }
+  return Hsm(Facts.canon(A.base().plus(B.base())), std::move(Out));
+}
+
+Hsm csdf::hsmScale(const Hsm &A, const Poly &Q) {
+  std::vector<HsmLevel> Levels = A.levels();
+  for (HsmLevel &L : Levels)
+    L.Stride = L.Stride.times(Q);
+  return Hsm(A.base().times(Q), std::move(Levels));
+}
+
+//===----------------------------------------------------------------------===//
+// Division and modulus
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Conservative non-negativity of \p P assuming every variable is >= 1:
+/// negative terms must be constants, and the sum of positive coefficients
+/// plus the constant part must be >= 0.
+bool provablyNonNegative(const Poly &P) {
+  std::int64_t LowerBound = 0;
+  for (const Mono &T : P.terms()) {
+    if (T.Coeff >= 0) {
+      LowerBound += T.Coeff; // Minimum of c * vars with vars >= 1 is c.
+      continue;
+    }
+    if (!T.isConstant())
+      return false; // Negative symbolic term: unbounded below.
+    LowerBound += T.Coeff;
+  }
+  return LowerBound >= 0;
+}
+
+/// Splits every level whose stride does not divide \p Q into
+/// [{r1, s}, {r2, s*r1}] with s*r1 == Q, whenever the factors exist.
+std::vector<HsmLevel> splitForDivisor(const std::vector<HsmLevel> &In,
+                                      const Poly &Q, const FactEnv &Facts) {
+  std::vector<HsmLevel> Out;
+  for (const HsmLevel &L : In) {
+    Poly S = Facts.canon(L.Stride);
+    Poly R = Facts.canon(L.Repeat);
+    if (S.isZero() || Facts.divisible(S, Q)) {
+      Out.push_back({R, S});
+      continue;
+    }
+    auto R1 = Facts.divide(Q, S);
+    if (!R1) {
+      Out.push_back({R, S});
+      continue;
+    }
+    auto R2 = Facts.divide(R, *R1);
+    if (!R2 || R1->constantValue() == 1 || R2->constantValue() == 1) {
+      Out.push_back({R, S});
+      continue;
+    }
+    Out.push_back({*R1, S});
+    Out.push_back({*R2, Facts.canon(S.times(*R1))}); // Stride == Q.
+  }
+  return Out;
+}
+
+/// Shared core of hsmDiv / hsmMod; \p WantDiv selects the quotient.
+std::optional<Hsm> divMod(const Hsm &A, const Poly &QIn, const FactEnv &Facts,
+                          bool WantDiv) {
+  Poly Q = Facts.canon(QIn);
+  if (Q.isZero())
+    return std::nullopt;
+  if (auto QC = Q.constantValue(); QC && *QC == 1)
+    return WantDiv ? A : Hsm(Poly(0), [&] {
+      std::vector<HsmLevel> Ls = A.levels();
+      for (HsmLevel &L : Ls)
+        L.Stride = Poly(0);
+      return Ls;
+    }());
+  if (!Q.isMono())
+    return std::nullopt;
+
+  std::vector<HsmLevel> Levels = splitForDivisor(A.levels(), Q, Facts);
+
+  // Split the base into a divisible part and a constant remainder.
+  Poly Base = Facts.canon(A.base());
+  std::vector<Mono> DivTerms;
+  std::int64_t Remainder = 0;
+  for (const Mono &T : Base.terms()) {
+    if (Poly(T).divisibleBy(Q.asMono())) {
+      DivTerms.push_back(T);
+      continue;
+    }
+    if (!T.isConstant())
+      return std::nullopt;
+    Remainder += T.Coeff;
+  }
+  if (Remainder < 0)
+    return std::nullopt;
+  if (auto QC = Q.constantValue()) {
+    DivTerms.push_back(Mono((Remainder / *QC) * *QC));
+    Remainder %= *QC;
+  }
+  Poly BD = Facts.canon(Poly(std::move(DivTerms)));
+  Poly BN(Remainder);
+
+  // Partition the levels and accumulate the non-divisible span.
+  Poly Span = BN;
+  for (const HsmLevel &L : Levels) {
+    if (L.Stride.isZero() || Facts.divisible(L.Stride, Q))
+      continue;
+    Span = Span.plus(L.Repeat.minus(Poly(1)).times(L.Stride));
+  }
+  // Require Span <= Q - 1.
+  if (!provablyNonNegative(Facts.canon(Q.minus(Poly(1)).minus(Span))))
+    return std::nullopt;
+
+  std::vector<HsmLevel> OutLevels;
+  for (const HsmLevel &L : Levels) {
+    bool Divisible = L.Stride.isZero() || Facts.divisible(L.Stride, Q);
+    if (WantDiv) {
+      if (Divisible)
+        OutLevels.push_back(
+            {L.Repeat, L.Stride.isZero()
+                           ? Poly(0)
+                           : *Facts.divide(L.Stride, Q)});
+      else
+        OutLevels.push_back({L.Repeat, Poly(0)});
+    } else {
+      OutLevels.push_back({L.Repeat, Divisible ? Poly(0) : L.Stride});
+    }
+  }
+  Poly OutBase = WantDiv ? *Facts.divide(BD, Q) : BN;
+  return Hsm(OutBase, std::move(OutLevels));
+}
+
+} // namespace
+
+std::optional<Hsm> csdf::hsmDiv(const Hsm &A, const Poly &Q,
+                                const FactEnv &Facts) {
+  return divMod(A, Q, Facts, /*WantDiv=*/true);
+}
+
+std::optional<Hsm> csdf::hsmMod(const Hsm &A, const Poly &Q,
+                                const FactEnv &Facts) {
+  return divMod(A, Q, Facts, /*WantDiv=*/false);
+}
+
+//===----------------------------------------------------------------------===//
+// Equality rules
+//===----------------------------------------------------------------------===//
+
+Hsm csdf::hsmNormalize(const Hsm &A, const FactEnv &Facts) {
+  Poly Base = Facts.canon(A.base());
+  std::vector<HsmLevel> Levels;
+  for (const HsmLevel &L : A.levels()) {
+    Poly R = Facts.canon(L.Repeat);
+    Poly S = Facts.canon(L.Stride);
+    if (R.constantValue() == 1)
+      continue; // [e : 1, s] == e.
+    Levels.push_back({std::move(R), std::move(S)});
+  }
+  // Merge adjacent levels: inner {r, s} then outer {r', s*r} fuse into
+  // {r*r', s} (the sequence-equality rule).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I + 1 < Levels.size(); ++I) {
+      const Poly &S = Levels[I].Stride;
+      Poly Fused = Facts.canon(S.times(Levels[I].Repeat));
+      if (Levels[I + 1].Stride == Fused && !S.isZero()) {
+        Levels[I] = {Facts.canon(Levels[I].Repeat.times(Levels[I + 1].Repeat)),
+                     S};
+        Levels.erase(Levels.begin() + static_cast<long>(I) + 1);
+        Changed = true;
+        break;
+      }
+      // Two adjacent constant levels fuse too.
+      if (S.isZero() && Levels[I + 1].Stride.isZero()) {
+        Levels[I] = {Facts.canon(Levels[I].Repeat.times(Levels[I + 1].Repeat)),
+                     Poly(0)};
+        Levels.erase(Levels.begin() + static_cast<long>(I) + 1);
+        Changed = true;
+        break;
+      }
+    }
+  }
+  return Hsm(std::move(Base), std::move(Levels));
+}
+
+bool csdf::hsmSequenceEquals(const Hsm &A, const Hsm &B,
+                             const FactEnv &Facts) {
+  return hsmNormalize(A, Facts) == hsmNormalize(B, Facts);
+}
+
+namespace {
+
+/// A multiset of levels keyed by (stride, repeat) strings — order is
+/// irrelevant under set-equality because adjacent levels may always swap.
+using LevelBag = std::multiset<std::pair<std::string, std::string>>;
+
+LevelBag bagOf(const std::vector<HsmLevel> &Levels) {
+  LevelBag Bag;
+  for (const HsmLevel &L : Levels)
+    Bag.insert({L.Stride.str(), L.Repeat.str()});
+  return Bag;
+}
+
+/// Explores every way of fusing level pairs {r, s} + {r', s*r} -> {r*r', s}
+/// and records all irreducible bags.
+void reduceBags(std::vector<HsmLevel> Levels, const FactEnv &Facts,
+                std::set<std::string> &Seen, std::vector<LevelBag> &Result) {
+  std::string Key;
+  for (const auto &[S, R] : bagOf(Levels))
+    Key += S + "|" + R + ";";
+  if (!Seen.insert(Key).second)
+    return;
+
+  bool Reduced = false;
+  for (size_t I = 0; I < Levels.size(); ++I) {
+    for (size_t J = 0; J < Levels.size(); ++J) {
+      if (I == J)
+        continue;
+      // Fuse J into I when Stride_J == Stride_I * Repeat_I.
+      Poly Fused = Facts.canon(Levels[I].Stride.times(Levels[I].Repeat));
+      if (Levels[I].Stride.isZero() || Levels[J].Stride != Fused)
+        continue;
+      std::vector<HsmLevel> Next = Levels;
+      Next[I] = {Facts.canon(Levels[I].Repeat.times(Levels[J].Repeat)),
+                 Levels[I].Stride};
+      Next.erase(Next.begin() + static_cast<long>(J));
+      reduceBags(std::move(Next), Facts, Seen, Result);
+      Reduced = true;
+    }
+  }
+  if (!Reduced)
+    Result.push_back(bagOf(Levels));
+}
+
+/// Canonical irreducible bags for set-equality comparison: normalized
+/// levels minus stride-0 levels (duplicates do not change a set).
+std::vector<LevelBag> setCanonForms(const Hsm &A, const FactEnv &Facts) {
+  Hsm N = hsmNormalize(A, Facts);
+  std::vector<HsmLevel> Levels;
+  for (const HsmLevel &L : N.levels())
+    if (!L.Stride.isZero())
+      Levels.push_back(L);
+  std::set<std::string> Seen;
+  std::vector<LevelBag> Result;
+  reduceBags(std::move(Levels), Facts, Seen, Result);
+  return Result;
+}
+
+} // namespace
+
+bool csdf::hsmSetEquals(const Hsm &A, const Hsm &B, const FactEnv &Facts) {
+  if (!Facts.equal(A.base(), B.base()))
+    return false;
+  std::vector<LevelBag> FormsA = setCanonForms(A, Facts);
+  std::vector<LevelBag> FormsB = setCanonForms(B, Facts);
+  for (const LevelBag &FA : FormsA)
+    for (const LevelBag &FB : FormsB)
+      if (FA == FB)
+        return true;
+  return false;
+}

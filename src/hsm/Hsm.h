@@ -1,0 +1,148 @@
+//===- hsm/Hsm.h - Hierarchical Sequence Maps ---------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hierarchical Sequence Maps (Section VIII-A): `[e : r, s]` denotes the
+/// sequence that repeats e (a sub-HSM or scalar) r times at stride s. An
+/// HSM is stored flat as a scalar base plus a list of levels
+/// (innermost-first), each with a symbolic repeat count and stride:
+///
+///     value(i_0, ..., i_{n-1}) = Base + sum_k i_k * Stride_k,
+///     position = i_{n-1} * (r_0*...*r_{n-2}) + ... + i_1 * r_0 + i_0.
+///
+/// Operations implement Table I: addition of equal-length HSMs, scalar
+/// multiplication, and the two restricted division and modulus rules (with
+/// the level-splitting sequence-equality applied automatically when a rule
+/// needs a factored repeat count). Equality rules:
+///
+///   * sequence-equality: `[e:r,s] : [r', r*s]  =  [e : r*r', s]`
+///     (level merging) plus unit-level elimination — used by normalize()
+///     and sequenceEquals();
+///   * set-equality: level swapping `[[e:r,s]:r',s'] ~ [[e:r',s']:r,s]` and
+///     interleaving `[[e:r,s*r']:r',s] ~ [e:r*r',s]` — used by
+///     setEquals(), which is the surjectivity check of Section VIII-B.
+///
+/// All scalars are Polys compared modulo a FactEnv, so `np` and
+/// `nrows*nrows` unify under the NAS-CG assume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_HSM_HSM_H
+#define CSDF_HSM_HSM_H
+
+#include "hsm/Poly.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace csdf {
+
+/// One repetition level of an HSM.
+struct HsmLevel {
+  Poly Repeat; ///< Number of copies (> 0).
+  Poly Stride; ///< Offset between consecutive copies (>= 0).
+
+  bool operator==(const HsmLevel &O) const {
+    return Repeat == O.Repeat && Stride == O.Stride;
+  }
+};
+
+/// A hierarchical sequence map. Levels run innermost-first.
+class Hsm {
+public:
+  Hsm() = default;
+  /// A length-1 HSM (a scalar).
+  explicit Hsm(Poly Base) : Base(std::move(Base)) {}
+  Hsm(Poly Base, std::vector<HsmLevel> Levels)
+      : Base(std::move(Base)), Levels(std::move(Levels)) {}
+
+  /// `[Base : Repeat, Stride]` with a scalar base.
+  static Hsm leaf(Poly Base, Poly Repeat, Poly Stride) {
+    return Hsm(std::move(Base), {{std::move(Repeat), std::move(Stride)}});
+  }
+
+  /// The contiguous range [Lo .. Lo+Count-1] as `[Lo : Count, 1]`.
+  static Hsm range(Poly Lo, Poly Count) {
+    return leaf(std::move(Lo), std::move(Count), Poly(1));
+  }
+
+  /// The constant sequence `[Value : Count, 0]`.
+  static Hsm constant(Poly Value, Poly Count) {
+    return leaf(std::move(Value), std::move(Count), Poly(0));
+  }
+
+  const Poly &base() const { return Base; }
+  const std::vector<HsmLevel> &levels() const { return Levels; }
+  bool isScalar() const { return Levels.empty(); }
+
+  /// Total sequence length (product of repeats; 1 for scalars).
+  Poly length() const;
+
+  /// Wraps this HSM in an outer level: `[*this : Repeat, Stride]`.
+  Hsm repeated(Poly Repeat, Poly Stride) const;
+
+  /// Structural equality (no fact reasoning).
+  bool operator==(const Hsm &O) const {
+    return Base == O.Base && Levels == O.Levels;
+  }
+
+  std::string str() const;
+
+  /// Value at flat position \p Index with every symbol bound by \p Env.
+  /// Nullopt on unbound symbols or out-of-range index. Used by tests to
+  /// cross-check symbolic rules against concrete enumeration.
+  std::optional<std::int64_t>
+  valueAt(std::uint64_t Index,
+          const std::vector<std::pair<std::string, std::int64_t>> &Env) const;
+
+  /// Enumerates the whole concrete sequence (requires concrete length).
+  std::optional<std::vector<std::int64_t>> enumerate(
+      const std::vector<std::pair<std::string, std::int64_t>> &Env) const;
+
+private:
+  Poly Base;
+  std::vector<HsmLevel> Levels;
+};
+
+//===----------------------------------------------------------------------===//
+// Table I operations (all modulo a FactEnv; nullopt = rule not applicable)
+//===----------------------------------------------------------------------===//
+
+/// Element-wise sum of two equal-length HSMs. Reshapes either side (level
+/// splitting / constant expansion) as needed to align repeat structures.
+std::optional<Hsm> hsmAdd(const Hsm &A, const Hsm &B, const FactEnv &Facts);
+
+/// Multiplies every element by scalar \p Q.
+Hsm hsmScale(const Hsm &A, const Poly &Q);
+
+/// Element-wise integral division by monomial \p Q per the two Table I
+/// rules (stride-divisible and block-within-window).
+std::optional<Hsm> hsmDiv(const Hsm &A, const Poly &Q, const FactEnv &Facts);
+
+/// Element-wise modulus by monomial \p Q per the Table I rule.
+std::optional<Hsm> hsmMod(const Hsm &A, const Poly &Q, const FactEnv &Facts);
+
+//===----------------------------------------------------------------------===//
+// Equality rules
+//===----------------------------------------------------------------------===//
+
+/// Canonical form under sequence-equality: drops unit levels, merges level
+/// pairs with Outer.Stride == Inner.Stride * Inner.Repeat, canonicalizes
+/// scalars by facts.
+Hsm hsmNormalize(const Hsm &A, const FactEnv &Facts);
+
+/// True when A and B denote the same sequence (element order matters).
+bool hsmSequenceEquals(const Hsm &A, const Hsm &B, const FactEnv &Facts);
+
+/// True when A and B denote the same *set* of values (order-insensitive:
+/// level swaps and interleavings allowed). This is the surjectivity test:
+/// expr.image(sProcs) set-equals rProcs.
+bool hsmSetEquals(const Hsm &A, const Hsm &B, const FactEnv &Facts);
+
+} // namespace csdf
+
+#endif // CSDF_HSM_HSM_H

@@ -1,0 +1,174 @@
+//===- hsm/HsmExpr.cpp -----------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hsm/HsmExpr.h"
+
+#include "support/Casting.h"
+
+using namespace csdf;
+
+std::optional<Poly> csdf::polyOfExpr(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return Poly(cast<IntLitExpr>(E)->value());
+  case Expr::Kind::VarRef:
+    return Poly::var(cast<VarRefExpr>(E)->name());
+  case Expr::Kind::Input:
+    return std::nullopt;
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->op() != UnaryOp::Neg)
+      return std::nullopt;
+    auto Inner = polyOfExpr(U->operand());
+    if (!Inner)
+      return std::nullopt;
+    return Inner->negated();
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    auto L = polyOfExpr(B->lhs());
+    auto R = polyOfExpr(B->rhs());
+    if (!L || !R)
+      return std::nullopt;
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return L->plus(*R);
+    case BinaryOp::Sub:
+      return L->minus(*R);
+    case BinaryOp::Mul:
+      return L->times(*R);
+    default:
+      return std::nullopt;
+    }
+  }
+  }
+  return std::nullopt;
+}
+
+bool csdf::addAssumeFact(FactEnv &Facts, const Expr *Cond) {
+  const auto *B = dyn_cast<BinaryExpr>(Cond);
+  if (!B)
+    return false;
+  // Conjunctions contribute both sides.
+  if (B->op() == BinaryOp::And) {
+    bool L = addAssumeFact(Facts, B->lhs());
+    bool R = addAssumeFact(Facts, B->rhs());
+    return L || R;
+  }
+  if (B->op() != BinaryOp::Eq)
+    return false;
+  auto L = polyOfExpr(B->lhs());
+  auto R = polyOfExpr(B->rhs());
+  if (!L || !R)
+    return false;
+  // Prefer rewriting a bare variable into the other side.
+  if (const auto *V = dyn_cast<VarRefExpr>(B->lhs()))
+    if (Facts.addRewrite(V->name(), *R))
+      return true;
+  if (const auto *V = dyn_cast<VarRefExpr>(B->rhs()))
+    if (Facts.addRewrite(V->name(), *L))
+      return true;
+  return false;
+}
+
+std::optional<Hsm> csdf::hsmOfExpr(const Expr *E, const Hsm &IdValue,
+                                   const FactEnv &Facts) {
+  Poly Len = IdValue.length();
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return Hsm::constant(Poly(cast<IntLitExpr>(E)->value()), Len);
+  case Expr::Kind::VarRef: {
+    const auto *V = cast<VarRefExpr>(E);
+    if (V->isProcessId())
+      return IdValue;
+    return Hsm::constant(Poly::var(V->name()), Len);
+  }
+  case Expr::Kind::Input:
+    return std::nullopt;
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->op() != UnaryOp::Neg)
+      return std::nullopt;
+    auto Inner = hsmOfExpr(U->operand(), IdValue, Facts);
+    if (!Inner)
+      return std::nullopt;
+    return hsmScale(*Inner, Poly(-1));
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    auto L = hsmOfExpr(B->lhs(), IdValue, Facts);
+    auto R = hsmOfExpr(B->rhs(), IdValue, Facts);
+    if (!L || !R)
+      return std::nullopt;
+
+    // A constant sequence acts as a scalar for *, / and %.
+    auto AsScalar = [](const Hsm &H) -> std::optional<Poly> {
+      for (const HsmLevel &Level : H.levels())
+        if (!Level.Stride.isZero())
+          return std::nullopt;
+      return H.base();
+    };
+
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return hsmAdd(*L, *R, Facts);
+    case BinaryOp::Sub:
+      return hsmAdd(*L, hsmScale(*R, Poly(-1)), Facts);
+    case BinaryOp::Mul: {
+      if (auto Q = AsScalar(*R))
+        return hsmScale(*L, *Q);
+      if (auto Q = AsScalar(*L))
+        return hsmScale(*R, *Q);
+      return std::nullopt;
+    }
+    case BinaryOp::Div: {
+      auto Q = AsScalar(*R);
+      if (!Q)
+        return std::nullopt;
+      return hsmDiv(*L, *Q, Facts);
+    }
+    case BinaryOp::Mod: {
+      auto Q = AsScalar(*R);
+      if (!Q)
+        return std::nullopt;
+      return hsmMod(*L, *Q, Facts);
+    }
+    default:
+      return std::nullopt;
+    }
+  }
+  }
+  return std::nullopt;
+}
+
+std::optional<Hsm> csdf::hsmImageOnRange(const Expr *PartnerExpr,
+                                         const Poly &Lo, const Poly &Count,
+                                         const FactEnv &Facts) {
+  Hsm Domain = Hsm::range(Lo, Count);
+  return hsmOfExpr(PartnerExpr, Domain, Facts);
+}
+
+bool csdf::hsmFullSetMatch(const Expr *SendExpr, const Poly &SenderLo,
+                           const Poly &SenderCount, const Expr *RecvExpr,
+                           const Poly &RecvLo, const Poly &RecvCount,
+                           const FactEnv &Facts) {
+  Hsm Senders = Hsm::range(SenderLo, SenderCount);
+  Hsm Receivers = Hsm::range(RecvLo, RecvCount);
+
+  // (i) Surjectivity: the send image covers exactly the receiver set.
+  auto Image = hsmOfExpr(SendExpr, Senders, Facts);
+  if (!Image)
+    return false;
+  if (!hsmSetEquals(*Image, Receivers, Facts))
+    return false;
+
+  // (ii) Identity: recvExpr applied to the image gives back the senders,
+  // element for element.
+  auto Composed = hsmOfExpr(RecvExpr, *Image, Facts);
+  if (!Composed)
+    return false;
+  return hsmSequenceEquals(*Composed, Senders, Facts);
+}

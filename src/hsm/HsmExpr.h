@@ -1,0 +1,63 @@
+//===- hsm/HsmExpr.h - MPL expressions as HSMs ---------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts MPL communication expressions into HSMs and implements the
+/// send/receive matching proofs of Section VIII-B:
+///
+///  * image: the HSM produced by applying an expression to a process set
+///    (`id` becomes the set's range HSM; other variables become symbolic
+///    grid parameters repeated across the set);
+///  * surjectivity: image(sendExpr, senders) set-equals the receiver set;
+///  * identity: recvExpr applied to image(sendExpr, senders)
+///    sequence-equals the senders — the composition is the identity map.
+///
+/// FactEnvs are built from `assume` equalities (`np == ncols * nrows`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_HSM_HSMEXPR_H
+#define CSDF_HSM_HSMEXPR_H
+
+#include "hsm/Hsm.h"
+#include "lang/Ast.h"
+
+#include <optional>
+
+namespace csdf {
+
+/// Converts \p E to a polynomial over program variables (+, -, * only).
+std::optional<Poly> polyOfExpr(const Expr *E);
+
+/// Registers the fact asserted by `assume Lhs == Rhs` as a rewrite rule in
+/// \p Facts. Returns false for shapes the fact engine cannot use (which is
+/// not an error; the fact is simply unavailable).
+bool addAssumeFact(FactEnv &Facts, const Expr *Cond);
+
+/// Evaluates \p E over a process set whose `id` values form \p IdValue.
+/// Constants and free variables become constant sequences of the same
+/// length. Returns nullopt when an operation falls outside the HSM algebra
+/// (e.g. division with a non-monomial divisor).
+std::optional<Hsm> hsmOfExpr(const Expr *E, const Hsm &IdValue,
+                             const FactEnv &Facts);
+
+/// The image of applying \p PartnerExpr on process set [Lo .. Lo+Count-1].
+std::optional<Hsm> hsmImageOnRange(const Expr *PartnerExpr, const Poly &Lo,
+                                   const Poly &Count, const FactEnv &Facts);
+
+/// Section VIII-B matching for whole process sets: true when
+///  (i) SendExpr surjectively maps the sender range onto the receiver
+///      range (image set-equality), and
+/// (ii) RecvExpr o SendExpr is the identity on the sender range
+///      (sequence-equality of the composition with the senders).
+bool hsmFullSetMatch(const Expr *SendExpr, const Poly &SenderLo,
+                     const Poly &SenderCount, const Expr *RecvExpr,
+                     const Poly &RecvLo, const Poly &RecvCount,
+                     const FactEnv &Facts);
+
+} // namespace csdf
+
+#endif // CSDF_HSM_HSMEXPR_H

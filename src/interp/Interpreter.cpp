@@ -1,0 +1,402 @@
+//===- interp/Interpreter.cpp -------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "lang/ExprOps.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace csdf;
+
+const char *csdf::runStatusName(RunStatus Status) {
+  switch (Status) {
+  case RunStatus::Finished:
+    return "finished";
+  case RunStatus::Deadlock:
+    return "deadlock";
+  case RunStatus::AssertFailed:
+    return "assert-failed";
+  case RunStatus::EvalError:
+    return "eval-error";
+  case RunStatus::StepLimit:
+    return "step-limit";
+  }
+  csdf_unreachable("unhandled RunStatus");
+}
+
+std::vector<TraceEvent> RunResult::canonicalTrace() const {
+  std::vector<TraceEvent> Sorted = Trace;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const TraceEvent &A, const TraceEvent &B) {
+              return std::tuple(A.Sender, A.Receiver, A.ChannelSeq) <
+                     std::tuple(B.Sender, B.Receiver, B.ChannelSeq);
+            });
+  return Sorted;
+}
+
+int RoundRobinScheduler::pick(const std::vector<int> &Runnable) {
+  assert(!Runnable.empty() && "pick() with no runnable processes");
+  for (int Rank : Runnable)
+    if (Rank > Last) {
+      Last = Rank;
+      return Rank;
+    }
+  Last = Runnable.front();
+  return Last;
+}
+
+int RandomScheduler::pick(const std::vector<int> &Runnable) {
+  assert(!Runnable.empty() && "pick() with no runnable processes");
+  // xorshift64*.
+  State ^= State >> 12;
+  State ^= State << 25;
+  State ^= State >> 27;
+  std::uint64_t R = State * 0x2545F4914F6CDD1Dull;
+  return Runnable[R % Runnable.size()];
+}
+
+int LifoScheduler::pick(const std::vector<int> &Runnable) {
+  assert(!Runnable.empty() && "pick() with no runnable processes");
+  return Runnable.back();
+}
+
+namespace {
+
+/// A message in flight.
+struct Message {
+  std::int64_t Value = 0;
+  std::int64_t Tag = 0;
+  CfgNodeId SendNode = 0;
+  unsigned ChannelSeq = 0;
+};
+
+/// Per-process execution state.
+struct ProcState {
+  CfgNodeId Node = 0;
+  std::map<std::string, std::int64_t> Vars;
+  unsigned InputReads = 0;
+  bool Blocked = false;
+};
+
+class Machine {
+public:
+  Machine(const Cfg &Graph, const RunOptions &Opts, Scheduler &Sched)
+      : Graph(Graph), Opts(Opts), Sched(Sched) {}
+
+  RunResult run() {
+    assert(Opts.NumProcs >= 1 && "need at least one process");
+    const int NP = Opts.NumProcs;
+    Procs.assign(NP, ProcState());
+    Result.Prints.assign(NP, {});
+    for (int Rank = 0; Rank < NP; ++Rank) {
+      ProcState &P = Procs[Rank];
+      P.Node = Graph.entryId();
+      P.Vars["id"] = Rank;
+      P.Vars["np"] = NP;
+      for (const auto &[Name, Value] : Opts.Params)
+        P.Vars[Name] = Value;
+    }
+
+    std::uint64_t Steps = 0;
+    for (;;) {
+      std::vector<int> Runnable = runnableRanks();
+      if (Runnable.empty())
+        return finish();
+      if (++Steps > Opts.MaxSteps) {
+        Result.Status = RunStatus::StepLimit;
+        Result.Error = "step limit exceeded";
+        return harvest();
+      }
+      int Rank = Sched.pick(Runnable);
+      if (!step(Rank))
+        return harvest();
+    }
+  }
+
+private:
+  std::vector<int> runnableRanks() const {
+    std::vector<int> Runnable;
+    for (int Rank = 0; Rank < Opts.NumProcs; ++Rank) {
+      const ProcState &P = Procs[Rank];
+      if (Graph.node(P.Node).isExit())
+        continue;
+      if (P.Blocked && !recvReady(Rank))
+        continue;
+      Runnable.push_back(Rank);
+    }
+    return Runnable;
+  }
+
+  /// True if the blocked receive of \p Rank can complete now.
+  bool recvReady(int Rank) const {
+    const ProcState &P = Procs[Rank];
+    const CfgNode &N = Graph.node(P.Node);
+    assert(N.Kind == CfgNodeKind::Recv && "blocked on a non-recv node");
+    auto Src = evalIn(Rank, N.Partner);
+    if (!Src || *Src < 0 || *Src >= Opts.NumProcs)
+      return true; // Let step() surface the error.
+    auto It = Channels.find({static_cast<int>(*Src), Rank});
+    if (It == Channels.end() || It->second.empty())
+      return false;
+    std::int64_t WantTag = 0;
+    if (N.Tag) {
+      auto Tag = evalIn(Rank, N.Tag);
+      if (!Tag)
+        return true; // Error path.
+      WantTag = *Tag;
+    }
+    // Strict FIFO: only the channel head may match; a tag mismatch at the
+    // head blocks the receiver forever (the tag-mismatch bug shows up as a
+    // deadlock plus a leak).
+    return It->second.front().Tag == WantTag;
+  }
+
+  std::optional<std::int64_t> evalIn(int Rank, const Expr *E) const {
+    const ProcState &P = Procs[Rank];
+    if (const auto *In = dyn_cast<InputExpr>(E)) {
+      (void)In;
+      // input() handled by caller via takeInput(); plain eval fails.
+    }
+    return evalExpr(E, [&P](const std::string &Name) {
+      auto It = P.Vars.find(Name);
+      return It == P.Vars.end() ? std::optional<std::int64_t>()
+                                : std::optional<std::int64_t>(It->second);
+    });
+  }
+
+  /// Evaluates \p E servicing input() reads from the provider. Only used
+  /// where the language allows input() (right-hand sides of assignments and
+  /// printed/sent values); partner expressions reject input() in Sema.
+  std::optional<std::int64_t> evalWithInput(int Rank, const Expr *E) {
+    if (isa<InputExpr>(E))
+      return Opts.Input(Rank, Procs[Rank].InputReads++);
+    if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+      auto V = evalWithInput(Rank, U->operand());
+      if (!V)
+        return std::nullopt;
+      return U->op() == UnaryOp::Neg ? -*V
+                                     : static_cast<std::int64_t>(*V == 0);
+    }
+    if (const auto *B = dyn_cast<BinaryExpr>(E)) {
+      if (containsInput(B->lhs()) || containsInput(B->rhs())) {
+        auto L = evalWithInput(Rank, B->lhs());
+        if (!L)
+          return std::nullopt;
+        auto R = evalWithInput(Rank, B->rhs());
+        if (!R)
+          return std::nullopt;
+        // Rebuild via a tiny environment trick: evaluate operator on L, R.
+        switch (B->op()) {
+        case BinaryOp::Add:
+          return *L + *R;
+        case BinaryOp::Sub:
+          return *L - *R;
+        case BinaryOp::Mul:
+          return *L * *R;
+        case BinaryOp::Div:
+          return *R == 0 ? std::optional<std::int64_t>() : *L / *R;
+        case BinaryOp::Mod:
+          return *R == 0 ? std::optional<std::int64_t>() : *L % *R;
+        case BinaryOp::Eq:
+          return static_cast<std::int64_t>(*L == *R);
+        case BinaryOp::Ne:
+          return static_cast<std::int64_t>(*L != *R);
+        case BinaryOp::Lt:
+          return static_cast<std::int64_t>(*L < *R);
+        case BinaryOp::Le:
+          return static_cast<std::int64_t>(*L <= *R);
+        case BinaryOp::Gt:
+          return static_cast<std::int64_t>(*L > *R);
+        case BinaryOp::Ge:
+          return static_cast<std::int64_t>(*L >= *R);
+        case BinaryOp::And:
+          return static_cast<std::int64_t>(*L != 0 && *R != 0);
+        case BinaryOp::Or:
+          return static_cast<std::int64_t>(*L != 0 || *R != 0);
+        }
+        csdf_unreachable("unhandled BinaryOp");
+      }
+    }
+    return evalIn(Rank, E);
+  }
+
+  bool fail(RunStatus Status, const std::string &Msg) {
+    Result.Status = Status;
+    Result.Error = Msg;
+    return false;
+  }
+
+  /// Executes one node on \p Rank. Returns false to abort the run.
+  bool step(int Rank) {
+    ProcState &P = Procs[Rank];
+    const CfgNode &N = Graph.node(P.Node);
+    switch (N.Kind) {
+    case CfgNodeKind::Entry:
+    case CfgNodeKind::Skip:
+      P.Node = Graph.soleSuccessor(P.Node);
+      return true;
+    case CfgNodeKind::Exit:
+      csdf_unreachable("stepping a process at exit");
+    case CfgNodeKind::Assign: {
+      auto V = evalWithInput(Rank, N.Value);
+      if (!V)
+        return fail(RunStatus::EvalError,
+                    "rank " + std::to_string(Rank) +
+                        ": evaluation failed at " + Graph.nodeLabel(P.Node));
+      P.Vars[N.Var] = *V;
+      P.Node = Graph.soleSuccessor(P.Node);
+      return true;
+    }
+    case CfgNodeKind::Branch: {
+      auto V = evalIn(Rank, N.Cond);
+      if (!V)
+        return fail(RunStatus::EvalError,
+                    "rank " + std::to_string(Rank) +
+                        ": evaluation failed at " + Graph.nodeLabel(P.Node));
+      P.Node = Graph.branchSuccessor(P.Node, *V != 0);
+      return true;
+    }
+    case CfgNodeKind::Assume:
+    case CfgNodeKind::Assert: {
+      auto V = evalIn(Rank, N.Cond);
+      if (!V)
+        return fail(RunStatus::EvalError,
+                    "rank " + std::to_string(Rank) +
+                        ": evaluation failed at " + Graph.nodeLabel(P.Node));
+      if (*V == 0)
+        return fail(RunStatus::AssertFailed,
+                    "rank " + std::to_string(Rank) + ": " +
+                        cfgNodeKindName(N.Kind) + " violated at " +
+                        Graph.nodeLabel(P.Node));
+      P.Node = Graph.soleSuccessor(P.Node);
+      return true;
+    }
+    case CfgNodeKind::Print: {
+      auto V = evalWithInput(Rank, N.Value);
+      if (!V)
+        return fail(RunStatus::EvalError,
+                    "rank " + std::to_string(Rank) +
+                        ": evaluation failed at " + Graph.nodeLabel(P.Node));
+      Result.Prints[Rank].push_back(*V);
+      P.Node = Graph.soleSuccessor(P.Node);
+      return true;
+    }
+    case CfgNodeKind::Send: {
+      auto Dest = evalIn(Rank, N.Partner);
+      auto Value = evalWithInput(Rank, N.Value);
+      std::optional<std::int64_t> Tag = 0;
+      if (N.Tag)
+        Tag = evalIn(Rank, N.Tag);
+      if (!Dest || !Value || !Tag)
+        return fail(RunStatus::EvalError,
+                    "rank " + std::to_string(Rank) +
+                        ": evaluation failed at " + Graph.nodeLabel(P.Node));
+      if (*Dest < 0 || *Dest >= Opts.NumProcs)
+        return fail(RunStatus::EvalError,
+                    "rank " + std::to_string(Rank) +
+                        ": send to invalid rank " + std::to_string(*Dest));
+      auto &Channel = Channels[{Rank, static_cast<int>(*Dest)}];
+      auto &Sent = SentCount[{Rank, static_cast<int>(*Dest)}];
+      Channel.push_back({*Value, *Tag, P.Node, Sent++});
+      P.Node = Graph.soleSuccessor(P.Node);
+      return true;
+    }
+    case CfgNodeKind::Recv: {
+      auto Src = evalIn(Rank, N.Partner);
+      if (!Src)
+        return fail(RunStatus::EvalError,
+                    "rank " + std::to_string(Rank) +
+                        ": evaluation failed at " + Graph.nodeLabel(P.Node));
+      if (*Src < 0 || *Src >= Opts.NumProcs)
+        return fail(RunStatus::EvalError,
+                    "rank " + std::to_string(Rank) +
+                        ": recv from invalid rank " + std::to_string(*Src));
+      auto It = Channels.find({static_cast<int>(*Src), Rank});
+      if (It == Channels.end() || It->second.empty()) {
+        P.Blocked = true;
+        return true;
+      }
+      std::int64_t WantTag = 0;
+      if (N.Tag) {
+        auto Tag = evalIn(Rank, N.Tag);
+        if (!Tag)
+          return fail(RunStatus::EvalError,
+                      "rank " + std::to_string(Rank) +
+                          ": evaluation failed at " +
+                          Graph.nodeLabel(P.Node));
+        WantTag = *Tag;
+      }
+      if (It->second.front().Tag != WantTag) {
+        P.Blocked = true;
+        return true;
+      }
+      Message Msg = It->second.front();
+      It->second.pop_front();
+      P.Vars[N.Var] = Msg.Value;
+      P.Blocked = false;
+      Result.Trace.push_back({static_cast<int>(*Src), Rank, Msg.SendNode,
+                              P.Node, Msg.Value, Msg.Tag, Msg.ChannelSeq});
+      P.Node = Graph.soleSuccessor(P.Node);
+      return true;
+    }
+    }
+    csdf_unreachable("unhandled CfgNodeKind");
+  }
+
+  /// No process is runnable: either everyone finished or we deadlocked.
+  RunResult finish() {
+    bool AllDone = true;
+    for (int Rank = 0; Rank < Opts.NumProcs; ++Rank) {
+      if (!Graph.node(Procs[Rank].Node).isExit()) {
+        AllDone = false;
+        Result.BlockedRanks.push_back(Rank);
+      }
+    }
+    if (!AllDone) {
+      Result.Status = RunStatus::Deadlock;
+      Result.Error = "deadlock: " +
+                     std::to_string(Result.BlockedRanks.size()) +
+                     " process(es) blocked on receives";
+    }
+    return harvest();
+  }
+
+  RunResult harvest() {
+    for (auto &[Key, Channel] : Channels)
+      for (const Message &Msg : Channel)
+        Result.Leaks.push_back(
+            {Key.first, Key.second, Msg.SendNode, Msg.Value, Msg.Tag});
+    Result.FinalVars.reserve(Procs.size());
+    for (ProcState &P : Procs)
+      Result.FinalVars.push_back(std::move(P.Vars));
+    return std::move(Result);
+  }
+
+  const Cfg &Graph;
+  const RunOptions &Opts;
+  Scheduler &Sched;
+  std::vector<ProcState> Procs;
+  std::map<std::pair<int, int>, std::deque<Message>> Channels;
+  std::map<std::pair<int, int>, unsigned> SentCount;
+  RunResult Result;
+};
+
+} // namespace
+
+RunResult csdf::runProgram(const Cfg &Graph, const RunOptions &Opts,
+                           Scheduler &Sched) {
+  Machine M(Graph, Opts, Sched);
+  return M.run();
+}
+
+RunResult csdf::runProgram(const Cfg &Graph, const RunOptions &Opts) {
+  RoundRobinScheduler Sched;
+  return runProgram(Graph, Opts, Sched);
+}

@@ -1,0 +1,149 @@
+//===- interp/Interpreter.h - Concrete message-passing simulator ------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete executor for MPL programs on N simulated processes,
+/// implementing the paper's execution model (Section III):
+///   * processes 0..np-1, each with private scalar state,
+///   * one FIFO channel per ordered process pair,
+///   * non-blocking sends, blocking deterministic receives,
+///   * nondeterminism only from input() (schedule-independent).
+///
+/// The interpreter provides ground truth for the static analysis: every
+/// statically matched send/receive pair can be checked against the recorded
+/// dynamic trace, and the model's interleaving-obliviousness is testable by
+/// swapping schedulers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_INTERP_INTERPRETER_H
+#define CSDF_INTERP_INTERPRETER_H
+
+#include "cfg/Cfg.h"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace csdf {
+
+/// One dynamically matched message.
+struct TraceEvent {
+  int Sender = 0;
+  int Receiver = 0;
+  CfgNodeId SendNode = 0;
+  CfgNodeId RecvNode = 0;
+  std::int64_t Value = 0;
+  std::int64_t Tag = 0;
+  /// Index of this message within its (Sender, Receiver) channel.
+  unsigned ChannelSeq = 0;
+};
+
+/// A message still sitting in a channel when the run ended (a leak).
+struct LeakedMessage {
+  int Sender = 0;
+  int Receiver = 0;
+  CfgNodeId SendNode = 0;
+  std::int64_t Value = 0;
+  std::int64_t Tag = 0;
+};
+
+/// Why a run ended.
+enum class RunStatus {
+  Finished,     ///< All processes reached Exit.
+  Deadlock,     ///< Some process blocked forever on a receive.
+  AssertFailed, ///< An assert or assume evaluated to false.
+  EvalError,    ///< Division by zero, unbound variable, bad partner rank.
+  StepLimit,    ///< The step budget ran out (probable infinite loop).
+};
+
+/// Returns a short name for \p Status.
+const char *runStatusName(RunStatus Status);
+
+/// Everything observable about one run.
+struct RunResult {
+  RunStatus Status = RunStatus::Finished;
+  std::string Error;
+  std::vector<TraceEvent> Trace;
+  std::vector<std::vector<std::int64_t>> Prints;
+  std::vector<std::map<std::string, std::int64_t>> FinalVars;
+  std::vector<LeakedMessage> Leaks;
+  /// Ranks blocked on a receive at the end (for deadlock reports).
+  std::vector<int> BlockedRanks;
+
+  bool finished() const { return Status == RunStatus::Finished; }
+
+  /// Trace sorted by (sender, receiver, channel sequence): a canonical,
+  /// schedule-independent ordering used by determinism tests.
+  std::vector<TraceEvent> canonicalTrace() const;
+};
+
+/// Picks which runnable process steps next. Implementations determine the
+/// interleaving; the model guarantees results do not depend on the choice.
+class Scheduler {
+public:
+  virtual ~Scheduler() = default;
+
+  /// Returns an element of \p Runnable (all currently runnable ranks,
+  /// ascending).
+  virtual int pick(const std::vector<int> &Runnable) = 0;
+};
+
+/// Cycles fairly through runnable processes.
+class RoundRobinScheduler : public Scheduler {
+public:
+  int pick(const std::vector<int> &Runnable) override;
+
+private:
+  int Last = -1;
+};
+
+/// Picks uniformly at random (seeded, reproducible).
+class RandomScheduler : public Scheduler {
+public:
+  explicit RandomScheduler(std::uint64_t Seed) : State(Seed | 1) {}
+
+  int pick(const std::vector<int> &Runnable) override;
+
+private:
+  std::uint64_t State;
+};
+
+/// Always runs the highest-ranked runnable process (an adversarially
+/// unfair schedule).
+class LifoScheduler : public Scheduler {
+public:
+  int pick(const std::vector<int> &Runnable) override;
+};
+
+/// Supplies values for input() expressions: (rank, per-rank read index) ->
+/// value. Must be a pure function for the model's determinism guarantee.
+using InputProvider = std::function<std::int64_t(int Rank, unsigned Index)>;
+
+/// Options for a run.
+struct RunOptions {
+  int NumProcs = 2;
+  /// Extra variables pre-bound on every process (e.g. nrows/ncols for the
+  /// NAS-CG kernels). `id` and `np` are always bound automatically.
+  std::map<std::string, std::int64_t> Params;
+  InputProvider Input = [](int, unsigned) { return 0; };
+  /// Total step budget across all processes.
+  std::uint64_t MaxSteps = 1u << 22;
+};
+
+/// Executes \p Graph under \p Opts with \p Sched choosing the interleaving.
+RunResult runProgram(const Cfg &Graph, const RunOptions &Opts,
+                     Scheduler &Sched);
+
+/// Convenience overload using a round-robin schedule.
+RunResult runProgram(const Cfg &Graph, const RunOptions &Opts);
+
+} // namespace csdf
+
+#endif // CSDF_INTERP_INTERPRETER_H

@@ -1,0 +1,67 @@
+//===- lang/Ast.cpp --------------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Ast.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace csdf;
+
+void Expr::anchor() {}
+void Stmt::anchor() {}
+
+const char *csdf::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Mod:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::And:
+    return "and";
+  case BinaryOp::Or:
+    return "or";
+  }
+  csdf_unreachable("unhandled BinaryOp");
+}
+
+bool csdf::isBooleanOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+  case BinaryOp::Mod:
+    return false;
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+  case BinaryOp::And:
+  case BinaryOp::Or:
+    return true;
+  }
+  csdf_unreachable("unhandled BinaryOp");
+}

@@ -1,0 +1,409 @@
+//===- lang/Ast.h - MPL abstract syntax trees ------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node hierarchy for MPL. All nodes are allocated in an AstContext arena
+/// and use LLVM-style kind-discriminated RTTI (classof + isa/cast/dyn_cast).
+///
+/// The statement forms mirror the paper's execution model (Section III):
+///   send <value> -> <dest> [tag <t>];   non-wildcard point-to-point send
+///   recv <var>  <- <src>  [tag <t>];    deterministic blocking receive
+/// plus assignments, structured control flow, `assume` (used to inject
+/// topology invariants like `np == nrows * ncols`), `assert`, and `print`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_LANG_AST_H
+#define CSDF_LANG_AST_H
+
+#include "lang/Token.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace csdf {
+
+class AstContext;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of all MPL expressions.
+class Expr {
+public:
+  enum class Kind {
+    IntLit,
+    VarRef,
+    Unary,
+    Binary,
+    Input,
+  };
+
+  Kind kind() const { return TheKind; }
+  SourceLoc loc() const { return Loc; }
+
+  virtual ~Expr() = default;
+
+protected:
+  Expr(Kind TheKind, SourceLoc Loc) : TheKind(TheKind), Loc(Loc) {}
+
+private:
+  virtual void anchor();
+
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+/// An integer literal.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(std::int64_t Value, SourceLoc Loc)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+
+  std::int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLit; }
+
+private:
+  std::int64_t Value;
+};
+
+/// A reference to a scalar variable. The special names `id` and `np` refer
+/// to the process rank and process count of the executing process.
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(std::string Name, SourceLoc Loc)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  bool isProcessId() const { return Name == "id"; }
+  bool isProcessCount() const { return Name == "np"; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  std::string Name;
+};
+
+/// Unary operators.
+enum class UnaryOp { Neg, Not };
+
+/// A unary expression (negation / logical not).
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, const Expr *Operand, SourceLoc Loc)
+      : Expr(Kind::Unary, Loc), Op(Op), Operand(Operand) {}
+
+  UnaryOp op() const { return Op; }
+  const Expr *operand() const { return Operand; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnaryOp Op;
+  const Expr *Operand;
+};
+
+/// Binary operators. Div/Mod follow integer (floor toward zero) semantics.
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+};
+
+/// Returns the surface spelling of \p Op.
+const char *binaryOpSpelling(BinaryOp Op);
+
+/// Returns true if \p Op yields a boolean (comparison or logical).
+bool isBooleanOp(BinaryOp Op);
+
+/// A binary expression.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, const Expr *LHS, const Expr *RHS, SourceLoc Loc)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+
+  BinaryOp op() const { return Op; }
+  const Expr *lhs() const { return LHS; }
+  const Expr *rhs() const { return RHS; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinaryOp Op;
+  const Expr *LHS;
+  const Expr *RHS;
+};
+
+/// `input()` — reads a nondeterministic integer from the environment. The
+/// execution model allows nondeterminism only from sources independent of
+/// the communication pattern; this is that source.
+class InputExpr : public Expr {
+public:
+  explicit InputExpr(SourceLoc Loc) : Expr(Kind::Input, Loc) {}
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Input; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Base class of all MPL statements.
+class Stmt {
+public:
+  enum class Kind {
+    Assign,
+    If,
+    While,
+    For,
+    Send,
+    Recv,
+    Print,
+    Assume,
+    Assert,
+    Skip,
+  };
+
+  Kind kind() const { return TheKind; }
+  SourceLoc loc() const { return Loc; }
+
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(Kind TheKind, SourceLoc Loc) : TheKind(TheKind), Loc(Loc) {}
+
+private:
+  virtual void anchor();
+
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+/// A list of statements executed in order.
+using StmtList = std::vector<const Stmt *>;
+
+/// `var = expr;`
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(std::string Var, const Expr *Value, SourceLoc Loc)
+      : Stmt(Kind::Assign, Loc), Var(std::move(Var)), Value(Value) {}
+
+  const std::string &var() const { return Var; }
+  const Expr *value() const { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+private:
+  std::string Var;
+  const Expr *Value;
+};
+
+/// `if c then ... [elif c then ...]* [else ...] end`. Elif chains are
+/// desugared by the parser into nested IfStmts.
+class IfStmt : public Stmt {
+public:
+  IfStmt(const Expr *Cond, StmtList Then, StmtList Else, SourceLoc Loc)
+      : Stmt(Kind::If, Loc), Cond(Cond), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  const Expr *cond() const { return Cond; }
+  const StmtList &thenBody() const { return Then; }
+  const StmtList &elseBody() const { return Else; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  const Expr *Cond;
+  StmtList Then;
+  StmtList Else;
+};
+
+/// `while c do ... end`
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(const Expr *Cond, StmtList Body, SourceLoc Loc)
+      : Stmt(Kind::While, Loc), Cond(Cond), Body(std::move(Body)) {}
+
+  const Expr *cond() const { return Cond; }
+  const StmtList &body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  const Expr *Cond;
+  StmtList Body;
+};
+
+/// `for v = lo to hi do ... end` — iterates v over [lo, hi] inclusive.
+/// Kept as a distinct node (rather than parser-desugared) so printers can
+/// round-trip source; the CFG builder lowers it to init/test/increment.
+class ForStmt : public Stmt {
+public:
+  ForStmt(std::string Var, const Expr *From, const Expr *To, StmtList Body,
+          SourceLoc Loc)
+      : Stmt(Kind::For, Loc), Var(std::move(Var)), From(From), To(To),
+        Body(std::move(Body)) {}
+
+  const std::string &var() const { return Var; }
+  const Expr *from() const { return From; }
+  const Expr *to() const { return To; }
+  const StmtList &body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::For; }
+
+private:
+  std::string Var;
+  const Expr *From;
+  const Expr *To;
+  StmtList Body;
+};
+
+/// `send value -> dest [tag t];`
+class SendStmt : public Stmt {
+public:
+  SendStmt(const Expr *Value, const Expr *Dest, const Expr *Tag, SourceLoc Loc)
+      : Stmt(Kind::Send, Loc), Value(Value), Dest(Dest), Tag(Tag) {}
+
+  const Expr *value() const { return Value; }
+  const Expr *dest() const { return Dest; }
+  /// Null when the program did not specify a tag (tag 0 semantics).
+  const Expr *tag() const { return Tag; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Send; }
+
+private:
+  const Expr *Value;
+  const Expr *Dest;
+  const Expr *Tag;
+};
+
+/// `recv var <- src [tag t];`
+class RecvStmt : public Stmt {
+public:
+  RecvStmt(std::string Var, const Expr *Src, const Expr *Tag, SourceLoc Loc)
+      : Stmt(Kind::Recv, Loc), Var(std::move(Var)), Src(Src), Tag(Tag) {}
+
+  const std::string &var() const { return Var; }
+  const Expr *src() const { return Src; }
+  /// Null when the program did not specify a tag (tag 0 semantics).
+  const Expr *tag() const { return Tag; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Recv; }
+
+private:
+  std::string Var;
+  const Expr *Src;
+  const Expr *Tag;
+};
+
+/// `print expr;`
+class PrintStmt : public Stmt {
+public:
+  PrintStmt(const Expr *Value, SourceLoc Loc)
+      : Stmt(Kind::Print, Loc), Value(Value) {}
+
+  const Expr *value() const { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Print; }
+
+private:
+  const Expr *Value;
+};
+
+/// `assume expr;` — injects a fact the analysis may rely on (e.g. the
+/// topology invariant `np == nrows * ncols` from the NAS-CG example). The
+/// interpreter checks assumes like asserts so that simulated executions
+/// cannot silently diverge from analyzed ones.
+class AssumeStmt : public Stmt {
+public:
+  AssumeStmt(const Expr *Cond, SourceLoc Loc)
+      : Stmt(Kind::Assume, Loc), Cond(Cond) {}
+
+  const Expr *cond() const { return Cond; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assume; }
+
+private:
+  const Expr *Cond;
+};
+
+/// `assert expr;` — checked at runtime by the interpreter; ignored by the
+/// static analysis (it is a proof obligation, not a fact).
+class AssertStmt : public Stmt {
+public:
+  AssertStmt(const Expr *Cond, SourceLoc Loc)
+      : Stmt(Kind::Assert, Loc), Cond(Cond) {}
+
+  const Expr *cond() const { return Cond; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assert; }
+
+private:
+  const Expr *Cond;
+};
+
+/// `skip;` — no-op.
+class SkipStmt : public Stmt {
+public:
+  explicit SkipStmt(SourceLoc Loc) : Stmt(Kind::Skip, Loc) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Skip; }
+};
+
+//===----------------------------------------------------------------------===//
+// Program and arena
+//===----------------------------------------------------------------------===//
+
+/// A complete MPL program: a top-level statement list plus the arena that
+/// owns every node.
+class Program {
+public:
+  Program() = default;
+  Program(Program &&) = default;
+  Program &operator=(Program &&) = default;
+
+  const StmtList &body() const { return Body; }
+  void setBody(StmtList NewBody) { Body = std::move(NewBody); }
+
+  /// Allocates an expression node owned by this program.
+  template <typename T, typename... Args> const T *makeExpr(Args &&...A) {
+    auto Node = std::make_unique<T>(std::forward<Args>(A)...);
+    const T *Ptr = Node.get();
+    ExprArena.push_back(std::move(Node));
+    return Ptr;
+  }
+
+  /// Allocates a statement node owned by this program.
+  template <typename T, typename... Args> const T *makeStmt(Args &&...A) {
+    auto Node = std::make_unique<T>(std::forward<Args>(A)...);
+    const T *Ptr = Node.get();
+    StmtArena.push_back(std::move(Node));
+    return Ptr;
+  }
+
+private:
+  StmtList Body;
+  std::vector<std::unique_ptr<const Expr>> ExprArena;
+  std::vector<std::unique_ptr<const Stmt>> StmtArena;
+};
+
+} // namespace csdf
+
+#endif // CSDF_LANG_AST_H

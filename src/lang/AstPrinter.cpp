@@ -1,0 +1,107 @@
+//===- lang/AstPrinter.cpp -------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+
+#include "lang/ExprOps.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <sstream>
+
+using namespace csdf;
+
+namespace {
+
+void printStmt(const Stmt *S, unsigned Indent, std::ostringstream &OS);
+
+void printBody(const StmtList &Body, unsigned Indent, std::ostringstream &OS) {
+  for (const Stmt *S : Body)
+    printStmt(S, Indent, OS);
+}
+
+std::string pad(unsigned Indent) { return std::string(Indent * 2, ' '); }
+
+void printStmt(const Stmt *S, unsigned Indent, std::ostringstream &OS) {
+  OS << pad(Indent);
+  switch (S->kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    OS << A->var() << " = " << exprToString(A->value()) << ";\n";
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    OS << "if " << exprToString(If->cond()) << " then\n";
+    printBody(If->thenBody(), Indent + 1, OS);
+    if (!If->elseBody().empty()) {
+      OS << pad(Indent) << "else\n";
+      printBody(If->elseBody(), Indent + 1, OS);
+    }
+    OS << pad(Indent) << "end\n";
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    OS << "while " << exprToString(W->cond()) << " do\n";
+    printBody(W->body(), Indent + 1, OS);
+    OS << pad(Indent) << "end\n";
+    return;
+  }
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    OS << "for " << F->var() << " = " << exprToString(F->from()) << " to "
+       << exprToString(F->to()) << " do\n";
+    printBody(F->body(), Indent + 1, OS);
+    OS << pad(Indent) << "end\n";
+    return;
+  }
+  case Stmt::Kind::Send: {
+    const auto *Send = cast<SendStmt>(S);
+    OS << "send " << exprToString(Send->value()) << " -> "
+       << exprToString(Send->dest());
+    if (Send->tag())
+      OS << " tag " << exprToString(Send->tag());
+    OS << ";\n";
+    return;
+  }
+  case Stmt::Kind::Recv: {
+    const auto *Recv = cast<RecvStmt>(S);
+    OS << "recv " << Recv->var() << " <- " << exprToString(Recv->src());
+    if (Recv->tag())
+      OS << " tag " << exprToString(Recv->tag());
+    OS << ";\n";
+    return;
+  }
+  case Stmt::Kind::Print:
+    OS << "print " << exprToString(cast<PrintStmt>(S)->value()) << ";\n";
+    return;
+  case Stmt::Kind::Assume:
+    OS << "assume " << exprToString(cast<AssumeStmt>(S)->cond()) << ";\n";
+    return;
+  case Stmt::Kind::Assert:
+    OS << "assert " << exprToString(cast<AssertStmt>(S)->cond()) << ";\n";
+    return;
+  case Stmt::Kind::Skip:
+    OS << "skip;\n";
+    return;
+  }
+  csdf_unreachable("unhandled Stmt::Kind");
+}
+
+} // namespace
+
+std::string csdf::stmtToString(const Stmt *S, unsigned Indent) {
+  std::ostringstream OS;
+  printStmt(S, Indent, OS);
+  return OS.str();
+}
+
+std::string csdf::programToString(const Program &Prog) {
+  std::ostringstream OS;
+  printBody(Prog.body(), 0, OS);
+  return OS.str();
+}

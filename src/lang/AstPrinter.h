@@ -1,0 +1,30 @@
+//===- lang/AstPrinter.h - MPL pretty-printer ------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an MPL AST back to surface syntax. Printing then reparsing yields
+/// a structurally identical program (round-trip property, tested).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_LANG_ASTPRINTER_H
+#define CSDF_LANG_ASTPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace csdf {
+
+/// Pretty-prints \p S (and nested statements) at \p Indent levels.
+std::string stmtToString(const Stmt *S, unsigned Indent = 0);
+
+/// Pretty-prints a whole program.
+std::string programToString(const Program &Prog);
+
+} // namespace csdf
+
+#endif // CSDF_LANG_ASTPRINTER_H

@@ -1,0 +1,290 @@
+//===- lang/Corpus.cpp -----------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Corpus.h"
+
+using namespace csdf;
+
+std::string corpus::figure2Exchange() {
+  return R"mpl(
+# Figure 2: two-process value exchange.
+if id == 0 then
+  x = 5;
+  send x -> 1;
+  recv y <- 1;
+  print y;
+elif id == 1 then
+  recv y <- 0;
+  send y -> 0;
+  print y;
+end
+)mpl";
+}
+
+std::string corpus::gatherToRoot() {
+  return R"mpl(
+# Figure 1 (mdcask), phase 1: gather to root.
+if id == 0 then
+  for i = 1 to np - 1 do
+    recv y <- i;
+  end
+else
+  x = id * 10;
+  send x -> 0;
+end
+)mpl";
+}
+
+std::string corpus::fanOutBroadcast() {
+  return R"mpl(
+# Section IX evaluation workload: fan-out broadcast from process 0.
+if id == 0 then
+  x = 42;
+  for i = 1 to np - 1 do
+    send x -> i;
+  end
+else
+  recv y <- 0;
+end
+)mpl";
+}
+
+std::string corpus::exchangeWithRoot() {
+  return R"mpl(
+# Figures 1/5 (mdcask), phase 2: exchange with root.
+if id == 0 then
+  x = 7;
+  for i = 1 to np - 1 do
+    send x -> i;
+    recv y <- i;
+  end
+else
+  recv y <- 0;
+  send y -> 0;
+end
+)mpl";
+}
+
+std::string corpus::nascgTranspose() {
+  return R"mpl(
+# Figure 6 (NAS-CG): transpose exchange on an nrows x ncols process grid.
+assume np == ncols * nrows;
+x = id + 100;
+if ncols == nrows then
+  send x -> (id % nrows) * nrows + id / nrows;
+  recv y <- (id % nrows) * nrows + id / nrows;
+elif ncols == nrows * 2 then
+  send x -> 2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows)) + id % 2;
+  recv y <- 2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows)) + id % 2;
+end
+)mpl";
+}
+
+std::string corpus::transposeSquare() {
+  return R"mpl(
+# Figure 6, square branch: partner = transpose position in the grid.
+assume np == nrows * nrows;
+x = id + 100;
+send x -> (id % nrows) * nrows + id / nrows;
+recv y <- (id % nrows) * nrows + id / nrows;
+)mpl";
+}
+
+std::string corpus::transposeRect() {
+  return R"mpl(
+# Figure 6, rectangular branch (ncols == 2 * nrows): processes pair up in
+# column pairs; the pair grid is transposed while parity is preserved.
+assume ncols == nrows * 2;
+assume np == ncols * nrows;
+x = id + 100;
+send x -> 2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows)) + id % 2;
+recv y <- 2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows)) + id % 2;
+)mpl";
+}
+
+std::string corpus::neighborShift() {
+  return R"mpl(
+# Figure 7: shift along one mesh dimension (no wraparound).
+x = id;
+if id == 0 then
+  send x -> id + 1;
+elif id == np - 1 then
+  recv y <- id - 1;
+else
+  recv y <- id - 1;
+  send x -> id + 1;
+end
+)mpl";
+}
+
+std::string corpus::neighborShiftLeft() {
+  return R"mpl(
+# Mirror of Figure 7: shift data toward lower ranks.
+x = id;
+if id == 0 then
+  recv y <- id + 1;
+elif id == np - 1 then
+  send x -> id - 1;
+else
+  recv y <- id + 1;
+  send x -> id - 1;
+end
+)mpl";
+}
+
+std::string corpus::neighborExchange1D() {
+  return R"mpl(
+# 1-D nearest-neighbor exchange: shift right then shift left.
+x = id;
+if id == 0 then
+  send x -> id + 1;
+elif id == np - 1 then
+  recv y <- id - 1;
+else
+  recv y <- id - 1;
+  send x -> id + 1;
+end
+if id == 0 then
+  recv z <- id + 1;
+elif id == np - 1 then
+  send x -> id - 1;
+else
+  recv z <- id + 1;
+  send x -> id - 1;
+end
+)mpl";
+}
+
+std::string corpus::pairwiseExchange() {
+  return R"mpl(
+# Even/odd pairwise exchange: 2i <-> 2i+1.
+assume np == 2 * half;
+x = id;
+if id % 2 == 0 then
+  send x -> id + 1;
+  recv y <- id + 1;
+else
+  recv y <- id - 1;
+  send x -> id - 1;
+end
+)mpl";
+}
+
+std::string corpus::vshift2d() {
+  return R"mpl(
+# 2-D mesh (nrows x ncols, row-major), vertical shift one row down.
+assume np == nrows * ncols;
+x = id;
+if id < ncols then
+  send x -> id + ncols;
+elif id >= np - ncols then
+  recv y <- id - ncols;
+else
+  recv y <- id - ncols;
+  send x -> id + ncols;
+end
+)mpl";
+}
+
+std::string corpus::broadcastThenGather() {
+  return R"mpl(
+# Broadcast from root, then gather back to root.
+if id == 0 then
+  x = 9;
+  for i = 1 to np - 1 do
+    send x -> i;
+  end
+  for j = 1 to np - 1 do
+    recv r <- j;
+  end
+else
+  recv y <- 0;
+  w = y + id;
+  send w -> 0;
+end
+)mpl";
+}
+
+std::string corpus::messageLeak() {
+  return R"mpl(
+# Bug: the second send from 0 to 1 is never received.
+if id == 0 then
+  x = 1;
+  send x -> 1;
+  send x -> 1;
+elif id == 1 then
+  recv y <- 0;
+end
+)mpl";
+}
+
+std::string corpus::headToHeadDeadlock() {
+  return R"mpl(
+# Bug: 0 and 1 both block on receives; no send can ever match.
+if id == 0 then
+  recv y <- 1;
+  send y -> 1;
+elif id == 1 then
+  recv y <- 0;
+  send y -> 0;
+end
+)mpl";
+}
+
+std::string corpus::tagMismatch() {
+  return R"mpl(
+# Bug: the tags differ, so the message never matches the receive.
+if id == 0 then
+  x = 3;
+  send x -> 1 tag 1;
+elif id == 1 then
+  recv y <- 0 tag 2;
+end
+)mpl";
+}
+
+std::string corpus::ringShift() {
+  return R"mpl(
+# Ring with wraparound: outside the supported pattern class (Section X).
+x = id;
+send x -> (id + 1) % np;
+recv y <- (id + np - 1) % np;
+)mpl";
+}
+
+std::string corpus::noComm() {
+  return R"mpl(
+# Purely sequential control flow; no communication.
+x = 0;
+for i = 1 to 4 do
+  x = x + i;
+end
+if x > 5 then
+  print x;
+else
+  print 0 - x;
+end
+)mpl";
+}
+
+std::vector<corpus::NamedProgram> corpus::allPatterns() {
+  return {
+      {"figure2-exchange", figure2Exchange()},
+      {"gather-to-root", gatherToRoot()},
+      {"fan-out-broadcast", fanOutBroadcast()},
+      {"exchange-with-root", exchangeWithRoot()},
+      {"transpose-square", transposeSquare()},
+      {"transpose-rect", transposeRect()},
+      {"nascg-transpose", nascgTranspose()},
+      {"neighbor-shift", neighborShift()},
+      {"neighbor-shift-left", neighborShiftLeft()},
+      {"neighbor-exchange-1d", neighborExchange1D()},
+      {"pairwise-exchange", pairwiseExchange()},
+      {"vshift-2d", vshift2d()},
+      {"broadcast-then-gather", broadcastThenGather()},
+      {"no-comm", noComm()},
+  };
+}

@@ -1,0 +1,104 @@
+//===- lang/Corpus.h - Paper code samples as MPL programs ------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The code samples from the paper, transcribed to MPL, plus a few
+/// additional kernels used for testing and benchmarking. Each function
+/// returns MPL source text; tests, examples and benchmarks parse these via
+/// parseProgramOrDie().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_LANG_CORPUS_H
+#define CSDF_LANG_CORPUS_H
+
+#include <string>
+#include <vector>
+
+namespace csdf {
+namespace corpus {
+
+/// Figure 2: processes 0 and 1 exchange a value initialized to 5 by process
+/// 0; both print it.
+std::string figure2Exchange();
+
+/// Figure 1 (mdcask), first half: every process i in [1..np-1] sends to
+/// process 0 (gather-to-root).
+std::string gatherToRoot();
+
+/// Fan-out broadcast: process 0 sends to every other process. This is the
+/// Section IX evaluation workload.
+std::string fanOutBroadcast();
+
+/// Figures 1/5 (mdcask), second half: process 0 exchanges a message with
+/// every other process (exchange-with-root).
+std::string exchangeWithRoot();
+
+/// Figure 6 (NAS-CG): transpose exchange on a 2-D cartesian grid, with the
+/// square (ncols == nrows) and rectangular (ncols == 2*nrows) branches.
+std::string nascgTranspose();
+
+/// The square branch of Figure 6 in isolation.
+std::string transposeSquare();
+
+/// The rectangular (ncols == 2*nrows) branch of Figure 6 in isolation.
+std::string transposeRect();
+
+/// Figure 7: 1-D nearest-neighbor shift. Interior processes receive from
+/// the left and send to the right; the edges only send or only receive.
+std::string neighborShift();
+
+/// Right-to-left variant of Figure 7 (shift in the other direction).
+std::string neighborShiftLeft();
+
+/// Both shifts back to back: the 1-D nearest-neighbor exchange used by
+/// stencil codes (2d+1 = 3 process roles).
+std::string neighborExchange1D();
+
+/// Pairwise exchange: even/odd neighbor pairs (2i <-> 2i+1) swap values.
+/// Requires np even (assume np == 2 * half).
+std::string pairwiseExchange();
+
+/// Section VIII-C, d = 2: shift data one row down a 2-D nrows x ncols
+/// mesh. Three row roles: top row only sends, bottom row only receives,
+/// interior rows do both. Partner expressions are `id +- ncols`.
+std::string vshift2d();
+
+/// A two-phase kernel: broadcast from root, then gather back to root.
+/// Exercises sequential composition of two matched phases.
+std::string broadcastThenGather();
+
+/// Buggy program: process 0 sends two messages to process 1 but process 1
+/// receives only one — a message leak.
+std::string messageLeak();
+
+/// Buggy program: processes 0 and 1 both receive first — a deadlock.
+std::string headToHeadDeadlock();
+
+/// Buggy program: sender and receiver use different tags, so the message
+/// can never match (tag mismatch).
+std::string tagMismatch();
+
+/// Ring shift with wraparound: send to (id+1) % np. The paper's analyses do
+/// not support wraparound meshes; this must drive the framework to Top
+/// rather than to a wrong match.
+std::string ringShift();
+
+/// A sequential program with no communication (baseline for the engine).
+std::string noComm();
+
+/// Names and sources of all well-formed pattern programs (excludes the
+/// intentionally buggy ones), for parameter sweeps.
+struct NamedProgram {
+  std::string Name;
+  std::string Source;
+};
+std::vector<NamedProgram> allPatterns();
+
+} // namespace corpus
+} // namespace csdf
+
+#endif // CSDF_LANG_CORPUS_H

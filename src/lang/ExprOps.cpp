@@ -1,0 +1,255 @@
+//===- lang/ExprOps.cpp ----------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ExprOps.h"
+
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <sstream>
+
+using namespace csdf;
+
+namespace {
+
+/// Binding strength used to decide where parentheses are needed.
+int precedence(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::VarRef:
+  case Expr::Kind::Input:
+    return 100;
+  case Expr::Kind::Unary:
+    return 90;
+  case Expr::Kind::Binary:
+    switch (cast<BinaryExpr>(E)->op()) {
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+    case BinaryOp::Mod:
+      return 80;
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      return 70;
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      return 60;
+    case BinaryOp::And:
+      return 50;
+    case BinaryOp::Or:
+      return 40;
+    }
+    csdf_unreachable("unhandled BinaryOp");
+  }
+  csdf_unreachable("unhandled Expr::Kind");
+}
+
+void printExpr(const Expr *E, std::ostringstream &OS) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    OS << cast<IntLitExpr>(E)->value();
+    return;
+  case Expr::Kind::VarRef:
+    OS << cast<VarRefExpr>(E)->name();
+    return;
+  case Expr::Kind::Input:
+    OS << "input()";
+    return;
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    OS << (U->op() == UnaryOp::Neg ? "-" : "not ");
+    bool NeedParens = precedence(U->operand()) < precedence(E);
+    if (NeedParens)
+      OS << "(";
+    printExpr(U->operand(), OS);
+    if (NeedParens)
+      OS << ")";
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    int MyPrec = precedence(E);
+    // Left child may bind equally (left associativity); right child must
+    // bind strictly tighter.
+    bool LParens = precedence(B->lhs()) < MyPrec;
+    bool RParens = precedence(B->rhs()) <= MyPrec;
+    if (LParens)
+      OS << "(";
+    printExpr(B->lhs(), OS);
+    if (LParens)
+      OS << ")";
+    OS << " " << binaryOpSpelling(B->op()) << " ";
+    if (RParens)
+      OS << "(";
+    printExpr(B->rhs(), OS);
+    if (RParens)
+      OS << ")";
+    return;
+  }
+  }
+  csdf_unreachable("unhandled Expr::Kind");
+}
+
+} // namespace
+
+std::string csdf::exprToString(const Expr *E) {
+  std::ostringstream OS;
+  printExpr(E, OS);
+  return OS.str();
+}
+
+bool csdf::exprEquals(const Expr *A, const Expr *B) {
+  if (A == B && A->kind() != Expr::Kind::Input)
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Expr::Kind::IntLit:
+    return cast<IntLitExpr>(A)->value() == cast<IntLitExpr>(B)->value();
+  case Expr::Kind::VarRef:
+    return cast<VarRefExpr>(A)->name() == cast<VarRefExpr>(B)->name();
+  case Expr::Kind::Input:
+    // Two reads of input() may differ; never equal.
+    return false;
+  case Expr::Kind::Unary: {
+    const auto *UA = cast<UnaryExpr>(A);
+    const auto *UB = cast<UnaryExpr>(B);
+    return UA->op() == UB->op() && exprEquals(UA->operand(), UB->operand());
+  }
+  case Expr::Kind::Binary: {
+    const auto *BA = cast<BinaryExpr>(A);
+    const auto *BB = cast<BinaryExpr>(B);
+    return BA->op() == BB->op() && exprEquals(BA->lhs(), BB->lhs()) &&
+           exprEquals(BA->rhs(), BB->rhs());
+  }
+  }
+  csdf_unreachable("unhandled Expr::Kind");
+}
+
+void csdf::collectVars(const Expr *E, std::set<std::string> &Vars) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::Input:
+    return;
+  case Expr::Kind::VarRef:
+    Vars.insert(cast<VarRefExpr>(E)->name());
+    return;
+  case Expr::Kind::Unary:
+    collectVars(cast<UnaryExpr>(E)->operand(), Vars);
+    return;
+  case Expr::Kind::Binary:
+    collectVars(cast<BinaryExpr>(E)->lhs(), Vars);
+    collectVars(cast<BinaryExpr>(E)->rhs(), Vars);
+    return;
+  }
+  csdf_unreachable("unhandled Expr::Kind");
+}
+
+bool csdf::dependsOnId(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::Input:
+    return false;
+  case Expr::Kind::VarRef:
+    return cast<VarRefExpr>(E)->isProcessId();
+  case Expr::Kind::Unary:
+    return dependsOnId(cast<UnaryExpr>(E)->operand());
+  case Expr::Kind::Binary:
+    return dependsOnId(cast<BinaryExpr>(E)->lhs()) ||
+           dependsOnId(cast<BinaryExpr>(E)->rhs());
+  }
+  csdf_unreachable("unhandled Expr::Kind");
+}
+
+bool csdf::containsInput(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::VarRef:
+    return false;
+  case Expr::Kind::Input:
+    return true;
+  case Expr::Kind::Unary:
+    return containsInput(cast<UnaryExpr>(E)->operand());
+  case Expr::Kind::Binary:
+    return containsInput(cast<BinaryExpr>(E)->lhs()) ||
+           containsInput(cast<BinaryExpr>(E)->rhs());
+  }
+  csdf_unreachable("unhandled Expr::Kind");
+}
+
+std::optional<std::int64_t> csdf::evalExpr(const Expr *E, const VarEnv &Env) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return cast<IntLitExpr>(E)->value();
+  case Expr::Kind::VarRef:
+    return Env(cast<VarRefExpr>(E)->name());
+  case Expr::Kind::Input:
+    return std::nullopt;
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    auto V = evalExpr(U->operand(), Env);
+    if (!V)
+      return std::nullopt;
+    return U->op() == UnaryOp::Neg ? -*V : static_cast<std::int64_t>(*V == 0);
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    auto L = evalExpr(B->lhs(), Env);
+    if (!L)
+      return std::nullopt;
+    // Short-circuit logical operators so `x != 0 and y / x > 1` style
+    // guards behave as programmers expect.
+    if (B->op() == BinaryOp::And && *L == 0)
+      return 0;
+    if (B->op() == BinaryOp::Or && *L != 0)
+      return 1;
+    auto R = evalExpr(B->rhs(), Env);
+    if (!R)
+      return std::nullopt;
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return *L + *R;
+    case BinaryOp::Sub:
+      return *L - *R;
+    case BinaryOp::Mul:
+      return *L * *R;
+    case BinaryOp::Div:
+      if (*R == 0)
+        return std::nullopt;
+      return *L / *R;
+    case BinaryOp::Mod:
+      if (*R == 0)
+        return std::nullopt;
+      return *L % *R;
+    case BinaryOp::Eq:
+      return static_cast<std::int64_t>(*L == *R);
+    case BinaryOp::Ne:
+      return static_cast<std::int64_t>(*L != *R);
+    case BinaryOp::Lt:
+      return static_cast<std::int64_t>(*L < *R);
+    case BinaryOp::Le:
+      return static_cast<std::int64_t>(*L <= *R);
+    case BinaryOp::Gt:
+      return static_cast<std::int64_t>(*L > *R);
+    case BinaryOp::Ge:
+      return static_cast<std::int64_t>(*L >= *R);
+    case BinaryOp::And:
+      return static_cast<std::int64_t>(*L != 0 && *R != 0);
+    case BinaryOp::Or:
+      return static_cast<std::int64_t>(*L != 0 || *R != 0);
+    }
+    csdf_unreachable("unhandled BinaryOp");
+  }
+  }
+  csdf_unreachable("unhandled Expr::Kind");
+}
+
+std::optional<std::int64_t> csdf::foldConstant(const Expr *E) {
+  return evalExpr(E, [](const std::string &) { return std::nullopt; });
+}

@@ -1,0 +1,62 @@
+//===- lang/ExprOps.h - Expression utilities -------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pure utility operations over MPL expression trees: printing, structural
+/// equality, free-variable collection, id-dependence checks, and concrete
+/// evaluation against a variable environment. Shared by the CFG builder, the
+/// interpreter, both client analyses and the MPI-CFG baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_LANG_EXPROPS_H
+#define CSDF_LANG_EXPROPS_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace csdf {
+
+/// Renders \p E back to MPL surface syntax (fully parenthesized only where
+/// precedence requires it).
+std::string exprToString(const Expr *E);
+
+/// Structural equality of expression trees (same shape, operators, names and
+/// constants). Input() expressions are never equal to anything, including
+/// themselves, because two reads may yield different values.
+bool exprEquals(const Expr *A, const Expr *B);
+
+/// Inserts the names of all variables referenced by \p E into \p Vars.
+void collectVars(const Expr *E, std::set<std::string> &Vars);
+
+/// Returns true if \p E references the process-rank variable `id`.
+bool dependsOnId(const Expr *E);
+
+/// Returns true if \p E contains an input() subexpression.
+bool containsInput(const Expr *E);
+
+/// Environment callback: yields the value of a variable, or nullopt when the
+/// variable is unbound (which makes evaluation fail).
+using VarEnv = std::function<std::optional<std::int64_t>(const std::string &)>;
+
+/// Evaluates \p E under \p Env. Returns nullopt on unbound variables,
+/// division/modulus by zero, or input() (callers that can service input()
+/// must handle InputExpr before calling this). Booleans are 0/1. Division
+/// truncates toward zero (C++ semantics); all paper examples use
+/// non-negative operands where this matches floor division.
+std::optional<std::int64_t> evalExpr(const Expr *E, const VarEnv &Env);
+
+/// Result of constant folding: value if \p E is a constant expression.
+std::optional<std::int64_t> foldConstant(const Expr *E);
+
+} // namespace csdf
+
+#endif // CSDF_LANG_EXPROPS_H

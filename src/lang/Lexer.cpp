@@ -1,0 +1,187 @@
+//===- lang/Lexer.cpp ------------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <map>
+
+using namespace csdf;
+
+Lexer::Lexer(std::string Source) : Source(std::move(Source)) {}
+
+char Lexer::peek() const { return atEnd() ? '\0' : Source[Pos]; }
+
+char Lexer::peekAhead() const {
+  return Pos + 1 < Source.size() ? Source[Pos + 1] : '\0';
+}
+
+char Lexer::advance() {
+  assert(!atEnd() && "advance past end of input");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::atEnd() const { return Pos >= Source.size(); }
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == '#') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(C)))
+      return;
+    advance();
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind) const {
+  Token Tok;
+  Tok.Kind = Kind;
+  Tok.Loc = TokenStart;
+  return Tok;
+}
+
+Token Lexer::makeError(const std::string &Msg) const {
+  Token Tok = makeToken(TokenKind::Error);
+  Tok.Text = Msg;
+  return Tok;
+}
+
+Token Lexer::lexNumber() {
+  std::int64_t Value = 0;
+  bool Overflow = false;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+    int Digit = advance() - '0';
+    if (Value > (INT64_MAX - Digit) / 10)
+      Overflow = true;
+    else
+      Value = Value * 10 + Digit;
+  }
+  if (Overflow)
+    return makeError("integer literal too large");
+  Token Tok = makeToken(TokenKind::Integer);
+  Tok.IntValue = Value;
+  return Tok;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  static const std::map<std::string, TokenKind> Keywords = {
+      {"if", TokenKind::KwIf},         {"then", TokenKind::KwThen},
+      {"elif", TokenKind::KwElif},     {"else", TokenKind::KwElse},
+      {"end", TokenKind::KwEnd},       {"while", TokenKind::KwWhile},
+      {"do", TokenKind::KwDo},         {"for", TokenKind::KwFor},
+      {"to", TokenKind::KwTo},         {"send", TokenKind::KwSend},
+      {"recv", TokenKind::KwRecv},     {"print", TokenKind::KwPrint},
+      {"assume", TokenKind::KwAssume}, {"assert", TokenKind::KwAssert},
+      {"skip", TokenKind::KwSkip},     {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},   {"and", TokenKind::KwAnd},
+      {"or", TokenKind::KwOr},         {"not", TokenKind::KwNot},
+      {"input", TokenKind::KwInput},   {"tag", TokenKind::KwTag},
+  };
+
+  std::string Text;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    Text += advance();
+
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return makeToken(It->second);
+
+  Token Tok = makeToken(TokenKind::Identifier);
+  Tok.Text = std::move(Text);
+  return Tok;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  TokenStart = {Line, Col};
+  if (atEnd())
+    return makeToken(TokenKind::Eof);
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen);
+  case ')':
+    return makeToken(TokenKind::RParen);
+  case ';':
+    return makeToken(TokenKind::Semi);
+  case ',':
+    return makeToken(TokenKind::Comma);
+  case '+':
+    return makeToken(TokenKind::Plus);
+  case '*':
+    return makeToken(TokenKind::Star);
+  case '/':
+    return makeToken(TokenKind::Slash);
+  case '%':
+    return makeToken(TokenKind::Percent);
+  case '-':
+    if (peek() == '>') {
+      advance();
+      return makeToken(TokenKind::Arrow);
+    }
+    return makeToken(TokenKind::Minus);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::EqEq);
+    }
+    return makeToken(TokenKind::Assign);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::NotEq);
+    }
+    return makeError("expected '=' after '!'");
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::LessEq);
+    }
+    if (peek() == '-') {
+      advance();
+      return makeToken(TokenKind::BackArrow);
+    }
+    return makeToken(TokenKind::Less);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::GreaterEq);
+    }
+    return makeToken(TokenKind::Greater);
+  default:
+    return makeError(std::string("unexpected character '") + C + "'");
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token Tok = next();
+    Tokens.push_back(Tok);
+    if (Tok.is(TokenKind::Eof) || Tok.is(TokenKind::Error))
+      return Tokens;
+  }
+}

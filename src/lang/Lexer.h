@@ -1,0 +1,55 @@
+//===- lang/Lexer.h - MPL lexer --------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MPL. Supports `#` line comments, decimal integer
+/// literals, keywords and the operator set in Token.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_LANG_LEXER_H
+#define CSDF_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace csdf {
+
+/// Converts MPL source text into a token stream.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lexes and returns the next token; returns Eof forever at end of input.
+  Token next();
+
+  /// Lexes the whole input. The returned vector always ends with Eof (or
+  /// stops early after the first Error token).
+  std::vector<Token> lexAll();
+
+private:
+  char peek() const;
+  char peekAhead() const;
+  char advance();
+  bool atEnd() const;
+  void skipTrivia();
+  Token makeToken(TokenKind Kind) const;
+  Token makeError(const std::string &Msg) const;
+  Token lexNumber();
+  Token lexIdentifierOrKeyword();
+
+  std::string Source;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+  SourceLoc TokenStart;
+};
+
+} // namespace csdf
+
+#endif // CSDF_LANG_LEXER_H

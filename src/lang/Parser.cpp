@@ -1,0 +1,429 @@
+//===- lang/Parser.cpp -----------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace csdf;
+
+namespace {
+
+/// Implements the recursive descent. On error it records a diagnostic and
+/// synchronizes to the next statement boundary so multiple errors can be
+/// reported from one run.
+class ParserImpl {
+public:
+  ParserImpl(std::vector<Token> Tokens, ParseResult &Result)
+      : Tokens(std::move(Tokens)), Result(Result) {}
+
+  void run() {
+    StmtList Body = parseStmtsUntil({TokenKind::Eof});
+    Result.Prog.setBody(std::move(Body));
+  }
+
+private:
+  const Token &cur() const { return Tokens[Pos]; }
+
+  const Token &take() {
+    const Token &Tok = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return Tok;
+  }
+
+  bool consumeIf(TokenKind Kind) {
+    if (cur().isNot(Kind))
+      return false;
+    take();
+    return true;
+  }
+
+  /// Records a diagnostic at the current token.
+  void error(const std::string &Msg) {
+    Result.Diagnostics.push_back({cur().Loc, Msg});
+  }
+
+  /// Consumes a token of kind \p Kind or reports an error.
+  bool expect(TokenKind Kind) {
+    if (consumeIf(Kind))
+      return true;
+    error(std::string("expected ") + tokenKindName(Kind) + " but found " +
+          tokenKindName(cur().Kind));
+    return false;
+  }
+
+  /// Skips tokens until a likely statement start, to recover after errors.
+  void synchronize() {
+    while (cur().isNot(TokenKind::Eof)) {
+      if (consumeIf(TokenKind::Semi))
+        return;
+      switch (cur().Kind) {
+      case TokenKind::KwIf:
+      case TokenKind::KwWhile:
+      case TokenKind::KwFor:
+      case TokenKind::KwSend:
+      case TokenKind::KwRecv:
+      case TokenKind::KwPrint:
+      case TokenKind::KwEnd:
+      case TokenKind::KwElse:
+      case TokenKind::KwElif:
+        return;
+      default:
+        take();
+      }
+    }
+  }
+
+  bool atStmtListEnd(const std::vector<TokenKind> &Terminators) const {
+    for (TokenKind Kind : Terminators)
+      if (cur().is(Kind))
+        return true;
+    return cur().is(TokenKind::Eof) || cur().is(TokenKind::Error);
+  }
+
+  StmtList parseStmtsUntil(const std::vector<TokenKind> &Terminators) {
+    StmtList Stmts;
+    while (!atStmtListEnd(Terminators)) {
+      size_t Before = Pos;
+      if (const Stmt *S = parseStmt())
+        Stmts.push_back(S);
+      else
+        synchronize();
+      if (Pos == Before) {
+        // No progress; bail out to avoid an infinite loop.
+        take();
+      }
+    }
+    if (cur().is(TokenKind::Error))
+      error(cur().Text);
+    return Stmts;
+  }
+
+  const Stmt *parseStmt() {
+    SourceLoc Loc = cur().Loc;
+    switch (cur().Kind) {
+    case TokenKind::Identifier: {
+      std::string Var = take().Text;
+      if (!expect(TokenKind::Assign))
+        return nullptr;
+      const Expr *Value = parseExpr();
+      if (!Value || !expect(TokenKind::Semi))
+        return nullptr;
+      return Result.Prog.makeStmt<AssignStmt>(Var, Value, Loc);
+    }
+    case TokenKind::KwIf:
+      take();
+      return parseIfTail(Loc);
+    case TokenKind::KwWhile: {
+      take();
+      const Expr *Cond = parseExpr();
+      if (!Cond || !expect(TokenKind::KwDo))
+        return nullptr;
+      StmtList Body = parseStmtsUntil({TokenKind::KwEnd});
+      if (!expect(TokenKind::KwEnd))
+        return nullptr;
+      return Result.Prog.makeStmt<WhileStmt>(Cond, std::move(Body), Loc);
+    }
+    case TokenKind::KwFor: {
+      take();
+      if (cur().isNot(TokenKind::Identifier)) {
+        error("expected loop variable after 'for'");
+        return nullptr;
+      }
+      std::string Var = take().Text;
+      if (!expect(TokenKind::Assign))
+        return nullptr;
+      const Expr *From = parseExpr();
+      if (!From || !expect(TokenKind::KwTo))
+        return nullptr;
+      const Expr *To = parseExpr();
+      if (!To || !expect(TokenKind::KwDo))
+        return nullptr;
+      StmtList Body = parseStmtsUntil({TokenKind::KwEnd});
+      if (!expect(TokenKind::KwEnd))
+        return nullptr;
+      return Result.Prog.makeStmt<ForStmt>(Var, From, To, std::move(Body),
+                                           Loc);
+    }
+    case TokenKind::KwSend: {
+      take();
+      const Expr *Value = parseExpr();
+      if (!Value || !expect(TokenKind::Arrow))
+        return nullptr;
+      const Expr *Dest = parseExpr();
+      if (!Dest)
+        return nullptr;
+      const Expr *Tag = nullptr;
+      if (consumeIf(TokenKind::KwTag)) {
+        Tag = parseExpr();
+        if (!Tag)
+          return nullptr;
+      }
+      if (!expect(TokenKind::Semi))
+        return nullptr;
+      return Result.Prog.makeStmt<SendStmt>(Value, Dest, Tag, Loc);
+    }
+    case TokenKind::KwRecv: {
+      take();
+      if (cur().isNot(TokenKind::Identifier)) {
+        error("expected variable after 'recv'");
+        return nullptr;
+      }
+      std::string Var = take().Text;
+      if (!expect(TokenKind::BackArrow))
+        return nullptr;
+      const Expr *Src = parseExpr();
+      if (!Src)
+        return nullptr;
+      const Expr *Tag = nullptr;
+      if (consumeIf(TokenKind::KwTag)) {
+        Tag = parseExpr();
+        if (!Tag)
+          return nullptr;
+      }
+      if (!expect(TokenKind::Semi))
+        return nullptr;
+      return Result.Prog.makeStmt<RecvStmt>(Var, Src, Tag, Loc);
+    }
+    case TokenKind::KwPrint: {
+      take();
+      const Expr *Value = parseExpr();
+      if (!Value || !expect(TokenKind::Semi))
+        return nullptr;
+      return Result.Prog.makeStmt<PrintStmt>(Value, Loc);
+    }
+    case TokenKind::KwAssume: {
+      take();
+      const Expr *Cond = parseExpr();
+      if (!Cond || !expect(TokenKind::Semi))
+        return nullptr;
+      return Result.Prog.makeStmt<AssumeStmt>(Cond, Loc);
+    }
+    case TokenKind::KwAssert: {
+      take();
+      const Expr *Cond = parseExpr();
+      if (!Cond || !expect(TokenKind::Semi))
+        return nullptr;
+      return Result.Prog.makeStmt<AssertStmt>(Cond, Loc);
+    }
+    case TokenKind::KwSkip: {
+      take();
+      if (!expect(TokenKind::Semi))
+        return nullptr;
+      return Result.Prog.makeStmt<SkipStmt>(Loc);
+    }
+    default:
+      error(std::string("expected statement but found ") +
+            tokenKindName(cur().Kind));
+      return nullptr;
+    }
+  }
+
+  /// Parses the remainder of an if statement after 'if' was consumed. Elif
+  /// chains become nested IfStmts in the else position.
+  const Stmt *parseIfTail(SourceLoc Loc) {
+    const Expr *Cond = parseExpr();
+    if (!Cond || !expect(TokenKind::KwThen))
+      return nullptr;
+    StmtList Then = parseStmtsUntil(
+        {TokenKind::KwElif, TokenKind::KwElse, TokenKind::KwEnd});
+    StmtList Else;
+    if (cur().is(TokenKind::KwElif)) {
+      SourceLoc ElifLoc = cur().Loc;
+      take();
+      const Stmt *Nested = parseIfTail(ElifLoc);
+      if (!Nested)
+        return nullptr;
+      Else.push_back(Nested);
+      return Result.Prog.makeStmt<IfStmt>(Cond, std::move(Then),
+                                          std::move(Else), Loc);
+    }
+    if (consumeIf(TokenKind::KwElse))
+      Else = parseStmtsUntil({TokenKind::KwEnd});
+    if (!expect(TokenKind::KwEnd))
+      return nullptr;
+    return Result.Prog.makeStmt<IfStmt>(Cond, std::move(Then), std::move(Else),
+                                        Loc);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions
+  //===--------------------------------------------------------------------===
+
+  const Expr *parseExpr() { return parseOr(); }
+
+  const Expr *parseOr() {
+    const Expr *LHS = parseAnd();
+    while (LHS && cur().is(TokenKind::KwOr)) {
+      SourceLoc Loc = take().Loc;
+      const Expr *RHS = parseAnd();
+      if (!RHS)
+        return nullptr;
+      LHS = Result.Prog.makeExpr<BinaryExpr>(BinaryOp::Or, LHS, RHS, Loc);
+    }
+    return LHS;
+  }
+
+  const Expr *parseAnd() {
+    const Expr *LHS = parseNot();
+    while (LHS && cur().is(TokenKind::KwAnd)) {
+      SourceLoc Loc = take().Loc;
+      const Expr *RHS = parseNot();
+      if (!RHS)
+        return nullptr;
+      LHS = Result.Prog.makeExpr<BinaryExpr>(BinaryOp::And, LHS, RHS, Loc);
+    }
+    return LHS;
+  }
+
+  const Expr *parseNot() {
+    if (cur().is(TokenKind::KwNot)) {
+      SourceLoc Loc = take().Loc;
+      const Expr *Operand = parseNot();
+      if (!Operand)
+        return nullptr;
+      return Result.Prog.makeExpr<UnaryExpr>(UnaryOp::Not, Operand, Loc);
+    }
+    return parseRel();
+  }
+
+  const Expr *parseRel() {
+    const Expr *LHS = parseAdd();
+    if (!LHS)
+      return nullptr;
+    BinaryOp Op;
+    switch (cur().Kind) {
+    case TokenKind::EqEq:
+      Op = BinaryOp::Eq;
+      break;
+    case TokenKind::NotEq:
+      Op = BinaryOp::Ne;
+      break;
+    case TokenKind::Less:
+      Op = BinaryOp::Lt;
+      break;
+    case TokenKind::LessEq:
+      Op = BinaryOp::Le;
+      break;
+    case TokenKind::Greater:
+      Op = BinaryOp::Gt;
+      break;
+    case TokenKind::GreaterEq:
+      Op = BinaryOp::Ge;
+      break;
+    default:
+      return LHS;
+    }
+    SourceLoc Loc = take().Loc;
+    const Expr *RHS = parseAdd();
+    if (!RHS)
+      return nullptr;
+    return Result.Prog.makeExpr<BinaryExpr>(Op, LHS, RHS, Loc);
+  }
+
+  const Expr *parseAdd() {
+    const Expr *LHS = parseMul();
+    while (LHS &&
+           (cur().is(TokenKind::Plus) || cur().is(TokenKind::Minus))) {
+      BinaryOp Op =
+          cur().is(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+      SourceLoc Loc = take().Loc;
+      const Expr *RHS = parseMul();
+      if (!RHS)
+        return nullptr;
+      LHS = Result.Prog.makeExpr<BinaryExpr>(Op, LHS, RHS, Loc);
+    }
+    return LHS;
+  }
+
+  const Expr *parseMul() {
+    const Expr *LHS = parseUnary();
+    while (LHS && (cur().is(TokenKind::Star) || cur().is(TokenKind::Slash) ||
+                   cur().is(TokenKind::Percent))) {
+      BinaryOp Op = cur().is(TokenKind::Star)    ? BinaryOp::Mul
+                    : cur().is(TokenKind::Slash) ? BinaryOp::Div
+                                                 : BinaryOp::Mod;
+      SourceLoc Loc = take().Loc;
+      const Expr *RHS = parseUnary();
+      if (!RHS)
+        return nullptr;
+      LHS = Result.Prog.makeExpr<BinaryExpr>(Op, LHS, RHS, Loc);
+    }
+    return LHS;
+  }
+
+  const Expr *parseUnary() {
+    if (cur().is(TokenKind::Minus)) {
+      SourceLoc Loc = take().Loc;
+      const Expr *Operand = parseUnary();
+      if (!Operand)
+        return nullptr;
+      return Result.Prog.makeExpr<UnaryExpr>(UnaryOp::Neg, Operand, Loc);
+    }
+    return parsePrimary();
+  }
+
+  const Expr *parsePrimary() {
+    SourceLoc Loc = cur().Loc;
+    switch (cur().Kind) {
+    case TokenKind::Integer:
+      return Result.Prog.makeExpr<IntLitExpr>(take().IntValue, Loc);
+    case TokenKind::Identifier:
+      return Result.Prog.makeExpr<VarRefExpr>(take().Text, Loc);
+    case TokenKind::KwTrue:
+      take();
+      return Result.Prog.makeExpr<IntLitExpr>(1, Loc);
+    case TokenKind::KwFalse:
+      take();
+      return Result.Prog.makeExpr<IntLitExpr>(0, Loc);
+    case TokenKind::KwInput:
+      take();
+      if (!expect(TokenKind::LParen) || !expect(TokenKind::RParen))
+        return nullptr;
+      return Result.Prog.makeExpr<InputExpr>(Loc);
+    case TokenKind::LParen: {
+      take();
+      const Expr *Inner = parseExpr();
+      if (!Inner || !expect(TokenKind::RParen))
+        return nullptr;
+      return Inner;
+    }
+    default:
+      error(std::string("expected expression but found ") +
+            tokenKindName(cur().Kind));
+      return nullptr;
+    }
+  }
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  ParseResult &Result;
+};
+
+} // namespace
+
+ParseResult csdf::parseProgram(const std::string &Source) {
+  ParseResult Result;
+  Lexer Lex(Source);
+  ParserImpl Impl(Lex.lexAll(), Result);
+  Impl.run();
+  return Result;
+}
+
+Program csdf::parseProgramOrDie(const std::string &Source) {
+  ParseResult Result = parseProgram(Source);
+  if (!Result.succeeded()) {
+    std::fprintf(stderr, "MPL parse failed:\n");
+    for (const ParseDiagnostic &Diag : Result.Diagnostics)
+      std::fprintf(stderr, "  %s\n", Diag.str().c_str());
+    std::abort();
+  }
+  return std::move(Result.Prog);
+}

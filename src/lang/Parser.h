@@ -1,0 +1,72 @@
+//===- lang/Parser.h - MPL recursive-descent parser ------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MPL. Produces a Program (AST + arena) and a
+/// list of diagnostics; a program with diagnostics must not be consumed.
+///
+/// Grammar (EBNF):
+///   program   := stmt*
+///   stmt      := ident '=' expr ';'
+///              | 'if' expr 'then' stmt* ('elif' expr 'then' stmt*)*
+///                    ('else' stmt*)? 'end'
+///              | 'while' expr 'do' stmt* 'end'
+///              | 'for' ident '=' expr 'to' expr 'do' stmt* 'end'
+///              | 'send' expr '->' expr ('tag' expr)? ';'
+///              | 'recv' ident '<-' expr ('tag' expr)? ';'
+///              | 'print' expr ';' | 'assume' expr ';' | 'assert' expr ';'
+///              | 'skip' ';'
+///   expr      := orExpr
+///   orExpr    := andExpr ('or' andExpr)*
+///   andExpr   := notExpr ('and' notExpr)*
+///   notExpr   := 'not' notExpr | relExpr
+///   relExpr   := addExpr (('=='|'!='|'<'|'<='|'>'|'>=') addExpr)?
+///   addExpr   := mulExpr (('+'|'-') mulExpr)*
+///   mulExpr   := unary (('*'|'/'|'%') unary)*
+///   unary     := '-' unary | primary
+///   primary   := integer | ident | 'true' | 'false' | 'input' '(' ')'
+///              | '(' expr ')'
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_LANG_PARSER_H
+#define CSDF_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace csdf {
+
+/// A single parse diagnostic.
+struct ParseDiagnostic {
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const { return Loc.str() + ": error: " + Message; }
+};
+
+/// The result of a parse: the program plus any diagnostics.
+struct ParseResult {
+  Program Prog;
+  std::vector<ParseDiagnostic> Diagnostics;
+
+  bool succeeded() const { return Diagnostics.empty(); }
+};
+
+/// Parses \p Source into an MPL program.
+ParseResult parseProgram(const std::string &Source);
+
+/// Parses \p Source and aborts with the first diagnostic on failure.
+/// Convenience for tests, examples and benchmarks whose inputs are
+/// known-good corpus programs.
+Program parseProgramOrDie(const std::string &Source);
+
+} // namespace csdf
+
+#endif // CSDF_LANG_PARSER_H

@@ -1,0 +1,188 @@
+//===- lang/Sema.cpp -------------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include "lang/ExprOps.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <set>
+
+using namespace csdf;
+
+namespace {
+
+bool isReservedName(const std::string &Name) {
+  return Name == "id" || Name == "np";
+}
+
+class SemaImpl {
+public:
+  explicit SemaImpl(SemaResult &Result) : Result(Result) {}
+
+  void run(const Program &Prog) {
+    collectDefs(Prog.body());
+    checkBody(Prog.body());
+    reportUndefinedUses();
+  }
+
+private:
+  void error(SourceLoc Loc, const std::string &Msg) {
+    Result.Diagnostics.push_back(
+        {SemaDiagnostic::Severity::Error, Loc, Msg});
+  }
+
+  void warning(SourceLoc Loc, const std::string &Msg) {
+    Result.Diagnostics.push_back(
+        {SemaDiagnostic::Severity::Warning, Loc, Msg});
+  }
+
+  void collectDefs(const StmtList &Body) {
+    for (const Stmt *S : Body) {
+      switch (S->kind()) {
+      case Stmt::Kind::Assign:
+        Defined.insert(cast<AssignStmt>(S)->var());
+        break;
+      case Stmt::Kind::Recv:
+        Defined.insert(cast<RecvStmt>(S)->var());
+        break;
+      case Stmt::Kind::For: {
+        const auto *F = cast<ForStmt>(S);
+        Defined.insert(F->var());
+        collectDefs(F->body());
+        break;
+      }
+      case Stmt::Kind::If: {
+        const auto *If = cast<IfStmt>(S);
+        collectDefs(If->thenBody());
+        collectDefs(If->elseBody());
+        break;
+      }
+      case Stmt::Kind::While:
+        collectDefs(cast<WhileStmt>(S)->body());
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  void noteUses(const Expr *E) {
+    std::set<std::string> Vars;
+    collectVars(E, Vars);
+    for (const std::string &Var : Vars)
+      if (!isReservedName(Var))
+        Used.insert({Var, E->loc()});
+  }
+
+  void checkPartnerExpr(const Expr *E, const char *What) {
+    if (containsInput(E))
+      error(E->loc(), std::string(What) +
+                          " expression must be deterministic; input() "
+                          "violates the execution model's deterministic "
+                          "receive requirement");
+  }
+
+  void checkBody(const StmtList &Body) {
+    for (const Stmt *S : Body)
+      checkStmt(S);
+  }
+
+  void checkStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      if (isReservedName(A->var()))
+        error(S->loc(), "cannot assign to reserved variable '" + A->var() +
+                            "'");
+      noteUses(A->value());
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(S);
+      noteUses(If->cond());
+      checkBody(If->thenBody());
+      checkBody(If->elseBody());
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      noteUses(W->cond());
+      checkBody(W->body());
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      if (isReservedName(F->var()))
+        error(S->loc(), "cannot use reserved variable '" + F->var() +
+                            "' as a loop variable");
+      noteUses(F->from());
+      noteUses(F->to());
+      checkBody(F->body());
+      return;
+    }
+    case Stmt::Kind::Send: {
+      const auto *Send = cast<SendStmt>(S);
+      noteUses(Send->value());
+      noteUses(Send->dest());
+      checkPartnerExpr(Send->dest(), "send destination");
+      if (Send->tag()) {
+        noteUses(Send->tag());
+        checkPartnerExpr(Send->tag(), "send tag");
+      }
+      return;
+    }
+    case Stmt::Kind::Recv: {
+      const auto *Recv = cast<RecvStmt>(S);
+      if (isReservedName(Recv->var()))
+        error(S->loc(), "cannot receive into reserved variable '" +
+                            Recv->var() + "'");
+      noteUses(Recv->src());
+      checkPartnerExpr(Recv->src(), "receive source");
+      if (Recv->tag()) {
+        noteUses(Recv->tag());
+        checkPartnerExpr(Recv->tag(), "receive tag");
+      }
+      return;
+    }
+    case Stmt::Kind::Print:
+      noteUses(cast<PrintStmt>(S)->value());
+      return;
+    case Stmt::Kind::Assume:
+      noteUses(cast<AssumeStmt>(S)->cond());
+      return;
+    case Stmt::Kind::Assert:
+      noteUses(cast<AssertStmt>(S)->cond());
+      return;
+    case Stmt::Kind::Skip:
+      return;
+    }
+    csdf_unreachable("unhandled Stmt::Kind");
+  }
+
+  void reportUndefinedUses() {
+    for (const auto &[Var, Loc] : Used)
+      if (!Defined.count(Var))
+        warning(Loc, "variable '" + Var +
+                         "' is never assigned; it reads as uninitialized "
+                         "input in the interpreter and as unconstrained in "
+                         "the analysis");
+  }
+
+  SemaResult &Result;
+  std::set<std::string> Defined;
+  std::set<std::pair<std::string, SourceLoc>> Used;
+};
+
+} // namespace
+
+SemaResult csdf::checkProgram(const Program &Prog) {
+  SemaResult Result;
+  SemaImpl Impl(Result);
+  Impl.run(Prog);
+  return Result;
+}

@@ -1,0 +1,59 @@
+//===- lang/Sema.h - MPL semantic checks -----------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic validation of MPL programs against the paper's execution model:
+///  * `id` and `np` are read-only (no assignment, recv or for-loop binding),
+///  * communication partner and tag expressions are deterministic (no
+///    input()) — the model requires deterministic receives,
+///  * variables are defined before use along every path (flow-insensitive
+///    approximation: a variable must be assigned/received somewhere before
+///    its first textual use at the same or an enclosing nesting level is not
+///    tracked; we instead warn on names never defined anywhere).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_LANG_SEMA_H
+#define CSDF_LANG_SEMA_H
+
+#include "lang/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace csdf {
+
+/// A semantic diagnostic. Errors invalidate the program; warnings do not.
+struct SemaDiagnostic {
+  enum class Severity { Error, Warning };
+  Severity Sev = Severity::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  bool isError() const { return Sev == Severity::Error; }
+  std::string str() const {
+    return Loc.str() + (isError() ? ": error: " : ": warning: ") + Message;
+  }
+};
+
+/// Result of semantic checking.
+struct SemaResult {
+  std::vector<SemaDiagnostic> Diagnostics;
+
+  bool hasErrors() const {
+    for (const SemaDiagnostic &Diag : Diagnostics)
+      if (Diag.isError())
+        return true;
+    return false;
+  }
+};
+
+/// Runs all semantic checks over \p Prog.
+SemaResult checkProgram(const Program &Prog);
+
+} // namespace csdf
+
+#endif // CSDF_LANG_SEMA_H

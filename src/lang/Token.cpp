@@ -1,0 +1,105 @@
+//===- lang/Token.cpp ------------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Token.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace csdf;
+
+const char *csdf::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Integer:
+    return "integer literal";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElif:
+    return "'elif'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwEnd:
+    return "'end'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwTo:
+    return "'to'";
+  case TokenKind::KwSend:
+    return "'send'";
+  case TokenKind::KwRecv:
+    return "'recv'";
+  case TokenKind::KwPrint:
+    return "'print'";
+  case TokenKind::KwAssume:
+    return "'assume'";
+  case TokenKind::KwAssert:
+    return "'assert'";
+  case TokenKind::KwSkip:
+    return "'skip'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwAnd:
+    return "'and'";
+  case TokenKind::KwOr:
+    return "'or'";
+  case TokenKind::KwNot:
+    return "'not'";
+  case TokenKind::KwInput:
+    return "'input'";
+  case TokenKind::KwTag:
+    return "'tag'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::BackArrow:
+    return "'<-'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  }
+  csdf_unreachable("unhandled TokenKind");
+}

@@ -1,0 +1,115 @@
+//===- lang/Token.h - MPL token definitions -------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token value type for the MPL mini message-passing
+/// language. MPL is the textual form of the execution model in Section III
+/// of the paper: integer scalars, `id`/`np` special variables, blocking
+/// `send`/`recv` with arithmetic partner expressions, and structured control
+/// flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_LANG_TOKEN_H
+#define CSDF_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace csdf {
+
+/// Source location (1-based line and column) for diagnostics.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+
+  friend bool operator<(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line != B.Line ? A.Line < B.Line : A.Col < B.Col;
+  }
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+/// The lexical classes of MPL.
+enum class TokenKind {
+  // Markers.
+  Eof,
+  Error,
+
+  // Literals and identifiers.
+  Integer,
+  Identifier,
+
+  // Keywords.
+  KwIf,
+  KwThen,
+  KwElif,
+  KwElse,
+  KwEnd,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwTo,
+  KwSend,
+  KwRecv,
+  KwPrint,
+  KwAssume,
+  KwAssert,
+  KwSkip,
+  KwTrue,
+  KwFalse,
+  KwAnd,
+  KwOr,
+  KwNot,
+  KwInput,
+  KwTag,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  Semi,
+  Comma,
+  Assign,   // =
+  Arrow,    // ->
+  BackArrow, // <-
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+};
+
+/// Returns a human-readable spelling for \p Kind (for diagnostics).
+const char *tokenKindName(TokenKind Kind);
+
+/// A single lexed token: kind, source range start, and payload.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  /// Identifier spelling; also holds the message for Error tokens.
+  std::string Text;
+  /// Value for Integer tokens.
+  std::int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+};
+
+} // namespace csdf
+
+#endif // CSDF_LANG_TOKEN_H

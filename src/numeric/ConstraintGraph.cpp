@@ -1,0 +1,543 @@
+//===- numeric/ConstraintGraph.cpp ----------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numeric/ConstraintGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace csdf;
+
+static const char *const ZeroVarName = "$0";
+
+ConstraintGraph::ConstraintGraph(DbmBackend Backend, StatsRegistry *Stats)
+    : Backend(Backend), Stats(Stats), Matrix(makeDbmStorage(Backend)) {
+  Names.push_back(ZeroVarName);
+  Matrix->resize(1);
+  Matrix->set(0, 0, 0);
+}
+
+ConstraintGraph::ConstraintGraph(const ConstraintGraph &O)
+    : Backend(O.Backend), Stats(O.Stats), Names(O.Names),
+      Matrix(O.Matrix->clone()), Closed(O.Closed), Feasible(O.Feasible),
+      PendingEdge(O.PendingEdge) {}
+
+ConstraintGraph &ConstraintGraph::operator=(const ConstraintGraph &O) {
+  if (this == &O)
+    return *this;
+  Backend = O.Backend;
+  Stats = O.Stats;
+  Names = O.Names;
+  Matrix = O.Matrix->clone();
+  Closed = O.Closed;
+  Feasible = O.Feasible;
+  PendingEdge = O.PendingEdge;
+  return *this;
+}
+
+unsigned ConstraintGraph::ensureVar(const std::string &Name) {
+  assert(Name != ZeroVarName && "the zero variable is internal");
+  for (unsigned I = 1; I < Names.size(); ++I)
+    if (Names[I] == Name)
+      return I;
+  Names.push_back(Name);
+  unsigned Idx = static_cast<unsigned>(Names.size()) - 1;
+  Matrix->resize(Idx + 1);
+  Matrix->set(Idx, Idx, 0);
+  // Adding an unconstrained variable preserves closure.
+  return Idx;
+}
+
+std::optional<unsigned> ConstraintGraph::findVar(const std::string &Name)
+    const {
+  for (unsigned I = 1; I < Names.size(); ++I)
+    if (Names[I] == Name)
+      return I;
+  return std::nullopt;
+}
+
+std::vector<std::string> ConstraintGraph::varNames() const {
+  return std::vector<std::string>(Names.begin() + 1, Names.end());
+}
+
+void ConstraintGraph::removeVar(const std::string &Name) {
+  auto Idx = findVar(Name);
+  if (!Idx)
+    return;
+  close();
+  Matrix->removeVar(*Idx);
+  Names.erase(Names.begin() + *Idx);
+  // Projection of a closed matrix is closed.
+}
+
+void ConstraintGraph::renameVars(
+    const std::vector<std::pair<std::string, std::string>> &Renames) {
+  for (std::string &Name : Names) {
+    for (const auto &[From, To] : Renames) {
+      if (Name == From) {
+        Name = To;
+        break;
+      }
+    }
+  }
+#ifndef NDEBUG
+  for (unsigned I = 0; I < Names.size(); ++I)
+    for (unsigned J = I + 1; J < Names.size(); ++J)
+      assert(Names[I] != Names[J] && "rename produced duplicate variables");
+#endif
+}
+
+std::pair<unsigned, std::int64_t> ConstraintGraph::encode(
+    const LinearExpr &E) {
+  if (E.isConstant())
+    return {zeroIdx(), E.constant()};
+  return {ensureVar(E.var()), E.constant()};
+}
+
+std::optional<std::pair<unsigned, std::int64_t>>
+ConstraintGraph::encodeConst(const LinearExpr &E) const {
+  if (E.isConstant())
+    return std::pair(zeroIdx(), E.constant());
+  auto Idx = findVar(E.var());
+  if (!Idx)
+    return std::nullopt;
+  return std::pair(*Idx, E.constant());
+}
+
+void ConstraintGraph::addEdge(unsigned I, unsigned J, std::int64_t C) {
+  if (!Feasible)
+    return;
+  if (I == J) {
+    if (C < 0)
+      Feasible = false;
+    return;
+  }
+  std::int64_t Old = Matrix->get(I, J);
+  if (C >= Old)
+    return;
+  // Repair any previously pending edge first so the O(n^2) path stays
+  // applicable for this one.
+  if (!Closed && PendingEdge)
+    close();
+  Matrix->set(I, J, C);
+  if (Closed) {
+    Closed = false;
+    PendingEdge = {I, J};
+  } else {
+    PendingEdge.reset();
+  }
+}
+
+void ConstraintGraph::addLE(const std::string &A, const std::string &B,
+                            std::int64_t C) {
+  addEdge(ensureVar(A), ensureVar(B), C);
+}
+
+void ConstraintGraph::addLE(const LinearExpr &Lhs, const LinearExpr &Rhs) {
+  auto [I, CI] = encode(Lhs);
+  auto [J, CJ] = encode(Rhs);
+  addEdge(I, J, CJ - CI);
+}
+
+void ConstraintGraph::addEQ(const LinearExpr &Lhs, const LinearExpr &Rhs) {
+  addLE(Lhs, Rhs);
+  addLE(Rhs, Lhs);
+}
+
+void ConstraintGraph::addUpperBound(const std::string &Var, std::int64_t C) {
+  addEdge(ensureVar(Var), zeroIdx(), C);
+}
+
+void ConstraintGraph::addLowerBound(const std::string &Var, std::int64_t C) {
+  addEdge(zeroIdx(), ensureVar(Var), -C);
+}
+
+void ConstraintGraph::assign(const std::string &X, const LinearExpr &E) {
+  if (E.hasVar() && E.var() == X) {
+    // X := X + c — shift every bound that mentions X.
+    std::int64_t C = E.constant();
+    if (C == 0)
+      return;
+    close();
+    if (!Feasible)
+      return;
+    unsigned I = ensureVar(X);
+    unsigned N = static_cast<unsigned>(Names.size());
+    for (unsigned J = 0; J < N; ++J) {
+      if (J == I)
+        continue;
+      Matrix->set(I, J, dbmAdd(Matrix->get(I, J), C));
+      Matrix->set(J, I, dbmAdd(Matrix->get(J, I), -C));
+    }
+    // Uniform row/column shifts preserve closure.
+    return;
+  }
+  havoc(X);
+  addEQ(LinearExpr(X, 0), E);
+}
+
+void ConstraintGraph::havoc(const std::string &X) {
+  auto Idx = findVar(X);
+  if (!Idx)
+    return;
+  close();
+  unsigned N = static_cast<unsigned>(Names.size());
+  for (unsigned J = 0; J < N; ++J) {
+    if (J == *Idx)
+      continue;
+    Matrix->set(*Idx, J, DbmInfinity);
+    Matrix->set(J, *Idx, DbmInfinity);
+  }
+  // Dropping all edges of one variable preserves closure.
+}
+
+bool ConstraintGraph::isFeasible() const {
+  close();
+  return Feasible;
+}
+
+void ConstraintGraph::close() const {
+  if (Closed || !Feasible)
+    return;
+  if (PendingEdge) {
+    closeAfterEdge(PendingEdge->first, PendingEdge->second);
+    PendingEdge.reset();
+    Closed = true;
+    return;
+  }
+  fullClose();
+  Closed = true;
+}
+
+void ConstraintGraph::fullClose() const {
+  unsigned N = static_cast<unsigned>(Names.size());
+  if (Stats) {
+    Stats->addCounter("cg.closure.full.calls");
+    Stats->addCounter("cg.closure.full.varsum", N);
+  }
+  ScopedTimer Timer(*Stats, "cg.closure.seconds");
+  for (unsigned K = 0; K < N; ++K) {
+    for (unsigned I = 0; I < N; ++I) {
+      std::int64_t BIK = Matrix->get(I, K);
+      if (BIK >= DbmInfinity)
+        continue;
+      for (unsigned J = 0; J < N; ++J) {
+        std::int64_t Through = dbmAdd(BIK, Matrix->get(K, J));
+        if (Through < Matrix->get(I, J))
+          Matrix->set(I, J, Through);
+      }
+    }
+  }
+  for (unsigned I = 0; I < N; ++I) {
+    if (Matrix->get(I, I) < 0) {
+      Feasible = false;
+      return;
+    }
+  }
+}
+
+void ConstraintGraph::closeAfterEdge(unsigned I, unsigned J) const {
+  unsigned N = static_cast<unsigned>(Names.size());
+  if (Stats) {
+    Stats->addCounter("cg.closure.incr.calls");
+    Stats->addCounter("cg.closure.incr.varsum", N);
+  }
+  ScopedTimer Timer(*Stats, "cg.closure.seconds");
+  std::int64_t C = Matrix->get(I, J);
+  if (dbmAdd(Matrix->get(J, I), C) < 0) {
+    Feasible = false;
+    return;
+  }
+  for (unsigned A = 0; A < N; ++A) {
+    std::int64_t AI = Matrix->get(A, I);
+    if (AI >= DbmInfinity)
+      continue;
+    std::int64_t AIC = dbmAdd(AI, C);
+    for (unsigned B = 0; B < N; ++B) {
+      std::int64_t Through = dbmAdd(AIC, Matrix->get(J, B));
+      if (Through < Matrix->get(A, B))
+        Matrix->set(A, B, Through);
+    }
+  }
+}
+
+bool ConstraintGraph::provesLE(const LinearExpr &Lhs,
+                               const LinearExpr &Rhs) const {
+  if (!isFeasible())
+    return true;
+  // Same-variable (or constant/constant) comparisons need no graph.
+  if (Lhs.isConstant() && Rhs.isConstant())
+    return Lhs.constant() <= Rhs.constant();
+  if (Lhs.hasVar() && Rhs.hasVar() && Lhs.var() == Rhs.var())
+    return Lhs.constant() <= Rhs.constant();
+  auto L = encodeConst(Lhs);
+  auto R = encodeConst(Rhs);
+  if (!L || !R)
+    return false;
+  close();
+  return Matrix->get(L->first, R->first) <= R->second - L->second;
+}
+
+bool ConstraintGraph::provesEQ(const LinearExpr &Lhs,
+                               const LinearExpr &Rhs) const {
+  return provesLE(Lhs, Rhs) && provesLE(Rhs, Lhs);
+}
+
+std::optional<std::int64_t> ConstraintGraph::bestBound(
+    const std::string &A, const std::string &B) const {
+  auto I = findVar(A);
+  auto J = findVar(B);
+  if (!I || !J || !isFeasible())
+    return std::nullopt;
+  close();
+  std::int64_t Bound = Matrix->get(*I, *J);
+  if (Bound >= DbmInfinity)
+    return std::nullopt;
+  return Bound;
+}
+
+std::optional<std::int64_t> ConstraintGraph::offsetBetween(
+    const std::string &A, const std::string &B) const {
+  auto Up = bestBound(A, B);
+  auto Down = bestBound(B, A);
+  if (Up && Down && *Up == -*Down)
+    return *Up;
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> ConstraintGraph::constValue(
+    const std::string &Var) const {
+  auto Idx = findVar(Var);
+  if (!Idx || !isFeasible())
+    return std::nullopt;
+  close();
+  std::int64_t Up = Matrix->get(*Idx, zeroIdx());
+  std::int64_t Down = Matrix->get(zeroIdx(), *Idx);
+  if (Up < DbmInfinity && Down < DbmInfinity && Up == -Down)
+    return Up;
+  return std::nullopt;
+}
+
+std::vector<LinearExpr> ConstraintGraph::equivalentForms(
+    const LinearExpr &E) const {
+  std::vector<LinearExpr> Forms = {E};
+  if (!isFeasible())
+    return Forms;
+  auto Base = encodeConst(E);
+  if (!Base)
+    return Forms;
+  close();
+  auto [I, C] = *Base;
+  unsigned N = static_cast<unsigned>(Names.size());
+  for (unsigned V = 0; V < N; ++V) {
+    if (V == I)
+      continue;
+    std::int64_t Up = Matrix->get(V, I);
+    std::int64_t Down = Matrix->get(I, V);
+    if (Up >= DbmInfinity || Down >= DbmInfinity || Up != -Down)
+      continue;
+    // v == v_I + Up, so v_I + C == v + (C - Up); when v is the zero
+    // variable the form is the constant C - Up.
+    if (V == zeroIdx())
+      Forms.push_back(LinearExpr(C - Up));
+    else
+      Forms.push_back(LinearExpr(Names[V], C - Up));
+  }
+  return Forms;
+}
+
+namespace {
+
+/// Bound of (I, J) in \p G's closed matrix seen through the union variable
+/// list \p UnionNames, where \p Map holds each union variable's index in G
+/// (or nullopt when G lacks it).
+std::int64_t boundThrough(const DbmStorage &M,
+                          const std::vector<std::optional<unsigned>> &Map,
+                          unsigned I, unsigned J) {
+  if (!Map[I] || !Map[J])
+    return I == J ? 0 : DbmInfinity;
+  return M.get(*Map[I], *Map[J]);
+}
+
+} // namespace
+
+void ConstraintGraph::joinWith(const ConstraintGraph &O) {
+  if (!O.isFeasible())
+    return;
+  if (!isFeasible()) {
+    *this = O;
+    return;
+  }
+  close();
+  O.close();
+
+  // Build the union variable list using this graph's indices, extending
+  // with O's extra variables.
+  std::vector<std::string> UnionNames = Names;
+  for (unsigned I = 1; I < O.Names.size(); ++I)
+    if (std::find(UnionNames.begin(), UnionNames.end(), O.Names[I]) ==
+        UnionNames.end())
+      UnionNames.push_back(O.Names[I]);
+
+  std::vector<std::optional<unsigned>> MapThis(UnionNames.size());
+  std::vector<std::optional<unsigned>> MapO(UnionNames.size());
+  for (unsigned U = 0; U < UnionNames.size(); ++U) {
+    for (unsigned I = 0; I < Names.size(); ++I)
+      if (Names[I] == UnionNames[U])
+        MapThis[U] = I;
+    for (unsigned I = 0; I < O.Names.size(); ++I)
+      if (O.Names[I] == UnionNames[U])
+        MapO[U] = I;
+  }
+
+  auto NewMatrix = makeDbmStorage(Backend);
+  NewMatrix->resize(static_cast<unsigned>(UnionNames.size()));
+  for (unsigned I = 0; I < UnionNames.size(); ++I)
+    for (unsigned J = 0; J < UnionNames.size(); ++J) {
+      std::int64_t A = boundThrough(*Matrix, MapThis, I, J);
+      std::int64_t B = boundThrough(*O.Matrix, MapO, I, J);
+      NewMatrix->set(I, J, std::max(A, B));
+    }
+  Names = std::move(UnionNames);
+  Matrix = std::move(NewMatrix);
+  // Pointwise max of closed matrices is closed.
+  Closed = true;
+  PendingEdge.reset();
+  Feasible = true;
+}
+
+void ConstraintGraph::widenWith(const ConstraintGraph &O) {
+  if (!O.isFeasible())
+    return; // Old value stands.
+  if (!isFeasible()) {
+    *this = O;
+    return;
+  }
+  close();
+  O.close();
+  // Keep a bound of *this only when O does not weaken it; drop everything
+  // else to infinity. Variables O lacks are unconstrained there, so their
+  // bounds drop too.
+  unsigned N = static_cast<unsigned>(Names.size());
+  std::vector<std::optional<unsigned>> MapO(N);
+  for (unsigned I = 0; I < N; ++I)
+    for (unsigned J = 0; J < O.Names.size(); ++J)
+      if (O.Names[J] == Names[I])
+        MapO[I] = J;
+  for (unsigned I = 0; I < N; ++I) {
+    for (unsigned J = 0; J < N; ++J) {
+      if (I == J)
+        continue;
+      std::int64_t Mine = Matrix->get(I, J);
+      if (Mine >= DbmInfinity)
+        continue;
+      std::int64_t Theirs = boundThrough(*O.Matrix, MapO, I, J);
+      if (Theirs <= Mine)
+        continue;
+      // Widen with thresholds: rather than dropping straight to infinity,
+      // raise to the smallest stable small constant. This keeps loop-guard
+      // relations like `i <= np - 1` (difference -1) alive across
+      // widenings, which the paper's exchange-with-root invariant
+      // [i+1 .. np-1] depends on. The finite threshold chain preserves
+      // termination.
+      static constexpr std::int64_t Thresholds[] = {-1, 0, 1};
+      std::int64_t Widened = DbmInfinity;
+      for (std::int64_t T : Thresholds) {
+        if (Theirs <= T) {
+          Widened = T;
+          break;
+        }
+      }
+      Matrix->set(I, J, Widened);
+    }
+  }
+  // A widened matrix is not re-closed: closing could re-tighten dropped
+  // bounds and break the finite-ascent guarantee.
+  Closed = true;
+  PendingEdge.reset();
+}
+
+void ConstraintGraph::meetWith(const ConstraintGraph &O) {
+  if (!isFeasible())
+    return;
+  if (!O.isFeasible()) {
+    Feasible = false;
+    return;
+  }
+  O.close();
+  for (unsigned I = 0; I < O.Names.size(); ++I) {
+    for (unsigned J = 0; J < O.Names.size(); ++J) {
+      if (I == J)
+        continue;
+      std::int64_t Bound = O.Matrix->get(I, J);
+      if (Bound >= DbmInfinity)
+        continue;
+      unsigned MyI = I == 0 ? 0 : ensureVar(O.Names[I]);
+      unsigned MyJ = J == 0 ? 0 : ensureVar(O.Names[J]);
+      addEdge(MyI, MyJ, Bound);
+    }
+  }
+}
+
+bool ConstraintGraph::implies(const ConstraintGraph &O) const {
+  if (!isFeasible())
+    return true;
+  if (!O.isFeasible())
+    return false;
+  close();
+  O.close();
+  std::vector<std::optional<unsigned>> MapThis(O.Names.size());
+  for (unsigned I = 0; I < O.Names.size(); ++I)
+    for (unsigned J = 0; J < Names.size(); ++J)
+      if (Names[J] == O.Names[I])
+        MapThis[I] = J;
+  for (unsigned I = 0; I < O.Names.size(); ++I) {
+    for (unsigned J = 0; J < O.Names.size(); ++J) {
+      if (I == J)
+        continue;
+      std::int64_t Theirs = O.Matrix->get(I, J);
+      if (Theirs >= DbmInfinity)
+        continue;
+      if (boundThrough(*Matrix, MapThis, I, J) > Theirs)
+        return false;
+    }
+  }
+  return true;
+}
+
+bool ConstraintGraph::equals(const ConstraintGraph &O) const {
+  return implies(O) && O.implies(*this);
+}
+
+std::string ConstraintGraph::str() const {
+  if (!isFeasible())
+    return "<infeasible>";
+  close();
+  std::ostringstream OS;
+  bool First = true;
+  unsigned N = static_cast<unsigned>(Names.size());
+  for (unsigned I = 0; I < N; ++I) {
+    for (unsigned J = 0; J < N; ++J) {
+      if (I == J)
+        continue;
+      std::int64_t Bound = Matrix->get(I, J);
+      if (Bound >= DbmInfinity)
+        continue;
+      if (!First)
+        OS << ", ";
+      First = false;
+      if (I == 0)
+        OS << Names[J] << " >= " << -Bound;
+      else if (J == 0)
+        OS << Names[I] << " <= " << Bound;
+      else
+        OS << Names[I] << " <= " << Names[J]
+           << (Bound >= 0 ? "+" : "") << Bound;
+    }
+  }
+  return First ? "<top>" : OS.str();
+}

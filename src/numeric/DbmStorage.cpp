@@ -1,0 +1,68 @@
+//===- numeric/DbmStorage.cpp ---------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numeric/DbmStorage.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace csdf;
+
+void DenseDbmStorage::resize(unsigned NewN) {
+  assert(NewN >= N && "DBM storage cannot shrink via resize");
+  if (NewN == N)
+    return;
+  std::vector<std::int64_t> NewData(static_cast<size_t>(NewN) * NewN,
+                                    DbmInfinity);
+  for (unsigned I = 0; I < N; ++I)
+    for (unsigned J = 0; J < N; ++J)
+      NewData[static_cast<size_t>(I) * NewN + J] = Data[I * N + J];
+  Data = std::move(NewData);
+  N = NewN;
+}
+
+void DenseDbmStorage::removeVar(unsigned Victim) {
+  assert(Victim < N && "removing a variable that does not exist");
+  std::vector<std::int64_t> NewData(static_cast<size_t>(N - 1) * (N - 1),
+                                    DbmInfinity);
+  for (unsigned I = 0, NI = 0; I < N; ++I) {
+    if (I == Victim)
+      continue;
+    for (unsigned J = 0, NJ = 0; J < N; ++J) {
+      if (J == Victim)
+        continue;
+      NewData[static_cast<size_t>(NI) * (N - 1) + NJ] = Data[I * N + J];
+      ++NJ;
+    }
+    ++NI;
+  }
+  Data = std::move(NewData);
+  --N;
+}
+
+void MapDbmStorage::removeVar(unsigned Victim) {
+  assert(Victim < N && "removing a variable that does not exist");
+  std::map<std::pair<unsigned, unsigned>, std::int64_t> NewBounds;
+  for (const auto &[Key, Bound] : Bounds) {
+    auto [I, J] = Key;
+    if (I == Victim || J == Victim)
+      continue;
+    NewBounds[{I > Victim ? I - 1 : I, J > Victim ? J - 1 : J}] = Bound;
+  }
+  Bounds = std::move(NewBounds);
+  --N;
+}
+
+std::unique_ptr<DbmStorage> csdf::makeDbmStorage(DbmBackend Backend) {
+  switch (Backend) {
+  case DbmBackend::Dense:
+    return std::make_unique<DenseDbmStorage>();
+  case DbmBackend::MapBased:
+    return std::make_unique<MapDbmStorage>();
+  }
+  csdf_unreachable("unhandled DbmBackend");
+}

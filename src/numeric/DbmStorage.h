@@ -1,0 +1,118 @@
+//===- numeric/DbmStorage.h - Bound-matrix storage backends -------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage backends for the constraint graph's difference-bound matrix.
+/// Section IX of the paper attributes most of the prototype's cost to
+/// transitive closures over STL-container state and lists "arrays instead
+/// of C++ STL containers" as optimization direction 3. Both variants are
+/// implemented here so the ablation benchmark (E6) can measure the gap:
+///
+///   * DenseDbmStorage — flat contiguous array, cache friendly;
+///   * MapDbmStorage   — std::map keyed by (row, col), mirroring the
+///     prototype's container-heavy state representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_NUMERIC_DBMSTORAGE_H
+#define CSDF_NUMERIC_DBMSTORAGE_H
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace csdf {
+
+/// The "no constraint" bound. Kept far from the int64 limits so saturated
+/// additions cannot overflow.
+inline constexpr std::int64_t DbmInfinity =
+    std::numeric_limits<std::int64_t>::max() / 4;
+
+/// Saturating addition treating DbmInfinity as absorbing.
+inline std::int64_t dbmAdd(std::int64_t A, std::int64_t B) {
+  if (A >= DbmInfinity || B >= DbmInfinity)
+    return DbmInfinity;
+  return A + B;
+}
+
+/// Abstract square matrix of bounds: entry (I, J) is the best known C with
+/// v_I <= v_J + C; DbmInfinity means unconstrained.
+class DbmStorage {
+public:
+  virtual ~DbmStorage() = default;
+
+  virtual std::int64_t get(unsigned I, unsigned J) const = 0;
+  virtual void set(unsigned I, unsigned J, std::int64_t Bound) = 0;
+  /// Grows to \p N variables; new entries are unconstrained.
+  virtual void resize(unsigned N) = 0;
+  virtual unsigned size() const = 0;
+  virtual std::unique_ptr<DbmStorage> clone() const = 0;
+
+  /// Removes variable \p Victim, renumbering later variables down by one.
+  virtual void removeVar(unsigned Victim) = 0;
+};
+
+/// Flat row-major array backend (the paper's optimization direction 3).
+class DenseDbmStorage final : public DbmStorage {
+public:
+  std::int64_t get(unsigned I, unsigned J) const override {
+    return Data[I * N + J];
+  }
+  void set(unsigned I, unsigned J, std::int64_t Bound) override {
+    Data[I * N + J] = Bound;
+  }
+  void resize(unsigned NewN) override;
+  unsigned size() const override { return N; }
+  std::unique_ptr<DbmStorage> clone() const override {
+    return std::make_unique<DenseDbmStorage>(*this);
+  }
+  void removeVar(unsigned Victim) override;
+
+private:
+  unsigned N = 0;
+  std::vector<std::int64_t> Data;
+};
+
+/// std::map backend modelling the prototype's STL-heavy state (only finite
+/// bounds are stored).
+class MapDbmStorage final : public DbmStorage {
+public:
+  std::int64_t get(unsigned I, unsigned J) const override {
+    auto It = Bounds.find({I, J});
+    return It == Bounds.end() ? DbmInfinity : It->second;
+  }
+  void set(unsigned I, unsigned J, std::int64_t Bound) override {
+    if (Bound >= DbmInfinity)
+      Bounds.erase({I, J});
+    else
+      Bounds[{I, J}] = Bound;
+  }
+  void resize(unsigned NewN) override { N = NewN; }
+  unsigned size() const override { return N; }
+  std::unique_ptr<DbmStorage> clone() const override {
+    return std::make_unique<MapDbmStorage>(*this);
+  }
+  void removeVar(unsigned Victim) override;
+
+private:
+  unsigned N = 0;
+  std::map<std::pair<unsigned, unsigned>, std::int64_t> Bounds;
+};
+
+/// Which backend a ConstraintGraph uses.
+enum class DbmBackend {
+  Dense,
+  MapBased,
+};
+
+/// Creates an empty storage of the given backend.
+std::unique_ptr<DbmStorage> makeDbmStorage(DbmBackend Backend);
+
+} // namespace csdf
+
+#endif // CSDF_NUMERIC_DBMSTORAGE_H

@@ -1,0 +1,80 @@
+//===- numeric/LinearExpr.h - `var + c` expressions --------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The restricted expression form used throughout client analysis #1
+/// (Section VII): an optional variable plus a constant, `var + c` or `c`.
+/// Message expressions, process-set bounds and assignments are recognized
+/// into this form; anything else is handled conservatively or escalated to
+/// the HSM client.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_NUMERIC_LINEAREXPR_H
+#define CSDF_NUMERIC_LINEAREXPR_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace csdf {
+
+/// `Var + Const` when Var is set, otherwise the constant `Const`.
+class LinearExpr {
+public:
+  LinearExpr() = default;
+  explicit LinearExpr(std::int64_t Const) : Const(Const) {}
+  LinearExpr(std::string Var, std::int64_t Const)
+      : Var(std::move(Var)), Const(Const) {}
+
+  /// Recognizes \p E as `var + c` / `var - c` / `c + var` / `var` / `c`
+  /// (with nested parentheses and constant folding of pure-constant
+  /// subtrees). Returns nullopt for anything else.
+  static std::optional<LinearExpr> fromExpr(const Expr *E);
+
+  bool isConstant() const { return !Var.has_value(); }
+  bool hasVar() const { return Var.has_value(); }
+  const std::string &var() const { return *Var; }
+  std::int64_t constant() const { return Const; }
+
+  /// Returns this + \p Delta.
+  LinearExpr plus(std::int64_t Delta) const {
+    LinearExpr R = *this;
+    R.Const += Delta;
+    return R;
+  }
+
+  /// Returns a copy with the variable renamed via \p Rename (no-op for
+  /// constants).
+  template <typename Fn> LinearExpr withRenamedVar(Fn Rename) const {
+    if (!Var)
+      return *this;
+    return LinearExpr(Rename(*Var), Const);
+  }
+
+  /// Same variable and constant.
+  bool operator==(const LinearExpr &O) const {
+    return Var == O.Var && Const == O.Const;
+  }
+  bool operator!=(const LinearExpr &O) const { return !(*this == O); }
+  bool operator<(const LinearExpr &O) const {
+    if (Var != O.Var)
+      return Var < O.Var;
+    return Const < O.Const;
+  }
+
+  std::string str() const;
+
+private:
+  std::optional<std::string> Var;
+  std::int64_t Const = 0;
+};
+
+} // namespace csdf
+
+#endif // CSDF_NUMERIC_LINEAREXPR_H

@@ -1,0 +1,112 @@
+//===- pcfg/AnalysisOptions.h - pCFG engine configuration ---------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of the pCFG dataflow engine. The two client analyses of
+/// the paper are option presets:
+///
+///   * Section VII (simple symbolic): linear matcher, blocking sends —
+///     exactly the Figure 4 formulas;
+///   * Section VIII (cartesian/HSM): adds the HSM matcher and buffered
+///     sends (the paper's Section X non-blocking extension, needed for
+///     self-exchange patterns like the NAS-CG transpose where every
+///     process sends before any receives).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_PCFG_ANALYSISOPTIONS_H
+#define CSDF_PCFG_ANALYSISOPTIONS_H
+
+#include "numeric/DbmStorage.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace csdf {
+
+/// How the analysis models sends (Section III vs Section X).
+enum class SendSemantics {
+  /// Sends block until matched (the paper's simplifying assumption).
+  Blocking,
+  /// Sends deposit an in-flight message and advance (bounded aggregation).
+  Buffered,
+};
+
+/// Engine limits and feature switches.
+struct AnalysisOptions {
+  /// Enables the Section VII `var + c` matcher.
+  bool UseLinearMatcher = true;
+  /// Enables the Section VIII HSM matcher.
+  bool UseHsmMatcher = false;
+
+  SendSemantics Sends = SendSemantics::Blocking;
+
+  /// Assumed minimum process count. Results describe executions with
+  /// np >= MinProcs (the paper's examples implicitly assume enough
+  /// processes for every role to be non-empty).
+  std::int64_t MinProcs = 4;
+
+  /// When positive, pins np to this exact value. Useful for patterns whose
+  /// dynamic structure is not named by any program variable (e.g. the
+  /// Figure 7 pipeline), where only a concrete process count lets the
+  /// exploration terminate.
+  std::int64_t FixedNp = 0;
+
+  /// Maximum distinct (unjoinable) states kept per pCFG configuration.
+  unsigned MaxVariantsPerConfig = 96;
+
+  /// Pinned grid parameters (e.g. {nrows: 3, ncols: 4}), analogous to the
+  /// interpreter's RunOptions::Params. Each becomes an equality fact in
+  /// the constraint graph and a rewrite in the fact environment, letting
+  /// expressions like `id + ncols` resolve to concrete shifts.
+  std::map<std::string, std::int64_t> Params;
+
+  /// Maximum simultaneously tracked in-flight sends (buffered mode);
+  /// exceeding it aborts to Top (all-to-all style aggregation is future
+  /// work in the paper too).
+  unsigned MaxInFlight = 8;
+
+  /// Maximum number of process sets per state (the paper's parameter p).
+  unsigned MaxProcSets = 12;
+
+  /// Joins at a configuration become widenings after this many visits.
+  unsigned WidenDelay = 2;
+
+  /// Abort to Top after this many explored states (safety net).
+  unsigned MaxStates = 20000;
+
+  /// Constraint-graph storage backend (the Section IX ablation knob).
+  DbmBackend Backend = DbmBackend::Dense;
+
+  /// Summarizes singleton-sender send loops (`for v = lo to hi do
+  /// send x -> v; end`) into one aggregated in-flight record — the
+  /// Section X extension for non-blocking send loops. Requires buffered
+  /// sends.
+  bool AggregateSendLoops = false;
+
+  /// Preset for the Section VII client analysis.
+  static AnalysisOptions simpleSymbolic() { return AnalysisOptions(); }
+
+  /// Preset for the Section VIII cartesian client analysis.
+  static AnalysisOptions cartesian() {
+    AnalysisOptions Opts;
+    Opts.UseHsmMatcher = true;
+    Opts.Sends = SendSemantics::Buffered;
+    return Opts;
+  }
+
+  /// Preset with every Section X extension switched on.
+  static AnalysisOptions sectionX() {
+    AnalysisOptions Opts = cartesian();
+    Opts.AggregateSendLoops = true;
+    return Opts;
+  }
+};
+
+} // namespace csdf
+
+#endif // CSDF_PCFG_ANALYSISOPTIONS_H

@@ -1,0 +1,111 @@
+//===- pcfg/AnalysisResult.h - Output of the pCFG analysis --------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Everything the analysis produces: the established send-receive matches
+/// (the communication topology), facts provable at print statements (the
+/// constant-propagation client's output, Figure 2), detected bug
+/// candidates, the Top/converged verdict, and exploration statistics for
+/// the Section IX benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_PCFG_ANALYSISRESULT_H
+#define CSDF_PCFG_ANALYSISRESULT_H
+
+#include "pcfg/PcfgState.h"
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace csdf {
+
+/// A provable fact at a print statement: which processes print and, if
+/// pinned, the constant they print.
+struct PrintFact {
+  CfgNodeId Node = 0;
+  std::string SetRange;
+  std::optional<std::int64_t> Value;
+
+  bool operator<(const PrintFact &O) const {
+    return std::tuple(Node, SetRange, Value) <
+           std::tuple(O.Node, O.SetRange, O.Value);
+  }
+  bool operator==(const PrintFact &O) const {
+    return Node == O.Node && SetRange == O.SetRange && Value == O.Value;
+  }
+};
+
+/// A statically detected bug candidate.
+struct AnalysisBug {
+  enum class Kind {
+    /// A sent message that no receive ever consumes.
+    MessageLeak,
+    /// Process sets blocked on communication with no possible match.
+    PossibleDeadlock,
+    /// Send and receive on the same channel with provably different tags.
+    TagMismatch,
+  };
+
+  Kind TheKind = Kind::MessageLeak;
+  CfgNodeId Node = 0;
+  std::string Detail;
+};
+
+/// Returns a short name for \p Kind.
+const char *analysisBugKindName(AnalysisBug::Kind Kind);
+
+/// The result of running the pCFG dataflow analysis on a program.
+struct AnalysisResult {
+  /// True when the analysis reached a fixpoint without giving up. A false
+  /// value means the framework passed Top (Section VI): the topology may
+  /// be incomplete.
+  bool Converged = false;
+  std::string TopReason;
+
+  /// Established send-receive matches (the communication topology).
+  std::set<MatchRecord> Matches;
+
+  /// Constant-propagation facts at print statements.
+  std::set<PrintFact> PrintFacts;
+
+  /// Bug candidates (meaningful even when Converged is false).
+  std::vector<AnalysisBug> Bugs;
+
+  /// One entry per reachable terminal state (all process sets at exit):
+  /// for every program variable, the constant it provably holds on *all*
+  /// processes, or nullopt when unknown / divergent across processes.
+  /// Input for the constant-sharing client (Section I).
+  std::vector<std::map<std::string, std::optional<std::int64_t>>>
+      FinalSnapshots;
+
+  /// Exploration statistics.
+  unsigned StatesExplored = 0;
+  unsigned ConfigsVisited = 0;
+  unsigned MaxSetsSeen = 0;
+  double Seconds = 0.0;
+
+  /// All (send node, recv node) pairs in Matches.
+  std::set<std::pair<CfgNodeId, CfgNodeId>> matchedNodePairs() const {
+    std::set<std::pair<CfgNodeId, CfgNodeId>> Pairs;
+    for (const MatchRecord &M : Matches)
+      Pairs.insert({M.SendNode, M.RecvNode});
+    return Pairs;
+  }
+
+  bool hasBug(AnalysisBug::Kind Kind) const {
+    for (const AnalysisBug &B : Bugs)
+      if (B.TheKind == Kind)
+        return true;
+    return false;
+  }
+};
+
+} // namespace csdf
+
+#endif // CSDF_PCFG_ANALYSISRESULT_H

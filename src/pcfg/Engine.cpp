@@ -1,0 +1,1685 @@
+//===- pcfg/Engine.cpp ---------------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pcfg/Engine.h"
+
+#include "cfg/LoopInfo.h"
+#include "lang/ExprOps.h"
+#include "pcfg/Matcher.h"
+#include "pcfg/PartnerExpr.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <map>
+
+using namespace csdf;
+
+/// Set the CSDF_TRACE_PCFG environment variable to get a step-by-step
+/// dump of the exploration on stderr.
+static bool tracingEnabled() {
+  static bool Enabled = std::getenv("CSDF_TRACE_PCFG") != nullptr;
+  return Enabled;
+}
+
+const char *csdf::analysisBugKindName(AnalysisBug::Kind Kind) {
+  switch (Kind) {
+  case AnalysisBug::Kind::MessageLeak:
+    return "message-leak";
+  case AnalysisBug::Kind::PossibleDeadlock:
+    return "possible-deadlock";
+  case AnalysisBug::Kind::TagMismatch:
+    return "tag-mismatch";
+  }
+  csdf_unreachable("unhandled AnalysisBug::Kind");
+}
+
+namespace {
+
+/// One target piece when a process set splits.
+struct SplitPiece {
+  ProcRange Range;
+  CfgNodeId Node = 0;
+};
+
+class Engine {
+public:
+  Engine(const Cfg &Graph, const AnalysisOptions &Opts, StatsRegistry *Stats)
+      : Graph(Graph), Opts(Opts), Stats(Stats), Loops(Graph) {
+    collectAssignedVars();
+  }
+
+  AnalysisResult run();
+
+private:
+  //===--------------------------------------------------------------------===
+  // Setup and small helpers
+  //===--------------------------------------------------------------------===
+
+  void collectAssignedVars() {
+    for (const CfgNode &N : Graph.nodes())
+      if (N.Kind == CfgNodeKind::Assign || N.Kind == CfgNodeKind::Recv)
+        AssignedVars.insert(N.Var);
+  }
+
+  std::string scoped(const ProcSetEntry &Set, const std::string &Var) const {
+    return PcfgState::scopedVar(Set, Var, AssignedVars);
+  }
+
+  /// True when \p E reads only `id` and globals (safe to re-evaluate any
+  /// time).
+  bool globalsOnly(const Expr *E) const {
+    std::set<std::string> Vars;
+    collectVars(E, Vars);
+    for (const std::string &V : Vars)
+      if (V != "id" && AssignedVars.count(V))
+        return false;
+    return true;
+  }
+
+  PartnerExpr classify(const PcfgState &St, const ProcSetEntry &Set,
+                       const Expr *E) const {
+    return classifyPartnerExpr(E, Set, AssignedVars, St.Cg);
+  }
+
+  /// Classified tag for a comm node (tag defaults to 0).
+  std::optional<LinearExpr> classifyTag(const PcfgState &St,
+                                        const ProcSetEntry &Set,
+                                        const Expr *TagExpr) const {
+    if (!TagExpr)
+      return LinearExpr(0);
+    PartnerExpr P = classify(St, Set, TagExpr);
+    if (P.isUniform())
+      return P.Value;
+    return std::nullopt;
+  }
+
+  void fail(const std::string &Reason) {
+    if (tracingEnabled())
+      std::fprintf(stderr, "TOP: %s\n", Reason.c_str());
+    if (!ToppedOut) {
+      ToppedOut = true;
+      Result.TopReason = Reason;
+    }
+  }
+
+  std::string freshSetName() { return "s" + std::to_string(FreshSets++); }
+
+  /// Human-readable range for match records: one representative form per
+  /// bound, preferring globals/constants over alias lists.
+  static std::string displayRange(const ProcRange &Range) {
+    auto Pick = [](const SymBound &Bound) {
+      for (const LinearExpr &Form : Bound.forms())
+        if (Form.isConstant() || Form.var().find('.') == std::string::npos)
+          return Form.str();
+      return Bound.primary().str();
+    };
+    return "[" + Pick(Range.lb()) + ".." + Pick(Range.ub()) + "]";
+  }
+
+  //===--------------------------------------------------------------------===
+  // State normalization and the worklist
+  //===--------------------------------------------------------------------===
+
+  /// Drops empty sets/pendings, merges sets at the same node, collects
+  /// dead freeze variables, canonicalizes. Returns false (and tops out)
+  /// when a set's emptiness is undecidable nowhere... (never fails: only
+  /// provably empty pieces were admitted).
+  void normalize(PcfgState &St) {
+    // Drop provably empty sets.
+    for (size_t I = 0; I < St.Sets.size();) {
+      if (St.Sets[I].Range.provablyEmpty(St.Cg)) {
+        St.dropSetVars(St.Sets[I]);
+        St.Sets.erase(St.Sets.begin() + static_cast<long>(I));
+      } else {
+        ++I;
+      }
+    }
+    for (size_t I = 0; I < St.InFlight.size();) {
+      const PendingSend &P = St.InFlight[I];
+      bool Dead = P.IsAggregate ? P.AggRange.provablyEmpty(St.Cg)
+                                : P.Senders.provablyEmpty(St.Cg);
+      if (Dead)
+        St.InFlight.erase(St.InFlight.begin() + static_cast<long>(I));
+      else
+        ++I;
+    }
+
+    // Merge sets that meet at the same CFG node.
+    bool Merged = true;
+    while (Merged) {
+      Merged = false;
+      for (size_t I = 0; I < St.Sets.size() && !Merged; ++I) {
+        for (size_t J = I + 1; J < St.Sets.size() && !Merged; ++J) {
+          if (St.Sets[I].Node != St.Sets[J].Node)
+            continue;
+          auto Combined =
+              tryMerge(St.Sets[I].Range, St.Sets[J].Range, St.Cg);
+          if (!Combined) {
+            if (tracingEnabled())
+              std::fprintf(stderr, "no-merge: %s and %s\n",
+                           St.Sets[I].Range.str().c_str(),
+                           St.Sets[J].Range.str().c_str());
+            continue;
+          }
+          mergeSets(St, I, J, *Combined);
+          Merged = true;
+        }
+      }
+    }
+
+    // Garbage-collect freeze variables of consumed pendings.
+    std::set<std::string> LiveNs;
+    for (const PendingSend &P : St.InFlight)
+      LiveNs.insert(P.FreezeNs);
+    for (const std::string &Var : St.Cg.varNames()) {
+      size_t Dot = Var.find('.');
+      if (Dot == std::string::npos)
+        continue;
+      std::string Ns = Var.substr(0, Dot);
+      if ((Ns[0] == 'q' || Ns.rfind("tmpq$", 0) == 0) && !LiveNs.count(Ns))
+        St.Cg.removeVar(Var);
+    }
+
+    St.canonicalize();
+  }
+
+  /// Merges set J into set I (same CFG node, \p Combined covers both).
+  void mergeSets(PcfgState &St, size_t I, size_t J,
+                 const ProcRange &Combined) {
+    ProcSetEntry &A = St.Sets[I];
+    ProcSetEntry &B = St.Sets[J];
+    std::string NewName = freshSetName();
+
+    // Uniformity: a variable stays uniform only when uniform on both
+    // sides and provably equal across the halves.
+    std::set<std::string> NonUniform = A.NonUniform;
+    NonUniform.insert(B.NonUniform.begin(), B.NonUniform.end());
+    std::set<std::string> VarsSeen;
+    for (const std::string &Var : St.Cg.varNames()) {
+      std::string PrefixA = A.Name + ".";
+      if (Var.rfind(PrefixA, 0) != 0)
+        continue;
+      std::string Base = Var.substr(PrefixA.size());
+      if (Base.find('$') != std::string::npos)
+        continue; // Anchor slots are per-set metadata.
+      VarsSeen.insert(Base);
+      LinearExpr VA(A.Name + "." + Base, 0);
+      LinearExpr VB(B.Name + "." + Base, 0);
+      if (!NonUniform.count(Base) && !St.Cg.provesEQ(VA, VB))
+        NonUniform.insert(Base);
+    }
+
+    // Join the two sides' variable valuations under the new namespace.
+    // Anchor the merged bounds into a scratch namespace *before* joining:
+    // they may reference A's or B's variables, which do not survive the
+    // merge. The scratch constraints agree on both join sides, so the
+    // captured values survive the join.
+    ProcRange Anchored = anchorRange(St, "mrg$", Combined);
+
+    ConstraintGraph CgA = St.Cg;
+    ConstraintGraph CgB = St.Cg;
+    renameNsIn(CgA, A.Name, NewName);
+    renameNsIn(CgB, B.Name, NewName);
+    CgA.joinWith(CgB);
+    St.Cg = std::move(CgA);
+    // A's anchor slots (lo$/ub$) were renamed into NewName by the join
+    // but describe A's old extent; drop them before the merged anchors
+    // take those names.
+    for (const std::string &Var : St.Cg.varNames()) {
+      if (Var.rfind(NewName + ".", 0) == 0 &&
+          Var.find('$') != std::string::npos)
+        St.Cg.removeVar(Var);
+    }
+    renameNsIn(St.Cg, "mrg$", NewName);
+    Anchored = Anchored.withRenamedVars([&](const std::string &Var) {
+      if (Var.rfind("mrg$.", 0) == 0)
+        return NewName + "." + Var.substr(5);
+      return Var;
+    });
+
+    ProcSetEntry Combined2;
+    Combined2.Name = NewName;
+    Combined2.Range = Anchored;
+    Combined2.Node = A.Node;
+    Combined2.NonUniform = std::move(NonUniform);
+
+    // Remove stale namespaces (B's vars survived in CgA, A's in CgB; both
+    // partially; clean them).
+    for (const std::string &Var : St.Cg.varNames()) {
+      if (Var.rfind(A.Name + ".", 0) == 0 ||
+          Var.rfind(B.Name + ".", 0) == 0)
+        St.Cg.removeVar(Var);
+    }
+
+    // Erase J first (higher index), then replace I.
+    St.Sets.erase(St.Sets.begin() + static_cast<long>(J));
+    St.Sets[I] = std::move(Combined2);
+  }
+
+  static void renameNsIn(ConstraintGraph &Cg, const std::string &FromNs,
+                         const std::string &ToNs) {
+    std::vector<std::pair<std::string, std::string>> Renames;
+    std::string Prefix = FromNs + ".";
+    for (const std::string &Var : Cg.varNames())
+      if (Var.rfind(Prefix, 0) == 0)
+        Renames.emplace_back(Var, ToNs + "." + Var.substr(Prefix.size()));
+    Cg.renameVars(Renames);
+  }
+
+  /// Reduces a range bound to one *stable* form. Stored bounds must never
+  /// reference a variable that a later transfer can mutate: enriched alias
+  /// forms (e.g. `i-1`) silently change meaning when `i` is reassigned.
+  /// Constants and globals are stable as-is; anything namespaced is pinned
+  /// into a fresh anchor variable in \p OwnerNs whose value the constraint
+  /// graph tracks exactly (assignments to the original variable shift the
+  /// relation, not the anchor). Aliases are recovered transiently via
+  /// enrichment whenever a query needs them.
+  SymBound anchorBound(PcfgState &St, const std::string &OwnerNs,
+                       const char *Slot, const SymBound &Bound) {
+    for (const LinearExpr &Form : Bound.forms())
+      if (Form.isConstant() || Form.var().find('.') == std::string::npos)
+        return SymBound(Form);
+    std::string Anchor = OwnerNs + "." + Slot;
+    St.Cg.assign(Anchor, Bound.primary());
+    return SymBound(LinearExpr(Anchor, 0));
+  }
+
+  ProcRange anchorRange(PcfgState &St, const std::string &OwnerNs,
+                        const ProcRange &Range) {
+    return ProcRange(anchorBound(St, OwnerNs, "lo$", Range.lb()),
+                     anchorBound(St, OwnerNs, "ub$", Range.ub()));
+  }
+
+  /// Replaces set \p Idx by \p Pieces (each with its own target node).
+  /// Returns the indices of the new sets, in piece order.
+  std::vector<size_t> replaceSet(PcfgState &St, size_t Idx,
+                                 const std::vector<SplitPiece> &Pieces) {
+    ProcSetEntry Old = St.Sets[Idx];
+    std::vector<size_t> NewIndices;
+    for (const SplitPiece &Piece : Pieces) {
+      ProcSetEntry E;
+      E.Name = freshSetName();
+      E.Range = Piece.Range;
+      E.Node = Piece.Node;
+      E.NonUniform = Old.NonUniform;
+      E.Range = anchorRange(St, E.Name, E.Range);
+      // Copy the old set's variable valuation: at split time all pieces
+      // agree with the parent exactly. The parent's `lo$`/`ub$` anchor
+      // slots are per-set metadata, not program state — copying them
+      // would contradict the piece's own freshly assigned anchors.
+      std::string OldPrefix = Old.Name + ".";
+      for (const std::string &Var : St.Cg.varNames()) {
+        if (Var.rfind(OldPrefix, 0) != 0)
+          continue;
+        std::string Base = Var.substr(OldPrefix.size());
+        if (Base.find('$') != std::string::npos)
+          continue;
+        St.Cg.addEQ(LinearExpr(E.Name + "." + Base, 0),
+                    LinearExpr(Var, 0));
+      }
+      NewIndices.push_back(St.Sets.size());
+      St.Sets.push_back(std::move(E));
+    }
+    St.dropSetVars(St.Sets[Idx]);
+    St.Sets.erase(St.Sets.begin() + static_cast<long>(Idx));
+    for (size_t &I : NewIndices)
+      --I; // Account for the erased entry before them.
+    return NewIndices;
+  }
+
+  /// Submits a successor state: joins/widens with any stored state at the
+  /// same configuration and enqueues when something changed.
+  void submit(PcfgState St) {
+    if (tracingEnabled())
+      std::fprintf(stderr, "submit(raw): %s\n", St.setsStr().c_str());
+    if (!St.Cg.isFeasible()) {
+      // Contradictory facts: this successor describes no execution.
+      if (tracingEnabled())
+        std::fprintf(stderr, "submit: infeasible state dropped\n");
+      return;
+    }
+    normalize(St);
+    if (St.Sets.size() > Opts.MaxProcSets) {
+      fail("process-set bound p=" + std::to_string(Opts.MaxProcSets) +
+           " exceeded");
+      return;
+    }
+
+    // Terminal state?
+    bool AllExit = true;
+    for (const ProcSetEntry &Set : St.Sets)
+      if (!Graph.node(Set.Node).isExit())
+        AllExit = false;
+    if (AllExit) {
+      for (const PendingSend &P : St.InFlight)
+        Result.Bugs.push_back(
+            {AnalysisBug::Kind::MessageLeak, P.SendNode,
+             "message from " + P.Senders.str() + " sent at " +
+                 Graph.nodeLabel(P.SendNode) + " is never received"});
+      recordFinalSnapshot(St);
+      return;
+    }
+
+    std::string Key = St.configKey();
+    if (tracingEnabled())
+      std::fprintf(stderr, "submit: key=%s  %s\n", Key.c_str(),
+                   St.setsStr().c_str());
+    std::vector<Stored> &Variants = Table[Key];
+    if (Variants.empty())
+      Result.ConfigsVisited++;
+
+    // Try to fold the new state into an existing variant; states that are
+    // not joinable (e.g. successive stages of a pipeline with no loop
+    // variable naming their progress) become separate variants.
+    // Widen only at configurations with a set inside a CFG loop body:
+    // repeated visits there are genuine loop iterations needing finite
+    // ascent, and loop guards are re-established by branch transfers on
+    // the next pass (the standard widening-with-guard pattern).
+    // Everywhere else a plain join converges once the loops stabilize.
+    bool AtLoopHeader = false;
+    for (const ProcSetEntry &Set : St.Sets)
+      if (Loops.isInLoop(Set.Node))
+        AtLoopHeader = true;
+
+    for (size_t V = 0; V < Variants.size(); ++V) {
+      Stored &Entry = Variants[V];
+      PcfgState Acc = Entry.State;
+      bool Widen = AtLoopHeader && Entry.Visits >= Opts.WidenDelay;
+      bool Ok = Widen ? widenStates(Acc, St) : joinStates(Acc, St);
+      if (!Ok)
+        continue;
+      Entry.Visits++;
+      if (statesEqual(Acc, Entry.State)) {
+        if (tracingEnabled())
+          std::fprintf(stderr, "submit: fixpoint at %s (variant %zu)\n",
+                       Key.c_str(), V);
+        return; // Fixpoint at this variant.
+      }
+      if (tracingEnabled())
+        std::fprintf(stderr, "submit: %s variant %zu updated (%s)\n",
+                     Key.c_str(), V, Widen ? "widen" : "join");
+      Entry.State = std::move(Acc);
+      Entry.Stuck.clear(); // Superseded; the variant will be re-stepped.
+      Worklist.push_back({Key, V});
+      return;
+    }
+    if (Variants.size() >= Opts.MaxVariantsPerConfig) {
+      fail("too many unjoinable states at configuration " + Key);
+      return;
+    }
+    Variants.push_back(Stored{std::move(St), 1});
+    Worklist.push_back({Key, Variants.size() - 1});
+  }
+
+  //===--------------------------------------------------------------------===
+  // Transfer functions
+  //===--------------------------------------------------------------------===
+
+  /// Applies `Var := E` on set \p Idx of \p St.
+  void transferAssign(PcfgState &St, size_t Idx, const std::string &Var,
+                      const Expr *E) {
+    ProcSetEntry &Set = St.Sets[Idx];
+    std::string Target = scoped(Set, Var);
+    bool Singleton = Set.Range.provablySingleton(St.Cg);
+
+    if (auto Offset = matchIdPlusC(E)) {
+      if (Singleton) {
+        St.Cg.assign(Target, Set.Range.lb().primary().plus(*Offset));
+        Set.NonUniform.erase(Var);
+        return;
+      }
+      St.Cg.havoc(Target);
+      Set.NonUniform.insert(Var);
+      return;
+    }
+
+    PartnerExpr P = classify(St, Set, E);
+    if (P.isUniform()) {
+      St.Cg.assign(Target, P.Value);
+      Set.NonUniform.erase(Var);
+      return;
+    }
+
+    // Complex right-hand side: value unknown.
+    St.Cg.havoc(Target);
+    std::set<std::string> Vars;
+    collectVars(E, Vars);
+    bool MayDiffer = dependsOnId(E) || containsInput(E);
+    for (const std::string &V : Vars)
+      if (Set.NonUniform.count(V))
+        MayDiffer = true;
+    if (MayDiffer && !Singleton)
+      Set.NonUniform.insert(Var);
+    else
+      Set.NonUniform.erase(Var);
+  }
+
+  /// Records what a print statement provably prints.
+  void transferPrint(PcfgState &St, size_t Idx, CfgNodeId Node,
+                     const Expr *E) {
+    ProcSetEntry &Set = St.Sets[Idx];
+    PrintFact Fact;
+    Fact.Node = Node;
+    Fact.SetRange = Set.Range.str();
+    PartnerExpr P = classify(St, Set, E);
+    if (P.isUniform()) {
+      if (P.Value.isConstant())
+        Fact.Value = P.Value.constant();
+      else if (auto C = St.Cg.constValue(P.Value.var()))
+        Fact.Value = *C + P.Value.constant();
+    }
+    Result.PrintFacts.insert(Fact);
+  }
+
+  /// Registers an assume's fact into the FactEnv and (when linear) the
+  /// constraint graph.
+  void transferAssume(PcfgState &St, size_t Idx, const Expr *Cond) {
+    if (globalsOnly(Cond))
+      addAssumeFact(St.Facts, Cond);
+    assumeRelational(St, Idx, Cond, /*Positive=*/true);
+  }
+
+  /// Conjoins a relational condition (or its negation) into the graph
+  /// when it is linear; silently keeps Top behaviour otherwise.
+  void assumeRelational(PcfgState &St, size_t Idx, const Expr *Cond,
+                        bool Positive) {
+    const auto *B = dyn_cast<BinaryExpr>(Cond);
+    if (!B)
+      return;
+    if (Positive && B->op() == BinaryOp::And) {
+      assumeRelational(St, Idx, B->lhs(), true);
+      assumeRelational(St, Idx, B->rhs(), true);
+      return;
+    }
+    if (!Positive && B->op() == BinaryOp::Or) {
+      assumeRelational(St, Idx, B->lhs(), false);
+      assumeRelational(St, Idx, B->rhs(), false);
+      return;
+    }
+    ProcSetEntry &Set = St.Sets[Idx];
+    PartnerExpr L = classify(St, Set, B->lhs());
+    PartnerExpr R = classify(St, Set, B->rhs());
+    if (!L.isUniform() || !R.isUniform())
+      return;
+    BinaryOp Op = B->op();
+    if (!Positive) {
+      switch (Op) {
+      case BinaryOp::Eq:
+        Op = BinaryOp::Ne;
+        break;
+      case BinaryOp::Ne:
+        Op = BinaryOp::Eq;
+        break;
+      case BinaryOp::Lt:
+        Op = BinaryOp::Ge;
+        break;
+      case BinaryOp::Le:
+        Op = BinaryOp::Gt;
+        break;
+      case BinaryOp::Gt:
+        Op = BinaryOp::Le;
+        break;
+      case BinaryOp::Ge:
+        Op = BinaryOp::Lt;
+        break;
+      default:
+        return;
+      }
+    }
+    switch (Op) {
+    case BinaryOp::Eq:
+      St.Cg.addEQ(L.Value, R.Value);
+      return;
+    case BinaryOp::Ne:
+      return; // Not expressible as a difference constraint.
+    case BinaryOp::Lt:
+      St.Cg.addLE(L.Value, R.Value.plus(-1));
+      return;
+    case BinaryOp::Le:
+      St.Cg.addLE(L.Value, R.Value);
+      return;
+    case BinaryOp::Gt:
+      St.Cg.addLE(R.Value, L.Value.plus(-1));
+      return;
+    case BinaryOp::Ge:
+      St.Cg.addLE(R.Value, L.Value);
+      return;
+    default:
+      return;
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Branches
+  //===--------------------------------------------------------------------===
+
+  /// Handles a branch by set \p Idx. Appends successor states.
+  bool transferBranch(PcfgState St, size_t Idx) {
+    const CfgNode &Node = Graph.node(St.Sets[Idx].Node);
+    const Expr *Cond = Node.Cond;
+    CfgNodeId TrueSucc = Graph.branchSuccessor(Node.Id, true);
+    CfgNodeId FalseSucc = Graph.branchSuccessor(Node.Id, false);
+
+    if (dependsOnId(Cond))
+      return splitOnIdBranch(std::move(St), Idx, Cond, TrueSucc, FalseSucc);
+
+    ProcSetEntry &Set = St.Sets[Idx];
+    // Data-dependent branch of a multi-process set: only exact when the
+    // decision is uniform across the set.
+    if (!Set.Range.provablySingleton(St.Cg)) {
+      std::set<std::string> Vars;
+      collectVars(Cond, Vars);
+      for (const std::string &V : Vars) {
+        if (Set.NonUniform.count(V)) {
+          fail("branch at " + Graph.nodeLabel(Node.Id) +
+               " depends on non-uniform variable '" + V +
+               "' of a multi-process set");
+          return false;
+        }
+      }
+    }
+
+    // Explore both outcomes, pruning infeasible ones.
+    PcfgState TrueSt = St;
+    TrueSt.Sets[Idx].Node = TrueSucc;
+    assumeRelational(TrueSt, Idx, Cond, /*Positive=*/true);
+    if (globalsOnly(Cond))
+      addAssumeFact(TrueSt.Facts, Cond);
+    if (TrueSt.Cg.isFeasible())
+      submit(std::move(TrueSt));
+
+    PcfgState FalseSt = std::move(St);
+    FalseSt.Sets[Idx].Node = FalseSucc;
+    assumeRelational(FalseSt, Idx, Cond, /*Positive=*/false);
+    if (FalseSt.Cg.isFeasible())
+      submit(std::move(FalseSt));
+    return true;
+  }
+
+  /// Provably larger / smaller of two bounds, or nullopt.
+  static std::optional<SymBound> maxBound(const SymBound &A,
+                                          const SymBound &B,
+                                          const ConstraintGraph &Cg) {
+    if (A.provablyLE(B, Cg))
+      return B;
+    if (B.provablyLE(A, Cg))
+      return A;
+    return std::nullopt;
+  }
+  static std::optional<SymBound> minBound(const SymBound &A,
+                                          const SymBound &B,
+                                          const ConstraintGraph &Cg) {
+    if (A.provablyLE(B, Cg))
+      return A;
+    if (B.provablyLE(A, Cg))
+      return B;
+    return std::nullopt;
+  }
+
+  /// Splits set \p Idx over an id-relational branch.
+  bool splitOnIdBranch(PcfgState St, size_t Idx, const Expr *Cond,
+                       CfgNodeId TrueSucc, CfgNodeId FalseSucc) {
+    const auto *B = dyn_cast<BinaryExpr>(Cond);
+    const ProcSetEntry &Set = St.Sets[Idx];
+    std::string Where = " at " + Graph.nodeLabel(Set.Node);
+    if (!B) {
+      fail("unsupported id-dependent branch" + Where);
+      return false;
+    }
+    // Normalize to `id <op> pivot`.
+    BinaryOp Op = B->op();
+    const Expr *IdSide = nullptr;
+    const Expr *PivotE = nullptr;
+    if (const auto *V = dyn_cast<VarRefExpr>(B->lhs());
+        V && V->isProcessId()) {
+      IdSide = B->lhs();
+      PivotE = B->rhs();
+    } else if (const auto *V2 = dyn_cast<VarRefExpr>(B->rhs());
+               V2 && V2->isProcessId()) {
+      IdSide = B->rhs();
+      PivotE = B->lhs();
+      switch (Op) {
+      case BinaryOp::Lt:
+        Op = BinaryOp::Gt;
+        break;
+      case BinaryOp::Le:
+        Op = BinaryOp::Ge;
+        break;
+      case BinaryOp::Gt:
+        Op = BinaryOp::Lt;
+        break;
+      case BinaryOp::Ge:
+        Op = BinaryOp::Le;
+        break;
+      default:
+        break;
+      }
+    }
+    if (!IdSide || dependsOnId(PivotE)) {
+      fail("unsupported id-dependent branch" + Where);
+      return false;
+    }
+    PartnerExpr Pivot = classify(St, Set, PivotE);
+    if (!Pivot.isUniform()) {
+      fail("id compared against non-uniform expression" + Where);
+      return false;
+    }
+    SymBound E(Pivot.Value);
+    E.enrich(St.Cg);
+
+    const SymBound &Lb = Set.Range.lb();
+    const SymBound &Ub = Set.Range.ub();
+
+    // Piece boundaries per operator; nullopt bound = unclipped.
+    struct PieceSpec {
+      std::optional<SymBound> Lo, Hi;
+      bool TakeTrue;
+    };
+    std::vector<PieceSpec> Specs;
+    switch (Op) {
+    case BinaryOp::Eq:
+      Specs = {{E, E, true}, {std::nullopt, E.plus(-1), false},
+               {E.plus(1), std::nullopt, false}};
+      break;
+    case BinaryOp::Ne:
+      Specs = {{E, E, false}, {std::nullopt, E.plus(-1), true},
+               {E.plus(1), std::nullopt, true}};
+      break;
+    case BinaryOp::Lt:
+      Specs = {{std::nullopt, E.plus(-1), true}, {E, std::nullopt, false}};
+      break;
+    case BinaryOp::Le:
+      Specs = {{std::nullopt, E, true}, {E.plus(1), std::nullopt, false}};
+      break;
+    case BinaryOp::Gt:
+      Specs = {{E.plus(1), std::nullopt, true}, {std::nullopt, E, false}};
+      break;
+    case BinaryOp::Ge:
+      Specs = {{E, std::nullopt, true}, {std::nullopt, E.plus(-1), false}};
+      break;
+    default:
+      fail("unsupported id-dependent branch operator" + Where);
+      return false;
+    }
+
+    std::vector<SplitPiece> Pieces;
+    for (const PieceSpec &Spec : Specs) {
+      std::optional<SymBound> Lo =
+          Spec.Lo ? maxBound(Lb, *Spec.Lo, St.Cg) : std::optional(Lb);
+      std::optional<SymBound> Hi =
+          Spec.Hi ? minBound(Ub, *Spec.Hi, St.Cg) : std::optional(Ub);
+      if (!Lo || !Hi) {
+        fail("cannot order split bounds" + Where);
+        return false;
+      }
+      ProcRange Piece(*Lo, *Hi);
+      // Provably empty pieces vanish; pieces with unknown emptiness are
+      // kept as possibly-empty sets and deleted if and when their
+      // emptiness is discovered.
+      if (Piece.provablyEmpty(St.Cg))
+        continue;
+      Pieces.push_back({Piece, Spec.TakeTrue ? TrueSucc : FalseSucc});
+    }
+    replaceSet(St, Idx, Pieces);
+    submit(std::move(St));
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Sends, receives and matching
+  //===--------------------------------------------------------------------===
+
+  //===--------------------------------------------------------------------===
+  // Aggregated send loops (Section X)
+  //===--------------------------------------------------------------------===
+
+  /// The recognized shape `branch(v <= UB) { send VAL -> v; v = v + 1; }`.
+  struct SendLoop {
+    CfgNodeId Branch = 0;
+    CfgNodeId SendNode = 0;
+    std::string Var;
+    const Expr *UpperBound = nullptr;
+    const Expr *ValueExpr = nullptr;
+    const Expr *TagExpr = nullptr;
+    CfgNodeId ExitNode = 0;
+  };
+
+  /// Recognizes a send loop rooted at branch node \p BranchId.
+  std::optional<SendLoop> matchSendLoop(CfgNodeId BranchId) const {
+    const CfgNode &Branch = Graph.node(BranchId);
+    if (!Branch.isBranch())
+      return std::nullopt;
+    const auto *Cond = dyn_cast<BinaryExpr>(Branch.Cond);
+    if (!Cond || Cond->op() != BinaryOp::Le)
+      return std::nullopt;
+    const auto *Var = dyn_cast<VarRefExpr>(Cond->lhs());
+    if (!Var || Var->isProcessId() || Var->isProcessCount())
+      return std::nullopt;
+
+    SendLoop Loop;
+    Loop.Branch = BranchId;
+    Loop.Var = Var->name();
+    Loop.UpperBound = Cond->rhs();
+    Loop.ExitNode = Graph.branchSuccessor(BranchId, false);
+
+    // Body: exactly Send(dest == v) then v = v + 1 back to the branch.
+    CfgNodeId SendId = Graph.branchSuccessor(BranchId, true);
+    const CfgNode &Send = Graph.node(SendId);
+    if (Send.Kind != CfgNodeKind::Send)
+      return std::nullopt;
+    const auto *Dest = dyn_cast<VarRefExpr>(Send.Partner);
+    if (!Dest || Dest->name() != Loop.Var)
+      return std::nullopt;
+    if (Send.Succs.size() != 1)
+      return std::nullopt;
+    CfgNodeId StepId = Graph.soleSuccessor(SendId);
+    const CfgNode &Step = Graph.node(StepId);
+    if (Step.Kind != CfgNodeKind::Assign || Step.Var != Loop.Var)
+      return std::nullopt;
+    auto Inc = matchIdPlusC(Step.Value);
+    (void)Inc; // Step must be v = v + 1 (id-form does not apply here).
+    auto Lin = LinearExpr::fromExpr(Step.Value);
+    if (!Lin || !Lin->hasVar() || Lin->var() != Loop.Var ||
+        Lin->constant() != 1)
+      return std::nullopt;
+    if (Step.Succs.size() != 1 || Graph.soleSuccessor(StepId) != BranchId)
+      return std::nullopt;
+
+    Loop.SendNode = SendId;
+    Loop.ValueExpr = Send.Value;
+    Loop.TagExpr = Send.Tag;
+    return Loop;
+  }
+
+  /// Summarizes the whole remaining send loop of set \p Idx (sitting at
+  /// the loop branch) into one aggregated pending record and advances the
+  /// set past the loop. Returns false when preconditions fail (caller
+  /// falls back to per-iteration exploration).
+  bool emitAggregateSendLoop(PcfgState &St, size_t Idx,
+                             const SendLoop &Loop) {
+    ProcSetEntry &Set = St.Sets[Idx];
+    if (!Set.Range.provablySingleton(St.Cg))
+      return false;
+    if (St.InFlight.size() >= Opts.MaxInFlight)
+      return false;
+
+    // Loop bounds: v's current value .. UB (uniform).
+    std::string ScopedVar = scoped(Set, Loop.Var);
+    PartnerExpr Ub = classify(St, Set, Loop.UpperBound);
+    if (!Ub.isUniform())
+      return false;
+    SymBound Lo((LinearExpr(ScopedVar, 0)));
+    SymBound Hi(Ub.Value);
+    ProcRange Agg(Lo, Hi);
+    // The summary asserts "the loop body ran for v = lo..UB and exited
+    // with v == UB+1", which is only exact when the loop provably runs at
+    // least once. Otherwise fall back to per-iteration exploration.
+    if (!Agg.provablyNonEmpty(St.Cg))
+      return false;
+
+    PendingSend P;
+    P.SendNode = Loop.SendNode;
+    P.Seq = St.NextSeq++;
+    P.FreezeNs = "q" + std::to_string(P.Seq);
+    P.IsAggregate = true;
+
+    if (auto Tag = classifyTag(St, Set, Loop.TagExpr)) {
+      if (Tag->hasVar() && Tag->var().find('.') != std::string::npos) {
+        St.Cg.assign(P.FreezeNs + ".tag", *Tag);
+        P.Tag = LinearExpr(P.FreezeNs + ".tag", 0);
+      } else {
+        P.Tag = Tag;
+      }
+    }
+
+    // The per-iteration value: uniform only if it does not read the loop
+    // variable (every receiver then gets the same value).
+    PartnerExpr Value = classify(St, Set, Loop.ValueExpr);
+    std::set<std::string> ValueVars;
+    collectVars(Loop.ValueExpr, ValueVars);
+    if (Value.isUniform() && !ValueVars.count(Loop.Var)) {
+      if (Value.Value.hasVar() &&
+          Value.Value.var().find('.') != std::string::npos) {
+        St.Cg.assign(P.FreezeNs + ".val", Value.Value);
+        P.Value = LinearExpr(P.FreezeNs + ".val", 0);
+      } else {
+        P.Value = Value.Value;
+      }
+    }
+
+    P.Senders = ProcRange(anchorBound(St, P.FreezeNs, "lo", Set.Range.lb()),
+                          anchorBound(St, P.FreezeNs, "hi", Set.Range.ub()));
+    P.AggRange = ProcRange(anchorBound(St, P.FreezeNs, "alo", Lo),
+                           anchorBound(St, P.FreezeNs, "ahi", Hi));
+    St.InFlight.push_back(std::move(P));
+
+    // The sender has executed the entire loop: v = UB + 1, exit edge.
+    St.Cg.assign(ScopedVar, Hi.primary().plus(1));
+    Set.Node = Loop.ExitNode;
+    if (tracingEnabled())
+      std::fprintf(stderr, "aggregated send loop at n%u: range %s\n",
+                   Loop.SendNode, St.InFlight.back().AggRange.str().c_str());
+    return true;
+  }
+
+  /// Matches an aggregated pending against a blocked receiver set: each
+  /// rank in the aggregate range holds exactly one message from the
+  /// singleton sender, so receivers whose claimed source equals the
+  /// sender's rank match en masse.
+  std::optional<MatchResult> aggregateMatch(const PcfgState &St,
+                                            const PendingSend &P,
+                                            const CommDesc &Recv,
+                                            bool &TagConflict) const {
+    TagConflict = false;
+    if (!P.Tag || !Recv.Tag)
+      return std::nullopt;
+    if (!St.Cg.provesEQ(*P.Tag, *Recv.Tag)) {
+      if (St.Cg.provesLE(P.Tag->plus(1), *Recv.Tag) ||
+          St.Cg.provesLE(Recv.Tag->plus(1), *P.Tag))
+        TagConflict = true;
+      return std::nullopt;
+    }
+
+    const SymBound &SenderRank = P.Senders.lb();
+    ProcRange Candidates = P.AggRange;
+
+    if (Recv.Partner.isUniform()) {
+      SymBound Claimed(Recv.Partner.Value);
+      Claimed.enrich(St.Cg);
+      if (!SenderRank.provablyEQ(Claimed, St.Cg))
+        return std::nullopt;
+      auto RProcs = tryIntersect(Candidates, Recv.Range, St.Cg);
+      if (!RProcs)
+        return std::nullopt;
+      MatchResult M;
+      M.SProcs = P.Senders;
+      M.RProcs = *RProcs;
+      M.SenderFull = true; // The sender set itself is never split.
+      if (!M.RProcs.provablyNonEmpty(St.Cg))
+        return std::nullopt;
+      if (provablyEqual(M.RProcs, Recv.Range, St.Cg)) {
+        M.ReceiverFull = true;
+      } else {
+        auto Diff = tryDifference(Recv.Range, M.RProcs, St.Cg);
+        if (!Diff)
+          return std::nullopt;
+        M.ReceiverFull = false;
+        M.ReceiverRest = *Diff;
+      }
+      // The aggregate-range leftover rides in SenderRest (consumed by the
+      // aggregate-aware pending update).
+      auto AggDiff = tryDifference(Candidates, M.RProcs, St.Cg);
+      if (!AggDiff)
+        return std::nullopt;
+      M.SenderRest = *AggDiff;
+      return M;
+    }
+
+    if (Recv.Partner.isIdPlusC()) {
+      // Claimed source id + c equals the sender only for the single rank
+      // senderRank - c.
+      SymBound R0 = SenderRank.plus(-Recv.Partner.Offset);
+      ProcRange Single(R0, R0);
+      if (!provablyContains(Candidates, Single, St.Cg) ||
+          !provablyContains(Recv.Range, Single, St.Cg))
+        return std::nullopt;
+      MatchResult M;
+      M.SProcs = P.Senders;
+      M.RProcs = Single;
+      M.SenderFull = true;
+      auto RDiff = tryDifference(Recv.Range, Single, St.Cg);
+      auto ADiff = tryDifference(Candidates, Single, St.Cg);
+      if (!RDiff || !ADiff)
+        return std::nullopt;
+      M.ReceiverFull =
+          !RDiff->Before.has_value() && !RDiff->After.has_value();
+      M.ReceiverRest = *RDiff;
+      M.SenderRest = *ADiff;
+      return M;
+    }
+    return std::nullopt;
+  }
+
+  /// The recognized shape `branch(v <= UB) { recv W <- v; v = v + 1; }`.
+  struct RecvLoop {
+    CfgNodeId Branch = 0;
+    CfgNodeId RecvNode = 0;
+    std::string Var;     ///< Loop variable (also the source expression).
+    std::string RecvVar; ///< Variable received into.
+    const Expr *UpperBound = nullptr;
+    const Expr *TagExpr = nullptr;
+    CfgNodeId ExitNode = 0;
+  };
+
+  /// Recognizes a receive loop rooted at branch node \p BranchId.
+  std::optional<RecvLoop> matchRecvLoop(CfgNodeId BranchId) const {
+    const CfgNode &Branch = Graph.node(BranchId);
+    if (!Branch.isBranch())
+      return std::nullopt;
+    const auto *Cond = dyn_cast<BinaryExpr>(Branch.Cond);
+    if (!Cond || Cond->op() != BinaryOp::Le)
+      return std::nullopt;
+    const auto *Var = dyn_cast<VarRefExpr>(Cond->lhs());
+    if (!Var || Var->isProcessId() || Var->isProcessCount())
+      return std::nullopt;
+
+    RecvLoop Loop;
+    Loop.Branch = BranchId;
+    Loop.Var = Var->name();
+    Loop.UpperBound = Cond->rhs();
+    Loop.ExitNode = Graph.branchSuccessor(BranchId, false);
+
+    CfgNodeId RecvId = Graph.branchSuccessor(BranchId, true);
+    const CfgNode &Recv = Graph.node(RecvId);
+    if (Recv.Kind != CfgNodeKind::Recv)
+      return std::nullopt;
+    const auto *Src = dyn_cast<VarRefExpr>(Recv.Partner);
+    if (!Src || Src->name() != Loop.Var)
+      return std::nullopt;
+    if (Recv.Succs.size() != 1)
+      return std::nullopt;
+    CfgNodeId StepId = Graph.soleSuccessor(RecvId);
+    const CfgNode &Step = Graph.node(StepId);
+    if (Step.Kind != CfgNodeKind::Assign || Step.Var != Loop.Var)
+      return std::nullopt;
+    auto Lin = LinearExpr::fromExpr(Step.Value);
+    if (!Lin || !Lin->hasVar() || Lin->var() != Loop.Var ||
+        Lin->constant() != 1)
+      return std::nullopt;
+    if (Step.Succs.size() != 1 || Graph.soleSuccessor(StepId) != BranchId)
+      return std::nullopt;
+
+    Loop.RecvNode = RecvId;
+    Loop.RecvVar = Recv.Var;
+    Loop.TagExpr = Recv.Tag;
+    return Loop;
+  }
+
+  /// Consumes a whole in-flight sender block through a receive loop: the
+  /// singleton receiver's loop over v = lo..UB receives one message from
+  /// each rank in [lo..UB]; a pending with uniform destination equal to
+  /// the receiver's rank and sender range exactly [lo..UB] satisfies the
+  /// entire loop at once. Returns false when preconditions fail.
+  bool consumeRecvLoop(PcfgState &St, size_t Idx, const RecvLoop &Loop) {
+    ProcSetEntry &Set = St.Sets[Idx];
+    if (!Set.Range.provablySingleton(St.Cg))
+      return false;
+
+    std::string ScopedVar = scoped(Set, Loop.Var);
+    PartnerExpr Ub = classify(St, Set, Loop.UpperBound);
+    if (!Ub.isUniform())
+      return false;
+    SymBound Lo((LinearExpr(ScopedVar, 0)));
+    SymBound Hi(Ub.Value);
+    ProcRange Sources(Lo, Hi);
+    if (!Sources.provablyNonEmpty(St.Cg))
+      return false;
+
+    std::optional<LinearExpr> WantTag = classifyTag(St, Set, Loop.TagExpr);
+    if (!WantTag)
+      return false;
+
+    for (size_t P = 0; P < St.InFlight.size(); ++P) {
+      const PendingSend &Pending = St.InFlight[P];
+      if (Pending.IsAggregate || !Pending.DestUniform || !Pending.Tag)
+        continue;
+      // Destination must be this receiver's rank; tag must agree; the
+      // sender block must be exactly the loop's source range; earlier
+      // pendings must provably not interfere.
+      SymBound Dest(*Pending.DestUniform);
+      Dest.enrich(St.Cg);
+      if (!Dest.provablyEQ(Set.Range.lb(), St.Cg))
+        continue;
+      if (!St.Cg.provesEQ(*Pending.Tag, *WantTag))
+        continue;
+      if (!provablyEqual(Pending.Senders, Sources, St.Cg))
+        continue;
+      bool Interferes = false;
+      for (size_t Q = 0; Q < P && !Interferes; ++Q) {
+        const PendingSend &Earlier = St.InFlight[Q];
+        if (provablyDisjoint(Earlier.Senders, Pending.Senders, St.Cg))
+          continue;
+        auto Image = pendingImage(Earlier);
+        if (Image && provablyDisjoint(*Image, Set.Range, St.Cg))
+          continue;
+        Interferes = true;
+      }
+      if (Interferes)
+        continue;
+
+      Result.Matches.insert({Pending.SendNode, Loop.RecvNode,
+                             displayRange(Pending.Senders),
+                             displayRange(Set.Range)});
+      St.InFlight.erase(St.InFlight.begin() + static_cast<long>(P));
+
+      // The receiver executed the whole loop: the received values come
+      // from distinct senders, so the variable is unknown (but uniform on
+      // this singleton).
+      St.Cg.havoc(scoped(Set, Loop.RecvVar));
+      Set.NonUniform.erase(Loop.RecvVar);
+      St.Cg.assign(ScopedVar, Hi.primary().plus(1));
+      Set.Node = Loop.ExitNode;
+      if (tracingEnabled())
+        std::fprintf(stderr, "aggregated recv loop at n%u consumed %s\n",
+                     Loop.RecvNode, Sources.str().c_str());
+      return true;
+    }
+    return false;
+  }
+
+  /// Buffered-send emission: freeze the send's expressions and advance.
+  bool emitSend(PcfgState &St, size_t Idx) {
+    if (St.InFlight.size() >= Opts.MaxInFlight) {
+      fail("in-flight send bound exceeded (aggregation of unbounded "
+           "non-blocking sends is future work, Section X)");
+      return false;
+    }
+    ProcSetEntry &Set = St.Sets[Idx];
+    const CfgNode &Node = Graph.node(Set.Node);
+
+    PendingSend P;
+    P.SendNode = Node.Id;
+    P.Seq = St.NextSeq++;
+    P.FreezeNs = "q" + std::to_string(P.Seq);
+
+    // Freeze a uniform LinearExpr into the pending's namespace when it
+    // references a mutable (namespaced) variable.
+    auto Freeze = [&](const LinearExpr &Value,
+                      const std::string &Slot) -> LinearExpr {
+      if (Value.isConstant() ||
+          Value.var().find('.') == std::string::npos)
+        return Value;
+      std::string Frozen = P.FreezeNs + "." + Slot;
+      St.Cg.assign(Frozen, Value);
+      return LinearExpr(Frozen, 0);
+    };
+
+    PartnerExpr Dest = classify(St, Set, Node.Partner);
+    if (Dest.isIdPlusC()) {
+      P.DestIsIdPlusC = true;
+      P.DestOffset = Dest.Offset;
+    } else if (Dest.isUniform()) {
+      P.DestUniform = Freeze(Dest.Value, "dest");
+    }
+    P.DestExprAst = Node.Partner;
+    P.DestGlobalsOnly = globalsOnly(Node.Partner);
+    if (!P.DestIsIdPlusC && !P.DestUniform && !P.DestGlobalsOnly) {
+      fail("cannot represent in-flight send destination at " +
+           Graph.nodeLabel(Node.Id));
+      return false;
+    }
+
+    if (auto Tag = classifyTag(St, Set, Node.Tag))
+      P.Tag = Freeze(*Tag, "tag");
+
+    PartnerExpr Value = classify(St, Set, Node.Value);
+    if (Value.isUniform())
+      P.Value = Freeze(Value.Value, "val");
+    else if (auto Offset = matchIdPlusC(Node.Value);
+             Offset && Set.Range.provablySingleton(St.Cg))
+      P.Value = Freeze(Set.Range.lb().primary().plus(*Offset), "val");
+
+    // Freeze the sender bounds.
+    auto FreezeBound = [&](const SymBound &Bound,
+                           const std::string &Slot) -> SymBound {
+      const LinearExpr &Primary = Bound.primary();
+      if (Primary.isConstant() ||
+          Primary.var().find('.') == std::string::npos)
+        return Bound;
+      std::string Frozen = P.FreezeNs + "." + Slot;
+      St.Cg.assign(Frozen, Primary);
+      return SymBound(LinearExpr(Frozen, 0));
+    };
+    P.Senders = ProcRange(FreezeBound(Set.Range.lb(), "lo"),
+                          FreezeBound(Set.Range.ub(), "hi"));
+
+    St.InFlight.push_back(std::move(P));
+    Set.Node = Graph.soleSuccessor(Set.Node);
+    return true;
+  }
+
+  /// Builds the CommDesc of a pending send.
+  CommDesc descOfPending(const PendingSend &P) const {
+    CommDesc D;
+    D.Node = P.SendNode;
+    D.Range = P.Senders;
+    if (P.DestIsIdPlusC) {
+      D.Partner.TheKind = PartnerExpr::Kind::IdPlusC;
+      D.Partner.Offset = P.DestOffset;
+    } else if (P.DestUniform) {
+      D.Partner.TheKind = PartnerExpr::Kind::Uniform;
+      D.Partner.Value = *P.DestUniform;
+    }
+    D.PartnerAst = P.DestExprAst;
+    D.PartnerGlobalsOnly = P.DestGlobalsOnly;
+    D.Tag = P.Tag;
+    return D;
+  }
+
+  /// Builds the CommDesc of a process set blocked at a send or recv node.
+  CommDesc descOfSet(const PcfgState &St, const ProcSetEntry &Set) const {
+    const CfgNode &Node = Graph.node(Set.Node);
+    CommDesc D;
+    D.Node = Node.Id;
+    D.Range = Set.Range;
+    D.Range.enrich(St.Cg);
+    D.Partner = classify(St, Set, Node.Partner);
+    D.PartnerAst = Node.Partner;
+    D.PartnerGlobalsOnly = globalsOnly(Node.Partner);
+    D.Tag = classifyTag(St, Set, Node.Tag);
+    return D;
+  }
+
+  /// The destination image of a pending send, for FIFO ordering checks.
+  std::optional<ProcRange> pendingImage(const PendingSend &P) const {
+    if (P.IsAggregate)
+      return P.AggRange;
+    if (P.DestIsIdPlusC)
+      return P.Senders.shifted(P.DestOffset);
+    if (P.DestUniform)
+      return ProcRange(SymBound(*P.DestUniform), SymBound(*P.DestUniform));
+    return std::nullopt;
+  }
+
+  /// FIFO safety: an earlier pending must provably not deliver to the
+  /// candidate receivers from the candidate senders.
+  bool fifoSafe(const PcfgState &St, size_t PendingIdx,
+                const MatchResult &M) const {
+    for (size_t I = 0; I < PendingIdx; ++I) {
+      const PendingSend &Earlier = St.InFlight[I];
+      if (provablyDisjoint(Earlier.Senders, M.SProcs, St.Cg))
+        continue;
+      auto Image = pendingImage(Earlier);
+      if (Image && provablyDisjoint(*Image, M.RProcs, St.Cg))
+        continue;
+      return false;
+    }
+    return true;
+  }
+
+  /// Applies a successful match: advances/splits the receiver set,
+  /// advances/splits the sender (set or pending), propagates the sent
+  /// value, and records the match. Then submits the successor.
+  void applyMatch(PcfgState St, std::optional<size_t> SenderSetIdx,
+                  std::optional<size_t> PendingIdx, size_t RecvIdx,
+                  const MatchResult &MIn, std::optional<LinearExpr> Value,
+                  CfgNodeId SendNode) {
+    // The match ranges may reference variables of the sets about to be
+    // replaced (whose namespaces are dropped). Pin every range into
+    // scratch anchors first; the per-piece anchors in replaceSet then
+    // chain off these, and the scratch namespace is collected at the end.
+    unsigned ScratchId = 0;
+    auto Scratch = [&](const ProcRange &R) {
+      return anchorRange(St, "mt$" + std::to_string(ScratchId++), R);
+    };
+    MatchResult M = MIn;
+    M.SProcs = Scratch(M.SProcs);
+    M.RProcs = Scratch(M.RProcs);
+    if (M.SenderRest.Before)
+      M.SenderRest.Before = Scratch(*M.SenderRest.Before);
+    if (M.SenderRest.After)
+      M.SenderRest.After = Scratch(*M.SenderRest.After);
+    if (M.ReceiverRest.Before)
+      M.ReceiverRest.Before = Scratch(*M.ReceiverRest.Before);
+    if (M.ReceiverRest.After)
+      M.ReceiverRest.After = Scratch(*M.ReceiverRest.After);
+
+    const CfgNode &RecvNode = Graph.node(St.Sets[RecvIdx].Node);
+    CfgNodeId RecvId = RecvNode.Id;
+    std::string RecvVar = RecvNode.Var;
+
+    Result.Matches.insert({SendNode, RecvId, displayRange(MIn.SProcs),
+                           displayRange(MIn.RProcs)});
+
+    // Receiver side: matched piece advances, the rest stays blocked.
+    std::vector<SplitPiece> Pieces;
+    Pieces.push_back({M.RProcs, Graph.soleSuccessor(RecvId)});
+    if (!M.ReceiverFull) {
+      if (M.ReceiverRest.Before)
+        Pieces.push_back({*M.ReceiverRest.Before, RecvId});
+      if (M.ReceiverRest.After)
+        Pieces.push_back({*M.ReceiverRest.After, RecvId});
+    }
+    std::vector<size_t> NewIdx = replaceSet(St, RecvIdx, Pieces);
+
+    // Value propagation into the matched receivers.
+    ProcSetEntry &Matched = St.Sets[NewIdx[0]];
+    std::string Target = scoped(Matched, RecvVar);
+    if (Value) {
+      St.Cg.assign(Target, *Value);
+      Matched.NonUniform.erase(RecvVar);
+    } else {
+      St.Cg.havoc(Target);
+      if (!Matched.Range.provablySingleton(St.Cg))
+        Matched.NonUniform.insert(RecvVar);
+      else
+        Matched.NonUniform.erase(RecvVar);
+    }
+
+    // Sender side.
+    if (SenderSetIdx) {
+      size_t SIdx = *SenderSetIdx;
+      // Indices moved: the receiver set was erased/reinserted at the end;
+      // recompute the sender index by name would be cleaner, but the
+      // receiver replacement only erased RecvIdx and appended new sets.
+      if (SIdx > RecvIdx)
+        --SIdx;
+      CfgNodeId SendNodeId = St.Sets[SIdx].Node;
+      std::vector<SplitPiece> SPieces;
+      SPieces.push_back({M.SProcs, Graph.soleSuccessor(SendNodeId)});
+      if (!M.SenderFull) {
+        if (M.SenderRest.Before)
+          SPieces.push_back({*M.SenderRest.Before, SendNodeId});
+        if (M.SenderRest.After)
+          SPieces.push_back({*M.SenderRest.After, SendNodeId});
+      }
+      replaceSet(St, SIdx, SPieces);
+    } else if (PendingIdx) {
+      size_t PIdx = *PendingIdx;
+      PendingSend Old = St.InFlight[PIdx];
+      St.InFlight.erase(St.InFlight.begin() + static_cast<long>(PIdx));
+      if (Old.IsAggregate) {
+        // Aggregate consumption: the matched receivers leave the range;
+        // leftovers (rides in SenderRest) stay in flight under fresh
+        // freeze namespaces.
+        auto ReinsertAgg = [&](const ProcRange &Rest) {
+          PendingSend Piece = Old;
+          Piece.Seq = St.NextSeq++;
+          Piece.FreezeNs = "q" + std::to_string(Piece.Seq);
+          std::string OldPrefix = Old.FreezeNs + ".";
+          for (const std::string &Var : St.Cg.varNames()) {
+            if (Var.rfind(OldPrefix, 0) != 0)
+              continue;
+            St.Cg.addEQ(LinearExpr(Piece.FreezeNs + "." +
+                                       Var.substr(OldPrefix.size()),
+                                   0),
+                        LinearExpr(Var, 0));
+          }
+          auto Retarget = [&](std::optional<LinearExpr> &L) {
+            if (L && L->hasVar() && L->var().rfind(OldPrefix, 0) == 0)
+              L = LinearExpr(Piece.FreezeNs + "." +
+                                 L->var().substr(OldPrefix.size()),
+                             L->constant());
+          };
+          Retarget(Piece.Tag);
+          Retarget(Piece.Value);
+          Piece.Senders =
+              Old.Senders.withRenamedVars([&](const std::string &V) {
+                if (V.rfind(OldPrefix, 0) == 0)
+                  return Piece.FreezeNs + "." + V.substr(OldPrefix.size());
+                return V;
+              });
+          Piece.AggRange =
+              ProcRange(anchorBound(St, Piece.FreezeNs, "alo", Rest.lb()),
+                        anchorBound(St, Piece.FreezeNs, "ahi", Rest.ub()));
+          St.InFlight.insert(St.InFlight.begin() + static_cast<long>(PIdx),
+                             Piece);
+        };
+        if (M.SenderRest.After)
+          ReinsertAgg(*M.SenderRest.After);
+        if (M.SenderRest.Before)
+          ReinsertAgg(*M.SenderRest.Before);
+      } else if (!M.SenderFull) {
+        // Leftover pieces get a fresh freeze namespace: their bounds may
+        // reference mutable variables (e.g. a loop counter) and must be
+        // pinned, and the frozen payload is copied so the old namespace
+        // can be collected independently.
+        auto Reinsert = [&](const ProcRange &Rest) {
+          PendingSend Piece = Old;
+          Piece.Seq = St.NextSeq++;
+          Piece.FreezeNs = "q" + std::to_string(Piece.Seq);
+          std::string OldPrefix = Old.FreezeNs + ".";
+          for (const std::string &Var : St.Cg.varNames()) {
+            if (Var.rfind(OldPrefix, 0) != 0)
+              continue;
+            St.Cg.addEQ(
+                LinearExpr(Piece.FreezeNs + "." + Var.substr(OldPrefix.size()),
+                           0),
+                LinearExpr(Var, 0));
+          }
+          auto Retarget = [&](std::optional<LinearExpr> &L) {
+            if (L && L->hasVar() && L->var().rfind(OldPrefix, 0) == 0)
+              L = LinearExpr(Piece.FreezeNs + "." +
+                                 L->var().substr(OldPrefix.size()),
+                             L->constant());
+          };
+          Retarget(Piece.DestUniform);
+          Retarget(Piece.Tag);
+          Retarget(Piece.Value);
+          Piece.Senders =
+              ProcRange(anchorBound(St, Piece.FreezeNs, "lo", Rest.lb()),
+                        anchorBound(St, Piece.FreezeNs, "hi", Rest.ub()));
+          St.InFlight.insert(St.InFlight.begin() + static_cast<long>(PIdx),
+                             Piece);
+        };
+        // Keep FIFO position.
+        if (M.SenderRest.After)
+          Reinsert(*M.SenderRest.After);
+        if (M.SenderRest.Before)
+          Reinsert(*M.SenderRest.Before);
+      }
+    }
+
+    // Collect the scratch anchors; relations they mediated are preserved
+    // by the closure.
+    for (const std::string &Var : St.Cg.varNames())
+      if (Var.rfind("mt$", 0) == 0)
+        St.Cg.removeVar(Var);
+
+    submit(std::move(St));
+  }
+
+  /// Figure 4's matchSendsRecvs: scans sender/receiver candidates and
+  /// applies the first provable match. Returns true when one was applied.
+  bool tryMatching(const PcfgState &St) {
+    // Receiver candidates.
+    for (size_t R = 0; R < St.Sets.size(); ++R) {
+      if (Graph.node(St.Sets[R].Node).Kind != CfgNodeKind::Recv)
+        continue;
+      CommDesc RecvD = descOfSet(St, St.Sets[R]);
+
+      // Buffered: in-flight sends in FIFO order.
+      for (size_t P = 0; P < St.InFlight.size(); ++P) {
+        bool TagConflict = false;
+        std::optional<MatchResult> M;
+        if (St.InFlight[P].IsAggregate) {
+          M = aggregateMatch(St, St.InFlight[P], RecvD, TagConflict);
+        } else {
+          CommDesc SendD = descOfPending(St.InFlight[P]);
+          M = tryMatch(Opts, SendD, RecvD, St.Cg, St.Facts, TagConflict);
+        }
+        if (TagConflict)
+          noteTagConflict(St.InFlight[P].SendNode, RecvD.Node);
+        if (!M || !fifoSafe(St, P, *M))
+          continue;
+        applyMatch(St, std::nullopt, P, R, *M, St.InFlight[P].Value,
+                   St.InFlight[P].SendNode);
+        return true;
+      }
+
+      // Blocking: process sets waiting at send nodes.
+      if (Opts.Sends == SendSemantics::Blocking) {
+        for (size_t S = 0; S < St.Sets.size(); ++S) {
+          if (S == R || Graph.node(St.Sets[S].Node).Kind != CfgNodeKind::Send)
+            continue;
+          CommDesc SendD = descOfSet(St, St.Sets[S]);
+          bool TagConflict = false;
+          auto M =
+              tryMatch(Opts, SendD, RecvD, St.Cg, St.Facts, TagConflict);
+          if (TagConflict)
+            noteTagConflict(SendD.Node, RecvD.Node);
+          if (!M)
+            continue;
+          // Value at match time: classified on the sender set now.
+          const CfgNode &SendNode = Graph.node(St.Sets[S].Node);
+          std::optional<LinearExpr> Value;
+          PartnerExpr V = classify(St, St.Sets[S], SendNode.Value);
+          if (V.isUniform())
+            Value = V.Value;
+          else if (auto Off = matchIdPlusC(SendNode.Value);
+                   Off && St.Sets[S].Range.provablySingleton(St.Cg))
+            Value = St.Sets[S].Range.lb().primary().plus(*Off);
+          applyMatch(St, S, std::nullopt, R, *M, Value, SendNode.Id);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Records, for a terminal state, which program variables provably hold
+  /// one constant on every process — the raw material of the paper's
+  /// constant-sharing client.
+  void recordFinalSnapshot(const PcfgState &St) {
+    std::map<std::string, std::optional<std::int64_t>> Snapshot;
+    for (const std::string &Var : AssignedVars) {
+      std::optional<std::int64_t> Agreed;
+      bool Diverged = false;
+      for (const ProcSetEntry &Set : St.Sets) {
+        auto C = St.Cg.constValue(scoped(Set, Var));
+        if (!C || Set.NonUniform.count(Var) ||
+            (Agreed && *Agreed != *C)) {
+          Diverged = true;
+          break;
+        }
+        Agreed = C;
+      }
+      Snapshot[Var] =
+          (!Diverged && Agreed) ? Agreed : std::optional<std::int64_t>();
+    }
+    Result.FinalSnapshots.push_back(std::move(Snapshot));
+  }
+
+  void noteTagConflict(CfgNodeId SendNode, CfgNodeId RecvNode) {
+    std::string Detail = "send at " + Graph.nodeLabel(SendNode) +
+                         " and recv at " + Graph.nodeLabel(RecvNode) +
+                         " use provably different tags";
+    for (const AnalysisBug &B : Result.Bugs)
+      if (B.TheKind == AnalysisBug::Kind::TagMismatch && B.Detail == Detail)
+        return;
+    Result.Bugs.push_back(
+        {AnalysisBug::Kind::TagMismatch, SendNode, Detail});
+  }
+
+  //===--------------------------------------------------------------------===
+  // The main step function
+  //===--------------------------------------------------------------------===
+
+  /// Advances every set of \p St through straight-line nodes until all
+  /// sets sit at a blocking point (comm op, exit) or a branch. Macro-
+  /// stepping to quiescence is justified by interleaving-obliviousness
+  /// and keeps states at shared configurations canonical, so joins do not
+  /// mix partially advanced interleavings. Returns true if anything moved.
+  bool advanceToQuiescence(PcfgState &St) {
+    bool Moved = false;
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (size_t I = 0; I < St.Sets.size(); ++I) {
+        const CfgNode &Node = Graph.node(St.Sets[I].Node);
+        switch (Node.Kind) {
+        case CfgNodeKind::Entry:
+        case CfgNodeKind::Skip:
+        case CfgNodeKind::Assert: // A proof obligation, not a fact.
+          St.Sets[I].Node = Graph.soleSuccessor(Node.Id);
+          break;
+        case CfgNodeKind::Assign:
+          transferAssign(St, I, Node.Var, Node.Value);
+          St.Sets[I].Node = Graph.soleSuccessor(Node.Id);
+          break;
+        case CfgNodeKind::Print:
+          transferPrint(St, I, Node.Id, Node.Value);
+          St.Sets[I].Node = Graph.soleSuccessor(Node.Id);
+          break;
+        case CfgNodeKind::Assume:
+          transferAssume(St, I, Node.Cond);
+          St.Sets[I].Node = Graph.soleSuccessor(Node.Id);
+          break;
+        case CfgNodeKind::Send:
+          if (Opts.Sends == SendSemantics::Buffered) {
+            if (!emitSend(St, I))
+              return Moved; // Resource failure already reported.
+            break;
+          }
+          continue; // Blocking send: blocked.
+        case CfgNodeKind::Branch: // Handled by the caller (forks).
+        case CfgNodeKind::Recv:
+        case CfgNodeKind::Exit:
+          continue;
+        }
+        Progress = true;
+        Moved = true;
+      }
+    }
+    return Moved;
+  }
+
+  /// Processes one state: advances all unblocked sets to quiescence,
+  /// forks at branches, then matches, or reports stuckness.
+  void step(const PcfgState &Cur) {
+    Result.StatesExplored++;
+    if (tracingEnabled())
+      std::fprintf(stderr, "--- step %u ---\n%s", Result.StatesExplored,
+                   Cur.str(Graph).c_str());
+    Result.MaxSetsSeen = std::max(
+        Result.MaxSetsSeen, static_cast<unsigned>(Cur.Sets.size()));
+
+    // Matching runs before further advancement: with buffered sends a
+    // loop would otherwise emit past the in-flight bound before any
+    // receiver gets to consume, and an applicable match is always sound
+    // to take (matchSendsRecvs proves it exactly).
+    if (tryMatching(Cur))
+      return;
+
+    PcfgState St = Cur;
+    bool Moved = advanceToQuiescence(St);
+    if (ToppedOut)
+      return;
+
+    // Fork the first set waiting at a branch (successor states macro-step
+    // further when re-stepped). With the Section X extension, a singleton
+    // sender at a recognized send-loop header is summarized wholesale
+    // instead of unrolled.
+    for (size_t I = 0; I < St.Sets.size(); ++I) {
+      if (!Graph.node(St.Sets[I].Node).isBranch())
+        continue;
+      if (Opts.AggregateSendLoops && Opts.Sends == SendSemantics::Buffered) {
+        if (auto Loop = matchSendLoop(St.Sets[I].Node)) {
+          PcfgState Agg = St;
+          if (emitAggregateSendLoop(Agg, I, *Loop)) {
+            submit(std::move(Agg));
+            return;
+          }
+        }
+        if (auto Loop = matchRecvLoop(St.Sets[I].Node)) {
+          PcfgState Agg = St;
+          if (consumeRecvLoop(Agg, I, *Loop)) {
+            submit(std::move(Agg));
+            return;
+          }
+        }
+      }
+      transferBranch(std::move(St), I);
+      return;
+    }
+
+    if (Moved) {
+      // Reached a new quiescent configuration; store it, then match on
+      // the (possibly joined) stored representative.
+      submit(std::move(St));
+      return;
+    }
+
+    // All at exit was handled at submit time; reaching here with blocked
+    // sets means this state cannot make progress *now*. The verdict is
+    // deferred: a later join at this configuration (more loop context,
+    // widening) may unblock it, in which case the variant is re-stepped
+    // and the stuck mark cleared. Only states still stuck when the
+    // worklist drains count as Top (Figure 4's "gives up" rule).
+    StuckBugs.clear();
+    for (const ProcSetEntry &Set : Cur.Sets) {
+      const CfgNode &Node = Graph.node(Set.Node);
+      if (Node.isCommOp())
+        StuckBugs.push_back(
+            {AnalysisBug::Kind::PossibleDeadlock, Node.Id,
+             Set.Range.str() + " blocked forever at " +
+                 Graph.nodeLabel(Node.Id)});
+    }
+    if (!StuckBugs.empty() && tracingEnabled())
+      std::fprintf(stderr, "stuck (deferred verdict)\n");
+  }
+
+  //===--------------------------------------------------------------------===
+
+  struct Stored {
+    PcfgState State;
+    unsigned Visits = 0;
+    /// Bugs describing why the last step of this variant was stuck;
+    /// empty when the variant progressed. Cleared on every update.
+    std::vector<AnalysisBug> Stuck;
+  };
+
+  const Cfg &Graph;
+  AnalysisOptions Opts;
+  StatsRegistry *Stats;
+  LoopInfo Loops;
+  /// Out-channel of step(): why the just-stepped state was stuck.
+  std::vector<AnalysisBug> StuckBugs;
+  std::set<std::string> AssignedVars;
+  std::map<std::string, std::vector<Stored>> Table;
+  std::deque<std::pair<std::string, size_t>> Worklist;
+  AnalysisResult Result;
+  unsigned FreshSets = 0;
+  bool ToppedOut = false;
+};
+
+AnalysisResult Engine::run() {
+  ScopedTimer Timer(*Stats, "pcfg.analysis.seconds");
+
+  PcfgState Init(Opts.Backend);
+  ProcSetEntry All;
+  All.Name = "p0";
+  All.Range = ProcRange::all();
+  All.Node = Graph.entryId();
+  Init.Sets.push_back(std::move(All));
+  Init.Cg = ConstraintGraph(Opts.Backend, Stats);
+  Init.Cg.addLowerBound("np", std::max<std::int64_t>(Opts.MinProcs, 1));
+  if (Opts.FixedNp > 0)
+    Init.Cg.addEQ(LinearExpr("np", 0), LinearExpr(Opts.FixedNp));
+  for (const auto &[Name, Value] : Opts.Params) {
+    Init.Cg.addEQ(LinearExpr(Name, 0), LinearExpr(Value));
+    Init.Facts.addRewrite(Name, Poly(Value));
+  }
+  submit(std::move(Init));
+
+  while (!Worklist.empty() && !ToppedOut) {
+    if (Result.StatesExplored >= Opts.MaxStates) {
+      fail("state budget exceeded");
+      break;
+    }
+    auto [Key, Variant] = Worklist.front();
+    Worklist.pop_front();
+    auto It = Table.find(Key);
+    if (It == Table.end() || Variant >= It->second.size())
+      continue;
+    // Copy: step() submits successors which may mutate the table.
+    PcfgState Cur = It->second[Variant].State;
+    StuckBugs.clear();
+    step(Cur);
+    // Re-find: submissions may have rehashed the table.
+    auto It2 = Table.find(Key);
+    if (It2 != Table.end() && Variant < It2->second.size())
+      It2->second[Variant].Stuck = std::move(StuckBugs);
+    StuckBugs.clear();
+  }
+
+  // Variants still stuck at fixpoint are the Top states of Figure 4.
+  for (const auto &[Key, Variants] : Table) {
+    for (const Stored &Entry : Variants) {
+      if (Entry.Stuck.empty())
+        continue;
+      for (const AnalysisBug &Bug : Entry.Stuck)
+        Result.Bugs.push_back(Bug);
+      fail("all process sets blocked and no send-receive match could be "
+           "proven");
+    }
+  }
+
+  Result.Converged = !ToppedOut;
+  return std::move(Result);
+}
+
+} // namespace
+
+AnalysisResult csdf::analyzeProgram(const Cfg &Graph,
+                                    const AnalysisOptions &Opts,
+                                    StatsRegistry *Stats) {
+  Engine E(Graph, Opts, Stats);
+  return E.run();
+}

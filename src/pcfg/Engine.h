@@ -1,0 +1,40 @@
+//===- pcfg/Engine.h - The pCFG dataflow engine (Figure 4) --------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dataflow driver of Section VI / Figure 4. Starting from a single
+/// process set [0..np-1] at the CFG entry, the engine repeatedly:
+///
+///   * advances unblocked process sets along the CFG (transfer functions),
+///   * splits sets at id-dependent branches,
+///   * attempts send-receive matching when no set can advance
+///     (matchSendsRecvs), splitting partially matched sets,
+///   * merges sets that meet at the same CFG node,
+///   * joins/widens states that revisit a pCFG configuration,
+///
+/// and gives up with Top when no exact match or split can be proven —
+/// exactly the policy in the paper ("the framework gives up by passing a
+/// Top state down all descendant pCFG edges").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_PCFG_ENGINE_H
+#define CSDF_PCFG_ENGINE_H
+
+#include "cfg/Cfg.h"
+#include "pcfg/AnalysisOptions.h"
+#include "pcfg/AnalysisResult.h"
+#include "support/Stats.h"
+
+namespace csdf {
+
+/// Runs the pCFG dataflow analysis over \p Graph.
+AnalysisResult analyzeProgram(const Cfg &Graph, const AnalysisOptions &Opts,
+                              StatsRegistry *Stats = &StatsRegistry::global());
+
+} // namespace csdf
+
+#endif // CSDF_PCFG_ENGINE_H

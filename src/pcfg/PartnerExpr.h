@@ -1,0 +1,59 @@
+//===- pcfg/PartnerExpr.h - Communication expression classification -----------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies the expressions appearing in send/recv statements (partner
+/// ranks, tags, sent values) into the forms the Section VII matcher
+/// understands:
+///
+///   * IdPlusC  — `id + c`: a rank-dependent shift;
+///   * Uniform  — `var + c` or `c`, the same value on every process of the
+///     executing set (variables are scoped into the set's namespace);
+///   * Complex  — anything else (left to the HSM matcher or Top).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_PCFG_PARTNEREXPR_H
+#define CSDF_PCFG_PARTNEREXPR_H
+
+#include "lang/Ast.h"
+#include "numeric/LinearExpr.h"
+#include "pcfg/PcfgState.h"
+
+#include <optional>
+
+namespace csdf {
+
+/// A classified communication expression.
+struct PartnerExpr {
+  enum class Kind {
+    IdPlusC, ///< id + Offset.
+    Uniform, ///< Value (scoped LinearExpr), same on all set members.
+    Complex, ///< Outside the linear fragment.
+  };
+
+  Kind TheKind = Kind::Complex;
+  std::int64_t Offset = 0; ///< For IdPlusC.
+  LinearExpr Value;        ///< For Uniform (already namespaced).
+
+  bool isIdPlusC() const { return TheKind == Kind::IdPlusC; }
+  bool isUniform() const { return TheKind == Kind::Uniform; }
+  bool isComplex() const { return TheKind == Kind::Complex; }
+};
+
+/// Classifies \p E as executed by \p Set. A `var + c` expression is
+/// Uniform only when var is not in the set's NonUniform list (or the set
+/// is a provable singleton, where everything is uniform).
+PartnerExpr classifyPartnerExpr(const Expr *E, const ProcSetEntry &Set,
+                                const std::set<std::string> &AssignedVars,
+                                const ConstraintGraph &Cg);
+
+/// Recognizes `id + c` (also `c + id`, `id - c`).
+std::optional<std::int64_t> matchIdPlusC(const Expr *E);
+
+} // namespace csdf
+
+#endif // CSDF_PCFG_PARTNEREXPR_H

@@ -1,0 +1,52 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal reimplementation of LLVM's isa<>/cast<>/dyn_cast<> templates for
+/// class hierarchies that expose a `static bool classof(const Base *)`
+/// predicate. This lets the AST and CFG hierarchies use checked casts without
+/// C++ RTTI, matching LLVM idiom.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_SUPPORT_CASTING_H
+#define CSDF_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace csdf {
+
+/// Returns true if \p Val is an instance of type \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast (const overload).
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast that returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Downcast that returns null when \p Val is not a \p To (const overload).
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace csdf
+
+#endif // CSDF_SUPPORT_CASTING_H

@@ -1,0 +1,28 @@
+//===- support/ErrorHandling.h - Fatal error utilities --------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// csdf_unreachable() mirrors llvm_unreachable(): marks code paths that must
+/// never execute if program invariants hold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_SUPPORT_ERRORHANDLING_H
+#define CSDF_SUPPORT_ERRORHANDLING_H
+
+namespace csdf {
+
+/// Reports a fatal internal error and aborts. Never returns.
+[[noreturn]] void reportUnreachable(const char *Msg, const char *File,
+                                    unsigned Line);
+
+} // namespace csdf
+
+/// Marks a point in the code that should never be reached.
+#define csdf_unreachable(MSG)                                                  \
+  ::csdf::reportUnreachable(MSG, __FILE__, __LINE__)
+
+#endif // CSDF_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,37 @@
+//===- support/Stats.cpp --------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+using namespace csdf;
+
+StatsRegistry &StatsRegistry::global() {
+  static StatsRegistry Registry;
+  return Registry;
+}
+
+void StatsRegistry::addCounter(const std::string &Name, std::int64_t Delta) {
+  Counters[Name] += Delta;
+}
+
+void StatsRegistry::addSeconds(const std::string &Name, double Seconds) {
+  Timers[Name] += Seconds;
+}
+
+std::int64_t StatsRegistry::counter(const std::string &Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+double StatsRegistry::seconds(const std::string &Name) const {
+  auto It = Timers.find(Name);
+  return It == Timers.end() ? 0.0 : It->second;
+}
+
+void StatsRegistry::clear() {
+  Counters.clear();
+  Timers.clear();
+}

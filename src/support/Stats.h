@@ -1,0 +1,86 @@
+//===- support/Stats.h - Lightweight analysis statistics ------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny analogue of LLVM's Statistic class: named counters and timers that
+/// analysis components bump and benchmarks read back. Used to reproduce the
+/// Section IX profile of the paper (closure call counts, average variable
+/// counts, fraction of time spent in state consistency).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_SUPPORT_STATS_H
+#define CSDF_SUPPORT_STATS_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace csdf {
+
+/// Process-wide registry of named counters and accumulated durations.
+///
+/// Not thread-safe by design: the dataflow engine is single-threaded except
+/// for the explicitly parallel benchmark, which uses per-thread registries.
+class StatsRegistry {
+public:
+  /// Returns the registry used by library components by default.
+  static StatsRegistry &global();
+
+  /// Adds \p Delta to counter \p Name (creating it at zero).
+  void addCounter(const std::string &Name, std::int64_t Delta = 1);
+
+  /// Adds \p Seconds to timer \p Name (creating it at zero).
+  void addSeconds(const std::string &Name, double Seconds);
+
+  /// Current value of counter \p Name, or 0 if never bumped.
+  std::int64_t counter(const std::string &Name) const;
+
+  /// Accumulated seconds of timer \p Name, or 0 if never bumped.
+  double seconds(const std::string &Name) const;
+
+  /// Resets all counters and timers.
+  void clear();
+
+  /// All counters, for report printing.
+  const std::map<std::string, std::int64_t> &counters() const {
+    return Counters;
+  }
+
+  /// All timers, for report printing.
+  const std::map<std::string, double> &timers() const { return Timers; }
+
+private:
+  std::map<std::string, std::int64_t> Counters;
+  std::map<std::string, double> Timers;
+};
+
+/// RAII timer that adds its lifetime to a named StatsRegistry timer.
+class ScopedTimer {
+public:
+  ScopedTimer(StatsRegistry &Registry, std::string Name)
+      : Registry(Registry), Name(std::move(Name)),
+        Start(std::chrono::steady_clock::now()) {}
+
+  ~ScopedTimer() {
+    auto End = std::chrono::steady_clock::now();
+    Registry.addSeconds(Name,
+                        std::chrono::duration<double>(End - Start).count());
+  }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  StatsRegistry &Registry;
+  std::string Name;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace csdf
+
+#endif // CSDF_SUPPORT_STATS_H

@@ -1,0 +1,51 @@
+//===- support/StringUtils.h - Small string helpers ----------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String formatting helpers shared across the library: container joining
+/// and printf-style formatting into std::string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_SUPPORT_STRINGUTILS_H
+#define CSDF_SUPPORT_STRINGUTILS_H
+
+#include <sstream>
+#include <string>
+
+namespace csdf {
+
+/// Joins the elements of \p Range (streamed via operator<<) with \p Sep.
+template <typename Range>
+std::string join(const Range &Items, const std::string &Sep) {
+  std::ostringstream OS;
+  bool First = true;
+  for (const auto &Item : Items) {
+    if (!First)
+      OS << Sep;
+    OS << Item;
+    First = false;
+  }
+  return OS.str();
+}
+
+/// Joins after applying \p Fn to each element.
+template <typename Range, typename Fn>
+std::string joinMapped(const Range &Items, const std::string &Sep, Fn Mapper) {
+  std::ostringstream OS;
+  bool First = true;
+  for (const auto &Item : Items) {
+    if (!First)
+      OS << Sep;
+    OS << Mapper(Item);
+    First = false;
+  }
+  return OS.str();
+}
+
+} // namespace csdf
+
+#endif // CSDF_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,207 @@
+//===- topology/CommTopology.cpp ------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "topology/CommTopology.h"
+
+#include "lang/ExprOps.h"
+#include "pcfg/PartnerExpr.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace csdf;
+
+const char *csdf::patternKindName(PatternKind Kind) {
+  switch (Kind) {
+  case PatternKind::RootScatter:
+    return "root-scatter";
+  case PatternKind::RootGather:
+    return "root-gather";
+  case PatternKind::ShiftRight:
+    return "shift-right";
+  case PatternKind::ShiftLeft:
+    return "shift-left";
+  case PatternKind::TransposeLike:
+    return "transpose-like";
+  case PatternKind::PointToPoint:
+    return "point-to-point";
+  case PatternKind::Unknown:
+    return "unknown";
+  }
+  csdf_unreachable("unhandled PatternKind");
+}
+
+namespace {
+
+/// True if \p E mentions an integral division or modulus — the signature
+/// of a cartesian (grid) rank computation.
+bool usesDivOrMod(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::VarRef:
+  case Expr::Kind::Input:
+    return false;
+  case Expr::Kind::Unary:
+    return usesDivOrMod(cast<UnaryExpr>(E)->operand());
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    if (B->op() == BinaryOp::Div || B->op() == BinaryOp::Mod)
+      return true;
+    return usesDivOrMod(B->lhs()) || usesDivOrMod(B->rhs());
+  }
+  }
+  csdf_unreachable("unhandled Expr::Kind");
+}
+
+ClassifiedPattern classifyPair(const Cfg &Graph, CfgNodeId SendId,
+                               CfgNodeId RecvId) {
+  const CfgNode &Send = Graph.node(SendId);
+  const CfgNode &Recv = Graph.node(RecvId);
+  ClassifiedPattern P;
+  P.SendNode = SendId;
+  P.RecvNode = RecvId;
+
+  auto DestShift = matchIdPlusC(Send.Partner);
+  auto SrcShift = matchIdPlusC(Recv.Partner);
+  if (DestShift && SrcShift && *DestShift + *SrcShift == 0 &&
+      *DestShift != 0) {
+    P.Kind = *DestShift > 0 ? PatternKind::ShiftRight : PatternKind::ShiftLeft;
+    P.Description = "neighbor shift by " + std::to_string(*DestShift);
+    return P;
+  }
+
+  bool DestOnId = dependsOnId(Send.Partner);
+  bool SrcOnId = dependsOnId(Recv.Partner);
+  if (DestOnId && SrcOnId && exprEquals(Send.Partner, Recv.Partner) &&
+      usesDivOrMod(Send.Partner)) {
+    P.Kind = PatternKind::TransposeLike;
+    P.Description =
+        "self-inverse cartesian exchange via " + exprToString(Send.Partner);
+    return P;
+  }
+
+  auto DestConst = foldConstant(Send.Partner);
+  auto SrcConst = foldConstant(Recv.Partner);
+  if (DestConst && SrcConst) {
+    P.Kind = PatternKind::PointToPoint;
+    P.Description = "fixed pair " + std::to_string(*SrcConst) + " -> " +
+                    std::to_string(*DestConst);
+    return P;
+  }
+  if (SrcConst && !DestOnId) {
+    // Receivers take from a fixed root; the root addresses them through a
+    // varying (loop) expression: one-to-many distribution.
+    P.Kind = PatternKind::RootScatter;
+    P.Description = "root " + std::to_string(*SrcConst) +
+                    " sends to varying ranks (" +
+                    exprToString(Send.Partner) + ")";
+    return P;
+  }
+  if (DestConst && !SrcOnId) {
+    P.Kind = PatternKind::RootGather;
+    P.Description = "varying ranks send to root " +
+                    std::to_string(*DestConst) + " (matched via " +
+                    exprToString(Recv.Partner) + ")";
+    return P;
+  }
+
+  P.Kind = PatternKind::Unknown;
+  P.Description = "send " + exprToString(Send.Partner) + " / recv " +
+                  exprToString(Recv.Partner);
+  return P;
+}
+
+} // namespace
+
+std::vector<ClassifiedPattern>
+csdf::classifyMatches(const Cfg &Graph, const AnalysisResult &Result) {
+  std::vector<ClassifiedPattern> Patterns;
+  for (const auto &[SendId, RecvId] : Result.matchedNodePairs())
+    Patterns.push_back(classifyPair(Graph, SendId, RecvId));
+  return Patterns;
+}
+
+bool csdf::hasExchangeWithRoot(
+    const std::vector<ClassifiedPattern> &Patterns) {
+  bool Scatter = false;
+  bool Gather = false;
+  for (const ClassifiedPattern &P : Patterns) {
+    Scatter |= P.Kind == PatternKind::RootScatter;
+    Gather |= P.Kind == PatternKind::RootGather;
+  }
+  return Scatter && Gather;
+}
+
+std::string ValidationReport::str(const Cfg &Graph) const {
+  std::ostringstream OS;
+  OS << (Exact ? "exact" : "inexact");
+  for (const auto &[S, R] : MissedPairs)
+    OS << "\n  missed: " << Graph.nodeLabel(S) << " -> "
+       << Graph.nodeLabel(R);
+  for (const auto &[S, R] : UnobservedPairs)
+    OS << "\n  unobserved: " << Graph.nodeLabel(S) << " -> "
+       << Graph.nodeLabel(R);
+  return OS.str();
+}
+
+ValidationReport csdf::validateTopology(const AnalysisResult &Result,
+                                        const RunResult &Run) {
+  ValidationReport Report;
+  std::set<std::pair<CfgNodeId, CfgNodeId>> Dynamic;
+  for (const TraceEvent &E : Run.Trace)
+    Dynamic.insert({E.SendNode, E.RecvNode});
+  std::set<std::pair<CfgNodeId, CfgNodeId>> Static =
+      Result.matchedNodePairs();
+
+  for (const auto &Pair : Dynamic)
+    if (!Static.count(Pair))
+      Report.MissedPairs.push_back(Pair);
+  for (const auto &Pair : Static)
+    if (!Dynamic.count(Pair))
+      Report.UnobservedPairs.push_back(Pair);
+  Report.Exact = Report.MissedPairs.empty() && Report.UnobservedPairs.empty();
+  return Report;
+}
+
+std::string csdf::topologyToDot(const Cfg &Graph,
+                                const AnalysisResult &Result,
+                                const std::string &Name) {
+  std::ostringstream OS;
+  OS << "digraph " << Name << " {\n";
+  OS << "  rankdir=LR;\n";
+  OS << "  node [shape=box, fontname=\"monospace\"];\n";
+  std::set<CfgNodeId> Nodes;
+  for (const MatchRecord &M : Result.Matches) {
+    Nodes.insert(M.SendNode);
+    Nodes.insert(M.RecvNode);
+  }
+  for (CfgNodeId Id : Nodes) {
+    std::string Label = Graph.nodeLabel(Id);
+    std::string Escaped;
+    for (char C : Label) {
+      if (C == '"' || C == '\\')
+        Escaped += '\\';
+      Escaped += C;
+    }
+    OS << "  n" << Id << " [label=\"" << Escaped << "\"];\n";
+  }
+  for (const MatchRecord &M : Result.Matches) {
+    std::string Label = M.SenderRange + " -> " + M.ReceiverRange;
+    std::string Escaped;
+    for (char C : Label) {
+      if (C == '"' || C == '\\')
+        Escaped += '\\';
+      Escaped += C;
+    }
+    OS << "  n" << M.SendNode << " -> n" << M.RecvNode << " [label=\""
+       << Escaped << "\"];\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,83 @@
+//===- topology/CommTopology.h - Communication topology reporting -------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Consumers of the analysis result: validation of the statically matched
+/// topology against a concrete interpreter trace (the exactness check),
+/// classification of matched send/receive pairs into the communication
+/// patterns the paper names (broadcast/scatter, gather, exchange-with-root,
+/// nearest-neighbor shifts, cartesian transpose), and Graphviz export.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_TOPOLOGY_COMMTOPOLOGY_H
+#define CSDF_TOPOLOGY_COMMTOPOLOGY_H
+
+#include "cfg/Cfg.h"
+#include "interp/Interpreter.h"
+#include "pcfg/AnalysisResult.h"
+
+#include <string>
+#include <vector>
+
+namespace csdf {
+
+/// The communication pattern shapes the paper discusses.
+enum class PatternKind {
+  RootScatter,   ///< A root sends one message to every other process.
+  RootGather,    ///< Every other process sends one message to a root.
+  ShiftRight,    ///< send -> id+k / recv <- id-k with k > 0.
+  ShiftLeft,     ///< send -> id-k / recv <- id+k with k > 0.
+  TransposeLike, ///< Self-inverse cartesian exchange (same expr both ways).
+  PointToPoint,  ///< A single fixed sender/receiver pair.
+  Unknown,
+};
+
+/// Returns a short name for \p Kind.
+const char *patternKindName(PatternKind Kind);
+
+/// One classified matched pair.
+struct ClassifiedPattern {
+  PatternKind Kind = PatternKind::Unknown;
+  CfgNodeId SendNode = 0;
+  CfgNodeId RecvNode = 0;
+  std::string Description;
+};
+
+/// Classifies every matched (send, recv) node pair of \p Result.
+std::vector<ClassifiedPattern> classifyMatches(const Cfg &Graph,
+                                               const AnalysisResult &Result);
+
+/// True when the classified pairs contain both a RootScatter and a
+/// RootGather — the mdcask exchange-with-root composition of Figure 1.
+bool hasExchangeWithRoot(const std::vector<ClassifiedPattern> &Patterns);
+
+/// Result of validating static matches against a dynamic trace.
+struct ValidationReport {
+  bool Exact = false;
+  /// Dynamic (send, recv) node pairs with no static counterpart —
+  /// soundness violations (must be empty when the analysis converged).
+  std::vector<std::pair<CfgNodeId, CfgNodeId>> MissedPairs;
+  /// Static pairs never observed dynamically at this np — imprecision or
+  /// np-dependent dead code.
+  std::vector<std::pair<CfgNodeId, CfgNodeId>> UnobservedPairs;
+
+  std::string str(const Cfg &Graph) const;
+};
+
+/// Compares the statically matched node pairs against the trace of a
+/// concrete run.
+ValidationReport validateTopology(const AnalysisResult &Result,
+                                  const RunResult &Run);
+
+/// Renders the matched topology as a DOT digraph over the program's
+/// communication statements.
+std::string topologyToDot(const Cfg &Graph, const AnalysisResult &Result,
+                          const std::string &Name = "topology");
+
+} // namespace csdf
+
+#endif // CSDF_TOPOLOGY_COMMTOPOLOGY_H

@@ -1,0 +1,158 @@
+//===- tests/analysis/ClientsTest.cpp - Client application tests ---------------===//
+
+#include "analysis/Clients.h"
+
+#include "cfg/CfgBuilder.h"
+#include "lang/Corpus.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+struct Built {
+  Program Prog;
+  Cfg Graph;
+};
+
+Built buildFrom(const std::string &Source) {
+  Built B;
+  B.Prog = parseProgramOrDie(Source);
+  B.Graph = buildCfg(B.Prog);
+  return B;
+}
+
+bool suggests(const ClientReport &R, const std::string &Collective) {
+  for (const CollectiveSuggestion &S : R.Suggestions)
+    if (S.Collective.find(Collective) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(ClientsTest, MdcaskSuggestsBcastPlusGather) {
+  // The paper's introduction: exchange-with-root "can be condensed into
+  // two broadcast operations and a gather".
+  Built B = buildFrom(corpus::exchangeWithRoot());
+  ClientReport R =
+      runClients(B.Graph, AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(R.Analysis.Converged);
+  EXPECT_TRUE(suggests(R, "MPI_Bcast + MPI_Gather"));
+}
+
+TEST(ClientsTest, BroadcastSuggestsBcast) {
+  Built B = buildFrom(corpus::fanOutBroadcast());
+  ClientReport R =
+      runClients(B.Graph, AnalysisOptions::simpleSymbolic());
+  EXPECT_TRUE(suggests(R, "MPI_Bcast"));
+  EXPECT_FALSE(suggests(R, "MPI_Gather"));
+}
+
+TEST(ClientsTest, TransposeSuggestsPairwiseAlltoall) {
+  Built B = buildFrom(corpus::transposeSquare());
+  ClientReport R = runClients(B.Graph, AnalysisOptions::cartesian());
+  EXPECT_TRUE(suggests(R, "Alltoall"));
+}
+
+TEST(ClientsTest, ShiftSuggestsCartShift) {
+  Built B = buildFrom(corpus::neighborShift());
+  AnalysisOptions Opts = AnalysisOptions::cartesian();
+  Opts.FixedNp = 6;
+  ClientReport R = runClients(B.Graph, Opts);
+  EXPECT_TRUE(suggests(R, "Cart_shift"));
+}
+
+TEST(ClientsTest, BroadcastValueIsShareable) {
+  // After the broadcast, every process holds x == 7: one shared copy
+  // suffices (the paper's memory-footprint client).
+  Built B = buildFrom(R"mpl(
+if id == 0 then
+  x = 7;
+  for i = 1 to np - 1 do
+    send x -> i;
+  end
+else
+  recv x <- 0;
+end
+)mpl");
+  ClientReport R = runClients(B.Graph, AnalysisOptions::sectionX());
+  ASSERT_TRUE(R.Analysis.Converged);
+  bool Found = false;
+  for (const auto &[Var, Value] : R.ShareableConstants)
+    Found |= Var == "x" && Value == 7;
+  EXPECT_TRUE(Found) << "x should be shareable";
+}
+
+TEST(ClientsTest, PerProcessValuesAreNotShareable) {
+  Built B = buildFrom("x = id * 2;");
+  ClientReport R =
+      runClients(B.Graph, AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(R.Analysis.Converged);
+  EXPECT_TRUE(R.ShareableConstants.empty());
+}
+
+TEST(ClientsTest, ValueOnOnlySomeProcessesIsNotShareable) {
+  // Only the root holds x; receivers hold y. Neither exists everywhere.
+  Built B = buildFrom(corpus::fanOutBroadcast());
+  ClientReport R =
+      runClients(B.Graph, AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(R.Analysis.Converged);
+  for (const auto &[Var, Value] : R.ShareableConstants)
+    ADD_FAILURE() << Var << " wrongly reported shareable (= " << Value
+                  << ")";
+}
+
+TEST(ClientsTest, NondetValueAgreeingOnAllPathsIsShareable) {
+  // The root branches on nondeterministic input (a singleton set may do
+  // so exactly); x is 5 in every terminal state on every process.
+  Built B = buildFrom(R"mpl(
+x = 5;
+if id == 0 then
+  c = input();
+  if c > 0 then
+    y = 1;
+  else
+    y = 2;
+  end
+end
+)mpl");
+  ClientReport R =
+      runClients(B.Graph, AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(R.Analysis.Converged);
+  EXPECT_GE(R.Analysis.FinalSnapshots.size(), 2u)
+      << "both input outcomes must be terminal states";
+  bool Found = false;
+  for (const auto &[Var, Value] : R.ShareableConstants) {
+    Found |= Var == "x" && Value == 5;
+    EXPECT_NE(Var, "y") << "y exists only on the root";
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(ClientsTest, DivergentNondetValueIsNotShareable) {
+  // On one input path the root's x diverges from everyone else's.
+  Built B = buildFrom(R"mpl(
+x = 5;
+if id == 0 then
+  c = input();
+  if c > 0 then
+    x = 6;
+  end
+end
+)mpl");
+  ClientReport R =
+      runClients(B.Graph, AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(R.Analysis.Converged);
+  for (const auto &[Var, Value] : R.ShareableConstants)
+    EXPECT_NE(Var, "x") << "x may be 6 on the root (= " << Value << ")";
+}
+
+TEST(ClientsTest, TopAnalysisYieldsNoSharingClaims) {
+  Built B = buildFrom(corpus::ringShift());
+  ClientReport R = runClients(B.Graph, AnalysisOptions::cartesian());
+  EXPECT_FALSE(R.Analysis.Converged);
+  EXPECT_TRUE(R.ShareableConstants.empty());
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+//===- tests/baseline/MpiCfgTest.cpp - MPI-CFG baseline tests -----------------===//
+
+#include "baseline/MpiCfg.h"
+
+#include "cfg/CfgBuilder.h"
+#include "interp/Interpreter.h"
+#include "lang/Corpus.h"
+#include "lang/Parser.h"
+#include "pcfg/Engine.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+struct Built {
+  Program Prog;
+  Cfg Graph;
+};
+
+Built buildFrom(const std::string &Source) {
+  Built B;
+  B.Prog = parseProgramOrDie(Source);
+  B.Graph = buildCfg(B.Prog);
+  return B;
+}
+
+TEST(MpiCfgTest, NoCommProgramHasNoEdges) {
+  Built B = buildFrom(corpus::noComm());
+  MpiCfgResult R = buildMpiCfg(B.Graph);
+  EXPECT_EQ(R.InitialEdges, 0u);
+  EXPECT_TRUE(R.Edges.empty());
+}
+
+TEST(MpiCfgTest, AllPairsBeforePruning) {
+  // exchange-with-root: 2 sends x 2 recvs = 4 initial edges.
+  Built B = buildFrom(corpus::exchangeWithRoot());
+  MpiCfgResult R = buildMpiCfg(B.Graph);
+  EXPECT_EQ(R.InitialEdges, 4u);
+}
+
+TEST(MpiCfgTest, TagPruningRemovesMismatchedEdge) {
+  Built B = buildFrom(corpus::tagMismatch());
+  MpiCfgResult R = buildMpiCfg(B.Graph);
+  EXPECT_EQ(R.InitialEdges, 1u);
+  EXPECT_EQ(R.PrunedByTag, 1u);
+  EXPECT_TRUE(R.Edges.empty());
+}
+
+TEST(MpiCfgTest, ShiftPruningRemovesImpossibleCompositions) {
+  // send -> id+1 against recv <- id+1 can never be the identity.
+  Built B = buildFrom("x = 1;\n"
+                      "if id == 0 then send x -> id + 1; end\n"
+                      "if id == 1 then recv y <- id + 1; end\n"
+                      "if id == 2 then recv z <- id - 1; end\n");
+  MpiCfgResult R = buildMpiCfg(B.Graph);
+  EXPECT_EQ(R.InitialEdges, 2u);
+  EXPECT_EQ(R.PrunedByShift, 1u);
+  EXPECT_EQ(R.Edges.size(), 1u);
+}
+
+TEST(MpiCfgTest, SoundOnCorpus) {
+  // The baseline must never miss a dynamically realized pair.
+  for (const auto &[Name, Source] : corpus::allPatterns()) {
+    Built B = buildFrom(Source);
+    MpiCfgResult R = buildMpiCfg(B.Graph);
+    RunOptions Opts;
+    Opts.NumProcs = 8;
+    Opts.Params = {{"nrows", 2}, {"ncols", 4}, {"half", 4}};
+    RunResult Run = runProgram(B.Graph, Opts);
+    if (!Run.finished())
+      continue; // Parameter mismatch for this kernel.
+    for (const TraceEvent &E : Run.Trace)
+      EXPECT_TRUE(R.Edges.count({E.SendNode, E.RecvNode}))
+          << Name << ": missed " << E.SendNode << "->" << E.RecvNode;
+  }
+}
+
+TEST(MpiCfgTest, LessPreciseThanPcfgOnExchangeWithRoot) {
+  // The E8 claim: MPI-CFG keeps spurious edges the pCFG analysis rules
+  // out. In exchange-with-root, MPI-CFG cannot rule out the root's send
+  // matching the root's own recv path etc.
+  Built B = buildFrom(corpus::exchangeWithRoot());
+  MpiCfgResult Base = buildMpiCfg(B.Graph);
+  AnalysisResult Pcfg =
+      analyzeProgram(B.Graph, AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(Pcfg.Converged);
+  EXPECT_GT(Base.Edges.size(), Pcfg.matchedNodePairs().size());
+  // And the pCFG result is exactly the dynamic truth.
+  RunOptions Opts;
+  Opts.NumProcs = 8;
+  RunResult Run = runProgram(B.Graph, Opts);
+  std::set<std::pair<CfgNodeId, CfgNodeId>> Dynamic;
+  for (const TraceEvent &E : Run.Trace)
+    Dynamic.insert({E.SendNode, E.RecvNode});
+  EXPECT_EQ(Pcfg.matchedNodePairs(), Dynamic);
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+//===- tests/cfg/CfgTest.cpp - CFG construction tests ------------------------===//
+
+#include "cfg/CfgBuilder.h"
+
+#include "cfg/CfgDot.h"
+#include "cfg/LoopInfo.h"
+#include "lang/Corpus.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+struct Built {
+  Program Prog;
+  Cfg Graph;
+};
+
+Built buildFrom(const std::string &Source) {
+  Built B;
+  B.Prog = parseProgramOrDie(Source);
+  B.Graph = buildCfg(B.Prog);
+  return B;
+}
+
+size_t countKind(const Cfg &Graph, CfgNodeKind Kind) {
+  size_t N = 0;
+  for (const CfgNode &Node : Graph.nodes())
+    if (Node.Kind == Kind)
+      ++N;
+  return N;
+}
+
+TEST(CfgTest, EmptyProgramIsEntryToExit) {
+  Built B = buildFrom("");
+  EXPECT_EQ(B.Graph.size(), 2u);
+  EXPECT_EQ(B.Graph.soleSuccessor(B.Graph.entryId()), B.Graph.exitId());
+}
+
+TEST(CfgTest, StraightLineChains) {
+  Built B = buildFrom("x = 1; print x;");
+  // entry -> assign -> print -> exit
+  CfgNodeId N = B.Graph.entryId();
+  N = B.Graph.soleSuccessor(N);
+  EXPECT_EQ(B.Graph.node(N).Kind, CfgNodeKind::Assign);
+  N = B.Graph.soleSuccessor(N);
+  EXPECT_EQ(B.Graph.node(N).Kind, CfgNodeKind::Print);
+  N = B.Graph.soleSuccessor(N);
+  EXPECT_EQ(N, B.Graph.exitId());
+}
+
+TEST(CfgTest, IfHasTrueAndFalseEdges) {
+  Built B = buildFrom("if id == 0 then x = 1; else x = 2; end print x;");
+  CfgNodeId Branch = B.Graph.soleSuccessor(B.Graph.entryId());
+  ASSERT_TRUE(B.Graph.node(Branch).isBranch());
+  CfgNodeId T = B.Graph.branchSuccessor(Branch, true);
+  CfgNodeId F = B.Graph.branchSuccessor(Branch, false);
+  EXPECT_NE(T, F);
+  EXPECT_EQ(B.Graph.node(T).Kind, CfgNodeKind::Assign);
+  EXPECT_EQ(B.Graph.node(F).Kind, CfgNodeKind::Assign);
+  // Both arms converge on the print.
+  EXPECT_EQ(B.Graph.soleSuccessor(T), B.Graph.soleSuccessor(F));
+}
+
+TEST(CfgTest, IfWithoutElseFallsThrough) {
+  Built B = buildFrom("if id == 0 then x = 1; end print 0;");
+  CfgNodeId Branch = B.Graph.soleSuccessor(B.Graph.entryId());
+  CfgNodeId F = B.Graph.branchSuccessor(Branch, false);
+  EXPECT_EQ(B.Graph.node(F).Kind, CfgNodeKind::Print);
+}
+
+TEST(CfgTest, WhileCreatesBackEdge) {
+  Built B = buildFrom("x = 0; while x < 3 do x = x + 1; end");
+  LoopInfo LI(B.Graph);
+  EXPECT_EQ(LI.backEdges().size(), 1u);
+  CfgNodeId Header = LI.backEdges()[0].second;
+  EXPECT_TRUE(B.Graph.node(Header).isBranch());
+  EXPECT_TRUE(LI.isLoopHeader(Header));
+}
+
+TEST(CfgTest, ForLowersToInitTestIncrement) {
+  Built B = buildFrom("for i = 1 to np - 1 do skip; end");
+  // entry -> assign(i=1) -> branch(i <= np-1) -> [skip -> assign(i=i+1) ->
+  // branch] / exit
+  CfgNodeId Init = B.Graph.soleSuccessor(B.Graph.entryId());
+  ASSERT_EQ(B.Graph.node(Init).Kind, CfgNodeKind::Assign);
+  EXPECT_EQ(B.Graph.node(Init).Var, "i");
+  CfgNodeId Branch = B.Graph.soleSuccessor(Init);
+  ASSERT_TRUE(B.Graph.node(Branch).isBranch());
+  CfgNodeId Body = B.Graph.branchSuccessor(Branch, true);
+  EXPECT_EQ(B.Graph.node(Body).Kind, CfgNodeKind::Skip);
+  CfgNodeId Step = B.Graph.soleSuccessor(Body);
+  ASSERT_EQ(B.Graph.node(Step).Kind, CfgNodeKind::Assign);
+  EXPECT_EQ(B.Graph.node(Step).Var, "i");
+  EXPECT_EQ(B.Graph.soleSuccessor(Step), Branch);
+  EXPECT_EQ(B.Graph.branchSuccessor(Branch, false), B.Graph.exitId());
+  LoopInfo LI(B.Graph);
+  EXPECT_TRUE(LI.isLoopHeader(Branch));
+}
+
+TEST(CfgTest, SendRecvNodesCarryPayload) {
+  Built B = buildFrom("send 5 -> id + 1 tag 2; recv y <- id - 1;");
+  CfgNodeId Send = B.Graph.soleSuccessor(B.Graph.entryId());
+  const CfgNode &SN = B.Graph.node(Send);
+  ASSERT_EQ(SN.Kind, CfgNodeKind::Send);
+  EXPECT_TRUE(SN.isCommOp());
+  EXPECT_NE(SN.Value, nullptr);
+  EXPECT_NE(SN.Partner, nullptr);
+  EXPECT_NE(SN.Tag, nullptr);
+  CfgNodeId Recv = B.Graph.soleSuccessor(Send);
+  const CfgNode &RN = B.Graph.node(Recv);
+  ASSERT_EQ(RN.Kind, CfgNodeKind::Recv);
+  EXPECT_EQ(RN.Var, "y");
+  EXPECT_EQ(RN.Tag, nullptr);
+}
+
+TEST(CfgTest, AssertKeepsConditionForRuntimeChecking) {
+  Built B = buildFrom("assert 1 == 1;");
+  CfgNodeId N = B.Graph.soleSuccessor(B.Graph.entryId());
+  ASSERT_EQ(B.Graph.node(N).Kind, CfgNodeKind::Assert);
+  EXPECT_NE(B.Graph.node(N).Cond, nullptr);
+}
+
+TEST(CfgTest, AssumeKeepsCondition) {
+  Built B = buildFrom("assume np == nrows * nrows;");
+  CfgNodeId N = B.Graph.soleSuccessor(B.Graph.entryId());
+  ASSERT_EQ(B.Graph.node(N).Kind, CfgNodeKind::Assume);
+  EXPECT_NE(B.Graph.node(N).Cond, nullptr);
+}
+
+TEST(CfgTest, PredsAreMaintained) {
+  Built B = buildFrom("if id == 0 then x = 1; else x = 2; end print x;");
+  for (const CfgNode &N : B.Graph.nodes())
+    for (const CfgEdge &E : N.Succs) {
+      const auto &Preds = B.Graph.node(E.Target).Preds;
+      EXPECT_NE(std::find(Preds.begin(), Preds.end(), N.Id), Preds.end());
+    }
+}
+
+TEST(CfgTest, NestedLoopsHaveTwoHeaders) {
+  Built B = buildFrom(
+      "for i = 0 to 3 do for j = 0 to 3 do skip; end end");
+  LoopInfo LI(B.Graph);
+  EXPECT_EQ(LI.headers().size(), 2u);
+}
+
+TEST(CfgTest, NoCommProgramHasNoCommNodes) {
+  Built B = buildFrom(corpus::noComm());
+  EXPECT_EQ(countKind(B.Graph, CfgNodeKind::Send), 0u);
+  EXPECT_EQ(countKind(B.Graph, CfgNodeKind::Recv), 0u);
+}
+
+TEST(CfgTest, CorpusProgramsBuildAndAreConnected) {
+  for (const auto &[Name, Source] : corpus::allPatterns()) {
+    Built B = buildFrom(Source);
+    // Every node except exit must have a successor; every node except
+    // entry must be reachable (has preds) or be the exit of empty arms.
+    for (const CfgNode &N : B.Graph.nodes()) {
+      if (!N.isExit())
+        EXPECT_FALSE(N.Succs.empty()) << Name << " node " << N.Id;
+      if (N.Id != B.Graph.entryId())
+        EXPECT_FALSE(N.Preds.empty()) << Name << " node " << N.Id;
+    }
+  }
+}
+
+TEST(CfgTest, DotExportMentionsAllNodes) {
+  Built B = buildFrom(corpus::figure2Exchange());
+  std::string Dot = cfgToDot(B.Graph, "fig2");
+  EXPECT_NE(Dot.find("digraph fig2"), std::string::npos);
+  for (const CfgNode &N : B.Graph.nodes())
+    EXPECT_NE(Dot.find("n" + std::to_string(N.Id) + " "), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"T\""), std::string::npos);
+}
+
+TEST(CfgTest, ExchangeWithRootShape) {
+  Built B = buildFrom(corpus::exchangeWithRoot());
+  EXPECT_EQ(countKind(B.Graph, CfgNodeKind::Send), 2u);
+  EXPECT_EQ(countKind(B.Graph, CfgNodeKind::Recv), 2u);
+  LoopInfo LI(B.Graph);
+  EXPECT_EQ(LI.headers().size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+//===- tests/cfg/LoopInfoTest.cpp - Loop analysis tests ------------------------===//
+
+#include "cfg/LoopInfo.h"
+
+#include "cfg/CfgBuilder.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+struct Built {
+  Program Prog;
+  Cfg Graph;
+};
+
+Built buildFrom(const std::string &Source) {
+  Built B;
+  B.Prog = parseProgramOrDie(Source);
+  B.Graph = buildCfg(B.Prog);
+  return B;
+}
+
+TEST(LoopInfoTest, StraightLineHasNoLoops) {
+  Built B = buildFrom("x = 1; print x;");
+  LoopInfo LI(B.Graph);
+  EXPECT_TRUE(LI.backEdges().empty());
+  EXPECT_TRUE(LI.headers().empty());
+  EXPECT_TRUE(LI.loopNodes().empty());
+}
+
+TEST(LoopInfoTest, BranchWithoutBackEdgeIsNotALoop) {
+  Built B = buildFrom("if id == 0 then x = 1; else x = 2; end");
+  LoopInfo LI(B.Graph);
+  EXPECT_TRUE(LI.headers().empty());
+}
+
+TEST(LoopInfoTest, WhileBodyIsInLoop) {
+  Built B = buildFrom("x = 0; while x < 3 do x = x + 1; end print x;");
+  LoopInfo LI(B.Graph);
+  ASSERT_EQ(LI.backEdges().size(), 1u);
+  auto [Tail, Header] = LI.backEdges()[0];
+  EXPECT_TRUE(LI.isLoopHeader(Header));
+  EXPECT_TRUE(LI.isInLoop(Header));
+  EXPECT_TRUE(LI.isInLoop(Tail));
+  // Nodes outside: the initial assign and the print.
+  for (const CfgNode &N : B.Graph.nodes()) {
+    if (N.Kind == CfgNodeKind::Print)
+      EXPECT_FALSE(LI.isInLoop(N.Id));
+    if (N.Kind == CfgNodeKind::Entry || N.Kind == CfgNodeKind::Exit)
+      EXPECT_FALSE(LI.isInLoop(N.Id));
+  }
+}
+
+TEST(LoopInfoTest, ForLoopBodyMembership) {
+  Built B = buildFrom("for i = 1 to np - 1 do send 1 -> i; end print 0;");
+  LoopInfo LI(B.Graph);
+  ASSERT_EQ(LI.headers().size(), 1u);
+  for (const CfgNode &N : B.Graph.nodes()) {
+    if (N.Kind == CfgNodeKind::Send)
+      EXPECT_TRUE(LI.isInLoop(N.Id)) << "send is in the loop body";
+    if (N.Kind == CfgNodeKind::Print)
+      EXPECT_FALSE(LI.isInLoop(N.Id));
+  }
+}
+
+TEST(LoopInfoTest, NestedLoopsShareOuterBody) {
+  Built B = buildFrom(
+      "for i = 0 to 3 do for j = 0 to 3 do skip; end end");
+  LoopInfo LI(B.Graph);
+  EXPECT_EQ(LI.headers().size(), 2u);
+  EXPECT_EQ(LI.backEdges().size(), 2u);
+  // The inner loop's nodes belong to the outer loop's body too; in
+  // particular both headers are loop nodes.
+  for (CfgNodeId H : LI.headers())
+    EXPECT_TRUE(LI.isInLoop(H));
+}
+
+TEST(LoopInfoTest, IfInsideLoopIsInLoop) {
+  Built B = buildFrom("x = 0;\n"
+                      "while x < 5 do\n"
+                      "  if x > 2 then x = x + 2; else x = x + 1; end\n"
+                      "end");
+  LoopInfo LI(B.Graph);
+  unsigned AssignsInLoop = 0;
+  for (const CfgNode &N : B.Graph.nodes())
+    if (N.Kind == CfgNodeKind::Assign && LI.isInLoop(N.Id))
+      ++AssignsInLoop;
+  EXPECT_EQ(AssignsInLoop, 2u) << "both if arms are in the loop body";
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+//===- tests/dataflow/SeqAnalysesTest.cpp - Classic dataflow tests -------------===//
+
+#include "dataflow/SeqAnalyses.h"
+
+#include "cfg/CfgBuilder.h"
+#include "lang/Corpus.h"
+#include "lang/Parser.h"
+#include "pcfg/Engine.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+struct Built {
+  Program Prog;
+  Cfg Graph;
+};
+
+Built buildFrom(const std::string &Source) {
+  Built B;
+  B.Prog = parseProgramOrDie(Source);
+  B.Graph = buildCfg(B.Prog);
+  return B;
+}
+
+CfgNodeId findNode(const Cfg &Graph, CfgNodeKind Kind, unsigned Skip = 0) {
+  for (const CfgNode &N : Graph.nodes())
+    if (N.Kind == Kind && Skip-- == 0)
+      return N.Id;
+  ADD_FAILURE() << "node kind not found";
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Reaching definitions
+//===----------------------------------------------------------------------===//
+
+TEST(ReachingDefsTest, StraightLineKillsPriorDef) {
+  Built B = buildFrom("x = 1; x = 2; print x;");
+  auto R = computeReachingDefs(B.Graph);
+  CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
+  CfgNodeId SecondDef = findNode(B.Graph, CfgNodeKind::Assign, 1);
+  EXPECT_EQ(R.In[Print],
+            (std::set<Definition>{{"x", SecondDef}}));
+}
+
+TEST(ReachingDefsTest, BranchMergesBothDefs) {
+  Built B = buildFrom("if id == 0 then x = 1; else x = 2; end print x;");
+  auto R = computeReachingDefs(B.Graph);
+  CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
+  EXPECT_EQ(R.In[Print].size(), 2u);
+}
+
+TEST(ReachingDefsTest, LoopDefReachesItself) {
+  Built B = buildFrom("x = 0; while x < 3 do x = x + 1; end");
+  auto R = computeReachingDefs(B.Graph);
+  CfgNodeId BodyDef = findNode(B.Graph, CfgNodeKind::Assign, 1);
+  // The body's definition reaches its own input (around the loop).
+  EXPECT_TRUE(R.In[BodyDef].count({"x", BodyDef}));
+  EXPECT_EQ(R.In[BodyDef].size(), 2u);
+}
+
+TEST(ReachingDefsTest, RecvIsADefinition) {
+  Built B = buildFrom("recv y <- 0; print y;");
+  auto R = computeReachingDefs(B.Graph);
+  CfgNodeId Recv = findNode(B.Graph, CfgNodeKind::Recv);
+  CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
+  EXPECT_TRUE(R.In[Print].count({"y", Recv}));
+}
+
+//===----------------------------------------------------------------------===//
+// Live variables
+//===----------------------------------------------------------------------===//
+
+TEST(LiveVarsTest, DeadAfterLastUse) {
+  Built B = buildFrom("x = 1; print x; x = 2;");
+  auto R = computeLiveVars(B.Graph);
+  CfgNodeId FirstAssign = findNode(B.Graph, CfgNodeKind::Assign, 0);
+  CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
+  EXPECT_TRUE(R.Out[FirstAssign].count("x"));
+  EXPECT_FALSE(R.Out[Print].count("x")); // Next access is a redefinition.
+}
+
+TEST(LiveVarsTest, SendValueAndDestAreUses) {
+  Built B = buildFrom("x = 1; d = 2; send x -> d;");
+  auto R = computeLiveVars(B.Graph);
+  CfgNodeId FirstAssign = findNode(B.Graph, CfgNodeKind::Assign, 0);
+  CfgNodeId SecondAssign = findNode(B.Graph, CfgNodeKind::Assign, 1);
+  // x is live across both assignments; d only after its own definition
+  // (it is redefined before any use).
+  EXPECT_TRUE(R.Out[FirstAssign].count("x"));
+  EXPECT_FALSE(R.Out[FirstAssign].count("d"));
+  EXPECT_TRUE(R.Out[SecondAssign].count("x"));
+  EXPECT_TRUE(R.Out[SecondAssign].count("d"));
+}
+
+TEST(LiveVarsTest, BranchConditionIsAUse) {
+  Built B = buildFrom("c = 1; if c == 0 then skip; end");
+  auto R = computeLiveVars(B.Graph);
+  CfgNodeId Assign = findNode(B.Graph, CfgNodeKind::Assign);
+  EXPECT_TRUE(R.Out[Assign].count("c"));
+}
+
+TEST(LiveVarsTest, IdAndNpAreAmbient) {
+  Built B = buildFrom("print id + np;");
+  auto R = computeLiveVars(B.Graph);
+  EXPECT_TRUE(R.In[B.Graph.entryId()].empty());
+}
+
+TEST(LiveVarsTest, LoopKeepsCounterLive) {
+  Built B = buildFrom("for i = 0 to 3 do print i; end");
+  auto R = computeLiveVars(B.Graph);
+  CfgNodeId Branch = findNode(B.Graph, CfgNodeKind::Branch);
+  EXPECT_TRUE(R.In[Branch].count("i"));
+}
+
+//===----------------------------------------------------------------------===//
+// Sequential constant propagation — and the paper's Figure 2 contrast
+//===----------------------------------------------------------------------===//
+
+TEST(SeqConstTest, PropagatesThroughStraightLine) {
+  Built B = buildFrom("x = 2; y = x + 3; print y;");
+  auto R = computeSeqConstants(B.Graph);
+  CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
+  EXPECT_EQ(seqConstantAt(R, Print, "y"), 5);
+}
+
+TEST(SeqConstTest, MergeOfDifferentConstantsIsNonConst) {
+  Built B = buildFrom("if id == 0 then x = 1; else x = 2; end print x;");
+  auto R = computeSeqConstants(B.Graph);
+  CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
+  EXPECT_FALSE(seqConstantAt(R, Print, "x").has_value());
+}
+
+TEST(SeqConstTest, MergeOfEqualConstantsSurvives) {
+  Built B = buildFrom("if id == 0 then x = 7; else x = 7; end print x;");
+  auto R = computeSeqConstants(B.Graph);
+  CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
+  EXPECT_EQ(seqConstantAt(R, Print, "x"), 7);
+}
+
+TEST(SeqConstTest, LoopIncrementIsNonConst) {
+  Built B = buildFrom("x = 0; while x < 3 do x = x + 1; end print x;");
+  auto R = computeSeqConstants(B.Graph);
+  CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
+  EXPECT_FALSE(seqConstantAt(R, Print, "x").has_value());
+}
+
+TEST(SeqConstTest, InputIsNonConst) {
+  Built B = buildFrom("x = input(); print x;");
+  auto R = computeSeqConstants(B.Graph);
+  CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
+  EXPECT_FALSE(seqConstantAt(R, Print, "x").has_value());
+}
+
+TEST(SeqConstTest, RecvIsNonConstSequentially) {
+  Built B = buildFrom("recv y <- 0; print y;");
+  auto R = computeSeqConstants(B.Graph);
+  CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
+  EXPECT_FALSE(seqConstantAt(R, Print, "y").has_value());
+}
+
+TEST(SeqConstTest, Figure2ContrastWithPcfg) {
+  // The paper's headline Figure 2 claim: the sequential analysis cannot
+  // prove what either process prints (both prints read received values),
+  // while the communication-sensitive pCFG analysis proves both print 5.
+  Built B = buildFrom(corpus::figure2Exchange());
+
+  auto Seq = computeSeqConstants(B.Graph);
+  unsigned SeqProved = 0;
+  for (const CfgNode &N : B.Graph.nodes())
+    if (N.Kind == CfgNodeKind::Print && seqConstantAt(Seq, N.Id, "y"))
+      ++SeqProved;
+  EXPECT_EQ(SeqProved, 0u) << "sequential constprop should be blind here";
+
+  AnalysisResult Pcfg =
+      analyzeProgram(B.Graph, AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(Pcfg.Converged);
+  unsigned PcfgProved = 0;
+  for (const PrintFact &F : Pcfg.PrintFacts)
+    if (F.Value == 5)
+      ++PcfgProved;
+  EXPECT_GE(PcfgProved, 2u) << "pCFG analysis must prove both prints";
+}
+
+TEST(SeqConstTest, BroadcastContrastWithPcfg) {
+  // Same contrast on the fan-out broadcast: receivers' y is NonConst
+  // sequentially, but 42 under the pCFG analysis.
+  Built B = buildFrom(R"mpl(
+if id == 0 then
+  x = 42;
+  for i = 1 to np - 1 do
+    send x -> i;
+  end
+else
+  recv y <- 0;
+  print y;
+end
+)mpl");
+  auto Seq = computeSeqConstants(B.Graph);
+  CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
+  EXPECT_FALSE(seqConstantAt(Seq, Print, "y").has_value());
+
+  AnalysisResult Pcfg =
+      analyzeProgram(B.Graph, AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(Pcfg.Converged);
+  bool Proved42 = false;
+  for (const PrintFact &F : Pcfg.PrintFacts)
+    Proved42 |= F.Value == 42;
+  EXPECT_TRUE(Proved42);
+}
+
+} // namespace

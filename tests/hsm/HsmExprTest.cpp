@@ -1,0 +1,242 @@
+//===- tests/hsm/HsmExprTest.cpp - Expression-to-HSM and matching tests -------===//
+
+#include "hsm/HsmExpr.h"
+
+#include "lang/Parser.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+class HsmExprTest : public ::testing::Test {
+protected:
+  const Expr *parseExpr(const std::string &Text) {
+    ParseResult R = parseProgram("x = " + Text + ";");
+    EXPECT_TRUE(R.succeeded()) << Text;
+    Programs.push_back(std::move(R.Prog));
+    return cast<AssignStmt>(Programs.back().body()[0])->value();
+  }
+
+  std::vector<Program> Programs;
+};
+
+using Env = std::vector<std::pair<std::string, std::int64_t>>;
+
+TEST_F(HsmExprTest, PolyOfExprBasics) {
+  EXPECT_EQ(polyOfExpr(parseExpr("2 * nrows + 1")),
+            Poly(2).times(Poly::var("nrows")).plus(Poly(1)));
+  EXPECT_EQ(polyOfExpr(parseExpr("nrows * nrows - np")),
+            Poly::var("nrows").times(Poly::var("nrows"))
+                .minus(Poly::var("np")));
+  EXPECT_FALSE(polyOfExpr(parseExpr("id / 2")).has_value());
+}
+
+TEST_F(HsmExprTest, AddAssumeFactDirected) {
+  FactEnv F;
+  EXPECT_TRUE(addAssumeFact(F, parseExpr("np == ncols * nrows")));
+  EXPECT_TRUE(addAssumeFact(F, parseExpr("ncols == nrows")));
+  EXPECT_TRUE(F.equal(Poly::var("np"),
+                      Poly::var("nrows").times(Poly::var("nrows"))));
+}
+
+TEST_F(HsmExprTest, AddAssumeFactReversedSides) {
+  FactEnv F;
+  EXPECT_TRUE(addAssumeFact(F, parseExpr("2 * half == np")));
+  EXPECT_TRUE(F.equal(Poly::var("np"), Poly(2).times(Poly::var("half"))));
+}
+
+TEST_F(HsmExprTest, AddAssumeFactRejectsInequalities) {
+  FactEnv F;
+  EXPECT_FALSE(addAssumeFact(F, parseExpr("np > 2")));
+}
+
+TEST_F(HsmExprTest, IdExprIsDomain) {
+  FactEnv F;
+  Hsm Dom = Hsm::range(Poly(0), Poly(8));
+  auto H = hsmOfExpr(parseExpr("id"), Dom, F);
+  ASSERT_TRUE(H.has_value());
+  EXPECT_EQ(*H, Dom);
+}
+
+TEST_F(HsmExprTest, ShiftExpr) {
+  FactEnv F;
+  Hsm Dom = Hsm::range(Poly(0), Poly(6));
+  auto H = hsmOfExpr(parseExpr("id + 1"), Dom, F);
+  ASSERT_TRUE(H.has_value());
+  EXPECT_EQ(H->enumerate({}),
+            (std::vector<std::int64_t>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST_F(HsmExprTest, SubtractionExpr) {
+  FactEnv F;
+  Hsm Dom = Hsm::range(Poly(1), Poly(5));
+  auto H = hsmOfExpr(parseExpr("id - 1"), Dom, F);
+  ASSERT_TRUE(H.has_value());
+  EXPECT_EQ(H->enumerate({}), (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(HsmExprTest, TransposeSquareExprConcrete) {
+  FactEnv F;
+  ASSERT_TRUE(addAssumeFact(F, parseExpr("np == nrows * nrows")));
+  Hsm Dom = Hsm::range(Poly(0), Poly::var("np"));
+  auto H = hsmOfExpr(parseExpr("(id % nrows) * nrows + id / nrows"), Dom, F);
+  ASSERT_TRUE(H.has_value());
+  Env E = {{"nrows", 4}, {"np", 16}};
+  auto Seq = H->enumerate(E);
+  ASSERT_TRUE(Seq.has_value());
+  for (int Id = 0; Id < 16; ++Id)
+    EXPECT_EQ((*Seq)[Id], (Id % 4) * 4 + Id / 4) << Id;
+}
+
+TEST_F(HsmExprTest, RectTransposeExprConcrete) {
+  FactEnv F;
+  ASSERT_TRUE(addAssumeFact(F, parseExpr("ncols == nrows * 2")));
+  ASSERT_TRUE(addAssumeFact(F, parseExpr("np == ncols * nrows")));
+  Hsm Dom = Hsm::range(Poly(0), Poly::var("np"));
+  auto H = hsmOfExpr(
+      parseExpr(
+          "2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows)) + id % 2"),
+      Dom, F);
+  ASSERT_TRUE(H.has_value());
+  Env E = {{"nrows", 3}, {"ncols", 6}, {"np", 18}};
+  auto Seq = H->enumerate(E);
+  ASSERT_TRUE(Seq.has_value());
+  for (int Id = 0; Id < 18; ++Id)
+    EXPECT_EQ((*Seq)[Id], 2 * 3 * (Id / 2 % 3) + 2 * (Id / 6) + Id % 2) << Id;
+}
+
+//===----------------------------------------------------------------------===//
+// Full matching proofs from the paper
+//===----------------------------------------------------------------------===//
+
+TEST_F(HsmExprTest, TransposeSquareFullSetMatch) {
+  FactEnv F;
+  ASSERT_TRUE(addAssumeFact(F, parseExpr("np == ncols * nrows")));
+  ASSERT_TRUE(addAssumeFact(F, parseExpr("ncols == nrows")));
+  const Expr *E = parseExpr("(id % nrows) * nrows + id / nrows");
+  EXPECT_TRUE(hsmFullSetMatch(E, Poly(0), Poly::var("np"), E, Poly(0),
+                              Poly::var("np"), F));
+}
+
+TEST_F(HsmExprTest, TransposeRectFullSetMatch) {
+  FactEnv F;
+  ASSERT_TRUE(addAssumeFact(F, parseExpr("np == ncols * nrows")));
+  ASSERT_TRUE(addAssumeFact(F, parseExpr("ncols == nrows * 2")));
+  const Expr *E = parseExpr(
+      "2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows)) + id % 2");
+  EXPECT_TRUE(hsmFullSetMatch(E, Poly(0), Poly::var("np"), E, Poly(0),
+                              Poly::var("np"), F));
+}
+
+TEST_F(HsmExprTest, TransposeWithoutFactsFails) {
+  FactEnv F; // No np == nrows^2 fact.
+  const Expr *E = parseExpr("(id % nrows) * nrows + id / nrows");
+  EXPECT_FALSE(hsmFullSetMatch(E, Poly(0), Poly::var("np"), E, Poly(0),
+                               Poly::var("np"), F));
+}
+
+TEST_F(HsmExprTest, NeighborShiftInteriorMatch) {
+  // Senders [1..np-3]? Figure 7/8: senders [1..np-2] interior minus the
+  // last... here: senders [S_lo..] send id+1, receivers recv id-1.
+  // Match the block senders [1 .. np-3] -> receivers [2 .. np-2].
+  FactEnv F;
+  const Expr *SendE = parseExpr("id + 1");
+  const Expr *RecvE = parseExpr("id - 1");
+  // Sender range [1 .. np-3] has count np-3; receiver [2 .. np-2] too.
+  Poly Count = Poly::var("np").minus(Poly(3));
+  EXPECT_TRUE(
+      hsmFullSetMatch(SendE, Poly(1), Count, RecvE, Poly(2), Count, F));
+}
+
+TEST_F(HsmExprTest, NeighborShiftEdgeMatch) {
+  // [0] -> [1] under (id+1, id-1).
+  FactEnv F;
+  EXPECT_TRUE(hsmFullSetMatch(parseExpr("id + 1"), Poly(0), Poly(1),
+                              parseExpr("id - 1"), Poly(1), Poly(1), F));
+}
+
+TEST_F(HsmExprTest, TwoDimensionalColumnShiftBlocks) {
+  // Section VIII-C for d = 2: shifting one row down an nrows x ncols
+  // mesh uses (id + ncols, id - ncols). All three role blocks match
+  // fully symbolically in the grid parameters.
+  FactEnv F;
+  ASSERT_TRUE(addAssumeFact(F, parseExpr("np == nrows * ncols")));
+  const Expr *SendE = parseExpr("id + ncols");
+  const Expr *RecvE = parseExpr("id - ncols");
+  Poly NCols = Poly::var("ncols");
+  Poly Np = Poly::var("np");
+
+  // Top row [0..ncols-1] -> second row [ncols..2*ncols-1].
+  EXPECT_TRUE(hsmFullSetMatch(SendE, Poly(0), NCols, RecvE, NCols, NCols, F));
+  // Interior block [ncols..np-2*ncols-1] -> [2*ncols..np-ncols-1].
+  Poly InteriorCount = Np.minus(Poly(3).times(NCols));
+  EXPECT_TRUE(hsmFullSetMatch(SendE, NCols, InteriorCount, RecvE,
+                              Poly(2).times(NCols), InteriorCount, F));
+  // Second-to-last row -> bottom row.
+  EXPECT_TRUE(hsmFullSetMatch(SendE, Np.minus(Poly(2).times(NCols)), NCols,
+                              RecvE, Np.minus(NCols), NCols, F));
+}
+
+TEST_F(HsmExprTest, TwoDimensionalShiftWrongDirectionFails) {
+  FactEnv F;
+  ASSERT_TRUE(addAssumeFact(F, parseExpr("np == nrows * ncols")));
+  const Expr *SendE = parseExpr("id + ncols");
+  const Expr *RecvE = parseExpr("id + ncols"); // Composition is id+2*ncols.
+  Poly NCols = Poly::var("ncols");
+  EXPECT_FALSE(
+      hsmFullSetMatch(SendE, Poly(0), NCols, RecvE, NCols, NCols, F));
+}
+
+TEST_F(HsmExprTest, MismatchedCompositionFails) {
+  // send id+1 vs recv id+1: composition is id+2, not identity.
+  FactEnv F;
+  EXPECT_FALSE(hsmFullSetMatch(parseExpr("id + 1"), Poly(1), Poly(4),
+                               parseExpr("id + 1"), Poly(2), Poly(4), F));
+}
+
+TEST_F(HsmExprTest, NonSurjectiveFails) {
+  // Senders [0..3] send to id+1 = [1..4]; receivers are [1..5]: not onto.
+  FactEnv F;
+  EXPECT_FALSE(hsmFullSetMatch(parseExpr("id + 1"), Poly(0), Poly(4),
+                               parseExpr("id - 1"), Poly(1), Poly(5), F));
+}
+
+TEST_F(HsmExprTest, CollidingSendersFail) {
+  // Figure 3(a): two senders map to one receiver. send id/2 from [0..3]
+  // onto [0..1]: surjective but composition cannot be identity.
+  FactEnv F;
+  EXPECT_FALSE(hsmFullSetMatch(parseExpr("id / 2"), Poly(0), Poly(4),
+                               parseExpr("id * 2"), Poly(0), Poly(2), F));
+}
+
+TEST_F(HsmExprTest, PairwiseExchangeMatch) {
+  // Evens [0,2,..,np-2] send to id+1; odds receive from id-1. Whole-set
+  // matching applies to the stride-2 HSM domains; our range-based API
+  // models the evens as base 0 count half with expression on ranks — skip
+  // stride domains here and check the rank-pair identity instead:
+  // senders {0}, receivers {1} with (id+1, id-1).
+  FactEnv F;
+  EXPECT_TRUE(hsmFullSetMatch(parseExpr("id + 1"), Poly(0), Poly(1),
+                              parseExpr("id - 1"), Poly(1), Poly(1), F));
+}
+
+TEST_F(HsmExprTest, BroadcastConstantDestination) {
+  // Root {0} sends to constant i (singleton receiver {i}): send expr `i`,
+  // recv expr `0`. Identity: recv(send(0)) == 0. Surjectivity: image {i}
+  // equals receiver {i}.
+  FactEnv F;
+  EXPECT_TRUE(hsmFullSetMatch(parseExpr("i"), Poly(0), Poly(1),
+                              parseExpr("0"), Poly::var("i"), Poly(1), F));
+}
+
+TEST_F(HsmExprTest, SelfExchangeDiagonal) {
+  // A process sending to itself: {k} -> {k} with expr id.
+  FactEnv F;
+  EXPECT_TRUE(hsmFullSetMatch(parseExpr("id"), Poly::var("k"), Poly(1),
+                              parseExpr("id"), Poly::var("k"), Poly(1), F));
+}
+
+} // namespace

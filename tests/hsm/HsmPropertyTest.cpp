@@ -1,0 +1,177 @@
+//===- tests/hsm/HsmPropertyTest.cpp - Randomized HSM algebra laws -------------===//
+//
+// Randomized cross-validation of the symbolic HSM operations against
+// concrete enumeration: whenever a Table I rule fires, the resulting
+// sequence must equal the element-wise arithmetic result; normalization
+// and the equality rules must preserve sequence/set semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hsm/Hsm.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+class Rng {
+public:
+  explicit Rng(std::uint64_t Seed) : State(Seed | 1) {}
+
+  std::uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1Dull;
+  }
+
+  std::int64_t range(std::int64_t Lo, std::int64_t Hi) {
+    return Lo + static_cast<std::int64_t>(
+                    next() % static_cast<std::uint64_t>(Hi - Lo + 1));
+  }
+
+private:
+  std::uint64_t State;
+};
+
+/// A random concrete HSM with 1-3 levels and small extents.
+Hsm randomHsm(Rng &R) {
+  Hsm H(Poly(R.range(0, 12)));
+  int Levels = static_cast<int>(R.range(1, 3));
+  for (int L = 0; L < Levels; ++L)
+    H = H.repeated(Poly(R.range(1, 4)), Poly(R.range(0, 6)));
+  return H;
+}
+
+using Env = std::vector<std::pair<std::string, std::int64_t>>;
+
+class HsmPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HsmPropertyTest, NormalizePreservesSequence) {
+  Rng R(GetParam());
+  FactEnv Facts;
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    Hsm H = randomHsm(R);
+    Hsm N = hsmNormalize(H, Facts);
+    EXPECT_EQ(H.enumerate({}), N.enumerate({}))
+        << H.str() << " vs " << N.str();
+  }
+}
+
+TEST_P(HsmPropertyTest, AdditionMatchesElementwise) {
+  Rng R(GetParam() + 10);
+  FactEnv Facts;
+  int Fired = 0;
+  for (int Trial = 0; Trial < 80; ++Trial) {
+    Hsm A = randomHsm(R);
+    Hsm B = randomHsm(R);
+    auto SA = *A.enumerate({});
+    auto SB = *B.enumerate({});
+    auto Sum = hsmAdd(A, B, Facts);
+    if (SA.size() != SB.size()) {
+      EXPECT_FALSE(Sum.has_value()) << "added unequal lengths";
+      continue;
+    }
+    if (!Sum)
+      continue; // Alignment rule did not fire; allowed.
+    ++Fired;
+    auto SS = *Sum->enumerate({});
+    ASSERT_EQ(SS.size(), SA.size());
+    for (size_t I = 0; I < SA.size(); ++I)
+      EXPECT_EQ(SS[I], SA[I] + SB[I])
+          << A.str() << " + " << B.str() << " at " << I;
+  }
+  EXPECT_GT(Fired, 0) << "addition rule never fired";
+}
+
+TEST_P(HsmPropertyTest, ScaleMatchesElementwise) {
+  Rng R(GetParam() + 20);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    Hsm A = randomHsm(R);
+    std::int64_t Q = R.range(-3, 5);
+    Hsm S = hsmScale(A, Poly(Q));
+    auto SA = *A.enumerate({});
+    auto SS = *S.enumerate({});
+    ASSERT_EQ(SS.size(), SA.size());
+    for (size_t I = 0; I < SA.size(); ++I)
+      EXPECT_EQ(SS[I], SA[I] * Q);
+  }
+}
+
+TEST_P(HsmPropertyTest, DivModAgreeWhenRulesFire) {
+  Rng R(GetParam() + 30);
+  FactEnv Facts;
+  int Fired = 0;
+  for (int Trial = 0; Trial < 120; ++Trial) {
+    Hsm A = randomHsm(R);
+    std::int64_t Q = R.range(2, 9);
+    auto SA = *A.enumerate({});
+    if (auto D = hsmDiv(A, Poly(Q), Facts)) {
+      ++Fired;
+      auto SD = *D->enumerate({});
+      ASSERT_EQ(SD.size(), SA.size());
+      for (size_t I = 0; I < SA.size(); ++I)
+        EXPECT_EQ(SD[I], SA[I] / Q)
+            << A.str() << " / " << Q << " at " << I;
+    }
+    if (auto M = hsmMod(A, Poly(Q), Facts)) {
+      auto SM = *M->enumerate({});
+      ASSERT_EQ(SM.size(), SA.size());
+      for (size_t I = 0; I < SA.size(); ++I)
+        EXPECT_EQ(SM[I], SA[I] % Q)
+            << A.str() << " % " << Q << " at " << I;
+    }
+  }
+  EXPECT_GT(Fired, 0) << "division rules never fired";
+}
+
+TEST_P(HsmPropertyTest, SequenceEqualityImpliesEqualSequences) {
+  Rng R(GetParam() + 40);
+  FactEnv Facts;
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    Hsm A = randomHsm(R);
+    Hsm B = randomHsm(R);
+    if (hsmSequenceEquals(A, B, Facts))
+      EXPECT_EQ(A.enumerate({}), B.enumerate({}))
+          << A.str() << " ~seq~ " << B.str();
+  }
+}
+
+TEST_P(HsmPropertyTest, SetEqualityImpliesEqualSortedSequences) {
+  Rng R(GetParam() + 50);
+  FactEnv Facts;
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    Hsm A = randomHsm(R);
+    Hsm B = randomHsm(R);
+    if (!hsmSetEquals(A, B, Facts))
+      continue;
+    auto SA = *A.enumerate({});
+    auto SB = *B.enumerate({});
+    std::sort(SA.begin(), SA.end());
+    std::sort(SB.begin(), SB.end());
+    SA.erase(std::unique(SA.begin(), SA.end()), SA.end());
+    SB.erase(std::unique(SB.begin(), SB.end()), SB.end());
+    EXPECT_EQ(SA, SB) << A.str() << " ~set~ " << B.str();
+  }
+}
+
+TEST_P(HsmPropertyTest, SwappedLevelsAreSetEqual) {
+  Rng R(GetParam() + 60);
+  FactEnv Facts;
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    Poly Base(R.range(0, 5));
+    HsmLevel L1{Poly(R.range(1, 4)), Poly(R.range(0, 5))};
+    HsmLevel L2{Poly(R.range(1, 4)), Poly(R.range(0, 5))};
+    Hsm A(Base, {L1, L2});
+    Hsm B(Base, {L2, L1});
+    EXPECT_TRUE(hsmSetEquals(A, B, Facts))
+        << A.str() << " vs " << B.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HsmPropertyTest,
+                         ::testing::Values(3, 17, 99, 2024));
+
+} // namespace

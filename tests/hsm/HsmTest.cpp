@@ -1,0 +1,303 @@
+//===- tests/hsm/HsmTest.cpp - Hierarchical Sequence Map tests ----------------===//
+
+#include "hsm/Hsm.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+using Env = std::vector<std::pair<std::string, std::int64_t>>;
+
+std::vector<std::int64_t> mustEnumerate(const Hsm &H, const Env &E) {
+  auto Seq = H.enumerate(E);
+  EXPECT_TRUE(Seq.has_value()) << H.str();
+  return Seq.value_or(std::vector<std::int64_t>{});
+}
+
+TEST(HsmTest, PaperExampleSimpleSequence) {
+  // [11 : 4, 5] = <11, 16, 21, 26>.
+  Hsm H = Hsm::leaf(Poly(11), Poly(4), Poly(5));
+  EXPECT_EQ(mustEnumerate(H, {}),
+            (std::vector<std::int64_t>{11, 16, 21, 26}));
+}
+
+TEST(HsmTest, PaperExampleNestedSequence) {
+  // [[0 : 10, 1] : 3, 100] = <0..9, 100..109, 200..209>.
+  Hsm H = Hsm::leaf(Poly(0), Poly(10), Poly(1)).repeated(Poly(3), Poly(100));
+  std::vector<std::int64_t> Seq = mustEnumerate(H, {});
+  ASSERT_EQ(Seq.size(), 30u);
+  EXPECT_EQ(Seq[0], 0);
+  EXPECT_EQ(Seq[9], 9);
+  EXPECT_EQ(Seq[10], 100);
+  EXPECT_EQ(Seq[29], 209);
+}
+
+TEST(HsmTest, LengthIsProductOfRepeats) {
+  Hsm H = Hsm::leaf(Poly(0), Poly::var("n"), Poly(1))
+              .repeated(Poly::var("m"), Poly(7));
+  EXPECT_EQ(H.length(), Poly::var("n").times(Poly::var("m")));
+}
+
+TEST(HsmTest, AdditionSameShape) {
+  FactEnv F;
+  // [0:6,2] + [1:6,3] = [1:6,5].
+  Hsm A = Hsm::leaf(Poly(0), Poly(6), Poly(2));
+  Hsm B = Hsm::leaf(Poly(1), Poly(6), Poly(3));
+  auto C = hsmAdd(A, B, F);
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(mustEnumerate(*C, {}),
+            (std::vector<std::int64_t>{1, 6, 11, 16, 21, 26}));
+}
+
+TEST(HsmTest, AdditionWithReshape) {
+  FactEnv F;
+  // [0:6,1] + [[0:2,0]:3,10]: the flat range must split into [[0:2,1]:3,2].
+  Hsm A = Hsm::leaf(Poly(0), Poly(6), Poly(1));
+  Hsm B = Hsm::leaf(Poly(0), Poly(2), Poly(0)).repeated(Poly(3), Poly(10));
+  auto C = hsmAdd(A, B, F);
+  ASSERT_TRUE(C.has_value());
+  // Element i: i + 10*(i/2).
+  std::vector<std::int64_t> Expect;
+  for (int I = 0; I < 6; ++I)
+    Expect.push_back(I + 10 * (I / 2));
+  EXPECT_EQ(mustEnumerate(*C, {}), Expect);
+}
+
+TEST(HsmTest, AdditionLengthMismatchFails) {
+  FactEnv F;
+  Hsm A = Hsm::leaf(Poly(0), Poly(6), Poly(1));
+  Hsm B = Hsm::leaf(Poly(0), Poly(5), Poly(1));
+  EXPECT_FALSE(hsmAdd(A, B, F).has_value());
+}
+
+TEST(HsmTest, ScaleMultipliesBaseAndStrides) {
+  Hsm A = Hsm::leaf(Poly(1), Poly(4), Poly(2));
+  Hsm B = hsmScale(A, Poly(3));
+  EXPECT_EQ(mustEnumerate(B, {}), (std::vector<std::int64_t>{3, 9, 15, 21}));
+}
+
+TEST(HsmTest, PaperModulusExample) {
+  // [12 : 15, 2] % 6 = <0,2,4> repeated five times (paper Section VIII-A).
+  FactEnv F;
+  Hsm A = Hsm::leaf(Poly(12), Poly(15), Poly(2));
+  auto M = hsmMod(A, Poly(6), F);
+  ASSERT_TRUE(M.has_value());
+  std::vector<std::int64_t> Expect;
+  for (int I = 0; I < 15; ++I)
+    Expect.push_back((12 + 2 * I) % 6);
+  EXPECT_EQ(mustEnumerate(*M, {}), Expect);
+}
+
+TEST(HsmTest, PaperDivisionExample) {
+  // [20 : 6, 5] / 10 = <2,2,3,3,4,4> (paper Section VIII-A).
+  FactEnv F;
+  Hsm A = Hsm::leaf(Poly(20), Poly(6), Poly(5));
+  auto D = hsmDiv(A, Poly(10), F);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(mustEnumerate(*D, {}),
+            (std::vector<std::int64_t>{2, 2, 3, 3, 4, 4}));
+}
+
+TEST(HsmTest, DivisionByStrideDivisor) {
+  // [0 : 5, 10] / 5 = [0 : 5, 2].
+  FactEnv F;
+  Hsm A = Hsm::leaf(Poly(0), Poly(5), Poly(10));
+  auto D = hsmDiv(A, Poly(5), F);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(mustEnumerate(*D, {}), (std::vector<std::int64_t>{0, 2, 4, 6, 8}));
+}
+
+TEST(HsmTest, SymbolicModulusOfIdByNrows) {
+  // [0 : np, 1] % nrows with np == nrows^2: concrete check at nrows=3.
+  FactEnv F;
+  ASSERT_TRUE(F.addRewrite("np", Poly::var("nrows").times(Poly::var("nrows"))));
+  Hsm Id = Hsm::range(Poly(0), Poly::var("np"));
+  auto M = hsmMod(Id, Poly::var("nrows"), F);
+  ASSERT_TRUE(M.has_value());
+  std::vector<std::int64_t> Expect;
+  for (int I = 0; I < 9; ++I)
+    Expect.push_back(I % 3);
+  EXPECT_EQ(mustEnumerate(*M, {{"nrows", 3}, {"np", 9}}), Expect);
+}
+
+TEST(HsmTest, SymbolicDivisionOfIdByNrows) {
+  FactEnv F;
+  ASSERT_TRUE(F.addRewrite("np", Poly::var("nrows").times(Poly::var("nrows"))));
+  Hsm Id = Hsm::range(Poly(0), Poly::var("np"));
+  auto D = hsmDiv(Id, Poly::var("nrows"), F);
+  ASSERT_TRUE(D.has_value());
+  std::vector<std::int64_t> Expect;
+  for (int I = 0; I < 9; ++I)
+    Expect.push_back(I / 3);
+  EXPECT_EQ(mustEnumerate(*D, {{"nrows", 3}, {"np", 9}}), Expect);
+}
+
+TEST(HsmTest, DivisionFailsWithoutFacts) {
+  // Without np == nrows^2 the restructuring is impossible.
+  FactEnv F;
+  Hsm Id = Hsm::range(Poly(0), Poly::var("np"));
+  EXPECT_FALSE(hsmDiv(Id, Poly::var("nrows"), F).has_value());
+}
+
+TEST(HsmTest, ModWithNonDivisibleConstantBase) {
+  // [1 : 3, 6] % 6 = <1,1,1>: base remainder 1, stride divisible.
+  FactEnv F;
+  Hsm A = Hsm::leaf(Poly(1), Poly(3), Poly(6));
+  auto M = hsmMod(A, Poly(6), F);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(mustEnumerate(*M, {}), (std::vector<std::int64_t>{1, 1, 1}));
+}
+
+TEST(HsmTest, DivWithNonDivisibleConstantBase) {
+  // [7 : 3, 6] / 6 = <1,2,3>.
+  FactEnv F;
+  Hsm A = Hsm::leaf(Poly(7), Poly(3), Poly(6));
+  auto D = hsmDiv(A, Poly(6), F);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(mustEnumerate(*D, {}), (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(HsmTest, ModRejectsWindowCrossing) {
+  // [0 : 4, 3] % 6: values 0,3,6,9 -> 0,3,0,3 crosses windows with stride
+  // not dividing 6 and span 9 > 5; must fail (no silent wrong answer).
+  FactEnv F;
+  Hsm A = Hsm::leaf(Poly(0), Poly(4), Poly(3));
+  auto M = hsmMod(A, Poly(6), F);
+  if (M) {
+    // If a rule fired it must still be correct.
+    std::vector<std::int64_t> Expect = {0, 3, 0, 3};
+    EXPECT_EQ(mustEnumerate(*M, {}), Expect);
+  }
+}
+
+TEST(HsmTest, NormalizeMergesAdjacentLevels) {
+  // [[2 : 3, 2] : 2, 6] = [2 : 6, 2] (paper's sequence-equality example).
+  FactEnv F;
+  Hsm A = Hsm::leaf(Poly(2), Poly(3), Poly(2)).repeated(Poly(2), Poly(6));
+  Hsm N = hsmNormalize(A, F);
+  EXPECT_EQ(N, Hsm::leaf(Poly(2), Poly(6), Poly(2)));
+}
+
+TEST(HsmTest, NormalizeDropsUnitLevels) {
+  FactEnv F;
+  Hsm A = Hsm::leaf(Poly(5), Poly(1), Poly(9)).repeated(Poly(4), Poly(1));
+  Hsm N = hsmNormalize(A, F);
+  EXPECT_EQ(N, Hsm::leaf(Poly(5), Poly(4), Poly(1)));
+}
+
+TEST(HsmTest, SequenceEqualityPaperExample) {
+  FactEnv F;
+  Hsm A = Hsm::leaf(Poly(2), Poly(3), Poly(2)).repeated(Poly(2), Poly(6));
+  Hsm B = Hsm::leaf(Poly(2), Poly(6), Poly(2));
+  EXPECT_TRUE(hsmSequenceEquals(A, B, F));
+}
+
+TEST(HsmTest, SequenceInequalityWhenReordered) {
+  FactEnv F;
+  // [[2:3,4]:2,2] = <2,6,10,4,8,12> is set-equal but not sequence-equal
+  // to [2:6,2] = <2,4,6,8,10,12> (paper's interleaving example).
+  Hsm A = Hsm::leaf(Poly(2), Poly(3), Poly(4)).repeated(Poly(2), Poly(2));
+  Hsm B = Hsm::leaf(Poly(2), Poly(6), Poly(2));
+  EXPECT_FALSE(hsmSequenceEquals(A, B, F));
+  EXPECT_TRUE(hsmSetEquals(A, B, F));
+  // Sanity: same value multiset.
+  auto SA = mustEnumerate(A, {});
+  auto SB = mustEnumerate(B, {});
+  std::sort(SA.begin(), SA.end());
+  EXPECT_EQ(SA, SB);
+}
+
+TEST(HsmTest, SetEqualitySwapRule) {
+  FactEnv F;
+  // [[1:2,1]:3,10] ~ [[1:3,10]:2,1] (paper's swap example).
+  Hsm A = Hsm::leaf(Poly(1), Poly(2), Poly(1)).repeated(Poly(3), Poly(10));
+  Hsm B = Hsm::leaf(Poly(1), Poly(3), Poly(10)).repeated(Poly(2), Poly(1));
+  EXPECT_TRUE(hsmSetEquals(A, B, F));
+}
+
+TEST(HsmTest, SetEqualityDifferentBasesFails) {
+  FactEnv F;
+  Hsm A = Hsm::leaf(Poly(0), Poly(4), Poly(1));
+  Hsm B = Hsm::leaf(Poly(1), Poly(4), Poly(1));
+  EXPECT_FALSE(hsmSetEquals(A, B, F));
+}
+
+TEST(HsmTest, SetEqualityDifferentSetsFails) {
+  FactEnv F;
+  Hsm A = Hsm::leaf(Poly(0), Poly(4), Poly(2)); // {0,2,4,6}
+  Hsm B = Hsm::leaf(Poly(0), Poly(4), Poly(1)); // {0,1,2,3}
+  EXPECT_FALSE(hsmSetEquals(A, B, F));
+}
+
+TEST(HsmTest, TransposeImageIsSurjective) {
+  // [[0 : nrows, nrows] : nrows, 1] ~ [0 : np, 1] (Section VIII-B).
+  FactEnv F;
+  ASSERT_TRUE(F.addRewrite("np", Poly::var("nrows").times(Poly::var("nrows"))));
+  Hsm Image = Hsm::leaf(Poly(0), Poly::var("nrows"), Poly::var("nrows"))
+                  .repeated(Poly::var("nrows"), Poly(1));
+  Hsm All = Hsm::range(Poly(0), Poly::var("np"));
+  EXPECT_TRUE(hsmSetEquals(Image, All, F));
+  EXPECT_FALSE(hsmSequenceEquals(Image, All, F));
+}
+
+TEST(HsmTest, RectTransposeImageIsSurjective) {
+  // [[[0:2,1]:nrows,2*nrows]:nrows,2] ~ [0:np,1] with np == 2*nrows^2.
+  FactEnv F;
+  Poly N = Poly::var("nrows");
+  ASSERT_TRUE(F.addRewrite("np", Poly(2).times(N).times(N)));
+  Hsm Image = Hsm::leaf(Poly(0), Poly(2), Poly(1))
+                  .repeated(N, Poly(2).times(N))
+                  .repeated(N, Poly(2));
+  Hsm All = Hsm::range(Poly(0), Poly::var("np"));
+  EXPECT_TRUE(hsmSetEquals(Image, All, F));
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep: symbolic div/mod agree with concrete arithmetic whenever
+// a rule fires.
+//===----------------------------------------------------------------------===//
+
+struct DivModCase {
+  std::int64_t Base, Repeat, Stride, Q;
+};
+
+class DivModProperty : public ::testing::TestWithParam<DivModCase> {};
+
+TEST_P(DivModProperty, AgreesWithConcreteWhenDefined) {
+  const auto &[BaseV, RepeatV, StrideV, QV] = GetParam();
+  FactEnv F;
+  Hsm A = Hsm::leaf(Poly(BaseV), Poly(RepeatV), Poly(StrideV));
+  if (auto D = hsmDiv(A, Poly(QV), F)) {
+    auto Seq = D->enumerate({});
+    ASSERT_TRUE(Seq.has_value());
+    for (std::int64_t I = 0; I < RepeatV; ++I)
+      EXPECT_EQ((*Seq)[static_cast<size_t>(I)], (BaseV + I * StrideV) / QV)
+          << "div base=" << BaseV << " r=" << RepeatV << " s=" << StrideV
+          << " q=" << QV << " i=" << I;
+  }
+  if (auto M = hsmMod(A, Poly(QV), F)) {
+    auto Seq = M->enumerate({});
+    ASSERT_TRUE(Seq.has_value());
+    for (std::int64_t I = 0; I < RepeatV; ++I)
+      EXPECT_EQ((*Seq)[static_cast<size_t>(I)], (BaseV + I * StrideV) % QV)
+          << "mod base=" << BaseV << " r=" << RepeatV << " s=" << StrideV
+          << " q=" << QV << " i=" << I;
+  }
+}
+
+std::vector<DivModCase> divModCases() {
+  std::vector<DivModCase> Cases;
+  for (std::int64_t Base : {0, 1, 5, 12, 20})
+    for (std::int64_t Repeat : {1, 2, 3, 6, 8, 12})
+      for (std::int64_t Stride : {0, 1, 2, 3, 5, 6})
+        for (std::int64_t Q : {2, 3, 5, 6, 10})
+          Cases.push_back({Base, Repeat, Stride, Q});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DivModProperty,
+                         ::testing::ValuesIn(divModCases()));
+
+} // namespace

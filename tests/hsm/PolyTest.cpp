@@ -1,0 +1,128 @@
+//===- tests/hsm/PolyTest.cpp - Symbolic polynomial tests ---------------------===//
+
+#include "hsm/Poly.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+TEST(MonoTest, TimesMergesVars) {
+  Mono A(2, {"x"});
+  Mono B(3, {"x", "y"});
+  Mono C = A.times(B);
+  EXPECT_EQ(C.Coeff, 6);
+  EXPECT_EQ(C.Vars, (std::vector<std::string>{"x", "x", "y"}));
+}
+
+TEST(MonoTest, DividedByExact) {
+  Mono A(6, {"x", "x", "y"});
+  auto Q = A.dividedBy(Mono(2, {"x"}));
+  ASSERT_TRUE(Q.has_value());
+  EXPECT_EQ(Q->Coeff, 3);
+  EXPECT_EQ(Q->Vars, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(MonoTest, DividedByFailsOnCoeff) {
+  EXPECT_FALSE(Mono(5, {"x"}).dividedBy(Mono(2)).has_value());
+}
+
+TEST(MonoTest, DividedByFailsOnMissingVar) {
+  EXPECT_FALSE(Mono(4, {"x"}).dividedBy(Mono(2, {"y"})).has_value());
+}
+
+TEST(PolyTest, NormalizationMergesLikeTerms) {
+  Poly P({Mono(1, {"x"}), Mono(2, {"x"}), Mono(3)});
+  EXPECT_EQ(P.terms().size(), 2u);
+  EXPECT_EQ(P.str(), "3+3*x");
+}
+
+TEST(PolyTest, ZeroTermsDrop) {
+  Poly P = Poly::var("x").minus(Poly::var("x"));
+  EXPECT_TRUE(P.isZero());
+  EXPECT_EQ(P.str(), "0");
+}
+
+TEST(PolyTest, ArithmeticIdentities) {
+  Poly X = Poly::var("x");
+  Poly Y = Poly::var("y");
+  EXPECT_EQ(X.plus(Y), Y.plus(X));
+  EXPECT_EQ(X.times(Y), Y.times(X));
+  EXPECT_EQ(X.times(Poly(0)), Poly(0));
+  EXPECT_EQ(X.times(Poly(1)), X);
+  EXPECT_EQ(X.plus(Poly(0)), X);
+}
+
+TEST(PolyTest, Distribution) {
+  Poly X = Poly::var("x");
+  Poly Y = Poly::var("y");
+  Poly Lhs = X.plus(Y).times(X);
+  Poly Rhs = X.times(X).plus(Y.times(X));
+  EXPECT_EQ(Lhs, Rhs);
+}
+
+TEST(PolyTest, DividedByMono) {
+  Poly P = Poly::var("n").times(Poly::var("n")).times(Poly(2)); // 2n^2
+  auto Q = P.dividedBy(Mono(2, {"n"}));
+  ASSERT_TRUE(Q.has_value());
+  EXPECT_EQ(*Q, Poly::var("n"));
+  EXPECT_FALSE(P.dividedBy(Mono(4, {"n"})).has_value());
+}
+
+TEST(PolyTest, DividedByMixedFails) {
+  Poly P = Poly::var("n").plus(Poly(1)); // n + 1
+  EXPECT_FALSE(P.dividedBy(Mono(1, {"n"})).has_value());
+}
+
+TEST(PolyTest, Eval) {
+  // 2*n*n - 3 at n=4 -> 29.
+  Poly P = Poly(2).times(Poly::var("n")).times(Poly::var("n")).minus(Poly(3));
+  EXPECT_EQ(P.eval({{"n", 4}}), 29);
+  EXPECT_FALSE(P.eval({}).has_value());
+}
+
+TEST(FactEnvTest, RewriteSubstitutes) {
+  FactEnv F;
+  ASSERT_TRUE(F.addRewrite("np", Poly::var("nrows").times(Poly::var("nrows"))));
+  EXPECT_TRUE(F.equal(Poly::var("np"),
+                      Poly::var("nrows").times(Poly::var("nrows"))));
+  EXPECT_FALSE(F.equal(Poly::var("np"), Poly::var("nrows")));
+}
+
+TEST(FactEnvTest, ChainedRewrites) {
+  // np == ncols * nrows, ncols == 2 * nrows => np == 2 * nrows^2.
+  FactEnv F;
+  ASSERT_TRUE(
+      F.addRewrite("np", Poly::var("ncols").times(Poly::var("nrows"))));
+  ASSERT_TRUE(F.addRewrite("ncols", Poly(2).times(Poly::var("nrows"))));
+  Poly TwoN2 = Poly(2).times(Poly::var("nrows")).times(Poly::var("nrows"));
+  EXPECT_TRUE(F.equal(Poly::var("np"), TwoN2));
+}
+
+TEST(FactEnvTest, RejectsCyclicRewrite) {
+  FactEnv F;
+  ASSERT_TRUE(F.addRewrite("a", Poly::var("b")));
+  EXPECT_FALSE(F.addRewrite("b", Poly::var("a")));
+}
+
+TEST(FactEnvTest, DivideModuloFacts) {
+  FactEnv F;
+  ASSERT_TRUE(F.addRewrite("np", Poly::var("nrows").times(Poly::var("nrows"))));
+  // np / nrows == nrows.
+  auto Q = F.divide(Poly::var("np"), Poly::var("nrows"));
+  ASSERT_TRUE(Q.has_value());
+  EXPECT_TRUE(F.equal(*Q, Poly::var("nrows")));
+}
+
+TEST(FactEnvTest, SquareBranchUnification) {
+  // assume np == ncols*nrows; assume ncols == nrows (square branch).
+  FactEnv F;
+  ASSERT_TRUE(
+      F.addRewrite("np", Poly::var("ncols").times(Poly::var("nrows"))));
+  ASSERT_TRUE(F.addRewrite("ncols", Poly::var("nrows")));
+  EXPECT_TRUE(F.equal(Poly::var("np"),
+                      Poly::var("nrows").times(Poly::var("nrows"))));
+}
+
+} // namespace

@@ -1,0 +1,210 @@
+//===- tests/interp/InterpreterEdgeTest.cpp - Channel/scheduler edge cases -----===//
+
+#include "interp/Interpreter.h"
+
+#include "cfg/CfgBuilder.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+struct Built {
+  Program Prog;
+  Cfg Graph;
+};
+
+Built buildFrom(const std::string &Source) {
+  Built B;
+  B.Prog = parseProgramOrDie(Source);
+  B.Graph = buildCfg(B.Prog);
+  return B;
+}
+
+TEST(InterpreterEdgeTest, ChannelIsStrictlyFifo) {
+  // Two messages on the same channel arrive in send order.
+  Built B = buildFrom(R"mpl(
+if id == 0 then
+  send 1 -> 1;
+  send 2 -> 1;
+elif id == 1 then
+  recv a <- 0;
+  recv b <- 0;
+  print a;
+  print b;
+end
+)mpl");
+  RunOptions Opts;
+  Opts.NumProcs = 2;
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  EXPECT_EQ(R.Prints[1], (std::vector<std::int64_t>{1, 2}));
+  // Channel sequence numbers are 0 then 1.
+  ASSERT_EQ(R.Trace.size(), 2u);
+  auto Canon = R.canonicalTrace();
+  EXPECT_EQ(Canon[0].ChannelSeq, 0u);
+  EXPECT_EQ(Canon[1].ChannelSeq, 1u);
+  EXPECT_EQ(Canon[0].Value, 1);
+  EXPECT_EQ(Canon[1].Value, 2);
+}
+
+TEST(InterpreterEdgeTest, DistinctChannelsDoNotInterfere) {
+  // Messages from different senders to one receiver are independent
+  // FIFOs; the receiver picks by source.
+  Built B = buildFrom(R"mpl(
+if id == 0 then
+  recv a <- 2;
+  recv b <- 1;
+  print a;
+  print b;
+elif id == 1 then
+  send 11 -> 0;
+else
+  send 22 -> 0;
+end
+)mpl");
+  RunOptions Opts;
+  Opts.NumProcs = 3;
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  EXPECT_EQ(R.Prints[0], (std::vector<std::int64_t>{22, 11}));
+}
+
+TEST(InterpreterEdgeTest, TagAtHeadBlocksChannel) {
+  // Strict FIFO per channel: a mismatched tag at the head blocks even if
+  // a matching message is queued behind it.
+  Built B = buildFrom(R"mpl(
+if id == 0 then
+  send 1 -> 1 tag 7;
+  send 2 -> 1 tag 9;
+elif id == 1 then
+  recv a <- 0 tag 9;
+end
+)mpl");
+  RunOptions Opts;
+  Opts.NumProcs = 2;
+  RunResult R = runProgram(B.Graph, Opts);
+  EXPECT_EQ(R.Status, RunStatus::Deadlock);
+  EXPECT_EQ(R.Leaks.size(), 2u);
+}
+
+TEST(InterpreterEdgeTest, MatchingTagAtHeadPasses) {
+  Built B = buildFrom(R"mpl(
+if id == 0 then
+  send 5 -> 1 tag 9;
+elif id == 1 then
+  recv a <- 0 tag 9;
+  print a;
+end
+)mpl");
+  RunOptions Opts;
+  Opts.NumProcs = 2;
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  EXPECT_EQ(R.Prints[1], std::vector<std::int64_t>{5});
+}
+
+TEST(InterpreterEdgeTest, TwoRoundExchangeKeepsOrder) {
+  // Each worker receives two messages from the root on one channel.
+  Built B = buildFrom(R"mpl(
+if id == 0 then
+  for i = 1 to np - 1 do
+    send i -> i;
+  end
+  for j = 1 to np - 1 do
+    send j * 10 -> j;
+  end
+else
+  recv first <- 0;
+  recv second <- 0;
+end
+)mpl");
+  RunOptions Opts;
+  Opts.NumProcs = 4;
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  for (int Rank = 1; Rank < 4; ++Rank) {
+    EXPECT_EQ(R.FinalVars[Rank].at("first"), Rank);
+    EXPECT_EQ(R.FinalVars[Rank].at("second"), Rank * 10);
+  }
+}
+
+TEST(InterpreterEdgeTest, SchedulersAgreeOnTwoRoundExchange) {
+  Built B = buildFrom(R"mpl(
+if id == 0 then
+  for i = 1 to np - 1 do
+    send i -> i;
+  end
+  for j = 1 to np - 1 do
+    send j * 10 -> j;
+  end
+else
+  recv first <- 0;
+  recv second <- 0;
+end
+)mpl");
+  RunOptions Opts;
+  Opts.NumProcs = 5;
+  RoundRobinScheduler RR;
+  RunResult Ref = runProgram(B.Graph, Opts, RR);
+  LifoScheduler L;
+  RunResult RL = runProgram(B.Graph, Opts, L);
+  RandomScheduler Rnd(99);
+  RunResult RR2 = runProgram(B.Graph, Opts, Rnd);
+  EXPECT_EQ(Ref.FinalVars, RL.FinalVars);
+  EXPECT_EQ(Ref.FinalVars, RR2.FinalVars);
+}
+
+TEST(InterpreterEdgeTest, SingleProcessProgramRuns) {
+  Built B = buildFrom("x = 1; print x + np;");
+  RunOptions Opts;
+  Opts.NumProcs = 1;
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  EXPECT_EQ(R.Prints[0], std::vector<std::int64_t>{2});
+}
+
+TEST(InterpreterEdgeTest, AssertFailureStopsRun) {
+  Built B = buildFrom("assert id < 0;");
+  RunOptions Opts;
+  Opts.NumProcs = 2;
+  RunResult R = runProgram(B.Graph, Opts);
+  EXPECT_EQ(R.Status, RunStatus::AssertFailed);
+  EXPECT_NE(R.Error.find("assert"), std::string::npos);
+}
+
+TEST(InterpreterEdgeTest, AssertPassingContinues) {
+  Built B = buildFrom("assert id >= 0; print 1;");
+  RunOptions Opts;
+  Opts.NumProcs = 2;
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+}
+
+TEST(InterpreterEdgeTest, ParamsArePerProcessBound) {
+  Built B = buildFrom("print nrows * ncols;");
+  RunOptions Opts;
+  Opts.NumProcs = 3;
+  Opts.Params = {{"nrows", 3}, {"ncols", 5}};
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  for (int Rank = 0; Rank < 3; ++Rank)
+    EXPECT_EQ(R.Prints[Rank], std::vector<std::int64_t>{15});
+}
+
+TEST(InterpreterEdgeTest, InputIndexIsPerRank) {
+  Built B = buildFrom("a = input(); b = input(); print a * 100 + b;");
+  RunOptions Opts;
+  Opts.NumProcs = 2;
+  Opts.Input = [](int Rank, unsigned Index) {
+    return static_cast<std::int64_t>(Rank * 10 + Index);
+  };
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  EXPECT_EQ(R.Prints[0], std::vector<std::int64_t>{1});     // 0*100 + 1
+  EXPECT_EQ(R.Prints[1], std::vector<std::int64_t>{1011});  // 10*100 + 11
+}
+
+} // namespace

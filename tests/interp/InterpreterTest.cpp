@@ -1,0 +1,260 @@
+//===- tests/interp/InterpreterTest.cpp - Simulator tests --------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "cfg/CfgBuilder.h"
+#include "lang/Corpus.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+struct Built {
+  Program Prog;
+  Cfg Graph;
+};
+
+Built buildFrom(const std::string &Source) {
+  Built B;
+  B.Prog = parseProgramOrDie(Source);
+  B.Graph = buildCfg(B.Prog);
+  return B;
+}
+
+TEST(InterpreterTest, Figure2BothProcessesPrintFive) {
+  Built B = buildFrom(corpus::figure2Exchange());
+  RunOptions Opts;
+  Opts.NumProcs = 4;
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  EXPECT_EQ(R.Prints[0], std::vector<std::int64_t>{5});
+  EXPECT_EQ(R.Prints[1], std::vector<std::int64_t>{5});
+  EXPECT_TRUE(R.Prints[2].empty());
+  EXPECT_EQ(R.Trace.size(), 2u);
+  EXPECT_TRUE(R.Leaks.empty());
+}
+
+TEST(InterpreterTest, FanOutBroadcastDeliversToAll) {
+  Built B = buildFrom(corpus::fanOutBroadcast());
+  RunOptions Opts;
+  Opts.NumProcs = 8;
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  EXPECT_EQ(R.Trace.size(), 7u);
+  for (int Rank = 1; Rank < 8; ++Rank)
+    EXPECT_EQ(R.FinalVars[Rank].at("y"), 42);
+}
+
+TEST(InterpreterTest, ExchangeWithRootRoundTrips) {
+  Built B = buildFrom(corpus::exchangeWithRoot());
+  RunOptions Opts;
+  Opts.NumProcs = 6;
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  // np-1 pairs of messages.
+  EXPECT_EQ(R.Trace.size(), 10u);
+  for (int Rank = 1; Rank < 6; ++Rank)
+    EXPECT_EQ(R.FinalVars[Rank].at("y"), 7);
+  EXPECT_EQ(R.FinalVars[0].at("y"), 7);
+}
+
+TEST(InterpreterTest, TransposeSquareSwapsValues) {
+  Built B = buildFrom(corpus::transposeSquare());
+  RunOptions Opts;
+  Opts.NumProcs = 16;
+  Opts.Params["nrows"] = 4;
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  for (int Id = 0; Id < 16; ++Id) {
+    int Partner = (Id % 4) * 4 + Id / 4;
+    EXPECT_EQ(R.FinalVars[Id].at("y"), 100 + Partner) << Id;
+  }
+}
+
+TEST(InterpreterTest, TransposeRectSwapsValues) {
+  Built B = buildFrom(corpus::transposeRect());
+  RunOptions Opts;
+  Opts.NumProcs = 18; // nrows=3, ncols=6
+  Opts.Params["nrows"] = 3;
+  Opts.Params["ncols"] = 6;
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  for (int Id = 0; Id < 18; ++Id) {
+    int Partner = 2 * 3 * (Id / 2 % 3) + 2 * (Id / 6) + Id % 2;
+    if (Partner == Id)
+      continue; // Diagonal pairs may self-match only if expression says so.
+    EXPECT_EQ(R.FinalVars[Id].at("y"), 100 + Partner) << Id;
+  }
+}
+
+TEST(InterpreterTest, AssumeViolationAborts) {
+  Built B = buildFrom(corpus::transposeSquare());
+  RunOptions Opts;
+  Opts.NumProcs = 15; // Not a square.
+  Opts.Params["nrows"] = 4;
+  RunResult R = runProgram(B.Graph, Opts);
+  EXPECT_EQ(R.Status, RunStatus::AssertFailed);
+}
+
+TEST(InterpreterTest, NeighborShiftPipelines) {
+  Built B = buildFrom(corpus::neighborShift());
+  RunOptions Opts;
+  Opts.NumProcs = 10;
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  EXPECT_EQ(R.Trace.size(), 9u);
+  for (int Rank = 1; Rank < 10; ++Rank)
+    EXPECT_EQ(R.FinalVars[Rank].at("y"), Rank - 1);
+}
+
+TEST(InterpreterTest, MessageLeakIsReported) {
+  Built B = buildFrom(corpus::messageLeak());
+  RunOptions Opts;
+  Opts.NumProcs = 2;
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  ASSERT_EQ(R.Leaks.size(), 1u);
+  EXPECT_EQ(R.Leaks[0].Sender, 0);
+  EXPECT_EQ(R.Leaks[0].Receiver, 1);
+}
+
+TEST(InterpreterTest, HeadToHeadDeadlocks) {
+  Built B = buildFrom(corpus::headToHeadDeadlock());
+  RunOptions Opts;
+  Opts.NumProcs = 2;
+  RunResult R = runProgram(B.Graph, Opts);
+  EXPECT_EQ(R.Status, RunStatus::Deadlock);
+  EXPECT_EQ(R.BlockedRanks.size(), 2u);
+}
+
+TEST(InterpreterTest, TagMismatchDeadlocksAndLeaks) {
+  Built B = buildFrom(corpus::tagMismatch());
+  RunOptions Opts;
+  Opts.NumProcs = 2;
+  RunResult R = runProgram(B.Graph, Opts);
+  EXPECT_EQ(R.Status, RunStatus::Deadlock);
+  EXPECT_EQ(R.Leaks.size(), 1u);
+}
+
+TEST(InterpreterTest, RingShiftWorksWithNonBlockingSends) {
+  Built B = buildFrom(corpus::ringShift());
+  RunOptions Opts;
+  Opts.NumProcs = 5;
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  for (int Rank = 0; Rank < 5; ++Rank)
+    EXPECT_EQ(R.FinalVars[Rank].at("y"), (Rank + 4) % 5);
+}
+
+TEST(InterpreterTest, SelfSendThenSelfRecvWorks) {
+  // Diagonal processes of a transpose are their own partners; the model's
+  // one-channel-per-pair FIFO includes the self channel.
+  Built B = buildFrom("x = 41; send x + 1 -> id; recv y <- id; print y;");
+  RunOptions Opts;
+  Opts.NumProcs = 2;
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  EXPECT_EQ(R.Prints[0], std::vector<std::int64_t>{42});
+  EXPECT_EQ(R.Prints[1], std::vector<std::int64_t>{42});
+}
+
+TEST(InterpreterTest, SendOutOfRangeIsAnError) {
+  Built B = buildFrom("x = 1; send x -> np;");
+  RunOptions Opts;
+  Opts.NumProcs = 2;
+  RunResult R = runProgram(B.Graph, Opts);
+  EXPECT_EQ(R.Status, RunStatus::EvalError);
+}
+
+TEST(InterpreterTest, DivisionByZeroIsAnError) {
+  Built B = buildFrom("x = 1 / (np - np);");
+  RunOptions Opts;
+  Opts.NumProcs = 1;
+  RunResult R = runProgram(B.Graph, Opts);
+  EXPECT_EQ(R.Status, RunStatus::EvalError);
+}
+
+TEST(InterpreterTest, InfiniteLoopHitsStepLimit) {
+  Built B = buildFrom("x = 0; while 1 == 1 do x = x + 1; end");
+  RunOptions Opts;
+  Opts.NumProcs = 1;
+  Opts.MaxSteps = 1000;
+  RunResult R = runProgram(B.Graph, Opts);
+  EXPECT_EQ(R.Status, RunStatus::StepLimit);
+}
+
+TEST(InterpreterTest, InputProviderIsConsulted) {
+  Built B = buildFrom("x = input(); y = input(); print x + y;");
+  RunOptions Opts;
+  Opts.NumProcs = 1;
+  Opts.Input = [](int, unsigned Index) {
+    return static_cast<std::int64_t>(Index + 10);
+  };
+  RunResult R = runProgram(B.Graph, Opts);
+  ASSERT_TRUE(R.finished()) << R.Error;
+  EXPECT_EQ(R.Prints[0], std::vector<std::int64_t>{21});
+}
+
+//===----------------------------------------------------------------------===//
+// Interleaving-obliviousness (Section III / Appendix): the outcome must not
+// depend on the scheduler.
+//===----------------------------------------------------------------------===//
+
+class ObliviousnessTest
+    : public ::testing::TestWithParam<corpus::NamedProgram> {};
+
+TEST_P(ObliviousnessTest, OutcomeIsScheduleIndependent) {
+  const auto &[Name, Source] = GetParam();
+  Built B = buildFrom(Source);
+  RunOptions Opts;
+  Opts.NumProcs = 8;
+  Opts.Params["nrows"] = 2;
+  Opts.Params["ncols"] = 4;
+  Opts.Params["half"] = 4;
+
+  // Skip parameterizations that violate a program's assumes.
+  RoundRobinScheduler RR;
+  RunResult Ref = runProgram(B.Graph, Opts, RR);
+  if (Ref.Status == RunStatus::AssertFailed)
+    GTEST_SKIP() << "parameters do not satisfy assumes for " << Name;
+  ASSERT_TRUE(Ref.finished()) << Name << ": " << Ref.Error;
+
+  LifoScheduler Lifo;
+  RunResult L = runProgram(B.Graph, Opts, Lifo);
+  ASSERT_TRUE(L.finished()) << Name;
+
+  for (std::uint64_t Seed : {1u, 7u, 1234u}) {
+    RandomScheduler Rand(Seed);
+    RunResult R = runProgram(B.Graph, Opts, Rand);
+    ASSERT_TRUE(R.finished()) << Name << " seed " << Seed;
+    EXPECT_EQ(R.Prints, Ref.Prints) << Name;
+    EXPECT_EQ(R.FinalVars, Ref.FinalVars) << Name;
+    auto CanonR = R.canonicalTrace();
+    auto CanonRef = Ref.canonicalTrace();
+    ASSERT_EQ(CanonR.size(), CanonRef.size()) << Name;
+    for (size_t I = 0; I < CanonR.size(); ++I) {
+      EXPECT_EQ(CanonR[I].Sender, CanonRef[I].Sender) << Name;
+      EXPECT_EQ(CanonR[I].Receiver, CanonRef[I].Receiver) << Name;
+      EXPECT_EQ(CanonR[I].Value, CanonRef[I].Value) << Name;
+      EXPECT_EQ(CanonR[I].SendNode, CanonRef[I].SendNode) << Name;
+      EXPECT_EQ(CanonR[I].RecvNode, CanonRef[I].RecvNode) << Name;
+    }
+  }
+  EXPECT_EQ(L.Prints, Ref.Prints) << Name;
+  EXPECT_EQ(L.FinalVars, Ref.FinalVars) << Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ObliviousnessTest, ::testing::ValuesIn(corpus::allPatterns()),
+    [](const ::testing::TestParamInfo<corpus::NamedProgram> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+} // namespace

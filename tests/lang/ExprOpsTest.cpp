@@ -1,0 +1,189 @@
+//===- tests/lang/ExprOpsTest.cpp - Expression utility tests -----------------===//
+
+#include "lang/ExprOps.h"
+
+#include "lang/Parser.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+/// Parses `x = <expr>;` and returns the expression (program kept alive via
+/// a static-per-call holder owned by the fixture).
+class ExprOpsTest : public ::testing::Test {
+protected:
+  const Expr *parseExpr(const std::string &Text) {
+    ParseResult R = parseProgram("x = " + Text + ";");
+    EXPECT_TRUE(R.succeeded()) << Text;
+    Programs.push_back(std::move(R.Prog));
+    return cast<AssignStmt>(Programs.back().body()[0])->value();
+  }
+
+  std::vector<Program> Programs;
+};
+
+TEST_F(ExprOpsTest, ToStringSimple) {
+  EXPECT_EQ(exprToString(parseExpr("id + 1")), "id + 1");
+  EXPECT_EQ(exprToString(parseExpr("(id % nrows) * nrows + id / nrows")),
+            "id % nrows * nrows + id / nrows");
+}
+
+TEST_F(ExprOpsTest, ToStringPreservesNeededParens) {
+  const Expr *E = parseExpr("2 * (id + 1)");
+  EXPECT_EQ(exprToString(E), "2 * (id + 1)");
+  // Reparse must yield the same structure.
+  EXPECT_TRUE(exprEquals(E, parseExpr(exprToString(E))));
+}
+
+TEST_F(ExprOpsTest, RoundTripRandomizedShapes) {
+  const char *Samples[] = {
+      "id / (2 * nrows) + id % 2",
+      "2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows)) + id % 2",
+      "-(x + 1) * 3",
+      "not (a and b) or c",
+      "(a - b) - c",
+      "a - (b - c)",
+  };
+  for (const char *S : Samples) {
+    const Expr *E = parseExpr(S);
+    EXPECT_TRUE(exprEquals(E, parseExpr(exprToString(E)))) << S;
+  }
+}
+
+TEST_F(ExprOpsTest, StructuralEquality) {
+  EXPECT_TRUE(exprEquals(parseExpr("id + 1"), parseExpr("id + 1")));
+  EXPECT_FALSE(exprEquals(parseExpr("id + 1"), parseExpr("id + 2")));
+  EXPECT_FALSE(exprEquals(parseExpr("id + 1"), parseExpr("1 + id")));
+}
+
+TEST_F(ExprOpsTest, InputNeverEqualsItself) {
+  const Expr *E = parseExpr("input()");
+  EXPECT_FALSE(exprEquals(E, E));
+}
+
+TEST_F(ExprOpsTest, CollectVars) {
+  std::set<std::string> Vars;
+  collectVars(parseExpr("a + b * id - 3"), Vars);
+  EXPECT_EQ(Vars, (std::set<std::string>{"a", "b", "id"}));
+}
+
+TEST_F(ExprOpsTest, DependsOnId) {
+  EXPECT_TRUE(dependsOnId(parseExpr("id + 1")));
+  EXPECT_TRUE(dependsOnId(parseExpr("(x + id) * 2")));
+  EXPECT_FALSE(dependsOnId(parseExpr("np - 1")));
+}
+
+TEST_F(ExprOpsTest, ContainsInput) {
+  EXPECT_TRUE(containsInput(parseExpr("1 + input()")));
+  EXPECT_FALSE(containsInput(parseExpr("1 + x")));
+}
+
+TEST_F(ExprOpsTest, EvalArithmetic) {
+  auto Env = [](const std::string &Name) -> std::optional<std::int64_t> {
+    if (Name == "id")
+      return 7;
+    if (Name == "np")
+      return 16;
+    return std::nullopt;
+  };
+  EXPECT_EQ(evalExpr(parseExpr("id * 2 + np"), Env), 30);
+  EXPECT_EQ(evalExpr(parseExpr("id / 2"), Env), 3);
+  EXPECT_EQ(evalExpr(parseExpr("id % 4"), Env), 3);
+  EXPECT_EQ(evalExpr(parseExpr("id < np"), Env), 1);
+  EXPECT_EQ(evalExpr(parseExpr("id == 7 and np == 16"), Env), 1);
+  EXPECT_EQ(evalExpr(parseExpr("not (id == 7)"), Env), 0);
+}
+
+TEST_F(ExprOpsTest, EvalUnboundVariableFails) {
+  auto Env = [](const std::string &) -> std::optional<std::int64_t> {
+    return std::nullopt;
+  };
+  EXPECT_FALSE(evalExpr(parseExpr("x + 1"), Env).has_value());
+}
+
+TEST_F(ExprOpsTest, EvalDivisionByZeroFails) {
+  auto Env = [](const std::string &) -> std::optional<std::int64_t> {
+    return 0;
+  };
+  EXPECT_FALSE(evalExpr(parseExpr("1 / x"), Env).has_value());
+  EXPECT_FALSE(evalExpr(parseExpr("1 % x"), Env).has_value());
+}
+
+TEST_F(ExprOpsTest, ShortCircuitSkipsDivByZero) {
+  auto Env = [](const std::string &Name) -> std::optional<std::int64_t> {
+    if (Name == "x")
+      return 0;
+    return std::nullopt;
+  };
+  EXPECT_EQ(evalExpr(parseExpr("x != 0 and 1 / x > 0"), Env), 0);
+  EXPECT_EQ(evalExpr(parseExpr("x == 0 or 1 / x > 0"), Env), 1);
+}
+
+TEST_F(ExprOpsTest, FoldConstant) {
+  EXPECT_EQ(foldConstant(parseExpr("2 + 3 * 4")), 14);
+  EXPECT_FALSE(foldConstant(parseExpr("x + 1")).has_value());
+  EXPECT_EQ(foldConstant(parseExpr("-(5)")), -5);
+}
+
+TEST_F(ExprOpsTest, TransposePartnerEvaluation) {
+  // The square-transpose expression is an involution on a 4x4 grid.
+  const Expr *E = parseExpr("(id % nrows) * nrows + id / nrows");
+  for (std::int64_t Id = 0; Id < 16; ++Id) {
+    auto Env = [Id](const std::string &Name) -> std::optional<std::int64_t> {
+      if (Name == "id")
+        return Id;
+      if (Name == "nrows")
+        return 4;
+      return std::nullopt;
+    };
+    auto Partner = evalExpr(E, Env);
+    ASSERT_TRUE(Partner.has_value());
+    auto Env2 = [&](const std::string &Name) -> std::optional<std::int64_t> {
+      if (Name == "id")
+        return *Partner;
+      if (Name == "nrows")
+        return 4;
+      return std::nullopt;
+    };
+    EXPECT_EQ(evalExpr(E, Env2), Id);
+  }
+}
+
+TEST_F(ExprOpsTest, RectTransposePartnerEvaluation) {
+  // The rectangular transpose expression is an involution and a bijection
+  // on an nrows x 2*nrows grid for several sizes.
+  const Expr *E = parseExpr(
+      "2 * nrows * (id / 2 % nrows) + 2 * (id / (2 * nrows)) + id % 2");
+  for (std::int64_t NRows : {1, 2, 3, 4}) {
+    std::int64_t NP = 2 * NRows * NRows;
+    std::set<std::int64_t> Image;
+    for (std::int64_t Id = 0; Id < NP; ++Id) {
+      auto Env = [&](const std::string &Name) -> std::optional<std::int64_t> {
+        if (Name == "id")
+          return Id;
+        if (Name == "nrows")
+          return NRows;
+        return std::nullopt;
+      };
+      auto Partner = evalExpr(E, Env);
+      ASSERT_TRUE(Partner.has_value());
+      ASSERT_GE(*Partner, 0);
+      ASSERT_LT(*Partner, NP);
+      Image.insert(*Partner);
+      auto Env2 = [&](const std::string &Name) -> std::optional<std::int64_t> {
+        if (Name == "id")
+          return *Partner;
+        if (Name == "nrows")
+          return NRows;
+        return std::nullopt;
+      };
+      EXPECT_EQ(evalExpr(E, Env2), Id);
+    }
+    EXPECT_EQ(Image.size(), static_cast<size_t>(NP));
+  }
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+//===- tests/lang/LexerTest.cpp - Lexer unit tests --------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+std::vector<TokenKind> kindsOf(const std::string &Source) {
+  Lexer Lex(Source);
+  std::vector<TokenKind> Kinds;
+  for (const Token &Tok : Lex.lexAll())
+    Kinds.push_back(Tok.Kind);
+  return Kinds;
+}
+
+TEST(LexerTest, EmptyInputIsEof) {
+  EXPECT_EQ(kindsOf(""), std::vector<TokenKind>{TokenKind::Eof});
+}
+
+TEST(LexerTest, WhitespaceAndCommentsAreSkipped) {
+  EXPECT_EQ(kindsOf("   # a comment\n\t  # more\n"),
+            std::vector<TokenKind>{TokenKind::Eof});
+}
+
+TEST(LexerTest, LexesIntegerLiteral) {
+  Lexer Lex("12345");
+  Token Tok = Lex.next();
+  EXPECT_EQ(Tok.Kind, TokenKind::Integer);
+  EXPECT_EQ(Tok.IntValue, 12345);
+}
+
+TEST(LexerTest, RejectsOverflowingInteger) {
+  Lexer Lex("99999999999999999999999999");
+  EXPECT_EQ(Lex.next().Kind, TokenKind::Error);
+}
+
+TEST(LexerTest, LexesIdentifiersAndKeywords) {
+  EXPECT_EQ(kindsOf("if x then end"),
+            (std::vector<TokenKind>{TokenKind::KwIf, TokenKind::Identifier,
+                                    TokenKind::KwThen, TokenKind::KwEnd,
+                                    TokenKind::Eof}));
+}
+
+TEST(LexerTest, IdAndNpAreIdentifiers) {
+  Lexer Lex("id np");
+  Token A = Lex.next();
+  Token B = Lex.next();
+  EXPECT_EQ(A.Kind, TokenKind::Identifier);
+  EXPECT_EQ(A.Text, "id");
+  EXPECT_EQ(B.Kind, TokenKind::Identifier);
+  EXPECT_EQ(B.Text, "np");
+}
+
+TEST(LexerTest, LexesArrows) {
+  EXPECT_EQ(kindsOf("-> <- - <"),
+            (std::vector<TokenKind>{TokenKind::Arrow, TokenKind::BackArrow,
+                                    TokenKind::Minus, TokenKind::Less,
+                                    TokenKind::Eof}));
+}
+
+TEST(LexerTest, LexesComparisonOperators) {
+  EXPECT_EQ(kindsOf("== != <= >= < > ="),
+            (std::vector<TokenKind>{TokenKind::EqEq, TokenKind::NotEq,
+                                    TokenKind::LessEq, TokenKind::GreaterEq,
+                                    TokenKind::Less, TokenKind::Greater,
+                                    TokenKind::Assign, TokenKind::Eof}));
+}
+
+TEST(LexerTest, LexesArithmeticOperators) {
+  EXPECT_EQ(kindsOf("+ - * / %"),
+            (std::vector<TokenKind>{TokenKind::Plus, TokenKind::Minus,
+                                    TokenKind::Star, TokenKind::Slash,
+                                    TokenKind::Percent, TokenKind::Eof}));
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  Lexer Lex("x\n  y");
+  Token X = Lex.next();
+  Token Y = Lex.next();
+  EXPECT_EQ(X.Loc.Line, 1u);
+  EXPECT_EQ(X.Loc.Col, 1u);
+  EXPECT_EQ(Y.Loc.Line, 2u);
+  EXPECT_EQ(Y.Loc.Col, 3u);
+}
+
+TEST(LexerTest, BangWithoutEqualsIsError) {
+  Lexer Lex("!x");
+  EXPECT_EQ(Lex.next().Kind, TokenKind::Error);
+}
+
+TEST(LexerTest, UnknownCharacterIsError) {
+  Lexer Lex("@");
+  Token Tok = Lex.next();
+  EXPECT_EQ(Tok.Kind, TokenKind::Error);
+  EXPECT_NE(Tok.Text.find('@'), std::string::npos);
+}
+
+TEST(LexerTest, SendStatementTokenStream) {
+  EXPECT_EQ(kindsOf("send x -> id + 1;"),
+            (std::vector<TokenKind>{TokenKind::KwSend, TokenKind::Identifier,
+                                    TokenKind::Arrow, TokenKind::Identifier,
+                                    TokenKind::Plus, TokenKind::Integer,
+                                    TokenKind::Semi, TokenKind::Eof}));
+}
+
+TEST(LexerTest, TagKeyword) {
+  EXPECT_EQ(kindsOf("tag 3"),
+            (std::vector<TokenKind>{TokenKind::KwTag, TokenKind::Integer,
+                                    TokenKind::Eof}));
+}
+
+TEST(LexerTest, UnderscoreIdentifiers) {
+  Lexer Lex("foo_bar _x");
+  EXPECT_EQ(Lex.next().Text, "foo_bar");
+  EXPECT_EQ(Lex.next().Text, "_x");
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+//===- tests/lang/ParserTest.cpp - Parser unit tests -------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/AstPrinter.h"
+#include "lang/Corpus.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+TEST(ParserTest, EmptyProgram) {
+  ParseResult R = parseProgram("");
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_TRUE(R.Prog.body().empty());
+}
+
+TEST(ParserTest, ParsesAssignment) {
+  ParseResult R = parseProgram("x = 1 + 2 * 3;");
+  ASSERT_TRUE(R.succeeded());
+  ASSERT_EQ(R.Prog.body().size(), 1u);
+  const auto *A = dyn_cast<AssignStmt>(R.Prog.body()[0]);
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->var(), "x");
+  // Precedence: 1 + (2 * 3).
+  const auto *Add = dyn_cast<BinaryExpr>(A->value());
+  ASSERT_NE(Add, nullptr);
+  EXPECT_EQ(Add->op(), BinaryOp::Add);
+  const auto *Mul = dyn_cast<BinaryExpr>(Add->rhs());
+  ASSERT_NE(Mul, nullptr);
+  EXPECT_EQ(Mul->op(), BinaryOp::Mul);
+}
+
+TEST(ParserTest, LeftAssociativeSubtraction) {
+  ParseResult R = parseProgram("x = 10 - 3 - 2;");
+  ASSERT_TRUE(R.succeeded());
+  const auto *A = cast<AssignStmt>(R.Prog.body()[0]);
+  const auto *Outer = cast<BinaryExpr>(A->value());
+  EXPECT_EQ(Outer->op(), BinaryOp::Sub);
+  const auto *Inner = dyn_cast<BinaryExpr>(Outer->lhs());
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->op(), BinaryOp::Sub);
+}
+
+TEST(ParserTest, DivModSamePrecedenceLeftAssoc) {
+  // id / 2 % nrows must parse as (id / 2) % nrows — the NAS-CG kernels
+  // rely on this.
+  ParseResult R = parseProgram("x = id / 2 % nrows;");
+  ASSERT_TRUE(R.succeeded());
+  const auto *A = cast<AssignStmt>(R.Prog.body()[0]);
+  const auto *Mod = cast<BinaryExpr>(A->value());
+  EXPECT_EQ(Mod->op(), BinaryOp::Mod);
+  const auto *Div = dyn_cast<BinaryExpr>(Mod->lhs());
+  ASSERT_NE(Div, nullptr);
+  EXPECT_EQ(Div->op(), BinaryOp::Div);
+}
+
+TEST(ParserTest, ParsesSendWithTag) {
+  ParseResult R = parseProgram("send x -> id + 1 tag 3;");
+  ASSERT_TRUE(R.succeeded());
+  const auto *S = dyn_cast<SendStmt>(R.Prog.body()[0]);
+  ASSERT_NE(S, nullptr);
+  ASSERT_NE(S->tag(), nullptr);
+  EXPECT_EQ(cast<IntLitExpr>(S->tag())->value(), 3);
+}
+
+TEST(ParserTest, ParsesRecvWithoutTag) {
+  ParseResult R = parseProgram("recv y <- 0;");
+  ASSERT_TRUE(R.succeeded());
+  const auto *S = dyn_cast<RecvStmt>(R.Prog.body()[0]);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->var(), "y");
+  EXPECT_EQ(S->tag(), nullptr);
+}
+
+TEST(ParserTest, ElifDesugarsToNestedIf) {
+  ParseResult R = parseProgram(
+      "if id == 0 then skip; elif id == 1 then skip; else skip; end");
+  ASSERT_TRUE(R.succeeded());
+  const auto *Outer = dyn_cast<IfStmt>(R.Prog.body()[0]);
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_EQ(Outer->elseBody().size(), 1u);
+  const auto *Inner = dyn_cast<IfStmt>(Outer->elseBody()[0]);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->elseBody().size(), 1u);
+}
+
+TEST(ParserTest, ParsesForLoop) {
+  ParseResult R = parseProgram("for i = 1 to np - 1 do skip; end");
+  ASSERT_TRUE(R.succeeded());
+  const auto *F = dyn_cast<ForStmt>(R.Prog.body()[0]);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->var(), "i");
+  EXPECT_EQ(F->body().size(), 1u);
+}
+
+TEST(ParserTest, ParsesWhileLoop) {
+  ParseResult R = parseProgram("while x < 10 do x = x + 1; end");
+  ASSERT_TRUE(R.succeeded());
+  const auto *W = dyn_cast<WhileStmt>(R.Prog.body()[0]);
+  ASSERT_NE(W, nullptr);
+  EXPECT_EQ(W->body().size(), 1u);
+}
+
+TEST(ParserTest, BooleanPrecedence) {
+  // not binds tighter than and; and tighter than or.
+  ParseResult R = parseProgram("x = not a and b or c;");
+  ASSERT_TRUE(R.succeeded());
+  const auto *Or = cast<BinaryExpr>(cast<AssignStmt>(R.Prog.body()[0])->value());
+  EXPECT_EQ(Or->op(), BinaryOp::Or);
+  const auto *And = dyn_cast<BinaryExpr>(Or->lhs());
+  ASSERT_NE(And, nullptr);
+  EXPECT_EQ(And->op(), BinaryOp::And);
+  EXPECT_NE(dyn_cast<UnaryExpr>(And->lhs()), nullptr);
+}
+
+TEST(ParserTest, TrueFalseAreLiterals) {
+  ParseResult R = parseProgram("x = true; y = false;");
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_EQ(cast<IntLitExpr>(cast<AssignStmt>(R.Prog.body()[0])->value())
+                ->value(),
+            1);
+  EXPECT_EQ(cast<IntLitExpr>(cast<AssignStmt>(R.Prog.body()[1])->value())
+                ->value(),
+            0);
+}
+
+TEST(ParserTest, InputExpression) {
+  ParseResult R = parseProgram("x = input();");
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_NE(dyn_cast<InputExpr>(cast<AssignStmt>(R.Prog.body()[0])->value()),
+            nullptr);
+}
+
+TEST(ParserTest, MissingSemicolonIsDiagnosed) {
+  ParseResult R = parseProgram("x = 1");
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(ParserTest, MissingEndIsDiagnosed) {
+  ParseResult R = parseProgram("if x then skip;");
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(ParserTest, RecoversAndReportsMultipleErrors) {
+  ParseResult R = parseProgram("x = ;\ny = ;\n");
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_GE(R.Diagnostics.size(), 2u);
+}
+
+TEST(ParserTest, DiagnosticCarriesLocation) {
+  ParseResult R = parseProgram("\n\nx = ;");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_EQ(R.Diagnostics[0].Loc.Line, 3u);
+}
+
+TEST(ParserTest, AllCorpusProgramsParse) {
+  for (const auto &[Name, Source] : corpus::allPatterns()) {
+    ParseResult R = parseProgram(Source);
+    EXPECT_TRUE(R.succeeded()) << Name;
+  }
+  EXPECT_TRUE(parseProgram(corpus::messageLeak()).succeeded());
+  EXPECT_TRUE(parseProgram(corpus::headToHeadDeadlock()).succeeded());
+  EXPECT_TRUE(parseProgram(corpus::tagMismatch()).succeeded());
+  EXPECT_TRUE(parseProgram(corpus::ringShift()).succeeded());
+}
+
+TEST(ParserTest, PrintRoundTripsStructurally) {
+  for (const auto &[Name, Source] : corpus::allPatterns()) {
+    ParseResult First = parseProgram(Source);
+    ASSERT_TRUE(First.succeeded()) << Name;
+    std::string Printed = programToString(First.Prog);
+    ParseResult Second = parseProgram(Printed);
+    ASSERT_TRUE(Second.succeeded()) << Name << "\n" << Printed;
+    EXPECT_EQ(Printed, programToString(Second.Prog)) << Name;
+  }
+}
+
+} // namespace

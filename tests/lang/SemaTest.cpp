@@ -1,0 +1,94 @@
+//===- tests/lang/SemaTest.cpp - Semantic checker tests ----------------------===//
+
+#include "lang/Sema.h"
+
+#include "lang/Corpus.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+SemaResult checkSource(const std::string &Source) {
+  ParseResult R = parseProgram(Source);
+  EXPECT_TRUE(R.succeeded());
+  return checkProgram(R.Prog);
+}
+
+TEST(SemaTest, CleanProgramHasNoErrors) {
+  SemaResult R = checkSource("x = 1; send x -> 0;");
+  EXPECT_FALSE(R.hasErrors());
+}
+
+TEST(SemaTest, AssigningIdIsAnError) {
+  EXPECT_TRUE(checkSource("id = 3;").hasErrors());
+}
+
+TEST(SemaTest, AssigningNpIsAnError) {
+  EXPECT_TRUE(checkSource("np = 3;").hasErrors());
+}
+
+TEST(SemaTest, ReceivingIntoIdIsAnError) {
+  EXPECT_TRUE(checkSource("recv id <- 0;").hasErrors());
+}
+
+TEST(SemaTest, ForLoopOverNpIsAnError) {
+  EXPECT_TRUE(checkSource("for np = 1 to 3 do skip; end").hasErrors());
+}
+
+TEST(SemaTest, InputInSendDestIsAnError) {
+  EXPECT_TRUE(checkSource("x = 1; send x -> input();").hasErrors());
+}
+
+TEST(SemaTest, InputInRecvSrcIsAnError) {
+  EXPECT_TRUE(checkSource("recv y <- input() + 1;").hasErrors());
+}
+
+TEST(SemaTest, InputInTagIsAnError) {
+  EXPECT_TRUE(checkSource("x = 1; send x -> 0 tag input();").hasErrors());
+}
+
+TEST(SemaTest, InputInSentValueIsAllowed) {
+  EXPECT_FALSE(checkSource("send input() -> 0;").hasErrors());
+}
+
+TEST(SemaTest, UndefinedVariableIsAWarningNotError) {
+  SemaResult R = checkSource("print zzz;");
+  EXPECT_FALSE(R.hasErrors());
+  ASSERT_EQ(R.Diagnostics.size(), 1u);
+  EXPECT_FALSE(R.Diagnostics[0].isError());
+}
+
+TEST(SemaTest, RecvDefinesItsVariable) {
+  SemaResult R = checkSource("recv y <- 0; print y;");
+  EXPECT_TRUE(R.Diagnostics.empty());
+}
+
+TEST(SemaTest, ForVarIsDefined) {
+  SemaResult R = checkSource("for i = 0 to 3 do print i; end");
+  EXPECT_TRUE(R.Diagnostics.empty());
+}
+
+TEST(SemaTest, IdAndNpNeedNoDefinition) {
+  SemaResult R = checkSource("print id + np;");
+  EXPECT_TRUE(R.Diagnostics.empty());
+}
+
+TEST(SemaTest, CorpusProgramsAreClean) {
+  for (const auto &[Name, Source] : corpus::allPatterns()) {
+    ParseResult R = parseProgram(Source);
+    ASSERT_TRUE(R.succeeded()) << Name;
+    SemaResult Sema = checkProgram(R.Prog);
+    EXPECT_FALSE(Sema.hasErrors()) << Name;
+    // Corpus programs reference only defined variables or grid parameters
+    // (nrows/ncols/half), which appear in assumes and count as uses; grid
+    // parameters are intentionally unbound (they are run parameters), so
+    // warnings are allowed but nothing else.
+    for (const SemaDiagnostic &Diag : Sema.Diagnostics)
+      EXPECT_FALSE(Diag.isError()) << Name << ": " << Diag.str();
+  }
+}
+
+} // namespace

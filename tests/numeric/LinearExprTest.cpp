@@ -1,0 +1,111 @@
+//===- tests/numeric/LinearExprTest.cpp - var+c recognizer tests --------------===//
+
+#include "numeric/LinearExpr.h"
+
+#include "lang/Parser.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+class LinearExprTest : public ::testing::Test {
+protected:
+  const Expr *parseExpr(const std::string &Text) {
+    ParseResult R = parseProgram("x = " + Text + ";");
+    EXPECT_TRUE(R.succeeded()) << Text;
+    Programs.push_back(std::move(R.Prog));
+    return cast<AssignStmt>(Programs.back().body()[0])->value();
+  }
+
+  std::vector<Program> Programs;
+};
+
+TEST_F(LinearExprTest, RecognizesConstant) {
+  auto L = LinearExpr::fromExpr(parseExpr("7"));
+  ASSERT_TRUE(L.has_value());
+  EXPECT_TRUE(L->isConstant());
+  EXPECT_EQ(L->constant(), 7);
+}
+
+TEST_F(LinearExprTest, FoldsConstantArithmetic) {
+  auto L = LinearExpr::fromExpr(parseExpr("2 * 3 + 4"));
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->constant(), 10);
+}
+
+TEST_F(LinearExprTest, RecognizesVar) {
+  auto L = LinearExpr::fromExpr(parseExpr("id"));
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->var(), "id");
+  EXPECT_EQ(L->constant(), 0);
+}
+
+TEST_F(LinearExprTest, RecognizesVarPlusConst) {
+  auto L = LinearExpr::fromExpr(parseExpr("id + 1"));
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->var(), "id");
+  EXPECT_EQ(L->constant(), 1);
+}
+
+TEST_F(LinearExprTest, RecognizesConstPlusVar) {
+  auto L = LinearExpr::fromExpr(parseExpr("3 + i"));
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->var(), "i");
+  EXPECT_EQ(L->constant(), 3);
+}
+
+TEST_F(LinearExprTest, RecognizesVarMinusConst) {
+  auto L = LinearExpr::fromExpr(parseExpr("id - 1"));
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->var(), "id");
+  EXPECT_EQ(L->constant(), -1);
+}
+
+TEST_F(LinearExprTest, FoldsNestedConstantsAroundVar) {
+  auto L = LinearExpr::fromExpr(parseExpr("(np - 1) + 0"));
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->var(), "np");
+  EXPECT_EQ(L->constant(), -1);
+}
+
+TEST_F(LinearExprTest, RejectsVarPlusVar) {
+  EXPECT_FALSE(LinearExpr::fromExpr(parseExpr("id + i")).has_value());
+}
+
+TEST_F(LinearExprTest, RejectsMultiplication) {
+  EXPECT_FALSE(LinearExpr::fromExpr(parseExpr("2 * id")).has_value());
+}
+
+TEST_F(LinearExprTest, RejectsDivMod) {
+  EXPECT_FALSE(LinearExpr::fromExpr(parseExpr("id / 2")).has_value());
+  EXPECT_FALSE(LinearExpr::fromExpr(parseExpr("id % 2")).has_value());
+}
+
+TEST_F(LinearExprTest, RejectsConstMinusVar) {
+  EXPECT_FALSE(LinearExpr::fromExpr(parseExpr("5 - id")).has_value());
+}
+
+TEST_F(LinearExprTest, NegativeConstant) {
+  auto L = LinearExpr::fromExpr(parseExpr("-4"));
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->constant(), -4);
+}
+
+TEST_F(LinearExprTest, PlusAndOrdering) {
+  LinearExpr A("i", 1);
+  EXPECT_EQ(A.plus(2), LinearExpr("i", 3));
+  EXPECT_LT(LinearExpr(3), LinearExpr("a", 0));
+  EXPECT_LT(LinearExpr("a", 0), LinearExpr("a", 1));
+}
+
+TEST_F(LinearExprTest, StrFormat) {
+  EXPECT_EQ(LinearExpr("i", 0).str(), "i");
+  EXPECT_EQ(LinearExpr("i", 2).str(), "i+2");
+  EXPECT_EQ(LinearExpr("i", -2).str(), "i-2");
+  EXPECT_EQ(LinearExpr(5).str(), "5");
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+//===- tests/pcfg/EngineRobustnessTest.cpp - Engine edge cases -----------------===//
+
+#include "pcfg/Engine.h"
+
+#include "cfg/CfgBuilder.h"
+#include "lang/Corpus.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+struct Built {
+  Program Prog;
+  Cfg Graph;
+};
+
+Built buildFrom(const std::string &Source) {
+  Built B;
+  B.Prog = parseProgramOrDie(Source);
+  B.Graph = buildCfg(B.Prog);
+  return B;
+}
+
+TEST(EngineRobustnessTest, AnalysisIsDeterministic) {
+  for (const auto &[Name, Source] : corpus::allPatterns()) {
+    Built B = buildFrom(Source);
+    AnalysisResult R1 = analyzeProgram(B.Graph, AnalysisOptions::cartesian());
+    AnalysisResult R2 = analyzeProgram(B.Graph, AnalysisOptions::cartesian());
+    EXPECT_EQ(R1.Converged, R2.Converged) << Name;
+    EXPECT_EQ(R1.Matches, R2.Matches) << Name;
+    EXPECT_EQ(R1.StatesExplored, R2.StatesExplored) << Name;
+    EXPECT_EQ(R1.PrintFacts, R2.PrintFacts) << Name;
+  }
+}
+
+TEST(EngineRobustnessTest, StateBudgetYieldsTopNotHang) {
+  Built B = buildFrom(corpus::exchangeWithRoot());
+  AnalysisOptions Opts = AnalysisOptions::simpleSymbolic();
+  Opts.MaxStates = 3;
+  AnalysisResult R = analyzeProgram(B.Graph, Opts);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_NE(R.TopReason.find("budget"), std::string::npos);
+}
+
+TEST(EngineRobustnessTest, ProcSetBoundYieldsTop) {
+  Built B = buildFrom(corpus::exchangeWithRoot());
+  AnalysisOptions Opts = AnalysisOptions::simpleSymbolic();
+  Opts.MaxProcSets = 1;
+  AnalysisResult R = analyzeProgram(B.Graph, Opts);
+  EXPECT_FALSE(R.Converged);
+}
+
+TEST(EngineRobustnessTest, InFlightBoundYieldsTop) {
+  // With buffering capped at 1, the transpose still works (one pending),
+  // but a two-send program cannot buffer both.
+  Built B = buildFrom("x = 1;\n"
+                      "send x -> (id + 1) % np;\n"
+                      "send x -> (id + 2) % np;\n"
+                      "recv y <- (id + np - 1) % np;\n"
+                      "recv z <- (id + np - 2) % np;\n");
+  AnalysisOptions Opts = AnalysisOptions::cartesian();
+  Opts.MaxInFlight = 1;
+  AnalysisResult R = analyzeProgram(B.Graph, Opts);
+  EXPECT_FALSE(R.Converged);
+}
+
+TEST(EngineRobustnessTest, MinProcsIsRespected) {
+  // With MinProcs = 1, splitting [0..np-1] on id == 0 cannot prove the
+  // else-part non-empty — it is kept possibly-empty and the analysis
+  // still converges with the same topology.
+  Built B = buildFrom(corpus::figure2Exchange());
+  AnalysisOptions Opts = AnalysisOptions::simpleSymbolic();
+  Opts.MinProcs = 4;
+  AnalysisResult R4 = analyzeProgram(B.Graph, Opts);
+  EXPECT_TRUE(R4.Converged);
+}
+
+TEST(EngineRobustnessTest, WhileLoopWithoutCommConverges) {
+  Built B = buildFrom("x = 0; while x < 100 do x = x + 1; end print x;");
+  AnalysisResult R = analyzeProgram(B.Graph, AnalysisOptions::simpleSymbolic());
+  EXPECT_TRUE(R.Converged);
+  EXPECT_TRUE(R.Matches.empty());
+}
+
+TEST(EngineRobustnessTest, NestedLoopsConverge) {
+  Built B = buildFrom("s = 0;\n"
+                      "for i = 0 to 3 do\n"
+                      "  for j = 0 to 3 do\n"
+                      "    s = s + 1;\n"
+                      "  end\n"
+                      "end\n"
+                      "print s;");
+  AnalysisResult R = analyzeProgram(B.Graph, AnalysisOptions::simpleSymbolic());
+  EXPECT_TRUE(R.Converged);
+}
+
+TEST(EngineRobustnessTest, BranchOnInputForksBothWays) {
+  // Nondeterministic data flow: both branch outcomes must be covered.
+  Built B = buildFrom(R"mpl(
+c = input();
+if id == 0 then
+  x = 1;
+  send x -> 1;
+elif id == 1 then
+  recv y <- 0;
+  if c > 0 then
+    print y;
+  else
+    print 0 - y;
+  end
+end
+)mpl");
+  AnalysisResult R = analyzeProgram(B.Graph, AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(R.Converged);
+  // Both prints appear in the facts.
+  std::set<CfgNodeId> PrintNodes;
+  for (const PrintFact &F : R.PrintFacts)
+    PrintNodes.insert(F.Node);
+  EXPECT_EQ(PrintNodes.size(), 2u);
+  EXPECT_EQ(R.matchedNodePairs().size(), 1u);
+}
+
+TEST(EngineRobustnessTest, BranchOnNonUniformVarOfMultiSetTopsOut) {
+  // x = id on a multi-process set, then branching on x: the set would
+  // split data-dependently, which the framework cannot do exactly.
+  Built B = buildFrom(R"mpl(
+x = id * 2;
+if x > 4 then
+  skip;
+end
+)mpl");
+  AnalysisResult R = analyzeProgram(B.Graph, AnalysisOptions::simpleSymbolic());
+  EXPECT_FALSE(R.Converged);
+}
+
+TEST(EngineRobustnessTest, UniformDataBranchOnMultiSetIsFine) {
+  Built B = buildFrom(R"mpl(
+x = 7;
+if x > 4 then
+  print x;
+end
+)mpl");
+  AnalysisResult R = analyzeProgram(B.Graph, AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(R.Converged);
+  bool Proved = false;
+  for (const PrintFact &F : R.PrintFacts)
+    Proved |= F.Value == 7 && F.SetRange == "[0..np-1]";
+  EXPECT_TRUE(Proved);
+}
+
+TEST(EngineRobustnessTest, ElifChainSplitsThreeWays) {
+  Built B = buildFrom(R"mpl(
+if id == 0 then
+  print 1;
+elif id == 1 then
+  print 2;
+else
+  print 3;
+end
+)mpl");
+  AnalysisResult R = analyzeProgram(B.Graph, AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(R.Converged);
+  std::set<std::string> Ranges;
+  for (const PrintFact &F : R.PrintFacts)
+    Ranges.insert(F.SetRange);
+  EXPECT_TRUE(Ranges.count("[0..0]"));
+  EXPECT_TRUE(Ranges.count("[1..1]"));
+  EXPECT_TRUE(Ranges.count("[2..np-1]"));
+}
+
+TEST(EngineRobustnessTest, SelfSendSelfRecvViaHsm) {
+  // send x -> id; recv y <- id: every process is its own partner.
+  Built B = buildFrom("x = 3; send x -> id; recv y <- id; print y;");
+  AnalysisResult R = analyzeProgram(B.Graph, AnalysisOptions::cartesian());
+  ASSERT_TRUE(R.Converged);
+  EXPECT_EQ(R.matchedNodePairs().size(), 1u);
+  bool Proved = false;
+  for (const PrintFact &F : R.PrintFacts)
+    Proved |= F.Value == 3;
+  EXPECT_TRUE(Proved);
+}
+
+} // namespace

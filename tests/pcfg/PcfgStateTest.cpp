@@ -1,0 +1,156 @@
+//===- tests/pcfg/PcfgStateTest.cpp - State bookkeeping tests ------------------===//
+
+#include "pcfg/PcfgState.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+ProcSetEntry makeSet(const std::string &Name, ProcRange Range,
+                     CfgNodeId Node) {
+  ProcSetEntry E;
+  E.Name = Name;
+  E.Range = std::move(Range);
+  E.Node = Node;
+  return E;
+}
+
+TEST(PcfgStateTest, ScopedVarSeparatesGlobalsFromLocals) {
+  ProcSetEntry Set = makeSet("p0", ProcRange::all(), 0);
+  std::set<std::string> Assigned = {"x", "i"};
+  EXPECT_EQ(PcfgState::scopedVar(Set, "x", Assigned), "p0.x");
+  EXPECT_EQ(PcfgState::scopedVar(Set, "np", Assigned), "np");
+  EXPECT_EQ(PcfgState::scopedVar(Set, "nrows", Assigned), "nrows");
+}
+
+TEST(PcfgStateTest, RenameSetMovesVariablesAndRangeReferences) {
+  PcfgState St;
+  St.Sets.push_back(makeSet("s7", ProcRange(LinearExpr("s7.lo$", 0),
+                                            LinearExpr("np", -1)),
+                            3));
+  St.Cg.assign("s7.lo$", LinearExpr(2));
+  St.Cg.assign("s7.i", LinearExpr(5));
+  St.renameSet(0, "p0");
+  EXPECT_EQ(St.Sets[0].Name, "p0");
+  EXPECT_EQ(St.Cg.constValue("p0.lo$"), 2);
+  EXPECT_EQ(St.Cg.constValue("p0.i"), 5);
+  EXPECT_FALSE(St.Cg.hasVar("s7.i"));
+  EXPECT_EQ(St.Sets[0].Range.lb().primary(), LinearExpr("p0.lo$", 0));
+}
+
+TEST(PcfgStateTest, CanonicalizeSortsByNodeThenBound) {
+  PcfgState St;
+  St.Sets.push_back(makeSet("a", ProcRange(LinearExpr(5), LinearExpr(9)), 7));
+  St.Sets.push_back(makeSet("b", ProcRange(LinearExpr(0), LinearExpr(4)), 3));
+  St.canonicalize();
+  EXPECT_EQ(St.Sets[0].Node, 3u);
+  EXPECT_EQ(St.Sets[0].Name, "p0");
+  EXPECT_EQ(St.Sets[1].Node, 7u);
+  EXPECT_EQ(St.Sets[1].Name, "p1");
+}
+
+TEST(PcfgStateTest, CanonicalizeRenumbersPendingNamespaces) {
+  PcfgState St;
+  St.Sets.push_back(makeSet("p0", ProcRange::all(), 1));
+  PendingSend P;
+  P.SendNode = 4;
+  P.Seq = 9;
+  P.FreezeNs = "q9";
+  P.Senders = ProcRange(LinearExpr("q9.lo", 0), LinearExpr("q9.hi", 0));
+  St.Cg.assign("q9.lo", LinearExpr(1));
+  St.Cg.assign("q9.hi", LinearExpr(3));
+  St.InFlight.push_back(P);
+  St.canonicalize();
+  EXPECT_EQ(St.InFlight[0].FreezeNs, "q0");
+  EXPECT_EQ(St.InFlight[0].Seq, 0u);
+  EXPECT_EQ(St.Cg.constValue("q0.lo"), 1);
+  EXPECT_EQ(St.InFlight[0].Senders.lb().primary(),
+            LinearExpr("q0.lo", 0));
+}
+
+TEST(PcfgStateTest, ConfigKeyCoversSetsAndPendings) {
+  PcfgState St;
+  St.Sets.push_back(makeSet("p0", ProcRange::all(), 2));
+  EXPECT_EQ(St.configKey(), "n2;|");
+  PendingSend P;
+  P.SendNode = 5;
+  P.FreezeNs = "q0";
+  St.InFlight.push_back(P);
+  EXPECT_EQ(St.configKey(), "n2;|s5;");
+}
+
+TEST(PcfgStateTest, JoinRequiresSameShape) {
+  PcfgState A;
+  A.Sets.push_back(makeSet("p0", ProcRange::all(), 2));
+  PcfgState B;
+  B.Sets.push_back(makeSet("p0", ProcRange::all(), 3)); // Different node.
+  EXPECT_FALSE(joinStates(A, B));
+}
+
+TEST(PcfgStateTest, JoinKeepsCommonBoundForm) {
+  // Old: [1..1] with i == 1; new: [1..2] with i == 2 -> common ub form
+  // i... both sides must expose the alias through their own graphs.
+  PcfgState A;
+  A.Sets.push_back(makeSet("p0", ProcRange(LinearExpr(1), LinearExpr(1)), 2));
+  A.Cg.assign("p0.i", LinearExpr(1));
+  PcfgState B;
+  B.Sets.push_back(makeSet("p0", ProcRange(LinearExpr(1), LinearExpr(2)), 2));
+  B.Cg.assign("p0.i", LinearExpr(2));
+  ASSERT_TRUE(joinStates(A, B));
+  // The joined bound keeps a stable representation and the CG covers both
+  // iterations.
+  EXPECT_TRUE(A.Cg.provesLE(LinearExpr(1), LinearExpr("p0.i", 0)));
+  EXPECT_TRUE(A.Cg.provesLE(LinearExpr("p0.i", 0), LinearExpr(2)));
+  // Whatever form was chosen, it must denote the range [1..i] semantically:
+  // ub == i must be provable from the stored bound form.
+  SymBound Ub = A.Sets[0].Range.ub();
+  EXPECT_TRUE(Ub.provablyEQ(SymBound(LinearExpr("p0.i", 0)), A.Cg));
+}
+
+TEST(PcfgStateTest, JoinFailsWithoutCommonForm) {
+  PcfgState A;
+  A.Sets.push_back(makeSet("p0", ProcRange(LinearExpr(1), LinearExpr(1)), 2));
+  PcfgState B;
+  B.Sets.push_back(makeSet("p0", ProcRange(LinearExpr(1), LinearExpr(2)), 2));
+  // No variable relates 1 and 2 in either graph.
+  EXPECT_FALSE(joinStates(A, B));
+}
+
+TEST(PcfgStateTest, WidenDropsUnstableValueBounds) {
+  PcfgState A;
+  A.Sets.push_back(makeSet("p0", ProcRange(LinearExpr(0), LinearExpr(0)), 2));
+  A.Cg.assign("p0.i", LinearExpr(2));
+  PcfgState B;
+  B.Sets.push_back(makeSet("p0", ProcRange(LinearExpr(0), LinearExpr(0)), 2));
+  B.Cg.assign("p0.i", LinearExpr(3));
+  ASSERT_TRUE(widenStates(A, B));
+  EXPECT_TRUE(A.Cg.provesLE(LinearExpr(2), LinearExpr("p0.i", 0)));
+  EXPECT_FALSE(A.Cg.constValue("p0.i").has_value());
+}
+
+TEST(PcfgStateTest, StatesEqualChecksRangesAndGraph) {
+  PcfgState A;
+  A.Sets.push_back(makeSet("p0", ProcRange::all(), 2));
+  PcfgState B;
+  B.Sets.push_back(makeSet("p0", ProcRange::all(), 2));
+  EXPECT_TRUE(statesEqual(A, B));
+  B.Cg.assign("p0.x", LinearExpr(1));
+  EXPECT_FALSE(statesEqual(A, B));
+}
+
+TEST(PcfgStateTest, FactsIntersectOnJoin) {
+  PcfgState A;
+  A.Sets.push_back(makeSet("p0", ProcRange::all(), 2));
+  A.Facts.addRewrite("np", Poly::var("nrows").times(Poly::var("nrows")));
+  A.Facts.addRewrite("ncols", Poly::var("nrows"));
+  PcfgState B;
+  B.Sets.push_back(makeSet("p0", ProcRange::all(), 2));
+  B.Facts.addRewrite("np", Poly::var("nrows").times(Poly::var("nrows")));
+  ASSERT_TRUE(joinStates(A, B));
+  // Only the common fact survives.
+  EXPECT_EQ(A.Facts.numRewrites(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,59 @@
+//===- tests/support/StatsTest.cpp - Stats registry tests ----------------------===//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace csdf;
+
+namespace {
+
+TEST(StatsTest, CountersStartAtZero) {
+  StatsRegistry R;
+  EXPECT_EQ(R.counter("nope"), 0);
+  EXPECT_EQ(R.seconds("nope"), 0.0);
+}
+
+TEST(StatsTest, CountersAccumulate) {
+  StatsRegistry R;
+  R.addCounter("a");
+  R.addCounter("a", 4);
+  R.addCounter("b", -2);
+  EXPECT_EQ(R.counter("a"), 5);
+  EXPECT_EQ(R.counter("b"), -2);
+}
+
+TEST(StatsTest, TimersAccumulate) {
+  StatsRegistry R;
+  R.addSeconds("t", 0.5);
+  R.addSeconds("t", 0.25);
+  EXPECT_DOUBLE_EQ(R.seconds("t"), 0.75);
+}
+
+TEST(StatsTest, ClearResets) {
+  StatsRegistry R;
+  R.addCounter("a", 3);
+  R.addSeconds("t", 1.0);
+  R.clear();
+  EXPECT_EQ(R.counter("a"), 0);
+  EXPECT_EQ(R.seconds("t"), 0.0);
+  EXPECT_TRUE(R.counters().empty());
+}
+
+TEST(StatsTest, ScopedTimerRecordsNonNegativeTime) {
+  StatsRegistry R;
+  {
+    ScopedTimer T(R, "scope");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(R.seconds("scope"), 0.0);
+}
+
+TEST(StatsTest, GlobalRegistryIsSingleton) {
+  StatsRegistry &A = StatsRegistry::global();
+  StatsRegistry &B = StatsRegistry::global();
+  EXPECT_EQ(&A, &B);
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+//===- tests/topology/CommTopologyTest.cpp - Pattern classification tests -----===//
+
+#include "topology/CommTopology.h"
+
+#include "cfg/CfgBuilder.h"
+#include "lang/Corpus.h"
+#include "lang/Parser.h"
+#include "pcfg/Engine.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+struct Analyzed {
+  Program Prog;
+  Cfg Graph;
+  AnalysisResult Result;
+};
+
+Analyzed analyze(const std::string &Source, AnalysisOptions Opts) {
+  Analyzed A;
+  A.Prog = parseProgramOrDie(Source);
+  A.Graph = buildCfg(A.Prog);
+  A.Result = analyzeProgram(A.Graph, Opts);
+  return A;
+}
+
+std::set<PatternKind> kindsOf(const std::vector<ClassifiedPattern> &Ps) {
+  std::set<PatternKind> Kinds;
+  for (const ClassifiedPattern &P : Ps)
+    Kinds.insert(P.Kind);
+  return Kinds;
+}
+
+TEST(CommTopologyTest, BroadcastClassifiesAsRootScatter) {
+  Analyzed A = analyze(corpus::fanOutBroadcast(),
+                       AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(A.Result.Converged);
+  auto Patterns = classifyMatches(A.Graph, A.Result);
+  ASSERT_EQ(Patterns.size(), 1u);
+  EXPECT_EQ(Patterns[0].Kind, PatternKind::RootScatter);
+}
+
+TEST(CommTopologyTest, GatherClassifiesAsRootGather) {
+  Analyzed A =
+      analyze(corpus::gatherToRoot(), AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(A.Result.Converged);
+  auto Patterns = classifyMatches(A.Graph, A.Result);
+  ASSERT_EQ(Patterns.size(), 1u);
+  EXPECT_EQ(Patterns[0].Kind, PatternKind::RootGather);
+}
+
+TEST(CommTopologyTest, ExchangeWithRootDetected) {
+  // The E2 headline claim: the mdcask pattern is scatter + gather with the
+  // same root.
+  Analyzed A =
+      analyze(corpus::exchangeWithRoot(), AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(A.Result.Converged);
+  auto Patterns = classifyMatches(A.Graph, A.Result);
+  EXPECT_TRUE(hasExchangeWithRoot(Patterns));
+}
+
+TEST(CommTopologyTest, TransposeClassified) {
+  Analyzed A =
+      analyze(corpus::transposeSquare(), AnalysisOptions::cartesian());
+  ASSERT_TRUE(A.Result.Converged);
+  auto Patterns = classifyMatches(A.Graph, A.Result);
+  ASSERT_EQ(Patterns.size(), 1u);
+  EXPECT_EQ(Patterns[0].Kind, PatternKind::TransposeLike);
+}
+
+TEST(CommTopologyTest, ShiftClassified) {
+  AnalysisOptions Opts = AnalysisOptions::cartesian();
+  Opts.FixedNp = 6;
+  Analyzed A = analyze(corpus::neighborShift(), Opts);
+  ASSERT_TRUE(A.Result.Converged);
+  auto Kinds = kindsOf(classifyMatches(A.Graph, A.Result));
+  EXPECT_TRUE(Kinds.count(PatternKind::ShiftRight));
+  EXPECT_FALSE(Kinds.count(PatternKind::ShiftLeft));
+}
+
+TEST(CommTopologyTest, LeftShiftClassified) {
+  AnalysisOptions Opts = AnalysisOptions::cartesian();
+  Opts.FixedNp = 6;
+  Analyzed A = analyze(corpus::neighborShiftLeft(), Opts);
+  ASSERT_TRUE(A.Result.Converged);
+  auto Kinds = kindsOf(classifyMatches(A.Graph, A.Result));
+  EXPECT_TRUE(Kinds.count(PatternKind::ShiftLeft));
+}
+
+TEST(CommTopologyTest, Figure2IsPointToPoint) {
+  Analyzed A =
+      analyze(corpus::figure2Exchange(), AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(A.Result.Converged);
+  auto Kinds = kindsOf(classifyMatches(A.Graph, A.Result));
+  EXPECT_EQ(Kinds, std::set<PatternKind>{PatternKind::PointToPoint});
+}
+
+TEST(CommTopologyTest, ValidationExactOnConvergedPrograms) {
+  for (const char *Name : {"fan-out-broadcast", "gather-to-root",
+                           "exchange-with-root", "figure2-exchange"}) {
+    std::string Source;
+    for (const auto &P : corpus::allPatterns())
+      if (P.Name == Name)
+        Source = P.Source;
+    ASSERT_FALSE(Source.empty()) << Name;
+    Analyzed A = analyze(Source, AnalysisOptions::simpleSymbolic());
+    ASSERT_TRUE(A.Result.Converged) << Name;
+    RunOptions Opts;
+    Opts.NumProcs = 8;
+    RunResult Run = runProgram(A.Graph, Opts);
+    ASSERT_TRUE(Run.finished()) << Name;
+    ValidationReport Report = validateTopology(A.Result, Run);
+    EXPECT_TRUE(Report.Exact) << Name << ": " << Report.str(A.Graph);
+  }
+}
+
+TEST(CommTopologyTest, ValidationFlagsMissingPairs) {
+  // An empty analysis result against a real trace must report misses.
+  Analyzed A =
+      analyze(corpus::fanOutBroadcast(), AnalysisOptions::simpleSymbolic());
+  RunOptions Opts;
+  Opts.NumProcs = 4;
+  RunResult Run = runProgram(A.Graph, Opts);
+  AnalysisResult Empty;
+  ValidationReport Report = validateTopology(Empty, Run);
+  EXPECT_FALSE(Report.Exact);
+  EXPECT_FALSE(Report.MissedPairs.empty());
+}
+
+TEST(CommTopologyTest, DotContainsMatchedEdges) {
+  Analyzed A =
+      analyze(corpus::figure2Exchange(), AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(A.Result.Converged);
+  std::string Dot = topologyToDot(A.Graph, A.Result, "fig2");
+  EXPECT_NE(Dot.find("digraph fig2"), std::string::npos);
+  for (const auto &[S, R] : A.Result.matchedNodePairs()) {
+    std::string Edge =
+        "n" + std::to_string(S) + " -> n" + std::to_string(R);
+    EXPECT_NE(Dot.find(Edge), std::string::npos);
+  }
+}
+
+TEST(CommTopologyTest, PatternKindNamesAreStable) {
+  EXPECT_STREQ(patternKindName(PatternKind::RootScatter), "root-scatter");
+  EXPECT_STREQ(patternKindName(PatternKind::TransposeLike),
+               "transpose-like");
+  EXPECT_STREQ(patternKindName(PatternKind::Unknown), "unknown");
+}
+
+} // namespace

@@ -1,0 +1,298 @@
+//===- tools/csdf-cli.cpp - Command-line driver ---------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The command-line front door to the library:
+//
+//   csdf check    <file.mpl>                  parse + semantic checks
+//   csdf cfg      <file.mpl>                  control-flow graph as DOT
+//   csdf run      <file.mpl> [--np N] ...     execute on the interpreter
+//   csdf analyze  <file.mpl> [options]        pCFG analysis: topology,
+//                                             constants, bug candidates
+//   csdf topo     <file.mpl> [options]        matched topology as DOT
+//
+// Common options:
+//   --client linear|cartesian   client analysis (default cartesian)
+//   --np N                      interpreter process count (default 8)
+//   --fixed-np N                pin np for the analysis
+//   --param NAME=V              grid parameter (both run and analysis)
+//   --scheduler rr|lifo|random  interpreter schedule (default rr)
+//   --seed N                    seed for the random scheduler
+//   --validate                  after analyze: compare against a run
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Clients.h"
+#include "baseline/MpiCfg.h"
+#include "cfg/CfgBuilder.h"
+#include "cfg/CfgDot.h"
+#include "interp/Interpreter.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "pcfg/Engine.h"
+#include "topology/CommTopology.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace csdf;
+
+namespace {
+
+struct CliOptions {
+  std::string Command;
+  std::string File;
+  std::string Client = "cartesian";
+  std::string Scheduler = "rr";
+  int Np = 8;
+  std::int64_t FixedNp = 0;
+  std::uint64_t Seed = 1;
+  bool Validate = false;
+  std::map<std::string, std::int64_t> Params;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: csdf <check|cfg|run|analyze|topo|baseline> "
+               "<file.mpl> [options]\n"
+               "  --client linear|cartesian|sectionx  --np N  --fixed-np N\n"
+               "  --param NAME=V  --scheduler rr|lifo|random  --seed N\n"
+               "  --validate\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  if (Argc < 3)
+    return false;
+  Opts.Command = Argv[1];
+  Opts.File = Argv[2];
+  for (int I = 3; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--client") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Client = V;
+    } else if (Arg == "--np") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Np = std::atoi(V);
+    } else if (Arg == "--fixed-np") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.FixedNp = std::atoll(V);
+    } else if (Arg == "--seed") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Seed = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--scheduler") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Scheduler = V;
+    } else if (Arg == "--param") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      std::string S = V;
+      size_t Eq = S.find('=');
+      if (Eq == std::string::npos)
+        return false;
+      Opts.Params[S.substr(0, Eq)] = std::atoll(S.c_str() + Eq + 1);
+    } else if (Arg == "--validate") {
+      Opts.Validate = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+AnalysisOptions analysisOptions(const CliOptions &Cli) {
+  AnalysisOptions Opts = AnalysisOptions::cartesian();
+  if (Cli.Client == "linear")
+    Opts = AnalysisOptions::simpleSymbolic();
+  else if (Cli.Client == "sectionx")
+    Opts = AnalysisOptions::sectionX();
+  Opts.FixedNp = Cli.FixedNp;
+  Opts.Params = Cli.Params;
+  return Opts;
+}
+
+RunResult execute(const Cfg &Graph, const CliOptions &Cli) {
+  RunOptions Opts;
+  Opts.NumProcs = Cli.Np;
+  Opts.Params = Cli.Params;
+  if (Cli.Scheduler == "lifo") {
+    LifoScheduler S;
+    return runProgram(Graph, Opts, S);
+  }
+  if (Cli.Scheduler == "random") {
+    RandomScheduler S(Cli.Seed);
+    return runProgram(Graph, Opts, S);
+  }
+  RoundRobinScheduler S;
+  return runProgram(Graph, Opts, S);
+}
+
+int cmdRun(const Cfg &Graph, const CliOptions &Cli) {
+  RunResult R = execute(Graph, Cli);
+  std::printf("status: %s\n", runStatusName(R.Status));
+  if (!R.Error.empty())
+    std::printf("error: %s\n", R.Error.c_str());
+  for (size_t Rank = 0; Rank < R.Prints.size(); ++Rank)
+    for (std::int64_t V : R.Prints[Rank])
+      std::printf("rank %zu prints %lld\n", Rank,
+                  static_cast<long long>(V));
+  std::printf("%zu messages delivered\n", R.Trace.size());
+  for (const LeakedMessage &L : R.Leaks)
+    std::printf("LEAK: %d -> %d value %lld (sent at %s)\n", L.Sender,
+                L.Receiver, static_cast<long long>(L.Value),
+                Graph.nodeLabel(L.SendNode).c_str());
+  for (int Rank : R.BlockedRanks)
+    std::printf("BLOCKED: rank %d never finished\n", Rank);
+  return R.finished() ? 0 : 1;
+}
+
+int cmdAnalyze(const Cfg &Graph, const CliOptions &Cli) {
+  ClientReport Report = runClients(Graph, analysisOptions(Cli));
+  AnalysisResult &R = Report.Analysis;
+  std::printf("verdict: %s\n",
+              R.Converged ? "converged" : ("TOP: " + R.TopReason).c_str());
+  std::printf("states explored: %u, configurations: %u, max process sets: "
+              "%u\n",
+              R.StatesExplored, R.ConfigsVisited, R.MaxSetsSeen);
+
+  std::printf("\ntopology (%zu matches):\n", R.Matches.size());
+  for (const MatchRecord &M : R.Matches)
+    std::printf("  %-30s -> %-30s  %s -> %s\n",
+                Graph.nodeLabel(M.SendNode).c_str(),
+                Graph.nodeLabel(M.RecvNode).c_str(), M.SenderRange.c_str(),
+                M.ReceiverRange.c_str());
+  for (const ClassifiedPattern &P : Report.Patterns)
+    std::printf("  pattern: %-14s %s\n", patternKindName(P.Kind),
+                P.Description.c_str());
+  for (const CollectiveSuggestion &S : Report.Suggestions)
+    std::printf("  optimize: use %-28s (%s)\n", S.Collective.c_str(),
+                S.Description.c_str());
+  if (!Report.ShareableConstants.empty()) {
+    std::printf("\nshareable read-only data (identical on every "
+                "process):\n");
+    for (const auto &[Var, Value] : Report.ShareableConstants)
+      std::printf("  %s == %lld\n", Var.c_str(),
+                  static_cast<long long>(Value));
+  }
+
+  if (!R.PrintFacts.empty()) {
+    std::printf("\nprint facts:\n");
+    for (const PrintFact &F : R.PrintFacts) {
+      if (F.Value)
+        std::printf("  %s prints constant %lld at %s\n", F.SetRange.c_str(),
+                    static_cast<long long>(*F.Value),
+                    Graph.nodeLabel(F.Node).c_str());
+      else
+        std::printf("  %s prints unknown value at %s\n", F.SetRange.c_str(),
+                    Graph.nodeLabel(F.Node).c_str());
+    }
+  }
+  if (!R.Bugs.empty()) {
+    std::printf("\nbug candidates:\n");
+    for (const AnalysisBug &B : R.Bugs)
+      std::printf("  [%s] %s\n", analysisBugKindName(B.TheKind),
+                  B.Detail.c_str());
+  }
+
+  if (Cli.Validate) {
+    RunResult Run = execute(Graph, Cli);
+    ValidationReport Report = validateTopology(R, Run);
+    std::printf("\nvalidation (np=%d): %s\n", Cli.Np,
+                Report.str(Graph).c_str());
+    return R.Converged && Report.Exact ? 0 : 1;
+  }
+  return R.Converged ? 0 : 1;
+}
+
+int cmdBaseline(const Cfg &Graph) {
+  MpiCfgResult R = buildMpiCfg(Graph);
+  std::printf("MPI-CFG: %u all-pairs edges, %u pruned by tag, %u pruned by "
+              "shift, %zu kept:\n",
+              R.InitialEdges, R.PrunedByTag, R.PrunedByShift,
+              R.Edges.size());
+  for (const auto &[S, Rv] : R.Edges)
+    std::printf("  %-30s -> %s\n", Graph.nodeLabel(S).c_str(),
+                Graph.nodeLabel(Rv).c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (!parseArgs(Argc, Argv, Cli)) {
+    usage();
+    return 2;
+  }
+
+  auto Source = readFile(Cli.File);
+  if (!Source) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", Cli.File.c_str());
+    return 2;
+  }
+
+  ParseResult Parsed = parseProgram(*Source);
+  if (!Parsed.succeeded()) {
+    for (const ParseDiagnostic &D : Parsed.Diagnostics)
+      std::fprintf(stderr, "%s: %s\n", Cli.File.c_str(), D.str().c_str());
+    return 1;
+  }
+  SemaResult Sema = checkProgram(Parsed.Prog);
+  for (const SemaDiagnostic &D : Sema.Diagnostics)
+    std::fprintf(stderr, "%s: %s\n", Cli.File.c_str(), D.str().c_str());
+  if (Sema.hasErrors())
+    return 1;
+
+  if (Cli.Command == "check") {
+    std::printf("%s: ok\n", Cli.File.c_str());
+    return 0;
+  }
+
+  Cfg Graph = buildCfg(Parsed.Prog);
+  if (Cli.Command == "cfg") {
+    std::fputs(cfgToDot(Graph, "cfg").c_str(), stdout);
+    return 0;
+  }
+  if (Cli.Command == "run")
+    return cmdRun(Graph, Cli);
+  if (Cli.Command == "analyze")
+    return cmdAnalyze(Graph, Cli);
+  if (Cli.Command == "baseline")
+    return cmdBaseline(Graph);
+  if (Cli.Command == "topo") {
+    AnalysisResult R = analyzeProgram(Graph, analysisOptions(Cli));
+    std::fputs(topologyToDot(Graph, R, "topology").c_str(), stdout);
+    return R.Converged ? 0 : 1;
+  }
+  usage();
+  return 2;
+}
