@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_precision.dir/bench_baseline_precision.cpp.o"
+  "CMakeFiles/bench_baseline_precision.dir/bench_baseline_precision.cpp.o.d"
+  "bench_baseline_precision"
+  "bench_baseline_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

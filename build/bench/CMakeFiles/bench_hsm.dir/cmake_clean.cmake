@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hsm.dir/bench_hsm.cpp.o"
+  "CMakeFiles/bench_hsm.dir/bench_hsm.cpp.o.d"
+  "bench_hsm"
+  "bench_hsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parallel.cpp" "bench/CMakeFiles/bench_parallel.dir/bench_parallel.cpp.o" "gcc" "bench/CMakeFiles/bench_parallel.dir/bench_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/csdf_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/csdf_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/csdf_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcfg/CMakeFiles/csdf_pcfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsm/CMakeFiles/csdf_hsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/procset/CMakeFiles/csdf_procset.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/csdf_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/csdf_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/csdf_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/csdf_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csdf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdcask_exchange.dir/mdcask_exchange.cpp.o"
+  "CMakeFiles/mdcask_exchange.dir/mdcask_exchange.cpp.o.d"
+  "mdcask_exchange"
+  "mdcask_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdcask_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_sharing.dir/memory_sharing.cpp.o"
+  "CMakeFiles/memory_sharing.dir/memory_sharing.cpp.o.d"
+  "memory_sharing"
+  "memory_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nascg_transpose.dir/nascg_transpose.cpp.o"
+  "CMakeFiles/nascg_transpose.dir/nascg_transpose.cpp.o.d"
+  "nascg_transpose"
+  "nascg_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nascg_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

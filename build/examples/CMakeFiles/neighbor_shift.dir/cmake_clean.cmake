@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighbor_shift.dir/neighbor_shift.cpp.o"
+  "CMakeFiles/neighbor_shift.dir/neighbor_shift.cpp.o.d"
+  "neighbor_shift"
+  "neighbor_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighbor_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mdcask_exchange "/root/repo/build/examples/mdcask_exchange")
+set_tests_properties(example_mdcask_exchange PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_nascg_transpose "/root/repo/build/examples/nascg_transpose")
+set_tests_properties(example_nascg_transpose PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_neighbor_shift "/root/repo/build/examples/neighbor_shift")
+set_tests_properties(example_neighbor_shift PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bug_hunt "/root/repo/build/examples/bug_hunt")
+set_tests_properties(example_bug_hunt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_memory_sharing "/root/repo/build/examples/memory_sharing")
+set_tests_properties(example_memory_sharing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_check "/root/repo/build/tools/csdf" "check" "/root/repo/examples/mpl/broadcast.mpl")
+set_tests_properties(cli_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_analyze_broadcast "/root/repo/build/tools/csdf" "analyze" "/root/repo/examples/mpl/broadcast.mpl" "--client" "linear" "--validate")
+set_tests_properties(cli_analyze_broadcast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_analyze_transpose "/root/repo/build/tools/csdf" "analyze" "/root/repo/examples/mpl/transpose.mpl" "--np" "16" "--param" "nrows=4" "--validate")
+set_tests_properties(cli_analyze_transpose PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_analyze_shift "/root/repo/build/tools/csdf" "analyze" "/root/repo/examples/mpl/shift.mpl" "--fixed-np" "8" "--np" "8" "--validate")
+set_tests_properties(cli_analyze_shift PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_run_leak "/root/repo/build/tools/csdf" "run" "/root/repo/examples/mpl/leak.mpl" "--np" "2")
+set_tests_properties(cli_run_leak PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;35;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_cfg_dot "/root/repo/build/tools/csdf" "cfg" "/root/repo/examples/mpl/shift.mpl")
+set_tests_properties(cli_cfg_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_baseline "/root/repo/build/tools/csdf" "baseline" "/root/repo/examples/mpl/shift.mpl")
+set_tests_properties(cli_baseline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;39;add_test;/root/repo/examples/CMakeLists.txt;0;")

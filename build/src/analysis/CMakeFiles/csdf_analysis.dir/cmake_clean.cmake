@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdf_analysis.dir/Clients.cpp.o"
+  "CMakeFiles/csdf_analysis.dir/Clients.cpp.o.d"
+  "libcsdf_analysis.a"
+  "libcsdf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

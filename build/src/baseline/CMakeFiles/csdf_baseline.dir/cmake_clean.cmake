@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdf_baseline.dir/MpiCfg.cpp.o"
+  "CMakeFiles/csdf_baseline.dir/MpiCfg.cpp.o.d"
+  "libcsdf_baseline.a"
+  "libcsdf_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdf_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

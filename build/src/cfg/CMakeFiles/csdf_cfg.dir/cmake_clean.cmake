@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdf_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/csdf_cfg.dir/Cfg.cpp.o.d"
+  "CMakeFiles/csdf_cfg.dir/CfgBuilder.cpp.o"
+  "CMakeFiles/csdf_cfg.dir/CfgBuilder.cpp.o.d"
+  "CMakeFiles/csdf_cfg.dir/CfgDot.cpp.o"
+  "CMakeFiles/csdf_cfg.dir/CfgDot.cpp.o.d"
+  "CMakeFiles/csdf_cfg.dir/LoopInfo.cpp.o"
+  "CMakeFiles/csdf_cfg.dir/LoopInfo.cpp.o.d"
+  "libcsdf_cfg.a"
+  "libcsdf_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdf_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdf_dataflow.dir/SeqAnalyses.cpp.o"
+  "CMakeFiles/csdf_dataflow.dir/SeqAnalyses.cpp.o.d"
+  "libcsdf_dataflow.a"
+  "libcsdf_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdf_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

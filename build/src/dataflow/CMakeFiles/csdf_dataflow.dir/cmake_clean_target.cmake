@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcsdf_dataflow.a"
+)

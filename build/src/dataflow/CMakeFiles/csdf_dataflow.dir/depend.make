@@ -1,0 +1,2 @@
+# Empty dependencies file for csdf_dataflow.
+# This may be replaced when dependencies are built.

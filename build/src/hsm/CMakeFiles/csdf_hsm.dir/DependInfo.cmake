@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hsm/Hsm.cpp" "src/hsm/CMakeFiles/csdf_hsm.dir/Hsm.cpp.o" "gcc" "src/hsm/CMakeFiles/csdf_hsm.dir/Hsm.cpp.o.d"
+  "/root/repo/src/hsm/HsmExpr.cpp" "src/hsm/CMakeFiles/csdf_hsm.dir/HsmExpr.cpp.o" "gcc" "src/hsm/CMakeFiles/csdf_hsm.dir/HsmExpr.cpp.o.d"
+  "/root/repo/src/hsm/Poly.cpp" "src/hsm/CMakeFiles/csdf_hsm.dir/Poly.cpp.o" "gcc" "src/hsm/CMakeFiles/csdf_hsm.dir/Poly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/csdf_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csdf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

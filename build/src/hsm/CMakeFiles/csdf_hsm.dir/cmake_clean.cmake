@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdf_hsm.dir/Hsm.cpp.o"
+  "CMakeFiles/csdf_hsm.dir/Hsm.cpp.o.d"
+  "CMakeFiles/csdf_hsm.dir/HsmExpr.cpp.o"
+  "CMakeFiles/csdf_hsm.dir/HsmExpr.cpp.o.d"
+  "CMakeFiles/csdf_hsm.dir/Poly.cpp.o"
+  "CMakeFiles/csdf_hsm.dir/Poly.cpp.o.d"
+  "libcsdf_hsm.a"
+  "libcsdf_hsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdf_hsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdf_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/csdf_interp.dir/Interpreter.cpp.o.d"
+  "libcsdf_interp.a"
+  "libcsdf_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdf_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

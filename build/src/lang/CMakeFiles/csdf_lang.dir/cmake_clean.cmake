@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdf_lang.dir/Ast.cpp.o"
+  "CMakeFiles/csdf_lang.dir/Ast.cpp.o.d"
+  "CMakeFiles/csdf_lang.dir/AstPrinter.cpp.o"
+  "CMakeFiles/csdf_lang.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/csdf_lang.dir/Corpus.cpp.o"
+  "CMakeFiles/csdf_lang.dir/Corpus.cpp.o.d"
+  "CMakeFiles/csdf_lang.dir/ExprOps.cpp.o"
+  "CMakeFiles/csdf_lang.dir/ExprOps.cpp.o.d"
+  "CMakeFiles/csdf_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/csdf_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/csdf_lang.dir/Parser.cpp.o"
+  "CMakeFiles/csdf_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/csdf_lang.dir/Sema.cpp.o"
+  "CMakeFiles/csdf_lang.dir/Sema.cpp.o.d"
+  "CMakeFiles/csdf_lang.dir/Token.cpp.o"
+  "CMakeFiles/csdf_lang.dir/Token.cpp.o.d"
+  "libcsdf_lang.a"
+  "libcsdf_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdf_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/ConstraintGraph.cpp" "src/numeric/CMakeFiles/csdf_numeric.dir/ConstraintGraph.cpp.o" "gcc" "src/numeric/CMakeFiles/csdf_numeric.dir/ConstraintGraph.cpp.o.d"
+  "/root/repo/src/numeric/DbmStorage.cpp" "src/numeric/CMakeFiles/csdf_numeric.dir/DbmStorage.cpp.o" "gcc" "src/numeric/CMakeFiles/csdf_numeric.dir/DbmStorage.cpp.o.d"
+  "/root/repo/src/numeric/LinearExpr.cpp" "src/numeric/CMakeFiles/csdf_numeric.dir/LinearExpr.cpp.o" "gcc" "src/numeric/CMakeFiles/csdf_numeric.dir/LinearExpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/csdf_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csdf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

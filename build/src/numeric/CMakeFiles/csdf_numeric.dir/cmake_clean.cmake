@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdf_numeric.dir/ConstraintGraph.cpp.o"
+  "CMakeFiles/csdf_numeric.dir/ConstraintGraph.cpp.o.d"
+  "CMakeFiles/csdf_numeric.dir/DbmStorage.cpp.o"
+  "CMakeFiles/csdf_numeric.dir/DbmStorage.cpp.o.d"
+  "CMakeFiles/csdf_numeric.dir/LinearExpr.cpp.o"
+  "CMakeFiles/csdf_numeric.dir/LinearExpr.cpp.o.d"
+  "libcsdf_numeric.a"
+  "libcsdf_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdf_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

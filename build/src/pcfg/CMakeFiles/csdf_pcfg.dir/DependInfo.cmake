@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcfg/Engine.cpp" "src/pcfg/CMakeFiles/csdf_pcfg.dir/Engine.cpp.o" "gcc" "src/pcfg/CMakeFiles/csdf_pcfg.dir/Engine.cpp.o.d"
+  "/root/repo/src/pcfg/Matcher.cpp" "src/pcfg/CMakeFiles/csdf_pcfg.dir/Matcher.cpp.o" "gcc" "src/pcfg/CMakeFiles/csdf_pcfg.dir/Matcher.cpp.o.d"
+  "/root/repo/src/pcfg/PartnerExpr.cpp" "src/pcfg/CMakeFiles/csdf_pcfg.dir/PartnerExpr.cpp.o" "gcc" "src/pcfg/CMakeFiles/csdf_pcfg.dir/PartnerExpr.cpp.o.d"
+  "/root/repo/src/pcfg/PcfgState.cpp" "src/pcfg/CMakeFiles/csdf_pcfg.dir/PcfgState.cpp.o" "gcc" "src/pcfg/CMakeFiles/csdf_pcfg.dir/PcfgState.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hsm/CMakeFiles/csdf_hsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/procset/CMakeFiles/csdf_procset.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/csdf_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/csdf_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/csdf_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/csdf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdf_pcfg.dir/Engine.cpp.o"
+  "CMakeFiles/csdf_pcfg.dir/Engine.cpp.o.d"
+  "CMakeFiles/csdf_pcfg.dir/Matcher.cpp.o"
+  "CMakeFiles/csdf_pcfg.dir/Matcher.cpp.o.d"
+  "CMakeFiles/csdf_pcfg.dir/PartnerExpr.cpp.o"
+  "CMakeFiles/csdf_pcfg.dir/PartnerExpr.cpp.o.d"
+  "CMakeFiles/csdf_pcfg.dir/PcfgState.cpp.o"
+  "CMakeFiles/csdf_pcfg.dir/PcfgState.cpp.o.d"
+  "libcsdf_pcfg.a"
+  "libcsdf_pcfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdf_pcfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdf_procset.dir/ProcSet.cpp.o"
+  "CMakeFiles/csdf_procset.dir/ProcSet.cpp.o.d"
+  "libcsdf_procset.a"
+  "libcsdf_procset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdf_procset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdf_support.dir/ErrorHandling.cpp.o"
+  "CMakeFiles/csdf_support.dir/ErrorHandling.cpp.o.d"
+  "CMakeFiles/csdf_support.dir/Stats.cpp.o"
+  "CMakeFiles/csdf_support.dir/Stats.cpp.o.d"
+  "libcsdf_support.a"
+  "libcsdf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdf_topology.dir/CommTopology.cpp.o"
+  "CMakeFiles/csdf_topology.dir/CommTopology.cpp.o.d"
+  "libcsdf_topology.a"
+  "libcsdf_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdf_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraintgraph_test.dir/numeric/ConstraintGraphTest.cpp.o"
+  "CMakeFiles/constraintgraph_test.dir/numeric/ConstraintGraphTest.cpp.o.d"
+  "constraintgraph_test"
+  "constraintgraph_test.pdb"
+  "constraintgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraintgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_property_test.dir/numeric/DbmPropertyTest.cpp.o"
+  "CMakeFiles/dbm_property_test.dir/numeric/DbmPropertyTest.cpp.o.d"
+  "dbm_property_test"
+  "dbm_property_test.pdb"
+  "dbm_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exactness_sweep_test.dir/pcfg/ExactnessSweepTest.cpp.o"
+  "CMakeFiles/exactness_sweep_test.dir/pcfg/ExactnessSweepTest.cpp.o.d"
+  "exactness_sweep_test"
+  "exactness_sweep_test.pdb"
+  "exactness_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exactness_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

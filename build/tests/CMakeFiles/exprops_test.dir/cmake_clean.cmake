@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exprops_test.dir/lang/ExprOpsTest.cpp.o"
+  "CMakeFiles/exprops_test.dir/lang/ExprOpsTest.cpp.o.d"
+  "exprops_test"
+  "exprops_test.pdb"
+  "exprops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exprops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

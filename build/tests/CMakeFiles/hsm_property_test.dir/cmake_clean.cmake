@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsm_property_test.dir/hsm/HsmPropertyTest.cpp.o"
+  "CMakeFiles/hsm_property_test.dir/hsm/HsmPropertyTest.cpp.o.d"
+  "hsm_property_test"
+  "hsm_property_test.pdb"
+  "hsm_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsm_test.dir/hsm/HsmTest.cpp.o"
+  "CMakeFiles/hsm_test.dir/hsm/HsmTest.cpp.o.d"
+  "hsm_test"
+  "hsm_test.pdb"
+  "hsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsmexpr_test.dir/hsm/HsmExprTest.cpp.o"
+  "CMakeFiles/hsmexpr_test.dir/hsm/HsmExprTest.cpp.o.d"
+  "hsmexpr_test"
+  "hsmexpr_test.pdb"
+  "hsmexpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsmexpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_edge_test.dir/interp/InterpreterEdgeTest.cpp.o"
+  "CMakeFiles/interp_edge_test.dir/interp/InterpreterEdgeTest.cpp.o.d"
+  "interp_edge_test"
+  "interp_edge_test.pdb"
+  "interp_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linearexpr_test.dir/numeric/LinearExprTest.cpp.o"
+  "CMakeFiles/linearexpr_test.dir/numeric/LinearExprTest.cpp.o.d"
+  "linearexpr_test"
+  "linearexpr_test.pdb"
+  "linearexpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linearexpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

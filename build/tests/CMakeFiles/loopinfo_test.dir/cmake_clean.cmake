@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loopinfo_test.dir/cfg/LoopInfoTest.cpp.o"
+  "CMakeFiles/loopinfo_test.dir/cfg/LoopInfoTest.cpp.o.d"
+  "loopinfo_test"
+  "loopinfo_test.pdb"
+  "loopinfo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loopinfo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpicfg_test.dir/baseline/MpiCfgTest.cpp.o"
+  "CMakeFiles/mpicfg_test.dir/baseline/MpiCfgTest.cpp.o.d"
+  "mpicfg_test"
+  "mpicfg_test.pdb"
+  "mpicfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpicfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

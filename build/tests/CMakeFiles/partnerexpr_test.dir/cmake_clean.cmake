@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partnerexpr_test.dir/pcfg/PartnerExprTest.cpp.o"
+  "CMakeFiles/partnerexpr_test.dir/pcfg/PartnerExprTest.cpp.o.d"
+  "partnerexpr_test"
+  "partnerexpr_test.pdb"
+  "partnerexpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partnerexpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcfgstate_test.dir/pcfg/PcfgStateTest.cpp.o"
+  "CMakeFiles/pcfgstate_test.dir/pcfg/PcfgStateTest.cpp.o.d"
+  "pcfgstate_test"
+  "pcfgstate_test.pdb"
+  "pcfgstate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcfgstate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procset_test.dir/procset/ProcSetTest.cpp.o"
+  "CMakeFiles/procset_test.dir/procset/ProcSetTest.cpp.o.d"
+  "procset_test"
+  "procset_test.pdb"
+  "procset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

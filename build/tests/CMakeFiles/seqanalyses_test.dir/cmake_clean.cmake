@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqanalyses_test.dir/dataflow/SeqAnalysesTest.cpp.o"
+  "CMakeFiles/seqanalyses_test.dir/dataflow/SeqAnalysesTest.cpp.o.d"
+  "seqanalyses_test"
+  "seqanalyses_test.pdb"
+  "seqanalyses_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqanalyses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/exprops_test[1]_include.cmake")
+include("/root/repo/build/tests/sema_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/linearexpr_test[1]_include.cmake")
+include("/root/repo/build/tests/constraintgraph_test[1]_include.cmake")
+include("/root/repo/build/tests/procset_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_test[1]_include.cmake")
+include("/root/repo/build/tests/hsm_test[1]_include.cmake")
+include("/root/repo/build/tests/hsmexpr_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/mpicfg_test[1]_include.cmake")
+include("/root/repo/build/tests/pcfgstate_test[1]_include.cmake")
+include("/root/repo/build/tests/partnerexpr_test[1]_include.cmake")
+include("/root/repo/build/tests/matcher_test[1]_include.cmake")
+include("/root/repo/build/tests/exactness_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/dbm_property_test[1]_include.cmake")
+include("/root/repo/build/tests/hsm_property_test[1]_include.cmake")
+include("/root/repo/build/tests/seqanalyses_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/clients_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/loopinfo_test[1]_include.cmake")

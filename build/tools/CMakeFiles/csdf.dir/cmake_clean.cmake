@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdf.dir/csdf-cli.cpp.o"
+  "CMakeFiles/csdf.dir/csdf-cli.cpp.o.d"
+  "csdf"
+  "csdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
