@@ -1,0 +1,12 @@
+# Dead stores: the first assignment to x is overwritten before any read,
+# and `unused` is never read at all.
+# Try: csdf lint examples/mpl/dead_store.mpl
+x = 1;
+x = 2;
+if id == 0 then
+  send x -> 1;
+elif id == 1 then
+  recv y <- 0;
+  print y;
+end
+unused = x + 1;

@@ -1,0 +1,8 @@
+# Out-of-bounds partner ranks: `np` is one past the last valid rank, and
+# a constant-folded negative rank can never exist.
+# Try: csdf lint examples/mpl/oob_partner.mpl
+x = id;
+if id == 0 then
+  send x -> np;
+  recv y <- 0 - 1;
+end

@@ -1,0 +1,7 @@
+# Send to self: the partner expression is provably the sender's own rank.
+# Works only under buffered send semantics; deadlocks under rendezvous.
+# Try: csdf lint examples/mpl/self_send.mpl
+x = 7;
+send x -> id;
+recv y <- id;
+print y;

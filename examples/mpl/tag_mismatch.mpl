@@ -1,0 +1,9 @@
+# Constant tag mismatch: the send uses tag 1 but the only receive insists
+# on tag 2, so the message can never be consumed.
+# Try: csdf lint examples/mpl/tag_mismatch.mpl
+if id == 0 then
+  x = 5;
+  send x -> 1 tag 1;
+elif id == 1 then
+  recv y <- 0 tag 2;
+end

@@ -1,0 +1,8 @@
+# Unreachable code: the loop condition is constantly true, so the print
+# after the loop can never execute.
+# Try: csdf lint examples/mpl/unreachable.mpl
+x = 0;
+while true do
+  x = x + 1;
+end
+print x;

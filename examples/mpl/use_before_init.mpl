@@ -1,0 +1,7 @@
+# Use before initialization: `total` is only assigned on the id == 0 path,
+# but every process prints it.
+# Try: csdf lint examples/mpl/use_before_init.mpl
+if id == 0 then
+  total = 1;
+end
+print total;

@@ -1,0 +1,403 @@
+//===- analysis/Lint.cpp ---------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "cfg/CfgBuilder.h"
+#include "dataflow/SeqAnalyses.h"
+#include "lang/ExprOps.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "numeric/ConstraintGraph.h"
+#include "pcfg/Engine.h"
+#include "pcfg/PartnerExpr.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+
+using namespace csdf;
+
+//===----------------------------------------------------------------------===//
+// Pass registry
+//===----------------------------------------------------------------------===//
+
+const std::vector<LintPassInfo> &csdf::lintPassRegistry() {
+  static const std::vector<LintPassInfo> Registry = {
+      {"parse", "syntax errors from the MPL parser"},
+      {"sema", "semantic checks (reserved names, nondeterministic partners, "
+               "never-assigned variables)"},
+      {"use-before-init",
+       "a variable is read on some path before any assignment reaches it"},
+      {"dead-store", "an assigned value is never read afterwards"},
+      {"unreachable-code",
+       "a statement can never execute (constant branch or infinite loop)"},
+      {"send-to-self",
+       "a send/recv whose partner expression is provably the process itself"},
+      {"partner-bounds",
+       "a partner expression provably evaluates outside the valid rank "
+       "range [0, np)"},
+      {"tag-mismatch-const",
+       "a constant message tag that no opposite operation ever uses"},
+      {"message-leak",
+       "pCFG analysis: a sent message no receive ever consumes"},
+      {"possible-deadlock",
+       "pCFG analysis: process sets blocked with no possible match"},
+      {"tag-mismatch",
+       "pCFG analysis: matched send/recv with provably different tags"},
+      {"analysis-top",
+       "pCFG analysis hit Top and gave up; bridge findings may be "
+       "incomplete"},
+  };
+  return Registry;
+}
+
+bool csdf::isKnownLintPass(const std::string &Name) {
+  for (const LintPassInfo &P : lintPassRegistry())
+    if (P.Name == Name)
+      return true;
+  return false;
+}
+
+std::map<std::string, std::string> csdf::lintRuleDescriptions() {
+  std::map<std::string, std::string> Rules;
+  for (const LintPassInfo &P : lintPassRegistry())
+    Rules["csdf." + P.Name] = P.Description;
+  return Rules;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects every variable read in \p E with the location of the reference
+/// (unlike collectVars, which drops locations). `id`/`np` are ambient and
+/// excluded.
+void collectVarReads(const Expr *E,
+                     std::vector<std::pair<std::string, SourceLoc>> &Reads) {
+  if (!E)
+    return;
+  if (const auto *V = dyn_cast<VarRefExpr>(E)) {
+    if (!V->isProcessId() && !V->isProcessCount())
+      Reads.push_back({V->name(), V->loc()});
+    return;
+  }
+  if (const auto *U = dyn_cast<UnaryExpr>(E))
+    return collectVarReads(U->operand(), Reads);
+  if (const auto *B = dyn_cast<BinaryExpr>(E)) {
+    collectVarReads(B->lhs(), Reads);
+    collectVarReads(B->rhs(), Reads);
+  }
+}
+
+/// All expressions a CFG node evaluates.
+std::vector<const Expr *> nodeExprs(const CfgNode &Node) {
+  std::vector<const Expr *> Exprs;
+  for (const Expr *E : {Node.Value, Node.Cond, Node.Partner, Node.Tag})
+    if (E)
+      Exprs.push_back(E);
+  return Exprs;
+}
+
+const char *commOpName(const CfgNode &Node) {
+  return Node.Kind == CfgNodeKind::Send ? "send" : "receive";
+}
+
+//===----------------------------------------------------------------------===//
+// use-before-init
+//===----------------------------------------------------------------------===//
+
+void lintUseBeforeInit(const Cfg &Graph, DiagnosticEngine &Diags) {
+  // Variables never assigned anywhere are external parameters (sema already
+  // warns about them); only flag variables the program does assign, but not
+  // on every path reaching the use.
+  std::set<std::string> AssignedSomewhere;
+  for (const CfgNode &Node : Graph.nodes())
+    if (Node.Kind == CfgNodeKind::Assign || Node.Kind == CfgNodeKind::Recv)
+      AssignedSomewhere.insert(Node.Var);
+
+  DataflowResult<DefiniteAssignDomain> Assigned =
+      computeDefiniteAssigns(Graph);
+
+  for (const CfgNode &Node : Graph.nodes()) {
+    const DefiniteAssignDomain::Fact &In = Assigned.In[Node.Id];
+    for (const Expr *E : nodeExprs(Node)) {
+      std::vector<std::pair<std::string, SourceLoc>> Reads;
+      collectVarReads(E, Reads);
+      for (const auto &[Var, Loc] : Reads) {
+        if (!AssignedSomewhere.count(Var) || In.contains(Var))
+          continue;
+        Diags.report(makeDiag(
+            "use-before-init", DiagSeverity::Warning,
+            Loc.isValid() ? Loc : Node.Loc,
+            "variable '" + Var + "' may be used before initialization",
+            "it is assigned on some paths but not on all paths reaching "
+            "this use"));
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// dead-store
+//===----------------------------------------------------------------------===//
+
+void lintDeadStore(const Cfg &Graph, DiagnosticEngine &Diags) {
+  DataflowResult<LiveVarsDomain> Live = computeLiveVars(Graph);
+  for (const CfgNode &Node : Graph.nodes()) {
+    if (Node.Kind != CfgNodeKind::Assign)
+      continue;
+    if (Live.Out[Node.Id].count(Node.Var))
+      continue;
+    Diags.report(makeDiag("dead-store", DiagSeverity::Warning, Node.Loc,
+                          "value assigned to '" + Node.Var +
+                              "' is never read",
+                          "remove the assignment or use the variable"));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// unreachable-code
+//===----------------------------------------------------------------------===//
+
+void lintUnreachable(const Cfg &Graph, DiagnosticEngine &Diags) {
+  // Reachability from entry, pruning branch edges whose condition folds to
+  // a constant. This catches code after `while true` loops and inside
+  // `if false` arms.
+  std::vector<bool> Reached(Graph.size(), false);
+  std::vector<CfgNodeId> Stack = {Graph.entryId()};
+  Reached[Graph.entryId()] = true;
+  while (!Stack.empty()) {
+    CfgNodeId Id = Stack.back();
+    Stack.pop_back();
+    const CfgNode &Node = Graph.node(Id);
+    std::optional<std::int64_t> Taken;
+    if (Node.isBranch() && Node.Cond)
+      Taken = foldConstant(Node.Cond);
+    for (const CfgEdge &E : Node.Succs) {
+      if (Taken && Node.isBranch()) {
+        bool WantTrue = *Taken != 0;
+        if ((E.Kind == CfgEdgeKind::True) != WantTrue &&
+            E.Kind != CfgEdgeKind::Fallthrough)
+          continue;
+      }
+      if (!Reached[E.Target]) {
+        Reached[E.Target] = true;
+        Stack.push_back(E.Target);
+      }
+    }
+  }
+
+  // Report only region roots (an unreachable node with a reachable
+  // predecessor) so one diagnostic covers each dead region.
+  for (const CfgNode &Node : Graph.nodes()) {
+    if (Reached[Node.Id] || !Node.Loc.isValid())
+      continue;
+    bool IsRoot = Node.Preds.empty();
+    for (CfgNodeId P : Node.Preds)
+      if (Reached[P])
+        IsRoot = true;
+    if (!IsRoot)
+      continue;
+    Diags.report(makeDiag("unreachable-code", DiagSeverity::Warning, Node.Loc,
+                          "statement is unreachable",
+                          "a constant branch or infinite loop cuts off "
+                          "every path to it"));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// send-to-self
+//===----------------------------------------------------------------------===//
+
+void lintSendToSelf(const Cfg &Graph, DiagnosticEngine &Diags) {
+  for (const CfgNode &Node : Graph.nodes()) {
+    if (!Node.isCommOp() || !Node.Partner)
+      continue;
+    auto Offset = matchIdPlusC(Node.Partner);
+    if (!Offset || *Offset != 0)
+      continue;
+    bool IsSend = Node.Kind == CfgNodeKind::Send;
+    Diags.report(makeDiag(
+        "send-to-self", DiagSeverity::Warning, Node.Loc,
+        std::string(IsSend ? "send to self: destination" : "receive from "
+                                                           "self: source") +
+            " '" + exprToString(Node.Partner) + "' is provably the "
+            "process's own rank",
+        IsSend ? "under rendezvous semantics a self-send blocks forever"
+               : "a self-receive only completes after a buffered self-send"));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// partner-bounds
+//===----------------------------------------------------------------------===//
+
+void lintPartnerBounds(const Cfg &Graph, const LintOptions &Opts,
+                       DiagnosticEngine &Diags) {
+  // The rank invariants every execution satisfies: 0 <= id < np, np >= 1
+  // (MinProcs sharpens that), plus any pinned np / grid parameters.
+  ConstraintGraph Cg;
+  Cg.addLowerBound("np", std::max<std::int64_t>(Opts.Analysis.MinProcs, 1));
+  Cg.addLowerBound("id", 0);
+  Cg.addLE("id", "np", -1);
+  if (Opts.Analysis.FixedNp > 0)
+    Cg.addEQ(LinearExpr("np", 0), LinearExpr(Opts.Analysis.FixedNp));
+  for (const auto &[Name, Value] : Opts.Analysis.Params)
+    Cg.addEQ(LinearExpr(Name, 0), LinearExpr(Value));
+  if (!Cg.isFeasible())
+    return; // Contradictory options: everything would be vacuously provable.
+
+  for (const CfgNode &Node : Graph.nodes()) {
+    if (!Node.isCommOp() || !Node.Partner)
+      continue;
+    auto L = LinearExpr::fromExpr(Node.Partner);
+    if (!L)
+      continue; // Outside the linear fragment: nothing provable here.
+    bool BelowZero = Cg.provesLE(*L, LinearExpr(-1));
+    bool AboveNp = Cg.provesLE(LinearExpr("np", 0), *L);
+    if (!BelowZero && !AboveNp)
+      continue;
+    Diags.report(makeDiag(
+        "partner-bounds", DiagSeverity::Error, Node.Loc,
+        std::string(commOpName(Node)) + " partner '" +
+            exprToString(Node.Partner) + "' provably evaluates outside "
+            "[0, np)",
+        BelowZero ? "the partner rank is always negative"
+                  : "the partner rank is always >= np"));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// tag-mismatch-const
+//===----------------------------------------------------------------------===//
+
+void lintConstTagMismatch(const Cfg &Graph, DiagnosticEngine &Diags) {
+  // Flow-insensitive: collect the constant tags on each side. A missing
+  // tag expression means tag 0. A non-constant tag on the opposite side
+  // makes the check inconclusive for this direction.
+  struct Op {
+    const CfgNode *Node;
+    std::optional<std::int64_t> Tag;
+  };
+  std::vector<Op> Sends, Recvs;
+  for (const CfgNode &Node : Graph.nodes()) {
+    if (!Node.isCommOp())
+      continue;
+    std::optional<std::int64_t> Tag =
+        Node.Tag ? foldConstant(Node.Tag) : std::optional<std::int64_t>(0);
+    (Node.Kind == CfgNodeKind::Send ? Sends : Recvs).push_back({&Node, Tag});
+  }
+  if (Sends.empty() || Recvs.empty())
+    return; // One-sided programs are message-leak/deadlock territory.
+
+  auto Check = [&](const std::vector<Op> &These,
+                   const std::vector<Op> &Those, const char *Opposite) {
+    std::set<std::int64_t> TheirTags;
+    for (const Op &O : Those) {
+      if (!O.Tag)
+        return; // A symbolic tag on the other side may match anything.
+      TheirTags.insert(*O.Tag);
+    }
+    for (const Op &O : These) {
+      if (!O.Tag || TheirTags.count(*O.Tag))
+        continue;
+      std::string Known;
+      for (std::int64_t T : TheirTags)
+        Known += (Known.empty() ? "" : ", ") + std::to_string(T);
+      Diags.report(makeDiag(
+          "tag-mismatch-const", DiagSeverity::Warning, O.Node->Loc,
+          std::string(commOpName(*O.Node)) + " uses tag " +
+              std::to_string(*O.Tag) + " but every " + Opposite +
+              " uses a different constant tag",
+          std::string(Opposite) + " tags in the program: {" + Known + "}"));
+    }
+  };
+  Check(Sends, Recvs, "receive");
+  Check(Recvs, Sends, "send");
+}
+
+//===----------------------------------------------------------------------===//
+// pCFG bridge
+//===----------------------------------------------------------------------===//
+
+const char *bridgePassName(AnalysisBug::Kind Kind) {
+  return analysisBugKindName(Kind); // "message-leak" / "possible-deadlock"
+                                    // / "tag-mismatch" — the pass names.
+}
+
+void lintPcfgBridge(const Cfg &Graph, const LintOptions &Opts,
+                    DiagnosticEngine &Diags) {
+  bool AnyBridge =
+      Opts.isEnabled("message-leak") || Opts.isEnabled("possible-deadlock") ||
+      Opts.isEnabled("tag-mismatch") || Opts.isEnabled("analysis-top");
+  if (!AnyBridge)
+    return;
+
+  AnalysisResult R = analyzeProgram(Graph, Opts.Analysis);
+  for (const AnalysisBug &B : R.Bugs) {
+    std::string Pass = bridgePassName(B.TheKind);
+    if (!Opts.isEnabled(Pass))
+      continue;
+    Diags.report(makeDiag(Pass, DiagSeverity::Warning, B.Loc, B.Detail,
+                          "reported by the pCFG dataflow analysis"));
+  }
+  if (!R.Converged && Opts.isEnabled("analysis-top"))
+    Diags.report(makeDiag("analysis-top", DiagSeverity::Note, SourceLoc(),
+                          "pCFG analysis gave up (Top): " + R.TopReason,
+                          "bug candidates and the topology may be "
+                          "incomplete"));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+void csdf::runLintPasses(const Cfg &Graph, const LintOptions &Opts,
+                         DiagnosticEngine &Diags) {
+  if (Opts.isEnabled("use-before-init"))
+    lintUseBeforeInit(Graph, Diags);
+  if (Opts.isEnabled("dead-store"))
+    lintDeadStore(Graph, Diags);
+  if (Opts.isEnabled("unreachable-code"))
+    lintUnreachable(Graph, Diags);
+  if (Opts.isEnabled("send-to-self"))
+    lintSendToSelf(Graph, Diags);
+  if (Opts.isEnabled("partner-bounds"))
+    lintPartnerBounds(Graph, Opts, Diags);
+  if (Opts.isEnabled("tag-mismatch-const"))
+    lintConstTagMismatch(Graph, Diags);
+  lintPcfgBridge(Graph, Opts, Diags);
+}
+
+bool csdf::lintSource(const std::string &Source, const LintOptions &Opts,
+                      DiagnosticEngine &Diags) {
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.succeeded()) {
+    if (Opts.isEnabled("parse"))
+      for (const ParseDiagnostic &D : Parsed.Diagnostics)
+        Diags.report(
+            makeDiag("parse", DiagSeverity::Error, D.Loc, D.Message));
+    return false;
+  }
+
+  SemaResult Sema = checkProgram(Parsed.Prog);
+  if (Opts.isEnabled("sema"))
+    for (const SemaDiagnostic &D : Sema.Diagnostics)
+      Diags.report(makeDiag("sema",
+                            D.isError() ? DiagSeverity::Error
+                                        : DiagSeverity::Warning,
+                            D.Loc, D.Message));
+  if (Sema.hasErrors())
+    return false;
+
+  Cfg Graph = buildCfg(Parsed.Prog);
+  runLintPasses(Graph, Opts, Diags);
+  return true;
+}

@@ -42,6 +42,8 @@ CfgNodeId Cfg::addNode(CfgNodeKind Kind, const Stmt *Origin) {
   Node.Id = static_cast<CfgNodeId>(Nodes.size());
   Node.Kind = Kind;
   Node.Origin = Origin;
+  if (Origin)
+    Node.Loc = Origin->loc();
   Nodes.push_back(std::move(Node));
   return Nodes.back().Id;
 }

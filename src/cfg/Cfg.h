@@ -66,6 +66,10 @@ struct CfgNode {
   CfgNodeKind Kind = CfgNodeKind::Skip;
   /// Originating statement, if any (null for Entry/Exit/synthesized nodes).
   const Stmt *Origin = nullptr;
+  /// Source location of the originating statement (invalid for Entry/Exit).
+  /// Synthesized nodes (for-loop init/test/increment) inherit the loop's
+  /// location, so every diagnostic anchored at a node has a line:column.
+  SourceLoc Loc;
 
   std::string Var;
   const Expr *Value = nullptr;

@@ -82,6 +82,46 @@ DataflowResult<LiveVarsDomain> csdf::computeLiveVars(const Cfg &Graph) {
 }
 
 //===----------------------------------------------------------------------===//
+// Definite assignment
+//===----------------------------------------------------------------------===//
+
+bool DefiniteAssignDomain::join(Fact &Into, const Fact &From) const {
+  if (From.IsTop)
+    return false;
+  if (Into.IsTop) {
+    Into = From;
+    return true;
+  }
+  // Intersection: drop everything not definitely assigned on both paths.
+  bool Changed = false;
+  for (auto It = Into.Vars.begin(); It != Into.Vars.end();) {
+    if (From.Vars.count(*It) == 0) {
+      It = Into.Vars.erase(It);
+      Changed = true;
+    } else {
+      ++It;
+    }
+  }
+  return Changed;
+}
+
+DefiniteAssignDomain::Fact
+DefiniteAssignDomain::transfer(const Cfg &, const CfgNode &Node,
+                               const Fact &In) const {
+  if (Node.Kind != CfgNodeKind::Assign && Node.Kind != CfgNodeKind::Recv)
+    return In;
+  Fact Out = In;
+  if (!Out.IsTop)
+    Out.Vars.insert(Node.Var);
+  return Out;
+}
+
+DataflowResult<DefiniteAssignDomain>
+csdf::computeDefiniteAssigns(const Cfg &Graph) {
+  return solveDataflow(Graph, DefiniteAssignDomain());
+}
+
+//===----------------------------------------------------------------------===//
 // Sequential constant propagation
 //===----------------------------------------------------------------------===//
 

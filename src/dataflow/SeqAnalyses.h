@@ -70,6 +70,38 @@ struct LiveVarsDomain {
 DataflowResult<LiveVarsDomain> computeLiveVars(const Cfg &Graph);
 
 //===----------------------------------------------------------------------===//
+// Definite assignment
+//===----------------------------------------------------------------------===//
+
+/// Forward must-analysis: which variables are assigned (or received into)
+/// on *every* path reaching a point. The lattice element is a variable set
+/// plus an explicit Top ("all variables") used as the optimistic initial
+/// value; join is set intersection. `csdf lint`'s use-before-init pass
+/// reports reads of variables outside this set.
+struct DefiniteAssignDomain {
+  struct Fact {
+    /// Top = assigned-everything, the initial value of unvisited nodes.
+    bool IsTop = true;
+    std::set<std::string> Vars;
+
+    bool contains(const std::string &Var) const {
+      return IsTop || Vars.count(Var) != 0;
+    }
+    bool operator==(const Fact &O) const {
+      return IsTop == O.IsTop && Vars == O.Vars;
+    }
+  };
+  static constexpr bool IsForward = true;
+
+  Fact boundary(const Cfg &) const { return {false, {}}; }
+  Fact initial(const Cfg &) const { return {true, {}}; }
+  bool join(Fact &Into, const Fact &From) const;
+  Fact transfer(const Cfg &Graph, const CfgNode &Node, const Fact &In) const;
+};
+
+DataflowResult<DefiniteAssignDomain> computeDefiniteAssigns(const Cfg &Graph);
+
+//===----------------------------------------------------------------------===//
 // Sequential constant propagation
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,56 @@
+//===- diag/DiagRenderer.h - Text / JSON / SARIF diagnostic output ---------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three output formats of `csdf lint`:
+///
+///   * text  — clang-style `file:line:col: severity: message [rule]` with a
+///     caret/snippet rendered from the original source buffer;
+///   * json  — one JSON object per line (easy to grep and to diff in golden
+///     tests);
+///   * sarif — a SARIF 2.1.0 document for CI upload (GitHub code scanning
+///     et al.): tool.driver.rules plus results with ruleId, level and
+///     physicalLocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_DIAG_DIAGRENDERER_H
+#define CSDF_DIAG_DIAGRENDERER_H
+
+#include "diag/Diagnostic.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace csdf {
+
+/// Escapes \p S for embedding in a JSON string literal (quotes, backslashes,
+/// control characters).
+std::string jsonEscape(const std::string &S);
+
+/// Renders \p Diags as human-readable text with caret snippets cut from
+/// \p Source. \p FileName is used as the location prefix.
+std::string renderDiagsText(const std::vector<Diagnostic> &Diags,
+                            const std::string &FileName,
+                            const std::string &Source);
+
+/// Renders \p Diags as JSON lines (one object per diagnostic).
+std::string renderDiagsJson(const std::vector<Diagnostic> &Diags,
+                            const std::string &FileName);
+
+/// Renders \p Diags as a SARIF 2.1.0 document. \p RuleDescriptions maps a
+/// rule ID to its short description; rules appearing in \p Diags but not in
+/// the map get their ID as description.
+std::string
+renderDiagsSarif(const std::vector<Diagnostic> &Diags,
+                 const std::string &FileName,
+                 const std::map<std::string, std::string> &RuleDescriptions =
+                     {});
+
+} // namespace csdf
+
+#endif // CSDF_DIAG_DIAGRENDERER_H

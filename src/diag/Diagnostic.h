@@ -1,0 +1,99 @@
+//===- diag/Diagnostic.h - Structured lint/analysis diagnostics ------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured diagnostic record produced by `csdf lint` and the analysis
+/// bridge. A Diagnostic carries everything a human or a CI system needs to
+/// act on a finding: a stable rule ID, the pass that produced it, a severity,
+/// a primary source location, optional secondary locations (e.g. the matching
+/// receive of a mismatched send), and an optional fix hint. Rendering to
+/// text / JSON lines / SARIF lives in DiagRenderer.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_DIAG_DIAGNOSTIC_H
+#define CSDF_DIAG_DIAGNOSTIC_H
+
+#include "lang/Token.h"
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace csdf {
+
+/// Severity of a diagnostic. Notes are informational and never affect exit
+/// codes; warnings are findings; errors invalidate the program (or are
+/// Werror-promoted warnings).
+enum class DiagSeverity {
+  Note,
+  Warning,
+  Error,
+};
+
+/// Returns "note" / "warning" / "error".
+const char *diagSeverityName(DiagSeverity Sev);
+
+/// A secondary location attached to a diagnostic (e.g. "matching receive is
+/// here").
+struct DiagRelatedLoc {
+  SourceLoc Loc;
+  std::string Message;
+
+  bool operator==(const DiagRelatedLoc &O) const {
+    return Loc == O.Loc && Message == O.Message;
+  }
+};
+
+/// One structured finding.
+struct Diagnostic {
+  /// The pass that produced this diagnostic; also the key accepted by
+  /// `csdf lint --disable <pass>` (e.g. "use-before-init").
+  std::string Pass;
+  /// Stable machine-readable rule ID, used as the SARIF ruleId (e.g.
+  /// "csdf.use-before-init"). Never reuse an ID for a different check.
+  std::string Id;
+  DiagSeverity Sev = DiagSeverity::Warning;
+  /// Primary location. May be invalid (Line == 0) for whole-program
+  /// findings; renderers then omit the location.
+  SourceLoc Loc;
+  std::string Message;
+  /// Optional explanation or fix hint, rendered as a trailing note.
+  std::string Note;
+  /// Optional secondary locations.
+  std::vector<DiagRelatedLoc> Related;
+
+  /// Stable ordering: by location, then rule, then message, then severity.
+  /// DiagnosticEngine sorts with this so output is deterministic no matter
+  /// in which order passes ran.
+  friend bool operator<(const Diagnostic &A, const Diagnostic &B) {
+    return std::tie(A.Loc, A.Id, A.Message, A.Sev) <
+           std::tie(B.Loc, B.Id, B.Message, B.Sev);
+  }
+
+  /// Two diagnostics are duplicates when rule, location and message agree;
+  /// severity and notes are presentation detail.
+  bool sameFinding(const Diagnostic &O) const {
+    return Id == O.Id && Loc == O.Loc && Message == O.Message;
+  }
+};
+
+/// Convenience factory for the common case.
+inline Diagnostic makeDiag(std::string Pass, DiagSeverity Sev, SourceLoc Loc,
+                           std::string Message, std::string Note = "") {
+  Diagnostic D;
+  D.Id = "csdf." + Pass;
+  D.Pass = std::move(Pass);
+  D.Sev = Sev;
+  D.Loc = Loc;
+  D.Message = std::move(Message);
+  D.Note = std::move(Note);
+  return D;
+}
+
+} // namespace csdf
+
+#endif // CSDF_DIAG_DIAGNOSTIC_H

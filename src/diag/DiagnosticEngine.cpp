@@ -1,0 +1,67 @@
+//===- diag/DiagnosticEngine.cpp -------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "diag/DiagnosticEngine.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace csdf;
+
+const char *csdf::diagSeverityName(DiagSeverity Sev) {
+  switch (Sev) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  csdf_unreachable("unhandled DiagSeverity");
+}
+
+bool DiagnosticEngine::report(Diagnostic D) {
+  auto Key = std::tuple(D.Id, D.Loc, D.Message);
+  if (!Seen.insert(std::move(Key)).second)
+    return false;
+  Diags.push_back(std::move(D));
+  Sorted = false;
+  return true;
+}
+
+const std::vector<Diagnostic> &DiagnosticEngine::diagnostics() const {
+  if (!Sorted) {
+    std::stable_sort(Diags.begin(), Diags.end());
+    Sorted = true;
+  }
+  return Diags;
+}
+
+void DiagnosticEngine::promoteWarningsToErrors() {
+  for (Diagnostic &D : Diags)
+    if (D.Sev == DiagSeverity::Warning)
+      D.Sev = DiagSeverity::Error;
+}
+
+void DiagnosticEngine::filterBelow(DiagSeverity Min) {
+  Diags.erase(std::remove_if(Diags.begin(), Diags.end(),
+                             [&](const Diagnostic &D) { return D.Sev < Min; }),
+              Diags.end());
+}
+
+unsigned DiagnosticEngine::count(DiagSeverity Sev) const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Sev == Sev)
+      ++N;
+  return N;
+}
+
+int DiagnosticEngine::exitCode() const {
+  return count(DiagSeverity::Warning) + count(DiagSeverity::Error) > 0 ? 1
+                                                                       : 0;
+}

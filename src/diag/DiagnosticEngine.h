@@ -1,0 +1,67 @@
+//===- diag/DiagnosticEngine.h - Collect, dedupe and sort diagnostics ------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The collection point for all lint/analysis diagnostics. The engine
+/// deduplicates findings (same rule + location + message), keeps them stably
+/// sorted by source location, applies severity policy (Werror promotion and
+/// minimum-severity filtering), and computes the CI exit code:
+///
+///   0  no warnings or errors (notes are allowed),
+///   1  at least one warning or error survived filtering,
+///   2  (reserved for the driver: usage / IO / internal errors).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_DIAG_DIAGNOSTICENGINE_H
+#define CSDF_DIAG_DIAGNOSTICENGINE_H
+
+#include "diag/Diagnostic.h"
+
+#include <set>
+#include <vector>
+
+namespace csdf {
+
+/// Collects diagnostics from every pass and owns the output policy.
+class DiagnosticEngine {
+public:
+  /// Records \p D unless an identical finding (rule + location + message)
+  /// was already reported. Returns true if the diagnostic was kept.
+  bool report(Diagnostic D);
+
+  /// All surviving diagnostics, stably sorted by (location, rule, message).
+  const std::vector<Diagnostic> &diagnostics() const;
+
+  /// Promotes every Warning to Error (the `--Werror` switch).
+  void promoteWarningsToErrors();
+
+  /// Drops every diagnostic below \p Min (the `--min-severity` switch).
+  void filterBelow(DiagSeverity Min);
+
+  /// Number of surviving diagnostics with severity exactly \p Sev.
+  unsigned count(DiagSeverity Sev) const;
+
+  bool empty() const { return Diags.empty(); }
+  size_t size() const { return Diags.size(); }
+
+  bool hasErrors() const { return count(DiagSeverity::Error) != 0; }
+
+  /// The CI exit code for the current contents: 1 when any warning or
+  /// error survived, 0 otherwise. (Exit code 2 is the driver's.)
+  int exitCode() const;
+
+private:
+  /// Kept unsorted as reported; sorted lazily by diagnostics().
+  mutable std::vector<Diagnostic> Diags;
+  mutable bool Sorted = true;
+  /// Dedup keys of everything reported so far.
+  std::set<std::tuple<std::string, SourceLoc, std::string>> Seen;
+};
+
+} // namespace csdf
+
+#endif // CSDF_DIAG_DIAGNOSTICENGINE_H

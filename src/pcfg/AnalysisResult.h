@@ -21,6 +21,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace csdf {
@@ -54,7 +55,17 @@ struct AnalysisBug {
 
   Kind TheKind = Kind::MessageLeak;
   CfgNodeId Node = 0;
+  /// Source location of Node's originating statement; filled in by the
+  /// engine from the CFG so every bug carries a real line:column.
+  SourceLoc Loc;
   std::string Detail;
+
+  /// Deterministic reporting order: by source location, then kind, then
+  /// node id, then detail text.
+  friend bool operator<(const AnalysisBug &A, const AnalysisBug &B) {
+    return std::tuple(A.Loc, A.TheKind, A.Node, A.Detail) <
+           std::tuple(B.Loc, B.TheKind, B.Node, B.Detail);
+  }
 };
 
 /// Returns a short name for \p Kind.

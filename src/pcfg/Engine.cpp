@@ -13,6 +13,7 @@
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -359,7 +360,7 @@ private:
     if (AllExit) {
       for (const PendingSend &P : St.InFlight)
         Result.Bugs.push_back(
-            {AnalysisBug::Kind::MessageLeak, P.SendNode,
+            {AnalysisBug::Kind::MessageLeak, P.SendNode, SourceLoc(),
              "message from " + P.Senders.str() + " sent at " +
                  Graph.nodeLabel(P.SendNode) + " is never received"});
       recordFinalSnapshot(St);
@@ -413,7 +414,7 @@ private:
       fail("too many unjoinable states at configuration " + Key);
       return;
     }
-    Variants.push_back(Stored{std::move(St), 1});
+    Variants.push_back(Stored{std::move(St), 1, {}});
     Worklist.push_back({Key, Variants.size() - 1});
   }
 
@@ -1464,7 +1465,7 @@ private:
       if (B.TheKind == AnalysisBug::Kind::TagMismatch && B.Detail == Detail)
         return;
     Result.Bugs.push_back(
-        {AnalysisBug::Kind::TagMismatch, SendNode, Detail});
+        {AnalysisBug::Kind::TagMismatch, SendNode, SourceLoc(), Detail});
   }
 
   //===--------------------------------------------------------------------===
@@ -1587,7 +1588,7 @@ private:
       const CfgNode &Node = Graph.node(Set.Node);
       if (Node.isCommOp())
         StuckBugs.push_back(
-            {AnalysisBug::Kind::PossibleDeadlock, Node.Id,
+            {AnalysisBug::Kind::PossibleDeadlock, Node.Id, SourceLoc(),
              Set.Range.str() + " blocked forever at " +
                  Graph.nodeLabel(Node.Id)});
     }
@@ -1670,6 +1671,19 @@ AnalysisResult Engine::run() {
            "proven");
     }
   }
+
+  // Stamp each bug with its node's source location and emit in a
+  // deterministic order: exploration order depends on worklist scheduling,
+  // which callers (and golden tests) must not observe. Duplicate bugs from
+  // several stuck variants of the same configuration collapse here too.
+  for (AnalysisBug &Bug : Result.Bugs)
+    Bug.Loc = Graph.node(Bug.Node).Loc;
+  std::sort(Result.Bugs.begin(), Result.Bugs.end());
+  Result.Bugs.erase(std::unique(Result.Bugs.begin(), Result.Bugs.end(),
+                                [](const AnalysisBug &A, const AnalysisBug &B) {
+                                  return !(A < B) && !(B < A);
+                                }),
+                    Result.Bugs.end());
 
   Result.Converged = !ToppedOut;
   return std::move(Result);

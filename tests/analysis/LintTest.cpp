@@ -1,0 +1,234 @@
+//===- tests/analysis/LintTest.cpp - Lint pass suite tests -----------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+/// Lints \p Source with defaults (minus \p Disabled) and returns the
+/// surviving diagnostics.
+std::vector<Diagnostic> lint(const std::string &Source,
+                             std::set<std::string> Disabled = {}) {
+  LintOptions Opts;
+  Opts.Disabled = std::move(Disabled);
+  DiagnosticEngine Diags;
+  lintSource(Source, Opts, Diags);
+  return Diags.diagnostics();
+}
+
+bool hasPass(const std::vector<Diagnostic> &Diags, const std::string &Pass) {
+  for (const Diagnostic &D : Diags)
+    if (D.Pass == Pass)
+      return true;
+  return false;
+}
+
+const Diagnostic *findPass(const std::vector<Diagnostic> &Diags,
+                           const std::string &Pass) {
+  for (const Diagnostic &D : Diags)
+    if (D.Pass == Pass)
+      return &D;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Individual passes fire with precise locations
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, UseBeforeInitFiresOnPartialInit) {
+  auto Diags = lint("if id == 0 then\n"
+                    "  total = 1;\n"
+                    "end\n"
+                    "print total;\n");
+  const Diagnostic *D = findPass(Diags, "use-before-init");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Loc.Line, 4u);
+  EXPECT_EQ(D->Loc.Col, 7u);
+  EXPECT_NE(D->Message.find("'total'"), std::string::npos);
+}
+
+TEST(Lint, UseBeforeInitQuietOnDominatingInit) {
+  EXPECT_FALSE(hasPass(lint("x = 1;\nprint x;\n"), "use-before-init"));
+  // A never-assigned variable is an external parameter: sema's territory.
+  EXPECT_FALSE(hasPass(lint("print k;\n"), "use-before-init"));
+  // A for-loop variable is initialized by the loop header.
+  EXPECT_FALSE(hasPass(lint("for i = 1 to 3 do\n  print i;\nend\n"),
+                       "use-before-init"));
+}
+
+TEST(Lint, DeadStoreFiresOnOverwrittenAndUnused) {
+  auto Diags = lint("x = 1;\nx = 2;\nprint x;\nz = 9;\n");
+  const Diagnostic *D = findPass(Diags, "dead-store");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Loc.Line, 1u);
+  // Both the overwritten store and the never-read store are reported.
+  unsigned Count = 0;
+  for (const Diagnostic &Each : Diags)
+    if (Each.Pass == "dead-store")
+      ++Count;
+  EXPECT_EQ(Count, 2u);
+}
+
+TEST(Lint, DeadStoreQuietWhenValueIsUsedLater) {
+  EXPECT_FALSE(hasPass(lint("x = 1;\nsend x -> id + 1;\n"), "dead-store"));
+  // The loop variable is read by the loop test: not a dead store.
+  EXPECT_FALSE(hasPass(lint("for i = 1 to 3 do\n  skip;\nend\n"),
+                       "dead-store"));
+}
+
+TEST(Lint, UnreachableCodeAfterInfiniteLoop) {
+  auto Diags = lint("x = 0;\nwhile true do\n  x = x + 1;\nend\nprint x;\n");
+  const Diagnostic *D = findPass(Diags, "unreachable-code");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Loc.Line, 5u);
+}
+
+TEST(Lint, UnreachableCodeInConstantFalseBranch) {
+  auto Diags = lint("if false then\n  x = 1;\nend\nskip;\n");
+  const Diagnostic *D = findPass(Diags, "unreachable-code");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Loc.Line, 2u);
+  // Reachable programs stay quiet.
+  EXPECT_FALSE(hasPass(lint("if id == 0 then\n  x = 1;\nend\n"),
+                       "unreachable-code"));
+}
+
+TEST(Lint, SendToSelfFiresOnProvableSelfPartner) {
+  auto Diags = lint("x = 1;\nsend x -> id;\nrecv y <- id + 0;\nprint y;\n");
+  unsigned Count = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Pass == "send-to-self")
+      ++Count;
+  EXPECT_EQ(Count, 2u); // Both the send and the recv.
+  EXPECT_FALSE(hasPass(lint("x = 1;\nsend x -> id + 1;\n"), "send-to-self"));
+}
+
+TEST(Lint, PartnerBoundsProvablyOutside) {
+  // np is one past the last valid rank; a negative constant can never be
+  // a rank. Both are errors, not warnings.
+  auto Diags = lint("x = 1;\nsend x -> np;\nrecv y <- 0 - 1;\n");
+  const Diagnostic *D = findPass(Diags, "partner-bounds");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Sev, DiagSeverity::Error);
+  unsigned Count = 0;
+  for (const Diagnostic &Each : Diags)
+    if (Each.Pass == "partner-bounds")
+      ++Count;
+  EXPECT_EQ(Count, 2u);
+}
+
+TEST(Lint, PartnerBoundsQuietWhenPossiblyValid) {
+  // id + 1 is out of range only for the last rank — not *provably* out.
+  EXPECT_FALSE(hasPass(lint("x = 1;\nsend x -> id + 1;\n"),
+                       "partner-bounds"));
+  EXPECT_FALSE(hasPass(lint("x = 1;\nsend x -> np - 1;\n"),
+                       "partner-bounds"));
+}
+
+TEST(Lint, PartnerBoundsUsesFixedNp) {
+  // With np pinned to 4, id + 4 is provably >= np.
+  LintOptions Opts;
+  Opts.Analysis.FixedNp = 4;
+  DiagnosticEngine Diags;
+  lintSource("x = 1;\nsend x -> id + 4;\n", Opts, Diags);
+  EXPECT_TRUE(hasPass(Diags.diagnostics(), "partner-bounds"));
+}
+
+TEST(Lint, ConstTagMismatchFiresOnDisjointTags) {
+  auto Diags = lint("if id == 0 then\n"
+                    "  x = 5;\n"
+                    "  send x -> 1 tag 1;\n"
+                    "elif id == 1 then\n"
+                    "  recv y <- 0 tag 2;\n"
+                    "end\n");
+  const Diagnostic *D = findPass(Diags, "tag-mismatch-const");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Loc.Line, 3u);
+}
+
+TEST(Lint, ConstTagMismatchQuietOnMatchingOrSymbolicTags) {
+  EXPECT_FALSE(hasPass(lint("if id == 0 then\n  x = 5;\n"
+                            "  send x -> 1 tag 7;\n"
+                            "elif id == 1 then\n  recv y <- 0 tag 7;\nend\n"),
+                       "tag-mismatch-const"));
+  // A symbolic tag on the other side may match anything.
+  EXPECT_FALSE(hasPass(lint("t = id;\nif id == 0 then\n  x = 5;\n"
+                            "  send x -> 1 tag 1;\n"
+                            "elif id == 1 then\n  recv y <- 0 tag t;\nend\n"),
+                       "tag-mismatch-const"));
+}
+
+TEST(Lint, PcfgBridgeLiftsMessageLeakWithLocation) {
+  auto Diags = lint("if id == 0 then\n"
+                    "  x = 1;\n"
+                    "  send x -> 1;\n"
+                    "  send x -> 1;\n"
+                    "elif id == 1 then\n"
+                    "  recv y <- 0;\n"
+                    "end\n");
+  const Diagnostic *D = findPass(Diags, "message-leak");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Loc.Line, 4u);
+  EXPECT_EQ(D->Loc.Col, 3u);
+}
+
+TEST(Lint, FrontEndErrorsBecomeDiagnostics) {
+  auto Diags = lint("x = ;\n");
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_EQ(Diags[0].Pass, "parse");
+  EXPECT_EQ(Diags[0].Sev, DiagSeverity::Error);
+
+  auto SemaDiags = lint("id = 3;\n");
+  EXPECT_TRUE(hasPass(SemaDiags, "sema"));
+}
+
+//===----------------------------------------------------------------------===//
+// Pass control
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, EveryPassIsIndividuallyDisableable) {
+  const std::string Source = "d = 1;\n"        // dead store (overwritten)
+                             "d = 2;\n"
+                             "print d;\n"
+                             "x = 1;\n"
+                             "send x -> np;\n" // partner-bounds
+                             "send x -> id;\n" // send-to-self
+                             "while true do\n  skip;\nend\n"
+                             "print x;\n";     // unreachable
+  auto All = lint(Source);
+  for (const char *Pass :
+       {"dead-store", "partner-bounds", "send-to-self", "unreachable-code"}) {
+    SCOPED_TRACE(Pass);
+    EXPECT_TRUE(hasPass(All, Pass));
+    EXPECT_FALSE(hasPass(lint(Source, {Pass}), Pass));
+  }
+}
+
+TEST(Lint, DisablingOnePassKeepsTheOthers) {
+  const std::string Source = "x = 1;\nsend x -> np;\nsend x -> id;\n";
+  auto Diags = lint(Source, {"send-to-self"});
+  EXPECT_FALSE(hasPass(Diags, "send-to-self"));
+  EXPECT_TRUE(hasPass(Diags, "partner-bounds"));
+}
+
+TEST(Lint, RegistryKnowsEveryPass) {
+  EXPECT_TRUE(isKnownLintPass("use-before-init"));
+  EXPECT_TRUE(isKnownLintPass("message-leak"));
+  EXPECT_FALSE(isKnownLintPass("no-such-pass"));
+  // At least five lint passes beyond the three pre-existing pCFG bug kinds
+  // (plus parse/sema/analysis-top) are registered.
+  EXPECT_GE(lintPassRegistry().size(), 11u);
+  // Rule descriptions cover every registered pass.
+  auto Rules = lintRuleDescriptions();
+  for (const LintPassInfo &P : lintPassRegistry())
+    EXPECT_EQ(Rules.count("csdf." + P.Name), 1u) << P.Name;
+}
+
+} // namespace

@@ -158,10 +158,12 @@ TEST(CfgTest, CorpusProgramsBuildAndAreConnected) {
     // Every node except exit must have a successor; every node except
     // entry must be reachable (has preds) or be the exit of empty arms.
     for (const CfgNode &N : B.Graph.nodes()) {
-      if (!N.isExit())
+      if (!N.isExit()) {
         EXPECT_FALSE(N.Succs.empty()) << Name << " node " << N.Id;
-      if (N.Id != B.Graph.entryId())
+      }
+      if (N.Id != B.Graph.entryId()) {
         EXPECT_FALSE(N.Preds.empty()) << Name << " node " << N.Id;
+      }
     }
   }
 }

@@ -47,10 +47,12 @@ TEST(LoopInfoTest, WhileBodyIsInLoop) {
   EXPECT_TRUE(LI.isInLoop(Tail));
   // Nodes outside: the initial assign and the print.
   for (const CfgNode &N : B.Graph.nodes()) {
-    if (N.Kind == CfgNodeKind::Print)
+    if (N.Kind == CfgNodeKind::Print) {
       EXPECT_FALSE(LI.isInLoop(N.Id));
-    if (N.Kind == CfgNodeKind::Entry || N.Kind == CfgNodeKind::Exit)
+    }
+    if (N.Kind == CfgNodeKind::Entry || N.Kind == CfgNodeKind::Exit) {
       EXPECT_FALSE(LI.isInLoop(N.Id));
+    }
   }
 }
 
@@ -59,10 +61,12 @@ TEST(LoopInfoTest, ForLoopBodyMembership) {
   LoopInfo LI(B.Graph);
   ASSERT_EQ(LI.headers().size(), 1u);
   for (const CfgNode &N : B.Graph.nodes()) {
-    if (N.Kind == CfgNodeKind::Send)
+    if (N.Kind == CfgNodeKind::Send) {
       EXPECT_TRUE(LI.isInLoop(N.Id)) << "send is in the loop body";
-    if (N.Kind == CfgNodeKind::Print)
+    }
+    if (N.Kind == CfgNodeKind::Print) {
       EXPECT_FALSE(LI.isInLoop(N.Id));
+    }
   }
 }
 

@@ -133,9 +133,10 @@ TEST_P(HsmPropertyTest, SequenceEqualityImpliesEqualSequences) {
   for (int Trial = 0; Trial < 60; ++Trial) {
     Hsm A = randomHsm(R);
     Hsm B = randomHsm(R);
-    if (hsmSequenceEquals(A, B, Facts))
+    if (hsmSequenceEquals(A, B, Facts)) {
       EXPECT_EQ(A.enumerate({}), B.enumerate({}))
           << A.str() << " ~seq~ " << B.str();
+    }
   }
 }
 

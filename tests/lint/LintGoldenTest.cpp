@@ -1,0 +1,87 @@
+//===- tests/lint/LintGoldenTest.cpp - Golden-output corpus test -----------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the full `csdf lint` pipeline (library-level, default options) over
+// every examples/mpl/*.mpl file and diffs the JSON diagnostics against the
+// checked-in expectations in tests/lint/golden/<stem>.json. A new example
+// without a golden file fails the test, which keeps the corpus covered.
+//
+// Regenerate after an intentional change with:
+//   cd examples/mpl
+//   for f in *.mpl; do
+//     csdf lint $f --format json > ../../tests/lint/golden/${f%.mpl}.json
+//   done
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+#include "diag/DiagRenderer.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace csdf;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string readFileOrDie(const fs::path &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot read " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+TEST(LintGolden, EveryExampleMatchesGolden) {
+  const fs::path Examples = CSDF_EXAMPLES_DIR;
+  const fs::path Golden = CSDF_LINT_GOLDEN_DIR;
+  ASSERT_TRUE(fs::is_directory(Examples));
+  ASSERT_TRUE(fs::is_directory(Golden));
+
+  std::vector<fs::path> Files;
+  for (const fs::directory_entry &E : fs::directory_iterator(Examples))
+    if (E.path().extension() == ".mpl")
+      Files.push_back(E.path());
+  std::sort(Files.begin(), Files.end());
+  ASSERT_GE(Files.size(), 10u) << "example corpus unexpectedly small";
+
+  for (const fs::path &File : Files) {
+    SCOPED_TRACE(File.filename().string());
+    fs::path GoldenFile = Golden / File.stem();
+    GoldenFile += ".json";
+    ASSERT_TRUE(fs::exists(GoldenFile))
+        << "missing golden file for " << File.filename()
+        << "; every examples/mpl/*.mpl needs one (see header comment)";
+
+    DiagnosticEngine Diags;
+    lintSource(readFileOrDie(File), LintOptions(), Diags);
+    std::string Actual =
+        renderDiagsJson(Diags.diagnostics(), File.filename().string());
+    EXPECT_EQ(readFileOrDie(GoldenFile), Actual);
+  }
+}
+
+/// The acceptance-criteria check: the message leak in leak.mpl is reported
+/// with its real source position (the second send, line 6 column 3).
+TEST(LintGolden, LeakHasPreciseLocation) {
+  const fs::path Examples = CSDF_EXAMPLES_DIR;
+  DiagnosticEngine Diags;
+  lintSource(readFileOrDie(Examples / "leak.mpl"), LintOptions(), Diags);
+  bool Found = false;
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Pass == "message-leak") {
+      Found = true;
+      EXPECT_EQ(D.Loc.Line, 6u);
+      EXPECT_EQ(D.Loc.Col, 3u);
+    }
+  EXPECT_TRUE(Found);
+}
+
+} // namespace

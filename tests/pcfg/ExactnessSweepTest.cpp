@@ -123,8 +123,9 @@ TEST_P(ExactnessSweep, ConvergedMeansExact) {
         << "->" << Pair.second;
 
   // Exactness: convergence implies the full topology was found.
-  if (R.Converged)
+  if (R.Converged) {
     EXPECT_EQ(R.matchedNodePairs(), Dynamic) << Prog.Name << " np=" << Np;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

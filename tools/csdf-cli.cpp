@@ -12,6 +12,8 @@
 //   csdf analyze  <file.mpl> [options]        pCFG analysis: topology,
 //                                             constants, bug candidates
 //   csdf topo     <file.mpl> [options]        matched topology as DOT
+//   csdf lint     <file.mpl> [options]        static-analysis pass suite
+//                                             with structured diagnostics
 //
 // Common options:
 //   --client linear|cartesian   client analysis (default cartesian)
@@ -22,10 +24,21 @@
 //   --seed N                    seed for the random scheduler
 //   --validate                  after analyze: compare against a run
 //
+// Lint options:
+//   --format text|json|sarif    output format (default text)
+//   --Werror                    promote warnings to errors
+//   --min-severity note|warning|error   drop findings below this level
+//   --disable <pass>            skip a pass (repeatable); `csdf lint
+//                               --list-passes` prints all pass names
+//
+// Lint exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Clients.h"
+#include "analysis/Lint.h"
 #include "baseline/MpiCfg.h"
+#include "diag/DiagRenderer.h"
 #include "cfg/CfgBuilder.h"
 #include "cfg/CfgDot.h"
 #include "interp/Interpreter.h"
@@ -37,6 +50,8 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -50,20 +65,28 @@ struct CliOptions {
   std::string File;
   std::string Client = "cartesian";
   std::string Scheduler = "rr";
+  std::string Format = "text";
+  std::string MinSeverity = "note";
   int Np = 8;
   std::int64_t FixedNp = 0;
   std::uint64_t Seed = 1;
   bool Validate = false;
+  bool Werror = false;
+  std::set<std::string> Disabled;
   std::map<std::string, std::int64_t> Params;
 };
 
 void usage() {
   std::fprintf(stderr,
-               "usage: csdf <check|cfg|run|analyze|topo|baseline> "
+               "usage: csdf <check|cfg|run|analyze|topo|baseline|lint> "
                "<file.mpl> [options]\n"
                "  --client linear|cartesian|sectionx  --np N  --fixed-np N\n"
                "  --param NAME=V  --scheduler rr|lifo|random  --seed N\n"
-               "  --validate\n");
+               "  --validate\n"
+               "lint options:\n"
+               "  --format text|json|sarif  --Werror\n"
+               "  --min-severity note|warning|error  --disable <pass>\n"
+               "  (csdf lint --list-passes prints every pass name)\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -112,6 +135,38 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Params[S.substr(0, Eq)] = std::atoll(S.c_str() + Eq + 1);
     } else if (Arg == "--validate") {
       Opts.Validate = true;
+    } else if (Arg == "--format") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Format = V;
+      if (Opts.Format != "text" && Opts.Format != "json" &&
+          Opts.Format != "sarif") {
+        std::fprintf(stderr, "unknown format '%s'\n", V);
+        return false;
+      }
+    } else if (Arg == "--Werror") {
+      Opts.Werror = true;
+    } else if (Arg == "--min-severity") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.MinSeverity = V;
+      if (Opts.MinSeverity != "note" && Opts.MinSeverity != "warning" &&
+          Opts.MinSeverity != "error") {
+        std::fprintf(stderr, "unknown severity '%s'\n", V);
+        return false;
+      }
+    } else if (Arg == "--disable") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (!isKnownLintPass(V)) {
+        std::fprintf(stderr, "unknown lint pass '%s' (try --list-passes)\n",
+                     V);
+        return false;
+      }
+      Opts.Disabled.insert(V);
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return false;
@@ -218,9 +273,14 @@ int cmdAnalyze(const Cfg &Graph, const CliOptions &Cli) {
   }
   if (!R.Bugs.empty()) {
     std::printf("\nbug candidates:\n");
-    for (const AnalysisBug &B : R.Bugs)
-      std::printf("  [%s] %s\n", analysisBugKindName(B.TheKind),
-                  B.Detail.c_str());
+    for (const AnalysisBug &B : R.Bugs) {
+      if (B.Loc.isValid())
+        std::printf("  [%s] %s: %s\n", analysisBugKindName(B.TheKind),
+                    B.Loc.str().c_str(), B.Detail.c_str());
+      else
+        std::printf("  [%s] %s\n", analysisBugKindName(B.TheKind),
+                    B.Detail.c_str());
+    }
   }
 
   if (Cli.Validate) {
@@ -231,6 +291,49 @@ int cmdAnalyze(const Cfg &Graph, const CliOptions &Cli) {
     return R.Converged && Report.Exact ? 0 : 1;
   }
   return R.Converged ? 0 : 1;
+}
+
+DiagSeverity severityFromName(const std::string &Name) {
+  if (Name == "error")
+    return DiagSeverity::Error;
+  if (Name == "warning")
+    return DiagSeverity::Warning;
+  return DiagSeverity::Note;
+}
+
+int cmdLint(const std::string &Source, const CliOptions &Cli) {
+  LintOptions Opts;
+  Opts.Disabled = Cli.Disabled;
+  Opts.Analysis = analysisOptions(Cli);
+
+  DiagnosticEngine Diags;
+  lintSource(Source, Opts, Diags);
+  if (Cli.Werror)
+    Diags.promoteWarningsToErrors();
+  Diags.filterBelow(severityFromName(Cli.MinSeverity));
+
+  std::string Out;
+  if (Cli.Format == "json")
+    Out = renderDiagsJson(Diags.diagnostics(), Cli.File);
+  else if (Cli.Format == "sarif")
+    Out = renderDiagsSarif(Diags.diagnostics(), Cli.File,
+                           lintRuleDescriptions());
+  else
+    Out = renderDiagsText(Diags.diagnostics(), Cli.File, Source);
+  std::fputs(Out.c_str(), stdout);
+
+  if (Cli.Format == "text" && !Diags.empty())
+    std::printf("%zu finding(s): %u error(s), %u warning(s), %u note(s)\n",
+                Diags.size(), Diags.count(DiagSeverity::Error),
+                Diags.count(DiagSeverity::Warning),
+                Diags.count(DiagSeverity::Note));
+  return Diags.exitCode();
+}
+
+int cmdListPasses() {
+  for (const LintPassInfo &P : lintPassRegistry())
+    std::printf("%-18s %s\n", P.Name.c_str(), P.Description.c_str());
+  return 0;
 }
 
 int cmdBaseline(const Cfg &Graph) {
@@ -254,11 +357,19 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  if (Cli.Command == "lint" && Cli.File == "--list-passes")
+    return cmdListPasses();
+
   auto Source = readFile(Cli.File);
   if (!Source) {
     std::fprintf(stderr, "error: cannot read '%s'\n", Cli.File.c_str());
     return 2;
   }
+
+  // Lint owns its whole pipeline (parse errors become diagnostics in the
+  // selected output format rather than raw stderr lines).
+  if (Cli.Command == "lint")
+    return cmdLint(*Source, Cli);
 
   ParseResult Parsed = parseProgram(*Source);
   if (!Parsed.succeeded()) {
