@@ -28,6 +28,8 @@
 #include "pcfg/Engine.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace csdf;
 
@@ -41,6 +43,9 @@ struct ProfileRow {
   double FullAvgVars = 0;
   long IncrCalls = 0;
   double IncrAvgVars = 0;
+  long CowCopies = 0;
+  long CowDetaches = 0;
+  long MemoHits = 0;
   bool Converged = false;
 };
 
@@ -70,12 +75,53 @@ ProfileRow profileRun(DbmBackend Backend, const char *Name, int Repeats) {
     Row.IncrAvgVars =
         static_cast<double>(Stats.counter("cg.closure.incr.varsum")) /
         static_cast<double>(Row.IncrCalls);
+  Row.CowCopies = Stats.counter("cg.cow.copies");
+  Row.CowDetaches = Stats.counter("cg.cow.detaches");
+  Row.MemoHits = Stats.counter("cg.closure.memo.hits");
   return Row;
+}
+
+/// Writes both backend profiles as JSON so CI can archive the Section IX
+/// profile per commit.
+int writeJson(const std::string &Path) {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return 1;
+  }
+  std::fprintf(Out, "[\n");
+  bool First = true;
+  for (auto [Backend, Name] :
+       {std::pair{DbmBackend::MapBased, "map"},
+        std::pair{DbmBackend::Dense, "dense"}}) {
+    ProfileRow Row = profileRun(Backend, Name, /*Repeats=*/1);
+    std::fprintf(
+        Out,
+        "%s  {\"workload\": \"fanout_broadcast\", \"backend\": \"%s\", "
+        "\"wall_ns\": %lld, \"closure_ns\": %lld, "
+        "\"full_closures\": %ld, \"full_avg_vars\": %.1f, "
+        "\"incremental_closures\": %ld, \"incr_avg_vars\": %.1f, "
+        "\"cow_copies\": %ld, \"cow_detaches\": %ld, "
+        "\"memo_hits\": %ld, \"converged\": %s}",
+        First ? "" : ",\n", Row.Backend,
+        static_cast<long long>(Row.TotalSec * 1e9),
+        static_cast<long long>(Row.ClosureSec * 1e9), Row.FullCalls,
+        Row.FullAvgVars, Row.IncrCalls, Row.IncrAvgVars, Row.CowCopies,
+        Row.CowDetaches, Row.MemoHits, Row.Converged ? "true" : "false");
+    First = false;
+  }
+  std::fprintf(Out, "\n]\n");
+  std::fclose(Out);
+  std::printf("wrote fan-out profile to %s\n", Path.c_str());
+  return 0;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc)
+      return writeJson(argv[I + 1]);
   std::printf("=== E5: fan-out broadcast analysis profile (Section IX) "
               "===\n\n");
   std::printf("paper (2.8 GHz Opteron prototype):\n");
@@ -85,19 +131,22 @@ int main() {
 
   const int Repeats = 1;
   std::printf("this implementation (per analysis of the same kernel):\n");
-  std::printf("%-9s %12s %12s %8s %9s %9s %9s %9s %10s\n", "backend",
-              "total(ms)", "closure(ms)", "frac", "fullCls", "avgVars",
-              "incrCls", "avgVars", "converged");
+  std::printf("%-9s %12s %12s %8s %9s %9s %9s %9s %7s %8s %8s %10s\n",
+              "backend", "total(ms)", "closure(ms)", "frac", "fullCls",
+              "avgVars", "incrCls", "avgVars", "copies", "detaches",
+              "memoHit", "converged");
   for (auto [Backend, Name] :
        {std::pair{DbmBackend::MapBased, "map"},
         std::pair{DbmBackend::Dense, "dense"}}) {
     ProfileRow Row = profileRun(Backend, Name, Repeats);
-    std::printf("%-9s %12.3f %12.3f %7.1f%% %9ld %9.1f %9ld %9.1f %10s\n",
+    std::printf("%-9s %12.3f %12.3f %7.1f%% %9ld %9.1f %9ld %9.1f %7ld "
+                "%8ld %8ld %10s\n",
                 Row.Backend, Row.TotalSec * 1e3, Row.ClosureSec * 1e3,
                 Row.TotalSec > 0 ? 100.0 * Row.ClosureSec / Row.TotalSec
                                  : 0.0,
                 Row.FullCalls, Row.FullAvgVars, Row.IncrCalls,
-                Row.IncrAvgVars, Row.Converged ? "yes" : "no");
+                Row.IncrAvgVars, Row.CowCopies, Row.CowDetaches,
+                Row.MemoHits, Row.Converged ? "yes" : "no");
   }
   std::printf("\nshape checks (vs paper):\n");
   std::printf("  * closure work dominates the analysis on the map backend "

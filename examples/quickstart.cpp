@@ -63,10 +63,11 @@ int main() {
 
   // The paper's contrast: a traditional per-process constant propagation
   // sees `recv` as an unknown value and proves nothing here.
-  auto Seq = computeSeqConstants(Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  auto Seq = computeSeqConstants(Graph, Syms);
   unsigned SeqProved = 0;
   for (const CfgNode &N : Graph.nodes())
-    if (N.Kind == CfgNodeKind::Print && seqConstantAt(Seq, N.Id, "y"))
+    if (N.Kind == CfgNodeKind::Print && seqConstantAt(Seq, *Syms, N.Id, "y"))
       ++SeqProved;
   std::printf("\ntraditional sequential constant propagation proves %u of "
               "2 prints\n(\"neither task can be accomplished by "

@@ -115,13 +115,14 @@ void lintUseBeforeInit(const Cfg &Graph, DiagnosticEngine &Diags) {
   // Variables never assigned anywhere are external parameters (sema already
   // warns about them); only flag variables the program does assign, but not
   // on every path reaching the use.
-  std::set<std::string> AssignedSomewhere;
+  auto Syms = std::make_shared<SymbolTable>();
+  std::set<VarId> AssignedSomewhere;
   for (const CfgNode &Node : Graph.nodes())
     if (Node.Kind == CfgNodeKind::Assign || Node.Kind == CfgNodeKind::Recv)
-      AssignedSomewhere.insert(Node.Var);
+      AssignedSomewhere.insert(Syms->intern(Node.Var));
 
   DataflowResult<DefiniteAssignDomain> Assigned =
-      computeDefiniteAssigns(Graph);
+      computeDefiniteAssigns(Graph, Syms);
 
   for (const CfgNode &Node : Graph.nodes()) {
     const DefiniteAssignDomain::Fact &In = Assigned.In[Node.Id];
@@ -129,7 +130,8 @@ void lintUseBeforeInit(const Cfg &Graph, DiagnosticEngine &Diags) {
       std::vector<std::pair<std::string, SourceLoc>> Reads;
       collectVarReads(E, Reads);
       for (const auto &[Var, Loc] : Reads) {
-        if (!AssignedSomewhere.count(Var) || In.contains(Var))
+        auto Id = Syms->lookup(Var);
+        if (!Id || !AssignedSomewhere.count(*Id) || In.contains(*Id))
           continue;
         Diags.report(makeDiag(
             "use-before-init", DiagSeverity::Warning,
@@ -147,11 +149,13 @@ void lintUseBeforeInit(const Cfg &Graph, DiagnosticEngine &Diags) {
 //===----------------------------------------------------------------------===//
 
 void lintDeadStore(const Cfg &Graph, DiagnosticEngine &Diags) {
-  DataflowResult<LiveVarsDomain> Live = computeLiveVars(Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  DataflowResult<LiveVarsDomain> Live = computeLiveVars(Graph, Syms);
   for (const CfgNode &Node : Graph.nodes()) {
     if (Node.Kind != CfgNodeKind::Assign)
       continue;
-    if (Live.Out[Node.Id].count(Node.Var))
+    auto Id = Syms->lookup(Node.Var);
+    if (Id && Live.Out[Node.Id].count(*Id))
       continue;
     Diags.report(makeDiag("dead-store", DiagSeverity::Warning, Node.Loc,
                           "value assigned to '" + Node.Var +

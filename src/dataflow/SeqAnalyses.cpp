@@ -10,6 +10,14 @@
 
 using namespace csdf;
 
+namespace {
+
+SymbolTablePtr orFresh(SymbolTablePtr Syms) {
+  return Syms ? std::move(Syms) : std::make_shared<SymbolTable>();
+}
+
+} // namespace
+
 //===----------------------------------------------------------------------===//
 // Reaching definitions
 //===----------------------------------------------------------------------===//
@@ -26,17 +34,18 @@ ReachingDefsDomain::transfer(const Cfg &, const CfgNode &Node,
                              const Fact &In) const {
   if (Node.Kind != CfgNodeKind::Assign && Node.Kind != CfgNodeKind::Recv)
     return In;
+  VarId Var = Syms->intern(Node.Var);
   Fact Out;
   for (const Definition &D : In)
-    if (D.first != Node.Var)
+    if (D.first != Var)
       Out.insert(D);
-  Out.insert({Node.Var, Node.Id});
+  Out.insert({Var, Node.Id});
   return Out;
 }
 
 DataflowResult<ReachingDefsDomain>
-csdf::computeReachingDefs(const Cfg &Graph) {
-  return solveDataflow(Graph, ReachingDefsDomain());
+csdf::computeReachingDefs(const Cfg &Graph, SymbolTablePtr Syms) {
+  return solveDataflow(Graph, ReachingDefsDomain(orFresh(std::move(Syms))));
 }
 
 //===----------------------------------------------------------------------===//
@@ -45,21 +54,21 @@ csdf::computeReachingDefs(const Cfg &Graph) {
 
 namespace {
 
-void addUses(const Expr *E, std::set<std::string> &Into) {
+void addUses(const Expr *E, SymbolTable &Syms, std::set<VarId> &Into) {
   if (!E)
     return;
   std::set<std::string> Vars;
   collectVars(E, Vars);
   for (const std::string &V : Vars)
     if (V != "id" && V != "np")
-      Into.insert(V);
+      Into.insert(Syms.intern(V));
 }
 
 } // namespace
 
 bool LiveVarsDomain::join(Fact &Into, const Fact &From) const {
   bool Changed = false;
-  for (const std::string &V : From)
+  for (VarId V : From)
     Changed |= Into.insert(V).second;
   return Changed;
 }
@@ -69,16 +78,17 @@ LiveVarsDomain::Fact LiveVarsDomain::transfer(const Cfg &,
                                               const Fact &In) const {
   Fact Out = In;
   if (Node.Kind == CfgNodeKind::Assign || Node.Kind == CfgNodeKind::Recv)
-    Out.erase(Node.Var);
-  addUses(Node.Value, Out);
-  addUses(Node.Cond, Out);
-  addUses(Node.Partner, Out);
-  addUses(Node.Tag, Out);
+    Out.erase(Syms->intern(Node.Var));
+  addUses(Node.Value, *Syms, Out);
+  addUses(Node.Cond, *Syms, Out);
+  addUses(Node.Partner, *Syms, Out);
+  addUses(Node.Tag, *Syms, Out);
   return Out;
 }
 
-DataflowResult<LiveVarsDomain> csdf::computeLiveVars(const Cfg &Graph) {
-  return solveDataflow(Graph, LiveVarsDomain());
+DataflowResult<LiveVarsDomain>
+csdf::computeLiveVars(const Cfg &Graph, SymbolTablePtr Syms) {
+  return solveDataflow(Graph, LiveVarsDomain(orFresh(std::move(Syms))));
 }
 
 //===----------------------------------------------------------------------===//
@@ -112,13 +122,14 @@ DefiniteAssignDomain::transfer(const Cfg &, const CfgNode &Node,
     return In;
   Fact Out = In;
   if (!Out.IsTop)
-    Out.Vars.insert(Node.Var);
+    Out.Vars.insert(Syms->intern(Node.Var));
   return Out;
 }
 
 DataflowResult<DefiniteAssignDomain>
-csdf::computeDefiniteAssigns(const Cfg &Graph) {
-  return solveDataflow(Graph, DefiniteAssignDomain());
+csdf::computeDefiniteAssigns(const Cfg &Graph, SymbolTablePtr Syms) {
+  return solveDataflow(Graph,
+                       DefiniteAssignDomain(orFresh(std::move(Syms))));
 }
 
 //===----------------------------------------------------------------------===//
@@ -146,10 +157,14 @@ bool mergeConst(ConstVal &Into, const ConstVal &From) {
 
 /// Evaluates \p E with the constants known in \p In; anything else (a
 /// non-constant variable, input(), division by zero) is NonConst.
-ConstVal evalConst(const Expr *E, const SeqConstDomain::Fact &In) {
+ConstVal evalConst(const Expr *E, const SymbolTable &Syms,
+                   const SeqConstDomain::Fact &In) {
   auto V = evalExpr(E, [&](const std::string &Name)
                            -> std::optional<std::int64_t> {
-    auto It = In.find(Name);
+    auto Id = Syms.lookup(Name);
+    if (!Id)
+      return std::nullopt;
+    auto It = In.find(*Id);
     if (It == In.end() || !It->second.isConst())
       return std::nullopt;
     return It->second.Value;
@@ -172,11 +187,11 @@ SeqConstDomain::Fact SeqConstDomain::transfer(const Cfg &,
   Fact Out = In;
   switch (Node.Kind) {
   case CfgNodeKind::Assign:
-    Out[Node.Var] = evalConst(Node.Value, In);
+    Out[Syms->intern(Node.Var)] = evalConst(Node.Value, *Syms, In);
     return Out;
   case CfgNodeKind::Recv:
     // The sequential view cannot know what arrives.
-    Out[Node.Var] = ConstVal::nonConst();
+    Out[Syms->intern(Node.Var)] = ConstVal::nonConst();
     return Out;
   default:
     return Out;
@@ -184,15 +199,19 @@ SeqConstDomain::Fact SeqConstDomain::transfer(const Cfg &,
 }
 
 DataflowResult<SeqConstDomain>
-csdf::computeSeqConstants(const Cfg &Graph) {
-  return solveDataflow(Graph, SeqConstDomain());
+csdf::computeSeqConstants(const Cfg &Graph, SymbolTablePtr Syms) {
+  return solveDataflow(Graph, SeqConstDomain(orFresh(std::move(Syms))));
 }
 
 std::optional<std::int64_t>
-csdf::seqConstantAt(const DataflowResult<SeqConstDomain> &R, CfgNodeId Node,
+csdf::seqConstantAt(const DataflowResult<SeqConstDomain> &R,
+                    const SymbolTable &Syms, CfgNodeId Node,
                     const std::string &Var) {
+  auto Id = Syms.lookup(Var);
+  if (!Id)
+    return std::nullopt;
   const auto &Fact = R.In[Node];
-  auto It = Fact.find(Var);
+  auto It = Fact.find(*Id);
   if (It == Fact.end() || !It->second.isConst())
     return std::nullopt;
   return It->second.Value;

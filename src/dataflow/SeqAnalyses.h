@@ -14,12 +14,19 @@
 ///     and `input()` as an unknown value. It therefore cannot prove the
 ///     Figure 2 prints, which the pCFG analysis can (tested).
 ///
+/// All four domains intern variable names into a SymbolTable, so the facts
+/// iterated at every CFG node are sets/maps of dense VarIds rather than
+/// strings. Each compute* wrapper accepts the analysis run's shared table
+/// (creating a private one when passed nullptr); name-level queries go
+/// through that table.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSDF_DATAFLOW_SEQANALYSES_H
 #define CSDF_DATAFLOW_SEQANALYSES_H
 
 #include "dataflow/Dataflow.h"
+#include "numeric/SymbolTable.h"
 
 #include <cstdint>
 #include <map>
@@ -33,23 +40,28 @@ namespace csdf {
 // Reaching definitions
 //===----------------------------------------------------------------------===//
 
-/// A definition site: the variable and the CFG node that assigns it
-/// (Assign or Recv).
-using Definition = std::pair<std::string, CfgNodeId>;
+/// A definition site: the (interned) variable and the CFG node that
+/// assigns it (Assign or Recv).
+using Definition = std::pair<VarId, CfgNodeId>;
 
 /// Forward may-analysis: which definitions may reach each point.
 struct ReachingDefsDomain {
   using Fact = std::set<Definition>;
   static constexpr bool IsForward = true;
 
+  explicit ReachingDefsDomain(SymbolTablePtr Syms) : Syms(std::move(Syms)) {}
+
   Fact boundary(const Cfg &) const { return {}; }
   Fact initial(const Cfg &) const { return {}; }
   bool join(Fact &Into, const Fact &From) const;
   Fact transfer(const Cfg &Graph, const CfgNode &Node, const Fact &In) const;
+
+  SymbolTablePtr Syms;
 };
 
-/// Convenience wrapper.
-DataflowResult<ReachingDefsDomain> computeReachingDefs(const Cfg &Graph);
+/// Convenience wrapper; interns into \p Syms (fresh table when null).
+DataflowResult<ReachingDefsDomain>
+computeReachingDefs(const Cfg &Graph, SymbolTablePtr Syms = nullptr);
 
 //===----------------------------------------------------------------------===//
 // Live variables
@@ -58,16 +70,21 @@ DataflowResult<ReachingDefsDomain> computeReachingDefs(const Cfg &Graph);
 /// Backward may-analysis: which variables may be read before their next
 /// redefinition. `id` and `np` are ambient and excluded.
 struct LiveVarsDomain {
-  using Fact = std::set<std::string>;
+  using Fact = std::set<VarId>;
   static constexpr bool IsForward = false;
+
+  explicit LiveVarsDomain(SymbolTablePtr Syms) : Syms(std::move(Syms)) {}
 
   Fact boundary(const Cfg &) const { return {}; }
   Fact initial(const Cfg &) const { return {}; }
   bool join(Fact &Into, const Fact &From) const;
   Fact transfer(const Cfg &Graph, const CfgNode &Node, const Fact &In) const;
+
+  SymbolTablePtr Syms;
 };
 
-DataflowResult<LiveVarsDomain> computeLiveVars(const Cfg &Graph);
+DataflowResult<LiveVarsDomain>
+computeLiveVars(const Cfg &Graph, SymbolTablePtr Syms = nullptr);
 
 //===----------------------------------------------------------------------===//
 // Definite assignment
@@ -82,9 +99,9 @@ struct DefiniteAssignDomain {
   struct Fact {
     /// Top = assigned-everything, the initial value of unvisited nodes.
     bool IsTop = true;
-    std::set<std::string> Vars;
+    std::set<VarId> Vars;
 
-    bool contains(const std::string &Var) const {
+    bool contains(VarId Var) const {
       return IsTop || Vars.count(Var) != 0;
     }
     bool operator==(const Fact &O) const {
@@ -93,13 +110,18 @@ struct DefiniteAssignDomain {
   };
   static constexpr bool IsForward = true;
 
+  explicit DefiniteAssignDomain(SymbolTablePtr Syms) : Syms(std::move(Syms)) {}
+
   Fact boundary(const Cfg &) const { return {false, {}}; }
   Fact initial(const Cfg &) const { return {true, {}}; }
   bool join(Fact &Into, const Fact &From) const;
   Fact transfer(const Cfg &Graph, const CfgNode &Node, const Fact &In) const;
+
+  SymbolTablePtr Syms;
 };
 
-DataflowResult<DefiniteAssignDomain> computeDefiniteAssigns(const Cfg &Graph);
+DataflowResult<DefiniteAssignDomain>
+computeDefiniteAssigns(const Cfg &Graph, SymbolTablePtr Syms = nullptr);
 
 //===----------------------------------------------------------------------===//
 // Sequential constant propagation
@@ -127,20 +149,27 @@ struct ConstVal {
 /// input() produce NonConst — a sequential analysis has no way to know
 /// what arrives.
 struct SeqConstDomain {
-  using Fact = std::map<std::string, ConstVal>;
+  using Fact = std::map<VarId, ConstVal>;
   static constexpr bool IsForward = true;
+
+  explicit SeqConstDomain(SymbolTablePtr Syms) : Syms(std::move(Syms)) {}
 
   Fact boundary(const Cfg &) const { return {}; }
   Fact initial(const Cfg &) const { return {}; }
   bool join(Fact &Into, const Fact &From) const;
   Fact transfer(const Cfg &Graph, const CfgNode &Node, const Fact &In) const;
+
+  SymbolTablePtr Syms;
 };
 
-DataflowResult<SeqConstDomain> computeSeqConstants(const Cfg &Graph);
+DataflowResult<SeqConstDomain>
+computeSeqConstants(const Cfg &Graph, SymbolTablePtr Syms = nullptr);
 
-/// The constant \p Var provably holds on entry to \p Node, if any.
+/// The constant \p Var provably holds on entry to \p Node, if any. \p Syms
+/// must be the table the analysis interned into.
 std::optional<std::int64_t>
-seqConstantAt(const DataflowResult<SeqConstDomain> &R, CfgNodeId Node,
+seqConstantAt(const DataflowResult<SeqConstDomain> &R,
+              const SymbolTable &Syms, CfgNodeId Node,
               const std::string &Var);
 
 } // namespace csdf

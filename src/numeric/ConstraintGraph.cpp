@@ -14,121 +14,211 @@ using namespace csdf;
 
 static const char *const ZeroVarName = "$0";
 
-ConstraintGraph::ConstraintGraph(DbmBackend Backend, StatsRegistry *Stats)
-    : Backend(Backend), Stats(Stats), Matrix(makeDbmStorage(Backend)) {
-  Names.push_back(ZeroVarName);
-  Matrix->resize(1);
-  Matrix->set(0, 0, 0);
+//===----------------------------------------------------------------------===//
+// ClosureMemo
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<DbmShared>
+ClosureMemo::lookup(std::uint64_t Key, DbmBackend Backend,
+                    const std::vector<std::int64_t> &Pre) const {
+  auto [Lo, Hi] = Entries.equal_range(Key);
+  for (auto It = Lo; It != Hi; ++It)
+    if (It->second.Backend == Backend && It->second.Pre == Pre)
+      return It->second.Closed;
+  return nullptr;
+}
+
+void ClosureMemo::insert(std::uint64_t Key, DbmBackend Backend,
+                         std::vector<std::int64_t> Pre,
+                         std::shared_ptr<DbmShared> Closed) {
+  if (Entries.size() >= MaxEntries)
+    Entries.clear();
+  Entries.emplace(Key, Entry{Backend, std::move(Pre), std::move(Closed)});
+}
+
+//===----------------------------------------------------------------------===//
+// Construction and copying
+//===----------------------------------------------------------------------===//
+
+ConstraintGraph::ConstraintGraph(DbmBackend Backend, StatsRegistry *Stats,
+                                 SymbolTablePtr Syms, ClosureMemoPtr Memo)
+    : Backend(Backend), Stats(Stats),
+      Syms(Syms ? std::move(Syms) : std::make_shared<SymbolTable>()),
+      Memo(std::move(Memo)), Cow(Backend) {
+  if (Stats) {
+    Cells.CowCopies = &Stats->counterCell("cg.cow.copies");
+    Cells.CowDetaches = &Stats->counterCell("cg.cow.detaches");
+    Cells.FullCalls = &Stats->counterCell("cg.closure.full.calls");
+    Cells.FullVarsum = &Stats->counterCell("cg.closure.full.varsum");
+    Cells.IncrCalls = &Stats->counterCell("cg.closure.incr.calls");
+    Cells.IncrVarsum = &Stats->counterCell("cg.closure.incr.varsum");
+    Cells.MemoHits = &Stats->counterCell("cg.closure.memo.hits");
+    Cells.MemoMisses = &Stats->counterCell("cg.closure.memo.misses");
+    Cells.ClosureNanos = &Stats->nanosCell("cg.closure.seconds");
+  }
+  Vars.push_back(this->Syms->intern(ZeroVarName));
+  DbmShared &B = Cow.rwShared(); // Freshly created: nothing shares it yet.
+  B.M->resize(1);
+  B.M->set(0, 0, 0);
 }
 
 ConstraintGraph::ConstraintGraph(const ConstraintGraph &O)
-    : Backend(O.Backend), Stats(O.Stats), Names(O.Names),
-      Matrix(O.Matrix->clone()), Closed(O.Closed), Feasible(O.Feasible),
-      PendingEdge(O.PendingEdge) {}
+    : Backend(O.Backend), Stats(O.Stats), Cells(O.Cells), Syms(O.Syms),
+      Memo(O.Memo), Vars(O.Vars), Cow(O.Cow) {
+  bump(Cells.CowCopies);
+}
 
 ConstraintGraph &ConstraintGraph::operator=(const ConstraintGraph &O) {
   if (this == &O)
     return *this;
   Backend = O.Backend;
   Stats = O.Stats;
-  Names = O.Names;
-  Matrix = O.Matrix->clone();
-  Closed = O.Closed;
-  Feasible = O.Feasible;
-  PendingEdge = O.PendingEdge;
+  Cells = O.Cells;
+  Syms = O.Syms;
+  Memo = O.Memo;
+  Vars = O.Vars;
+  Cow = O.Cow;
+  bump(Cells.CowCopies);
   return *this;
 }
 
-unsigned ConstraintGraph::ensureVar(const std::string &Name) {
-  assert(Name != ZeroVarName && "the zero variable is internal");
-  for (unsigned I = 1; I < Names.size(); ++I)
-    if (Names[I] == Name)
-      return I;
-  Names.push_back(Name);
-  unsigned Idx = static_cast<unsigned>(Names.size()) - 1;
-  Matrix->resize(Idx + 1);
-  Matrix->set(Idx, Idx, 0);
-  // Adding an unconstrained variable preserves closure.
-  return Idx;
+DbmShared &ConstraintGraph::mutableBlock() {
+  if (Cow.detach())
+    bump(Cells.CowDetaches);
+  return Cow.rwShared();
 }
 
-std::optional<unsigned> ConstraintGraph::findVar(const std::string &Name)
-    const {
-  for (unsigned I = 1; I < Names.size(); ++I)
-    if (Names[I] == Name)
+//===----------------------------------------------------------------------===//
+// Variables
+//===----------------------------------------------------------------------===//
+
+std::optional<unsigned> ConstraintGraph::slotOf(VarId Id) const {
+  for (unsigned I = 0; I < Vars.size(); ++I)
+    if (Vars[I] == Id)
       return I;
   return std::nullopt;
 }
 
+unsigned ConstraintGraph::ensureSlot(VarId Id) {
+  if (auto Slot = slotOf(Id))
+    return *Slot;
+  Vars.push_back(Id);
+  unsigned Slot = static_cast<unsigned>(Vars.size()) - 1;
+  DbmShared &B = mutableBlock();
+  B.M->resize(Slot + 1);
+  B.M->set(Slot, Slot, 0);
+  // Adding an unconstrained variable preserves closure.
+  return Slot;
+}
+
+std::optional<unsigned>
+ConstraintGraph::slotForOther(const ConstraintGraph &O, VarId Id) const {
+  if (Syms == O.Syms)
+    return slotOf(Id);
+  auto Mine = Syms->lookup(O.Syms->name(Id));
+  if (!Mine)
+    return std::nullopt;
+  return slotOf(*Mine);
+}
+
+unsigned ConstraintGraph::ensureVar(const std::string &Name) {
+  assert(Name != ZeroVarName && "the zero variable is internal");
+  return ensureSlot(Syms->intern(Name));
+}
+
+std::optional<unsigned> ConstraintGraph::findVar(const std::string &Name)
+    const {
+  auto Id = Syms->lookup(Name);
+  if (!Id)
+    return std::nullopt;
+  auto Slot = slotOf(*Id);
+  if (!Slot || *Slot == 0)
+    return std::nullopt;
+  return Slot;
+}
+
 std::vector<std::string> ConstraintGraph::varNames() const {
-  return std::vector<std::string>(Names.begin() + 1, Names.end());
+  std::vector<std::string> Names;
+  Names.reserve(Vars.size() - 1);
+  for (unsigned I = 1; I < Vars.size(); ++I)
+    Names.push_back(Syms->name(Vars[I]));
+  return Names;
 }
 
 void ConstraintGraph::removeVar(const std::string &Name) {
-  auto Idx = findVar(Name);
-  if (!Idx)
+  auto Slot = findVar(Name);
+  if (!Slot)
     return;
   close();
-  Matrix->removeVar(*Idx);
-  Names.erase(Names.begin() + *Idx);
+  mutableBlock().M->removeVar(*Slot);
+  Vars.erase(Vars.begin() + *Slot);
   // Projection of a closed matrix is closed.
 }
 
 void ConstraintGraph::renameVars(
     const std::vector<std::pair<std::string, std::string>> &Renames) {
-  for (std::string &Name : Names) {
+  for (VarId &Id : Vars) {
+    const std::string &Name = Syms->name(Id);
     for (const auto &[From, To] : Renames) {
       if (Name == From) {
-        Name = To;
+        Id = Syms->intern(To);
         break;
       }
     }
   }
 #ifndef NDEBUG
-  for (unsigned I = 0; I < Names.size(); ++I)
-    for (unsigned J = I + 1; J < Names.size(); ++J)
-      assert(Names[I] != Names[J] && "rename produced duplicate variables");
+  for (unsigned I = 0; I < Vars.size(); ++I)
+    for (unsigned J = I + 1; J < Vars.size(); ++J)
+      assert(Vars[I] != Vars[J] && "rename produced duplicate variables");
 #endif
 }
+
+//===----------------------------------------------------------------------===//
+// Constraints and transfer
+//===----------------------------------------------------------------------===//
 
 std::pair<unsigned, std::int64_t> ConstraintGraph::encode(
     const LinearExpr &E) {
   if (E.isConstant())
-    return {zeroIdx(), E.constant()};
+    return {zeroSlot(), E.constant()};
   return {ensureVar(E.var()), E.constant()};
 }
 
 std::optional<std::pair<unsigned, std::int64_t>>
 ConstraintGraph::encodeConst(const LinearExpr &E) const {
   if (E.isConstant())
-    return std::pair(zeroIdx(), E.constant());
-  auto Idx = findVar(E.var());
-  if (!Idx)
+    return std::pair(zeroSlot(), E.constant());
+  auto Slot = findVar(E.var());
+  if (!Slot)
     return std::nullopt;
-  return std::pair(*Idx, E.constant());
+  return std::pair(*Slot, E.constant());
 }
 
 void ConstraintGraph::addEdge(unsigned I, unsigned J, std::int64_t C) {
-  if (!Feasible)
+  if (!Cow.ro().Feasible)
     return;
   if (I == J) {
     if (C < 0)
-      Feasible = false;
+      mutableBlock().Feasible = false;
     return;
   }
-  std::int64_t Old = Matrix->get(I, J);
+  std::int64_t Old = Cow.ro().M->get(I, J);
   if (C >= Old)
     return;
-  // Repair any previously pending edge first so the O(n^2) path stays
-  // applicable for this one.
-  if (!Closed && PendingEdge)
+  // On a warm matrix (closed at least once — the engine's steady state),
+  // repair a previously pending edge eagerly so the O(n^2) path stays
+  // applicable for this one. A cold matrix is still being built: batch
+  // every tightening and pay one full closure at the first query, which
+  // the ClosureMemo can satisfy when an identical graph was built before.
+  if (!Cow.ro().Closed && Cow.ro().PendingEdge && Cow.ro().EverClosed)
     close();
-  Matrix->set(I, J, C);
-  if (Closed) {
-    Closed = false;
-    PendingEdge = {I, J};
+  DbmShared &B = mutableBlock();
+  B.M->set(I, J, C);
+  if (B.Closed) {
+    B.Closed = false;
+    B.PendingEdge = {I, J};
   } else {
-    PendingEdge.reset();
+    B.PendingEdge.reset();
   }
 }
 
@@ -149,11 +239,11 @@ void ConstraintGraph::addEQ(const LinearExpr &Lhs, const LinearExpr &Rhs) {
 }
 
 void ConstraintGraph::addUpperBound(const std::string &Var, std::int64_t C) {
-  addEdge(ensureVar(Var), zeroIdx(), C);
+  addEdge(ensureVar(Var), zeroSlot(), C);
 }
 
 void ConstraintGraph::addLowerBound(const std::string &Var, std::int64_t C) {
-  addEdge(zeroIdx(), ensureVar(Var), -C);
+  addEdge(zeroSlot(), ensureVar(Var), -C);
 }
 
 void ConstraintGraph::assign(const std::string &X, const LinearExpr &E) {
@@ -163,15 +253,16 @@ void ConstraintGraph::assign(const std::string &X, const LinearExpr &E) {
     if (C == 0)
       return;
     close();
-    if (!Feasible)
+    if (!Cow.ro().Feasible)
       return;
     unsigned I = ensureVar(X);
-    unsigned N = static_cast<unsigned>(Names.size());
+    unsigned N = static_cast<unsigned>(Vars.size());
+    DbmShared &B = mutableBlock();
     for (unsigned J = 0; J < N; ++J) {
       if (J == I)
         continue;
-      Matrix->set(I, J, dbmAdd(Matrix->get(I, J), C));
-      Matrix->set(J, I, dbmAdd(Matrix->get(J, I), -C));
+      B.M->set(I, J, dbmAdd(B.M->get(I, J), C));
+      B.M->set(J, I, dbmAdd(B.M->get(J, I), -C));
     }
     // Uniform row/column shifts preserve closure.
     return;
@@ -181,89 +272,120 @@ void ConstraintGraph::assign(const std::string &X, const LinearExpr &E) {
 }
 
 void ConstraintGraph::havoc(const std::string &X) {
-  auto Idx = findVar(X);
-  if (!Idx)
+  auto Slot = findVar(X);
+  if (!Slot)
     return;
   close();
-  unsigned N = static_cast<unsigned>(Names.size());
+  unsigned N = static_cast<unsigned>(Vars.size());
+  DbmShared &B = mutableBlock();
   for (unsigned J = 0; J < N; ++J) {
-    if (J == *Idx)
+    if (J == *Slot)
       continue;
-    Matrix->set(*Idx, J, DbmInfinity);
-    Matrix->set(J, *Idx, DbmInfinity);
+    B.M->set(*Slot, J, DbmInfinity);
+    B.M->set(J, *Slot, DbmInfinity);
   }
   // Dropping all edges of one variable preserves closure.
 }
 
+//===----------------------------------------------------------------------===//
+// Closure
+//===----------------------------------------------------------------------===//
+
 bool ConstraintGraph::isFeasible() const {
   close();
-  return Feasible;
+  return Cow.ro().Feasible;
 }
 
 void ConstraintGraph::close() const {
-  if (Closed || !Feasible)
-    return;
-  if (PendingEdge) {
-    closeAfterEdge(PendingEdge->first, PendingEdge->second);
-    PendingEdge.reset();
-    Closed = true;
+  {
+    const DbmShared &B = Cow.ro();
+    if (B.Closed || !B.Feasible)
+      return;
+  }
+  // Closing canonicalizes the represented constraint set without changing
+  // it, so the work happens in the *shared* block: every copy still
+  // sharing it observes the result.
+  DbmShared &B = Cow.rwShared();
+  B.EverClosed = true;
+  if (B.PendingEdge) {
+    auto [I, J] = *B.PendingEdge;
+    B.PendingEdge.reset();
+    closeAfterEdge(B, I, J);
+    B.Closed = true;
     return;
   }
-  fullClose();
-  Closed = true;
+  if (Memo) {
+    std::uint64_t Key = dbmFingerprint(*B.M);
+    std::vector<std::int64_t> Pre = dbmSnapshot(*B.M);
+    if (auto Hit = Memo->lookup(Key, Backend, Pre)) {
+      Cow.adopt(std::move(Hit));
+      bump(Cells.MemoHits);
+      return;
+    }
+    fullClose(B);
+    B.Closed = true;
+    bump(Cells.MemoMisses);
+    Memo->insert(Key, Backend, std::move(Pre), Cow.block());
+    return;
+  }
+  fullClose(B);
+  B.Closed = true;
 }
 
-void ConstraintGraph::fullClose() const {
-  unsigned N = static_cast<unsigned>(Names.size());
-  if (Stats) {
-    Stats->addCounter("cg.closure.full.calls");
-    Stats->addCounter("cg.closure.full.varsum", N);
-  }
-  ScopedTimer Timer(*Stats, "cg.closure.seconds");
+void ConstraintGraph::fullClose(DbmShared &B) const {
+  unsigned N = static_cast<unsigned>(Vars.size());
+  bump(Cells.FullCalls);
+  bump(Cells.FullVarsum, N);
+  ScopedNanoTimer Timer(Cells.ClosureNanos);
+  DbmStorage &M = *B.M;
   for (unsigned K = 0; K < N; ++K) {
     for (unsigned I = 0; I < N; ++I) {
-      std::int64_t BIK = Matrix->get(I, K);
+      std::int64_t BIK = M.get(I, K);
       if (BIK >= DbmInfinity)
         continue;
       for (unsigned J = 0; J < N; ++J) {
-        std::int64_t Through = dbmAdd(BIK, Matrix->get(K, J));
-        if (Through < Matrix->get(I, J))
-          Matrix->set(I, J, Through);
+        std::int64_t Through = dbmAdd(BIK, M.get(K, J));
+        if (Through < M.get(I, J))
+          M.set(I, J, Through);
       }
     }
   }
   for (unsigned I = 0; I < N; ++I) {
-    if (Matrix->get(I, I) < 0) {
-      Feasible = false;
+    if (M.get(I, I) < 0) {
+      B.Feasible = false;
       return;
     }
   }
 }
 
-void ConstraintGraph::closeAfterEdge(unsigned I, unsigned J) const {
-  unsigned N = static_cast<unsigned>(Names.size());
-  if (Stats) {
-    Stats->addCounter("cg.closure.incr.calls");
-    Stats->addCounter("cg.closure.incr.varsum", N);
-  }
-  ScopedTimer Timer(*Stats, "cg.closure.seconds");
-  std::int64_t C = Matrix->get(I, J);
-  if (dbmAdd(Matrix->get(J, I), C) < 0) {
-    Feasible = false;
+void ConstraintGraph::closeAfterEdge(DbmShared &B, unsigned I,
+                                     unsigned J) const {
+  unsigned N = static_cast<unsigned>(Vars.size());
+  bump(Cells.IncrCalls);
+  bump(Cells.IncrVarsum, N);
+  ScopedNanoTimer Timer(Cells.ClosureNanos);
+  DbmStorage &M = *B.M;
+  std::int64_t C = M.get(I, J);
+  if (dbmAdd(M.get(J, I), C) < 0) {
+    B.Feasible = false;
     return;
   }
   for (unsigned A = 0; A < N; ++A) {
-    std::int64_t AI = Matrix->get(A, I);
+    std::int64_t AI = M.get(A, I);
     if (AI >= DbmInfinity)
       continue;
     std::int64_t AIC = dbmAdd(AI, C);
-    for (unsigned B = 0; B < N; ++B) {
-      std::int64_t Through = dbmAdd(AIC, Matrix->get(J, B));
-      if (Through < Matrix->get(A, B))
-        Matrix->set(A, B, Through);
+    for (unsigned Bc = 0; Bc < N; ++Bc) {
+      std::int64_t Through = dbmAdd(AIC, M.get(J, Bc));
+      if (Through < M.get(A, Bc))
+        M.set(A, Bc, Through);
     }
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
 
 bool ConstraintGraph::provesLE(const LinearExpr &Lhs,
                                const LinearExpr &Rhs) const {
@@ -279,12 +401,46 @@ bool ConstraintGraph::provesLE(const LinearExpr &Lhs,
   if (!L || !R)
     return false;
   close();
-  return Matrix->get(L->first, R->first) <= R->second - L->second;
+  return Cow.ro().M->get(L->first, R->first) <= R->second - L->second;
 }
 
 bool ConstraintGraph::provesEQ(const LinearExpr &Lhs,
                                const LinearExpr &Rhs) const {
   return provesLE(Lhs, Rhs) && provesLE(Rhs, Lhs);
+}
+
+ConstraintGraph::ResolvedForm ConstraintGraph::resolve(
+    const LinearExpr &E) const {
+  ResolvedForm R;
+  R.C = E.constant();
+  if (E.isConstant()) {
+    R.IsConst = true;
+    R.Known = true;
+    R.Slot = zeroSlot();
+    return R;
+  }
+  // Intern even unknown variables: ids make the same-variable fast path an
+  // integer compare, and the shared table is append-only.
+  R.Id = Syms->intern(E.var());
+  if (auto Slot = slotOf(R.Id); Slot && *Slot != 0) {
+    R.Known = true;
+    R.Slot = *Slot;
+  }
+  return R;
+}
+
+bool ConstraintGraph::provesLE(const ResolvedForm &Lhs,
+                               const ResolvedForm &Rhs) const {
+  if (!isFeasible())
+    return true;
+  if (Lhs.IsConst && Rhs.IsConst)
+    return Lhs.C <= Rhs.C;
+  if (!Lhs.IsConst && !Rhs.IsConst && Lhs.Id == Rhs.Id)
+    return Lhs.C <= Rhs.C;
+  if (!Lhs.Known || !Rhs.Known)
+    return false;
+  close();
+  return Cow.ro().M->get(Lhs.Slot, Rhs.Slot) <= Rhs.C - Lhs.C;
 }
 
 std::optional<std::int64_t> ConstraintGraph::bestBound(
@@ -294,7 +450,7 @@ std::optional<std::int64_t> ConstraintGraph::bestBound(
   if (!I || !J || !isFeasible())
     return std::nullopt;
   close();
-  std::int64_t Bound = Matrix->get(*I, *J);
+  std::int64_t Bound = Cow.ro().M->get(*I, *J);
   if (Bound >= DbmInfinity)
     return std::nullopt;
   return Bound;
@@ -311,12 +467,12 @@ std::optional<std::int64_t> ConstraintGraph::offsetBetween(
 
 std::optional<std::int64_t> ConstraintGraph::constValue(
     const std::string &Var) const {
-  auto Idx = findVar(Var);
-  if (!Idx || !isFeasible())
+  auto Slot = findVar(Var);
+  if (!Slot || !isFeasible())
     return std::nullopt;
   close();
-  std::int64_t Up = Matrix->get(*Idx, zeroIdx());
-  std::int64_t Down = Matrix->get(zeroIdx(), *Idx);
+  std::int64_t Up = Cow.ro().M->get(*Slot, zeroSlot());
+  std::int64_t Down = Cow.ro().M->get(zeroSlot(), *Slot);
   if (Up < DbmInfinity && Down < DbmInfinity && Up == -Down)
     return Up;
   return std::nullopt;
@@ -332,29 +488,34 @@ std::vector<LinearExpr> ConstraintGraph::equivalentForms(
     return Forms;
   close();
   auto [I, C] = *Base;
-  unsigned N = static_cast<unsigned>(Names.size());
+  const DbmStorage &M = *Cow.ro().M;
+  unsigned N = static_cast<unsigned>(Vars.size());
   for (unsigned V = 0; V < N; ++V) {
     if (V == I)
       continue;
-    std::int64_t Up = Matrix->get(V, I);
-    std::int64_t Down = Matrix->get(I, V);
+    std::int64_t Up = M.get(V, I);
+    std::int64_t Down = M.get(I, V);
     if (Up >= DbmInfinity || Down >= DbmInfinity || Up != -Down)
       continue;
     // v == v_I + Up, so v_I + C == v + (C - Up); when v is the zero
     // variable the form is the constant C - Up.
-    if (V == zeroIdx())
+    if (V == zeroSlot())
       Forms.push_back(LinearExpr(C - Up));
     else
-      Forms.push_back(LinearExpr(Names[V], C - Up));
+      Forms.push_back(LinearExpr(Syms->name(Vars[V]), C - Up));
   }
   return Forms;
 }
 
+//===----------------------------------------------------------------------===//
+// Lattice operations
+//===----------------------------------------------------------------------===//
+
 namespace {
 
-/// Bound of (I, J) in \p G's closed matrix seen through the union variable
-/// list \p UnionNames, where \p Map holds each union variable's index in G
-/// (or nullopt when G lacks it).
+/// Bound of (I, J) in a closed matrix seen through a union variable list,
+/// where \p Map holds each union variable's slot (or nullopt when the
+/// graph lacks it).
 std::int64_t boundThrough(const DbmStorage &M,
                           const std::vector<std::optional<unsigned>> &Map,
                           unsigned I, unsigned J) {
@@ -375,39 +536,42 @@ void ConstraintGraph::joinWith(const ConstraintGraph &O) {
   close();
   O.close();
 
-  // Build the union variable list using this graph's indices, extending
-  // with O's extra variables.
-  std::vector<std::string> UnionNames = Names;
-  for (unsigned I = 1; I < O.Names.size(); ++I)
-    if (std::find(UnionNames.begin(), UnionNames.end(), O.Names[I]) ==
-        UnionNames.end())
-      UnionNames.push_back(O.Names[I]);
-
-  std::vector<std::optional<unsigned>> MapThis(UnionNames.size());
-  std::vector<std::optional<unsigned>> MapO(UnionNames.size());
-  for (unsigned U = 0; U < UnionNames.size(); ++U) {
-    for (unsigned I = 0; I < Names.size(); ++I)
-      if (Names[I] == UnionNames[U])
-        MapThis[U] = I;
-    for (unsigned I = 0; I < O.Names.size(); ++I)
-      if (O.Names[I] == UnionNames[U])
-        MapO[U] = I;
+  // Build the union variable list using this graph's slots, extending
+  // with O's extra variables (translated through names when the tables
+  // differ).
+  std::vector<VarId> UnionIds = Vars;
+  for (unsigned I = 1; I < O.Vars.size(); ++I) {
+    VarId Mine = Syms == O.Syms ? O.Vars[I]
+                                : Syms->intern(O.Syms->name(O.Vars[I]));
+    if (std::find(UnionIds.begin(), UnionIds.end(), Mine) == UnionIds.end())
+      UnionIds.push_back(Mine);
   }
 
-  auto NewMatrix = makeDbmStorage(Backend);
-  NewMatrix->resize(static_cast<unsigned>(UnionNames.size()));
-  for (unsigned I = 0; I < UnionNames.size(); ++I)
-    for (unsigned J = 0; J < UnionNames.size(); ++J) {
-      std::int64_t A = boundThrough(*Matrix, MapThis, I, J);
-      std::int64_t B = boundThrough(*O.Matrix, MapO, I, J);
-      NewMatrix->set(I, J, std::max(A, B));
+  std::vector<std::optional<unsigned>> MapThis(UnionIds.size());
+  std::vector<std::optional<unsigned>> MapO(UnionIds.size());
+  for (unsigned U = 0; U < UnionIds.size(); ++U) {
+    MapThis[U] = slotOf(UnionIds[U]);
+    MapO[U] = O.slotForOther(*this, UnionIds[U]);
+  }
+
+  auto NewStorage = makeDbmStorage(Backend);
+  NewStorage->resize(static_cast<unsigned>(UnionIds.size()));
+  const DbmStorage &MThis = *Cow.ro().M;
+  const DbmStorage &MO = *O.Cow.ro().M;
+  for (unsigned I = 0; I < UnionIds.size(); ++I)
+    for (unsigned J = 0; J < UnionIds.size(); ++J) {
+      std::int64_t A = boundThrough(MThis, MapThis, I, J);
+      std::int64_t B = boundThrough(MO, MapO, I, J);
+      NewStorage->set(I, J, std::max(A, B));
     }
-  Names = std::move(UnionNames);
-  Matrix = std::move(NewMatrix);
-  // Pointwise max of closed matrices is closed.
-  Closed = true;
-  PendingEdge.reset();
-  Feasible = true;
+  Vars = std::move(UnionIds);
+  auto NewBlock = std::make_shared<DbmShared>(std::move(NewStorage));
+  // Pointwise max of closed matrices is closed (and warm: later
+  // tightenings should repair eagerly).
+  NewBlock->Closed = true;
+  NewBlock->EverClosed = true;
+  NewBlock->Feasible = true;
+  Cow.adopt(std::move(NewBlock));
 }
 
 void ConstraintGraph::widenWith(const ConstraintGraph &O) {
@@ -422,20 +586,20 @@ void ConstraintGraph::widenWith(const ConstraintGraph &O) {
   // Keep a bound of *this only when O does not weaken it; drop everything
   // else to infinity. Variables O lacks are unconstrained there, so their
   // bounds drop too.
-  unsigned N = static_cast<unsigned>(Names.size());
+  unsigned N = static_cast<unsigned>(Vars.size());
   std::vector<std::optional<unsigned>> MapO(N);
   for (unsigned I = 0; I < N; ++I)
-    for (unsigned J = 0; J < O.Names.size(); ++J)
-      if (O.Names[J] == Names[I])
-        MapO[I] = J;
+    MapO[I] = O.slotForOther(*this, Vars[I]);
+  DbmShared &B = mutableBlock();
+  const DbmStorage &MO = *O.Cow.ro().M;
   for (unsigned I = 0; I < N; ++I) {
     for (unsigned J = 0; J < N; ++J) {
       if (I == J)
         continue;
-      std::int64_t Mine = Matrix->get(I, J);
+      std::int64_t Mine = B.M->get(I, J);
       if (Mine >= DbmInfinity)
         continue;
-      std::int64_t Theirs = boundThrough(*O.Matrix, MapO, I, J);
+      std::int64_t Theirs = boundThrough(MO, MapO, I, J);
       if (Theirs <= Mine)
         continue;
       // Widen with thresholds: rather than dropping straight to infinity,
@@ -452,33 +616,40 @@ void ConstraintGraph::widenWith(const ConstraintGraph &O) {
           break;
         }
       }
-      Matrix->set(I, J, Widened);
+      B.M->set(I, J, Widened);
     }
   }
   // A widened matrix is not re-closed: closing could re-tighten dropped
   // bounds and break the finite-ascent guarantee.
-  Closed = true;
-  PendingEdge.reset();
+  B.Closed = true;
+  B.PendingEdge.reset();
 }
 
 void ConstraintGraph::meetWith(const ConstraintGraph &O) {
   if (!isFeasible())
     return;
   if (!O.isFeasible()) {
-    Feasible = false;
+    mutableBlock().Feasible = false;
     return;
   }
   O.close();
-  for (unsigned I = 0; I < O.Names.size(); ++I) {
-    for (unsigned J = 0; J < O.Names.size(); ++J) {
+  unsigned ON = static_cast<unsigned>(O.Vars.size());
+  for (unsigned I = 0; I < ON; ++I) {
+    for (unsigned J = 0; J < ON; ++J) {
       if (I == J)
         continue;
-      std::int64_t Bound = O.Matrix->get(I, J);
+      std::int64_t Bound = O.Cow.ro().M->get(I, J);
       if (Bound >= DbmInfinity)
         continue;
-      unsigned MyI = I == 0 ? 0 : ensureVar(O.Names[I]);
-      unsigned MyJ = J == 0 ? 0 : ensureVar(O.Names[J]);
-      addEdge(MyI, MyJ, Bound);
+      auto MySlot = [&](unsigned OSlot) -> unsigned {
+        if (OSlot == 0)
+          return 0;
+        VarId Id = Syms == O.Syms
+                       ? O.Vars[OSlot]
+                       : Syms->intern(O.Syms->name(O.Vars[OSlot]));
+        return ensureSlot(Id);
+      };
+      addEdge(MySlot(I), MySlot(J), Bound);
     }
   }
 }
@@ -490,19 +661,19 @@ bool ConstraintGraph::implies(const ConstraintGraph &O) const {
     return false;
   close();
   O.close();
-  std::vector<std::optional<unsigned>> MapThis(O.Names.size());
-  for (unsigned I = 0; I < O.Names.size(); ++I)
-    for (unsigned J = 0; J < Names.size(); ++J)
-      if (Names[J] == O.Names[I])
-        MapThis[I] = J;
-  for (unsigned I = 0; I < O.Names.size(); ++I) {
-    for (unsigned J = 0; J < O.Names.size(); ++J) {
+  std::vector<std::optional<unsigned>> MapThis(O.Vars.size());
+  for (unsigned I = 0; I < O.Vars.size(); ++I)
+    MapThis[I] = slotForOther(O, O.Vars[I]);
+  const DbmStorage &MThis = *Cow.ro().M;
+  const DbmStorage &MO = *O.Cow.ro().M;
+  for (unsigned I = 0; I < O.Vars.size(); ++I) {
+    for (unsigned J = 0; J < O.Vars.size(); ++J) {
       if (I == J)
         continue;
-      std::int64_t Theirs = O.Matrix->get(I, J);
+      std::int64_t Theirs = MO.get(I, J);
       if (Theirs >= DbmInfinity)
         continue;
-      if (boundThrough(*Matrix, MapThis, I, J) > Theirs)
+      if (boundThrough(MThis, MapThis, I, J) > Theirs)
         return false;
     }
   }
@@ -519,23 +690,24 @@ std::string ConstraintGraph::str() const {
   close();
   std::ostringstream OS;
   bool First = true;
-  unsigned N = static_cast<unsigned>(Names.size());
+  const DbmStorage &M = *Cow.ro().M;
+  unsigned N = static_cast<unsigned>(Vars.size());
   for (unsigned I = 0; I < N; ++I) {
     for (unsigned J = 0; J < N; ++J) {
       if (I == J)
         continue;
-      std::int64_t Bound = Matrix->get(I, J);
+      std::int64_t Bound = M.get(I, J);
       if (Bound >= DbmInfinity)
         continue;
       if (!First)
         OS << ", ";
       First = false;
       if (I == 0)
-        OS << Names[J] << " >= " << -Bound;
+        OS << Syms->name(Vars[J]) << " >= " << -Bound;
       else if (J == 0)
-        OS << Names[I] << " <= " << Bound;
+        OS << Syms->name(Vars[I]) << " <= " << Bound;
       else
-        OS << Names[I] << " <= " << Names[J]
+        OS << Syms->name(Vars[I]) << " <= " << Syms->name(Vars[J])
            << (Bound >= 0 ? "+" : "") << Bound;
     }
   }

@@ -18,6 +18,20 @@
 /// calls, avg 52.3 / 66.3 vars). Both bump StatsRegistry counters so the
 /// benchmark harness can reproduce that profile.
 ///
+/// The representation implements the paper's Section IX optimization
+/// directions end to end:
+///
+///   1. variables are interned to dense VarIds in a SymbolTable shared per
+///      analysis run (strings only at the API boundary);
+///   2. the bound matrix is held through a copy-on-write handle (CowDbm),
+///      so the pCFG engine's pervasive state copies are O(1) until a copy
+///      actually mutates — and closure done through one copy is visible
+///      to all of them, because Closed/Feasible live in the shared block;
+///   3. dense array storage (DenseDbmStorage) remains the default backend;
+///   4. full-closure results are memoized in a per-analysis ClosureMemo
+///      keyed by a matrix fingerprint, so `equals`/`implies` checks at
+///      already-visited pCFG configurations skip the O(n^3) re-close.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSDF_NUMERIC_CONSTRAINTGRAPH_H
@@ -25,6 +39,7 @@
 
 #include "numeric/DbmStorage.h"
 #include "numeric/LinearExpr.h"
+#include "numeric/SymbolTable.h"
 #include "support/Stats.h"
 
 #include <optional>
@@ -33,6 +48,41 @@
 
 namespace csdf {
 
+/// Memoizes full-closure results across the constraint graphs of one
+/// analysis run. Keyed by a fingerprint of the pre-closure matrix and
+/// verified against a full snapshot, so a hit is always exact. The stored
+/// result is the closed DbmShared block itself: adopting it on a hit costs
+/// one pointer assignment, and copy-on-write protects it from mutation.
+class ClosureMemo {
+public:
+  /// Returns the memoized closed block for a matrix equal to \p Pre, or
+  /// nullptr.
+  std::shared_ptr<DbmShared> lookup(std::uint64_t Key, DbmBackend Backend,
+                                    const std::vector<std::int64_t> &Pre)
+      const;
+
+  /// Records \p Closed as the closure of the matrix snapshotted in \p Pre.
+  void insert(std::uint64_t Key, DbmBackend Backend,
+              std::vector<std::int64_t> Pre,
+              std::shared_ptr<DbmShared> Closed);
+
+  std::size_t size() const { return Entries.size(); }
+
+private:
+  struct Entry {
+    DbmBackend Backend;
+    std::vector<std::int64_t> Pre;
+    std::shared_ptr<DbmShared> Closed;
+  };
+  std::unordered_multimap<std::uint64_t, Entry> Entries;
+  /// Safety valve: the memo is cleared when it reaches this many entries
+  /// (pCFG analyses revisit a bounded set of configurations, so this only
+  /// triggers on degenerate workloads).
+  static constexpr std::size_t MaxEntries = 4096;
+};
+
+using ClosureMemoPtr = std::shared_ptr<ClosureMemo>;
+
 /// A conjunction of difference constraints over named variables.
 ///
 /// The graph is *infeasible* (bottom) when the constraints are
@@ -40,7 +90,9 @@ namespace csdf {
 class ConstraintGraph {
 public:
   explicit ConstraintGraph(DbmBackend Backend = DbmBackend::Dense,
-                           StatsRegistry *Stats = &StatsRegistry::global());
+                           StatsRegistry *Stats = &StatsRegistry::global(),
+                           SymbolTablePtr Syms = nullptr,
+                           ClosureMemoPtr Memo = nullptr);
 
   ConstraintGraph(const ConstraintGraph &O);
   ConstraintGraph &operator=(const ConstraintGraph &O);
@@ -51,11 +103,11 @@ public:
   // Variables
   //===--------------------------------------------------------------------===
 
-  /// Returns the index of \p Name, creating the variable unconstrained if
-  /// needed.
+  /// Returns the matrix slot of \p Name, creating the variable
+  /// unconstrained if needed.
   unsigned ensureVar(const std::string &Name);
 
-  /// Returns the index of \p Name if it exists.
+  /// Returns the matrix slot of \p Name if it exists.
   std::optional<unsigned> findVar(const std::string &Name) const;
 
   bool hasVar(const std::string &Name) const {
@@ -64,11 +116,20 @@ public:
 
   /// Number of variables, excluding the internal zero variable.
   unsigned numVars() const {
-    return static_cast<unsigned>(Names.size()) - 1;
+    return static_cast<unsigned>(Vars.size()) - 1;
   }
 
   /// All variable names (excluding the zero variable).
   std::vector<std::string> varNames() const;
+
+  /// All variable ids (excluding the zero variable).
+  std::vector<VarId> varIds() const {
+    return std::vector<VarId>(Vars.begin() + 1, Vars.end());
+  }
+
+  /// The shared intern table this graph's VarIds index into.
+  const SymbolTable &symbols() const { return *Syms; }
+  const SymbolTablePtr &symbolsPtr() const { return Syms; }
 
   /// Removes \p Name after closing, so constraints implied through it
   /// survive.
@@ -114,6 +175,29 @@ public:
 
   /// True if `Lhs == Rhs` is implied.
   bool provesEQ(const LinearExpr &Lhs, const LinearExpr &Rhs) const;
+
+  /// A `var + c` form resolved against this graph once, so repeated
+  /// queries skip the string path. Valid only while the graph's variable
+  /// set is unchanged (queries are fine; mutations invalidate it).
+  struct ResolvedForm {
+    /// Matrix slot (zero slot for constants); meaningful when Known.
+    unsigned Slot = 0;
+    /// Interned id of the variable (InvalidVarId for constants). Set even
+    /// when the graph has no such variable, enabling the same-variable
+    /// fast path.
+    VarId Id = InvalidVarId;
+    std::int64_t C = 0;
+    bool IsConst = false;
+    /// True when the variable (or constant) has a matrix slot.
+    bool Known = false;
+  };
+
+  /// Resolves \p E for repeated VarId-level queries.
+  ResolvedForm resolve(const LinearExpr &E) const;
+
+  /// `provesLE` over pre-resolved forms; identical semantics to the
+  /// LinearExpr overload.
+  bool provesLE(const ResolvedForm &Lhs, const ResolvedForm &Rhs) const;
 
   /// Best provable C with `A <= B + C`, or nullopt if unconstrained /
   /// unknown vars. A and B may be variable names.
@@ -163,35 +247,76 @@ public:
 
   DbmBackend backend() const { return Backend; }
 
+  /// True when this graph still shares its matrix with another copy (or a
+  /// memo entry) — i.e. no mutation has detached it yet.
+  bool sharesStorage() const { return !Cow.unique(); }
+
   /// Human-readable dump of all finite constraints.
   std::string str() const;
 
 private:
-  unsigned zeroIdx() const { return 0; }
+  unsigned zeroSlot() const { return 0; }
 
-  /// Index + offset encoding of a LinearExpr (constants -> zero var).
+  /// The matrix slot of \p Id in this graph, if present.
+  std::optional<unsigned> slotOf(VarId Id) const;
+
+  /// The matrix slot of \p Id, appending an unconstrained variable if
+  /// needed.
+  unsigned ensureSlot(VarId Id);
+
+  /// Resolves the slot of \p O's variable \p Id in *this* graph, mapping
+  /// through names when the two graphs use different symbol tables.
+  std::optional<unsigned> slotForOther(const ConstraintGraph &O,
+                                       VarId Id) const;
+
+  /// Slot + offset encoding of a LinearExpr (constants -> zero slot).
   std::pair<unsigned, std::int64_t> encode(const LinearExpr &E);
   std::optional<std::pair<unsigned, std::int64_t>>
   encodeConst(const LinearExpr &E) const;
 
   void addEdge(unsigned I, unsigned J, std::int64_t C);
 
+  /// Clones the shared block if needed before a mutation; bumps the
+  /// cg.cow.detach counter when a real clone happened.
+  DbmShared &mutableBlock();
+
   /// Floyd-Warshall closure; sets Feasible. O(n^3).
-  void fullClose() const;
+  void fullClose(DbmShared &B) const;
 
   /// Repairs closure after tightening edge (I, J); requires the matrix was
   /// closed before. O(n^2).
-  void closeAfterEdge(unsigned I, unsigned J) const;
+  void closeAfterEdge(DbmShared &B, unsigned I, unsigned J) const;
+
+  /// Cached StatsRegistry counter cells, resolved once per fresh graph so
+  /// the hot paths (state copies, closures) bump an atomic directly
+  /// instead of doing a string lookup under the registry mutex. Null cells
+  /// (no registry) make bumps no-ops.
+  struct CounterCells {
+    std::atomic<std::int64_t> *CowCopies = nullptr;
+    std::atomic<std::int64_t> *CowDetaches = nullptr;
+    std::atomic<std::int64_t> *FullCalls = nullptr;
+    std::atomic<std::int64_t> *FullVarsum = nullptr;
+    std::atomic<std::int64_t> *IncrCalls = nullptr;
+    std::atomic<std::int64_t> *IncrVarsum = nullptr;
+    std::atomic<std::int64_t> *MemoHits = nullptr;
+    std::atomic<std::int64_t> *MemoMisses = nullptr;
+    /// Nanosecond cell for the cg.closure.seconds timer.
+    std::atomic<std::int64_t> *ClosureNanos = nullptr;
+  };
+
+  static void bump(std::atomic<std::int64_t> *Cell, std::int64_t Delta = 1) {
+    if (Cell)
+      Cell->fetch_add(Delta, std::memory_order_relaxed);
+  }
 
   DbmBackend Backend;
   StatsRegistry *Stats;
-  std::vector<std::string> Names; // Names[0] is the zero variable.
-  mutable std::unique_ptr<DbmStorage> Matrix;
-  mutable bool Closed = true;
-  mutable bool Feasible = true;
-  /// Set when exactly one edge was tightened since the last closure, which
-  /// enables the O(n^2) repair path.
-  mutable std::optional<std::pair<unsigned, unsigned>> PendingEdge;
+  CounterCells Cells;
+  SymbolTablePtr Syms;
+  ClosureMemoPtr Memo;
+  /// Matrix slot -> interned id; Vars[0] is the zero variable.
+  std::vector<VarId> Vars;
+  mutable CowDbm Cow;
 };
 
 } // namespace csdf

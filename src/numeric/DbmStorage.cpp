@@ -57,6 +57,45 @@ void MapDbmStorage::removeVar(unsigned Victim) {
   --N;
 }
 
+bool CowDbm::detach() {
+  if (B.use_count() == 1)
+    return false;
+  auto Fresh = std::make_shared<DbmShared>(B->M->clone());
+  Fresh->Closed = B->Closed;
+  Fresh->Feasible = B->Feasible;
+  Fresh->PendingEdge = B->PendingEdge;
+  Fresh->EverClosed = B->EverClosed;
+  B = std::move(Fresh);
+  return true;
+}
+
+std::uint64_t csdf::dbmFingerprint(const DbmStorage &M) {
+  constexpr std::uint64_t Offset = 1469598103934665603ull;
+  constexpr std::uint64_t Prime = 1099511628211ull;
+  unsigned N = M.size();
+  std::uint64_t H = Offset ^ N;
+  for (unsigned I = 0; I < N; ++I) {
+    for (unsigned J = 0; J < N; ++J) {
+      auto V = static_cast<std::uint64_t>(M.get(I, J));
+      for (int Byte = 0; Byte < 8; ++Byte) {
+        H ^= (V >> (8 * Byte)) & 0xff;
+        H *= Prime;
+      }
+    }
+  }
+  return H;
+}
+
+std::vector<std::int64_t> csdf::dbmSnapshot(const DbmStorage &M) {
+  unsigned N = M.size();
+  std::vector<std::int64_t> Image;
+  Image.reserve(static_cast<size_t>(N) * N);
+  for (unsigned I = 0; I < N; ++I)
+    for (unsigned J = 0; J < N; ++J)
+      Image.push_back(M.get(I, J));
+  return Image;
+}
+
 std::unique_ptr<DbmStorage> csdf::makeDbmStorage(DbmBackend Backend) {
   switch (Backend) {
   case DbmBackend::Dense:

@@ -24,6 +24,8 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 namespace csdf {
@@ -112,6 +114,94 @@ enum class DbmBackend {
 
 /// Creates an empty storage of the given backend.
 std::unique_ptr<DbmStorage> makeDbmStorage(DbmBackend Backend);
+
+//===----------------------------------------------------------------------===//
+// Copy-on-write sharing
+//===----------------------------------------------------------------------===//
+
+/// The shared block behind a copy-on-write DBM handle: the matrix plus the
+/// closure bookkeeping that describes it. Closed/Feasible/PendingEdge live
+/// *inside* the block so that closing the matrix through one handle is
+/// visible to every handle sharing it — closure canonicalizes the
+/// represented constraint set without changing it, so sharing the result
+/// is always sound (and is what makes the closure memo's blocks reusable).
+struct DbmShared {
+  std::unique_ptr<DbmStorage> M;
+  bool Closed = true;
+  bool Feasible = true;
+  /// Set when exactly one edge was tightened since the last closure, which
+  /// enables the O(n^2) repair path.
+  std::optional<std::pair<unsigned, unsigned>> PendingEdge;
+  /// False until the matrix has been closed once. Cold matrices (still
+  /// being built, never queried) batch all tightenings into one full
+  /// closure at the first query — which the ClosureMemo can serve when an
+  /// identical graph was built before — while warm matrices repair each
+  /// tightening eagerly with the O(n^2) path, the pCFG engine's
+  /// steady-state pattern. Heuristic bookkeeping only — it never affects
+  /// the represented constraint set.
+  bool EverClosed = false;
+
+  DbmShared() = default;
+  explicit DbmShared(std::unique_ptr<DbmStorage> Storage)
+      : M(std::move(Storage)) {}
+};
+
+/// Copy-on-write handle to a DbmShared block. Copying a handle is O(1);
+/// the matrix is cloned only when a handle actually mutates while others
+/// (or the closure memo) still reference the block. This is what turns the
+/// pCFG engine's pervasive state copies (split, join, widen, match) from
+/// O(n^2) deep copies into pointer bumps.
+class CowDbm {
+public:
+  explicit CowDbm(DbmBackend Backend)
+      : B(std::make_shared<DbmShared>(makeDbmStorage(Backend))) {}
+
+  CowDbm(const CowDbm &) = default;
+  CowDbm &operator=(const CowDbm &) = default;
+  CowDbm(CowDbm &&) = default;
+  CowDbm &operator=(CowDbm &&) = default;
+
+  /// Read-only view of the shared block.
+  const DbmShared &ro() const { return *B; }
+
+  /// True when no other handle (or memo entry) shares the block.
+  bool unique() const { return B.use_count() == 1; }
+
+  /// Mutable access for state-changing operations: clones the block first
+  /// when it is shared. Returns true when a clone (detach) happened.
+  bool detach();
+
+  /// Mutable block for detach-free writes. Only valid for operations that
+  /// preserve the represented constraint set (transitive closure) — every
+  /// sharing handle observes the write.
+  DbmShared &rwShared() const { return *B; }
+
+  /// Mutable block after detach().
+  DbmShared &rw() {
+    detach();
+    return *B;
+  }
+
+  /// Points this handle at \p NewBlock (used to adopt memoized closures).
+  void adopt(std::shared_ptr<DbmShared> NewBlock) const {
+    B = std::move(NewBlock);
+  }
+
+  /// The underlying block, for sharing with a memo.
+  const std::shared_ptr<DbmShared> &block() const { return B; }
+
+private:
+  mutable std::shared_ptr<DbmShared> B;
+};
+
+/// 64-bit FNV-1a fingerprint of \p M's contents (size + every bound), the
+/// closure-memo key. Collisions are tolerated: memo hits verify the full
+/// pre-closure image before adopting a result.
+std::uint64_t dbmFingerprint(const DbmStorage &M);
+
+/// Row-major snapshot of every bound in \p M, the collision-proof part of
+/// a closure-memo key.
+std::vector<std::int64_t> dbmSnapshot(const DbmStorage &M);
 
 } // namespace csdf
 

@@ -1,0 +1,65 @@
+//===- numeric/SymbolTable.h - Interned variable names -------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense integer identifiers for analysis variable names — the paper's
+/// Section IX optimization direction 1 ("variable indices instead of
+/// names"). One SymbolTable is shared by every component of one analysis
+/// run (constraint graphs, process-set queries, the matcher, the
+/// sequential dataflow analyses), so a variable name is hashed at most
+/// once per appearance and every internal comparison is an integer
+/// compare. The string API of the consuming classes remains as a thin
+/// boundary for the CLI, lint passes and tests.
+///
+/// Ids are append-only: interning never invalidates previously handed-out
+/// VarIds, which is what lets long-lived analysis states cache them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_NUMERIC_SYMBOLTABLE_H
+#define CSDF_NUMERIC_SYMBOLTABLE_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace csdf {
+
+/// A dense index into a SymbolTable. Valid only together with the table
+/// that produced it.
+using VarId = std::uint32_t;
+
+inline constexpr VarId InvalidVarId = static_cast<VarId>(-1);
+
+/// Append-only intern pool mapping variable names to dense VarIds.
+class SymbolTable {
+public:
+  /// Returns the id of \p Name, creating it on first sight.
+  VarId intern(const std::string &Name);
+
+  /// Returns the id of \p Name if it was ever interned.
+  std::optional<VarId> lookup(const std::string &Name) const;
+
+  /// The name behind \p Id.
+  const std::string &name(VarId Id) const { return NamesById[Id]; }
+
+  /// Number of interned names.
+  std::size_t size() const { return NamesById.size(); }
+
+private:
+  std::vector<std::string> NamesById;
+  std::unordered_map<std::string, VarId> IdsByName;
+};
+
+/// Tables are shared per analysis run.
+using SymbolTablePtr = std::shared_ptr<SymbolTable>;
+
+} // namespace csdf
+
+#endif // CSDF_NUMERIC_SYMBOLTABLE_H

@@ -1629,7 +1629,12 @@ AnalysisResult Engine::run() {
   All.Range = ProcRange::all();
   All.Node = Graph.entryId();
   Init.Sets.push_back(std::move(All));
-  Init.Cg = ConstraintGraph(Opts.Backend, Stats);
+  // One intern table and one closure memo serve the whole run: every state
+  // is a (copy-on-write) descendant of Init, so all constraint graphs the
+  // engine ever touches share them.
+  Init.Cg = ConstraintGraph(Opts.Backend, Stats,
+                            std::make_shared<SymbolTable>(),
+                            std::make_shared<ClosureMemo>());
   Init.Cg.addLowerBound("np", std::max<std::int64_t>(Opts.MinProcs, 1));
   if (Opts.FixedNp > 0)
     Init.Cg.addEQ(LinearExpr("np", 0), LinearExpr(Opts.FixedNp));

@@ -155,10 +155,16 @@ std::optional<MatchResult> csdf::tryMatch(const AnalysisOptions &Opts,
   // diagnosable bug (the channel head can never be consumed).
   if (!Send.Tag || !Recv.Tag)
     return std::nullopt;
-  if (!Cg.provesEQ(*Send.Tag, *Recv.Tag)) {
+  // Resolve both tags once; the equality and strict-order probes below
+  // reuse the interned forms.
+  ConstraintGraph::ResolvedForm S = Cg.resolve(*Send.Tag);
+  ConstraintGraph::ResolvedForm R = Cg.resolve(*Recv.Tag);
+  if (!(Cg.provesLE(S, R) && Cg.provesLE(R, S))) {
     // Distinguish "provably different" from "unknown".
-    if (Cg.provesLE(Send.Tag->plus(1), *Recv.Tag) ||
-        Cg.provesLE(Recv.Tag->plus(1), *Send.Tag))
+    ConstraintGraph::ResolvedForm S1 = S, R1 = R;
+    S1.C += 1;
+    R1.C += 1;
+    if (Cg.provesLE(S1, R) || Cg.provesLE(R1, S))
       TagConflict = true;
     return std::nullopt;
   }

@@ -16,14 +16,19 @@ using namespace csdf;
 
 namespace {
 
-/// All constraint-graph variables inside \p Name's namespace.
+/// All constraint-graph variables inside \p Name's namespace. Walks the
+/// interned ids and resolves names through the shared table, so no name
+/// strings are copied for non-matching variables.
 std::vector<std::string> namespaceVars(const ConstraintGraph &Cg,
                                        const std::string &Name) {
   std::vector<std::string> Result;
   std::string Prefix = Name + ".";
-  for (const std::string &Var : Cg.varNames())
+  const SymbolTable &Syms = Cg.symbols();
+  for (VarId Id : Cg.varIds()) {
+    const std::string &Var = Syms.name(Id);
     if (Var.rfind(Prefix, 0) == 0)
       Result.push_back(Var);
+  }
   return Result;
 }
 

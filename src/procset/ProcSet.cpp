@@ -52,20 +52,43 @@ std::optional<SymBound> SymBound::intersectForms(const SymBound &O) const {
   return SymBound(std::move(Common));
 }
 
+namespace {
+
+/// Resolves every form of a bound once, so the A x B comparison loops
+/// below run on interned slots instead of re-hashing names per pair.
+std::vector<ConstraintGraph::ResolvedForm>
+resolveForms(const std::vector<LinearExpr> &Forms, const ConstraintGraph &G,
+             std::int64_t Delta) {
+  std::vector<ConstraintGraph::ResolvedForm> R;
+  R.reserve(Forms.size());
+  for (const LinearExpr &F : Forms) {
+    ConstraintGraph::ResolvedForm Form = G.resolve(F);
+    Form.C += Delta;
+    R.push_back(Form);
+  }
+  return R;
+}
+
+} // namespace
+
 bool SymBound::provablyLE(const SymBound &O, const ConstraintGraph &G,
                           std::int64_t Slack) const {
-  for (const LinearExpr &A : Forms)
-    for (const LinearExpr &B : O.Forms)
-      if (G.provesLE(A, B.plus(Slack)))
+  auto As = resolveForms(Forms, G, 0);
+  auto Bs = resolveForms(O.Forms, G, Slack);
+  for (const auto &A : As)
+    for (const auto &B : Bs)
+      if (G.provesLE(A, B))
         return true;
   return false;
 }
 
 bool SymBound::provablyEQ(const SymBound &O, const ConstraintGraph &G,
                           std::int64_t Offset) const {
-  for (const LinearExpr &A : Forms)
-    for (const LinearExpr &B : O.Forms)
-      if (G.provesEQ(A, B.plus(Offset)))
+  auto As = resolveForms(Forms, G, 0);
+  auto Bs = resolveForms(O.Forms, G, Offset);
+  for (const auto &A : As)
+    for (const auto &B : Bs)
+      if (G.provesLE(A, B) && G.provesLE(B, A))
         return true;
   return false;
 }

@@ -13,25 +13,69 @@ StatsRegistry &StatsRegistry::global() {
   return Registry;
 }
 
+std::atomic<std::int64_t> &StatsRegistry::counterCell(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters.try_emplace(Name, 0).first->second;
+}
+
 void StatsRegistry::addCounter(const std::string &Name, std::int64_t Delta) {
-  Counters[Name] += Delta;
+  counterCell(Name).fetch_add(Delta, std::memory_order_relaxed);
+}
+
+std::atomic<std::int64_t> &StatsRegistry::nanosCell(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Nanos.try_emplace(Name, 0).first->second;
 }
 
 void StatsRegistry::addSeconds(const std::string &Name, double Seconds) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   Timers[Name] += Seconds;
 }
 
 std::int64_t StatsRegistry::counter(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Counters.find(Name);
-  return It == Counters.end() ? 0 : It->second;
+  return It == Counters.end() ? 0
+                              : It->second.load(std::memory_order_relaxed);
 }
 
 double StatsRegistry::seconds(const std::string &Name) const {
-  auto It = Timers.find(Name);
-  return It == Timers.end() ? 0.0 : It->second;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  double Total = 0.0;
+  if (auto It = Timers.find(Name); It != Timers.end())
+    Total += It->second;
+  if (auto It = Nanos.find(Name); It != Nanos.end())
+    Total += 1e-9 *
+             static_cast<double>(It->second.load(std::memory_order_relaxed));
+  return Total;
 }
 
 void StatsRegistry::clear() {
-  Counters.clear();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  // Zero in place: cells handed out via counterCell()/nanosCell() must
+  // stay valid.
+  for (auto &[Name, Cell] : Counters)
+    Cell.store(0, std::memory_order_relaxed);
+  for (auto &[Name, Cell] : Nanos)
+    Cell.store(0, std::memory_order_relaxed);
   Timers.clear();
+}
+
+std::map<std::string, std::int64_t> StatsRegistry::counters() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::map<std::string, std::int64_t> Snapshot;
+  for (const auto &[Name, Cell] : Counters)
+    if (std::int64_t V = Cell.load(std::memory_order_relaxed))
+      Snapshot.emplace(Name, V);
+  return Snapshot;
+}
+
+std::map<std::string, double> StatsRegistry::timers() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::map<std::string, double> Snapshot = Timers;
+  for (const auto &[Name, Cell] : Nanos)
+    if (std::int64_t N = Cell.load(std::memory_order_relaxed))
+      Snapshot[Name] +=
+          1e-9 * static_cast<double>(N);
+  return Snapshot;
 }

@@ -39,11 +39,12 @@ CfgNodeId findNode(const Cfg &Graph, CfgNodeKind Kind, unsigned Skip = 0) {
 
 TEST(ReachingDefsTest, StraightLineKillsPriorDef) {
   Built B = buildFrom("x = 1; x = 2; print x;");
-  auto R = computeReachingDefs(B.Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  auto R = computeReachingDefs(B.Graph, Syms);
   CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
   CfgNodeId SecondDef = findNode(B.Graph, CfgNodeKind::Assign, 1);
   EXPECT_EQ(R.In[Print],
-            (std::set<Definition>{{"x", SecondDef}}));
+            (std::set<Definition>{{Syms->intern("x"), SecondDef}}));
 }
 
 TEST(ReachingDefsTest, BranchMergesBothDefs) {
@@ -55,19 +56,21 @@ TEST(ReachingDefsTest, BranchMergesBothDefs) {
 
 TEST(ReachingDefsTest, LoopDefReachesItself) {
   Built B = buildFrom("x = 0; while x < 3 do x = x + 1; end");
-  auto R = computeReachingDefs(B.Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  auto R = computeReachingDefs(B.Graph, Syms);
   CfgNodeId BodyDef = findNode(B.Graph, CfgNodeKind::Assign, 1);
   // The body's definition reaches its own input (around the loop).
-  EXPECT_TRUE(R.In[BodyDef].count({"x", BodyDef}));
+  EXPECT_TRUE(R.In[BodyDef].count({Syms->intern("x"), BodyDef}));
   EXPECT_EQ(R.In[BodyDef].size(), 2u);
 }
 
 TEST(ReachingDefsTest, RecvIsADefinition) {
   Built B = buildFrom("recv y <- 0; print y;");
-  auto R = computeReachingDefs(B.Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  auto R = computeReachingDefs(B.Graph, Syms);
   CfgNodeId Recv = findNode(B.Graph, CfgNodeKind::Recv);
   CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
-  EXPECT_TRUE(R.In[Print].count({"y", Recv}));
+  EXPECT_TRUE(R.In[Print].count({Syms->intern("y"), Recv}));
 }
 
 //===----------------------------------------------------------------------===//
@@ -76,31 +79,35 @@ TEST(ReachingDefsTest, RecvIsADefinition) {
 
 TEST(LiveVarsTest, DeadAfterLastUse) {
   Built B = buildFrom("x = 1; print x; x = 2;");
-  auto R = computeLiveVars(B.Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  auto R = computeLiveVars(B.Graph, Syms);
   CfgNodeId FirstAssign = findNode(B.Graph, CfgNodeKind::Assign, 0);
   CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
-  EXPECT_TRUE(R.Out[FirstAssign].count("x"));
-  EXPECT_FALSE(R.Out[Print].count("x")); // Next access is a redefinition.
+  EXPECT_TRUE(R.Out[FirstAssign].count(Syms->intern("x")));
+  EXPECT_FALSE(
+      R.Out[Print].count(Syms->intern("x"))); // Next access redefines.
 }
 
 TEST(LiveVarsTest, SendValueAndDestAreUses) {
   Built B = buildFrom("x = 1; d = 2; send x -> d;");
-  auto R = computeLiveVars(B.Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  auto R = computeLiveVars(B.Graph, Syms);
   CfgNodeId FirstAssign = findNode(B.Graph, CfgNodeKind::Assign, 0);
   CfgNodeId SecondAssign = findNode(B.Graph, CfgNodeKind::Assign, 1);
   // x is live across both assignments; d only after its own definition
   // (it is redefined before any use).
-  EXPECT_TRUE(R.Out[FirstAssign].count("x"));
-  EXPECT_FALSE(R.Out[FirstAssign].count("d"));
-  EXPECT_TRUE(R.Out[SecondAssign].count("x"));
-  EXPECT_TRUE(R.Out[SecondAssign].count("d"));
+  EXPECT_TRUE(R.Out[FirstAssign].count(Syms->intern("x")));
+  EXPECT_FALSE(R.Out[FirstAssign].count(Syms->intern("d")));
+  EXPECT_TRUE(R.Out[SecondAssign].count(Syms->intern("x")));
+  EXPECT_TRUE(R.Out[SecondAssign].count(Syms->intern("d")));
 }
 
 TEST(LiveVarsTest, BranchConditionIsAUse) {
   Built B = buildFrom("c = 1; if c == 0 then skip; end");
-  auto R = computeLiveVars(B.Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  auto R = computeLiveVars(B.Graph, Syms);
   CfgNodeId Assign = findNode(B.Graph, CfgNodeKind::Assign);
-  EXPECT_TRUE(R.Out[Assign].count("c"));
+  EXPECT_TRUE(R.Out[Assign].count(Syms->intern("c")));
 }
 
 TEST(LiveVarsTest, IdAndNpAreAmbient) {
@@ -111,9 +118,10 @@ TEST(LiveVarsTest, IdAndNpAreAmbient) {
 
 TEST(LiveVarsTest, LoopKeepsCounterLive) {
   Built B = buildFrom("for i = 0 to 3 do print i; end");
-  auto R = computeLiveVars(B.Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  auto R = computeLiveVars(B.Graph, Syms);
   CfgNodeId Branch = findNode(B.Graph, CfgNodeKind::Branch);
-  EXPECT_TRUE(R.In[Branch].count("i"));
+  EXPECT_TRUE(R.In[Branch].count(Syms->intern("i")));
 }
 
 //===----------------------------------------------------------------------===//
@@ -122,44 +130,50 @@ TEST(LiveVarsTest, LoopKeepsCounterLive) {
 
 TEST(SeqConstTest, PropagatesThroughStraightLine) {
   Built B = buildFrom("x = 2; y = x + 3; print y;");
-  auto R = computeSeqConstants(B.Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  auto R = computeSeqConstants(B.Graph, Syms);
   CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
-  EXPECT_EQ(seqConstantAt(R, Print, "y"), 5);
+  EXPECT_EQ(seqConstantAt(R, *Syms, Print, "y"), 5);
 }
 
 TEST(SeqConstTest, MergeOfDifferentConstantsIsNonConst) {
   Built B = buildFrom("if id == 0 then x = 1; else x = 2; end print x;");
-  auto R = computeSeqConstants(B.Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  auto R = computeSeqConstants(B.Graph, Syms);
   CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
-  EXPECT_FALSE(seqConstantAt(R, Print, "x").has_value());
+  EXPECT_FALSE(seqConstantAt(R, *Syms, Print, "x").has_value());
 }
 
 TEST(SeqConstTest, MergeOfEqualConstantsSurvives) {
   Built B = buildFrom("if id == 0 then x = 7; else x = 7; end print x;");
-  auto R = computeSeqConstants(B.Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  auto R = computeSeqConstants(B.Graph, Syms);
   CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
-  EXPECT_EQ(seqConstantAt(R, Print, "x"), 7);
+  EXPECT_EQ(seqConstantAt(R, *Syms, Print, "x"), 7);
 }
 
 TEST(SeqConstTest, LoopIncrementIsNonConst) {
   Built B = buildFrom("x = 0; while x < 3 do x = x + 1; end print x;");
-  auto R = computeSeqConstants(B.Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  auto R = computeSeqConstants(B.Graph, Syms);
   CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
-  EXPECT_FALSE(seqConstantAt(R, Print, "x").has_value());
+  EXPECT_FALSE(seqConstantAt(R, *Syms, Print, "x").has_value());
 }
 
 TEST(SeqConstTest, InputIsNonConst) {
   Built B = buildFrom("x = input(); print x;");
-  auto R = computeSeqConstants(B.Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  auto R = computeSeqConstants(B.Graph, Syms);
   CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
-  EXPECT_FALSE(seqConstantAt(R, Print, "x").has_value());
+  EXPECT_FALSE(seqConstantAt(R, *Syms, Print, "x").has_value());
 }
 
 TEST(SeqConstTest, RecvIsNonConstSequentially) {
   Built B = buildFrom("recv y <- 0; print y;");
-  auto R = computeSeqConstants(B.Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  auto R = computeSeqConstants(B.Graph, Syms);
   CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
-  EXPECT_FALSE(seqConstantAt(R, Print, "y").has_value());
+  EXPECT_FALSE(seqConstantAt(R, *Syms, Print, "y").has_value());
 }
 
 TEST(SeqConstTest, Figure2ContrastWithPcfg) {
@@ -168,10 +182,11 @@ TEST(SeqConstTest, Figure2ContrastWithPcfg) {
   // while the communication-sensitive pCFG analysis proves both print 5.
   Built B = buildFrom(corpus::figure2Exchange());
 
-  auto Seq = computeSeqConstants(B.Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  auto Seq = computeSeqConstants(B.Graph, Syms);
   unsigned SeqProved = 0;
   for (const CfgNode &N : B.Graph.nodes())
-    if (N.Kind == CfgNodeKind::Print && seqConstantAt(Seq, N.Id, "y"))
+    if (N.Kind == CfgNodeKind::Print && seqConstantAt(Seq, *Syms, N.Id, "y"))
       ++SeqProved;
   EXPECT_EQ(SeqProved, 0u) << "sequential constprop should be blind here";
 
@@ -199,9 +214,10 @@ else
   print y;
 end
 )mpl");
-  auto Seq = computeSeqConstants(B.Graph);
+  auto Syms = std::make_shared<SymbolTable>();
+  auto Seq = computeSeqConstants(B.Graph, Syms);
   CfgNodeId Print = findNode(B.Graph, CfgNodeKind::Print);
-  EXPECT_FALSE(seqConstantAt(Seq, Print, "y").has_value());
+  EXPECT_FALSE(seqConstantAt(Seq, *Syms, Print, "y").has_value());
 
   AnalysisResult Pcfg =
       analyzeProgram(B.Graph, AnalysisOptions::simpleSymbolic());

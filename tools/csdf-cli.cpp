@@ -23,6 +23,8 @@
 //   --scheduler rr|lifo|random  interpreter schedule (default rr)
 //   --seed N                    seed for the random scheduler
 //   --validate                  after analyze: compare against a run
+//   --stats                     after analyze/lint: dump StatsRegistry
+//                               counters and timers to stderr
 //
 // Lint options:
 //   --format text|json|sarif    output format (default text)
@@ -45,6 +47,7 @@
 #include "lang/Parser.h"
 #include "lang/Sema.h"
 #include "pcfg/Engine.h"
+#include "support/Stats.h"
 #include "topology/CommTopology.h"
 
 #include <cstdio>
@@ -72,6 +75,7 @@ struct CliOptions {
   std::uint64_t Seed = 1;
   bool Validate = false;
   bool Werror = false;
+  bool Stats = false;
   std::set<std::string> Disabled;
   std::map<std::string, std::int64_t> Params;
 };
@@ -82,7 +86,7 @@ void usage() {
                "<file.mpl> [options]\n"
                "  --client linear|cartesian|sectionx  --np N  --fixed-np N\n"
                "  --param NAME=V  --scheduler rr|lifo|random  --seed N\n"
-               "  --validate\n"
+               "  --validate  --stats\n"
                "lint options:\n"
                "  --format text|json|sarif  --Werror\n"
                "  --min-severity note|warning|error  --disable <pass>\n"
@@ -135,6 +139,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Params[S.substr(0, Eq)] = std::atoll(S.c_str() + Eq + 1);
     } else if (Arg == "--validate") {
       Opts.Validate = true;
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
     } else if (Arg == "--format") {
       const char *V = Next();
       if (!V)
@@ -230,7 +236,21 @@ int cmdRun(const Cfg &Graph, const CliOptions &Cli) {
   return R.finished() ? 0 : 1;
 }
 
+/// Dumps the global StatsRegistry to stderr (keeps stdout clean for the
+/// json/sarif formats and the golden corpus).
+void printStats() {
+  const StatsRegistry &R = StatsRegistry::global();
+  std::fprintf(stderr, "--- stats ---\n");
+  for (const auto &[Name, Value] : R.counters())
+    std::fprintf(stderr, "%-28s %lld\n", Name.c_str(),
+                 static_cast<long long>(Value));
+  for (const auto &[Name, Seconds] : R.timers())
+    std::fprintf(stderr, "%-28s %.6f s\n", Name.c_str(), Seconds);
+}
+
 int cmdAnalyze(const Cfg &Graph, const CliOptions &Cli) {
+  if (Cli.Stats)
+    StatsRegistry::global().clear();
   ClientReport Report = runClients(Graph, analysisOptions(Cli));
   AnalysisResult &R = Report.Analysis;
   std::printf("verdict: %s\n",
@@ -283,6 +303,8 @@ int cmdAnalyze(const Cfg &Graph, const CliOptions &Cli) {
     }
   }
 
+  if (Cli.Stats)
+    printStats();
   if (Cli.Validate) {
     RunResult Run = execute(Graph, Cli);
     ValidationReport Report = validateTopology(R, Run);
@@ -306,8 +328,12 @@ int cmdLint(const std::string &Source, const CliOptions &Cli) {
   Opts.Disabled = Cli.Disabled;
   Opts.Analysis = analysisOptions(Cli);
 
+  if (Cli.Stats)
+    StatsRegistry::global().clear();
   DiagnosticEngine Diags;
   lintSource(Source, Opts, Diags);
+  if (Cli.Stats)
+    printStats();
   if (Cli.Werror)
     Diags.promoteWarningsToErrors();
   Diags.filterBelow(severityFromName(Cli.MinSeverity));
