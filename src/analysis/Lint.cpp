@@ -50,6 +50,9 @@ const std::vector<LintPassInfo> &csdf::lintPassRegistry() {
       {"analysis-top",
        "pCFG analysis hit Top and gave up; bridge findings may be "
        "incomplete"},
+      {"internal-error",
+       "the pCFG analysis recovered from an internal invariant violation; "
+       "its results must not be trusted"},
   };
   return Registry;
 }
@@ -338,11 +341,26 @@ void lintPcfgBridge(const Cfg &Graph, const LintOptions &Opts,
                     DiagnosticEngine &Diags) {
   bool AnyBridge =
       Opts.isEnabled("message-leak") || Opts.isEnabled("possible-deadlock") ||
-      Opts.isEnabled("tag-mismatch") || Opts.isEnabled("analysis-top");
+      Opts.isEnabled("tag-mismatch") || Opts.isEnabled("analysis-top") ||
+      Opts.isEnabled("internal-error");
   if (!AnyBridge)
     return;
 
   AnalysisResult R = analyzeProgram(Graph, Opts.Analysis);
+  if (R.Outcome.internalError()) {
+    // The engine recovered from an invariant violation: surface it as a
+    // diagnostic instead of aborting the process, and do not relay bug
+    // candidates from an untrustworthy run.
+    if (Opts.isEnabled("internal-error"))
+      Diags.report(makeDiag(
+          "internal-error", DiagSeverity::Error, SourceLoc(),
+          "pCFG analysis failed with an internal error: " + R.Outcome.Reason,
+          R.Outcome.Configuration.empty()
+              ? "please report this; analysis results were discarded"
+              : "at configuration " + R.Outcome.Configuration +
+                    "; please report this"));
+    return;
+  }
   for (const AnalysisBug &B : R.Bugs) {
     std::string Pass = bridgePassName(B.TheKind);
     if (!Opts.isEnabled(Pass))

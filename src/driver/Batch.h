@@ -1,0 +1,111 @@
+//===- driver/Batch.h - Crash-isolated batch analysis driver --------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `csdf batch` runs one analysis Session per input file, each in a forked
+/// child with rlimits (CPU, address space, no core files), so that one
+/// pathological input — a hang, a runaway allocation, an outright crash —
+/// is reaped and reported without taking down the batch. The paper's
+/// fan-out broadcast took 381 s on the prototype; a batch over a real
+/// corpus must survive members like that.
+///
+/// The parent enforces a per-file wall-clock timeout (SIGKILL), collects
+/// per-child rusage (wall time, peak RSS), reads the child's structured
+/// outcome over a pipe, and emits a per-file JSON report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_DRIVER_BATCH_H
+#define CSDF_DRIVER_BATCH_H
+
+#include "driver/Session.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csdf {
+
+/// Configuration of a batch run.
+struct BatchOptions {
+  /// Per-file session configuration (budgets, analysis preset). Batch
+  /// corpora are test/stress inputs, so test hooks default on here.
+  SessionOptions Session;
+
+  /// Concurrent children; 1 = serial.
+  unsigned Jobs = 1;
+
+  /// Per-file wall-clock timeout enforced by the parent with SIGKILL;
+  /// 0 = no timeout. This is the hard backstop behind the cooperative
+  /// --deadline-ms budget.
+  std::uint64_t TimeoutMs = 0;
+
+  /// Child address-space rlimit in MB; 0 = leave unlimited.
+  std::uint64_t AddressSpaceMb = 0;
+};
+
+/// How one child ended, beyond its exit code.
+enum class BatchExitReason {
+  Exited,   ///< Normal exit; ExitCode holds the session contract code.
+  Signaled, ///< Killed by a signal (crash, rlimit).
+  TimedOut, ///< Exceeded TimeoutMs; killed by the parent.
+};
+
+/// Stable lower-case name ("exited", "signaled", "timed-out").
+const char *batchExitReasonName(BatchExitReason Reason);
+
+/// Per-file outcome row of the batch report.
+struct BatchEntry {
+  std::string File;
+  BatchExitReason Reason = BatchExitReason::Exited;
+  /// Session exit code (contract 0/1/2/3) when Reason == Exited.
+  int ExitCode = 0;
+  /// Terminating signal when Reason != Exited.
+  int Signal = 0;
+  /// Structured verdict string from the child ("complete",
+  /// "degraded-to-top(deadline)", ...), or "timeout"/"crash" when the
+  /// child never reported.
+  std::string Verdict;
+  /// One-line detail (budget reason, error text), possibly empty.
+  std::string Detail;
+  std::uint64_t WallMs = 0;
+  std::uint64_t PeakRssKb = 0;
+};
+
+/// The whole batch: per-file entries plus summary counts.
+struct BatchReport {
+  std::vector<BatchEntry> Entries;
+  unsigned Complete = 0;
+  unsigned Findings = 0;
+  unsigned UsageErrors = 0;
+  unsigned InternalErrors = 0;
+  unsigned Crashes = 0;
+  unsigned Timeouts = 0;
+
+  /// True when every file completed cleanly (exit 0).
+  bool allComplete() const { return Complete == Entries.size(); }
+
+  /// Renders the report as JSON (stable field order; wall_ms/peak_rss_kb
+  /// are the only non-deterministic fields).
+  std::string json() const;
+};
+
+/// Expands \p DirOrList into the .mpl files to analyze: a directory is
+/// scanned (sorted, non-recursive) for *.mpl; any other path is read as a
+/// newline-separated file list. Returns false with \p Error set on IO
+/// failure or when no inputs are found.
+bool collectBatchInputs(const std::string &DirOrList,
+                        std::vector<std::string> &Files, std::string &Error);
+
+/// Runs every file through a forked, rlimited child session. Never throws
+/// and never crashes on child failure; every file yields exactly one
+/// BatchEntry, in input order.
+BatchReport runBatch(const std::vector<std::string> &Files,
+                     const BatchOptions &Opts);
+
+} // namespace csdf
+
+#endif // CSDF_DRIVER_BATCH_H

@@ -32,6 +32,7 @@
 
 #include "hsm/Hsm.h"
 
+#include "support/Budget.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -358,6 +359,9 @@ LevelBag bagOf(const std::vector<HsmLevel> &Levels) {
 /// and records all irreducible bags.
 void reduceBags(std::vector<HsmLevel> Levels, const FactEnv &Facts,
                 std::set<std::string> &Seen, std::vector<LevelBag> &Result) {
+  // The prover's combinatorial search: every fusion path is one budget
+  // step, so AnalysisBudget::MaxProverSteps bounds it.
+  budgetProverStep();
   std::string Key;
   for (const auto &[S, R] : bagOf(Levels))
     Key += S + "|" + R + ";";

@@ -7,6 +7,7 @@
 #include "lang/Parser.h"
 
 #include "lang/Lexer.h"
+#include "support/Budget.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,8 +21,9 @@ namespace {
 /// reported from one run.
 class ParserImpl {
 public:
-  ParserImpl(std::vector<Token> Tokens, ParseResult &Result)
-      : Tokens(std::move(Tokens)), Result(Result) {}
+  ParserImpl(std::vector<Token> Tokens, ParseResult &Result,
+             unsigned MaxDepth)
+      : Tokens(std::move(Tokens)), Result(Result), MaxDepth(MaxDepth) {}
 
   void run() {
     StmtList Body = parseStmtsUntil({TokenKind::Eof});
@@ -50,6 +52,26 @@ private:
     Result.Diagnostics.push_back({cur().Loc, Msg});
   }
 
+  /// Counts one level of statement/expression nesting; reports a single
+  /// diagnostic (deep inputs would otherwise drown it in follow-on
+  /// errors) when the configured limit is exceeded.
+  struct DepthGuard {
+    ParserImpl &P;
+    explicit DepthGuard(ParserImpl &P) : P(P) { ++P.Depth; }
+    ~DepthGuard() { --P.Depth; }
+    /// True when parsing may recurse further.
+    bool ok() {
+      if (P.Depth <= P.MaxDepth)
+        return true;
+      if (!P.DepthErrorReported) {
+        P.DepthErrorReported = true;
+        P.error("nesting depth exceeds the limit of " +
+                std::to_string(P.MaxDepth));
+      }
+      return false;
+    }
+  };
+
   /// Consumes a token of kind \p Kind or reports an error.
   bool expect(TokenKind Kind) {
     if (consumeIf(Kind))
@@ -60,8 +82,11 @@ private:
   }
 
   /// Skips tokens until a likely statement start, to recover after errors.
+  /// The token stream ends at the first Error token (lexAll stops there),
+  /// so Error must terminate the scan like Eof — take() cannot advance
+  /// past the final token and would otherwise spin forever.
   void synchronize() {
-    while (cur().isNot(TokenKind::Eof)) {
+    while (cur().isNot(TokenKind::Eof) && cur().isNot(TokenKind::Error)) {
       if (consumeIf(TokenKind::Semi))
         return;
       switch (cur().Kind) {
@@ -107,6 +132,12 @@ private:
   }
 
   const Stmt *parseStmt() {
+    // Under an analysis session a budget may be active; huge inputs must
+    // honor the wall-clock deadline during parsing too.
+    budgetCheckpoint();
+    DepthGuard Guard(*this);
+    if (!Guard.ok())
+      return nullptr;
     SourceLoc Loc = cur().Loc;
     switch (cur().Kind) {
     case TokenKind::Identifier: {
@@ -229,6 +260,9 @@ private:
   /// Parses the remainder of an if statement after 'if' was consumed. Elif
   /// chains become nested IfStmts in the else position.
   const Stmt *parseIfTail(SourceLoc Loc) {
+    DepthGuard Guard(*this);
+    if (!Guard.ok())
+      return nullptr;
     const Expr *Cond = parseExpr();
     if (!Cond || !expect(TokenKind::KwThen))
       return nullptr;
@@ -257,7 +291,12 @@ private:
   // Expressions
   //===--------------------------------------------------------------------===
 
-  const Expr *parseExpr() { return parseOr(); }
+  const Expr *parseExpr() {
+    DepthGuard Guard(*this);
+    if (!Guard.ok())
+      return nullptr;
+    return parseOr();
+  }
 
   const Expr *parseOr() {
     const Expr *LHS = parseAnd();
@@ -285,6 +324,9 @@ private:
 
   const Expr *parseNot() {
     if (cur().is(TokenKind::KwNot)) {
+      DepthGuard Guard(*this);
+      if (!Guard.ok())
+        return nullptr;
       SourceLoc Loc = take().Loc;
       const Expr *Operand = parseNot();
       if (!Operand)
@@ -361,6 +403,9 @@ private:
 
   const Expr *parseUnary() {
     if (cur().is(TokenKind::Minus)) {
+      DepthGuard Guard(*this);
+      if (!Guard.ok())
+        return nullptr;
       SourceLoc Loc = take().Loc;
       const Expr *Operand = parseUnary();
       if (!Operand)
@@ -405,14 +450,17 @@ private:
   std::vector<Token> Tokens;
   size_t Pos = 0;
   ParseResult &Result;
+  unsigned MaxDepth;
+  unsigned Depth = 0;
+  bool DepthErrorReported = false;
 };
 
 } // namespace
 
-ParseResult csdf::parseProgram(const std::string &Source) {
+ParseResult csdf::parseProgram(const std::string &Source, unsigned MaxDepth) {
   ParseResult Result;
   Lexer Lex(Source);
-  ParserImpl Impl(Lex.lexAll(), Result);
+  ParserImpl Impl(Lex.lexAll(), Result, MaxDepth);
   Impl.run();
   return Result;
 }

@@ -59,8 +59,16 @@ struct ParseResult {
   bool succeeded() const { return Diagnostics.empty(); }
 };
 
-/// Parses \p Source into an MPL program.
-ParseResult parseProgram(const std::string &Source);
+/// Default bound on statement/expression nesting depth. Deep enough for
+/// any hand-written program, shallow enough that the recursive descent
+/// (and every recursive AST walk downstream) stays far from stack
+/// overflow on adversarial inputs like ((((((...)))))).
+inline constexpr unsigned DefaultMaxParseDepth = 256;
+
+/// Parses \p Source into an MPL program. Nesting beyond \p MaxDepth is a
+/// parse diagnostic, not a crash.
+ParseResult parseProgram(const std::string &Source,
+                         unsigned MaxDepth = DefaultMaxParseDepth);
 
 /// Parses \p Source and aborts with the first diagnostic on failure.
 /// Convenience for tests, examples and benchmarks whose inputs are

@@ -7,6 +7,7 @@
 #include "lang/Sema.h"
 
 #include "lang/ExprOps.h"
+#include "support/Budget.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
 
@@ -41,7 +42,31 @@ private:
         {SemaDiagnostic::Severity::Warning, Loc, Msg});
   }
 
+  /// Belt-and-braces depth limit for ASTs that did not come through the
+  /// parser (which enforces DefaultMaxParseDepth itself): stop descending
+  /// and report instead of overflowing the stack.
+  static constexpr unsigned MaxStmtDepth = 512;
+
+  bool enterNested(SourceLoc Loc) {
+    if (Depth < MaxStmtDepth)
+      return true;
+    if (!DepthErrorReported) {
+      DepthErrorReported = true;
+      error(Loc, "statement nesting exceeds the limit of " +
+                     std::to_string(MaxStmtDepth));
+    }
+    return false;
+  }
+
   void collectDefs(const StmtList &Body) {
+    if (!Body.empty() && !enterNested(Body.front()->loc()))
+      return;
+    ++Depth;
+    collectDefsImpl(Body);
+    --Depth;
+  }
+
+  void collectDefsImpl(const StmtList &Body) {
     for (const Stmt *S : Body) {
       switch (S->kind()) {
       case Stmt::Kind::Assign:
@@ -88,8 +113,13 @@ private:
   }
 
   void checkBody(const StmtList &Body) {
+    budgetCheckpoint();
+    if (!Body.empty() && !enterNested(Body.front()->loc()))
+      return;
+    ++Depth;
     for (const Stmt *S : Body)
       checkStmt(S);
+    --Depth;
   }
 
   void checkStmt(const Stmt *S) {
@@ -176,6 +206,8 @@ private:
   SemaResult &Result;
   std::set<std::string> Defined;
   std::set<std::pair<std::string, SourceLoc>> Used;
+  unsigned Depth = 0;
+  bool DepthErrorReported = false;
 };
 
 } // namespace

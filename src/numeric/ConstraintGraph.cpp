@@ -6,6 +6,8 @@
 
 #include "numeric/ConstraintGraph.h"
 
+#include "support/Budget.h"
+
 #include <algorithm>
 #include <cassert>
 #include <sstream>
@@ -107,6 +109,7 @@ unsigned ConstraintGraph::ensureSlot(VarId Id) {
   DbmShared &B = mutableBlock();
   B.M->resize(Slot + 1);
   B.M->set(Slot, Slot, 0);
+  B.reaccount();
   // Adding an unconstrained variable preserves closure.
   return Slot;
 }
@@ -339,6 +342,10 @@ void ConstraintGraph::fullClose(DbmShared &B) const {
   ScopedNanoTimer Timer(Cells.ClosureNanos);
   DbmStorage &M = *B.M;
   for (unsigned K = 0; K < N; ++K) {
+    // The O(n^3) hot spot of the paper's Section IX profile: poll the
+    // session budget once per outer iteration so a deadline can interrupt
+    // even a single huge closure.
+    budgetCheckpoint();
     for (unsigned I = 0; I < N; ++I) {
       std::int64_t BIK = M.get(I, K);
       if (BIK >= DbmInfinity)
@@ -571,6 +578,7 @@ void ConstraintGraph::joinWith(const ConstraintGraph &O) {
   NewBlock->Closed = true;
   NewBlock->EverClosed = true;
   NewBlock->Feasible = true;
+  NewBlock->reaccount();
   Cow.adopt(std::move(NewBlock));
 }
 

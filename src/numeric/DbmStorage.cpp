@@ -6,11 +6,28 @@
 
 #include "numeric/DbmStorage.h"
 
+#include "support/Budget.h"
 #include "support/ErrorHandling.h"
 
 #include <cassert>
 
 using namespace csdf;
+
+DbmShared::~DbmShared() {
+  if (Accountant && AccountedBytes)
+    Accountant->accountBytes(-static_cast<std::int64_t>(AccountedBytes));
+}
+
+void DbmShared::reaccount() {
+  if (!Accountant)
+    Accountant = currentBudget();
+  if (!Accountant)
+    return;
+  std::uint64_t Now = M ? M->byteSize() : 0;
+  Accountant->accountBytes(static_cast<std::int64_t>(Now) -
+                           static_cast<std::int64_t>(AccountedBytes));
+  AccountedBytes = Now;
+}
 
 void DenseDbmStorage::resize(unsigned NewN) {
   assert(NewN >= N && "DBM storage cannot shrink via resize");
@@ -65,6 +82,7 @@ bool CowDbm::detach() {
   Fresh->Feasible = B->Feasible;
   Fresh->PendingEdge = B->PendingEdge;
   Fresh->EverClosed = B->EverClosed;
+  Fresh->reaccount();
   B = std::move(Fresh);
   return true;
 }

@@ -30,6 +30,8 @@
 
 namespace csdf {
 
+class AnalysisBudget;
+
 /// The "no constraint" bound. Kept far from the int64 limits so saturated
 /// additions cannot overflow.
 inline constexpr std::int64_t DbmInfinity =
@@ -57,6 +59,10 @@ public:
 
   /// Removes variable \p Victim, renumbering later variables down by one.
   virtual void removeVar(unsigned Victim) = 0;
+
+  /// Approximate heap bytes held by this matrix, for the AnalysisBudget
+  /// memory ceiling.
+  virtual std::uint64_t byteSize() const = 0;
 };
 
 /// Flat row-major array backend (the paper's optimization direction 3).
@@ -74,6 +80,9 @@ public:
     return std::make_unique<DenseDbmStorage>(*this);
   }
   void removeVar(unsigned Victim) override;
+  std::uint64_t byteSize() const override {
+    return Data.capacity() * sizeof(std::int64_t);
+  }
 
 private:
   unsigned N = 0;
@@ -100,6 +109,10 @@ public:
     return std::make_unique<MapDbmStorage>(*this);
   }
   void removeVar(unsigned Victim) override;
+  std::uint64_t byteSize() const override {
+    // Per-node estimate: key + value + rb-tree bookkeeping.
+    return Bounds.size() * 64;
+  }
 
 private:
   unsigned N = 0;
@@ -141,9 +154,26 @@ struct DbmShared {
   /// the represented constraint set.
   bool EverClosed = false;
 
+  /// Bytes currently charged to Accountant for this block's matrix.
+  std::uint64_t AccountedBytes = 0;
+  /// The AnalysisBudget the bytes are charged to, bound lazily from the
+  /// thread's current budget at the first reaccount(). Non-owning: the
+  /// budget must outlive every block accounted against it.
+  AnalysisBudget *Accountant = nullptr;
+
   DbmShared() = default;
   explicit DbmShared(std::unique_ptr<DbmStorage> Storage)
       : M(std::move(Storage)) {}
+  ~DbmShared();
+
+  DbmShared(const DbmShared &) = delete;
+  DbmShared &operator=(const DbmShared &) = delete;
+
+  /// Re-reads the matrix's byteSize() and charges the delta to the bound
+  /// budget (binding to the thread's current budget first if unbound).
+  /// Call after any allocation-changing mutation; a no-op when no budget
+  /// is active.
+  void reaccount();
 };
 
 /// Copy-on-write handle to a DbmShared block. Copying a handle is O(1);

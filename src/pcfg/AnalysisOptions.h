@@ -21,6 +21,7 @@
 #define CSDF_PCFG_ANALYSISOPTIONS_H
 
 #include "numeric/DbmStorage.h"
+#include "support/Budget.h"
 
 #include <cstdint>
 #include <map>
@@ -81,6 +82,13 @@ struct AnalysisOptions {
 
   /// Constraint-graph storage backend (the Section IX ablation knob).
   DbmBackend Backend = DbmBackend::Dense;
+
+  /// Resource governor for this run (deadline, memory ceiling, prover
+  /// steps). Non-owning: the budget must outlive the analysis *and* every
+  /// AnalysisResult snapshot holding DBM state accounted against it. Null
+  /// disables cooperative budgeting (the MaxStates/MaxProcSets/... bounds
+  /// above still apply).
+  AnalysisBudget *Budget = nullptr;
 
   /// Summarizes singleton-sender send loops (`for v = lo to hi do
   /// send x -> v; end`) into one aggregated in-flight record — the

@@ -17,6 +17,7 @@
 #define CSDF_PCFG_ANALYSISRESULT_H
 
 #include "pcfg/PcfgState.h"
+#include "support/Budget.h"
 
 #include <optional>
 #include <set>
@@ -71,6 +72,53 @@ struct AnalysisBug {
 /// Returns a short name for \p Kind.
 const char *analysisBugKindName(AnalysisBug::Kind Kind);
 
+/// How an analysis session ended, ordered from best to worst.
+enum class AnalysisVerdict {
+  /// Reached a fixpoint; results are the full abstraction the framework
+  /// can express.
+  Complete,
+  /// A resource budget or precision limit forced the framework to pass
+  /// Top (Section VI): partial results below remain sound facts about the
+  /// explored prefix, but the topology may be incomplete.
+  DegradedToTop,
+  /// An internal invariant violation was caught and recovered; results
+  /// must not be trusted.
+  InternalError,
+};
+
+/// Returns a short name for \p Verdict ("complete", "degraded-to-top",
+/// "internal-error").
+const char *analysisVerdictName(AnalysisVerdict Verdict);
+
+/// Structured description of how the analysis ended — the replacement for
+/// matching on bare TopReason strings.
+struct AnalysisOutcome {
+  AnalysisVerdict Verdict = AnalysisVerdict::Complete;
+
+  /// For DegradedToTop: which resource bound tripped, or BudgetKind::None
+  /// for a precision give-up (unprovable send-receive match).
+  BudgetKind Budget = BudgetKind::None;
+
+  /// Human-readable reason (empty for Complete).
+  std::string Reason;
+
+  /// The pCFG configuration being processed when the analysis gave up or
+  /// failed, when one was active (e.g. the configuration whose variant
+  /// set overflowed). Empty otherwise.
+  std::string Configuration;
+
+  bool complete() const { return Verdict == AnalysisVerdict::Complete; }
+  bool degraded() const { return Verdict == AnalysisVerdict::DegradedToTop; }
+  bool internalError() const {
+    return Verdict == AnalysisVerdict::InternalError;
+  }
+
+  /// Renders "complete", "degraded-to-top(deadline)", or
+  /// "internal-error" — the stable one-token form the CLI prints and the
+  /// batch report stores.
+  std::string str() const;
+};
+
 /// The result of running the pCFG dataflow analysis on a program.
 struct AnalysisResult {
   /// True when the analysis reached a fixpoint without giving up. A false
@@ -78,6 +126,11 @@ struct AnalysisResult {
   /// be incomplete.
   bool Converged = false;
   std::string TopReason;
+
+  /// Structured verdict; kept in sync with Converged/TopReason (which
+  /// remain for existing callers: Converged == Outcome.complete() unless
+  /// the verdict is InternalError, where Converged is also false).
+  AnalysisOutcome Outcome;
 
   /// Established send-receive matches (the communication topology).
   std::set<MatchRecord> Matches;

@@ -10,6 +10,7 @@
 #include "lang/ExprOps.h"
 #include "pcfg/Matcher.h"
 #include "pcfg/PartnerExpr.h"
+#include "support/Budget.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
 
@@ -38,6 +39,25 @@ const char *csdf::analysisBugKindName(AnalysisBug::Kind Kind) {
     return "tag-mismatch";
   }
   csdf_unreachable("unhandled AnalysisBug::Kind");
+}
+
+const char *csdf::analysisVerdictName(AnalysisVerdict Verdict) {
+  switch (Verdict) {
+  case AnalysisVerdict::Complete:
+    return "complete";
+  case AnalysisVerdict::DegradedToTop:
+    return "degraded-to-top";
+  case AnalysisVerdict::InternalError:
+    return "internal-error";
+  }
+  csdf_unreachable("unhandled AnalysisVerdict");
+}
+
+std::string AnalysisOutcome::str() const {
+  std::string S = analysisVerdictName(Verdict);
+  if (Verdict == AnalysisVerdict::DegradedToTop && Budget != BudgetKind::None)
+    S += std::string("(") + budgetKindName(Budget) + ")";
+  return S;
 }
 
 namespace {
@@ -100,14 +120,26 @@ private:
     return std::nullopt;
   }
 
-  void fail(const std::string &Reason) {
+  /// Degrades the result to Top. \p Kind records which resource bound
+  /// tripped (BudgetKind::None for precision give-ups); \p Config the
+  /// offending pCFG configuration, when one is identifiable. First
+  /// failure wins.
+  void fail(BudgetKind Kind, const std::string &Reason,
+            std::string Config = "") {
     if (tracingEnabled())
       std::fprintf(stderr, "TOP: %s\n", Reason.c_str());
     if (!ToppedOut) {
       ToppedOut = true;
       Result.TopReason = Reason;
+      Result.Outcome.Verdict = AnalysisVerdict::DegradedToTop;
+      Result.Outcome.Budget = Kind;
+      Result.Outcome.Reason = Reason;
+      Result.Outcome.Configuration = std::move(Config);
     }
   }
+
+  /// Precision give-up (not resource exhaustion).
+  void fail(const std::string &Reason) { fail(BudgetKind::None, Reason); }
 
   std::string freshSetName() { return "s" + std::to_string(FreshSets++); }
 
@@ -347,8 +379,10 @@ private:
     }
     normalize(St);
     if (St.Sets.size() > Opts.MaxProcSets) {
-      fail("process-set bound p=" + std::to_string(Opts.MaxProcSets) +
-           " exceeded");
+      fail(BudgetKind::ProcSets,
+           "process-set bound p=" + std::to_string(Opts.MaxProcSets) +
+               " exceeded",
+           St.configKey());
       return;
     }
 
@@ -411,7 +445,8 @@ private:
       return;
     }
     if (Variants.size() >= Opts.MaxVariantsPerConfig) {
-      fail("too many unjoinable states at configuration " + Key);
+      fail(BudgetKind::Variants,
+           "too many unjoinable states at configuration " + Key, Key);
       return;
     }
     Variants.push_back(Stored{std::move(St), 1, {}});
@@ -1077,8 +1112,10 @@ private:
   /// Buffered-send emission: freeze the send's expressions and advance.
   bool emitSend(PcfgState &St, size_t Idx) {
     if (St.InFlight.size() >= Opts.MaxInFlight) {
-      fail("in-flight send bound exceeded (aggregation of unbounded "
-           "non-blocking sends is future work, Section X)");
+      fail(BudgetKind::InFlight,
+           "in-flight send bound exceeded (aggregation of unbounded "
+           "non-blocking sends is future work, Section X)",
+           St.configKey());
       return false;
     }
     ProcSetEntry &Set = St.Sets[Idx];
@@ -1618,11 +1655,17 @@ private:
   AnalysisResult Result;
   unsigned FreshSets = 0;
   bool ToppedOut = false;
+  /// Configuration key of the state currently being stepped, for budget
+  /// failure attribution and crash reports.
+  std::string CurrentConfig;
+
+  void explore();
+  void finish();
 };
 
-AnalysisResult Engine::run() {
-  ScopedTimer Timer(*Stats, "pcfg.analysis.seconds");
-
+/// Seeds the initial state and drains the worklist (the Figure 4 loop).
+/// Throws BudgetExceeded/EngineError; run() owns recovery.
+void Engine::explore() {
   PcfgState Init(Opts.Backend);
   ProcSetEntry All;
   All.Name = "p0";
@@ -1645,8 +1688,9 @@ AnalysisResult Engine::run() {
   submit(std::move(Init));
 
   while (!Worklist.empty() && !ToppedOut) {
+    budgetCheckpoint();
     if (Result.StatesExplored >= Opts.MaxStates) {
-      fail("state budget exceeded");
+      fail(BudgetKind::States, "state budget exceeded");
       break;
     }
     auto [Key, Variant] = Worklist.front();
@@ -1654,6 +1698,7 @@ AnalysisResult Engine::run() {
     auto It = Table.find(Key);
     if (It == Table.end() || Variant >= It->second.size())
       continue;
+    CurrentConfig = Key;
     // Copy: step() submits successors which may mutate the table.
     PcfgState Cur = It->second[Variant].State;
     StuckBugs.clear();
@@ -1664,7 +1709,12 @@ AnalysisResult Engine::run() {
       It2->second[Variant].Stuck = std::move(StuckBugs);
     StuckBugs.clear();
   }
+}
 
+/// Post-exploration verdicting: stuck-variant sweep, bug stamping,
+/// deterministic ordering. Runs after a clean drain and after a budget
+/// trip (partial results stay meaningful); skipped on internal error.
+void Engine::finish() {
   // Variants still stuck at fixpoint are the Top states of Figure 4.
   for (const auto &[Key, Variants] : Table) {
     for (const Stored &Entry : Variants) {
@@ -1691,6 +1741,42 @@ AnalysisResult Engine::run() {
                     Result.Bugs.end());
 
   Result.Converged = !ToppedOut;
+}
+
+AnalysisResult Engine::run() {
+  ScopedTimer Timer(*Stats, "pcfg.analysis.seconds");
+
+  // Install the session budget (if any) for the numeric core, matcher, and
+  // prover to poll, and make invariant violations recoverable: one
+  // pathological program must degrade this result, not kill the process.
+  AnalysisBudget *Budget = Opts.Budget;
+  if (Budget && !Budget->started())
+    Budget->begin();
+  BudgetScope Budgets(Budget);
+  RecoveryScope Recover;
+  CrashContext Ctx("running pCFG analysis", [this] {
+    return CurrentConfig.empty() ? std::string("<initial state>")
+                                 : "configuration " + CurrentConfig;
+  });
+
+  try {
+    try {
+      explore();
+    } catch (const BudgetExceeded &E) {
+      fail(E.kind(), E.reason(), CurrentConfig);
+    }
+    finish();
+  } catch (const EngineError &E) {
+    // Invariant violation reached from input: report InternalError with
+    // whatever context we have. Partial results are untrustworthy, so do
+    // not run the verdicting epilogue over them.
+    Result.Outcome.Verdict = AnalysisVerdict::InternalError;
+    Result.Outcome.Budget = BudgetKind::None;
+    Result.Outcome.Reason = E.what();
+    Result.Outcome.Configuration = CurrentConfig;
+    Result.Converged = false;
+    Result.TopReason = std::string("internal error: ") + E.what();
+  }
   return std::move(Result);
 }
 

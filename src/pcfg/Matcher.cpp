@@ -6,6 +6,8 @@
 
 #include "pcfg/Matcher.h"
 
+#include "support/Budget.h"
+
 using namespace csdf;
 
 namespace {
@@ -151,6 +153,7 @@ std::optional<MatchResult> csdf::tryMatch(const AnalysisOptions &Opts,
                                           const FactEnv &Facts,
                                           bool &TagConflict) {
   TagConflict = false;
+  budgetCheckpoint();
   // Tags must be provably equal for a match; provably unequal tags are a
   // diagnosable bug (the channel head can never be consumed).
   if (!Send.Tag || !Recv.Tag)

@@ -1,0 +1,105 @@
+//===- support/Budget.cpp -------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+using namespace csdf;
+
+const char *csdf::budgetKindName(BudgetKind Kind) {
+  switch (Kind) {
+  case BudgetKind::None:
+    return "none";
+  case BudgetKind::States:
+    return "states";
+  case BudgetKind::Variants:
+    return "variants";
+  case BudgetKind::InFlight:
+    return "in-flight";
+  case BudgetKind::ProcSets:
+    return "proc-sets";
+  case BudgetKind::Deadline:
+    return "deadline";
+  case BudgetKind::Memory:
+    return "memory";
+  case BudgetKind::ProverSteps:
+    return "prover-steps";
+  }
+  return "unknown";
+}
+
+void AnalysisBudget::begin() {
+  Start = std::chrono::steady_clock::now();
+  Started = true;
+  PollsSinceClockRead = 0;
+  LiveBytes = 0;
+  PeakBytes = 0;
+  ProverSteps = 0;
+}
+
+std::uint64_t AnalysisBudget::elapsedMs() const {
+  if (!Started)
+    return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+}
+
+void AnalysisBudget::checkDeadline() {
+  if (DeadlineMs == 0 || !Started)
+    return;
+  if (++PollsSinceClockRead < ClockSampleInterval)
+    return;
+  PollsSinceClockRead = 0;
+  std::uint64_t Elapsed = elapsedMs();
+  if (Elapsed > DeadlineMs)
+    throw BudgetExceeded(BudgetKind::Deadline,
+                         "wall-clock deadline of " +
+                             std::to_string(DeadlineMs) + " ms exceeded (" +
+                             std::to_string(Elapsed) + " ms elapsed)");
+}
+
+void AnalysisBudget::checkpoint() {
+  checkDeadline();
+  if (MaxMemoryMb != 0 && LiveBytes > MaxMemoryMb * 1024 * 1024)
+    throw BudgetExceeded(
+        BudgetKind::Memory,
+        "DBM memory ceiling of " + std::to_string(MaxMemoryMb) +
+            " MB exceeded (" + std::to_string(LiveBytes / (1024 * 1024)) +
+            " MB live)");
+}
+
+void AnalysisBudget::proverStep() {
+  ++ProverSteps;
+  if (MaxProverSteps != 0 && ProverSteps > MaxProverSteps)
+    throw BudgetExceeded(BudgetKind::ProverSteps,
+                         "HSM prover search-step budget of " +
+                             std::to_string(MaxProverSteps) + " exceeded");
+  checkDeadline();
+}
+
+void AnalysisBudget::accountBytes(std::int64_t Delta) {
+  if (Delta >= 0)
+    LiveBytes += static_cast<std::uint64_t>(Delta);
+  else {
+    std::uint64_t Release = static_cast<std::uint64_t>(-Delta);
+    LiveBytes = LiveBytes >= Release ? LiveBytes - Release : 0;
+  }
+  if (LiveBytes > PeakBytes)
+    PeakBytes = LiveBytes;
+}
+
+namespace {
+thread_local AnalysisBudget *CurrentBudget = nullptr;
+} // namespace
+
+AnalysisBudget *csdf::currentBudget() { return CurrentBudget; }
+
+BudgetScope::BudgetScope(AnalysisBudget *Budget) : Previous(CurrentBudget) {
+  CurrentBudget = Budget;
+}
+
+BudgetScope::~BudgetScope() { CurrentBudget = Previous; }

@@ -11,8 +11,62 @@
 
 using namespace csdf;
 
+namespace {
+thread_local unsigned RecoveryDepth = 0;
+thread_local CrashContext *InnermostContext = nullptr;
+} // namespace
+
+RecoveryScope::RecoveryScope() { ++RecoveryDepth; }
+
+RecoveryScope::~RecoveryScope() { --RecoveryDepth; }
+
+bool RecoveryScope::active() { return RecoveryDepth > 0; }
+
+CrashContext::CrashContext(std::string Label,
+                           std::function<std::string()> Detail)
+    : Label(std::move(Label)), Detail(std::move(Detail)),
+      Parent(InnermostContext) {
+  InnermostContext = this;
+}
+
+CrashContext::CrashContext(std::string Label)
+    : CrashContext(std::move(Label), nullptr) {}
+
+CrashContext::~CrashContext() { InnermostContext = Parent; }
+
+namespace csdf {
+/// Prints active CrashContext frames outermost-first. Only called on the
+/// abort path, where reentrancy and allocation failure are acceptable
+/// risks compared to losing the report entirely.
+void printCrashContexts() {
+  // Walk the intrusive list into outermost-first order without allocating
+  // more than the frame count in pointers.
+  CrashContext *Frames[64];
+  unsigned Count = 0;
+  for (CrashContext *C = InnermostContext; C && Count < 64; C = C->Parent)
+    Frames[Count++] = C;
+  for (unsigned I = Count; I > 0; --I) {
+    CrashContext *C = Frames[I - 1];
+    if (C->Detail) {
+      std::string D = C->Detail();
+      std::fprintf(stderr, "  while %s: %s\n", C->Label.c_str(), D.c_str());
+    } else {
+      std::fprintf(stderr, "  while %s\n", C->Label.c_str());
+    }
+  }
+}
+} // namespace csdf
+
 void csdf::reportUnreachable(const char *Msg, const char *File,
                              unsigned Line) {
+  if (RecoveryScope::active())
+    throw EngineError(Msg, File, Line);
+  // Flush pending output (diagnostics already rendered to stdout/stderr)
+  // before the crash report so field reports keep their ordering.
+  std::fflush(stdout);
+  std::fflush(stderr);
   std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  printCrashContexts();
+  std::fflush(stderr);
   std::abort();
 }

@@ -1,4 +1,4 @@
-//===- support/ErrorHandling.h - Fatal error utilities --------------------===//
+//===- support/ErrorHandling.h - Fatal and recoverable error utilities ----===//
 //
 // Part of the csdf project, under the Apache License v2.0.
 //
@@ -6,18 +6,95 @@
 ///
 /// \file
 /// csdf_unreachable() mirrors llvm_unreachable(): marks code paths that must
-/// never execute if program invariants hold.
+/// never execute if program invariants hold. By default it aborts, but two
+/// RAII helpers change what happens on the way down:
+///
+///  - RecoveryScope turns reportUnreachable into a thrown EngineError, so an
+///    input-reachable invariant violation inside the analysis engine becomes
+///    a recoverable InternalError outcome instead of killing the process.
+///    This is how one pathological .mpl file is prevented from taking down a
+///    batch or an interactive session.
+///
+///  - CrashContext registers a lazily-formatted context frame (active source
+///    file, current pCFG configuration, ...) that reportUnreachable prints —
+///    after flushing stdio, so pending diagnostics are not lost — before
+///    aborting. Frames cost one thread-local pointer write when nothing
+///    crashes.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSDF_SUPPORT_ERRORHANDLING_H
 #define CSDF_SUPPORT_ERRORHANDLING_H
 
+#include <functional>
+#include <stdexcept>
+#include <string>
+
 namespace csdf {
 
-/// Reports a fatal internal error and aborts. Never returns.
+/// Reports a fatal internal error. Flushes stdio, prints any active
+/// CrashContext frames, and aborts — unless a RecoveryScope is active on
+/// this thread, in which case it throws EngineError instead.
 [[noreturn]] void reportUnreachable(const char *Msg, const char *File,
                                     unsigned Line);
+
+/// A recoverable internal engine error: an invariant violation reached from
+/// user input. Thrown by reportUnreachable under a RecoveryScope; callers
+/// (Engine::run, the driver Session) surface it as an `internal-error`
+/// diagnostic / InternalError verdict.
+class EngineError : public std::runtime_error {
+public:
+  EngineError(std::string Msg, std::string File, unsigned Line)
+      : std::runtime_error(Msg + " (" + File + ":" + std::to_string(Line) +
+                           ")"),
+        Msg(std::move(Msg)), File(std::move(File)), Line(Line) {}
+
+  const std::string &message() const { return Msg; }
+  const std::string &file() const { return File; }
+  unsigned line() const { return Line; }
+
+private:
+  std::string Msg;
+  std::string File;
+  unsigned Line;
+};
+
+/// While alive, invariant violations on this thread throw EngineError
+/// instead of aborting. Scopes nest; recovery stays active until the
+/// outermost scope exits. Only install around code prepared to catch
+/// EngineError and unwind safely (the analysis engine; NOT arbitrary code
+/// holding half-updated global state).
+class RecoveryScope {
+public:
+  RecoveryScope();
+  ~RecoveryScope();
+
+  /// True if any RecoveryScope is active on this thread.
+  static bool active();
+
+  RecoveryScope(const RecoveryScope &) = delete;
+  RecoveryScope &operator=(const RecoveryScope &) = delete;
+};
+
+/// Registers a crash-report context frame for this thread. The callback is
+/// only invoked if the process is actually about to abort, so it may format
+/// freely (it must not itself crash or allocate unboundedly). Frames print
+/// innermost-last, prefixed "while ".
+class CrashContext {
+public:
+  CrashContext(std::string Label, std::function<std::string()> Detail);
+  explicit CrashContext(std::string Label);
+  ~CrashContext();
+
+  CrashContext(const CrashContext &) = delete;
+  CrashContext &operator=(const CrashContext &) = delete;
+
+private:
+  std::string Label;
+  std::function<std::string()> Detail;
+  CrashContext *Parent;
+  friend void printCrashContexts();
+};
 
 } // namespace csdf
 

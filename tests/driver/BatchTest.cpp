@@ -1,0 +1,231 @@
+//===- tests/driver/BatchTest.cpp - Session + batch driver tests -----------===//
+//
+// End-to-end tests for the fail-safe session layer and the crash-isolated
+// batch driver: a mixed corpus (clean, degraded, crashing, internal-error,
+// sleeping, syntactically broken) must produce one structured entry per
+// file, with the batch driver itself surviving every member.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Batch.h"
+#include "driver/Session.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <unistd.h>
+
+using namespace csdf;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A scratch directory of .mpl files, removed on destruction.
+struct TempCorpus {
+  fs::path Dir;
+  TempCorpus() {
+    Dir = fs::temp_directory_path() /
+          ("csdf-batch-test-" + std::to_string(::getpid()));
+    fs::create_directories(Dir);
+  }
+  ~TempCorpus() {
+    std::error_code Ec;
+    fs::remove_all(Dir, Ec);
+  }
+  std::string add(const std::string &Name, const std::string &Source) {
+    fs::path P = Dir / Name;
+    std::ofstream(P) << Source;
+    return P.string();
+  }
+};
+
+const char *CleanSource = "if id == 0 then\n"
+                          "  x = 42;\n"
+                          "  send x -> 1;\n"
+                          "elif id == 1 then\n"
+                          "  recv y <- 0;\n"
+                          "  print y;\n"
+                          "end\n";
+
+//===--------------------------------------------------------------------===//
+// Session layer
+//===--------------------------------------------------------------------===//
+
+TEST(SessionTest, CleanProgramCompletesWithExitZero) {
+  SessionOptions Opts;
+  Opts.Analysis = AnalysisOptions::simpleSymbolic();
+  SessionResult R = runAnalysisSession("clean.mpl", CleanSource, Opts);
+  EXPECT_EQ(R.ExitCode, SessionExitComplete);
+  EXPECT_TRUE(R.Outcome.complete());
+  EXPECT_FALSE(R.FrontEndErrors);
+  ASSERT_NE(R.Graph, nullptr);
+  EXPECT_EQ(R.Report.Analysis.matchedNodePairs().size(), 1u);
+}
+
+TEST(SessionTest, FrontEndErrorsExitOne) {
+  SessionResult R = runAnalysisSession("bad.mpl", "x = ;\n", SessionOptions());
+  EXPECT_EQ(R.ExitCode, SessionExitFindings);
+  EXPECT_TRUE(R.FrontEndErrors);
+  EXPECT_NE(R.Error.find("bad.mpl"), std::string::npos);
+}
+
+TEST(SessionTest, InternalErrorHookRecoversWithExitThree) {
+  SessionOptions Opts;
+  Opts.EnableTestHooks = true;
+  SessionResult R = runAnalysisSession(
+      "hook.mpl", "# csdf-test: internal-error\nx = 1;\nprint x;\n", Opts);
+  EXPECT_EQ(R.ExitCode, SessionExitInternal);
+  EXPECT_TRUE(R.Outcome.internalError());
+  EXPECT_NE(R.Outcome.Reason.find("internal-error hook"), std::string::npos);
+}
+
+TEST(SessionTest, HooksIgnoredWhenDisabled) {
+  // Without EnableTestHooks the directive is just a comment.
+  SessionResult R = runAnalysisSession(
+      "hook.mpl", "# csdf-test: internal-error\nx = 1;\nprint x;\n",
+      SessionOptions());
+  EXPECT_EQ(R.ExitCode, SessionExitComplete);
+  EXPECT_TRUE(R.Outcome.complete());
+}
+
+TEST(SessionTest, UnreadableAndEmptyFilesAreUsageErrors) {
+  std::string Source, Error;
+  EXPECT_FALSE(readSessionFile("/nonexistent/definitely-missing.mpl", Source,
+                               Error));
+  EXPECT_NE(Error.find("cannot read"), std::string::npos);
+  TempCorpus Corpus;
+  std::string Empty = Corpus.add("empty.mpl", "  \n\t\n");
+  EXPECT_FALSE(readSessionFile(Empty, Source, Error));
+  EXPECT_NE(Error.find("is empty"), std::string::npos);
+}
+
+TEST(SessionTest, BudgetSnapshotIsStamped) {
+  SessionOptions Opts;
+  Opts.Analysis = AnalysisOptions::simpleSymbolic();
+  Opts.DeadlineMs = 60000;
+  SessionResult R = runAnalysisSession("clean.mpl", CleanSource, Opts);
+  EXPECT_EQ(R.ExitCode, SessionExitComplete);
+  // DBM allocations were accounted while the session budget was active.
+  EXPECT_GT(R.PeakDbmBytes, 0u);
+}
+
+//===--------------------------------------------------------------------===//
+// Batch driver
+//===--------------------------------------------------------------------===//
+
+#ifndef _WIN32
+
+TEST(BatchTest, MixedCorpusIsolatesEveryFailureMode) {
+  TempCorpus Corpus;
+  Corpus.add("clean.mpl", CleanSource);
+  Corpus.add("crasher.mpl", "# csdf-test: crash\nx = 1;\nprint x;\n");
+  Corpus.add("internal.mpl", "# csdf-test: internal-error\nx = 1;\nprint x;\n");
+  Corpus.add("sleeper.mpl", "# csdf-test: sleep-ms 60000\nx = 1;\nprint x;\n");
+  Corpus.add("syntax.mpl", "x = ;\n");
+
+  std::vector<std::string> Files;
+  std::string Error;
+  ASSERT_TRUE(collectBatchInputs(Corpus.Dir.string(), Files, Error)) << Error;
+  ASSERT_EQ(Files.size(), 5u);
+
+  BatchOptions Opts;
+  Opts.Session.Analysis = AnalysisOptions::simpleSymbolic();
+  Opts.Session.EnableTestHooks = true;
+  Opts.Jobs = 4;
+  Opts.TimeoutMs = 2000;
+  BatchReport Report = runBatch(Files, Opts);
+
+  ASSERT_EQ(Report.Entries.size(), 5u);
+  EXPECT_FALSE(Report.allComplete());
+  EXPECT_EQ(Report.Complete, 1u);
+  EXPECT_EQ(Report.Crashes, 1u);
+  EXPECT_EQ(Report.InternalErrors, 1u);
+  EXPECT_EQ(Report.Timeouts, 1u);
+  EXPECT_EQ(Report.Findings, 1u); // the syntax error
+
+  // Entries come back sorted by input order; spot-check each verdict.
+  auto Find = [&](const std::string &Stem) -> const BatchEntry & {
+    for (const BatchEntry &E : Report.Entries)
+      if (E.File.find(Stem) != std::string::npos)
+        return E;
+    static BatchEntry Missing;
+    ADD_FAILURE() << "no entry for " << Stem;
+    return Missing;
+  };
+  EXPECT_EQ(Find("clean.mpl").Verdict, "complete");
+  EXPECT_EQ(Find("clean.mpl").Reason, BatchExitReason::Exited);
+  EXPECT_EQ(Find("crasher.mpl").Verdict, "crash");
+  EXPECT_EQ(Find("crasher.mpl").Reason, BatchExitReason::Signaled);
+  EXPECT_EQ(Find("internal.mpl").Verdict, "internal-error");
+  EXPECT_EQ(Find("internal.mpl").ExitCode, SessionExitInternal);
+  EXPECT_EQ(Find("sleeper.mpl").Verdict, "timeout");
+  EXPECT_EQ(Find("sleeper.mpl").Reason, BatchExitReason::TimedOut);
+  EXPECT_EQ(Find("syntax.mpl").Verdict, "front-end-errors");
+}
+
+TEST(BatchTest, JsonReportIsWellFormedAndStable) {
+  TempCorpus Corpus;
+  Corpus.add("clean.mpl", CleanSource);
+  Corpus.add("internal.mpl", "# csdf-test: internal-error\nx = 1;\nprint x;\n");
+
+  std::vector<std::string> Files;
+  std::string Error;
+  ASSERT_TRUE(collectBatchInputs(Corpus.Dir.string(), Files, Error)) << Error;
+
+  BatchOptions Opts;
+  Opts.Session.Analysis = AnalysisOptions::simpleSymbolic();
+  Opts.Session.EnableTestHooks = true;
+  BatchReport Report = runBatch(Files, Opts);
+  std::string Json = Report.json();
+
+  // Normalize the volatile fields (timings, memory, absolute paths) so the
+  // remainder is a golden string.
+  Json = std::regex_replace(Json, std::regex("\"wall_ms\": \\d+"),
+                            "\"wall_ms\": 0");
+  Json = std::regex_replace(Json, std::regex("\"peak_rss_kb\": \\d+"),
+                            "\"peak_rss_kb\": 0");
+  Json = std::regex_replace(Json, std::regex("\"file\": \"[^\"]*/"),
+                            "\"file\": \"");
+  Json = std::regex_replace(
+      Json, std::regex("\\(/[^)]*Session\\.cpp:\\d+\\)"), "(Session.cpp)");
+
+  EXPECT_EQ(Json,
+            "{\n"
+            "  \"summary\": {\"files\": 2, \"complete\": 1, \"findings\": 0, "
+            "\"usage_errors\": 0, \"internal_errors\": 1, \"crashes\": 0, "
+            "\"timeouts\": 0},\n"
+            "  \"files\": [\n"
+            "    {\"file\": \"clean.mpl\", \"verdict\": \"complete\", "
+            "\"exit_reason\": \"exited\", \"exit_code\": 0, \"signal\": 0, "
+            "\"detail\": \"\", \"wall_ms\": 0, \"peak_rss_kb\": 0},\n"
+            "    {\"file\": \"internal.mpl\", \"verdict\": "
+            "\"internal-error\", \"exit_reason\": \"exited\", \"exit_code\": "
+            "3, \"signal\": 0, \"detail\": \"csdf-test: internal-error hook "
+            "(Session.cpp)\", \"wall_ms\": 0, \"peak_rss_kb\": 0}\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(BatchTest, FileListInputsAndMissingDirErrors) {
+  TempCorpus Corpus;
+  std::string Clean = Corpus.add("clean.mpl", CleanSource);
+  std::string List =
+      Corpus.add("inputs.txt", "# a comment\n\n" + Clean + "\n");
+
+  std::vector<std::string> Files;
+  std::string Error;
+  ASSERT_TRUE(collectBatchInputs(List, Files, Error)) << Error;
+  ASSERT_EQ(Files.size(), 1u);
+  EXPECT_EQ(Files[0], Clean);
+
+  Files.clear();
+  EXPECT_FALSE(collectBatchInputs("/nonexistent/corpus-dir-xyz", Files,
+                                  Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+#endif // !_WIN32
+
+} // namespace

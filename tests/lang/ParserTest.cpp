@@ -168,6 +168,48 @@ TEST(ParserTest, AllCorpusProgramsParse) {
   EXPECT_TRUE(parseProgram(corpus::ringShift()).succeeded());
 }
 
+TEST(ParserTest, DeepNestingReportsDepthLimitNotCrash) {
+  // 10x the configured limit of nested ifs: one clean diagnostic, no
+  // stack overflow, no diagnostic flood.
+  std::string Source;
+  for (unsigned I = 0; I < DefaultMaxParseDepth * 10; ++I)
+    Source += "if id == 0 then\n";
+  ParseResult R = parseProgram(Source);
+  ASSERT_FALSE(R.succeeded());
+  bool Reported = false;
+  for (const ParseDiagnostic &D : R.Diagnostics)
+    Reported |= D.Message.find("nesting depth exceeds the limit") !=
+                std::string::npos;
+  EXPECT_TRUE(Reported);
+}
+
+TEST(ParserTest, DeepExpressionsHitDepthLimitToo) {
+  std::string Source = "x = ";
+  for (unsigned I = 0; I < DefaultMaxParseDepth * 10; ++I)
+    Source += "not ";
+  Source += "1;";
+  ParseResult R = parseProgram(Source);
+  ASSERT_FALSE(R.succeeded());
+}
+
+TEST(ParserTest, NestingWithinLimitIsAccepted) {
+  std::string Source;
+  for (unsigned I = 0; I < 50; ++I)
+    Source += "if id == 0 then\n";
+  Source += "skip;\n";
+  for (unsigned I = 0; I < 50; ++I)
+    Source += "end\n";
+  EXPECT_TRUE(parseProgram(Source).succeeded());
+}
+
+TEST(ParserTest, LexErrorAfterPartialStmtTerminates) {
+  // Regression: the token stream ends at the first Error token, and error
+  // recovery used to spin forever trying to skip past it.
+  ParseResult R = parseProgram("d.");
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_FALSE(R.Diagnostics.empty());
+}
+
 TEST(ParserTest, PrintRoundTripsStructurally) {
   for (const auto &[Name, Source] : corpus::allPatterns()) {
     ParseResult First = parseProgram(Source);

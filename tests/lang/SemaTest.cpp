@@ -91,4 +91,26 @@ TEST(SemaTest, CorpusProgramsAreClean) {
   }
 }
 
+TEST(SemaTest, ProgrammaticallyDeepAstHitsNestingLimit) {
+  // The parser caps its own recursion, but sema also checks ASTs built in
+  // memory (tests, generated programs); a pathologically deep one must
+  // produce an error, not a stack overflow.
+  Program P;
+  StmtList Inner;
+  for (int I = 0; I < 5000; ++I) {
+    const Expr *Cond = P.makeExpr<IntLitExpr>(1, SourceLoc{1, 1});
+    const Stmt *If = P.makeStmt<IfStmt>(Cond, std::move(Inner), StmtList{},
+                                        SourceLoc{1, 1});
+    Inner = StmtList{If};
+  }
+  P.setBody(std::move(Inner));
+  SemaResult R = checkProgram(P);
+  ASSERT_TRUE(R.hasErrors());
+  bool Reported = false;
+  for (const SemaDiagnostic &D : R.Diagnostics)
+    Reported |= D.Message.find("nesting exceeds the limit") !=
+                std::string::npos;
+  EXPECT_TRUE(Reported);
+}
+
 } // namespace

@@ -5,6 +5,7 @@
 #include "cfg/CfgBuilder.h"
 #include "lang/Corpus.h"
 #include "lang/Parser.h"
+#include "support/Budget.h"
 
 #include <gtest/gtest.h>
 
@@ -169,6 +170,140 @@ end
   EXPECT_TRUE(Ranges.count("[0..0]"));
   EXPECT_TRUE(Ranges.count("[1..1]"));
   EXPECT_TRUE(Ranges.count("[2..np-1]"));
+}
+
+//===--------------------------------------------------------------------===//
+// Structured outcomes: every budget give-up names which limit tripped and
+// preserves the partial results computed so far.
+//===--------------------------------------------------------------------===//
+
+TEST(EngineRobustnessTest, StateBudgetReportsStructuredVerdict) {
+  Built B = buildFrom(corpus::exchangeWithRoot());
+  AnalysisOptions Opts = AnalysisOptions::simpleSymbolic();
+  Opts.MaxStates = 3;
+  AnalysisResult R = analyzeProgram(B.Graph, Opts);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Outcome.Verdict, AnalysisVerdict::DegradedToTop);
+  EXPECT_EQ(R.Outcome.Budget, BudgetKind::States);
+  EXPECT_EQ(R.Outcome.str(), "degraded-to-top(states)");
+  // Partial results survive the give-up.
+  EXPECT_GT(R.StatesExplored, 0u);
+}
+
+TEST(EngineRobustnessTest, VariantBudgetNamesOffendingConfiguration) {
+  // A zero cap rejects the very first variant stored at any configuration
+  // — a deterministic trip that must surface the structured verdict with
+  // the offending configuration key attached.
+  Built B = buildFrom(corpus::figure2Exchange());
+  AnalysisOptions Opts = AnalysisOptions::simpleSymbolic();
+  Opts.MaxVariantsPerConfig = 0;
+  AnalysisResult R = analyzeProgram(B.Graph, Opts);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Outcome.Verdict, AnalysisVerdict::DegradedToTop);
+  EXPECT_EQ(R.Outcome.Budget, BudgetKind::Variants);
+  EXPECT_FALSE(R.Outcome.Configuration.empty());
+  EXPECT_NE(R.Outcome.Reason.find("unjoinable"), std::string::npos);
+  EXPECT_EQ(R.Outcome.str(), "degraded-to-top(variants)");
+}
+
+TEST(EngineRobustnessTest, InFlightBudgetReportsStructuredVerdict) {
+  Built B = buildFrom("x = 1;\n"
+                      "send x -> (id + 1) % np;\n"
+                      "send x -> (id + 2) % np;\n"
+                      "recv y <- (id + np - 1) % np;\n"
+                      "recv z <- (id + np - 2) % np;\n");
+  AnalysisOptions Opts = AnalysisOptions::cartesian();
+  Opts.MaxInFlight = 1;
+  AnalysisResult R = analyzeProgram(B.Graph, Opts);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Outcome.Verdict, AnalysisVerdict::DegradedToTop);
+  EXPECT_EQ(R.Outcome.Budget, BudgetKind::InFlight);
+}
+
+TEST(EngineRobustnessTest, PrecisionGiveUpHasNoBudgetKind) {
+  // ringShift tops out for precision reasons, not because of a budget.
+  Built B = buildFrom(corpus::ringShift());
+  AnalysisResult R =
+      analyzeProgram(B.Graph, AnalysisOptions::simpleSymbolic());
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Outcome.Verdict, AnalysisVerdict::DegradedToTop);
+  EXPECT_EQ(R.Outcome.Budget, BudgetKind::None);
+  EXPECT_EQ(R.Outcome.str(), "degraded-to-top");
+}
+
+TEST(EngineRobustnessTest, CompleteAnalysisReportsCompleteOutcome) {
+  Built B = buildFrom(corpus::figure2Exchange());
+  AnalysisResult R =
+      analyzeProgram(B.Graph, AnalysisOptions::simpleSymbolic());
+  ASSERT_TRUE(R.Converged);
+  EXPECT_TRUE(R.Outcome.complete());
+  EXPECT_EQ(R.Outcome.str(), "complete");
+}
+
+namespace {
+
+/// Many sequential transpose phases: enough engine steps and prover work
+/// that a cooperative budget gets polled past its sampling interval.
+std::string manyPhases(int K) {
+  std::string S = "assume np == nrows * nrows;\n";
+  for (int I = 0; I < K; ++I) {
+    std::string N = std::to_string(I);
+    S += "x" + N + " = id + " + N + ";\n";
+    S += "send x" + N + " -> (id % nrows) * nrows + id / nrows;\n";
+    S += "recv y" + N + " <- (id % nrows) * nrows + id / nrows;\n";
+  }
+  return S;
+}
+
+} // namespace
+
+TEST(EngineRobustnessTest, DeadlineKillSwitchDegradesWithPartialResults) {
+  Built B = buildFrom(manyPhases(400));
+  AnalysisBudget Budget;
+  Budget.DeadlineMs = 1;
+  AnalysisOptions Opts = AnalysisOptions::cartesian();
+  Opts.Budget = &Budget;
+  AnalysisResult R = analyzeProgram(B.Graph, Opts);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Outcome.Verdict, AnalysisVerdict::DegradedToTop);
+  EXPECT_EQ(R.Outcome.Budget, BudgetKind::Deadline);
+  EXPECT_EQ(R.Outcome.str(), "degraded-to-top(deadline)");
+  // Progress made before the deadline is preserved, and the offending
+  // configuration is recorded.
+  EXPECT_GT(R.StatesExplored, 0u);
+  EXPECT_FALSE(R.Outcome.Configuration.empty());
+}
+
+TEST(EngineRobustnessTest, ProverStepBudgetDegradesNotAborts) {
+  Built B = buildFrom(corpus::transposeSquare());
+  AnalysisBudget Budget;
+  Budget.MaxProverSteps = 1;
+  AnalysisOptions Opts = AnalysisOptions::cartesian();
+  Opts.Budget = &Budget;
+  AnalysisResult R = analyzeProgram(B.Graph, Opts);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Outcome.Verdict, AnalysisVerdict::DegradedToTop);
+  EXPECT_EQ(R.Outcome.Budget, BudgetKind::ProverSteps);
+}
+
+TEST(EngineRobustnessTest, BudgetedRunMatchesUnbudgetedWhenNothingTrips) {
+  // A generous budget must not change any analysis result.
+  for (const auto &[Name, Source] : corpus::allPatterns()) {
+    Built B = buildFrom(Source);
+    AnalysisResult Plain =
+        analyzeProgram(B.Graph, AnalysisOptions::cartesian());
+    AnalysisBudget Budget;
+    Budget.DeadlineMs = 60000;
+    Budget.MaxMemoryMb = 1024;
+    Budget.MaxProverSteps = 100000000;
+    AnalysisOptions Opts = AnalysisOptions::cartesian();
+    Opts.Budget = &Budget;
+    AnalysisResult Budgeted = analyzeProgram(B.Graph, Opts);
+    EXPECT_EQ(Plain.Converged, Budgeted.Converged) << Name;
+    EXPECT_EQ(Plain.Matches, Budgeted.Matches) << Name;
+    EXPECT_EQ(Plain.StatesExplored, Budgeted.StatesExplored) << Name;
+    EXPECT_EQ(Plain.Outcome.str(), Budgeted.Outcome.str()) << Name;
+  }
 }
 
 TEST(EngineRobustnessTest, SelfSendSelfRecvViaHsm) {

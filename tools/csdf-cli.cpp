@@ -14,6 +14,8 @@
 //   csdf topo     <file.mpl> [options]        matched topology as DOT
 //   csdf lint     <file.mpl> [options]        static-analysis pass suite
 //                                             with structured diagnostics
+//   csdf batch    <dir|filelist> [options]    crash-isolated analysis of a
+//                                             whole corpus, JSON report
 //
 // Common options:
 //   --client linear|cartesian   client analysis (default cartesian)
@@ -26,6 +28,12 @@
 //   --stats                     after analyze/lint: dump StatsRegistry
 //                               counters and timers to stderr
 //
+// Budget options (analyze, lint, batch):
+//   --deadline-ms N             cooperative wall-clock deadline; past it
+//                               the analysis degrades to Top, not a hang
+//   --max-memory-mb N           soft ceiling on live DBM bytes
+//   --prover-steps N            HSM prover search-step budget
+//
 // Lint options:
 //   --format text|json|sarif    output format (default text)
 //   --Werror                    promote warnings to errors
@@ -33,7 +41,17 @@
 //   --disable <pass>            skip a pass (repeatable); `csdf lint
 //                               --list-passes` prints all pass names
 //
-// Lint exit codes: 0 clean, 1 findings, 2 usage/IO error.
+// Batch options:
+//   --jobs N                    concurrent forked children (default 1)
+//   --timeout-ms N              hard per-file wall timeout (SIGKILL)
+//   --report out.json           write the per-file JSON report here
+//
+// Exit codes (analyze, batch, lint):
+//   0  complete, no findings
+//   1  degraded to Top and/or findings (bugs, lint diagnostics,
+//      front-end errors); for batch: any non-complete file
+//   2  usage or IO error (bad flag, unreadable or empty input)
+//   3  internal error (recovered engine invariant violation)
 //
 //===----------------------------------------------------------------------===//
 
@@ -43,10 +61,13 @@
 #include "diag/DiagRenderer.h"
 #include "cfg/CfgBuilder.h"
 #include "cfg/CfgDot.h"
+#include "driver/Batch.h"
+#include "driver/Session.h"
 #include "interp/Interpreter.h"
 #include "lang/Parser.h"
 #include "lang/Sema.h"
 #include "pcfg/Engine.h"
+#include "support/Budget.h"
 #include "support/Stats.h"
 #include "topology/CommTopology.h"
 
@@ -78,24 +99,50 @@ struct CliOptions {
   bool Stats = false;
   std::set<std::string> Disabled;
   std::map<std::string, std::int64_t> Params;
+  // Budget limits (0 = unlimited).
+  std::uint64_t DeadlineMs = 0;
+  std::uint64_t MaxMemoryMb = 0;
+  std::uint64_t ProverSteps = 0;
+  // Batch driver.
+  unsigned Jobs = 1;
+  std::uint64_t TimeoutMs = 0;
+  std::string ReportPath;
+  /// Honor `# csdf-test:` failure-injection directives (batch corpora and
+  /// the robustness test-suite; off for normal analyses).
+  bool TestHooks = false;
 };
 
 void usage() {
   std::fprintf(stderr,
-               "usage: csdf <check|cfg|run|analyze|topo|baseline|lint> "
-               "<file.mpl> [options]\n"
+               "usage: csdf <check|cfg|run|analyze|topo|baseline|lint|batch> "
+               "<file.mpl|dir> [options]\n"
                "  --client linear|cartesian|sectionx  --np N  --fixed-np N\n"
                "  --param NAME=V  --scheduler rr|lifo|random  --seed N\n"
                "  --validate  --stats\n"
+               "budget options (analyze, lint, batch):\n"
+               "  --deadline-ms N  --max-memory-mb N  --prover-steps N\n"
                "lint options:\n"
                "  --format text|json|sarif  --Werror\n"
                "  --min-severity note|warning|error  --disable <pass>\n"
-               "  (csdf lint --list-passes prints every pass name)\n");
+               "  (csdf lint --list-passes prints every pass name)\n"
+               "batch options:\n"
+               "  --jobs N  --timeout-ms N  --report out.json\n"
+               "exit codes: 0 complete, 1 degraded/findings, 2 usage/IO, "
+               "3 internal error\n");
+}
+
+/// One-line usage diagnostic on stderr; every parseArgs failure goes
+/// through here exactly once so the exit-2 contract stays uniform.
+bool usageError(const std::string &Msg) {
+  std::fprintf(stderr, "csdf: error: %s (run csdf without arguments for "
+                       "usage)\n",
+               Msg.c_str());
+  return false;
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   if (Argc < 3)
-    return false;
+    return usageError("expected a command and an input path");
   Opts.Command = Argv[1];
   Opts.File = Argv[2];
   for (int I = 3; I < Argc; ++I) {
@@ -103,91 +150,121 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     auto Next = [&]() -> const char * {
       return I + 1 < Argc ? Argv[++I] : nullptr;
     };
+    // Flags taking an unsigned integer value all parse the same way.
+    auto NextUint = [&](std::uint64_t &Out) {
+      const char *V = Next();
+      if (!V)
+        return usageError("missing value for " + Arg);
+      char *End = nullptr;
+      Out = std::strtoull(V, &End, 10);
+      if (End == V || *End != '\0')
+        return usageError("invalid number '" + std::string(V) + "' for " +
+                          Arg);
+      return true;
+    };
     if (Arg == "--client") {
       const char *V = Next();
       if (!V)
-        return false;
+        return usageError("missing value for --client");
       Opts.Client = V;
+      if (Opts.Client != "linear" && Opts.Client != "cartesian" &&
+          Opts.Client != "sectionx")
+        return usageError("unknown client '" + Opts.Client + "'");
     } else if (Arg == "--np") {
-      const char *V = Next();
-      if (!V)
+      std::uint64_t V = 0;
+      if (!NextUint(V))
         return false;
-      Opts.Np = std::atoi(V);
+      Opts.Np = static_cast<int>(V);
     } else if (Arg == "--fixed-np") {
-      const char *V = Next();
-      if (!V)
+      std::uint64_t V = 0;
+      if (!NextUint(V))
         return false;
-      Opts.FixedNp = std::atoll(V);
+      Opts.FixedNp = static_cast<std::int64_t>(V);
     } else if (Arg == "--seed") {
-      const char *V = Next();
-      if (!V)
+      if (!NextUint(Opts.Seed))
         return false;
-      Opts.Seed = std::strtoull(V, nullptr, 10);
     } else if (Arg == "--scheduler") {
       const char *V = Next();
       if (!V)
-        return false;
+        return usageError("missing value for --scheduler");
       Opts.Scheduler = V;
+      if (Opts.Scheduler != "rr" && Opts.Scheduler != "lifo" &&
+          Opts.Scheduler != "random")
+        return usageError("unknown scheduler '" + Opts.Scheduler + "'");
     } else if (Arg == "--param") {
       const char *V = Next();
       if (!V)
-        return false;
+        return usageError("missing value for --param");
       std::string S = V;
       size_t Eq = S.find('=');
-      if (Eq == std::string::npos)
-        return false;
-      Opts.Params[S.substr(0, Eq)] = std::atoll(S.c_str() + Eq + 1);
+      if (Eq == std::string::npos || Eq == 0)
+        return usageError("malformed --param '" + S +
+                          "' (expected NAME=VALUE)");
+      char *End = nullptr;
+      std::int64_t Value = std::strtoll(S.c_str() + Eq + 1, &End, 10);
+      if (End == S.c_str() + Eq + 1 || *End != '\0')
+        return usageError("malformed --param '" + S +
+                          "' (VALUE must be an integer)");
+      Opts.Params[S.substr(0, Eq)] = Value;
     } else if (Arg == "--validate") {
       Opts.Validate = true;
     } else if (Arg == "--stats") {
       Opts.Stats = true;
+    } else if (Arg == "--deadline-ms") {
+      if (!NextUint(Opts.DeadlineMs))
+        return false;
+    } else if (Arg == "--max-memory-mb") {
+      if (!NextUint(Opts.MaxMemoryMb))
+        return false;
+    } else if (Arg == "--prover-steps") {
+      if (!NextUint(Opts.ProverSteps))
+        return false;
+    } else if (Arg == "--jobs") {
+      std::uint64_t V = 0;
+      if (!NextUint(V))
+        return false;
+      Opts.Jobs = std::max<std::uint64_t>(1, V);
+    } else if (Arg == "--timeout-ms") {
+      if (!NextUint(Opts.TimeoutMs))
+        return false;
+    } else if (Arg == "--report") {
+      const char *V = Next();
+      if (!V)
+        return usageError("missing value for --report");
+      Opts.ReportPath = V;
+    } else if (Arg == "--test-hooks") {
+      Opts.TestHooks = true;
     } else if (Arg == "--format") {
       const char *V = Next();
       if (!V)
-        return false;
+        return usageError("missing value for --format");
       Opts.Format = V;
       if (Opts.Format != "text" && Opts.Format != "json" &&
-          Opts.Format != "sarif") {
-        std::fprintf(stderr, "unknown format '%s'\n", V);
-        return false;
-      }
+          Opts.Format != "sarif")
+        return usageError("unknown format '" + Opts.Format + "'");
     } else if (Arg == "--Werror") {
       Opts.Werror = true;
     } else if (Arg == "--min-severity") {
       const char *V = Next();
       if (!V)
-        return false;
+        return usageError("missing value for --min-severity");
       Opts.MinSeverity = V;
       if (Opts.MinSeverity != "note" && Opts.MinSeverity != "warning" &&
-          Opts.MinSeverity != "error") {
-        std::fprintf(stderr, "unknown severity '%s'\n", V);
-        return false;
-      }
+          Opts.MinSeverity != "error")
+        return usageError("unknown severity '" + Opts.MinSeverity + "'");
     } else if (Arg == "--disable") {
       const char *V = Next();
       if (!V)
-        return false;
-      if (!isKnownLintPass(V)) {
-        std::fprintf(stderr, "unknown lint pass '%s' (try --list-passes)\n",
-                     V);
-        return false;
-      }
+        return usageError("missing value for --disable");
+      if (!isKnownLintPass(V))
+        return usageError("unknown lint pass '" + std::string(V) +
+                          "' (try --list-passes)");
       Opts.Disabled.insert(V);
     } else {
-      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
-      return false;
+      return usageError("unknown option '" + Arg + "'");
     }
   }
   return true;
-}
-
-std::optional<std::string> readFile(const std::string &Path) {
-  std::ifstream In(Path);
-  if (!In)
-    return std::nullopt;
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  return SS.str();
 }
 
 AnalysisOptions analysisOptions(const CliOptions &Cli) {
@@ -199,6 +276,16 @@ AnalysisOptions analysisOptions(const CliOptions &Cli) {
   Opts.FixedNp = Cli.FixedNp;
   Opts.Params = Cli.Params;
   return Opts;
+}
+
+SessionOptions sessionOptions(const CliOptions &Cli) {
+  SessionOptions S;
+  S.Analysis = analysisOptions(Cli);
+  S.DeadlineMs = Cli.DeadlineMs;
+  S.MaxMemoryMb = Cli.MaxMemoryMb;
+  S.MaxProverSteps = Cli.ProverSteps;
+  S.EnableTestHooks = Cli.TestHooks;
+  return S;
 }
 
 RunResult execute(const Cfg &Graph, const CliOptions &Cli) {
@@ -248,16 +335,45 @@ void printStats() {
     std::fprintf(stderr, "%-28s %.6f s\n", Name.c_str(), Seconds);
 }
 
-int cmdAnalyze(const Cfg &Graph, const CliOptions &Cli) {
+int cmdAnalyze(const std::string &Source, const CliOptions &Cli) {
   if (Cli.Stats)
     StatsRegistry::global().clear();
-  ClientReport Report = runClients(Graph, analysisOptions(Cli));
+  SessionResult S = runAnalysisSession(Cli.File, Source, sessionOptions(Cli));
+
+  if (S.FrontEndErrors) {
+    std::fputs(S.Error.c_str(), stderr);
+    return S.ExitCode;
+  }
+  if (S.Outcome.internalError() && !S.Graph) {
+    // Failed before the engine produced a report (hook or CFG build).
+    std::fprintf(stderr, "csdf: %s\n", S.Error.c_str());
+    return S.ExitCode;
+  }
+
+  const Cfg &Graph = *S.Graph;
+  ClientReport &Report = S.Report;
   AnalysisResult &R = Report.Analysis;
-  std::printf("verdict: %s\n",
-              R.Converged ? "converged" : ("TOP: " + R.TopReason).c_str());
+  std::printf("verdict: %s\n", R.Outcome.str().c_str());
+  if (!R.Outcome.complete() && !R.Outcome.Reason.empty())
+    std::printf("  reason: %s\n", R.Outcome.Reason.c_str());
+  if (!R.Outcome.Configuration.empty())
+    std::printf("  at configuration: %s\n", R.Outcome.Configuration.c_str());
   std::printf("states explored: %u, configurations: %u, max process sets: "
               "%u\n",
               R.StatesExplored, R.ConfigsVisited, R.MaxSetsSeen);
+  if (Cli.DeadlineMs || Cli.MaxMemoryMb || Cli.ProverSteps)
+    std::printf("budget: %llu ms elapsed, peak DBM bytes %llu, prover "
+                "steps %llu\n",
+                static_cast<unsigned long long>(S.ElapsedMs),
+                static_cast<unsigned long long>(S.PeakDbmBytes),
+                static_cast<unsigned long long>(S.ProverStepsUsed));
+  if (R.Outcome.internalError()) {
+    // Partial facts after an invariant violation are untrustworthy; print
+    // nothing beyond the verdict and the accounting snapshot.
+    if (Cli.Stats)
+      printStats();
+    return S.ExitCode;
+  }
 
   std::printf("\ntopology (%zu matches):\n", R.Matches.size());
   for (const MatchRecord &M : R.Matches)
@@ -307,12 +423,12 @@ int cmdAnalyze(const Cfg &Graph, const CliOptions &Cli) {
     printStats();
   if (Cli.Validate) {
     RunResult Run = execute(Graph, Cli);
-    ValidationReport Report = validateTopology(R, Run);
+    ValidationReport Validation = validateTopology(R, Run);
     std::printf("\nvalidation (np=%d): %s\n", Cli.Np,
-                Report.str(Graph).c_str());
-    return R.Converged && Report.Exact ? 0 : 1;
+                Validation.str(Graph).c_str());
+    return R.Converged && Validation.Exact ? 0 : 1;
   }
-  return R.Converged ? 0 : 1;
+  return S.ExitCode;
 }
 
 DiagSeverity severityFromName(const std::string &Name) {
@@ -327,6 +443,13 @@ int cmdLint(const std::string &Source, const CliOptions &Cli) {
   LintOptions Opts;
   Opts.Disabled = Cli.Disabled;
   Opts.Analysis = analysisOptions(Cli);
+
+  AnalysisBudget Budget;
+  Budget.DeadlineMs = Cli.DeadlineMs;
+  Budget.MaxMemoryMb = Cli.MaxMemoryMb;
+  Budget.MaxProverSteps = Cli.ProverSteps;
+  Budget.begin();
+  Opts.Analysis.Budget = &Budget;
 
   if (Cli.Stats)
     StatsRegistry::global().clear();
@@ -353,7 +476,53 @@ int cmdLint(const std::string &Source, const CliOptions &Cli) {
                 Diags.size(), Diags.count(DiagSeverity::Error),
                 Diags.count(DiagSeverity::Warning),
                 Diags.count(DiagSeverity::Note));
+  // A recovered engine invariant violation outranks ordinary findings.
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Pass == "internal-error")
+      return SessionExitInternal;
   return Diags.exitCode();
+}
+
+int cmdBatch(const CliOptions &Cli) {
+  std::vector<std::string> Files;
+  std::string Error;
+  if (!collectBatchInputs(Cli.File, Files, Error)) {
+    std::fprintf(stderr, "csdf: %s\n", Error.c_str());
+    return SessionExitUsage;
+  }
+
+  BatchOptions Opts;
+  Opts.Session = sessionOptions(Cli);
+  // Batch corpora are allowed to inject failures: the whole point of the
+  // driver is surviving them.
+  Opts.Session.EnableTestHooks = true;
+  Opts.Jobs = Cli.Jobs;
+  Opts.TimeoutMs = Cli.TimeoutMs;
+  // Hard address-space backstop behind the soft DBM ceiling: generous
+  // headroom for code, stacks, and the front end.
+  Opts.AddressSpaceMb = Cli.MaxMemoryMb ? Cli.MaxMemoryMb * 4 + 256 : 0;
+
+  BatchReport Report = runBatch(Files, Opts);
+  for (const BatchEntry &E : Report.Entries)
+    std::printf("%-40s %-26s %6llu ms  %s\n", E.File.c_str(),
+                E.Verdict.c_str(), static_cast<unsigned long long>(E.WallMs),
+                E.Detail.c_str());
+  std::printf("batch: %zu file(s): %u complete, %u findings, %u usage, "
+              "%u internal, %u crash(es), %u timeout(s)\n",
+              Report.Entries.size(), Report.Complete, Report.Findings,
+              Report.UsageErrors, Report.InternalErrors, Report.Crashes,
+              Report.Timeouts);
+
+  if (!Cli.ReportPath.empty()) {
+    std::ofstream Out(Cli.ReportPath);
+    if (!Out) {
+      std::fprintf(stderr, "csdf: error: cannot write report '%s'\n",
+                   Cli.ReportPath.c_str());
+      return SessionExitUsage;
+    }
+    Out << Report.json();
+  }
+  return Report.allComplete() ? SessionExitComplete : SessionExitFindings;
 }
 
 int cmdListPasses() {
@@ -386,18 +555,25 @@ int main(int Argc, char **Argv) {
   if (Cli.Command == "lint" && Cli.File == "--list-passes")
     return cmdListPasses();
 
-  auto Source = readFile(Cli.File);
-  if (!Source) {
-    std::fprintf(stderr, "error: cannot read '%s'\n", Cli.File.c_str());
+  // Batch resolves its own inputs (a directory or a file list).
+  if (Cli.Command == "batch")
+    return cmdBatch(Cli);
+
+  std::string Source, ReadError;
+  if (!readSessionFile(Cli.File, Source, ReadError)) {
+    std::fprintf(stderr, "%s\n", ReadError.c_str());
     return 2;
   }
 
   // Lint owns its whole pipeline (parse errors become diagnostics in the
   // selected output format rather than raw stderr lines).
   if (Cli.Command == "lint")
-    return cmdLint(*Source, Cli);
+    return cmdLint(Source, Cli);
+  // Analyze runs through the fail-safe session layer (budget + recovery).
+  if (Cli.Command == "analyze")
+    return cmdAnalyze(Source, Cli);
 
-  ParseResult Parsed = parseProgram(*Source);
+  ParseResult Parsed = parseProgram(Source);
   if (!Parsed.succeeded()) {
     for (const ParseDiagnostic &D : Parsed.Diagnostics)
       std::fprintf(stderr, "%s: %s\n", Cli.File.c_str(), D.str().c_str());
@@ -421,8 +597,6 @@ int main(int Argc, char **Argv) {
   }
   if (Cli.Command == "run")
     return cmdRun(Graph, Cli);
-  if (Cli.Command == "analyze")
-    return cmdAnalyze(Graph, Cli);
   if (Cli.Command == "baseline")
     return cmdBaseline(Graph);
   if (Cli.Command == "topo") {

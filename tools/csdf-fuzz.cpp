@@ -1,0 +1,197 @@
+//===- tools/csdf-fuzz.cpp - Randomized pipeline smoke fuzzer --------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Feeds randomly mutated variants of the MPL corpus through the full
+// pipeline (parse -> sema -> cfg -> analyze) under a RecoveryScope and a
+// small AnalysisBudget. The invariant under test is the failure model:
+// no input, however mangled, may abort the process or hang past its
+// budget. Crashes surface as a nonzero exit (the CI job checks $?).
+//
+//   csdf-fuzz [--seconds N] [--iters N] [--seed N] [--verbose]
+//
+// Defaults: 30 seconds wall clock (or 10000 iterations, whichever comes
+// first), seed 1. Exit 0 = survived, 1 = a recovered EngineError was seen
+// (reported, still counts as survival unless --strict), 2 = bad usage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Clients.h"
+#include "cfg/CfgBuilder.h"
+#include "lang/Corpus.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "support/Budget.h"
+#include "support/ErrorHandling.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace csdf;
+
+namespace {
+
+/// Splicing fragments that steer mutants toward interesting shapes
+/// (communication statements, nesting, budget-stressing loops).
+const char *Fragments[] = {
+    "send(id + 1, x);\n",
+    "y = recv(id - 1);\n",
+    "if (id == 0) {\n",
+    "}\n",
+    "while (i < np) {\n i = i + 1;\n",
+    "x = x * 2 + id;\n",
+    "print(x);\n",
+    "assume(np == 2 * half);\n",
+};
+
+std::string mutate(const std::string &Base, std::mt19937_64 &Rng) {
+  std::string S = Base;
+  std::uniform_int_distribution<int> OpDist(0, 5);
+  int Rounds = 1 + static_cast<int>(Rng() % 4);
+  for (int R = 0; R < Rounds; ++R) {
+    if (S.empty())
+      break;
+    size_t At = Rng() % S.size();
+    switch (OpDist(Rng)) {
+    case 0: // Truncate.
+      S.resize(At);
+      break;
+    case 1: // Delete a span.
+      S.erase(At, 1 + Rng() % 16);
+      break;
+    case 2: // Duplicate a span.
+      S.insert(At, S.substr(At, 1 + Rng() % 24));
+      break;
+    case 3: // Flip a character.
+      S[At] = static_cast<char>(' ' + Rng() % 95);
+      break;
+    case 4: // Splice a fragment.
+      S.insert(At, Fragments[Rng() % (sizeof(Fragments) /
+                                      sizeof(Fragments[0]))]);
+      break;
+    case 5: { // Swap two spans.
+      size_t Bt = Rng() % S.size();
+      size_t N = 1 + Rng() % 8;
+      std::string A = S.substr(At, N), B = S.substr(Bt, N);
+      S.replace(At, A.size(), B);
+      break;
+    }
+    }
+  }
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::uint64_t Seconds = 30, MaxIters = 10000, Seed = 1;
+  bool Verbose = false, Strict = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> std::uint64_t {
+      return I + 1 < Argc ? std::strtoull(Argv[++I], nullptr, 10) : 0;
+    };
+    if (Arg == "--seconds")
+      Seconds = Next();
+    else if (Arg == "--iters")
+      MaxIters = Next();
+    else if (Arg == "--seed")
+      Seed = Next();
+    else if (Arg == "--verbose")
+      Verbose = true;
+    else if (Arg == "--strict")
+      Strict = true;
+    else {
+      std::fprintf(stderr,
+                   "csdf-fuzz: error: unknown option '%s' "
+                   "(--seconds N --iters N --seed N --verbose --strict)\n",
+                   Arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<std::string> Bases;
+  for (const corpus::NamedProgram &P : corpus::allPatterns())
+    Bases.push_back(P.Source);
+  Bases.push_back(corpus::messageLeak());
+  Bases.push_back(corpus::headToHeadDeadlock());
+  Bases.push_back(corpus::tagMismatch());
+  Bases.push_back(corpus::ringShift());
+
+  std::mt19937_64 Rng(Seed);
+  auto Start = std::chrono::steady_clock::now();
+  auto Expired = [&] {
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::steady_clock::now() - Start)
+               .count() >= static_cast<long long>(Seconds);
+  };
+
+  std::uint64_t Iters = 0, Parsed = 0, Analyzed = 0, Degraded = 0,
+                Internal = 0;
+  for (; Iters < MaxIters && !Expired(); ++Iters) {
+    std::string Source = mutate(Bases[Rng() % Bases.size()], Rng);
+    if (Verbose) {
+      std::fprintf(stderr, "iter %llu:\n--- input ---\n%s\n---\n",
+                   static_cast<unsigned long long>(Iters), Source.c_str());
+      std::fflush(stderr);
+    }
+
+    ParseResult P = parseProgram(Source);
+    if (!P.succeeded())
+      continue;
+    ++Parsed;
+    SemaResult Sm = checkProgram(P.Prog);
+    if (Sm.hasErrors())
+      continue;
+
+    // Tight budget: a mutant that explodes combinatorially must degrade
+    // to Top within the deadline, not hang the fuzzer.
+    AnalysisBudget Budget;
+    Budget.DeadlineMs = 200;
+    Budget.MaxMemoryMb = 64;
+    Budget.MaxProverSteps = 200000;
+    Budget.begin();
+    AnalysisOptions Opts = AnalysisOptions::cartesian();
+    Opts.Budget = &Budget;
+
+    try {
+      RecoveryScope Recover;
+      Cfg Graph = buildCfg(P.Prog);
+      ClientReport R = runClients(Graph, Opts);
+      ++Analyzed;
+      if (R.Analysis.Outcome.internalError()) {
+        ++Internal;
+        std::fprintf(stderr, "csdf-fuzz: internal error (iter %llu): %s\n",
+                     static_cast<unsigned long long>(Iters),
+                     R.Analysis.Outcome.Reason.c_str());
+        if (Verbose)
+          std::fprintf(stderr, "--- input ---\n%s\n---\n", Source.c_str());
+      } else if (!R.Analysis.Outcome.complete()) {
+        ++Degraded;
+      }
+    } catch (const EngineError &E) {
+      ++Internal;
+      std::fprintf(stderr, "csdf-fuzz: recovered EngineError (iter %llu): "
+                           "%s\n",
+                   static_cast<unsigned long long>(Iters), E.what());
+      if (Verbose)
+        std::fprintf(stderr, "--- input ---\n%s\n---\n", Source.c_str());
+    }
+  }
+
+  std::printf("csdf-fuzz: %llu iteration(s), %llu parsed, %llu analyzed, "
+              "%llu degraded, %llu internal error(s)\n",
+              static_cast<unsigned long long>(Iters),
+              static_cast<unsigned long long>(Parsed),
+              static_cast<unsigned long long>(Analyzed),
+              static_cast<unsigned long long>(Degraded),
+              static_cast<unsigned long long>(Internal));
+  return Strict && Internal ? 1 : 0;
+}
