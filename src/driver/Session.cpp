@@ -144,7 +144,15 @@ SessionResult csdf::runAnalysisSession(const std::string &Path,
     Stamp();
     return R;
   }
-  SemaResult Sema = checkProgram(Parsed.Prog);
+  // Sema polls the same budget checkpoints as the parser, so a deadline
+  // that trips during semantic checking degrades the same way.
+  SemaResult Sema;
+  try {
+    Sema = checkProgram(Parsed.Prog);
+  } catch (const BudgetExceeded &E) {
+    Degrade(E);
+    return R;
+  }
   if (Sema.hasErrors()) {
     R.FrontEndErrors = true;
     std::string Msg;
@@ -167,11 +175,10 @@ SessionResult csdf::runAnalysisSession(const std::string &Path,
     R.Graph = std::make_shared<Cfg>(buildCfg(Parsed.Prog));
     R.Report = runClients(*R.Graph, Analysis);
   } catch (const BudgetExceeded &E) {
-    // A post-engine client pass (matcher, topology) tripped the budget;
-    // the engine's own result is folded in below when available.
+    // A post-engine client pass (matcher, topology) tripped the budget.
+    // runClients threw before returning, so no partial report (or engine
+    // configuration) survives to fold in here.
     Degrade(E);
-    if (R.Graph)
-      R.Outcome.Configuration = R.Report.Analysis.Outcome.Configuration;
     return R;
   } catch (const EngineError &E) {
     R.Outcome.Verdict = AnalysisVerdict::InternalError;

@@ -344,30 +344,47 @@ int cmdAnalyze(const std::string &Source, const CliOptions &Cli) {
     std::fputs(S.Error.c_str(), stderr);
     return S.ExitCode;
   }
-  if (S.Outcome.internalError() && !S.Graph) {
-    // Failed before the engine produced a report (hook or CFG build).
-    std::fprintf(stderr, "csdf: %s\n", S.Error.c_str());
+
+  auto PrintBudgetLine = [&] {
+    if (Cli.DeadlineMs || Cli.MaxMemoryMb || Cli.ProverSteps)
+      std::printf("budget: %llu ms elapsed, peak DBM bytes %llu, prover "
+                  "steps %llu\n",
+                  static_cast<unsigned long long>(S.ElapsedMs),
+                  static_cast<unsigned long long>(S.PeakDbmBytes),
+                  static_cast<unsigned long long>(S.ProverStepsUsed));
+  };
+
+  // S.Outcome is the session-level verdict: it matches the engine's on the
+  // happy path and is the only trustworthy one when a stage before or
+  // after the engine failed (budget trip in parse/sema/CFG build, hook,
+  // client pass) — the report's copy is default-empty on those paths.
+  if (!S.Graph) {
+    // The pipeline stopped before a CFG existed: no stats or findings to
+    // show, just the verdict and the accounting snapshot.
+    if (S.Outcome.internalError())
+      std::fprintf(stderr, "csdf: %s\n", S.Error.c_str());
+    std::printf("verdict: %s\n", S.Outcome.str().c_str());
+    if (!S.Outcome.complete() && !S.Outcome.Reason.empty())
+      std::printf("  reason: %s\n", S.Outcome.Reason.c_str());
+    PrintBudgetLine();
+    if (Cli.Stats)
+      printStats();
     return S.ExitCode;
   }
 
   const Cfg &Graph = *S.Graph;
   ClientReport &Report = S.Report;
   AnalysisResult &R = Report.Analysis;
-  std::printf("verdict: %s\n", R.Outcome.str().c_str());
-  if (!R.Outcome.complete() && !R.Outcome.Reason.empty())
-    std::printf("  reason: %s\n", R.Outcome.Reason.c_str());
-  if (!R.Outcome.Configuration.empty())
-    std::printf("  at configuration: %s\n", R.Outcome.Configuration.c_str());
+  std::printf("verdict: %s\n", S.Outcome.str().c_str());
+  if (!S.Outcome.complete() && !S.Outcome.Reason.empty())
+    std::printf("  reason: %s\n", S.Outcome.Reason.c_str());
+  if (!S.Outcome.Configuration.empty())
+    std::printf("  at configuration: %s\n", S.Outcome.Configuration.c_str());
   std::printf("states explored: %u, configurations: %u, max process sets: "
               "%u\n",
               R.StatesExplored, R.ConfigsVisited, R.MaxSetsSeen);
-  if (Cli.DeadlineMs || Cli.MaxMemoryMb || Cli.ProverSteps)
-    std::printf("budget: %llu ms elapsed, peak DBM bytes %llu, prover "
-                "steps %llu\n",
-                static_cast<unsigned long long>(S.ElapsedMs),
-                static_cast<unsigned long long>(S.PeakDbmBytes),
-                static_cast<unsigned long long>(S.ProverStepsUsed));
-  if (R.Outcome.internalError()) {
+  PrintBudgetLine();
+  if (S.Outcome.internalError()) {
     // Partial facts after an invariant violation are untrustworthy; print
     // nothing beyond the verdict and the accounting snapshot.
     if (Cli.Stats)
@@ -449,12 +466,26 @@ int cmdLint(const std::string &Source, const CliOptions &Cli) {
   Budget.MaxMemoryMb = Cli.MaxMemoryMb;
   Budget.MaxProverSteps = Cli.ProverSteps;
   Budget.begin();
+  // The scope arms the parser/sema checkpoints (they reach the budget
+  // through the thread-local, not AnalysisOptions), so the deadline covers
+  // lint's front end too.
+  BudgetScope Budgets(&Budget);
   Opts.Analysis.Budget = &Budget;
 
   if (Cli.Stats)
     StatsRegistry::global().clear();
   DiagnosticEngine Diags;
-  lintSource(Source, Opts, Diags);
+  try {
+    lintSource(Source, Opts, Diags);
+  } catch (const BudgetExceeded &E) {
+    // The budget tripped outside the engine (parse, sema, or a post-engine
+    // pass): degrade like the engine's own give-up instead of dying.
+    if (Opts.isEnabled("analysis-top"))
+      Diags.report(makeDiag("analysis-top", DiagSeverity::Note, SourceLoc(),
+                            "lint gave up (Top): " + E.reason(),
+                            "budget exhausted before the pass suite "
+                            "finished; findings may be incomplete"));
+  }
   if (Cli.Stats)
     printStats();
   if (Cli.Werror)
