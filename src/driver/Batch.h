@@ -29,14 +29,33 @@
 
 namespace csdf {
 
+/// How batch jobs are isolated from each other.
+enum class BatchMode {
+  /// One forked, rlimited child per file (the default): full crash and
+  /// hang isolation, at the cost of a process per file and no sharing.
+  Fork,
+  /// One in-process thread per job slot, sharing one cross-session
+  /// closure memo: no fork/exec or page-duplication cost and closure
+  /// results amortize across files, but a hard crash (signal) in one
+  /// session takes the whole batch down. Hangs are still bounded: the
+  /// per-file wall-clock timeout becomes a cooperative budget deadline.
+  Threads,
+};
+
+/// Stable lower-case name ("fork", "threads").
+const char *batchModeName(BatchMode Mode);
+
 /// Configuration of a batch run.
 struct BatchOptions {
   /// Per-file session configuration (budgets, analysis preset). Batch
   /// corpora are test/stress inputs, so test hooks default on here.
   SessionOptions Session;
 
-  /// Concurrent children; 1 = serial.
+  /// Concurrent children (fork mode) or worker threads (threads mode);
+  /// 1 = serial.
   unsigned Jobs = 1;
+
+  BatchMode Mode = BatchMode::Fork;
 
   /// Per-file wall-clock timeout enforced by the parent with SIGKILL;
   /// 0 = no timeout. This is the hard backstop behind the cooperative
@@ -100,9 +119,10 @@ struct BatchReport {
 bool collectBatchInputs(const std::string &DirOrList,
                         std::vector<std::string> &Files, std::string &Error);
 
-/// Runs every file through a forked, rlimited child session. Never throws
-/// and never crashes on child failure; every file yields exactly one
-/// BatchEntry, in input order.
+/// Runs every file through an isolated session per Opts.Mode: forked,
+/// rlimited children (full crash isolation) or in-process pool threads
+/// (shared-memory, amortized closure memo). Never throws; every file
+/// yields exactly one BatchEntry, in input order.
 BatchReport runBatch(const std::vector<std::string> &Files,
                      const BatchOptions &Opts);
 

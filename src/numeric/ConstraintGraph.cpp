@@ -23,6 +23,7 @@ static const char *const ZeroVarName = "$0";
 std::shared_ptr<DbmShared>
 ClosureMemo::lookup(std::uint64_t Key, DbmBackend Backend,
                     const std::vector<std::int64_t> &Pre) const {
+  std::lock_guard<std::mutex> L(M);
   auto [Lo, Hi] = Entries.equal_range(Key);
   for (auto It = Lo; It != Hi; ++It)
     if (It->second.Backend == Backend && It->second.Pre == Pre)
@@ -33,9 +34,26 @@ ClosureMemo::lookup(std::uint64_t Key, DbmBackend Backend,
 void ClosureMemo::insert(std::uint64_t Key, DbmBackend Backend,
                          std::vector<std::int64_t> Pre,
                          std::shared_ptr<DbmShared> Closed) {
+  if (CrossSession && Closed) {
+    // The memo outlives the inserting session's stack-local budget; keep
+    // no charge (and no dangling Accountant) on blocks it retains. Safe
+    // because reaccount() only ever runs on unshared blocks, so nothing
+    // re-binds this block to a later thread's budget.
+    if (Closed->Accountant && Closed->AccountedBytes)
+      Closed->Accountant->accountBytes(
+          -static_cast<std::int64_t>(Closed->AccountedBytes));
+    Closed->Accountant = nullptr;
+    Closed->AccountedBytes = 0;
+  }
+  std::lock_guard<std::mutex> L(M);
   if (Entries.size() >= MaxEntries)
     Entries.clear();
   Entries.emplace(Key, Entry{Backend, std::move(Pre), std::move(Closed)});
+}
+
+std::size_t ClosureMemo::size() const {
+  std::lock_guard<std::mutex> L(M);
+  return Entries.size();
 }
 
 //===----------------------------------------------------------------------===//

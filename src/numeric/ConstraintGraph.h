@@ -42,8 +42,10 @@
 #include "numeric/SymbolTable.h"
 #include "support/Stats.h"
 
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace csdf {
@@ -53,8 +55,24 @@ namespace csdf {
 /// verified against a full snapshot, so a hit is always exact. The stored
 /// result is the closed DbmShared block itself: adopting it on a hit costs
 /// one pointer assignment, and copy-on-write protects it from mutation.
+///
+/// Thread-safe: lookup/insert serialize on a mutex, so one memo can be
+/// shared by the engine's parallel drain workers — and, in cross-session
+/// mode, by every session of a `csdf batch` threads run. Memoized blocks
+/// are always Closed, which under the engine's closed-shared-block
+/// invariant makes them immutable: any handle that wants to mutate one
+/// detaches a private clone first.
 class ClosureMemo {
 public:
+  ClosureMemo() = default;
+
+  /// \p CrossSession = true builds a memo that outlives any single
+  /// analysis session (batch threads mode). Such a memo must not keep
+  /// blocks charged to a session's stack-local AnalysisBudget — the budget
+  /// dies with the session while the block lives on — so insert()
+  /// releases the block's accounted bytes and unbinds its Accountant.
+  explicit ClosureMemo(bool CrossSession) : CrossSession(CrossSession) {}
+
   /// Returns the memoized closed block for a matrix equal to \p Pre, or
   /// nullptr.
   std::shared_ptr<DbmShared> lookup(std::uint64_t Key, DbmBackend Backend,
@@ -66,7 +84,7 @@ public:
               std::vector<std::int64_t> Pre,
               std::shared_ptr<DbmShared> Closed);
 
-  std::size_t size() const { return Entries.size(); }
+  std::size_t size() const;
 
 private:
   struct Entry {
@@ -74,6 +92,8 @@ private:
     std::vector<std::int64_t> Pre;
     std::shared_ptr<DbmShared> Closed;
   };
+  mutable std::mutex M;
+  bool CrossSession = false;
   std::unordered_multimap<std::uint64_t, Entry> Entries;
   /// Safety valve: the memo is cleared when it reaches this many entries
   /// (pCFG analyses revisit a bounded set of configurations, so this only

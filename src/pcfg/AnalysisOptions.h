@@ -25,9 +25,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 namespace csdf {
+
+class SymbolTable;
+class ClosureMemo;
 
 /// How the analysis models sends (Section III vs Section X).
 enum class SendSemantics {
@@ -95,6 +99,22 @@ struct AnalysisOptions {
   /// Section X extension for non-blocking send loops. Requires buffered
   /// sends.
   bool AggregateSendLoops = false;
+
+  /// Worker threads for the engine's parallel worklist drain (Section
+  /// IX(5): pCFG analyses are naturally parallelizable). 1 = the classic
+  /// sequential drain. Any value produces bit-identical results: workers
+  /// only *speculate* on step outcomes, and a single coordinator commits
+  /// them in the sequential worklist order.
+  unsigned Threads = 1;
+
+  /// Optional pre-shared intern table / closure memo for the run. Null
+  /// (the default) gives every run its own. The batch threads mode passes
+  /// a shared cross-session ClosureMemo here so closure work is amortized
+  /// across files; a shared memo must be constructed in cross-session
+  /// mode (see ClosureMemo) and a shared SymbolTable must be used only by
+  /// runs that may share DBM blocks through that memo.
+  std::shared_ptr<SymbolTable> SharedSymbols;
+  std::shared_ptr<ClosureMemo> SharedMemo;
 
   /// Preset for the Section VII client analysis.
   static AnalysisOptions simpleSymbolic() { return AnalysisOptions(); }

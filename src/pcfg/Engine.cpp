@@ -13,12 +13,20 @@
 #include "support/Budget.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <deque>
+#include <exception>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 using namespace csdf;
 
@@ -68,25 +76,61 @@ struct SplitPiece {
   CfgNodeId Node = 0;
 };
 
-class Engine {
-public:
-  Engine(const Cfg &Graph, const AnalysisOptions &Opts, StatsRegistry *Stats)
-      : Graph(Graph), Opts(Opts), Stats(Stats), Loops(Graph) {
-    collectAssignedVars();
-  }
+/// The buffered outcome of speculatively stepping one state.
+///
+/// The engine's parallel drain lets worker threads *compute* steps ahead
+/// of time, but only a single coordinator *commits* their outcomes, in
+/// the exact order the sequential drain would have produced them. A
+/// Stepper therefore never touches the engine's result, configuration
+/// table, or worklist: every mutation it would have performed is logged
+/// here as an ordered item and replayed verbatim at commit time. The log
+/// preserves the sequential interleaving of result mutations exactly —
+/// including mutations that preceded an exception (Error carries it; the
+/// committer applies the partial log, then rethrows).
+struct StepEffects {
+  struct Item {
+    enum class Kind { Match, Print, TagConflict, Leak, Snapshot, Fail, Submit };
+    Kind K = Kind::Match;
+    MatchRecord Match{};
+    PrintFact Print{};
+    CfgNodeId ConflictSend = 0, ConflictRecv = 0;
+    AnalysisBug Leak{};
+    std::map<std::string, std::optional<std::int64_t>> Snapshot;
+    BudgetKind FailKind = BudgetKind::None;
+    std::string FailReason, FailConfig;
+    PcfgState Sub;
+    std::string SubKey;
+    bool SubAtLoopHeader = false;
+  };
+  std::vector<Item> Items;
+  /// Why the stepped state was stuck (empty when it progressed).
+  std::vector<AnalysisBug> StuckBugs;
+  /// Cur.Sets.size() of the stepped state, for the MaxSetsSeen high-water.
+  unsigned SetsSeen = 0;
+  /// Exception the step died with, if any (rethrown after commit).
+  std::exception_ptr Error;
+};
 
-  AnalysisResult run();
+/// One speculative step of the pCFG exploration: all transfer functions,
+/// matching, and normalization, reading a private state snapshot and
+/// writing a StepEffects log. Steppers are cheap, single-use and
+/// thread-confined; shared inputs (Cfg, options, loop info, assigned-var
+/// set) are immutable during a drain.
+class Stepper {
+public:
+  Stepper(const Cfg &Graph, const AnalysisOptions &Opts, const LoopInfo &Loops,
+          const std::set<std::string> &AssignedVars)
+      : Graph(Graph), Opts(Opts), Loops(Loops), AssignedVars(AssignedVars) {}
+
+  /// Submits the initial state (the seeding half of Figure 4).
+  void seed(PcfgState Init) { submit(std::move(Init)); }
+
+  StepEffects takeEffects() { return std::move(Fx); }
 
 private:
   //===--------------------------------------------------------------------===
   // Setup and small helpers
   //===--------------------------------------------------------------------===
-
-  void collectAssignedVars() {
-    for (const CfgNode &N : Graph.nodes())
-      if (N.Kind == CfgNodeKind::Assign || N.Kind == CfgNodeKind::Recv)
-        AssignedVars.insert(N.Var);
-  }
 
   std::string scoped(const ProcSetEntry &Set, const std::string &Var) const {
     return PcfgState::scopedVar(Set, Var, AssignedVars);
@@ -122,24 +166,40 @@ private:
 
   /// Degrades the result to Top. \p Kind records which resource bound
   /// tripped (BudgetKind::None for precision give-ups); \p Config the
-  /// offending pCFG configuration, when one is identifiable. First
-  /// failure wins.
+  /// offending pCFG configuration, when one is identifiable. Logged; the
+  /// committer's first-failure-wins rule decides which one sticks.
   void fail(BudgetKind Kind, const std::string &Reason,
             std::string Config = "") {
     if (tracingEnabled())
       std::fprintf(stderr, "TOP: %s\n", Reason.c_str());
-    if (!ToppedOut) {
-      ToppedOut = true;
-      Result.TopReason = Reason;
-      Result.Outcome.Verdict = AnalysisVerdict::DegradedToTop;
-      Result.Outcome.Budget = Kind;
-      Result.Outcome.Reason = Reason;
-      Result.Outcome.Configuration = std::move(Config);
-    }
+    LocalTop = true;
+    StepEffects::Item It;
+    It.K = StepEffects::Item::Kind::Fail;
+    It.FailKind = Kind;
+    It.FailReason = Reason;
+    It.FailConfig = std::move(Config);
+    Fx.Items.push_back(std::move(It));
   }
 
   /// Precision give-up (not resource exhaustion).
   void fail(const std::string &Reason) { fail(BudgetKind::None, Reason); }
+
+  void logMatch(MatchRecord M) {
+    StepEffects::Item It;
+    It.K = StepEffects::Item::Kind::Match;
+    It.Match = std::move(M);
+    Fx.Items.push_back(std::move(It));
+  }
+
+  /// Deduplication against already-reported bugs happens at commit time,
+  /// where the full bug list is visible.
+  void logTagConflict(CfgNodeId SendNode, CfgNodeId RecvNode) {
+    StepEffects::Item It;
+    It.K = StepEffects::Item::Kind::TagConflict;
+    It.ConflictSend = SendNode;
+    It.ConflictRecv = RecvNode;
+    Fx.Items.push_back(std::move(It));
+  }
 
   std::string freshSetName() { return "s" + std::to_string(FreshSets++); }
 
@@ -392,11 +452,14 @@ private:
       if (!Graph.node(Set.Node).isExit())
         AllExit = false;
     if (AllExit) {
-      for (const PendingSend &P : St.InFlight)
-        Result.Bugs.push_back(
-            {AnalysisBug::Kind::MessageLeak, P.SendNode, SourceLoc(),
-             "message from " + P.Senders.str() + " sent at " +
-                 Graph.nodeLabel(P.SendNode) + " is never received"});
+      for (const PendingSend &P : St.InFlight) {
+        StepEffects::Item It;
+        It.K = StepEffects::Item::Kind::Leak;
+        It.Leak = {AnalysisBug::Kind::MessageLeak, P.SendNode, SourceLoc(),
+                   "message from " + P.Senders.str() + " sent at " +
+                       Graph.nodeLabel(P.SendNode) + " is never received"};
+        Fx.Items.push_back(std::move(It));
+      }
       recordFinalSnapshot(St);
       return;
     }
@@ -405,52 +468,31 @@ private:
     if (tracingEnabled())
       std::fprintf(stderr, "submit: key=%s  %s\n", Key.c_str(),
                    St.setsStr().c_str());
-    std::vector<Stored> &Variants = Table[Key];
-    if (Variants.empty())
-      Result.ConfigsVisited++;
 
-    // Try to fold the new state into an existing variant; states that are
-    // not joinable (e.g. successive stages of a pipeline with no loop
-    // variable naming their progress) become separate variants.
     // Widen only at configurations with a set inside a CFG loop body:
     // repeated visits there are genuine loop iterations needing finite
     // ascent, and loop guards are re-established by branch transfers on
     // the next pass (the standard widening-with-guard pattern).
     // Everywhere else a plain join converges once the loops stabilize.
+    // Decided here (not at commit) because LoopInfo is immutable shared
+    // input; the join-vs-widen choice itself is the committer's.
     bool AtLoopHeader = false;
     for (const ProcSetEntry &Set : St.Sets)
       if (Loops.isInLoop(Set.Node))
         AtLoopHeader = true;
 
-    for (size_t V = 0; V < Variants.size(); ++V) {
-      Stored &Entry = Variants[V];
-      PcfgState Acc = Entry.State;
-      bool Widen = AtLoopHeader && Entry.Visits >= Opts.WidenDelay;
-      bool Ok = Widen ? widenStates(Acc, St) : joinStates(Acc, St);
-      if (!Ok)
-        continue;
-      Entry.Visits++;
-      if (statesEqual(Acc, Entry.State)) {
-        if (tracingEnabled())
-          std::fprintf(stderr, "submit: fixpoint at %s (variant %zu)\n",
-                       Key.c_str(), V);
-        return; // Fixpoint at this variant.
-      }
-      if (tracingEnabled())
-        std::fprintf(stderr, "submit: %s variant %zu updated (%s)\n",
-                     Key.c_str(), V, Widen ? "widen" : "join");
-      Entry.State = std::move(Acc);
-      Entry.Stuck.clear(); // Superseded; the variant will be re-stepped.
-      Worklist.push_back({Key, V});
-      return;
-    }
-    if (Variants.size() >= Opts.MaxVariantsPerConfig) {
-      fail(BudgetKind::Variants,
-           "too many unjoinable states at configuration " + Key, Key);
-      return;
-    }
-    Variants.push_back(Stored{std::move(St), 1, {}});
-    Worklist.push_back({Key, Variants.size() - 1});
+    // Close the constraint graph now, on the speculating thread: stored
+    // states must be closed before another worker may snapshot them (the
+    // closed-shared-block invariant), and doing it here keeps the O(n^3)
+    // closure cost out of the coordinator's serialized commit path.
+    St.Cg.close();
+
+    StepEffects::Item It;
+    It.K = StepEffects::Item::Kind::Submit;
+    It.SubKey = std::move(Key);
+    It.Sub = std::move(St);
+    It.SubAtLoopHeader = AtLoopHeader;
+    Fx.Items.push_back(std::move(It));
   }
 
   //===--------------------------------------------------------------------===
@@ -510,7 +552,10 @@ private:
       else if (auto C = St.Cg.constValue(P.Value.var()))
         Fact.Value = *C + P.Value.constant();
     }
-    Result.PrintFacts.insert(Fact);
+    StepEffects::Item It;
+    It.K = StepEffects::Item::Kind::Print;
+    It.Print = std::move(Fact);
+    Fx.Items.push_back(std::move(It));
   }
 
   /// Registers an assume's fact into the FactEnv and (when linear) the
@@ -1089,9 +1134,8 @@ private:
       if (Interferes)
         continue;
 
-      Result.Matches.insert({Pending.SendNode, Loop.RecvNode,
-                             displayRange(Pending.Senders),
-                             displayRange(Set.Range)});
+      logMatch({Pending.SendNode, Loop.RecvNode,
+                displayRange(Pending.Senders), displayRange(Set.Range)});
       St.InFlight.erase(St.InFlight.begin() + static_cast<long>(P));
 
       // The receiver executed the whole loop: the received values come
@@ -1272,8 +1316,8 @@ private:
     CfgNodeId RecvId = RecvNode.Id;
     std::string RecvVar = RecvNode.Var;
 
-    Result.Matches.insert({SendNode, RecvId, displayRange(MIn.SProcs),
-                           displayRange(MIn.RProcs)});
+    logMatch({SendNode, RecvId, displayRange(MIn.SProcs),
+              displayRange(MIn.RProcs)});
 
     // Receiver side: matched piece advances, the rest stays blocked.
     std::vector<SplitPiece> Pieces;
@@ -1433,7 +1477,7 @@ private:
           M = tryMatch(Opts, SendD, RecvD, St.Cg, St.Facts, TagConflict);
         }
         if (TagConflict)
-          noteTagConflict(St.InFlight[P].SendNode, RecvD.Node);
+          logTagConflict(St.InFlight[P].SendNode, RecvD.Node);
         if (!M || !fifoSafe(St, P, *M))
           continue;
         applyMatch(St, std::nullopt, P, R, *M, St.InFlight[P].Value,
@@ -1451,7 +1495,7 @@ private:
           auto M =
               tryMatch(Opts, SendD, RecvD, St.Cg, St.Facts, TagConflict);
           if (TagConflict)
-            noteTagConflict(SendD.Node, RecvD.Node);
+            logTagConflict(SendD.Node, RecvD.Node);
           if (!M)
             continue;
           // Value at match time: classified on the sender set now.
@@ -1491,18 +1535,10 @@ private:
       Snapshot[Var] =
           (!Diverged && Agreed) ? Agreed : std::optional<std::int64_t>();
     }
-    Result.FinalSnapshots.push_back(std::move(Snapshot));
-  }
-
-  void noteTagConflict(CfgNodeId SendNode, CfgNodeId RecvNode) {
-    std::string Detail = "send at " + Graph.nodeLabel(SendNode) +
-                         " and recv at " + Graph.nodeLabel(RecvNode) +
-                         " use provably different tags";
-    for (const AnalysisBug &B : Result.Bugs)
-      if (B.TheKind == AnalysisBug::Kind::TagMismatch && B.Detail == Detail)
-        return;
-    Result.Bugs.push_back(
-        {AnalysisBug::Kind::TagMismatch, SendNode, SourceLoc(), Detail});
+    StepEffects::Item It;
+    It.K = StepEffects::Item::Kind::Snapshot;
+    It.Snapshot = std::move(Snapshot);
+    Fx.Items.push_back(std::move(It));
   }
 
   //===--------------------------------------------------------------------===
@@ -1558,15 +1594,15 @@ private:
     return Moved;
   }
 
+public:
   /// Processes one state: advances all unblocked sets to quiescence,
-  /// forks at branches, then matches, or reports stuckness.
-  void step(const PcfgState &Cur) {
-    Result.StatesExplored++;
+  /// forks at branches, then matches, or reports stuckness. \p TraceId is
+  /// the 1-based sequential position of this step (trace output only).
+  void step(const PcfgState &Cur, unsigned TraceId) {
     if (tracingEnabled())
-      std::fprintf(stderr, "--- step %u ---\n%s", Result.StatesExplored,
+      std::fprintf(stderr, "--- step %u ---\n%s", TraceId,
                    Cur.str(Graph).c_str());
-    Result.MaxSetsSeen = std::max(
-        Result.MaxSetsSeen, static_cast<unsigned>(Cur.Sets.size()));
+    Fx.SetsSeen = static_cast<unsigned>(Cur.Sets.size());
 
     // Matching runs before further advancement: with buffered sends a
     // loop would otherwise emit past the in-flight bound before any
@@ -1577,7 +1613,7 @@ private:
 
     PcfgState St = Cur;
     bool Moved = advanceToQuiescence(St);
-    if (ToppedOut)
+    if (LocalTop)
       return;
 
     // Fork the first set waiting at a branch (successor states macro-step
@@ -1620,48 +1656,364 @@ private:
     // widening) may unblock it, in which case the variant is re-stepped
     // and the stuck mark cleared. Only states still stuck when the
     // worklist drains count as Top (Figure 4's "gives up" rule).
-    StuckBugs.clear();
+    Fx.StuckBugs.clear();
     for (const ProcSetEntry &Set : Cur.Sets) {
       const CfgNode &Node = Graph.node(Set.Node);
       if (Node.isCommOp())
-        StuckBugs.push_back(
+        Fx.StuckBugs.push_back(
             {AnalysisBug::Kind::PossibleDeadlock, Node.Id, SourceLoc(),
              Set.Range.str() + " blocked forever at " +
                  Graph.nodeLabel(Node.Id)});
     }
-    if (!StuckBugs.empty() && tracingEnabled())
+    if (!Fx.StuckBugs.empty() && tracingEnabled())
       std::fprintf(stderr, "stuck (deferred verdict)\n");
   }
 
   //===--------------------------------------------------------------------===
 
+private:
+  const Cfg &Graph;
+  const AnalysisOptions &Opts;
+  const LoopInfo &Loops;
+  const std::set<std::string> &AssignedVars;
+  /// The ordered effect log this step is accumulating.
+  StepEffects Fx;
+  /// Local mirror of the engine's topped-out flag for intra-step control
+  /// flow (the committer's first-failure-wins rule is authoritative).
+  bool LocalTop = false;
+  /// Per-step fresh-name counter. Observationally identical to the old
+  /// engine-global counter: canonicalize() renames every transient
+  /// namespace before a state is stored, so the numbers never escape.
+  unsigned FreshSets = 0;
+};
+
+/// The analysis coordinator: owns the configuration table, the worklist
+/// and the AnalysisResult, and is the only mutator of all three. Steps
+/// are computed by Steppers — inline (sequential drain) or speculatively
+/// on a thread pool (parallel drain) — and their effect logs are
+/// committed in strict worklist order, which makes the result
+/// bit-identical at every thread count.
+class Engine {
+public:
+  Engine(const Cfg &Graph, const AnalysisOptions &Opts, StatsRegistry *Stats)
+      : Graph(Graph), Opts(Opts), Stats(Stats), Loops(Graph) {
+    for (const CfgNode &N : Graph.nodes())
+      if (N.Kind == CfgNodeKind::Assign || N.Kind == CfgNodeKind::Recv)
+        AssignedVars.insert(N.Var);
+  }
+
+  AnalysisResult run();
+
+private:
   struct Stored {
     PcfgState State;
     unsigned Visits = 0;
     /// Bugs describing why the last step of this variant was stuck;
     /// empty when the variant progressed. Cleared on every update.
     std::vector<AnalysisBug> Stuck;
+    /// Worklist dedup: set while a (config, variant) entry is pending, so
+    /// repeated submissions re-step it once instead of once per update.
+    bool InWorklist = false;
+    /// Bumped on every committed update of State. A speculative step
+    /// whose snapshot carries an older stamp is stale and is dropped.
+    std::uint64_t Stamp = 0;
   };
+
+  /// One pCFG configuration: its key and its unjoinable state variants.
+  /// Configs grow in commit order; ids are stable (never erased).
+  struct ConfigEntry {
+    std::string Key;
+    std::vector<Stored> Variants;
+  };
+
+  /// Worklist entries name configurations by dense id, not string key:
+  /// the hot pop path does two vector indexings instead of a map lookup
+  /// over long key strings.
+  struct WorkItem {
+    std::uint32_t Config = 0;
+    std::uint32_t Variant = 0;
+  };
+
+  /// Degrades the result to Top; first failure wins.
+  void fail(BudgetKind Kind, const std::string &Reason,
+            std::string Config = "") {
+    if (tracingEnabled())
+      std::fprintf(stderr, "TOP: %s\n", Reason.c_str());
+    if (!ToppedOut) {
+      ToppedOut = true;
+      Result.TopReason = Reason;
+      Result.Outcome.Verdict = AnalysisVerdict::DegradedToTop;
+      Result.Outcome.Budget = Kind;
+      Result.Outcome.Reason = Reason;
+      Result.Outcome.Configuration = std::move(Config);
+    }
+  }
+  void fail(const std::string &Reason) { fail(BudgetKind::None, Reason); }
+
+  void noteTagConflict(CfgNodeId SendNode, CfgNodeId RecvNode) {
+    std::string Detail = "send at " + Graph.nodeLabel(SendNode) +
+                         " and recv at " + Graph.nodeLabel(RecvNode) +
+                         " use provably different tags";
+    for (const AnalysisBug &B : Result.Bugs)
+      if (B.TheKind == AnalysisBug::Kind::TagMismatch && B.Detail == Detail)
+        return;
+    Result.Bugs.push_back(
+        {AnalysisBug::Kind::TagMismatch, SendNode, SourceLoc(), Detail});
+  }
+
+  /// Enqueues a variant unless it is already pending.
+  void push(std::uint32_t Cid, std::size_t V) {
+    Stored &E = Configs[Cid].Variants[V];
+    if (E.InWorklist)
+      return;
+    E.InWorklist = true;
+    Worklist.push_back({Cid, static_cast<std::uint32_t>(V)});
+  }
+
+  void commitSubmission(PcfgState St, const std::string &Key,
+                        bool AtLoopHeader);
+  void commitEffects(StepEffects &Fx);
+  StepEffects computeStep(const PcfgState &Cur, unsigned TraceId) const;
+  void drainSequential();
+  void drainParallel();
+  void explore();
+  void finish();
 
   const Cfg &Graph;
   AnalysisOptions Opts;
   StatsRegistry *Stats;
   LoopInfo Loops;
-  /// Out-channel of step(): why the just-stepped state was stuck.
-  std::vector<AnalysisBug> StuckBugs;
   std::set<std::string> AssignedVars;
-  std::map<std::string, std::vector<Stored>> Table;
-  std::deque<std::pair<std::string, size_t>> Worklist;
+  /// Interned configuration keys -> dense ids into Configs.
+  std::unordered_map<std::string, std::uint32_t> ConfigIds;
+  std::vector<ConfigEntry> Configs;
+  /// Append-only worklist; Head is the next position to commit. The
+  /// prefix behind Head doubles as the exploration history numbering the
+  /// steps (TraceId = position + 1).
+  std::vector<WorkItem> Worklist;
+  std::size_t Head = 0;
   AnalysisResult Result;
-  unsigned FreshSets = 0;
   bool ToppedOut = false;
-  /// Configuration key of the state currently being stepped, for budget
+  /// Configuration key of the state currently being committed, for budget
   /// failure attribution and crash reports.
   std::string CurrentConfig;
-
-  void explore();
-  void finish();
 };
+
+/// Folds the submitted state into the configuration table: joins/widens
+/// with a stored variant and enqueues when something changed. This is the
+/// serialized half of the old submit(); the feasibility check,
+/// normalization and terminal handling already ran on the Stepper.
+void Engine::commitSubmission(PcfgState St, const std::string &Key,
+                              bool AtLoopHeader) {
+  auto [IdIt, New] =
+      ConfigIds.emplace(Key, static_cast<std::uint32_t>(Configs.size()));
+  if (New) {
+    Configs.push_back(ConfigEntry{Key, {}});
+    Result.ConfigsVisited++;
+  }
+  std::uint32_t Cid = IdIt->second;
+  std::vector<Stored> &Variants = Configs[Cid].Variants;
+
+  // Try to fold the new state into an existing variant; states that are
+  // not joinable (e.g. successive stages of a pipeline with no loop
+  // variable naming their progress) become separate variants.
+  for (size_t V = 0; V < Variants.size(); ++V) {
+    Stored &Entry = Variants[V];
+    PcfgState Acc = Entry.State;
+    bool Widen = AtLoopHeader && Entry.Visits >= Opts.WidenDelay;
+    bool Ok = Widen ? widenStates(Acc, St) : joinStates(Acc, St);
+    if (!Ok)
+      continue;
+    Entry.Visits++;
+    if (statesEqual(Acc, Entry.State)) {
+      if (tracingEnabled())
+        std::fprintf(stderr, "submit: fixpoint at %s (variant %zu)\n",
+                     Key.c_str(), V);
+      return; // Fixpoint at this variant.
+    }
+    if (tracingEnabled())
+      std::fprintf(stderr, "submit: %s variant %zu updated (%s)\n",
+                   Key.c_str(), V, Widen ? "widen" : "join");
+    Entry.State = std::move(Acc);
+    // Close before the state becomes visible to speculating workers
+    // (closed-shared-block invariant; see DESIGN.md).
+    Entry.State.Cg.close();
+    Entry.Stamp++; // Invalidates speculation snapshotted from the old state.
+    Entry.Stuck.clear(); // Superseded; the variant will be re-stepped.
+    push(Cid, V);
+    return;
+  }
+  if (Variants.size() >= Opts.MaxVariantsPerConfig) {
+    fail(BudgetKind::Variants,
+         "too many unjoinable states at configuration " + Key, Key);
+    return;
+  }
+  Variants.push_back(Stored{std::move(St), 1, {}});
+  push(Cid, Variants.size() - 1);
+}
+
+/// Replays one step's effect log against the result and the table, in
+/// the exact order the mutations happened on the Stepper.
+void Engine::commitEffects(StepEffects &Fx) {
+  Result.MaxSetsSeen = std::max(Result.MaxSetsSeen, Fx.SetsSeen);
+  for (StepEffects::Item &It : Fx.Items) {
+    switch (It.K) {
+    case StepEffects::Item::Kind::Match:
+      Result.Matches.insert(std::move(It.Match));
+      break;
+    case StepEffects::Item::Kind::Print:
+      Result.PrintFacts.insert(std::move(It.Print));
+      break;
+    case StepEffects::Item::Kind::TagConflict:
+      noteTagConflict(It.ConflictSend, It.ConflictRecv);
+      break;
+    case StepEffects::Item::Kind::Leak:
+      Result.Bugs.push_back(std::move(It.Leak));
+      break;
+    case StepEffects::Item::Kind::Snapshot:
+      Result.FinalSnapshots.push_back(std::move(It.Snapshot));
+      break;
+    case StepEffects::Item::Kind::Fail:
+      fail(It.FailKind, It.FailReason, std::move(It.FailConfig));
+      break;
+    case StepEffects::Item::Kind::Submit:
+      commitSubmission(std::move(It.Sub), It.SubKey, It.SubAtLoopHeader);
+      break;
+    }
+  }
+  // The sequential engine applied mutations until the exception; the log
+  // replicates that partial application, then the exception continues.
+  if (Fx.Error)
+    std::rethrow_exception(Fx.Error);
+}
+
+/// Runs one Stepper over \p Cur, capturing any exception into the log so
+/// the mutations that preceded it still commit in order.
+StepEffects Engine::computeStep(const PcfgState &Cur, unsigned TraceId) const {
+  Stepper S(Graph, Opts, Loops, AssignedVars);
+  StepEffects Fx;
+  try {
+    S.step(Cur, TraceId);
+    Fx = S.takeEffects();
+  } catch (...) {
+    Fx = S.takeEffects();
+    Fx.Error = std::current_exception();
+  }
+  return Fx;
+}
+
+/// The classic Figure 4 drain: compute and commit one step at a time.
+void Engine::drainSequential() {
+  while (Head < Worklist.size() && !ToppedOut) {
+    budgetCheckpoint();
+    if (Result.StatesExplored >= Opts.MaxStates) {
+      fail(BudgetKind::States, "state budget exceeded");
+      break;
+    }
+    WorkItem W = Worklist[Head];
+    std::size_t Pos = Head++;
+    Configs[W.Config].Variants[W.Variant].InWorklist = false;
+    CurrentConfig = Configs[W.Config].Key;
+    Result.StatesExplored++;
+    StepEffects Fx = computeStep(Configs[W.Config].Variants[W.Variant].State,
+                                 static_cast<unsigned>(Pos) + 1);
+    commitEffects(Fx);
+    // Re-index: the commit may have grown Configs/Variants (references
+    // into either would dangle).
+    Configs[W.Config].Variants[W.Variant].Stuck = std::move(Fx.StuckBugs);
+  }
+}
+
+/// A speculative step in flight on the pool.
+struct SpecSlot {
+  std::mutex M;
+  std::condition_variable Cv;
+  bool Done = false;
+  StepEffects Fx;
+  /// Stamp of the stored state when the snapshot was taken.
+  std::uint64_t Stamp = 0;
+  /// Private copy-on-write snapshot of the stored state.
+  PcfgState Snapshot;
+  unsigned TraceId = 0;
+};
+
+/// The parallel drain: workers step a bounded window of upcoming worklist
+/// entries speculatively; the coordinator commits strictly at Head. A
+/// committed update bumps the variant's stamp, so speculation computed
+/// from the superseded state is detected and re-run inline — dropped
+/// without waiting, since the task only reads its private snapshot and
+/// thread-safe shared structures. Commit order equals sequential order,
+/// so the result is bit-identical to Threads=1 by construction.
+void Engine::drainParallel() {
+  ThreadPool Pool(Opts.Threads);
+  std::unordered_map<std::size_t, std::shared_ptr<SpecSlot>> Specs;
+  const std::size_t Window = static_cast<std::size_t>(Opts.Threads) * 2;
+  std::size_t NextSpec = 0;
+  AnalysisBudget *Budget = Opts.Budget;
+
+  while (Head < Worklist.size() && !ToppedOut) {
+    budgetCheckpoint();
+    if (Result.StatesExplored >= Opts.MaxStates) {
+      fail(BudgetKind::States, "state budget exceeded");
+      break;
+    }
+
+    // Keep a bounded window of speculative steps in flight.
+    if (NextSpec < Head)
+      NextSpec = Head;
+    for (std::size_t Hi = std::min(Worklist.size(), Head + Window);
+         NextSpec < Hi; ++NextSpec) {
+      WorkItem W = Worklist[NextSpec];
+      const Stored &E = Configs[W.Config].Variants[W.Variant];
+      auto Slot = std::make_shared<SpecSlot>();
+      Slot->Stamp = E.Stamp;
+      Slot->Snapshot = E.State; // CoW; shared blocks are closed.
+      Slot->TraceId = static_cast<unsigned>(NextSpec) + 1;
+      Specs.emplace(NextSpec, Slot);
+      Pool.run([this, Slot, Budget] {
+        // Thread-local context does not cross into pool threads: install
+        // the run's budget and recoverable-error regime here.
+        BudgetScope Budgets(Budget);
+        RecoveryScope Recover;
+        StepEffects Fx = computeStep(Slot->Snapshot, Slot->TraceId);
+        {
+          std::lock_guard<std::mutex> L(Slot->M);
+          Slot->Fx = std::move(Fx);
+          Slot->Done = true;
+        }
+        Slot->Cv.notify_all();
+      });
+    }
+
+    WorkItem W = Worklist[Head];
+    std::size_t Pos = Head++;
+    Configs[W.Config].Variants[W.Variant].InWorklist = false;
+    CurrentConfig = Configs[W.Config].Key;
+    Result.StatesExplored++;
+
+    StepEffects Fx;
+    bool UsedSpeculation = false;
+    if (auto It = Specs.find(Pos); It != Specs.end()) {
+      std::shared_ptr<SpecSlot> Slot = std::move(It->second);
+      Specs.erase(It);
+      if (Slot->Stamp == Configs[W.Config].Variants[W.Variant].Stamp) {
+        std::unique_lock<std::mutex> L(Slot->M);
+        Slot->Cv.wait(L, [&] { return Slot->Done; });
+        Fx = std::move(Slot->Fx);
+        UsedSpeculation = true;
+      }
+      // Stale: the stored state changed after the snapshot was taken;
+      // drop the speculation (no need to wait for it) and re-step inline.
+    }
+    if (!UsedSpeculation)
+      Fx = computeStep(Configs[W.Config].Variants[W.Variant].State,
+                       static_cast<unsigned>(Pos) + 1);
+    commitEffects(Fx);
+    Configs[W.Config].Variants[W.Variant].Stuck = std::move(Fx.StuckBugs);
+  }
+  // Pool dtor joins tasks still running (their shared SpecSlots keep all
+  // referenced state alive) and discards queued-but-unstarted ones.
+}
 
 /// Seeds the initial state and drains the worklist (the Figure 4 loop).
 /// Throws BudgetExceeded/EngineError; run() owns recovery.
@@ -1674,10 +2026,13 @@ void Engine::explore() {
   Init.Sets.push_back(std::move(All));
   // One intern table and one closure memo serve the whole run: every state
   // is a (copy-on-write) descendant of Init, so all constraint graphs the
-  // engine ever touches share them.
+  // engine ever touches share them. Batch threads mode pre-shares both
+  // across runs to amortize closure work (see AnalysisOptions).
   Init.Cg = ConstraintGraph(Opts.Backend, Stats,
-                            std::make_shared<SymbolTable>(),
-                            std::make_shared<ClosureMemo>());
+                            Opts.SharedSymbols ? Opts.SharedSymbols
+                                               : std::make_shared<SymbolTable>(),
+                            Opts.SharedMemo ? Opts.SharedMemo
+                                            : std::make_shared<ClosureMemo>());
   Init.Cg.addLowerBound("np", std::max<std::int64_t>(Opts.MinProcs, 1));
   if (Opts.FixedNp > 0)
     Init.Cg.addEQ(LinearExpr("np", 0), LinearExpr(Opts.FixedNp));
@@ -1685,30 +2040,23 @@ void Engine::explore() {
     Init.Cg.addEQ(LinearExpr(Name, 0), LinearExpr(Value));
     Init.Facts.addRewrite(Name, Poly(Value));
   }
-  submit(std::move(Init));
-
-  while (!Worklist.empty() && !ToppedOut) {
-    budgetCheckpoint();
-    if (Result.StatesExplored >= Opts.MaxStates) {
-      fail(BudgetKind::States, "state budget exceeded");
-      break;
+  {
+    Stepper S(Graph, Opts, Loops, AssignedVars);
+    StepEffects Fx;
+    try {
+      S.seed(std::move(Init));
+      Fx = S.takeEffects();
+    } catch (...) {
+      Fx = S.takeEffects();
+      Fx.Error = std::current_exception();
     }
-    auto [Key, Variant] = Worklist.front();
-    Worklist.pop_front();
-    auto It = Table.find(Key);
-    if (It == Table.end() || Variant >= It->second.size())
-      continue;
-    CurrentConfig = Key;
-    // Copy: step() submits successors which may mutate the table.
-    PcfgState Cur = It->second[Variant].State;
-    StuckBugs.clear();
-    step(Cur);
-    // Re-find: submissions may have rehashed the table.
-    auto It2 = Table.find(Key);
-    if (It2 != Table.end() && Variant < It2->second.size())
-      It2->second[Variant].Stuck = std::move(StuckBugs);
-    StuckBugs.clear();
+    commitEffects(Fx);
   }
+
+  if (Opts.Threads > 1)
+    drainParallel();
+  else
+    drainSequential();
 }
 
 /// Post-exploration verdicting: stuck-variant sweep, bug stamping,
@@ -1716,8 +2064,10 @@ void Engine::explore() {
 /// trip (partial results stay meaningful); skipped on internal error.
 void Engine::finish() {
   // Variants still stuck at fixpoint are the Top states of Figure 4.
-  for (const auto &[Key, Variants] : Table) {
-    for (const Stored &Entry : Variants) {
+  // (Commit-order iteration; output-invariant because the bug list is
+  // sorted and uniqued below and the fail reason carries no key.)
+  for (const ConfigEntry &C : Configs) {
+    for (const Stored &Entry : C.Variants) {
       if (Entry.Stuck.empty())
         continue;
       for (const AnalysisBug &Bug : Entry.Stuck)

@@ -33,10 +33,10 @@ const char *csdf::budgetKindName(BudgetKind Kind) {
 void AnalysisBudget::begin() {
   Start = std::chrono::steady_clock::now();
   Started = true;
-  PollsSinceClockRead = 0;
-  LiveBytes = 0;
-  PeakBytes = 0;
-  ProverSteps = 0;
+  PollsSinceClockRead.store(0, std::memory_order_relaxed);
+  LiveBytes.store(0, std::memory_order_relaxed);
+  PeakBytes.store(0, std::memory_order_relaxed);
+  ProverSteps.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t AnalysisBudget::elapsedMs() const {
@@ -51,9 +51,13 @@ std::uint64_t AnalysisBudget::elapsedMs() const {
 void AnalysisBudget::checkDeadline() {
   if (DeadlineMs == 0 || !Started)
     return;
-  if (++PollsSinceClockRead < ClockSampleInterval)
+  // Clock-read sampling is a heuristic: under relaxed contention two
+  // threads may both reset the counter or both skip a read, which only
+  // shifts when the next sample happens.
+  if (PollsSinceClockRead.fetch_add(1, std::memory_order_relaxed) + 1 <
+      ClockSampleInterval)
     return;
-  PollsSinceClockRead = 0;
+  PollsSinceClockRead.store(0, std::memory_order_relaxed);
   std::uint64_t Elapsed = elapsedMs();
   if (Elapsed > DeadlineMs)
     throw BudgetExceeded(BudgetKind::Deadline,
@@ -64,17 +68,19 @@ void AnalysisBudget::checkDeadline() {
 
 void AnalysisBudget::checkpoint() {
   checkDeadline();
-  if (MaxMemoryMb != 0 && LiveBytes > MaxMemoryMb * 1024 * 1024)
+  std::uint64_t Live = LiveBytes.load(std::memory_order_relaxed);
+  if (MaxMemoryMb != 0 && Live > MaxMemoryMb * 1024 * 1024)
     throw BudgetExceeded(
         BudgetKind::Memory,
         "DBM memory ceiling of " + std::to_string(MaxMemoryMb) +
-            " MB exceeded (" + std::to_string(LiveBytes / (1024 * 1024)) +
+            " MB exceeded (" + std::to_string(Live / (1024 * 1024)) +
             " MB live)");
 }
 
 void AnalysisBudget::proverStep() {
-  ++ProverSteps;
-  if (MaxProverSteps != 0 && ProverSteps > MaxProverSteps)
+  std::uint64_t Used =
+      ProverSteps.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (MaxProverSteps != 0 && Used > MaxProverSteps)
     throw BudgetExceeded(BudgetKind::ProverSteps,
                          "HSM prover search-step budget of " +
                              std::to_string(MaxProverSteps) + " exceeded");
@@ -82,14 +88,27 @@ void AnalysisBudget::proverStep() {
 }
 
 void AnalysisBudget::accountBytes(std::int64_t Delta) {
-  if (Delta >= 0)
-    LiveBytes += static_cast<std::uint64_t>(Delta);
-  else {
+  std::uint64_t Live;
+  if (Delta >= 0) {
+    Live = LiveBytes.fetch_add(static_cast<std::uint64_t>(Delta),
+                               std::memory_order_relaxed) +
+           static_cast<std::uint64_t>(Delta);
+  } else {
+    // Clamp-at-zero release: a block accounted before begin() reset the
+    // counters may release more than is currently live.
     std::uint64_t Release = static_cast<std::uint64_t>(-Delta);
-    LiveBytes = LiveBytes >= Release ? LiveBytes - Release : 0;
+    std::uint64_t Old = LiveBytes.load(std::memory_order_relaxed);
+    while (!LiveBytes.compare_exchange_weak(
+        Old, Old >= Release ? Old - Release : 0,
+        std::memory_order_relaxed))
+      ;
+    Live = Old >= Release ? Old - Release : 0;
   }
-  if (LiveBytes > PeakBytes)
-    PeakBytes = LiveBytes;
+  std::uint64_t Peak = PeakBytes.load(std::memory_order_relaxed);
+  while (Live > Peak &&
+         !PeakBytes.compare_exchange_weak(Peak, Live,
+                                          std::memory_order_relaxed))
+    ;
 }
 
 namespace {

@@ -24,6 +24,7 @@
 #ifndef CSDF_SUPPORT_BUDGET_H
 #define CSDF_SUPPORT_BUDGET_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <stdexcept>
@@ -108,11 +109,17 @@ public:
   void accountBytes(std::int64_t Delta);
 
   /// Live DBM bytes currently accounted.
-  std::uint64_t liveBytes() const { return LiveBytes; }
+  std::uint64_t liveBytes() const {
+    return LiveBytes.load(std::memory_order_relaxed);
+  }
   /// High-water mark of accounted DBM bytes.
-  std::uint64_t peakBytes() const { return PeakBytes; }
+  std::uint64_t peakBytes() const {
+    return PeakBytes.load(std::memory_order_relaxed);
+  }
   /// Prover search steps consumed so far.
-  std::uint64_t proverStepsUsed() const { return ProverSteps; }
+  std::uint64_t proverStepsUsed() const {
+    return ProverSteps.load(std::memory_order_relaxed);
+  }
   /// Milliseconds elapsed since begin().
   std::uint64_t elapsedMs() const;
 
@@ -124,10 +131,16 @@ private:
 
   std::chrono::steady_clock::time_point Start{};
   bool Started = false;
-  std::uint32_t PollsSinceClockRead = 0;
-  std::uint64_t LiveBytes = 0;
-  std::uint64_t PeakBytes = 0;
-  std::uint64_t ProverSteps = 0;
+  /// The counters below are shared by every thread the budget governs —
+  /// the engine's parallel drain installs one session budget on all pool
+  /// workers via BudgetScope. All of them are heuristics or monotone
+  /// accumulators, so relaxed ordering is enough: no other data is
+  /// published through them, and a poll that reads a slightly stale value
+  /// only delays a trip by one sampling interval.
+  std::atomic<std::uint32_t> PollsSinceClockRead{0};
+  std::atomic<std::uint64_t> LiveBytes{0};
+  std::atomic<std::uint64_t> PeakBytes{0};
+  std::atomic<std::uint64_t> ProverSteps{0};
 };
 
 /// The budget governing the current thread's analysis, or null. Installed

@@ -208,6 +208,94 @@ TEST(BatchTest, JsonReportIsWellFormedAndStable) {
             "}\n");
 }
 
+TEST(BatchTest, ThreadsModeMatchesForkModeVerdicts) {
+  // The in-process threads mode must agree with fork mode entry for entry
+  // on everything short of a hard crash: same verdicts, same exit codes,
+  // same summary counts. (Crashers and uninterruptible sleepers are fork
+  // mode's reason to exist and are excluded here.)
+  TempCorpus Corpus;
+  Corpus.add("clean.mpl", CleanSource);
+  Corpus.add("internal.mpl", "# csdf-test: internal-error\nx = 1;\nprint x;\n");
+  Corpus.add("leak.mpl", "if id == 0 then\n"
+                         "  x = 1;\n"
+                         "  send x -> 1;\n"
+                         "  send x -> 1;\n"
+                         "elif id == 1 then\n"
+                         "  recv y <- 0;\n"
+                         "end\n");
+  Corpus.add("syntax.mpl", "x = ;\n");
+
+  std::vector<std::string> Files;
+  std::string Error;
+  ASSERT_TRUE(collectBatchInputs(Corpus.Dir.string(), Files, Error)) << Error;
+  ASSERT_EQ(Files.size(), 4u);
+
+  BatchOptions Opts;
+  Opts.Session.Analysis = AnalysisOptions::simpleSymbolic();
+  Opts.Session.EnableTestHooks = true;
+  Opts.Jobs = 4;
+
+  Opts.Mode = BatchMode::Fork;
+  BatchReport Fork = runBatch(Files, Opts);
+  Opts.Mode = BatchMode::Threads;
+  BatchReport Threads = runBatch(Files, Opts);
+
+  ASSERT_EQ(Threads.Entries.size(), Fork.Entries.size());
+  for (size_t I = 0; I < Fork.Entries.size(); ++I) {
+    const BatchEntry &F = Fork.Entries[I];
+    const BatchEntry &T = Threads.Entries[I];
+    EXPECT_EQ(T.File, F.File);
+    EXPECT_EQ(T.Verdict, F.Verdict) << F.File;
+    EXPECT_EQ(T.ExitCode, F.ExitCode) << F.File;
+    // Threads mode never forks, so every entry reports a normal exit and
+    // no per-file RSS figure (one shared address space).
+    EXPECT_EQ(T.Reason, BatchExitReason::Exited) << F.File;
+    EXPECT_EQ(T.PeakRssKb, 0u) << F.File;
+  }
+  EXPECT_EQ(Threads.Complete, Fork.Complete);
+  EXPECT_EQ(Threads.Findings, Fork.Findings);
+  EXPECT_EQ(Threads.UsageErrors, Fork.UsageErrors);
+  EXPECT_EQ(Threads.InternalErrors, Fork.InternalErrors);
+  EXPECT_EQ(Threads.Crashes, 0u);
+  EXPECT_EQ(Threads.Timeouts, 0u);
+}
+
+TEST(BatchTest, ThreadsModeSerialAndParallelAgree) {
+  // The shared cross-session closure memo must not change any verdict:
+  // jobs=1 and jobs=4 threads runs of the same corpus agree exactly.
+  TempCorpus Corpus;
+  Corpus.add("a.mpl", CleanSource);
+  Corpus.add("b.mpl", CleanSource);
+  Corpus.add("c.mpl", CleanSource);
+
+  std::vector<std::string> Files;
+  std::string Error;
+  ASSERT_TRUE(collectBatchInputs(Corpus.Dir.string(), Files, Error)) << Error;
+
+  BatchOptions Opts;
+  Opts.Session.Analysis = AnalysisOptions::cartesian();
+  Opts.Mode = BatchMode::Threads;
+
+  Opts.Jobs = 1;
+  BatchReport Serial = runBatch(Files, Opts);
+  Opts.Jobs = 4;
+  BatchReport Parallel = runBatch(Files, Opts);
+
+  ASSERT_EQ(Serial.Entries.size(), 3u);
+  ASSERT_EQ(Parallel.Entries.size(), 3u);
+  EXPECT_TRUE(Serial.allComplete());
+  EXPECT_TRUE(Parallel.allComplete());
+  for (size_t I = 0; I < 3; ++I) {
+    EXPECT_EQ(Parallel.Entries[I].Verdict, Serial.Entries[I].Verdict);
+    EXPECT_EQ(Parallel.Entries[I].Detail, Serial.Entries[I].Detail);
+  }
+}
+
+TEST(BatchTest, BatchModeNamesAreStable) {
+  EXPECT_STREQ(batchModeName(BatchMode::Fork), "fork");
+  EXPECT_STREQ(batchModeName(BatchMode::Threads), "threads");
+}
+
 TEST(BatchTest, FileListInputsAndMissingDirErrors) {
   TempCorpus Corpus;
   std::string Clean = Corpus.add("clean.mpl", CleanSource);

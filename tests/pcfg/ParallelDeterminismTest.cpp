@@ -1,0 +1,145 @@
+//===- tests/pcfg/ParallelDeterminismTest.cpp - Threaded drain determinism -===//
+//
+// The parallel drain's headline guarantee: for any program and any client
+// preset, `AnalysisOptions::Threads = N` produces a bit-identical
+// AnalysisResult for every N. Workers only speculate on step outcomes; the
+// coordinator commits them in the sequential worklist order, so the
+// exploration — state counts included — must be indistinguishable from the
+// classic single-threaded drain. This sweep serializes the *entire* result
+// (matches, facts, bugs, snapshots, verdict, and exploration statistics)
+// and compares it across thread counts over the whole corpus, including
+// the intentionally buggy programs and a Top-driving one.
+//
+// Runs without budgets on purpose: under a budget, stale speculative tasks
+// consume deadline/prover polls that the sequential drain would not, so
+// budget-triggered degradation points may differ (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgBuilder.h"
+#include "lang/Corpus.h"
+#include "lang/Parser.h"
+#include "pcfg/Engine.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace csdf;
+
+namespace {
+
+/// Serializes everything deterministic about \p R (all fields except
+/// Seconds) into one comparable string.
+std::string fingerprint(const AnalysisResult &R) {
+  std::ostringstream Os;
+  Os << "converged=" << R.Converged << "\n";
+  Os << "top-reason=" << R.TopReason << "\n";
+  Os << "outcome=" << R.Outcome.str() << "\n";
+  Os << "outcome-reason=" << R.Outcome.Reason << "\n";
+  Os << "outcome-config=" << R.Outcome.Configuration << "\n";
+  for (const MatchRecord &M : R.Matches)
+    Os << "match " << M.SendNode << "->" << M.RecvNode << " "
+       << M.SenderRange << " " << M.ReceiverRange << "\n";
+  for (const PrintFact &F : R.PrintFacts) {
+    Os << "print " << F.Node << " " << F.SetRange << " ";
+    if (F.Value)
+      Os << *F.Value;
+    else
+      Os << "?";
+    Os << "\n";
+  }
+  for (const AnalysisBug &B : R.Bugs)
+    Os << "bug " << analysisBugKindName(B.TheKind) << " node=" << B.Node
+       << " loc=" << B.Loc.str() << " " << B.Detail << "\n";
+  for (const auto &Snapshot : R.FinalSnapshots) {
+    Os << "snapshot";
+    for (const auto &[Var, Val] : Snapshot) {
+      Os << " " << Var << "=";
+      if (Val)
+        Os << *Val;
+      else
+        Os << "?";
+    }
+    Os << "\n";
+  }
+  Os << "states=" << R.StatesExplored << " configs=" << R.ConfigsVisited
+     << " max-sets=" << R.MaxSetsSeen << "\n";
+  return Os.str();
+}
+
+struct PresetCase {
+  const char *Name;
+  AnalysisOptions Opts;
+};
+
+std::vector<PresetCase> presets() {
+  return {{"simple", AnalysisOptions::simpleSymbolic()},
+          {"cartesian", AnalysisOptions::cartesian()},
+          {"sectionx", AnalysisOptions::sectionX()}};
+}
+
+/// The full corpus: every well-formed pattern plus the intentionally buggy
+/// programs (leak, deadlock, tag mismatch) and the Top-driving ring shift,
+/// so determinism holds on failing and degraded runs too.
+std::vector<corpus::NamedProgram> sweepPrograms() {
+  std::vector<corpus::NamedProgram> Progs = corpus::allPatterns();
+  Progs.push_back({"message-leak", corpus::messageLeak()});
+  Progs.push_back({"head-to-head-deadlock", corpus::headToHeadDeadlock()});
+  Progs.push_back({"tag-mismatch", corpus::tagMismatch()});
+  Progs.push_back({"ring-shift", corpus::ringShift()});
+  return Progs;
+}
+
+class ParallelDeterminism
+    : public ::testing::TestWithParam<corpus::NamedProgram> {};
+
+TEST_P(ParallelDeterminism, IdenticalResultAtAnyThreadCount) {
+  const corpus::NamedProgram &Prog = GetParam();
+  Program P = parseProgramOrDie(Prog.Source);
+  Cfg Graph = buildCfg(P);
+
+  for (const PresetCase &Preset : presets()) {
+    AnalysisOptions Base = Preset.Opts;
+    Base.Threads = 1;
+    std::string Sequential = fingerprint(analyzeProgram(Graph, Base));
+
+    for (unsigned Threads : {2u, 4u, 8u}) {
+      AnalysisOptions Opts = Preset.Opts;
+      Opts.Threads = Threads;
+      std::string Parallel = fingerprint(analyzeProgram(Graph, Opts));
+      EXPECT_EQ(Sequential, Parallel)
+          << Prog.Name << " preset=" << Preset.Name
+          << " diverges at threads=" << Threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ParallelDeterminism,
+                         ::testing::ValuesIn(sweepPrograms()),
+                         [](const auto &Info) {
+                           std::string Name = Info.param.Name;
+                           for (char &C : Name)
+                             if (C == '-')
+                               C = '_';
+                           return Name;
+                         });
+
+// Repeated parallel runs of the same analysis must agree with each other,
+// not just with the sequential baseline — catches scheduling-dependent
+// flakiness that a single lucky run would hide.
+TEST(ParallelDeterminismTest, RepeatedRunsAreStable) {
+  Program P = parseProgramOrDie(corpus::exchangeWithRoot());
+  Cfg Graph = buildCfg(P);
+  AnalysisOptions Opts = AnalysisOptions::cartesian();
+  Opts.Threads = 4;
+
+  std::string First = fingerprint(analyzeProgram(Graph, Opts));
+  for (int I = 0; I < 5; ++I)
+    EXPECT_EQ(First, fingerprint(analyzeProgram(Graph, Opts)))
+        << "run " << I;
+}
+
+} // namespace

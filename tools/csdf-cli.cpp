@@ -28,6 +28,11 @@
 //   --stats                     after analyze/lint: dump StatsRegistry
 //                               counters and timers to stderr
 //
+// Analyze options:
+//   --threads N                 parallel worklist drain; results are
+//                               bit-identical at any N (speculative
+//                               workers, ordered commits)
+//
 // Budget options (analyze, lint, batch):
 //   --deadline-ms N             cooperative wall-clock deadline; past it
 //                               the analysis degrades to Top, not a hang
@@ -42,8 +47,12 @@
 //                               --list-passes` prints all pass names
 //
 // Batch options:
-//   --jobs N                    concurrent forked children (default 1)
-//   --timeout-ms N              hard per-file wall timeout (SIGKILL)
+//   --jobs N                    concurrent children or threads (default 1)
+//   --mode fork|threads         fork: rlimited child per file (crash
+//                               isolation); threads: in-process pool
+//                               sharing one cross-session closure memo
+//   --timeout-ms N              per-file wall timeout — SIGKILL in fork
+//                               mode, cooperative deadline in threads mode
 //   --report out.json           write the per-file JSON report here
 //
 // Exit codes (analyze, batch, lint):
@@ -103,9 +112,12 @@ struct CliOptions {
   std::uint64_t DeadlineMs = 0;
   std::uint64_t MaxMemoryMb = 0;
   std::uint64_t ProverSteps = 0;
+  // Worker threads for the engine's parallel worklist drain (analyze).
+  unsigned Threads = 1;
   // Batch driver.
   unsigned Jobs = 1;
   std::uint64_t TimeoutMs = 0;
+  std::string BatchMode = "fork";
   std::string ReportPath;
   /// Honor `# csdf-test:` failure-injection directives (batch corpora and
   /// the robustness test-suite; off for normal analyses).
@@ -119,6 +131,9 @@ void usage() {
                "  --client linear|cartesian|sectionx  --np N  --fixed-np N\n"
                "  --param NAME=V  --scheduler rr|lifo|random  --seed N\n"
                "  --validate  --stats\n"
+               "analyze options:\n"
+               "  --threads N      parallel worklist drain (identical "
+               "results at any N)\n"
                "budget options (analyze, lint, batch):\n"
                "  --deadline-ms N  --max-memory-mb N  --prover-steps N\n"
                "lint options:\n"
@@ -127,6 +142,10 @@ void usage() {
                "  (csdf lint --list-passes prints every pass name)\n"
                "batch options:\n"
                "  --jobs N  --timeout-ms N  --report out.json\n"
+               "  --mode fork|threads   fork = crash-isolated children; "
+               "threads = in-process,\n"
+               "                        shared closure memo (default "
+               "fork)\n"
                "exit codes: 0 complete, 1 degraded/findings, 2 usage/IO, "
                "3 internal error\n");
 }
@@ -219,6 +238,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (Arg == "--prover-steps") {
       if (!NextUint(Opts.ProverSteps))
         return false;
+    } else if (Arg == "--threads") {
+      std::uint64_t V = 0;
+      if (!NextUint(V))
+        return false;
+      Opts.Threads = static_cast<unsigned>(std::max<std::uint64_t>(1, V));
     } else if (Arg == "--jobs") {
       std::uint64_t V = 0;
       if (!NextUint(V))
@@ -227,6 +251,13 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (Arg == "--timeout-ms") {
       if (!NextUint(Opts.TimeoutMs))
         return false;
+    } else if (Arg == "--mode") {
+      const char *V = Next();
+      if (!V)
+        return usageError("missing value for --mode");
+      Opts.BatchMode = V;
+      if (Opts.BatchMode != "fork" && Opts.BatchMode != "threads")
+        return usageError("unknown batch mode '" + Opts.BatchMode + "'");
     } else if (Arg == "--report") {
       const char *V = Next();
       if (!V)
@@ -275,6 +306,7 @@ AnalysisOptions analysisOptions(const CliOptions &Cli) {
     Opts = AnalysisOptions::sectionX();
   Opts.FixedNp = Cli.FixedNp;
   Opts.Params = Cli.Params;
+  Opts.Threads = Cli.Threads;
   return Opts;
 }
 
@@ -529,6 +561,8 @@ int cmdBatch(const CliOptions &Cli) {
   Opts.Session.EnableTestHooks = true;
   Opts.Jobs = Cli.Jobs;
   Opts.TimeoutMs = Cli.TimeoutMs;
+  Opts.Mode =
+      Cli.BatchMode == "threads" ? BatchMode::Threads : BatchMode::Fork;
   // Hard address-space backstop behind the soft DBM ceiling: generous
   // headroom for code, stacks, and the front end.
   Opts.AddressSpaceMb = Cli.MaxMemoryMb ? Cli.MaxMemoryMb * 4 + 256 : 0;
