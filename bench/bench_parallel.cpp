@@ -25,6 +25,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Csdf.h"
 #include "cfg/CfgBuilder.h"
 #include "driver/Batch.h"
 #include "lang/Corpus.h"
@@ -154,13 +155,17 @@ struct ScratchCorpus {
 
 double runBatchOnce(const ScratchCorpus &Corpus, BatchMode Mode,
                     unsigned Jobs) {
-  BatchOptions Opts;
-  Opts.Session.Analysis = AnalysisOptions::cartesian();
-  Opts.Session.Analysis.FixedNp = 12;
-  Opts.Mode = Mode;
-  Opts.Jobs = Jobs;
+  // Through the facade, like every batch front end. A fresh cold
+  // Analyzer per run keeps repetitions independent (no warm memo
+  // flattering later samples).
+  api::Analyzer An;
+  api::BatchRequest Req;
+  Req.Files = Corpus.Files;
+  Req.Options.FixedNp = 12;
+  Req.Mode = Mode;
+  Req.Jobs = Jobs;
   double Start = nowMs();
-  BatchReport Report = runBatch(Corpus.Files, Opts);
+  BatchReport Report = An.runBatch(Req);
   double Ms = nowMs() - Start;
   if (Report.Entries.size() != Corpus.Files.size())
     std::fprintf(stderr, "batch dropped entries!\n");

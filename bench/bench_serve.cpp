@@ -1,0 +1,156 @@
+//===- bench/bench_serve.cpp - serve daemon latency and cache hit rate ----===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what `csdf serve` exists to provide: request latency with warm
+// state and a content-addressed result cache, against the one-shot cost a
+// cold `csdf analyze` pays per file. Three request regimes over the corpus
+// kernels:
+//
+//   * cold      — a fresh cold api::Analyzer per request (the one-shot CLI,
+//                 minus process startup);
+//   * warm-miss — first sight of each program through one ServeServer
+//                 (shared symbols + cross-session closure memo, no cache
+//                 entry yet);
+//   * hit       — the same requests again, answered from the LRU cache.
+//
+// A mixed workload (several rounds over the corpus) then reports the
+// daemon's own stats counters. `--json PATH` writes everything;
+// BENCH_serve.json in the repo root is this file's committed output from
+// the development container.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Csdf.h"
+#include "diag/DiagRenderer.h"
+#include "driver/Serve.h"
+#include "lang/Corpus.h"
+#include "support/Json.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace csdf;
+
+namespace {
+
+double nowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One analyze request line per corpus kernel, source inline so the bench
+/// has no filesystem dependency.
+std::vector<std::string> corpusRequests() {
+  std::vector<std::string> Lines;
+  for (const auto &[Name, Source] : corpus::allPatterns())
+    Lines.push_back("{\"type\": \"analyze\", \"path\": \"" +
+                    jsonEscape(Name + ".mpl") + "\", \"source\": \"" +
+                    jsonEscape(Source) + "\"}");
+  return Lines;
+}
+
+/// Feeds every line once, returning the mean per-request latency.
+double feedOnce(ServeServer &Server, const std::vector<std::string> &Lines) {
+  bool Shutdown = false;
+  double Start = nowUs();
+  for (const std::string &Line : Lines)
+    Server.handleLine(Line, Shutdown);
+  return (nowUs() - Start) / static_cast<double>(Lines.size());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json" && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", Argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<std::string> Lines = corpusRequests();
+  std::printf("=== csdf serve: request latency and cache effect ===\n");
+  std::printf("corpus: %zu kernels, default options (cartesian)\n\n",
+              Lines.size());
+
+  // Regime 1: cold one-shot — what `csdf analyze` pays per file (minus
+  // exec/startup), fresh symbols and memo every time.
+  std::vector<corpus::NamedProgram> Patterns = corpus::allPatterns();
+  double ColdUs;
+  {
+    double Start = nowUs();
+    for (const auto &[Name, Source] : Patterns) {
+      api::Analyzer An; // cold: per-request state
+      api::AnalyzeRequest Req;
+      Req.Path = Name + ".mpl";
+      Req.Source = Source;
+      An.analyze(Req);
+    }
+    ColdUs = (nowUs() - Start) / static_cast<double>(Patterns.size());
+  }
+  std::printf("cold one-shot      %10.1f us/request\n", ColdUs);
+
+  // Regimes 2+3: one daemon; first pass misses (warm state only), second
+  // pass hits the cache.
+  ServeOptions SOpts;
+  ServeServer Server(SOpts);
+  double WarmMissUs = feedOnce(Server, Lines);
+  std::printf("serve warm miss    %10.1f us/request  (%.2fx cold)\n",
+              WarmMissUs, ColdUs / WarmMissUs);
+  double HitUs = feedOnce(Server, Lines);
+  std::printf("serve cache hit    %10.1f us/request  (%.0fx cold)\n", HitUs,
+              ColdUs / HitUs);
+
+  // Mixed workload: three more rounds over the same corpus — every
+  // request a hit from here on; the daemon's own counters report it.
+  for (int Round = 0; Round < 3; ++Round)
+    feedOnce(Server, Lines);
+  const ServeStats &Stats = Server.stats();
+  std::printf("\nmixed workload: %llu requests, %llu hits / %llu misses, "
+              "hit rate %.3f, %llu evictions\n",
+              static_cast<unsigned long long>(Stats.Requests),
+              static_cast<unsigned long long>(Stats.Hits),
+              static_cast<unsigned long long>(Stats.Misses),
+              Stats.hitRate(),
+              static_cast<unsigned long long>(Stats.Evictions));
+
+  bool CacheFaster = HitUs * 2 < ColdUs;
+  std::printf("cache vs cold: %s\n",
+              CacheFaster ? "measurably faster (>2x)" : "NOT faster — bug?");
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "{\n"
+        "  \"bench\": \"serve\",\n"
+        "  \"corpus_kernels\": %zu,\n"
+        "  \"cold_us_per_request\": %.1f,\n"
+        "  \"warm_miss_us_per_request\": %.1f,\n"
+        "  \"hit_us_per_request\": %.1f,\n"
+        "  \"hit_speedup_vs_cold\": %.1f,\n"
+        "  \"warm_miss_speedup_vs_cold\": %.2f,\n",
+        Lines.size(), ColdUs, WarmMissUs, HitUs, ColdUs / HitUs,
+        ColdUs / WarmMissUs);
+    Out << Buf;
+    Out << "  \"workload\": {\"requests\": " << Stats.Requests
+        << ", \"hits\": " << Stats.Hits << ", \"misses\": " << Stats.Misses
+        << ", \"evictions\": " << Stats.Evictions << ", \"hit_rate\": ";
+    std::snprintf(Buf, sizeof(Buf), "%.4f", Stats.hitRate());
+    Out << Buf << "}\n}\n";
+    std::printf("wrote %s\n", JsonPath.c_str());
+  }
+  return CacheFaster ? 0 : 1;
+}

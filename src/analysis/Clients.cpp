@@ -55,13 +55,24 @@ csdf::findShareableConstants(const AnalysisResult &Result) {
   if (!Result.Converged || Result.FinalSnapshots.empty())
     return Shareable;
   const auto &First = Result.FinalSnapshots.front();
+  // Snapshots are key-sorted maps, so a forward cursor per snapshot
+  // advanced in lockstep with First's iteration order replaces the
+  // per-variable tree find: every snapshot entry is compared at most once
+  // instead of O(vars log vars) string-keyed lookups per snapshot.
+  using Snapshot = std::map<std::string, std::optional<std::int64_t>>;
+  std::vector<std::pair<Snapshot::const_iterator, Snapshot::const_iterator>>
+      Rest;
+  for (std::size_t I = 1; I < Result.FinalSnapshots.size(); ++I)
+    Rest.push_back({Result.FinalSnapshots[I].begin(),
+                    Result.FinalSnapshots[I].end()});
   for (const auto &[Var, Value] : First) {
     if (!Value)
       continue;
     bool SameEverywhere = true;
-    for (const auto &Snapshot : Result.FinalSnapshots) {
-      auto It = Snapshot.find(Var);
-      if (It == Snapshot.end() || It->second != Value) {
+    for (auto &[It, End] : Rest) {
+      while (It != End && It->first < Var)
+        ++It;
+      if (It == End || It->first != Var || It->second != Value) {
         SameEverywhere = false;
         break;
       }

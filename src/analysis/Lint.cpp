@@ -79,21 +79,22 @@ namespace {
 
 /// Collects every variable read in \p E with the location of the reference
 /// (unlike collectVars, which drops locations). `id`/`np` are ambient and
-/// excluded.
-void collectVarReads(const Expr *E,
-                     std::vector<std::pair<std::string, SourceLoc>> &Reads) {
+/// excluded. Names are interned on sight so callers work in VarIds — one
+/// hash per reference and no string copies on the per-node path.
+void collectVarReads(const Expr *E, SymbolTable &Syms,
+                     std::vector<std::pair<VarId, SourceLoc>> &Reads) {
   if (!E)
     return;
   if (const auto *V = dyn_cast<VarRefExpr>(E)) {
     if (!V->isProcessId() && !V->isProcessCount())
-      Reads.push_back({V->name(), V->loc()});
+      Reads.push_back({Syms.intern(V->name()), V->loc()});
     return;
   }
   if (const auto *U = dyn_cast<UnaryExpr>(E))
-    return collectVarReads(U->operand(), Reads);
+    return collectVarReads(U->operand(), Syms, Reads);
   if (const auto *B = dyn_cast<BinaryExpr>(E)) {
-    collectVarReads(B->lhs(), Reads);
-    collectVarReads(B->rhs(), Reads);
+    collectVarReads(B->lhs(), Syms, Reads);
+    collectVarReads(B->rhs(), Syms, Reads);
   }
 }
 
@@ -119,27 +120,36 @@ void lintUseBeforeInit(const Cfg &Graph, DiagnosticEngine &Diags) {
   // warns about them); only flag variables the program does assign, but not
   // on every path reaching the use.
   auto Syms = std::make_shared<SymbolTable>();
-  std::set<VarId> AssignedSomewhere;
+  // VarIds are dense, so "assigned somewhere" is a bitmap rather than a
+  // string set; the per-use test below is an integer index, and the name
+  // is only materialized (Syms->name) when a diagnostic actually fires.
+  std::vector<bool> AssignedSomewhere;
   for (const CfgNode &Node : Graph.nodes())
-    if (Node.Kind == CfgNodeKind::Assign || Node.Kind == CfgNodeKind::Recv)
-      AssignedSomewhere.insert(Syms->intern(Node.Var));
+    if (Node.Kind == CfgNodeKind::Assign || Node.Kind == CfgNodeKind::Recv) {
+      VarId Id = Syms->intern(Node.Var);
+      if (Id >= AssignedSomewhere.size())
+        AssignedSomewhere.resize(Id + 1, false);
+      AssignedSomewhere[Id] = true;
+    }
 
   DataflowResult<DefiniteAssignDomain> Assigned =
       computeDefiniteAssigns(Graph, Syms);
 
+  std::vector<std::pair<VarId, SourceLoc>> Reads;
   for (const CfgNode &Node : Graph.nodes()) {
     const DefiniteAssignDomain::Fact &In = Assigned.In[Node.Id];
     for (const Expr *E : nodeExprs(Node)) {
-      std::vector<std::pair<std::string, SourceLoc>> Reads;
-      collectVarReads(E, Reads);
-      for (const auto &[Var, Loc] : Reads) {
-        auto Id = Syms->lookup(Var);
-        if (!Id || !AssignedSomewhere.count(*Id) || In.contains(*Id))
+      Reads.clear();
+      collectVarReads(E, *Syms, Reads);
+      for (const auto &[Id, Loc] : Reads) {
+        if (Id >= AssignedSomewhere.size() || !AssignedSomewhere[Id] ||
+            In.contains(Id))
           continue;
         Diags.report(makeDiag(
             "use-before-init", DiagSeverity::Warning,
             Loc.isValid() ? Loc : Node.Loc,
-            "variable '" + Var + "' may be used before initialization",
+            "variable '" + Syms->name(Id) +
+                "' may be used before initialization",
             "it is assigned on some paths but not on all paths reaching "
             "this use"));
       }
@@ -153,12 +163,17 @@ void lintUseBeforeInit(const Cfg &Graph, DiagnosticEngine &Diags) {
 
 void lintDeadStore(const Cfg &Graph, DiagnosticEngine &Diags) {
   auto Syms = std::make_shared<SymbolTable>();
+  // Intern each assignment target once up front; the check loop then
+  // queries liveness by VarId instead of re-hashing the name per node.
+  std::vector<VarId> AssignVar(Graph.size(), InvalidVarId);
+  for (const CfgNode &Node : Graph.nodes())
+    if (Node.Kind == CfgNodeKind::Assign)
+      AssignVar[Node.Id] = Syms->intern(Node.Var);
   DataflowResult<LiveVarsDomain> Live = computeLiveVars(Graph, Syms);
   for (const CfgNode &Node : Graph.nodes()) {
     if (Node.Kind != CfgNodeKind::Assign)
       continue;
-    auto Id = Syms->lookup(Node.Var);
-    if (Id && Live.Out[Node.Id].count(*Id))
+    if (Live.Out[Node.Id].count(AssignVar[Node.Id]))
       continue;
     Diags.report(makeDiag("dead-store", DiagSeverity::Warning, Node.Loc,
                           "value assigned to '" + Node.Var +
@@ -259,14 +274,21 @@ void lintPartnerBounds(const Cfg &Graph, const LintOptions &Opts,
   if (!Cg.isFeasible())
     return; // Contradictory options: everything would be vacuously provable.
 
+  // The two bound forms are loop-invariant: resolve them to VarId slots
+  // once, so the per-node queries stay off the string path. The loop below
+  // only queries (never mutates), which keeps the resolved forms valid.
+  const ConstraintGraph::ResolvedForm MinusOne = Cg.resolve(LinearExpr(-1));
+  const ConstraintGraph::ResolvedForm Np = Cg.resolve(LinearExpr("np", 0));
+
   for (const CfgNode &Node : Graph.nodes()) {
     if (!Node.isCommOp() || !Node.Partner)
       continue;
     auto L = LinearExpr::fromExpr(Node.Partner);
     if (!L)
       continue; // Outside the linear fragment: nothing provable here.
-    bool BelowZero = Cg.provesLE(*L, LinearExpr(-1));
-    bool AboveNp = Cg.provesLE(LinearExpr("np", 0), *L);
+    ConstraintGraph::ResolvedForm Partner = Cg.resolve(*L);
+    bool BelowZero = Cg.provesLE(Partner, MinusOne);
+    bool AboveNp = Cg.provesLE(Np, Partner);
     if (!BelowZero && !AboveNp)
       continue;
     Diags.report(makeDiag(

@@ -1,0 +1,202 @@
+//===- api/Csdf.h - The stable library facade -----------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one supported way to run csdf analyses from code. Every front end —
+/// `csdf analyze`, `csdf lint`, `csdf batch`, the `csdf serve` daemon, the
+/// benchmarks — and any embedder constructs an Analyzer and feeds it
+/// value-typed requests:
+///
+/// \code
+///   csdf::api::Analyzer An(csdf::api::AnalyzerConfig::warm());
+///   csdf::api::AnalyzeRequest Req;
+///   Req.Path = "ring.mpl";
+///   Req.Source = "proc p in 0..np-1 { ... }";   // or omit to read Path
+///   Req.Options.Client = "cartesian";
+///   csdf::api::AnalyzeResponse R = An.analyze(Req);
+///   if (R.Session.Outcome.complete())
+///     for (const csdf::AnalysisBug &B : R.Session.Report.Analysis.Bugs)
+///       use(B);
+/// \endcode
+///
+/// The Analyzer owns the state worth keeping warm between requests — the
+/// symbol intern table and the cross-session closure memo — so a
+/// long-lived holder (the serve daemon) amortizes closure work across
+/// requests, while a cold Analyzer (the one-shot CLI) reproduces the
+/// classic fully-isolated run bit for bit. Layering: api wraps
+/// driver/Session (the fail-safe pipeline) and driver/Batch (process
+/// isolation); it never reaches around them into the engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_API_CSDF_H
+#define CSDF_API_CSDF_H
+
+#include "api/Options.h"
+#include "diag/DiagnosticEngine.h"
+#include "driver/Batch.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace csdf {
+class SymbolTable;
+class ClosureMemo;
+class ThreadPool;
+} // namespace csdf
+
+namespace csdf::api {
+
+/// One analysis request: a source program plus options. When Source is
+/// absent the file at Path is read; when present, Path is only used in
+/// messages (so callers can analyze unsaved buffers).
+struct AnalyzeRequest {
+  std::string Path;
+  std::optional<std::string> Source;
+  RequestOptions Options;
+};
+
+/// What one analyze request produced. Session carries the full structured
+/// result (outcome, report, exit code per the 0/1/2/3 contract); the
+/// accessors below cover the common questions.
+struct AnalyzeResponse {
+  SessionResult Session;
+
+  /// Wall time of this request as observed by the facade, in
+  /// microseconds (the only field that differs between identical runs).
+  std::uint64_t WallUs = 0;
+
+  int exitCode() const { return Session.ExitCode; }
+  const AnalysisOutcome &outcome() const { return Session.Outcome; }
+  bool degraded() const { return !Session.Outcome.complete(); }
+};
+
+/// One lint request: source plus pass selection and severity policy.
+struct LintRequest {
+  std::string Path;
+  std::optional<std::string> Source;
+  RequestOptions Options;
+
+  /// Pass names to skip (see lintPassRegistry()).
+  std::set<std::string> Disabled;
+  /// Promote warnings to errors.
+  bool Werror = false;
+  /// Drop findings below this level.
+  DiagSeverity MinSeverity = DiagSeverity::Note;
+};
+
+/// What one lint request produced.
+struct LintResponse {
+  /// Per the session contract: 0 clean, 1 findings, 2 usage/IO error,
+  /// 3 recovered internal error.
+  int ExitCode = 0;
+
+  /// Filtered, severity-adjusted findings, in pass order.
+  std::vector<Diagnostic> Diagnostics;
+
+  /// IO error text when the input could not be read (ExitCode 2), empty
+  /// otherwise.
+  std::string Error;
+
+  std::uint64_t WallUs = 0;
+};
+
+/// One batch request: a corpus plus per-file options and isolation policy.
+struct BatchRequest {
+  std::vector<std::string> Files;
+
+  /// Per-file request configuration. Batch corpora are test/stress
+  /// inputs; callers typically set Options.TestHooks.
+  RequestOptions Options;
+
+  /// Concurrent children (fork) or worker threads (threads); 1 = serial.
+  unsigned Jobs = 1;
+
+  /// Fork: one rlimited child per file (crash isolation). Threads:
+  /// in-process pool sharing the Analyzer's closure memo.
+  BatchMode Mode = BatchMode::Fork;
+
+  /// Per-file wall-clock timeout: SIGKILL in fork mode, cooperative
+  /// deadline in threads mode. 0 = none.
+  std::uint64_t TimeoutMs = 0;
+};
+
+/// How an Analyzer treats state between requests.
+struct AnalyzerConfig {
+  /// Share the symbol intern table and the cross-session closure memo
+  /// across requests. Warm mode is for long-lived holders (serve): later
+  /// requests reuse closure results computed by earlier ones. Cold mode
+  /// (default) gives every request fresh state — exactly the classic
+  /// one-shot run.
+  bool WarmState = false;
+
+  static AnalyzerConfig warm() {
+    AnalyzerConfig C;
+    C.WarmState = true;
+    return C;
+  }
+};
+
+/// The facade handle. Thread-compatible, not thread-safe: issue requests
+/// from one thread at a time (runBatch parallelizes internally and is one
+/// such request). Copying is disabled — the whole point is *shared* warm
+/// state, so pass the Analyzer by reference.
+class Analyzer {
+public:
+  Analyzer() : Analyzer(AnalyzerConfig()) {}
+  explicit Analyzer(const AnalyzerConfig &Config);
+  ~Analyzer();
+  Analyzer(const Analyzer &) = delete;
+  Analyzer &operator=(const Analyzer &) = delete;
+
+  /// Runs one analysis session (read file if needed, parse, sema, CFG,
+  /// pCFG engine, client passes) under the request's budget. Never
+  /// throws; failures are folded into the response per the session
+  /// contract.
+  AnalyzeResponse analyze(const AnalyzeRequest &Req);
+
+  /// Runs the lint pass suite under the request's budget. Never throws.
+  LintResponse lint(const LintRequest &Req);
+
+  /// Runs every file through an isolated session. Fork mode delegates to
+  /// the process-per-file driver; threads mode runs sessions on this
+  /// Analyzer's pool, sharing its closure memo so closure work amortizes
+  /// across files (symbols stay per-session there: concurrent sessions
+  /// must not interleave their intern orders).
+  BatchReport runBatch(const BatchRequest &Req);
+
+private:
+  AnalyzeResponse analyzeWith(const AnalyzeRequest &Req,
+                              std::shared_ptr<SymbolTable> Syms,
+                              std::shared_ptr<ClosureMemo> Memo);
+
+  /// Lazily (re)built pool for threads-mode batches.
+  ThreadPool &pool(unsigned Workers);
+
+  AnalyzerConfig Config;
+  std::shared_ptr<SymbolTable> Syms;
+  std::shared_ptr<ClosureMemo> Memo;
+  std::unique_ptr<ThreadPool> Pool;
+  unsigned PoolWorkers = 0;
+};
+
+/// Maps a response onto the batch report row shape — the one per-file
+/// verdict schema every JSON surface shares (`csdf analyze --format
+/// json`, `csdf batch --report`, `csdf serve`). PeakRssKb is 0: like the
+/// threads batch mode, an in-process run has no per-file RSS figure.
+BatchEntry toBatchEntry(const std::string &File, const AnalyzeResponse &R);
+
+/// Renders the response as one JSON verdict object (batchEntryJson over
+/// toBatchEntry), without a trailing newline.
+std::string verdictJson(const std::string &File, const AnalyzeResponse &R);
+
+} // namespace csdf::api
+
+#endif // CSDF_API_CSDF_H

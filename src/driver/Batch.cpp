@@ -7,8 +7,6 @@
 #include "driver/Batch.h"
 
 #include "diag/DiagRenderer.h"
-#include "numeric/ConstraintGraph.h"
-#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -18,9 +16,7 @@
 #include <fcntl.h>
 #include <filesystem>
 #include <fstream>
-#include <future>
 #include <map>
-#include <memory>
 #include <sstream>
 #include <sys/resource.h>
 #include <sys/wait.h>
@@ -96,37 +92,6 @@ std::uint64_t nowMs() {
           .count());
 }
 
-/// Runs one session over \p File and renders its outcome as the batch's
-/// verdict/detail pair (single line each). Returns the session exit code.
-/// Shared by the forked child and the in-process threads mode.
-int runSessionOutcome(const std::string &File, const SessionOptions &Opts,
-                      std::string &Verdict, std::string &Detail) {
-  int Code;
-  std::string Source, Error;
-  if (!readSessionFile(File, Source, Error)) {
-    Verdict = "usage-error";
-    Detail = Error;
-    Code = SessionExitUsage;
-  } else {
-    SessionResult R = runAnalysisSession(File, Source, Opts);
-    Code = R.ExitCode;
-    if (R.FrontEndErrors) {
-      Verdict = "front-end-errors";
-      // First line only: the report row (and pipe protocol) is one line.
-      Detail = R.Error.substr(0, R.Error.find('\n'));
-    } else {
-      Verdict = R.Outcome.str();
-      Detail = R.Outcome.Reason;
-      if (Code == SessionExitFindings && R.Outcome.complete())
-        Detail = std::to_string(R.Report.Analysis.Bugs.size()) +
-                 " bug candidate(s)";
-    }
-  }
-  std::replace(Detail.begin(), Detail.end(), '\n', ' ');
-  std::replace(Detail.begin(), Detail.end(), '\t', ' ');
-  return Code;
-}
-
 /// Runs one session in the already-forked child and reports the outcome
 /// line over \p OutFd as "verdict\tdetail\n". Never returns.
 [[noreturn]] void childMain(const std::string &File,
@@ -168,81 +133,43 @@ std::string drainPipe(int Fd) {
   return Out;
 }
 
-/// The shared-memory batch runner: sessions run on a thread pool inside
-/// this process, all sharing one cross-session ClosureMemo so closure
-/// results computed for one file are reused by every later one. Trades
-/// the fork mode's hard crash isolation for zero process overhead; hangs
-/// are still bounded by mapping TimeoutMs onto the cooperative budget
-/// deadline.
-BatchReport runBatchThreads(const std::vector<std::string> &Files,
-                            const BatchOptions &Opts) {
-  BatchReport Report;
-  Report.Entries.resize(Files.size());
-  for (size_t I = 0; I < Files.size(); ++I)
-    Report.Entries[I].File = Files[I];
-
-  auto SharedMemo = std::make_shared<ClosureMemo>(/*CrossSession=*/true);
-
-  {
-    ThreadPool Pool(std::max(1u, Opts.Jobs));
-    std::vector<std::future<void>> Done;
-    Done.reserve(Files.size());
-    for (size_t I = 0; I < Files.size(); ++I) {
-      Done.push_back(Pool.submit([&Report, &Files, &Opts, SharedMemo, I] {
-        BatchEntry &E = Report.Entries[I]; // Disjoint per task: no lock.
-        std::uint64_t Start = nowMs();
-        SessionOptions SOpts = Opts.Session;
-        // No SIGKILL backstop in-process: the wall-clock timeout becomes
-        // (or tightens) the session's cooperative deadline.
-        if (Opts.TimeoutMs &&
-            (SOpts.DeadlineMs == 0 || Opts.TimeoutMs < SOpts.DeadlineMs))
-          SOpts.DeadlineMs = Opts.TimeoutMs;
-        SOpts.Analysis.SharedMemo = SharedMemo;
-        E.Reason = BatchExitReason::Exited;
-        try {
-          E.ExitCode = runSessionOutcome(Files[I], SOpts, E.Verdict, E.Detail);
-        } catch (const std::exception &Ex) {
-          // Sessions recover their own failures; this catches what leaks
-          // anyway (e.g. bad_alloc) so one file cannot sink the batch.
-          E.ExitCode = SessionExitInternal;
-          E.Verdict = "internal-error";
-          E.Detail = std::string("uncaught exception: ") + Ex.what();
-        }
-        E.WallMs = nowMs() - Start;
-        // Peak RSS is a per-process number; in-process sessions share the
-        // address space, so no per-file figure exists.
-        E.PeakRssKb = 0;
-      }));
-    }
-    for (std::future<void> &F : Done)
-      F.get();
-  }
-
-  for (const BatchEntry &E : Report.Entries) {
-    switch (E.ExitCode) {
-    case SessionExitComplete:
-      Report.Complete++;
-      break;
-    case SessionExitFindings:
-      Report.Findings++;
-      break;
-    case SessionExitUsage:
-      Report.UsageErrors++;
-      break;
-    default:
-      Report.InternalErrors++;
-      break;
-    }
-  }
-  return Report;
-}
-
 } // namespace
 
-BatchReport csdf::runBatch(const std::vector<std::string> &Files,
-                           const BatchOptions &Opts) {
-  if (Opts.Mode == BatchMode::Threads)
-    return runBatchThreads(Files, Opts);
+void csdf::sessionVerdict(const SessionResult &R, std::string &Verdict,
+                          std::string &Detail) {
+  if (R.ExitCode == SessionExitUsage) {
+    Verdict = "usage-error";
+    Detail = R.Error;
+  } else if (R.FrontEndErrors) {
+    Verdict = "front-end-errors";
+    // First line only: the report row (and pipe protocol) is one line.
+    Detail = R.Error.substr(0, R.Error.find('\n'));
+  } else {
+    Verdict = R.Outcome.str();
+    Detail = R.Outcome.Reason;
+    if (R.ExitCode == SessionExitFindings && R.Outcome.complete())
+      Detail = std::to_string(R.Report.Analysis.Bugs.size()) +
+               " bug candidate(s)";
+  }
+  std::replace(Detail.begin(), Detail.end(), '\n', ' ');
+  std::replace(Detail.begin(), Detail.end(), '\t', ' ');
+}
+
+int csdf::runSessionOutcome(const std::string &File,
+                            const SessionOptions &Opts, std::string &Verdict,
+                            std::string &Detail) {
+  SessionResult R;
+  std::string Source;
+  if (!readSessionFile(File, Source, R.Error))
+    R.ExitCode = SessionExitUsage;
+  else
+    R = runAnalysisSession(File, Source, Opts);
+  sessionVerdict(R, Verdict, Detail);
+  return R.ExitCode;
+}
+
+BatchReport csdf::runBatchFork(const std::vector<std::string> &Files,
+                               const BatchOptions &Opts) {
   BatchReport Report;
   Report.Entries.resize(Files.size());
   for (size_t I = 0; I < Files.size(); ++I)
@@ -388,6 +315,17 @@ BatchReport csdf::runBatch(const std::vector<std::string> &Files,
   return Report;
 }
 
+std::string csdf::batchEntryJson(const BatchEntry &E) {
+  std::ostringstream OS;
+  OS << "{\"file\": \"" << jsonEscape(E.File) << "\", \"verdict\": \""
+     << jsonEscape(E.Verdict) << "\", \"exit_reason\": \""
+     << batchExitReasonName(E.Reason) << "\", \"exit_code\": " << E.ExitCode
+     << ", \"signal\": " << E.Signal << ", \"detail\": \""
+     << jsonEscape(E.Detail) << "\", \"wall_ms\": " << E.WallMs
+     << ", \"peak_rss_kb\": " << E.PeakRssKb << "}";
+  return OS.str();
+}
+
 std::string BatchReport::json() const {
   std::ostringstream OS;
   OS << "{\n  \"summary\": {\"files\": " << Entries.size()
@@ -396,16 +334,9 @@ std::string BatchReport::json() const {
      << ", \"internal_errors\": " << InternalErrors
      << ", \"crashes\": " << Crashes << ", \"timeouts\": " << Timeouts
      << "},\n  \"files\": [\n";
-  for (size_t I = 0; I < Entries.size(); ++I) {
-    const BatchEntry &E = Entries[I];
-    OS << "    {\"file\": \"" << jsonEscape(E.File) << "\", \"verdict\": \""
-       << jsonEscape(E.Verdict) << "\", \"exit_reason\": \""
-       << batchExitReasonName(E.Reason) << "\", \"exit_code\": " << E.ExitCode
-       << ", \"signal\": " << E.Signal << ", \"detail\": \""
-       << jsonEscape(E.Detail) << "\", \"wall_ms\": " << E.WallMs
-       << ", \"peak_rss_kb\": " << E.PeakRssKb << "}"
+  for (size_t I = 0; I < Entries.size(); ++I)
+    OS << "    " << batchEntryJson(Entries[I])
        << (I + 1 < Entries.size() ? ",\n" : "\n");
-  }
   OS << "  ]\n}\n";
   return OS.str();
 }

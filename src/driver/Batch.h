@@ -112,6 +112,27 @@ struct BatchReport {
   std::string json() const;
 };
 
+/// Renders one report row as a JSON object (no trailing newline) — the
+/// per-file verdict schema shared by `csdf batch --report`,
+/// `csdf analyze --format json`, and `csdf serve`. BatchReport::json()
+/// emits exactly these objects; keep golden tests on either surface in
+/// sync through this one function.
+std::string batchEntryJson(const BatchEntry &E);
+
+/// Renders one session result as the batch verdict/detail pair: verdict
+/// is "usage-error", "front-end-errors", or the outcome string
+/// ("complete", "degraded-to-top(deadline)", ...); detail is a single
+/// line (newlines/tabs scrubbed), e.g. the budget reason or "N bug
+/// candidate(s)".
+void sessionVerdict(const SessionResult &R, std::string &Verdict,
+                    std::string &Detail);
+
+/// Runs one session over \p File and renders its outcome through
+/// sessionVerdict. Returns the session exit code. Shared by the forked
+/// batch child and the api layer's in-process runners.
+int runSessionOutcome(const std::string &File, const SessionOptions &Opts,
+                      std::string &Verdict, std::string &Detail);
+
 /// Expands \p DirOrList into the .mpl files to analyze: a directory is
 /// scanned (sorted, non-recursive) for *.mpl; any other path is read as a
 /// newline-separated file list. Returns false with \p Error set on IO
@@ -119,12 +140,14 @@ struct BatchReport {
 bool collectBatchInputs(const std::string &DirOrList,
                         std::vector<std::string> &Files, std::string &Error);
 
-/// Runs every file through an isolated session per Opts.Mode: forked,
-/// rlimited children (full crash isolation) or in-process pool threads
-/// (shared-memory, amortized closure memo). Never throws; every file
-/// yields exactly one BatchEntry, in input order.
-BatchReport runBatch(const std::vector<std::string> &Files,
-                     const BatchOptions &Opts);
+/// Runs every file through a forked, rlimited child session (full crash
+/// and hang isolation). Never throws; every file yields exactly one
+/// BatchEntry, in input order. This is the BatchMode::Fork runner; the
+/// BatchMode::Threads runner is api::Analyzer::runBatch, which needs the
+/// facade's shared warm state — callers pick between them through the api
+/// layer.
+BatchReport runBatchFork(const std::vector<std::string> &Files,
+                         const BatchOptions &Opts);
 
 } // namespace csdf
 

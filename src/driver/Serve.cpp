@@ -1,0 +1,419 @@
+//===- driver/Serve.cpp ---------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Serve.h"
+
+#include "analysis/Lint.h"
+#include "diag/DiagRenderer.h"
+#include "driver/Session.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace csdf;
+
+namespace {
+
+std::uint64_t nowUs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One-line diagnostics (renderDiagsJson emits one object per line)
+/// re-shaped into a JSON array fragment.
+std::string diagsJsonArray(const std::vector<Diagnostic> &Diags,
+                           const std::string &Path) {
+  std::string Lines = renderDiagsJson(Diags, Path);
+  std::string Out = "[";
+  size_t Pos = 0;
+  bool First = true;
+  while (Pos < Lines.size()) {
+    size_t Nl = Lines.find('\n', Pos);
+    if (Nl == std::string::npos)
+      Nl = Lines.size();
+    if (Nl > Pos) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out.append(Lines, Pos, Nl - Pos);
+    }
+    Pos = Nl + 1;
+  }
+  Out += ']';
+  return Out;
+}
+
+std::string errorResponse(const std::string &IdJson,
+                          const std::string &Message) {
+  return "{\"id\":" + IdJson + ",\"ok\":false,\"error\":\"" +
+         jsonEscape(Message) + "\"}";
+}
+
+} // namespace
+
+std::string ServeStats::json(std::size_t CacheEntries,
+                             std::size_t CacheCapacity) const {
+  char Rate[32];
+  std::snprintf(Rate, sizeof(Rate), "%.4f", hitRate());
+  std::string S = "{";
+  S += "\"analyze_requests\":" + std::to_string(AnalyzeRequests);
+  S += ",\"budget_trips\":" + std::to_string(BudgetTrips);
+  S += ",\"cache_capacity\":" + std::to_string(CacheCapacity);
+  S += ",\"cache_entries\":" + std::to_string(CacheEntries);
+  S += ",\"errors\":" + std::to_string(Errors);
+  S += ",\"evictions\":" + std::to_string(Evictions);
+  S += ",\"hit_rate\":" + std::string(Rate);
+  S += ",\"hits\":" + std::to_string(Hits);
+  S += ",\"lint_requests\":" + std::to_string(LintRequests);
+  S += ",\"misses\":" + std::to_string(Misses);
+  S += ",\"requests\":" + std::to_string(Requests);
+  S += ",\"wall_us_avg\":" +
+       std::to_string(Requests ? WallUsTotal / Requests : 0);
+  S += ",\"wall_us_total\":" + std::to_string(WallUsTotal);
+  S += "}";
+  return S;
+}
+
+/// One decoded request envelope.
+struct ServeServer::Request {
+  /// The request's "id", re-serialized for echoing (null when absent).
+  std::string IdJson = "null";
+  std::string Type;
+  std::string Path = "<request>";
+  std::optional<std::string> Source;
+  api::RequestOptions Options;
+  // Lint policy (ignored by analyze).
+  std::set<std::string> Disabled;
+  bool Werror = false;
+  DiagSeverity MinSeverity = DiagSeverity::Note;
+};
+
+ServeServer::ServeServer(const ServeOptions &Opts)
+    : Opts(Opts), Analyzer(api::AnalyzerConfig::warm()) {}
+
+const std::string *ServeServer::cacheGet(const std::string &Key) {
+  auto It = CacheMap.find(Key);
+  if (It == CacheMap.end())
+    return nullptr;
+  CacheList.splice(CacheList.begin(), CacheList, It->second);
+  return &It->second->second;
+}
+
+void ServeServer::cachePut(const std::string &Key, std::string Payload) {
+  if (Opts.CacheCapacity == 0)
+    return;
+  auto It = CacheMap.find(Key);
+  if (It != CacheMap.end()) {
+    It->second->second = std::move(Payload);
+    CacheList.splice(CacheList.begin(), CacheList, It->second);
+    return;
+  }
+  CacheList.emplace_front(Key, std::move(Payload));
+  CacheMap[Key] = CacheList.begin();
+  if (CacheMap.size() > Opts.CacheCapacity) {
+    CacheMap.erase(CacheList.back().first);
+    CacheList.pop_back();
+    ++Stats.Evictions;
+  }
+}
+
+std::string ServeServer::handleAnalyze(const Request &Req) {
+  ++Stats.AnalyzeRequests;
+
+  std::string Source;
+  if (Req.Source) {
+    Source = *Req.Source;
+  } else {
+    std::string Error;
+    if (!readSessionFile(Req.Path, Source, Error)) {
+      // Not cached: the same request may succeed once the file exists.
+      api::AnalyzeResponse R;
+      R.Session.ExitCode = SessionExitUsage;
+      R.Session.Error = Error;
+      return "{\"id\":" + Req.IdJson +
+             ",\"ok\":true,\"cached\":false,\"result\":" +
+             api::verdictJson(Req.Path, R) + "}";
+    }
+  }
+
+  // The full key string is stored, so a hit is exact string equality —
+  // same source bytes, same path, same effective options.
+  std::string Key =
+      "analyze\n" + Req.Options.fingerprint() + "\n" + Req.Path + "\n" +
+      Source;
+  if (const std::string *Payload = cacheGet(Key)) {
+    ++Stats.Hits;
+    return "{\"id\":" + Req.IdJson +
+           ",\"ok\":true,\"cached\":true,\"result\":" + *Payload + "}";
+  }
+  ++Stats.Misses;
+
+  api::AnalyzeRequest AReq;
+  AReq.Path = Req.Path;
+  AReq.Source = std::move(Source);
+  AReq.Options = Req.Options;
+  api::AnalyzeResponse R = Analyzer.analyze(AReq);
+  if (!R.Session.Outcome.complete() && !R.Session.Outcome.internalError())
+    ++Stats.BudgetTrips;
+
+  std::string Payload = api::verdictJson(Req.Path, R);
+  // Internal errors are not cached either: they are recovered invariant
+  // violations, not a property of the input worth replaying.
+  if (!R.Session.Outcome.internalError())
+    cachePut(Key, Payload);
+  return "{\"id\":" + Req.IdJson +
+         ",\"ok\":true,\"cached\":false,\"result\":" + Payload + "}";
+}
+
+std::string ServeServer::handleLint(const Request &Req) {
+  ++Stats.LintRequests;
+
+  std::string Source;
+  if (Req.Source) {
+    Source = *Req.Source;
+  } else {
+    std::string Error;
+    if (!readSessionFile(Req.Path, Source, Error)) {
+      ++Stats.Errors;
+      return errorResponse(Req.IdJson, Error);
+    }
+  }
+
+  std::string Key = "lint\n" + Req.Options.fingerprint() + "\n" + Req.Path +
+                    "\nwerror=" + std::to_string(Req.Werror) + ";minsev=" +
+                    std::to_string(static_cast<int>(Req.MinSeverity)) +
+                    ";disabled=";
+  for (const std::string &Pass : Req.Disabled)
+    Key += Pass + ",";
+  Key += "\n" + Source;
+  if (const std::string *Payload = cacheGet(Key)) {
+    ++Stats.Hits;
+    return "{\"id\":" + Req.IdJson +
+           ",\"ok\":true,\"cached\":true,\"result\":" + *Payload + "}";
+  }
+  ++Stats.Misses;
+
+  api::LintRequest LReq;
+  LReq.Path = Req.Path;
+  LReq.Source = std::move(Source);
+  LReq.Options = Req.Options;
+  LReq.Disabled = Req.Disabled;
+  LReq.Werror = Req.Werror;
+  LReq.MinSeverity = Req.MinSeverity;
+  api::LintResponse R = Analyzer.lint(LReq);
+
+  std::string Payload =
+      "{\"diagnostics\":" + diagsJsonArray(R.Diagnostics, Req.Path) +
+      ",\"exit_code\":" + std::to_string(R.ExitCode) + "}";
+  if (R.ExitCode != SessionExitInternal)
+    cachePut(Key, Payload);
+  return "{\"id\":" + Req.IdJson +
+         ",\"ok\":true,\"cached\":false,\"result\":" + Payload + "}";
+}
+
+std::string ServeServer::handleLine(const std::string &Line, bool &Shutdown) {
+  std::uint64_t Start = nowUs();
+  ++Stats.Requests;
+
+  auto Fail = [&](const std::string &IdJson, const std::string &Msg) {
+    ++Stats.Errors;
+    Stats.WallUsTotal += nowUs() - Start;
+    return errorResponse(IdJson, Msg);
+  };
+
+  JsonValue Json;
+  std::string Error;
+  if (!parseJson(Line, Json, Error))
+    return Fail("null", "malformed request: " + Error);
+  if (!Json.isObject())
+    return Fail("null", "request must be a JSON object");
+
+  Request Req;
+  if (const JsonValue *Id = Json.get("id"))
+    Req.IdJson = Id->str();
+  Req.Options = Opts.Defaults;
+
+  for (const auto &[Key, Value] : Json.asObject()) {
+    if (Key == "id") {
+      // Echoed verbatim; any JSON value is fine.
+    } else if (Key == "type") {
+      if (!Value.isString())
+        return Fail(Req.IdJson, "type must be a string");
+      Req.Type = Value.asString();
+    } else if (Key == "path") {
+      if (!Value.isString())
+        return Fail(Req.IdJson, "path must be a string");
+      Req.Path = Value.asString();
+    } else if (Key == "source") {
+      if (!Value.isString())
+        return Fail(Req.IdJson, "source must be a string");
+      Req.Source = Value.asString();
+    } else if (Key == "options") {
+      if (!api::optionsFromJson(Value, Req.Options, Error))
+        return Fail(Req.IdJson, Error);
+    } else if (Key == "disable") {
+      if (!Value.isArray())
+        return Fail(Req.IdJson, "disable must be an array of pass names");
+      for (const JsonValue &Pass : Value.asArray()) {
+        if (!Pass.isString() || !isKnownLintPass(Pass.asString()))
+          return Fail(Req.IdJson, "disable names an unknown lint pass");
+        Req.Disabled.insert(Pass.asString());
+      }
+    } else if (Key == "werror") {
+      if (!Value.isBool())
+        return Fail(Req.IdJson, "werror must be a boolean");
+      Req.Werror = Value.asBool();
+    } else if (Key == "min_severity") {
+      const std::string &S = Value.isString() ? Value.asString() : "";
+      if (S == "note")
+        Req.MinSeverity = DiagSeverity::Note;
+      else if (S == "warning")
+        Req.MinSeverity = DiagSeverity::Warning;
+      else if (S == "error")
+        Req.MinSeverity = DiagSeverity::Error;
+      else
+        return Fail(Req.IdJson,
+                    "min_severity must be note, warning, or error");
+    } else {
+      return Fail(Req.IdJson, "unknown request field '" + Key + "'");
+    }
+  }
+
+  std::string Resp;
+  if (Req.Type == "analyze") {
+    if (!Req.Source && Req.Path == "<request>")
+      return Fail(Req.IdJson, "analyze needs a path or a source");
+    Resp = handleAnalyze(Req);
+  } else if (Req.Type == "lint") {
+    if (!Req.Source && Req.Path == "<request>")
+      return Fail(Req.IdJson, "lint needs a path or a source");
+    Resp = handleLint(Req);
+  } else if (Req.Type == "stats") {
+    Stats.WallUsTotal += nowUs() - Start;
+    return "{\"id\":" + Req.IdJson + ",\"ok\":true,\"stats\":" +
+           Stats.json(cacheEntries(), Opts.CacheCapacity) + "}";
+  } else if (Req.Type == "shutdown") {
+    Shutdown = true;
+    Stats.WallUsTotal += nowUs() - Start;
+    return "{\"id\":" + Req.IdJson + ",\"ok\":true,\"shutting_down\":true}";
+  } else if (Req.Type.empty()) {
+    return Fail(Req.IdJson, "request has no type");
+  } else {
+    return Fail(Req.IdJson, "unknown request type '" + Req.Type + "'");
+  }
+
+  std::uint64_t Wall = nowUs() - Start;
+  Stats.WallUsTotal += Wall;
+  // wall_us rides outside the cached payload: it is per-request, while
+  // "result" must stay byte-stable between a miss and its later hits.
+  Resp.insert(Resp.size() - 1, ",\"wall_us\":" + std::to_string(Wall));
+  return Resp;
+}
+
+void csdf::runServeLoop(ServeServer &Server, std::istream &In,
+                        std::ostream &Out) {
+  std::string Line;
+  bool Shutdown = false;
+  while (!Shutdown && std::getline(In, Line)) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty())
+      continue;
+    Out << Server.handleLine(Line, Shutdown) << "\n" << std::flush;
+  }
+}
+
+namespace {
+
+/// Serves one accepted socket connection with the same line protocol.
+void serveConnection(ServeServer &Server, int Fd, bool &Shutdown) {
+  std::string Buf;
+  char Chunk[4096];
+  while (!Shutdown) {
+    size_t Nl;
+    while ((Nl = Buf.find('\n')) == std::string::npos) {
+      ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+      if (N <= 0)
+        return;
+      Buf.append(Chunk, static_cast<size_t>(N));
+    }
+    std::string Line = Buf.substr(0, Nl);
+    Buf.erase(0, Nl + 1);
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty())
+      continue;
+    std::string Resp = Server.handleLine(Line, Shutdown) + "\n";
+    size_t Off = 0;
+    while (Off < Resp.size()) {
+      ssize_t N = ::write(Fd, Resp.data() + Off, Resp.size() - Off);
+      if (N <= 0)
+        return;
+      Off += static_cast<size_t>(N);
+    }
+  }
+}
+
+} // namespace
+
+int csdf::runServe(const ServeOptions &Opts) {
+  ServeServer Server(Opts);
+  if (Opts.SocketPath.empty()) {
+    runServeLoop(Server, std::cin, std::cout);
+    return 0;
+  }
+
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "csdf: error: socket path too long: '%s'\n",
+                 Opts.SocketPath.c_str());
+    return 2;
+  }
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+              Opts.SocketPath.size());
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    std::fprintf(stderr, "csdf: error: socket: %s\n", std::strerror(errno));
+    return 2;
+  }
+  ::unlink(Opts.SocketPath.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 8) != 0) {
+    std::fprintf(stderr, "csdf: error: cannot listen on '%s': %s\n",
+                 Opts.SocketPath.c_str(), std::strerror(errno));
+    ::close(Fd);
+    return 2;
+  }
+
+  // Connections are served one at a time; daemon state (warm analyzer,
+  // cache, stats) persists across them.
+  bool Shutdown = false;
+  while (!Shutdown) {
+    int Conn = ::accept(Fd, nullptr, nullptr);
+    if (Conn < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    serveConnection(Server, Conn, Shutdown);
+    ::close(Conn);
+  }
+  ::close(Fd);
+  ::unlink(Opts.SocketPath.c_str());
+  return 0;
+}

@@ -1,0 +1,139 @@
+//===- driver/Serve.h - Persistent analysis daemon ------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `csdf serve` keeps one warm api::Analyzer alive and answers analysis
+/// requests over a JSON-lines protocol — one request object per line in,
+/// one response object per line out — on stdio (the default) or a unix
+/// domain socket. Editors and build orchestrators get pCFG verdicts
+/// without paying process startup, symbol re-interning, or closure
+/// recomputation per file; repeated requests are answered from a
+/// content-addressed LRU cache keyed by (source text, request options).
+///
+/// Requests:
+///
+///   {"id": 1, "type": "analyze", "path": "ring.mpl"}
+///   {"id": 2, "type": "analyze", "path": "buf", "source": "proc p ...",
+///    "options": {"client": "sectionx", "deadline_ms": 500}}
+///   {"id": 3, "type": "lint", "path": "ring.mpl", "werror": true,
+///    "disable": ["dead-store"], "min_severity": "warning"}
+///   {"id": 4, "type": "stats"}
+///   {"id": 5, "type": "shutdown"}
+///
+/// "source" is analyzed as given (the file is not read); otherwise "path"
+/// is read per request. "options" layers on the daemon's defaults (the
+/// shared CLI flags). Responses echo "id" and carry "ok"; an analyze
+/// response's "result" is byte-identical to the object `csdf analyze
+/// --format json` prints for the same input — the daemon is a cache in
+/// front of the CLI, never a different analyzer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_DRIVER_SERVE_H
+#define CSDF_DRIVER_SERVE_H
+
+#include "api/Csdf.h"
+
+#include <cstdint>
+#include <istream>
+#include <list>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace csdf {
+
+/// Configuration of one daemon instance.
+struct ServeOptions {
+  /// Per-request defaults (a request's "options" object overrides them).
+  api::RequestOptions Defaults;
+
+  /// Result-cache capacity in entries; 0 disables caching.
+  std::size_t CacheCapacity = 256;
+
+  /// When non-empty, listen on this unix domain socket path instead of
+  /// stdio (one connection served at a time; the daemon state — cache,
+  /// warm analyzer, stats — persists across connections).
+  std::string SocketPath;
+};
+
+/// Daemon-lifetime counters, reported by the "stats" request.
+struct ServeStats {
+  std::uint64_t Requests = 0;
+  std::uint64_t AnalyzeRequests = 0;
+  std::uint64_t LintRequests = 0;
+  std::uint64_t Hits = 0;
+  std::uint64_t Misses = 0;
+  std::uint64_t Evictions = 0;
+  /// Requests whose analysis degraded to Top on a budget limit.
+  std::uint64_t BudgetTrips = 0;
+  /// Malformed or rejected requests (parse error, unknown type/option).
+  std::uint64_t Errors = 0;
+  std::uint64_t WallUsTotal = 0;
+
+  double hitRate() const {
+    std::uint64_t Lookups = Hits + Misses;
+    return Lookups ? static_cast<double>(Hits) / Lookups : 0.0;
+  }
+
+  /// Stable JSON object (sorted keys, no trailing newline). CacheEntries
+  /// is passed in because the cache lives in the server, not here.
+  std::string json(std::size_t CacheEntries,
+                   std::size_t CacheCapacity) const;
+};
+
+/// The daemon's request processor, transport-agnostic: feed it one request
+/// line, get one response line back. Owns the warm Analyzer, the result
+/// cache, and the stats. Tests drive this directly; runServe() wires it to
+/// stdio or a socket.
+class ServeServer {
+public:
+  explicit ServeServer(const ServeOptions &Opts);
+
+  /// Handles one request line and returns the response line (no trailing
+  /// newline). Never throws; malformed input yields an "ok": false
+  /// response. Sets \p Shutdown on a shutdown request.
+  std::string handleLine(const std::string &Line, bool &Shutdown);
+
+  const ServeStats &stats() const { return Stats; }
+  std::size_t cacheEntries() const { return CacheMap.size(); }
+
+private:
+  struct Request;
+
+  std::string handleAnalyze(const Request &Req);
+  std::string handleLint(const Request &Req);
+
+  /// Content-addressed cache lookup; moves the entry to MRU on hit.
+  const std::string *cacheGet(const std::string &Key);
+  void cachePut(const std::string &Key, std::string Payload);
+
+  ServeOptions Opts;
+  api::Analyzer Analyzer;
+  ServeStats Stats;
+
+  /// LRU list, most recent first; the map points into it. The key embeds
+  /// the full option fingerprint and source text, so a hit is exact by
+  /// construction — no hash-collision risk.
+  std::list<std::pair<std::string, std::string>> CacheList;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, std::string>>::iterator>
+      CacheMap;
+};
+
+/// Reads request lines from \p In, writes response lines (flushed each)
+/// to \p Out, until EOF or a shutdown request.
+void runServeLoop(ServeServer &Server, std::istream &In, std::ostream &Out);
+
+/// Runs the daemon per \p Opts: stdio, or an AF_UNIX listener when
+/// SocketPath is set. Returns a process exit code (0 on clean shutdown or
+/// EOF, 2 on a transport setup failure).
+int runServe(const ServeOptions &Opts);
+
+} // namespace csdf
+
+#endif // CSDF_DRIVER_SERVE_H

@@ -116,6 +116,35 @@ struct AnalysisOptions {
   std::shared_ptr<SymbolTable> SharedSymbols;
   std::shared_ptr<ClosureMemo> SharedMemo;
 
+  /// Canonical one-line encoding of every field that can change an
+  /// analysis result — the engine half of a content-addressed cache key
+  /// (api::RequestOptions::fingerprint layers the budget limits on top;
+  /// `csdf serve` keys its result cache on the combination). Threads is
+  /// deliberately excluded: results are bit-identical at any thread
+  /// count, so runs differing only in worker count share one cache entry.
+  /// Budget and the SharedSymbols/SharedMemo handles are runtime wiring,
+  /// not semantics, and are excluded too.
+  std::string fingerprint() const {
+    std::string F;
+    F += "lin=" + std::to_string(UseLinearMatcher);
+    F += ";hsm=" + std::to_string(UseHsmMatcher);
+    F += ";sends=" + std::to_string(static_cast<int>(Sends));
+    F += ";minp=" + std::to_string(MinProcs);
+    F += ";np=" + std::to_string(FixedNp);
+    F += ";var=" + std::to_string(MaxVariantsPerConfig);
+    F += ";infl=" + std::to_string(MaxInFlight);
+    F += ";sets=" + std::to_string(MaxProcSets);
+    F += ";widen=" + std::to_string(WidenDelay);
+    F += ";states=" + std::to_string(MaxStates);
+    F += ";backend=" + std::to_string(static_cast<int>(Backend));
+    F += ";agg=" + std::to_string(AggregateSendLoops);
+    F += ";params={";
+    for (const auto &[Name, Value] : Params)
+      F += Name + "=" + std::to_string(Value) + ",";
+    F += "}";
+    return F;
+  }
+
   /// Preset for the Section VII client analysis.
   static AnalysisOptions simpleSymbolic() { return AnalysisOptions(); }
 

@@ -1,0 +1,361 @@
+//===- tests/api/ApiTest.cpp - stable facade tests -------------------------===//
+//
+// api::RequestOptions (the one option bag every front end shares: CLI
+// spelling, JSON spelling, cache-key fingerprint) and api::Analyzer (the
+// one construction path for analyze/lint/batch). The per-file verdict JSON
+// must be the same schema everywhere, so `csdf analyze --format json`,
+// `csdf batch --report` and `csdf serve` results stay interchangeable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Csdf.h"
+#include "driver/Batch.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <unistd.h>
+
+using namespace csdf;
+namespace fs = std::filesystem;
+
+namespace {
+
+const char *CleanSource = "if id == 0 then\n"
+                          "  x = 42;\n"
+                          "  send x -> 1;\n"
+                          "elif id == 1 then\n"
+                          "  recv y <- 0;\n"
+                          "  print y;\n"
+                          "end\n";
+
+const char *LeakSource = "if id == 0 then\n"
+                         "  x = 1;\n"
+                         "  send x -> 1;\n"
+                         "  send x -> 1;\n"
+                         "elif id == 1 then\n"
+                         "  recv y <- 0;\n"
+                         "end\n";
+
+struct TempDir {
+  fs::path Dir;
+  TempDir() {
+    Dir = fs::temp_directory_path() /
+          ("csdf-api-test-" + std::to_string(::getpid()));
+    fs::create_directories(Dir);
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    fs::remove_all(Dir, Ec);
+  }
+  std::string add(const std::string &Name, const std::string &Source) {
+    fs::path P = Dir / Name;
+    std::ofstream(P) << Source;
+    return P.string();
+  }
+};
+
+//===--------------------------------------------------------------------===//
+// Shared option parsing
+//===--------------------------------------------------------------------===//
+
+TEST(RequestOptionsTest, SharedFlagsParseEverywhereTheSame) {
+  const char *Argv[] = {"--client",        "linear", "--fixed-np", "6",
+                        "--param",         "rows=3", "--threads",  "2",
+                        "--max-states",    "500",    "--deadline-ms", "250",
+                        "--max-memory-mb", "64",     "--prover-steps", "9000",
+                        "--test-hooks"};
+  int Argc = static_cast<int>(std::size(Argv));
+  api::RequestOptions Opts;
+  std::string Error;
+  for (int I = 0; I < Argc; ++I)
+    ASSERT_EQ(api::parseSharedOption(Argc, Argv, I, Opts, Error),
+              api::ArgStatus::Consumed)
+        << Argv[I] << ": " << Error;
+
+  EXPECT_EQ(Opts.Client, "linear");
+  EXPECT_EQ(Opts.FixedNp, 6);
+  EXPECT_EQ(Opts.Params.at("rows"), 3);
+  EXPECT_EQ(Opts.Threads, 2u);
+  EXPECT_EQ(Opts.MaxStates, 500u);
+  EXPECT_EQ(Opts.DeadlineMs, 250u);
+  EXPECT_EQ(Opts.MaxMemoryMb, 64u);
+  EXPECT_EQ(Opts.ProverSteps, 9000u);
+  EXPECT_TRUE(Opts.TestHooks);
+
+  // The resolved engine/session options reflect the overrides.
+  AnalysisOptions An = Opts.analysis();
+  EXPECT_EQ(An.FixedNp, 6);
+  EXPECT_EQ(An.Threads, 2u);
+  EXPECT_EQ(An.MaxStates, 500u);
+  EXPECT_EQ(An.Params.at("rows"), 3);
+  SessionOptions S = Opts.session();
+  EXPECT_EQ(S.DeadlineMs, 250u);
+  EXPECT_EQ(S.MaxMemoryMb, 64u);
+  EXPECT_EQ(S.MaxProverSteps, 9000u);
+  EXPECT_TRUE(S.EnableTestHooks);
+}
+
+TEST(RequestOptionsTest, BadSharedFlagValuesFailLoudly) {
+  auto Try = [](std::vector<const char *> Argv) {
+    api::RequestOptions Opts;
+    std::string Error;
+    int I = 0;
+    api::ArgStatus St = api::parseSharedOption(
+        static_cast<int>(Argv.size()), Argv.data(), I, Opts, Error);
+    if (St == api::ArgStatus::Error)
+      EXPECT_FALSE(Error.empty());
+    return St;
+  };
+  EXPECT_EQ(Try({"--client", "bogus"}), api::ArgStatus::Error);
+  EXPECT_EQ(Try({"--client"}), api::ArgStatus::Error); // missing value
+  EXPECT_EQ(Try({"--fixed-np", "0"}), api::ArgStatus::Error);
+  EXPECT_EQ(Try({"--fixed-np", "-3"}), api::ArgStatus::Error);
+  EXPECT_EQ(Try({"--param", "noequals"}), api::ArgStatus::Error);
+  EXPECT_EQ(Try({"--param", "=5"}), api::ArgStatus::Error);
+  EXPECT_EQ(Try({"--threads", "0"}), api::ArgStatus::Error);
+  EXPECT_EQ(Try({"--threads", "4096"}), api::ArgStatus::Error);
+  EXPECT_EQ(Try({"--max-states", "x"}), api::ArgStatus::Error);
+  EXPECT_EQ(Try({"--deadline-ms", "-1"}), api::ArgStatus::Error);
+  // Non-shared flags are left for the caller's own table.
+  EXPECT_EQ(Try({"--np", "8"}), api::ArgStatus::NotMine);
+  EXPECT_EQ(Try({"--format", "json"}), api::ArgStatus::NotMine);
+}
+
+TEST(RequestOptionsTest, JsonSpellingMatchesFlagSpelling) {
+  JsonValue Json;
+  std::string Error;
+  ASSERT_TRUE(parseJson("{\"client\": \"sectionx\", \"fixed_np\": 4, "
+                        "\"params\": {\"rows\": 2}, \"threads\": 3, "
+                        "\"max_states\": 10, \"deadline_ms\": 100, "
+                        "\"max_memory_mb\": 32, \"prover_steps\": 7, "
+                        "\"test_hooks\": true}",
+                        Json, Error))
+      << Error;
+  api::RequestOptions Opts;
+  ASSERT_TRUE(api::optionsFromJson(Json, Opts, Error)) << Error;
+  EXPECT_EQ(Opts.Client, "sectionx");
+  EXPECT_EQ(Opts.FixedNp, 4);
+  EXPECT_EQ(Opts.Params.at("rows"), 2);
+  EXPECT_EQ(Opts.Threads, 3u);
+  EXPECT_EQ(Opts.MaxStates, 10u);
+  EXPECT_EQ(Opts.DeadlineMs, 100u);
+  EXPECT_EQ(Opts.MaxMemoryMb, 32u);
+  EXPECT_EQ(Opts.ProverSteps, 7u);
+  EXPECT_TRUE(Opts.TestHooks);
+
+  // Typos and type mismatches are rejected, not silently defaulted.
+  auto Fails = [](const char *Text) {
+    JsonValue V;
+    std::string E;
+    EXPECT_TRUE(parseJson(Text, V, E)) << E;
+    api::RequestOptions O;
+    bool Ok = api::optionsFromJson(V, O, E);
+    EXPECT_FALSE(Ok) << Text;
+    EXPECT_FALSE(E.empty());
+  };
+  Fails("{\"deadline\": 5}");            // unknown member
+  Fails("{\"client\": \"zap\"}");        // unknown preset
+  Fails("{\"threads\": \"two\"}");       // type mismatch
+  Fails("{\"fixed_np\": 0}");            // out of range
+  Fails("{\"params\": {\"rows\": \"x\"}}");
+  Fails("[1]");                          // not an object
+}
+
+//===--------------------------------------------------------------------===//
+// Fingerprint (the cache key's option half)
+//===--------------------------------------------------------------------===//
+
+TEST(RequestOptionsTest, FingerprintSeparatesSemanticallyDifferentRequests) {
+  api::RequestOptions Base;
+  std::string F = Base.fingerprint();
+  EXPECT_EQ(F, api::RequestOptions().fingerprint()) << "must be stable";
+
+  auto Differs = [&](void (*Mutate)(api::RequestOptions &)) {
+    api::RequestOptions O;
+    Mutate(O);
+    EXPECT_NE(O.fingerprint(), F);
+  };
+  Differs([](api::RequestOptions &O) { O.Client = "linear"; });
+  Differs([](api::RequestOptions &O) { O.FixedNp = 9; });
+  Differs([](api::RequestOptions &O) { O.Params["rows"] = 2; });
+  Differs([](api::RequestOptions &O) { O.MaxStates = 5; });
+  Differs([](api::RequestOptions &O) { O.DeadlineMs = 50; });
+  Differs([](api::RequestOptions &O) { O.MaxMemoryMb = 64; });
+  Differs([](api::RequestOptions &O) { O.ProverSteps = 10; });
+  Differs([](api::RequestOptions &O) { O.TestHooks = true; });
+
+  // Threads is excluded by design: results are bit-identical at any
+  // worker count, so a cache hit across thread counts is correct.
+  api::RequestOptions Threaded;
+  Threaded.Threads = 8;
+  EXPECT_EQ(Threaded.fingerprint(), F);
+}
+
+//===--------------------------------------------------------------------===//
+// Analyzer.analyze
+//===--------------------------------------------------------------------===//
+
+TEST(AnalyzerTest, InlineSourceCompletesWithExitZero) {
+  api::Analyzer An;
+  api::AnalyzeRequest Req;
+  Req.Path = "buffer.mpl";
+  Req.Source = CleanSource;
+  Req.Options.Client = "linear";
+  api::AnalyzeResponse R = An.analyze(Req);
+  EXPECT_EQ(R.exitCode(), SessionExitComplete);
+  EXPECT_TRUE(R.outcome().complete());
+  EXPECT_FALSE(R.degraded());
+  ASSERT_NE(R.Session.Graph, nullptr);
+  EXPECT_EQ(R.Session.Report.Analysis.matchedNodePairs().size(), 1u);
+}
+
+TEST(AnalyzerTest, MissingFileAndEmptyBufferAreUsageErrors) {
+  api::Analyzer An;
+  api::AnalyzeRequest Req;
+  Req.Path = "/nonexistent/never.mpl";
+  api::AnalyzeResponse R = An.analyze(Req);
+  EXPECT_EQ(R.exitCode(), SessionExitUsage);
+  EXPECT_NE(R.Session.Error.find("cannot read"), std::string::npos);
+
+  Req.Path = "buf.mpl";
+  Req.Source = "";
+  R = An.analyze(Req);
+  EXPECT_EQ(R.exitCode(), SessionExitUsage);
+  EXPECT_NE(R.Session.Error.find("is empty"), std::string::npos);
+}
+
+TEST(AnalyzerTest, StateBudgetTripsDeterministically) {
+  // --max-states is the deterministic budget trip (unlike a deadline, its
+  // reason text carries no timing), which is what serve's cache tests and
+  // the golden corpus rely on.
+  api::Analyzer An;
+  api::AnalyzeRequest Req;
+  Req.Path = "tripped.mpl";
+  Req.Source = CleanSource;
+  Req.Options.MaxStates = 1;
+  api::AnalyzeResponse R = An.analyze(Req);
+  EXPECT_TRUE(R.degraded());
+  EXPECT_EQ(R.outcome().str(), "degraded-to-top(states)");
+  EXPECT_EQ(R.outcome().Reason, "state budget exceeded");
+}
+
+TEST(AnalyzerTest, WarmAndColdAnalyzersAgreeOnVerdicts) {
+  // Warm state (shared symbols + cross-session memo) is an optimization,
+  // never a semantic change: repeated and mixed requests must produce the
+  // same verdict JSON a cold run produces, byte for byte (modulo wall
+  // time).
+  auto Normalize = [](std::string S) {
+    return std::regex_replace(S, std::regex("\"wall_ms\": \\d+"),
+                              "\"wall_ms\": 0");
+  };
+  api::Analyzer Warm(api::AnalyzerConfig::warm());
+  const char *Sources[] = {CleanSource, LeakSource, CleanSource, LeakSource};
+  for (const char *Source : Sources) {
+    api::AnalyzeRequest Req;
+    Req.Path = "w.mpl";
+    Req.Source = Source;
+    api::AnalyzeResponse WarmR = Warm.analyze(Req);
+    api::Analyzer Cold;
+    api::AnalyzeResponse ColdR = Cold.analyze(Req);
+    EXPECT_EQ(Normalize(api::verdictJson(Req.Path, WarmR)),
+              Normalize(api::verdictJson(Req.Path, ColdR)));
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// One verdict schema across surfaces
+//===--------------------------------------------------------------------===//
+
+#ifndef _WIN32
+
+TEST(AnalyzerTest, VerdictJsonMatchesBatchReportRow) {
+  // `csdf analyze --format json` output for a file and the corresponding
+  // `csdf batch --report` entry are the same object, modulo the volatile
+  // measurement fields.
+  TempDir Dir;
+  std::string Clean = Dir.add("clean.mpl", CleanSource);
+  std::string Leak = Dir.add("leak.mpl", LeakSource);
+
+  api::Analyzer An;
+  api::BatchRequest BReq;
+  BReq.Files = {Clean, Leak};
+  BReq.Mode = BatchMode::Fork;
+  BatchReport Report = An.runBatch(BReq);
+  ASSERT_EQ(Report.Entries.size(), 2u);
+
+  auto Normalize = [](std::string S) {
+    S = std::regex_replace(S, std::regex("\"wall_ms\": \\d+"),
+                           "\"wall_ms\": 0");
+    return std::regex_replace(S, std::regex("\"peak_rss_kb\": \\d+"),
+                              "\"peak_rss_kb\": 0");
+  };
+  for (size_t I = 0; I < BReq.Files.size(); ++I) {
+    api::AnalyzeRequest Req;
+    Req.Path = BReq.Files[I];
+    api::AnalyzeResponse R = An.analyze(Req);
+    EXPECT_EQ(Normalize(api::verdictJson(Req.Path, R)),
+              Normalize(batchEntryJson(Report.Entries[I])))
+        << BReq.Files[I];
+  }
+}
+
+#endif // !_WIN32
+
+//===--------------------------------------------------------------------===//
+// Analyzer.lint
+//===--------------------------------------------------------------------===//
+
+TEST(AnalyzerTest, LintReportsFiltersAndPromotes) {
+  api::Analyzer An;
+  api::LintRequest Req;
+  Req.Path = "lint.mpl";
+  Req.Source = "x = 1;\nx = 2;\nprint x;\n"; // first store is dead
+
+  api::LintResponse R = An.lint(Req);
+  EXPECT_EQ(R.ExitCode, 1);
+  ASSERT_FALSE(R.Diagnostics.empty());
+  bool SawDeadStore = false;
+  for (const Diagnostic &D : R.Diagnostics)
+    if (D.Pass == "dead-store") {
+      SawDeadStore = true;
+      EXPECT_EQ(D.Sev, DiagSeverity::Warning);
+    }
+  EXPECT_TRUE(SawDeadStore);
+
+  // --Werror promotes the warning.
+  Req.Werror = true;
+  R = An.lint(Req);
+  for (const Diagnostic &D : R.Diagnostics)
+    if (D.Pass == "dead-store")
+      EXPECT_EQ(D.Sev, DiagSeverity::Error);
+
+  // min-severity=error without promotion drops it; exit goes clean.
+  Req.Werror = false;
+  Req.MinSeverity = DiagSeverity::Error;
+  R = An.lint(Req);
+  for (const Diagnostic &D : R.Diagnostics)
+    EXPECT_NE(D.Pass, "dead-store");
+  EXPECT_EQ(R.ExitCode, 0);
+
+  // Disabling the pass suppresses it at the source.
+  Req.MinSeverity = DiagSeverity::Note;
+  Req.Disabled = {"dead-store"};
+  R = An.lint(Req);
+  for (const Diagnostic &D : R.Diagnostics)
+    EXPECT_NE(D.Pass, "dead-store");
+}
+
+TEST(AnalyzerTest, LintMissingFileIsUsageError) {
+  api::Analyzer An;
+  api::LintRequest Req;
+  Req.Path = "/nonexistent/never.mpl";
+  api::LintResponse R = An.lint(Req);
+  EXPECT_EQ(R.ExitCode, SessionExitUsage);
+  EXPECT_NE(R.Error.find("cannot read"), std::string::npos);
+  EXPECT_TRUE(R.Diagnostics.empty());
+}
+
+} // namespace

@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Csdf.h"
 #include "driver/Batch.h"
 #include "driver/Session.h"
 
@@ -135,7 +136,7 @@ TEST(BatchTest, MixedCorpusIsolatesEveryFailureMode) {
   Opts.Session.EnableTestHooks = true;
   Opts.Jobs = 4;
   Opts.TimeoutMs = 2000;
-  BatchReport Report = runBatch(Files, Opts);
+  BatchReport Report = runBatchFork(Files, Opts);
 
   ASSERT_EQ(Report.Entries.size(), 5u);
   EXPECT_FALSE(Report.allComplete());
@@ -177,7 +178,7 @@ TEST(BatchTest, JsonReportIsWellFormedAndStable) {
   BatchOptions Opts;
   Opts.Session.Analysis = AnalysisOptions::simpleSymbolic();
   Opts.Session.EnableTestHooks = true;
-  BatchReport Report = runBatch(Files, Opts);
+  BatchReport Report = runBatchFork(Files, Opts);
   std::string Json = Report.json();
 
   // Normalize the volatile fields (timings, memory, absolute paths) so the
@@ -230,15 +231,19 @@ TEST(BatchTest, ThreadsModeMatchesForkModeVerdicts) {
   ASSERT_TRUE(collectBatchInputs(Corpus.Dir.string(), Files, Error)) << Error;
   ASSERT_EQ(Files.size(), 4u);
 
-  BatchOptions Opts;
-  Opts.Session.Analysis = AnalysisOptions::simpleSymbolic();
-  Opts.Session.EnableTestHooks = true;
-  Opts.Jobs = 4;
+  // Both isolation modes through the facade — the one construction path
+  // every front end uses.
+  api::BatchRequest Req;
+  Req.Files = Files;
+  Req.Options.Client = "linear";
+  Req.Options.TestHooks = true;
+  Req.Jobs = 4;
 
-  Opts.Mode = BatchMode::Fork;
-  BatchReport Fork = runBatch(Files, Opts);
-  Opts.Mode = BatchMode::Threads;
-  BatchReport Threads = runBatch(Files, Opts);
+  api::Analyzer An;
+  Req.Mode = BatchMode::Fork;
+  BatchReport Fork = An.runBatch(Req);
+  Req.Mode = BatchMode::Threads;
+  BatchReport Threads = An.runBatch(Req);
 
   ASSERT_EQ(Threads.Entries.size(), Fork.Entries.size());
   for (size_t I = 0; I < Fork.Entries.size(); ++I) {
@@ -272,14 +277,15 @@ TEST(BatchTest, ThreadsModeSerialAndParallelAgree) {
   std::string Error;
   ASSERT_TRUE(collectBatchInputs(Corpus.Dir.string(), Files, Error)) << Error;
 
-  BatchOptions Opts;
-  Opts.Session.Analysis = AnalysisOptions::cartesian();
-  Opts.Mode = BatchMode::Threads;
+  api::BatchRequest Req;
+  Req.Files = Files;
+  Req.Mode = BatchMode::Threads;
 
-  Opts.Jobs = 1;
-  BatchReport Serial = runBatch(Files, Opts);
-  Opts.Jobs = 4;
-  BatchReport Parallel = runBatch(Files, Opts);
+  api::Analyzer An;
+  Req.Jobs = 1;
+  BatchReport Serial = An.runBatch(Req);
+  Req.Jobs = 4;
+  BatchReport Parallel = An.runBatch(Req);
 
   ASSERT_EQ(Serial.Entries.size(), 3u);
   ASSERT_EQ(Parallel.Entries.size(), 3u);

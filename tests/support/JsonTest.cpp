@@ -1,0 +1,122 @@
+//===- tests/support/JsonTest.cpp - serve-protocol JSON reader tests -------===//
+//
+// The `csdf serve` request parser: value model, round-trips through str(),
+// and loud failures on everything malformed (the daemon must answer every
+// bad line with an error response, never crash or mis-read).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace csdf;
+
+namespace {
+
+JsonValue parseOk(const std::string &Text) {
+  JsonValue V;
+  std::string Error;
+  EXPECT_TRUE(parseJson(Text, V, Error)) << Text << ": " << Error;
+  return V;
+}
+
+std::string parseErr(const std::string &Text) {
+  JsonValue V;
+  std::string Error;
+  EXPECT_FALSE(parseJson(Text, V, Error)) << Text;
+  EXPECT_FALSE(Error.empty()) << Text;
+  return Error;
+}
+
+TEST(JsonTest, Scalars) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_TRUE(parseOk("true").asBool());
+  EXPECT_FALSE(parseOk("false").asBool());
+  EXPECT_EQ(parseOk("42").asInt(), 42);
+  EXPECT_EQ(parseOk("-7").asInt(), -7);
+  EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+  EXPECT_DOUBLE_EQ(parseOk("2.5").asDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(parseOk("1e3").asDouble(), 1000.0);
+}
+
+TEST(JsonTest, IntegralNumbersStayExact) {
+  // Option fields (deadline_ms etc.) must round-trip as int64, not double.
+  JsonValue V = parseOk("9007199254740993"); // 2^53 + 1: not double-exact.
+  ASSERT_TRUE(V.isInt());
+  EXPECT_EQ(V.asInt(), 9007199254740993LL);
+  // A fractional or exponent form parses as double.
+  EXPECT_TRUE(parseOk("1.0").isDouble());
+  EXPECT_TRUE(parseOk("1e2").isDouble());
+}
+
+TEST(JsonTest, ContainersAndAccess) {
+  JsonValue V = parseOk(
+      "{\"id\": 3, \"type\": \"analyze\", \"disable\": [\"a\", \"b\"], "
+      "\"options\": {\"deadline_ms\": 500}}");
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(V.get("id")->asInt(), 3);
+  EXPECT_EQ(V.get("type")->asString(), "analyze");
+  ASSERT_TRUE(V.get("disable")->isArray());
+  EXPECT_EQ(V.get("disable")->asArray().size(), 2u);
+  EXPECT_EQ(V.get("disable")->asArray()[1].asString(), "b");
+  EXPECT_EQ(V.get("options")->get("deadline_ms")->asInt(), 500);
+  EXPECT_EQ(V.get("missing"), nullptr);
+  EXPECT_EQ(V.get("id")->get("not-an-object"), nullptr);
+}
+
+TEST(JsonTest, StringEscapes) {
+  EXPECT_EQ(parseOk("\"a\\\"b\"").asString(), "a\"b");
+  EXPECT_EQ(parseOk("\"a\\\\b\"").asString(), "a\\b");
+  EXPECT_EQ(parseOk("\"a\\nb\\tc\"").asString(), "a\nb\tc");
+  EXPECT_EQ(parseOk("\"\\u0041\"").asString(), "A");
+  // Non-ASCII escapes come out as UTF-8.
+  EXPECT_EQ(parseOk("\"\\u00e9\"").asString(), "\xc3\xa9");
+  EXPECT_EQ(parseOk("\"\\u20ac\"").asString(), "\xe2\x82\xac");
+}
+
+TEST(JsonTest, StrRoundTripsStable) {
+  // str() re-serializes compactly with sorted object keys, so a value
+  // survives a parse -> str -> parse cycle unchanged.
+  const char *Texts[] = {
+      "null", "true", "-12", "\"x\\ny\"", "[1, 2, [3]]",
+      "{\"a\": 1, \"b\": [true, null], \"c\": {\"d\": \"e\"}}"};
+  for (const char *Text : Texts) {
+    JsonValue V1 = parseOk(Text);
+    JsonValue V2 = parseOk(V1.str());
+    EXPECT_EQ(V1.str(), V2.str()) << Text;
+  }
+  // Keys sort regardless of input order.
+  EXPECT_EQ(parseOk("{\"b\": 1, \"a\": 2}").str(), "{\"a\":2,\"b\":1}");
+}
+
+TEST(JsonTest, MalformedInputsFailWithPosition) {
+  parseErr("");
+  parseErr("{");
+  parseErr("[1, 2");
+  parseErr("{\"a\": }");
+  parseErr("{\"a\" 1}");
+  parseErr("{'a': 1}");
+  parseErr("tru");
+  parseErr("\"unterminated");
+  parseErr("\"bad \\q escape\"");
+  parseErr("nan");
+  // Trailing garbage after a complete value is an error, not ignored.
+  parseErr("{} {}");
+  parseErr("1,");
+}
+
+TEST(JsonTest, DeepNestingIsBounded) {
+  // The parser must reject pathological nesting instead of overflowing
+  // the stack — serve reads attacker-shaped lines from a socket.
+  std::string Deep(100000, '[');
+  Deep += std::string(100000, ']');
+  parseErr(Deep);
+}
+
+TEST(JsonTest, WhitespaceTolerance) {
+  JsonValue V = parseOk("  { \"a\" :\t[ 1 ,\n 2 ] }  ");
+  EXPECT_EQ(V.get("a")->asArray().size(), 2u);
+}
+
+} // namespace

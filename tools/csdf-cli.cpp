@@ -16,12 +16,28 @@
 //                                             with structured diagnostics
 //   csdf batch    <dir|filelist> [options]    crash-isolated analysis of a
 //                                             whole corpus, JSON report
+//   csdf serve    [options]                   persistent analysis daemon:
+//                                             JSON-lines requests on stdio
+//                                             or a unix socket, answered
+//                                             from a warm result cache
 //
-// Common options:
-//   --client linear|cartesian   client analysis (default cartesian)
-//   --np N                      interpreter process count (default 8)
+// Analysis requests (analyze, lint, batch, serve) all go through the
+// csdf::api facade, so the shared request flags parse and validate
+// identically everywhere:
+//   --client linear|cartesian|sectionx   client analysis (default cartesian)
 //   --fixed-np N                pin np for the analysis
 //   --param NAME=V              grid parameter (both run and analysis)
+//   --threads N                 parallel worklist drain; results are
+//                               bit-identical at any N
+//   --max-states N              engine state budget (deterministic trip)
+//   --deadline-ms N             cooperative wall-clock deadline; past it
+//                               the analysis degrades to Top, not a hang
+//   --max-memory-mb N           soft ceiling on live DBM bytes
+//   --prover-steps N            HSM prover search-step budget
+//   --test-hooks                honor `# csdf-test:` failure injection
+//
+// Interpreter options (run, analyze --validate):
+//   --np N                      interpreter process count (default 8)
 //   --scheduler rr|lifo|random  interpreter schedule (default rr)
 //   --seed N                    seed for the random scheduler
 //   --validate                  after analyze: compare against a run
@@ -29,15 +45,8 @@
 //                               counters and timers to stderr
 //
 // Analyze options:
-//   --threads N                 parallel worklist drain; results are
-//                               bit-identical at any N (speculative
-//                               workers, ordered commits)
-//
-// Budget options (analyze, lint, batch):
-//   --deadline-ms N             cooperative wall-clock deadline; past it
-//                               the analysis degrades to Top, not a hang
-//   --max-memory-mb N           soft ceiling on live DBM bytes
-//   --prover-steps N            HSM prover search-step budget
+//   --format text|json          json prints the same per-file verdict
+//                               object as a `csdf batch --report` entry
 //
 // Lint options:
 //   --format text|json|sarif    output format (default text)
@@ -55,6 +64,10 @@
 //                               mode, cooperative deadline in threads mode
 //   --report out.json           write the per-file JSON report here
 //
+// Serve options:
+//   --cache-size N              result-cache entries (default 256; 0 off)
+//   --socket PATH               listen on a unix socket instead of stdio
+//
 // Exit codes (analyze, batch, lint):
 //   0  complete, no findings
 //   1  degraded to Top and/or findings (bugs, lint diagnostics,
@@ -66,26 +79,24 @@
 
 #include "analysis/Clients.h"
 #include "analysis/Lint.h"
+#include "api/Csdf.h"
 #include "baseline/MpiCfg.h"
 #include "diag/DiagRenderer.h"
 #include "cfg/CfgBuilder.h"
 #include "cfg/CfgDot.h"
-#include "driver/Batch.h"
+#include "driver/Serve.h"
 #include "driver/Session.h"
 #include "interp/Interpreter.h"
 #include "lang/Parser.h"
 #include "lang/Sema.h"
 #include "pcfg/Engine.h"
-#include "support/Budget.h"
 #include "support/Stats.h"
 #include "topology/CommTopology.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <map>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -96,46 +107,49 @@ namespace {
 struct CliOptions {
   std::string Command;
   std::string File;
-  std::string Client = "cartesian";
+  /// The shared analysis request options (client preset, engine
+  /// overrides, budget) — one parser and one semantics for analyze,
+  /// lint, batch, and serve defaults.
+  api::RequestOptions Request;
+  // Interpreter-only knobs.
   std::string Scheduler = "rr";
-  std::string Format = "text";
-  std::string MinSeverity = "note";
   int Np = 8;
-  std::int64_t FixedNp = 0;
   std::uint64_t Seed = 1;
   bool Validate = false;
-  bool Werror = false;
   bool Stats = false;
+  // Lint presentation.
+  std::string Format = "text";
+  std::string MinSeverity = "note";
+  bool Werror = false;
   std::set<std::string> Disabled;
-  std::map<std::string, std::int64_t> Params;
-  // Budget limits (0 = unlimited).
-  std::uint64_t DeadlineMs = 0;
-  std::uint64_t MaxMemoryMb = 0;
-  std::uint64_t ProverSteps = 0;
-  // Worker threads for the engine's parallel worklist drain (analyze).
-  unsigned Threads = 1;
   // Batch driver.
   unsigned Jobs = 1;
   std::uint64_t TimeoutMs = 0;
   std::string BatchMode = "fork";
   std::string ReportPath;
-  /// Honor `# csdf-test:` failure-injection directives (batch corpora and
-  /// the robustness test-suite; off for normal analyses).
-  bool TestHooks = false;
+  // Serve daemon.
+  std::size_t CacheSize = 256;
+  std::string SocketPath;
 };
 
 void usage() {
   std::fprintf(stderr,
                "usage: csdf <check|cfg|run|analyze|topo|baseline|lint|batch> "
                "<file.mpl|dir> [options]\n"
-               "  --client linear|cartesian|sectionx  --np N  --fixed-np N\n"
-               "  --param NAME=V  --scheduler rr|lifo|random  --seed N\n"
-               "  --validate  --stats\n"
-               "analyze options:\n"
+               "       csdf serve [options]\n"
+               "analysis options (analyze, lint, batch, serve):\n"
+               "  --client linear|cartesian|sectionx  --fixed-np N  "
+               "--param NAME=V\n"
                "  --threads N      parallel worklist drain (identical "
                "results at any N)\n"
-               "budget options (analyze, lint, batch):\n"
+               "  --max-states N   engine state budget\n"
                "  --deadline-ms N  --max-memory-mb N  --prover-steps N\n"
+               "interpreter options:\n"
+               "  --np N  --scheduler rr|lifo|random  --seed N\n"
+               "  --validate  --stats\n"
+               "analyze options:\n"
+               "  --format text|json   json = one batch-report verdict "
+               "object\n"
                "lint options:\n"
                "  --format text|json|sarif  --Werror\n"
                "  --min-severity note|warning|error  --disable <pass>\n"
@@ -146,6 +160,10 @@ void usage() {
                "threads = in-process,\n"
                "                        shared closure memo (default "
                "fork)\n"
+               "serve options:\n"
+               "  --cache-size N   result-cache entries (default 256, 0 "
+               "disables)\n"
+               "  --socket PATH    unix-socket transport instead of stdio\n"
                "exit codes: 0 complete, 1 degraded/findings, 2 usage/IO, "
                "3 internal error\n");
 }
@@ -160,11 +178,31 @@ bool usageError(const std::string &Msg) {
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
-  if (Argc < 3)
+  if (Argc < 2)
     return usageError("expected a command and an input path");
   Opts.Command = Argv[1];
-  Opts.File = Argv[2];
-  for (int I = 3; I < Argc; ++I) {
+  int First = 3;
+  if (Opts.Command == "serve") {
+    // The daemon takes no input path; its flags set per-request defaults.
+    First = 2;
+  } else {
+    if (Argc < 3)
+      return usageError("expected a command and an input path");
+    Opts.File = Argv[2];
+  }
+  for (int I = First; I < Argc; ++I) {
+    // The shared analysis request flags are one vocabulary for every
+    // front end; try them first.
+    std::string SharedError;
+    switch (api::parseSharedOption(Argc, Argv, I, Opts.Request,
+                                   SharedError)) {
+    case api::ArgStatus::Consumed:
+      continue;
+    case api::ArgStatus::Error:
+      return usageError(SharedError);
+    case api::ArgStatus::NotMine:
+      break;
+    }
     std::string Arg = Argv[I];
     auto Next = [&]() -> const char * {
       return I + 1 < Argc ? Argv[++I] : nullptr;
@@ -181,24 +219,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
                           Arg);
       return true;
     };
-    if (Arg == "--client") {
-      const char *V = Next();
-      if (!V)
-        return usageError("missing value for --client");
-      Opts.Client = V;
-      if (Opts.Client != "linear" && Opts.Client != "cartesian" &&
-          Opts.Client != "sectionx")
-        return usageError("unknown client '" + Opts.Client + "'");
-    } else if (Arg == "--np") {
+    if (Arg == "--np") {
       std::uint64_t V = 0;
       if (!NextUint(V))
         return false;
       Opts.Np = static_cast<int>(V);
-    } else if (Arg == "--fixed-np") {
-      std::uint64_t V = 0;
-      if (!NextUint(V))
-        return false;
-      Opts.FixedNp = static_cast<std::int64_t>(V);
     } else if (Arg == "--seed") {
       if (!NextUint(Opts.Seed))
         return false;
@@ -210,39 +235,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (Opts.Scheduler != "rr" && Opts.Scheduler != "lifo" &&
           Opts.Scheduler != "random")
         return usageError("unknown scheduler '" + Opts.Scheduler + "'");
-    } else if (Arg == "--param") {
-      const char *V = Next();
-      if (!V)
-        return usageError("missing value for --param");
-      std::string S = V;
-      size_t Eq = S.find('=');
-      if (Eq == std::string::npos || Eq == 0)
-        return usageError("malformed --param '" + S +
-                          "' (expected NAME=VALUE)");
-      char *End = nullptr;
-      std::int64_t Value = std::strtoll(S.c_str() + Eq + 1, &End, 10);
-      if (End == S.c_str() + Eq + 1 || *End != '\0')
-        return usageError("malformed --param '" + S +
-                          "' (VALUE must be an integer)");
-      Opts.Params[S.substr(0, Eq)] = Value;
     } else if (Arg == "--validate") {
       Opts.Validate = true;
     } else if (Arg == "--stats") {
       Opts.Stats = true;
-    } else if (Arg == "--deadline-ms") {
-      if (!NextUint(Opts.DeadlineMs))
-        return false;
-    } else if (Arg == "--max-memory-mb") {
-      if (!NextUint(Opts.MaxMemoryMb))
-        return false;
-    } else if (Arg == "--prover-steps") {
-      if (!NextUint(Opts.ProverSteps))
-        return false;
-    } else if (Arg == "--threads") {
-      std::uint64_t V = 0;
-      if (!NextUint(V))
-        return false;
-      Opts.Threads = static_cast<unsigned>(std::max<std::uint64_t>(1, V));
     } else if (Arg == "--jobs") {
       std::uint64_t V = 0;
       if (!NextUint(V))
@@ -263,8 +259,6 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return usageError("missing value for --report");
       Opts.ReportPath = V;
-    } else if (Arg == "--test-hooks") {
-      Opts.TestHooks = true;
     } else if (Arg == "--format") {
       const char *V = Next();
       if (!V)
@@ -291,39 +285,29 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return usageError("unknown lint pass '" + std::string(V) +
                           "' (try --list-passes)");
       Opts.Disabled.insert(V);
+    } else if (Arg == "--cache-size") {
+      std::uint64_t V = 0;
+      if (!NextUint(V))
+        return false;
+      Opts.CacheSize = static_cast<std::size_t>(V);
+    } else if (Arg == "--socket") {
+      const char *V = Next();
+      if (!V)
+        return usageError("missing value for --socket");
+      Opts.SocketPath = V;
     } else {
       return usageError("unknown option '" + Arg + "'");
     }
   }
+  if (Opts.Command == "analyze" && Opts.Format == "sarif")
+    return usageError("analyze supports --format text|json");
   return true;
-}
-
-AnalysisOptions analysisOptions(const CliOptions &Cli) {
-  AnalysisOptions Opts = AnalysisOptions::cartesian();
-  if (Cli.Client == "linear")
-    Opts = AnalysisOptions::simpleSymbolic();
-  else if (Cli.Client == "sectionx")
-    Opts = AnalysisOptions::sectionX();
-  Opts.FixedNp = Cli.FixedNp;
-  Opts.Params = Cli.Params;
-  Opts.Threads = Cli.Threads;
-  return Opts;
-}
-
-SessionOptions sessionOptions(const CliOptions &Cli) {
-  SessionOptions S;
-  S.Analysis = analysisOptions(Cli);
-  S.DeadlineMs = Cli.DeadlineMs;
-  S.MaxMemoryMb = Cli.MaxMemoryMb;
-  S.MaxProverSteps = Cli.ProverSteps;
-  S.EnableTestHooks = Cli.TestHooks;
-  return S;
 }
 
 RunResult execute(const Cfg &Graph, const CliOptions &Cli) {
   RunOptions Opts;
   Opts.NumProcs = Cli.Np;
-  Opts.Params = Cli.Params;
+  Opts.Params = Cli.Request.Params;
   if (Cli.Scheduler == "lifo") {
     LifoScheduler S;
     return runProgram(Graph, Opts, S);
@@ -370,7 +354,24 @@ void printStats() {
 int cmdAnalyze(const std::string &Source, const CliOptions &Cli) {
   if (Cli.Stats)
     StatsRegistry::global().clear();
-  SessionResult S = runAnalysisSession(Cli.File, Source, sessionOptions(Cli));
+  // A cold analyzer: one-shot runs get fresh per-run state, exactly the
+  // classic pipeline (the serve daemon is the warm holder).
+  api::Analyzer An;
+  api::AnalyzeRequest Req;
+  Req.Path = Cli.File;
+  Req.Source = Source;
+  Req.Options = Cli.Request;
+  api::AnalyzeResponse Resp = An.analyze(Req);
+  SessionResult &S = Resp.Session;
+
+  if (Cli.Format == "json") {
+    // The same verdict object a batch report entry (and a serve response)
+    // carries for this file.
+    std::printf("%s\n", api::verdictJson(Cli.File, Resp).c_str());
+    if (Cli.Stats)
+      printStats();
+    return S.ExitCode;
+  }
 
   if (S.FrontEndErrors) {
     std::fputs(S.Error.c_str(), stderr);
@@ -378,7 +379,8 @@ int cmdAnalyze(const std::string &Source, const CliOptions &Cli) {
   }
 
   auto PrintBudgetLine = [&] {
-    if (Cli.DeadlineMs || Cli.MaxMemoryMb || Cli.ProverSteps)
+    if (Cli.Request.DeadlineMs || Cli.Request.MaxMemoryMb ||
+        Cli.Request.ProverSteps)
       std::printf("budget: %llu ms elapsed, peak DBM bytes %llu, prover "
                   "steps %llu\n",
                   static_cast<unsigned long long>(S.ElapsedMs),
@@ -489,61 +491,43 @@ DiagSeverity severityFromName(const std::string &Name) {
 }
 
 int cmdLint(const std::string &Source, const CliOptions &Cli) {
-  LintOptions Opts;
-  Opts.Disabled = Cli.Disabled;
-  Opts.Analysis = analysisOptions(Cli);
-
-  AnalysisBudget Budget;
-  Budget.DeadlineMs = Cli.DeadlineMs;
-  Budget.MaxMemoryMb = Cli.MaxMemoryMb;
-  Budget.MaxProverSteps = Cli.ProverSteps;
-  Budget.begin();
-  // The scope arms the parser/sema checkpoints (they reach the budget
-  // through the thread-local, not AnalysisOptions), so the deadline covers
-  // lint's front end too.
-  BudgetScope Budgets(&Budget);
-  Opts.Analysis.Budget = &Budget;
-
   if (Cli.Stats)
     StatsRegistry::global().clear();
-  DiagnosticEngine Diags;
-  try {
-    lintSource(Source, Opts, Diags);
-  } catch (const BudgetExceeded &E) {
-    // The budget tripped outside the engine (parse, sema, or a post-engine
-    // pass): degrade like the engine's own give-up instead of dying.
-    if (Opts.isEnabled("analysis-top"))
-      Diags.report(makeDiag("analysis-top", DiagSeverity::Note, SourceLoc(),
-                            "lint gave up (Top): " + E.reason(),
-                            "budget exhausted before the pass suite "
-                            "finished; findings may be incomplete"));
-  }
+  api::Analyzer An;
+  api::LintRequest Req;
+  Req.Path = Cli.File;
+  Req.Source = Source;
+  Req.Options = Cli.Request;
+  Req.Disabled = Cli.Disabled;
+  Req.Werror = Cli.Werror;
+  Req.MinSeverity = severityFromName(Cli.MinSeverity);
+  api::LintResponse R = An.lint(Req);
   if (Cli.Stats)
     printStats();
-  if (Cli.Werror)
-    Diags.promoteWarningsToErrors();
-  Diags.filterBelow(severityFromName(Cli.MinSeverity));
 
   std::string Out;
   if (Cli.Format == "json")
-    Out = renderDiagsJson(Diags.diagnostics(), Cli.File);
+    Out = renderDiagsJson(R.Diagnostics, Cli.File);
   else if (Cli.Format == "sarif")
-    Out = renderDiagsSarif(Diags.diagnostics(), Cli.File,
-                           lintRuleDescriptions());
+    Out = renderDiagsSarif(R.Diagnostics, Cli.File, lintRuleDescriptions());
   else
-    Out = renderDiagsText(Diags.diagnostics(), Cli.File, Source);
+    Out = renderDiagsText(R.Diagnostics, Cli.File, Source);
   std::fputs(Out.c_str(), stdout);
 
-  if (Cli.Format == "text" && !Diags.empty())
+  if (Cli.Format == "text" && !R.Diagnostics.empty()) {
+    unsigned Errors = 0, Warnings = 0, Notes = 0;
+    for (const Diagnostic &D : R.Diagnostics) {
+      if (D.Sev == DiagSeverity::Error)
+        ++Errors;
+      else if (D.Sev == DiagSeverity::Warning)
+        ++Warnings;
+      else
+        ++Notes;
+    }
     std::printf("%zu finding(s): %u error(s), %u warning(s), %u note(s)\n",
-                Diags.size(), Diags.count(DiagSeverity::Error),
-                Diags.count(DiagSeverity::Warning),
-                Diags.count(DiagSeverity::Note));
-  // A recovered engine invariant violation outranks ordinary findings.
-  for (const Diagnostic &D : Diags.diagnostics())
-    if (D.Pass == "internal-error")
-      return SessionExitInternal;
-  return Diags.exitCode();
+                R.Diagnostics.size(), Errors, Warnings, Notes);
+  }
+  return R.ExitCode;
 }
 
 int cmdBatch(const CliOptions &Cli) {
@@ -554,20 +538,19 @@ int cmdBatch(const CliOptions &Cli) {
     return SessionExitUsage;
   }
 
-  BatchOptions Opts;
-  Opts.Session = sessionOptions(Cli);
+  api::BatchRequest Req;
+  Req.Files = std::move(Files);
+  Req.Options = Cli.Request;
   // Batch corpora are allowed to inject failures: the whole point of the
   // driver is surviving them.
-  Opts.Session.EnableTestHooks = true;
-  Opts.Jobs = Cli.Jobs;
-  Opts.TimeoutMs = Cli.TimeoutMs;
-  Opts.Mode =
+  Req.Options.TestHooks = true;
+  Req.Jobs = Cli.Jobs;
+  Req.TimeoutMs = Cli.TimeoutMs;
+  Req.Mode =
       Cli.BatchMode == "threads" ? BatchMode::Threads : BatchMode::Fork;
-  // Hard address-space backstop behind the soft DBM ceiling: generous
-  // headroom for code, stacks, and the front end.
-  Opts.AddressSpaceMb = Cli.MaxMemoryMb ? Cli.MaxMemoryMb * 4 + 256 : 0;
 
-  BatchReport Report = runBatch(Files, Opts);
+  api::Analyzer An;
+  BatchReport Report = An.runBatch(Req);
   for (const BatchEntry &E : Report.Entries)
     std::printf("%-40s %-26s %6llu ms  %s\n", E.File.c_str(),
                 E.Verdict.c_str(), static_cast<unsigned long long>(E.WallMs),
@@ -588,6 +571,14 @@ int cmdBatch(const CliOptions &Cli) {
     Out << Report.json();
   }
   return Report.allComplete() ? SessionExitComplete : SessionExitFindings;
+}
+
+int cmdServe(const CliOptions &Cli) {
+  ServeOptions Opts;
+  Opts.Defaults = Cli.Request;
+  Opts.CacheCapacity = Cli.CacheSize;
+  Opts.SocketPath = Cli.SocketPath;
+  return runServe(Opts);
 }
 
 int cmdListPasses() {
@@ -620,7 +611,9 @@ int main(int Argc, char **Argv) {
   if (Cli.Command == "lint" && Cli.File == "--list-passes")
     return cmdListPasses();
 
-  // Batch resolves its own inputs (a directory or a file list).
+  // The daemon and the batch driver resolve their own inputs.
+  if (Cli.Command == "serve")
+    return cmdServe(Cli);
   if (Cli.Command == "batch")
     return cmdBatch(Cli);
 
@@ -665,7 +658,7 @@ int main(int Argc, char **Argv) {
   if (Cli.Command == "baseline")
     return cmdBaseline(Graph);
   if (Cli.Command == "topo") {
-    AnalysisResult R = analyzeProgram(Graph, analysisOptions(Cli));
+    AnalysisResult R = analyzeProgram(Graph, Cli.Request.analysis());
     std::fputs(topologyToDot(Graph, R, "topology").c_str(), stdout);
     return R.Converged ? 0 : 1;
   }
