@@ -1,0 +1,10 @@
+# Clean twin of any_source_race: exactly one statically eligible sender,
+# so the wildcard receive is deterministic and matches exactly.
+if id == 0 then
+  recv x <- any;
+  print x;
+else
+  if id == 1 then
+    send 5 -> 0;
+  end
+end

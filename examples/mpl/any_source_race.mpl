@@ -1,0 +1,11 @@
+# BUG (match-nondet): ranks 1 and 2 both send to rank 0, which receives
+# with the `any` wildcard — which message arrives first depends on timing.
+if id == 0 then
+  recv x <- any;
+  recv y <- any;
+  print x + y;
+else
+  if id < 3 then
+    send id -> 0;
+  end
+end

@@ -1,0 +1,11 @@
+# BUG (buffer-race): rank 0 reads the irecv buffer before the completing
+# wait, racing with message delivery. The interpreter rejects the read.
+if id == 0 then
+  irecv x <- 1 req r;
+  print x;
+  wait r;
+else
+  if id == 1 then
+    send 1 -> 0;
+  end
+end

@@ -1,0 +1,11 @@
+# Clean twin of nb_buffer_race: the read happens after the wait, so the
+# buffer is stable. No request-lifecycle findings.
+if id == 0 then
+  irecv x <- 1 req r;
+  wait r;
+  print x;
+else
+  if id == 1 then
+    send 1 -> 0;
+  end
+end

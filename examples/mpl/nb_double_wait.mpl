@@ -1,0 +1,11 @@
+# BUG (double-wait): rank 0 waits twice on the same posting of r; the
+# second wait operates on an already-completed request.
+if id == 0 then
+  irecv x <- 1 req r;
+  wait r;
+  wait r;
+else
+  if id == 1 then
+    send 1 -> 0;
+  end
+end

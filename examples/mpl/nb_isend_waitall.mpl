@@ -1,0 +1,12 @@
+# Non-blocking fan-out: rank 0 posts two isends and completes both with a
+# single waitall; ranks 1 and 2 receive normally.
+if id == 0 then
+  isend 10 -> 1 req s1;
+  isend 20 -> 2 req s2;
+  waitall;
+else
+  if id < 3 then
+    recv v <- 0;
+    print v;
+  end
+end

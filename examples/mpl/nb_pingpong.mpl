@@ -1,0 +1,13 @@
+# Non-blocking ping: rank 0 isends to rank 1; each side completes its
+# request with a wait. Clean under every request-lifecycle check.
+# Try: csdf run examples/mpl/nb_pingpong.mpl
+if id == 0 then
+  isend 7 -> 1 req s;
+  wait s;
+else
+  if id == 1 then
+    irecv x <- 0 req r;
+    wait r;
+    print x;
+  end
+end

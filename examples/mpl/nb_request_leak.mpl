@@ -1,0 +1,9 @@
+# BUG (request-leak): the irecv request is never waited on, so the posted
+# receive never completes and rank 1's message is never consumed.
+if id == 0 then
+  irecv x <- 1 req r;
+else
+  if id == 1 then
+    send 1 -> 0;
+  end
+end

@@ -1,0 +1,10 @@
+# BUG (wait-uninit): rank 0 waits on r before any isend/irecv posts it.
+if id == 0 then
+  wait r;
+  irecv x <- 1 req r;
+  wait r;
+else
+  if id == 1 then
+    send 1 -> 0;
+  end
+end

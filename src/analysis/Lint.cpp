@@ -6,6 +6,7 @@
 
 #include "analysis/Lint.h"
 
+#include "analysis/RequestCheck.h"
 #include "cfg/CfgBuilder.h"
 #include "dataflow/SeqAnalyses.h"
 #include "lang/ExprOps.h"
@@ -26,33 +27,99 @@ using namespace csdf;
 
 const std::vector<LintPassInfo> &csdf::lintPassRegistry() {
   static const std::vector<LintPassInfo> Registry = {
-      {"parse", "syntax errors from the MPL parser"},
+      {"parse", "syntax errors from the MPL parser",
+       "The MPL parser could not build an AST for part of the input. "
+       "Nothing past the front end runs until the syntax error is fixed."},
       {"sema", "semantic checks (reserved names, nondeterministic partners, "
-               "never-assigned variables)"},
+               "never-assigned variables)",
+       "Structural problems the type-free front end can prove without "
+       "dataflow: writes to the reserved 'id'/'np' names, request handles "
+       "reused as scalar variables, and variables read but never assigned "
+       "anywhere."},
       {"use-before-init",
-       "a variable is read on some path before any assignment reaches it"},
-      {"dead-store", "an assigned value is never read afterwards"},
+       "a variable is read on some path before any assignment reaches it",
+       "Definite-assignment dataflow found a read that some execution path "
+       "reaches before any assignment to the variable; on that path the "
+       "value is undefined."},
+      {"dead-store", "an assigned value is never read afterwards",
+       "Liveness dataflow found an assignment whose value no later "
+       "statement can observe; the store is wasted work or a logic error."},
       {"unreachable-code",
-       "a statement can never execute (constant branch or infinite loop)"},
+       "a statement can never execute (constant branch or infinite loop)",
+       "Constant-branch pruning found statements cut off from the entry "
+       "node on every execution, e.g. code after 'while true' or inside "
+       "'if false'."},
       {"send-to-self",
-       "a send/recv whose partner expression is provably the process itself"},
+       "a send/recv whose partner expression is provably the process itself",
+       "The partner expression folds to the process's own rank. Under "
+       "rendezvous semantics a self-send blocks forever; a self-receive "
+       "only completes after a buffered self-send."},
       {"partner-bounds",
        "a partner expression provably evaluates outside the valid rank "
-       "range [0, np)"},
+       "range [0, np)",
+       "The difference-constraint graph proves the partner rank is always "
+       "negative or always at least np, so the operation addresses a "
+       "process that cannot exist."},
       {"tag-mismatch-const",
-       "a constant message tag that no opposite operation ever uses"},
+       "a constant message tag that no opposite operation ever uses",
+       "A send (or receive) carries a constant tag, every opposite "
+       "operation also uses constant tags, and none of them matches: the "
+       "operation can never pair up."},
+      {"request-leak",
+       "a non-blocking request may never be waited on, or is re-posted "
+       "while still outstanding (the in-flight message is lost)",
+       "Request-lifecycle dataflow found an isend/irecv posting that can "
+       "reach program exit without a completing wait, or a re-post of a "
+       "handle whose earlier posting is still in flight. Either way the "
+       "earlier operation is never completed and its message is lost."},
+      {"double-wait",
+       "a request may be waited on twice without an intervening re-post",
+       "Some path reaches a 'wait r' after an earlier wait already "
+       "completed the same posting of 'r'. The interpreter treats this as "
+       "a runtime error, matching MPI's invalid-request semantics."},
+      {"wait-uninit",
+       "a wait may execute before any isend/irecv posts its request",
+       "Some path reaches a 'wait r' without passing any posting of 'r'; "
+       "on that path the wait operates on an uninitialized request handle, "
+       "a runtime error in the interpreter."},
+      {"buffer-race",
+       "an irecv destination buffer is read or written between the posting "
+       "and the matching wait, racing with message delivery",
+       "Between an 'irecv x ... req r' and the wait that completes it, the "
+       "message may land in 'x' at any moment. A read of 'x' in that "
+       "window observes a timing-dependent value; a write races with the "
+       "delivery itself."},
       {"message-leak",
-       "pCFG analysis: a sent message no receive ever consumes"},
+       "pCFG analysis: a sent message no receive ever consumes",
+       "The pCFG dataflow engine proved a send deposits a message that "
+       "remains in flight in every reachable terminal state."},
       {"possible-deadlock",
-       "pCFG analysis: process sets blocked with no possible match"},
+       "pCFG analysis: process sets blocked with no possible match",
+       "The pCFG dataflow engine reached a state where some process sets "
+       "block on communication and no matching partner can ever arrive."},
       {"tag-mismatch",
-       "pCFG analysis: matched send/recv with provably different tags"},
+       "pCFG analysis: matched send/recv with provably different tags",
+       "The pCFG dataflow engine matched a send and receive on the same "
+       "channel whose tag expressions are provably unequal."},
+      {"match-nondet",
+       "pCFG analysis: a wildcard receive with two or more statically "
+       "eligible senders; which message arrives first depends on timing",
+       "A 'recv ... <- any' (or wildcard irecv) has at least two "
+       "statically eligible senders in some reachable state. The value "
+       "received depends on message timing, so the program's result is "
+       "nondeterministic; the analysis also degrades to Top there because "
+       "exact matching is impossible."},
       {"analysis-top",
        "pCFG analysis hit Top and gave up; bridge findings may be "
-       "incomplete"},
+       "incomplete",
+       "A resource bound or precision limit forced the engine to return "
+       "Top. Findings already reported remain sound facts about the "
+       "explored prefix, but the topology and bug list may be incomplete."},
       {"internal-error",
        "the pCFG analysis recovered from an internal invariant violation; "
-       "its results must not be trusted"},
+       "its results must not be trusted",
+       "The engine caught an internal invariant violation and discarded "
+       "its partial results instead of aborting the process."},
   };
   return Registry;
 }
@@ -69,6 +136,15 @@ std::map<std::string, std::string> csdf::lintRuleDescriptions() {
   for (const LintPassInfo &P : lintPassRegistry())
     Rules["csdf." + P.Name] = P.Description;
   return Rules;
+}
+
+std::map<std::string, SarifRuleDoc> csdf::lintRuleDocs() {
+  std::map<std::string, SarifRuleDoc> Docs;
+  for (const LintPassInfo &P : lintPassRegistry())
+    Docs["csdf." + P.Name] = {
+        P.Description, P.Help.empty() ? P.Description : P.Help,
+        "https://example.org/csdf/DESIGN.md#rule-" + P.Name};
+  return Docs;
 }
 
 //===----------------------------------------------------------------------===//
@@ -107,8 +183,12 @@ std::vector<const Expr *> nodeExprs(const CfgNode &Node) {
   return Exprs;
 }
 
+bool isSendOp(const CfgNode &Node) {
+  return Node.Kind == CfgNodeKind::Send || Node.Kind == CfgNodeKind::Isend;
+}
+
 const char *commOpName(const CfgNode &Node) {
-  return Node.Kind == CfgNodeKind::Send ? "send" : "receive";
+  return isSendOp(Node) ? "send" : "receive";
 }
 
 //===----------------------------------------------------------------------===//
@@ -125,7 +205,8 @@ void lintUseBeforeInit(const Cfg &Graph, DiagnosticEngine &Diags) {
   // is only materialized (Syms->name) when a diagnostic actually fires.
   std::vector<bool> AssignedSomewhere;
   for (const CfgNode &Node : Graph.nodes())
-    if (Node.Kind == CfgNodeKind::Assign || Node.Kind == CfgNodeKind::Recv) {
+    if (Node.Kind == CfgNodeKind::Assign || Node.Kind == CfgNodeKind::Recv ||
+        Node.Kind == CfgNodeKind::Irecv) {
       VarId Id = Syms->intern(Node.Var);
       if (Id >= AssignedSomewhere.size())
         AssignedSomewhere.resize(Id + 1, false);
@@ -243,7 +324,7 @@ void lintSendToSelf(const Cfg &Graph, DiagnosticEngine &Diags) {
     auto Offset = matchIdPlusC(Node.Partner);
     if (!Offset || *Offset != 0)
       continue;
-    bool IsSend = Node.Kind == CfgNodeKind::Send;
+    bool IsSend = isSendOp(Node);
     Diags.report(makeDiag(
         "send-to-self", DiagSeverity::Warning, Node.Loc,
         std::string(IsSend ? "send to self: destination" : "receive from "
@@ -319,7 +400,7 @@ void lintConstTagMismatch(const Cfg &Graph, DiagnosticEngine &Diags) {
       continue;
     std::optional<std::int64_t> Tag =
         Node.Tag ? foldConstant(Node.Tag) : std::optional<std::int64_t>(0);
-    (Node.Kind == CfgNodeKind::Send ? Sends : Recvs).push_back({&Node, Tag});
+    (isSendOp(Node) ? Sends : Recvs).push_back({&Node, Tag});
   }
   if (Sends.empty() || Recvs.empty())
     return; // One-sided programs are message-leak/deadlock territory.
@@ -356,19 +437,23 @@ void lintConstTagMismatch(const Cfg &Graph, DiagnosticEngine &Diags) {
 
 const char *bridgePassName(AnalysisBug::Kind Kind) {
   return analysisBugKindName(Kind); // "message-leak" / "possible-deadlock"
-                                    // / "tag-mismatch" — the pass names.
+                                    // / "tag-mismatch" / "match-nondet" —
+                                    // the pass names.
 }
 
 void lintPcfgBridge(const Cfg &Graph, const LintOptions &Opts,
                     DiagnosticEngine &Diags) {
   bool AnyBridge =
       Opts.isEnabled("message-leak") || Opts.isEnabled("possible-deadlock") ||
-      Opts.isEnabled("tag-mismatch") || Opts.isEnabled("analysis-top") ||
-      Opts.isEnabled("internal-error");
+      Opts.isEnabled("tag-mismatch") || Opts.isEnabled("match-nondet") ||
+      Opts.isEnabled("analysis-top") || Opts.isEnabled("internal-error");
   if (!AnyBridge)
     return;
 
-  AnalysisResult R = analyzeProgram(Graph, Opts.Analysis);
+  AnalysisOptions EngineOpts = Opts.Analysis;
+  EngineOpts.CheckMatchNondet =
+      EngineOpts.CheckMatchNondet && Opts.isEnabled("match-nondet");
+  AnalysisResult R = analyzeProgram(Graph, EngineOpts);
   if (R.Outcome.internalError()) {
     // The engine recovered from an invariant violation: surface it as a
     // diagnostic instead of aborting the process, and do not relay bug
@@ -417,6 +502,7 @@ void csdf::runLintPasses(const Cfg &Graph, const LintOptions &Opts,
     lintPartnerBounds(Graph, Opts, Diags);
   if (Opts.isEnabled("tag-mismatch-const"))
     lintConstTagMismatch(Graph, Diags);
+  runRequestChecks(Graph, Opts, Diags);
   lintPcfgBridge(Graph, Opts, Diags);
 }
 

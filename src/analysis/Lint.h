@@ -31,6 +31,7 @@
 #define CSDF_ANALYSIS_LINT_H
 
 #include "cfg/Cfg.h"
+#include "diag/DiagRenderer.h"
 #include "diag/DiagnosticEngine.h"
 #include "pcfg/AnalysisOptions.h"
 
@@ -54,11 +55,13 @@ struct LintOptions {
   }
 };
 
-/// A registered lint pass: its `--disable` key and a one-line description
-/// (also the SARIF rule description).
+/// A registered lint pass: its `--disable` key, a one-line description
+/// (also the SARIF shortDescription), and a longer explanation (the SARIF
+/// fullDescription; falls back to Description when empty).
 struct LintPassInfo {
   std::string Name;
   std::string Description;
+  std::string Help;
 };
 
 /// All passes, in documentation order.
@@ -69,6 +72,11 @@ bool isKnownLintPass(const std::string &Name);
 
 /// Rule ID ("csdf.<pass>") to description map for the SARIF renderer.
 std::map<std::string, std::string> lintRuleDescriptions();
+
+/// Full SARIF rule catalog: rule ID to {shortDescription, fullDescription,
+/// helpUri} for every registered pass. The helpUri points at the rule's
+/// anchor in DESIGN.md ("#rule-<pass>").
+std::map<std::string, SarifRuleDoc> lintRuleDocs();
 
 /// Runs every enabled CFG-level and pCFG-bridge pass over \p Graph,
 /// reporting into \p Diags. (Parse/sema passes live in lintSource().)

@@ -1,0 +1,188 @@
+//===- analysis/RequestCheck.cpp -------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RequestCheck.h"
+
+#include "analysis/Lint.h"
+#include "cfg/RequestInfo.h"
+#include "lang/ExprOps.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+using namespace csdf;
+
+namespace {
+
+/// "line L" when the location is known, "<label>" otherwise — for referring
+/// to the *other* site of a two-site defect inside a note.
+std::string describeSite(const Cfg &Graph, CfgNodeId Id) {
+  const CfgNode &Node = Graph.node(Id);
+  if (Node.Loc.isValid())
+    return "line " + std::to_string(Node.Loc.Line);
+  return "'" + Graph.nodeLabel(Id) + "'";
+}
+
+/// Comma-joined describeSite over a set, in node order (deterministic).
+std::string describeSites(const Cfg &Graph, const std::set<CfgNodeId> &Ids) {
+  std::string Out;
+  for (CfgNodeId Id : Ids)
+    Out += (Out.empty() ? "" : ", ") + describeSite(Graph, Id);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// request-leak
+//===----------------------------------------------------------------------===//
+
+void checkRequestLeak(const Cfg &Graph, const RequestInfo &Info,
+                      DiagnosticEngine &Diags) {
+  // Re-posting over an outstanding request drops the in-flight message:
+  // nothing can ever complete the first posting afterwards.
+  for (const CfgNode &Node : Graph.nodes()) {
+    if (Node.Kind != CfgNodeKind::Isend && Node.Kind != CfgNodeKind::Irecv)
+      continue;
+    if (!Info.reached(Node.Id))
+      continue;
+    const ReqState &St = Info.in(Node.Id, Node.Req);
+    if (St.MayPosted.empty())
+      continue;
+    Diags.report(makeDiag(
+        "request-leak", DiagSeverity::Warning, Node.Loc,
+        "request '" + Node.Req + "' is re-posted while a previous posting "
+        "(" + describeSites(Graph, St.MayPosted) + ") may still be "
+        "outstanding",
+        "the earlier operation is never completed; wait on '" + Node.Req +
+            "' before posting it again"));
+  }
+
+  // Postings still outstanding on entry to Exit were never waited on some
+  // path. Report at the posting site (mirrors the interpreter's
+  // RequestLeaks harvest, which records the posting node).
+  std::map<CfgNodeId, std::set<std::string>> LeakedAt;
+  for (const std::string &Req : Info.requestVars())
+    for (CfgNodeId P : Info.in(Graph.exitId(), Req).MayPosted)
+      LeakedAt[P].insert(Req);
+  for (const auto &[P, Reqs] : LeakedAt) {
+    const CfgNode &Posting = Graph.node(P);
+    for (const std::string &Req : Reqs)
+      Diags.report(makeDiag(
+          "request-leak", DiagSeverity::Warning, Posting.Loc,
+          "request '" + Req + "' posted here may never be waited on",
+          "the program can reach its end with this " +
+              std::string(Posting.Kind == CfgNodeKind::Isend ? "isend"
+                                                             : "irecv") +
+              " still in flight; add a wait or waitall"));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// double-wait / wait-uninit
+//===----------------------------------------------------------------------===//
+
+void checkWaitLifecycle(const Cfg &Graph, const RequestInfo &Info,
+                        const LintOptions &Opts, DiagnosticEngine &Diags) {
+  // Only `wait r` names a specific request; `waitall` completes whatever
+  // is outstanding and is well-defined on an empty or already-completed
+  // set, so neither check applies to it.
+  for (const CfgNode &Node : Graph.nodes()) {
+    if (Node.Kind != CfgNodeKind::Wait || !Info.reached(Node.Id))
+      continue;
+    const ReqState &St = Info.in(Node.Id, Node.Req);
+    if (Opts.isEnabled("wait-uninit") && St.MayUnposted)
+      Diags.report(makeDiag(
+          "wait-uninit", DiagSeverity::Warning, Node.Loc,
+          "request '" + Node.Req + "' may be waited on before any "
+          "isend/irecv posts it",
+          St.MayPosted.empty()
+              ? "no posting of '" + Node.Req + "' reaches this wait on any "
+                "path"
+              : "some path reaches this wait without passing a posting of "
+                "'" + Node.Req + "'"));
+    if (Opts.isEnabled("double-wait") && St.MayWaited)
+      Diags.report(makeDiag(
+          "double-wait", DiagSeverity::Warning, Node.Loc,
+          "request '" + Node.Req + "' may already have been completed by "
+          "an earlier wait",
+          "waiting twice on the same posting is an error; re-post the "
+          "request or drop one wait"));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// buffer-race
+//===----------------------------------------------------------------------===//
+
+void checkBufferRace(const Cfg &Graph, const RequestInfo &Info,
+                     DiagnosticEngine &Diags) {
+  for (const CfgNode &Node : Graph.nodes()) {
+    if (!Info.reached(Node.Id))
+      continue;
+    std::map<std::string, std::set<CfgNodeId>> Outstanding =
+        Info.outstandingIrecvBuffers(Node.Id);
+    if (Outstanding.empty())
+      continue;
+
+    // Writes: the node's assignment target clobbers a buffer the runtime
+    // may also write when the message lands. (At an irecv node the facts
+    // describe entry, so a posting never races with itself — but a second
+    // irecv into the same buffer does.)
+    if (Node.Kind == CfgNodeKind::Assign || Node.Kind == CfgNodeKind::Recv ||
+        Node.Kind == CfgNodeKind::Irecv) {
+      auto It = Outstanding.find(Node.Var);
+      if (It != Outstanding.end())
+        Diags.report(makeDiag(
+            "buffer-race", DiagSeverity::Warning, Node.Loc,
+            "variable '" + Node.Var + "' is written while an irecv posted "
+            "at " + describeSites(Graph, It->second) + " may still deliver "
+            "into it",
+            "the stored value races with message delivery; wait on the "
+            "request first"));
+    }
+
+    // Reads: any expression the node evaluates may observe the buffer
+    // before or after delivery, nondeterministically.
+    std::set<std::string> Reads;
+    for (const Expr *E : {Node.Value, Node.Cond, Node.Partner, Node.Tag})
+      if (E)
+        collectVars(E, Reads);
+    for (const std::string &Var : Reads) {
+      auto It = Outstanding.find(Var);
+      if (It == Outstanding.end())
+        continue;
+      Diags.report(makeDiag(
+          "buffer-race", DiagSeverity::Warning, Node.Loc,
+          "variable '" + Var + "' is read while an irecv posted at " +
+              describeSites(Graph, It->second) + " may still deliver "
+              "into it",
+          "the value observed depends on message timing; wait on the "
+          "request before reading the buffer"));
+    }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+void csdf::runRequestChecks(const Cfg &Graph, const LintOptions &Opts,
+                            DiagnosticEngine &Diags) {
+  bool Any = Opts.isEnabled("request-leak") || Opts.isEnabled("double-wait") ||
+             Opts.isEnabled("wait-uninit") || Opts.isEnabled("buffer-race");
+  if (!Any)
+    return;
+  RequestInfo Info = RequestInfo::compute(Graph);
+  if (!Info.hasRequests())
+    return;
+  if (Opts.isEnabled("request-leak"))
+    checkRequestLeak(Graph, Info, Diags);
+  checkWaitLifecycle(Graph, Info, Opts, Diags);
+  if (Opts.isEnabled("buffer-race"))
+    checkBufferRace(Graph, Info, Diags);
+}

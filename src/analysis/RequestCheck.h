@@ -1,0 +1,47 @@
+//===- analysis/RequestCheck.h - Request-lifecycle lint passes -------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request-lifecycle checker: four lint passes over the RequestInfo
+/// dataflow (cfg/RequestInfo.h) that catch misuse of non-blocking
+/// communication before the pCFG engine ever runs:
+///
+///   * "request-leak"  — a posted isend/irecv may reach program exit
+///     without a completing wait, or is re-posted while the earlier
+///     posting is still outstanding (the earlier message is lost);
+///   * "double-wait"   — a wait may execute after its request was already
+///     completed and not re-posted;
+///   * "wait-uninit"   — a wait may execute before any isend/irecv posts
+///     its request handle;
+///   * "buffer-race"   — the destination buffer of an in-flight irecv is
+///     read or written between the posting and the matching wait, racing
+///     with message delivery.
+///
+/// All four are "may" analyses over the per-process CFG: a report means
+/// some path exhibits the defect. The interpreter provides the ground
+/// truth for each (EvalError for wait misuse and buffer races,
+/// RunResult::RequestLeaks for leaks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_ANALYSIS_REQUESTCHECK_H
+#define CSDF_ANALYSIS_REQUESTCHECK_H
+
+#include "cfg/Cfg.h"
+#include "diag/DiagnosticEngine.h"
+
+namespace csdf {
+
+struct LintOptions;
+
+/// Runs every enabled request-lifecycle pass over \p Graph, reporting into
+/// \p Diags. Cheap no-op for programs without non-blocking operations.
+void runRequestChecks(const Cfg &Graph, const LintOptions &Opts,
+                      DiagnosticEngine &Diags);
+
+} // namespace csdf
+
+#endif // CSDF_ANALYSIS_REQUESTCHECK_H

@@ -33,6 +33,7 @@ AnalysisOptions RequestOptions::analysis() const {
     Opts.Threads = Threads;
   if (MaxStates > 0)
     Opts.MaxStates = MaxStates;
+  Opts.CheckMatchNondet = CheckMatchNondet;
   return Opts;
 }
 
@@ -178,6 +179,11 @@ ArgStatus csdf::api::parseSharedOption(int Argc, const char *const *Argv,
     return ArgStatus::Consumed;
   }
 
+  if (Arg == "--no-match-nondet") {
+    Opts.CheckMatchNondet = false;
+    return ArgStatus::Consumed;
+  }
+
   if (Arg == "--test-hooks") {
     Opts.TestHooks = true;
     return ArgStatus::Consumed;
@@ -245,6 +251,12 @@ bool csdf::api::optionsFromJson(const JsonValue &Json, RequestOptions &Opts,
         Opts.MaxMemoryMb = N;
       else
         Opts.ProverSteps = N;
+    } else if (Key == "check_match_nondet") {
+      if (!Value.isBool()) {
+        Error = "options.check_match_nondet must be a boolean";
+        return false;
+      }
+      Opts.CheckMatchNondet = Value.asBool();
     } else if (Key == "test_hooks") {
       if (!Value.isBool()) {
         Error = "options.test_hooks must be a boolean";

@@ -53,6 +53,11 @@ struct RequestOptions {
   std::uint64_t MaxMemoryMb = 0;
   std::uint64_t ProverSteps = 0;
 
+  /// Report match-nondeterminism bugs at wildcard receives with two or
+  /// more statically eligible senders (`--no-match-nondet` disables the
+  /// report; the precision degradation at such receives is unconditional).
+  bool CheckMatchNondet = true;
+
   /// Honor `# csdf-test:` failure-injection directives (batch corpora and
   /// robustness tests only).
   bool TestHooks = false;
@@ -86,7 +91,8 @@ enum class ArgStatus {
 
 /// Tries to consume Argv[I] as one of the shared request flags —
 /// `--client`, `--fixed-np`, `--param`, `--threads`, `--max-states`,
-/// `--deadline-ms`, `--max-memory-mb`, `--prover-steps`, `--test-hooks` —
+/// `--deadline-ms`, `--max-memory-mb`, `--prover-steps`,
+/// `--no-match-nondet`, `--test-hooks` —
 /// advancing \p I past the flag's value when one is taken. Every csdf
 /// front end funnels through this, so a flag spelled once works (and
 /// validates identically) everywhere.
@@ -97,7 +103,8 @@ ArgStatus parseSharedOption(int Argc, const char *const *Argv, int &I,
 /// (fields not present keep their current — typically daemon-default —
 /// values). Accepted members: client, fixed_np, params (object of
 /// name -> integer), threads, max_states, deadline_ms, max_memory_mb,
-/// prover_steps, test_hooks. Returns false with \p Error set on an
+/// prover_steps, check_match_nondet, test_hooks. Returns false with \p
+/// Error set on an
 /// unknown member or a type mismatch: requests with typos fail loudly
 /// instead of analyzing with silently-default options.
 bool optionsFromJson(const JsonValue &Json, RequestOptions &Opts,

@@ -13,11 +13,15 @@ using namespace csdf;
 
 MpiCfgResult csdf::buildMpiCfg(const Cfg &Graph) {
   MpiCfgResult Result;
+  // Non-blocking operations address messages exactly like their blocking
+  // counterparts (the trace anchors irecv deliveries at the posting node),
+  // so the all-pairs baseline treats Isend as Send and Irecv as Recv.
   for (const CfgNode &Send : Graph.nodes()) {
-    if (Send.Kind != CfgNodeKind::Send)
+    if (Send.Kind != CfgNodeKind::Send && Send.Kind != CfgNodeKind::Isend)
       continue;
     for (const CfgNode &Recv : Graph.nodes()) {
-      if (Recv.Kind != CfgNodeKind::Recv)
+      if (Recv.Kind != CfgNodeKind::Recv &&
+          Recv.Kind != CfgNodeKind::Irecv)
         continue;
       ++Result.InitialEdges;
 
@@ -33,8 +37,12 @@ MpiCfgResult csdf::buildMpiCfg(const Cfg &Graph) {
 
       // Shift pruning: id+k composed with id+m is never the identity when
       // k + m != 0, so no message on this edge can be addressed both ways.
+      // A wildcard (`any`-source) receive names no source expression and
+      // can never be pruned this way.
       auto DestShift = matchIdPlusC(Send.Partner);
-      auto SrcShift = matchIdPlusC(Recv.Partner);
+      auto SrcShift =
+          Recv.Partner ? matchIdPlusC(Recv.Partner)
+                       : std::optional<std::int64_t>();
       if (DestShift && SrcShift && *DestShift + *SrcShift != 0) {
         ++Result.PrunedByShift;
         continue;

@@ -25,6 +25,14 @@ const char *csdf::cfgNodeKindName(CfgNodeKind Kind) {
     return "send";
   case CfgNodeKind::Recv:
     return "recv";
+  case CfgNodeKind::Isend:
+    return "isend";
+  case CfgNodeKind::Irecv:
+    return "irecv";
+  case CfgNodeKind::Wait:
+    return "wait";
+  case CfgNodeKind::Waitall:
+    return "waitall";
   case CfgNodeKind::Print:
     return "print";
   case CfgNodeKind::Assume:
@@ -90,12 +98,30 @@ std::string Cfg::nodeLabel(CfgNodeId Id) const {
     return S;
   }
   case CfgNodeKind::Recv: {
-    std::string S =
-        Label + "recv " + N.Var + " <- " + exprToString(N.Partner);
+    std::string S = Label + "recv " + N.Var + " <- " +
+                    (N.Partner ? exprToString(N.Partner) : "any");
     if (N.Tag)
       S += " tag " + exprToString(N.Tag);
     return S;
   }
+  case CfgNodeKind::Isend: {
+    std::string S = Label + "isend " + exprToString(N.Value) + " -> " +
+                    exprToString(N.Partner);
+    if (N.Tag)
+      S += " tag " + exprToString(N.Tag);
+    return S + " req " + N.Req;
+  }
+  case CfgNodeKind::Irecv: {
+    std::string S = Label + "irecv " + N.Var + " <- " +
+                    (N.Partner ? exprToString(N.Partner) : "any");
+    if (N.Tag)
+      S += " tag " + exprToString(N.Tag);
+    return S + " req " + N.Req;
+  }
+  case CfgNodeKind::Wait:
+    return Label + "wait " + N.Req;
+  case CfgNodeKind::Waitall:
+    return Label + "waitall";
   case CfgNodeKind::Print:
     return Label + "print " + exprToString(N.Value);
   case CfgNodeKind::Assume:

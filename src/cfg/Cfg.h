@@ -35,6 +35,10 @@ enum class CfgNodeKind {
   Branch,
   Send,
   Recv,
+  Isend,
+  Irecv,
+  Wait,
+  Waitall,
   Print,
   Assume,
   Assert,
@@ -60,7 +64,9 @@ struct CfgEdge {
 /// A single CFG node. Which payload fields are meaningful depends on Kind:
 ///   Assign: Var, Value;   Branch/Assume: Cond;
 ///   Send: Value, Partner, Tag;   Recv: Var, Partner, Tag;
-///   Print: Value.
+///   Isend: Value, Partner, Tag, Req;   Irecv: Var, Partner, Tag, Req;
+///   Wait: Req;   Print: Value.
+/// A wildcard (`any`-source) Recv/Irecv has a null Partner.
 struct CfgNode {
   CfgNodeId Id = 0;
   CfgNodeKind Kind = CfgNodeKind::Skip;
@@ -72,6 +78,9 @@ struct CfgNode {
   SourceLoc Loc;
 
   std::string Var;
+  /// Request handle named by an isend/irecv/wait (empty otherwise).
+  /// Requests live in a namespace disjoint from scalar variables.
+  std::string Req;
   const Expr *Value = nullptr;
   const Expr *Cond = nullptr;
   const Expr *Partner = nullptr;
@@ -81,7 +90,19 @@ struct CfgNode {
   std::vector<CfgNodeId> Preds;
 
   bool isCommOp() const {
-    return Kind == CfgNodeKind::Send || Kind == CfgNodeKind::Recv;
+    return Kind == CfgNodeKind::Send || Kind == CfgNodeKind::Recv ||
+           Kind == CfgNodeKind::Isend || Kind == CfgNodeKind::Irecv;
+  }
+  /// True for the synchronization points that complete non-blocking
+  /// requests (wait/waitall).
+  bool isWaitOp() const {
+    return Kind == CfgNodeKind::Wait || Kind == CfgNodeKind::Waitall;
+  }
+  /// True for a receive-class node (Recv/Irecv) whose source is the `any`
+  /// wildcard.
+  bool isWildcardRecv() const {
+    return (Kind == CfgNodeKind::Recv || Kind == CfgNodeKind::Irecv) &&
+           Partner == nullptr;
   }
   bool isBranch() const { return Kind == CfgNodeKind::Branch; }
   bool isExit() const { return Kind == CfgNodeKind::Exit; }

@@ -80,6 +80,33 @@ private:
       Graph.node(Node).Tag = Recv->tag();
       return appendSimple(Node, std::move(Frontier));
     }
+    case Stmt::Kind::Isend: {
+      const auto *Send = cast<IsendStmt>(S);
+      CfgNodeId Node = Graph.addNode(CfgNodeKind::Isend, S);
+      Graph.node(Node).Value = Send->value();
+      Graph.node(Node).Partner = Send->dest();
+      Graph.node(Node).Tag = Send->tag();
+      Graph.node(Node).Req = Send->req();
+      return appendSimple(Node, std::move(Frontier));
+    }
+    case Stmt::Kind::Irecv: {
+      const auto *Recv = cast<IrecvStmt>(S);
+      CfgNodeId Node = Graph.addNode(CfgNodeKind::Irecv, S);
+      Graph.node(Node).Var = Recv->var();
+      Graph.node(Node).Partner = Recv->src(); // null for `any`
+      Graph.node(Node).Tag = Recv->tag();
+      Graph.node(Node).Req = Recv->req();
+      return appendSimple(Node, std::move(Frontier));
+    }
+    case Stmt::Kind::Wait: {
+      CfgNodeId Node = Graph.addNode(CfgNodeKind::Wait, S);
+      Graph.node(Node).Req = cast<WaitStmt>(S)->req();
+      return appendSimple(Node, std::move(Frontier));
+    }
+    case Stmt::Kind::Waitall: {
+      CfgNodeId Node = Graph.addNode(CfgNodeKind::Waitall, S);
+      return appendSimple(Node, std::move(Frontier));
+    }
     case Stmt::Kind::Print: {
       CfgNodeId Node = Graph.addNode(CfgNodeKind::Print, S);
       Graph.node(Node).Value = cast<PrintStmt>(S)->value();

@@ -1,0 +1,288 @@
+//===- cfg/RequestInfo.cpp -------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/RequestInfo.h"
+
+#include "lang/ExprOps.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace csdf;
+
+namespace {
+
+bool isPosting(const CfgNode &N) {
+  return N.Kind == CfgNodeKind::Isend || N.Kind == CfgNodeKind::Irecv;
+}
+
+/// Joins \p Src into \p Dst (may-union for flags and MayPosted,
+/// must-intersection for MustPosted). Returns true if \p Dst changed.
+bool joinInto(ReqState &Dst, const ReqState &Src) {
+  bool Changed = false;
+  if (Src.MayUnposted && !Dst.MayUnposted) {
+    Dst.MayUnposted = true;
+    Changed = true;
+  }
+  if (Src.MayWaited && !Dst.MayWaited) {
+    Dst.MayWaited = true;
+    Changed = true;
+  }
+  for (CfgNodeId P : Src.MayPosted)
+    if (Dst.MayPosted.insert(P).second)
+      Changed = true;
+  for (auto It = Dst.MustPosted.begin(); It != Dst.MustPosted.end();) {
+    if (!Src.MustPosted.count(*It)) {
+      It = Dst.MustPosted.erase(It);
+      Changed = true;
+    } else {
+      ++It;
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+int RequestInfo::reqIndex(const std::string &Req) const {
+  auto It = std::lower_bound(ReqVars.begin(), ReqVars.end(), Req);
+  if (It == ReqVars.end() || *It != Req)
+    return -1;
+  return static_cast<int>(It - ReqVars.begin());
+}
+
+const ReqState &RequestInfo::in(CfgNodeId Node,
+                                const std::string &Req) const {
+  int Idx = reqIndex(Req);
+  if (Idx < 0 || Node >= In.size() || !Reached[Node])
+    return Empty;
+  return In[Node][Idx];
+}
+
+RequestInfo RequestInfo::compute(const Cfg &Graph) {
+  RequestInfo Info(Graph);
+
+  std::set<std::string> Names;
+  for (const CfgNode &N : Graph.nodes())
+    if (!N.Req.empty())
+      Names.insert(N.Req);
+  Info.ReqVars.assign(Names.begin(), Names.end());
+  Info.In.assign(Graph.size(), std::vector<ReqState>(Info.ReqVars.size()));
+  Info.Reached.assign(Graph.size(), false);
+  if (Info.ReqVars.empty())
+    return Info;
+
+  // Entry state: every request may be un-posted, nothing outstanding.
+  std::vector<ReqState> EntryState(Info.ReqVars.size());
+  for (ReqState &S : EntryState)
+    S.MayUnposted = true;
+
+  auto transfer = [&](CfgNodeId Id, std::vector<ReqState> State) {
+    const CfgNode &N = Graph.node(Id);
+    if (isPosting(N)) {
+      int Idx = Info.reqIndex(N.Req);
+      ReqState &S = State[static_cast<size_t>(Idx)];
+      S = ReqState();
+      S.MayPosted = {Id};
+      S.MustPosted = {Id};
+    } else if (N.Kind == CfgNodeKind::Wait) {
+      int Idx = Info.reqIndex(N.Req);
+      ReqState &S = State[static_cast<size_t>(Idx)];
+      S.MayPosted.clear();
+      S.MustPosted.clear();
+      S.MayUnposted = false;
+      S.MayWaited = true;
+    } else if (N.Kind == CfgNodeKind::Waitall) {
+      for (ReqState &S : State) {
+        if (!S.MayPosted.empty())
+          S.MayWaited = true;
+        S.MayPosted.clear();
+        S.MustPosted.clear();
+      }
+    }
+    return State;
+  };
+
+  std::deque<CfgNodeId> Worklist;
+  Info.In[Graph.entryId()] = EntryState;
+  Info.Reached[Graph.entryId()] = true;
+  Worklist.push_back(Graph.entryId());
+
+  while (!Worklist.empty()) {
+    CfgNodeId Id = Worklist.front();
+    Worklist.pop_front();
+    std::vector<ReqState> Out = transfer(Id, Info.In[Id]);
+    for (const CfgEdge &E : Graph.node(Id).Succs) {
+      bool Changed = false;
+      if (!Info.Reached[E.Target]) {
+        Info.In[E.Target] = Out;
+        Info.Reached[E.Target] = true;
+        Changed = true;
+      } else {
+        std::vector<ReqState> &Dst = Info.In[E.Target];
+        for (size_t I = 0; I < Out.size(); ++I)
+          Changed |= joinInto(Dst[I], Out[I]);
+      }
+      if (Changed &&
+          std::find(Worklist.begin(), Worklist.end(), E.Target) ==
+              Worklist.end())
+        Worklist.push_back(E.Target);
+    }
+  }
+  return Info;
+}
+
+std::map<std::string, std::set<CfgNodeId>>
+RequestInfo::outstandingIrecvBuffers(CfgNodeId Node) const {
+  std::map<std::string, std::set<CfgNodeId>> Buffers;
+  if (Node >= In.size() || !Reached[Node])
+    return Buffers;
+  for (const ReqState &S : In[Node])
+    for (CfgNodeId P : S.MayPosted)
+      if (Graph->node(P).Kind == CfgNodeKind::Irecv)
+        Buffers[Graph->node(P).Var].insert(P);
+  return Buffers;
+}
+
+std::set<std::string> RequestInfo::assignedBetween(CfgNodeId From,
+                                                   CfgNodeId To) const {
+  // Nodes on some path strictly between From and To: reachable from From
+  // and reaching To, excluding the endpoints themselves.
+  auto bfs = [&](CfgNodeId Start, bool Forward) {
+    std::vector<bool> Seen(Graph->size(), false);
+    std::deque<CfgNodeId> Queue = {Start};
+    while (!Queue.empty()) {
+      CfgNodeId Id = Queue.front();
+      Queue.pop_front();
+      if (Forward) {
+        for (const CfgEdge &E : Graph->node(Id).Succs)
+          if (!Seen[E.Target]) {
+            Seen[E.Target] = true;
+            Queue.push_back(E.Target);
+          }
+      } else {
+        for (CfgNodeId P : Graph->node(Id).Preds)
+          if (!Seen[P]) {
+            Seen[P] = true;
+            Queue.push_back(P);
+          }
+      }
+    }
+    return Seen;
+  };
+  std::vector<bool> FromReach = bfs(From, /*Forward=*/true);
+  std::vector<bool> ToReach = bfs(To, /*Forward=*/false);
+
+  std::set<std::string> Assigned;
+  for (const CfgNode &N : Graph->nodes()) {
+    if (N.Id == From || N.Id == To || !FromReach[N.Id] || !ToReach[N.Id])
+      continue;
+    if (N.Kind == CfgNodeKind::Assign || N.Kind == CfgNodeKind::Recv ||
+        N.Kind == CfgNodeKind::Irecv)
+      Assigned.insert(N.Var);
+  }
+  return Assigned;
+}
+
+WaitResolution RequestInfo::resolveWait(CfgNodeId WaitNode) const {
+  const CfgNode &W = Graph->node(WaitNode);
+  WaitResolution R;
+  R.Result = WaitResolution::Kind::Imprecise;
+
+  // Checks that a completed irecv posting's partner/tag still evaluate to
+  // the same values at the wait: no variable they read may be reassigned
+  // on any path between post and wait. `id`/`np` are per-process
+  // constants and always stable.
+  auto stable = [&](const CfgNode &Posting) {
+    std::set<std::string> Vars;
+    if (Posting.Partner)
+      collectVars(Posting.Partner, Vars);
+    if (Posting.Tag)
+      collectVars(Posting.Tag, Vars);
+    Vars.erase("id");
+    Vars.erase("np");
+    if (Vars.empty())
+      return true;
+    std::set<std::string> Clobbered = assignedBetween(Posting.Id, WaitNode);
+    for (const std::string &V : Vars)
+      if (Clobbered.count(V))
+        return false;
+    return true;
+  };
+
+  if (W.Kind == CfgNodeKind::Wait) {
+    const ReqState &S = in(WaitNode, W.Req);
+    if (S.MayUnposted) {
+      R.Why = "request '" + W.Req + "' may be un-posted at this wait";
+      return R;
+    }
+    if (S.MayWaited) {
+      R.Why = "request '" + W.Req +
+              "' may already be completed by an earlier wait";
+      return R;
+    }
+    if (S.MayPosted.size() != 1 || S.MayPosted != S.MustPosted) {
+      R.Why = "no unique posting reaches this wait for request '" + W.Req +
+              "'";
+      return R;
+    }
+    CfgNodeId P = *S.MayPosted.begin();
+    R.Completed = {P};
+    if (Graph->node(P).Kind == CfgNodeKind::Isend) {
+      R.Result = WaitResolution::Kind::NoOp;
+      return R;
+    }
+    if (!stable(Graph->node(P))) {
+      R.Completed.clear();
+      R.Why = "partner/tag of the posting at " + Graph->nodeLabel(P) +
+              " may change between post and wait";
+      return R;
+    }
+    R.Result = WaitResolution::Kind::AsRecv;
+    R.Posting = P;
+    return R;
+  }
+
+  // Waitall: exact only when every request's outstanding set is the same
+  // on all incoming paths, and at most one outstanding irecv remains.
+  std::vector<CfgNodeId> Irecvs;
+  if (!reached(WaitNode)) {
+    R.Result = WaitResolution::Kind::NoOp;
+    return R;
+  }
+  for (size_t I = 0; I < ReqVars.size(); ++I) {
+    const ReqState &S = In[WaitNode][I];
+    if (S.MayPosted != S.MustPosted) {
+      R.Why = "outstanding set for request '" + ReqVars[I] +
+              "' differs across paths into waitall";
+      return R;
+    }
+    for (CfgNodeId P : S.MayPosted) {
+      R.Completed.push_back(P);
+      if (Graph->node(P).Kind == CfgNodeKind::Irecv)
+        Irecvs.push_back(P);
+    }
+  }
+  if (Irecvs.empty()) {
+    R.Result = WaitResolution::Kind::NoOp;
+    return R;
+  }
+  if (Irecvs.size() > 1) {
+    R.Completed.clear();
+    R.Why = "multiple irecvs may be outstanding at this waitall";
+    return R;
+  }
+  if (!stable(Graph->node(Irecvs.front()))) {
+    R.Completed.clear();
+    R.Why = "partner/tag of the posting at " +
+            Graph->nodeLabel(Irecvs.front()) +
+            " may change between post and waitall";
+    return R;
+  }
+  R.Result = WaitResolution::Kind::AsRecv;
+  R.Posting = Irecvs.front();
+  return R;
+}

@@ -1,0 +1,123 @@
+//===- cfg/RequestInfo.h - Request-lifecycle dataflow -----------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A forward dataflow analysis over one process CFG tracking the lifecycle
+/// of non-blocking request handles: which isend/irecv postings may (and
+/// must) be outstanding at each node, whether a request may reach a node
+/// un-posted, and whether it may already have been completed by a wait.
+///
+/// Two consumers share these facts:
+///  - the request-lifecycle lint passes (request-leak, double-wait,
+///    wait-uninit, buffer-race) in src/analysis/RequestCheck.cpp, and
+///  - the pCFG engine, which uses resolveWait() to decide statically
+///    whether a wait node is a no-op (completes an isend), acts as a
+///    receive (completes an irecv with stable partner/tag), or is too
+///    imprecise to model exactly (degrade to Top, which is sound).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_CFG_REQUESTINFO_H
+#define CSDF_CFG_REQUESTINFO_H
+
+#include "cfg/Cfg.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace csdf {
+
+/// Dataflow facts for one request handle on entry to one node.
+struct ReqState {
+  /// Some path reaches here with the request never posted (or not
+  /// re-posted since program entry).
+  bool MayUnposted = false;
+  /// Some path reaches here with the request already completed by a wait
+  /// (and not re-posted since).
+  bool MayWaited = false;
+  /// Posting nodes (isend/irecv) that may be outstanding here.
+  std::set<CfgNodeId> MayPosted;
+  /// Posting nodes outstanding on every path reaching here. Always a
+  /// subset of MayPosted.
+  std::set<CfgNodeId> MustPosted;
+};
+
+/// How a wait/waitall node resolves statically. See resolveWait().
+struct WaitResolution {
+  enum class Kind {
+    /// Completes only isends (or nothing): the pCFG can step straight over.
+    NoOp,
+    /// Completes exactly one irecv whose partner/tag are stable between
+    /// post and wait: the pCFG treats the wait node as that receive.
+    AsRecv,
+    /// The outstanding set is ambiguous; exact matching is impossible and
+    /// the analysis must degrade to Top.
+    Imprecise,
+  };
+  Kind Result = Kind::Imprecise;
+  /// For AsRecv: the unique irecv posting this wait stands in for.
+  CfgNodeId Posting = 0;
+  /// All postings this wait completes (NoOp/AsRecv only).
+  std::vector<CfgNodeId> Completed;
+  /// For Imprecise: a human-readable reason (surfaces in the Top detail).
+  std::string Why;
+};
+
+/// Result of the request-lifecycle dataflow over one CFG. Compute once per
+/// program; queries are cheap.
+class RequestInfo {
+public:
+  static RequestInfo compute(const Cfg &Graph);
+
+  /// All request handles named anywhere in the program, sorted.
+  const std::vector<std::string> &requestVars() const { return ReqVars; }
+
+  /// True if the program uses any non-blocking operation at all.
+  bool hasRequests() const { return !ReqVars.empty(); }
+
+  /// True if the dataflow reached \p Node (false only for unreachable
+  /// code).
+  bool reached(CfgNodeId Node) const {
+    return Node < Reached.size() && Reached[Node];
+  }
+
+  /// Facts on entry to \p Node for \p Req. For unreached nodes or unknown
+  /// request names, returns an empty state (all-false, no postings).
+  const ReqState &in(CfgNodeId Node, const std::string &Req) const;
+
+  /// Buffer variables of irecv postings that may be outstanding on entry
+  /// to \p Node, each mapped to the posting nodes responsible.
+  std::map<std::string, std::set<CfgNodeId>>
+  outstandingIrecvBuffers(CfgNodeId Node) const;
+
+  /// Variables assigned (by assign, recv, or irecv) at some node on a
+  /// path strictly between \p From and \p To. Used for the partner/tag
+  /// stability check in resolveWait().
+  std::set<std::string> assignedBetween(CfgNodeId From, CfgNodeId To) const;
+
+  /// Statically resolves wait/waitall node \p WaitNode. Exact handling
+  /// needs a unique, unambiguous outstanding set; anything else is
+  /// Imprecise (with Why saying what went wrong).
+  WaitResolution resolveWait(CfgNodeId WaitNode) const;
+
+private:
+  explicit RequestInfo(const Cfg &Graph) : Graph(&Graph) {}
+
+  int reqIndex(const std::string &Req) const;
+
+  const Cfg *Graph;
+  std::vector<std::string> ReqVars;
+  /// In[node][reqIndex], parallel to ReqVars.
+  std::vector<std::vector<ReqState>> In;
+  std::vector<bool> Reached;
+  ReqState Empty;
+};
+
+} // namespace csdf
+
+#endif // CSDF_CFG_REQUESTINFO_H

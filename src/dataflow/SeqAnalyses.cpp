@@ -32,7 +32,8 @@ bool ReachingDefsDomain::join(Fact &Into, const Fact &From) const {
 ReachingDefsDomain::Fact
 ReachingDefsDomain::transfer(const Cfg &, const CfgNode &Node,
                              const Fact &In) const {
-  if (Node.Kind != CfgNodeKind::Assign && Node.Kind != CfgNodeKind::Recv)
+  if (Node.Kind != CfgNodeKind::Assign && Node.Kind != CfgNodeKind::Recv &&
+      Node.Kind != CfgNodeKind::Irecv)
     return In;
   VarId Var = Syms->intern(Node.Var);
   Fact Out;
@@ -77,7 +78,8 @@ LiveVarsDomain::Fact LiveVarsDomain::transfer(const Cfg &,
                                               const CfgNode &Node,
                                               const Fact &In) const {
   Fact Out = In;
-  if (Node.Kind == CfgNodeKind::Assign || Node.Kind == CfgNodeKind::Recv)
+  if (Node.Kind == CfgNodeKind::Assign || Node.Kind == CfgNodeKind::Recv ||
+      Node.Kind == CfgNodeKind::Irecv)
     Out.erase(Syms->intern(Node.Var));
   addUses(Node.Value, *Syms, Out);
   addUses(Node.Cond, *Syms, Out);
@@ -118,7 +120,8 @@ bool DefiniteAssignDomain::join(Fact &Into, const Fact &From) const {
 DefiniteAssignDomain::Fact
 DefiniteAssignDomain::transfer(const Cfg &, const CfgNode &Node,
                                const Fact &In) const {
-  if (Node.Kind != CfgNodeKind::Assign && Node.Kind != CfgNodeKind::Recv)
+  if (Node.Kind != CfgNodeKind::Assign && Node.Kind != CfgNodeKind::Recv &&
+      Node.Kind != CfgNodeKind::Irecv)
     return In;
   Fact Out = In;
   if (!Out.IsTop)
@@ -190,6 +193,7 @@ SeqConstDomain::Fact SeqConstDomain::transfer(const Cfg &,
     Out[Syms->intern(Node.Var)] = evalConst(Node.Value, *Syms, In);
     return Out;
   case CfgNodeKind::Recv:
+  case CfgNodeKind::Irecv:
     // The sequential view cannot know what arrives.
     Out[Syms->intern(Node.Var)] = ConstVal::nonConst();
     return Out;

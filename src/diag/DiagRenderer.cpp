@@ -168,13 +168,22 @@ void appendSarifLocation(std::ostringstream &OS, const std::string &Uri,
 std::string csdf::renderDiagsSarif(
     const std::vector<Diagnostic> &Diags, const std::string &FileName,
     const std::map<std::string, std::string> &RuleDescriptions) {
-  // Collect the rules actually present, in first-use order is unnecessary —
-  // sorted order keeps the document deterministic.
-  std::map<std::string, std::string> Rules;
-  for (const Diagnostic &D : Diags) {
-    auto It = RuleDescriptions.find(D.Id);
-    Rules[D.Id] = It != RuleDescriptions.end() ? It->second : D.Id;
-  }
+  std::map<std::string, SarifRuleDoc> Docs;
+  for (const auto &[Id, Desc] : RuleDescriptions)
+    Docs[Id] = {Desc, "", ""};
+  return renderDiagsSarif(Diags, FileName, Docs);
+}
+
+std::string csdf::renderDiagsSarif(
+    const std::vector<Diagnostic> &Diags, const std::string &FileName,
+    const std::map<std::string, SarifRuleDoc> &RuleDocs) {
+  // The full catalog plus an ID-only stub for any rule a diagnostic names
+  // that the caller did not document. Sorted map order keeps the document
+  // deterministic.
+  std::map<std::string, SarifRuleDoc> Rules = RuleDocs;
+  for (const Diagnostic &D : Diags)
+    if (!Rules.count(D.Id))
+      Rules[D.Id] = {D.Id, "", ""};
 
   std::ostringstream OS;
   OS << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
@@ -182,12 +191,18 @@ std::string csdf::renderDiagsSarif(
      << "\"name\":\"csdf-lint\","
      << "\"informationUri\":\"https://example.org/csdf\",\"rules\":[";
   bool First = true;
-  for (const auto &[Id, Desc] : Rules) {
+  for (const auto &[Id, Doc] : Rules) {
     if (!First)
       OS << ",";
     First = false;
     OS << "{\"id\":\"" << jsonEscape(Id) << "\",\"shortDescription\":{"
-       << "\"text\":\"" << jsonEscape(Desc) << "\"}}";
+       << "\"text\":\"" << jsonEscape(Doc.ShortDescription) << "\"}";
+    if (!Doc.FullDescription.empty())
+      OS << ",\"fullDescription\":{\"text\":\""
+         << jsonEscape(Doc.FullDescription) << "\"}";
+    if (!Doc.HelpUri.empty())
+      OS << ",\"helpUri\":\"" << jsonEscape(Doc.HelpUri) << "\"";
+    OS << "}";
   }
   OS << "]}},\"results\":[";
   First = true;

@@ -42,9 +42,24 @@ std::string renderDiagsText(const std::vector<Diagnostic> &Diags,
 std::string renderDiagsJson(const std::vector<Diagnostic> &Diags,
                             const std::string &FileName);
 
-/// Renders \p Diags as a SARIF 2.1.0 document. \p RuleDescriptions maps a
-/// rule ID to its short description; rules appearing in \p Diags but not in
-/// the map get their ID as description.
+/// Documentation for one SARIF rule, rendered into tool.driver.rules.
+/// Empty FullDescription/HelpUri fields are omitted from the document.
+struct SarifRuleDoc {
+  std::string ShortDescription;
+  std::string FullDescription;
+  std::string HelpUri;
+};
+
+/// Renders \p Diags as a SARIF 2.1.0 document. Every rule in \p RuleDocs is
+/// emitted into tool.driver.rules — including rules with no result in this
+/// run, so code-scanning consumers see the full rule catalog — plus an
+/// ID-only stub for any rule appearing in \p Diags but missing from the map.
+std::string
+renderDiagsSarif(const std::vector<Diagnostic> &Diags,
+                 const std::string &FileName,
+                 const std::map<std::string, SarifRuleDoc> &RuleDocs);
+
+/// Convenience overload taking only short descriptions.
 std::string
 renderDiagsSarif(const std::vector<Diagnostic> &Diags,
                  const std::string &FileName,

@@ -10,6 +10,13 @@
 ///   * processes 0..np-1, each with private scalar state,
 ///   * one FIFO channel per ordered process pair,
 ///   * non-blocking sends, blocking deterministic receives,
+///   * first-class non-blocking requests: isend/irecv post a request,
+///     wait/waitall complete it; reading or writing an irecv buffer while
+///     its request is in flight is a buffer race (EvalError), and a
+///     request that is never waited is reported in RequestLeaks,
+///   * wildcard (`any`-source) receives, resolved lowest-sender-first for
+///     reproducibility, with multi-eligible matches recorded as
+///     NondetWitnesses,
 ///   * nondeterminism only from input() (schedule-independent).
 ///
 /// The interpreter provides ground truth for the static analysis: every
@@ -54,6 +61,25 @@ struct LeakedMessage {
   std::int64_t Tag = 0;
 };
 
+/// A non-blocking request that was still outstanding (never waited) when
+/// its process finished or the run ended.
+struct LeakedRequest {
+  int Rank = 0;
+  CfgNodeId PostNode = 0;
+  std::string Req;
+};
+
+/// A wildcard receive that had more than one eligible sender when it
+/// matched: concrete evidence of match nondeterminism.
+struct NondetWitness {
+  int Receiver = 0;
+  CfgNodeId RecvNode = 0;
+  /// All sender ranks whose channel head was eligible, ascending. The
+  /// interpreter always delivers from the lowest (a fixed resolution), so
+  /// runs stay reproducible, but the witness records the race.
+  std::vector<int> EligibleSenders;
+};
+
 /// Why a run ended.
 enum class RunStatus {
   Finished,     ///< All processes reached Exit.
@@ -74,7 +100,11 @@ struct RunResult {
   std::vector<std::vector<std::int64_t>> Prints;
   std::vector<std::map<std::string, std::int64_t>> FinalVars;
   std::vector<LeakedMessage> Leaks;
-  /// Ranks blocked on a receive at the end (for deadlock reports).
+  /// Requests posted but never completed by a wait/waitall.
+  std::vector<LeakedRequest> RequestLeaks;
+  /// Wildcard receives that observed ≥2 eligible senders when matching.
+  std::vector<NondetWitness> NondetWitnesses;
+  /// Ranks blocked on a receive or wait at the end (for deadlock reports).
   std::vector<int> BlockedRanks;
 
   bool finished() const { return Status == RunStatus::Finished; }

@@ -9,10 +9,17 @@
 /// and use LLVM-style kind-discriminated RTTI (classof + isa/cast/dyn_cast).
 ///
 /// The statement forms mirror the paper's execution model (Section III):
-///   send <value> -> <dest> [tag <t>];   non-wildcard point-to-point send
+///   send <value> -> <dest> [tag <t>];   point-to-point blocking send
 ///   recv <var>  <- <src>  [tag <t>];    deterministic blocking receive
+///   recv <var>  <- any    [tag <t>];    wildcard (any-source) receive
+/// plus the non-blocking request forms of the Section X extension:
+///   isend <value> -> <dest> [tag <t>] req <r>;
+///   irecv <var>  <- <src|any> [tag <t>] req <r>;
+///   wait <r>;   waitall;
 /// plus assignments, structured control flow, `assume` (used to inject
 /// topology invariants like `np == nrows * ncols`), `assert`, and `print`.
+/// Request handles (`req r`) live in their own namespace, disjoint from
+/// scalar variables.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -175,6 +182,10 @@ public:
     For,
     Send,
     Recv,
+    Isend,
+    Irecv,
+    Wait,
+    Waitall,
     Print,
     Assume,
     Assert,
@@ -294,14 +305,16 @@ private:
   const Expr *Tag;
 };
 
-/// `recv var <- src [tag t];`
+/// `recv var <- src [tag t];` / `recv var <- any [tag t];`
 class RecvStmt : public Stmt {
 public:
   RecvStmt(std::string Var, const Expr *Src, const Expr *Tag, SourceLoc Loc)
       : Stmt(Kind::Recv, Loc), Var(std::move(Var)), Src(Src), Tag(Tag) {}
 
   const std::string &var() const { return Var; }
+  /// Null for a wildcard (`any`-source) receive.
   const Expr *src() const { return Src; }
+  bool isWildcard() const { return Src == nullptr; }
   /// Null when the program did not specify a tag (tag 0 semantics).
   const Expr *tag() const { return Tag; }
 
@@ -311,6 +324,83 @@ private:
   std::string Var;
   const Expr *Src;
   const Expr *Tag;
+};
+
+/// `isend value -> dest [tag t] req r;` — deposits the message and
+/// completes immediately (a buffered send); `wait r` is the completion
+/// point of the request handle.
+class IsendStmt : public Stmt {
+public:
+  IsendStmt(const Expr *Value, const Expr *Dest, const Expr *Tag,
+            std::string Req, SourceLoc Loc)
+      : Stmt(Kind::Isend, Loc), Value(Value), Dest(Dest), Tag(Tag),
+        Req(std::move(Req)) {}
+
+  const Expr *value() const { return Value; }
+  const Expr *dest() const { return Dest; }
+  /// Null when the program did not specify a tag (tag 0 semantics).
+  const Expr *tag() const { return Tag; }
+  const std::string &req() const { return Req; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Isend; }
+
+private:
+  const Expr *Value;
+  const Expr *Dest;
+  const Expr *Tag;
+  std::string Req;
+};
+
+/// `irecv var <- src [tag t] req r;` / `irecv var <- any [tag t] req r;` —
+/// posts a receive request. Source and tag are evaluated at the post;
+/// the message lands in `var` at the matching `wait r`. Touching `var`
+/// between the post and the wait is a buffer race.
+class IrecvStmt : public Stmt {
+public:
+  IrecvStmt(std::string Var, const Expr *Src, const Expr *Tag,
+            std::string Req, SourceLoc Loc)
+      : Stmt(Kind::Irecv, Loc), Var(std::move(Var)), Src(Src), Tag(Tag),
+        Req(std::move(Req)) {}
+
+  const std::string &var() const { return Var; }
+  /// Null for a wildcard (`any`-source) receive.
+  const Expr *src() const { return Src; }
+  bool isWildcard() const { return Src == nullptr; }
+  /// Null when the program did not specify a tag (tag 0 semantics).
+  const Expr *tag() const { return Tag; }
+  const std::string &req() const { return Req; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Irecv; }
+
+private:
+  std::string Var;
+  const Expr *Src;
+  const Expr *Tag;
+  std::string Req;
+};
+
+/// `wait r;` — blocks until request `r` completes. Waiting on a request
+/// that was never posted, or twice on the same posting, is an error.
+class WaitStmt : public Stmt {
+public:
+  WaitStmt(std::string Req, SourceLoc Loc)
+      : Stmt(Kind::Wait, Loc), Req(std::move(Req)) {}
+
+  const std::string &req() const { return Req; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Wait; }
+
+private:
+  std::string Req;
+};
+
+/// `waitall;` — completes every outstanding request of the executing
+/// process, in posting order.
+class WaitallStmt : public Stmt {
+public:
+  explicit WaitallStmt(SourceLoc Loc) : Stmt(Kind::Waitall, Loc) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Waitall; }
 };
 
 /// `print expr;`

@@ -70,12 +70,37 @@ void printStmt(const Stmt *S, unsigned Indent, std::ostringstream &OS) {
   }
   case Stmt::Kind::Recv: {
     const auto *Recv = cast<RecvStmt>(S);
-    OS << "recv " << Recv->var() << " <- " << exprToString(Recv->src());
+    OS << "recv " << Recv->var() << " <- "
+       << (Recv->isWildcard() ? "any" : exprToString(Recv->src()));
     if (Recv->tag())
       OS << " tag " << exprToString(Recv->tag());
     OS << ";\n";
     return;
   }
+  case Stmt::Kind::Isend: {
+    const auto *Send = cast<IsendStmt>(S);
+    OS << "isend " << exprToString(Send->value()) << " -> "
+       << exprToString(Send->dest());
+    if (Send->tag())
+      OS << " tag " << exprToString(Send->tag());
+    OS << " req " << Send->req() << ";\n";
+    return;
+  }
+  case Stmt::Kind::Irecv: {
+    const auto *Recv = cast<IrecvStmt>(S);
+    OS << "irecv " << Recv->var() << " <- "
+       << (Recv->isWildcard() ? "any" : exprToString(Recv->src()));
+    if (Recv->tag())
+      OS << " tag " << exprToString(Recv->tag());
+    OS << " req " << Recv->req() << ";\n";
+    return;
+  }
+  case Stmt::Kind::Wait:
+    OS << "wait " << cast<WaitStmt>(S)->req() << ";\n";
+    return;
+  case Stmt::Kind::Waitall:
+    OS << "waitall;\n";
+    return;
   case Stmt::Kind::Print:
     OS << "print " << exprToString(cast<PrintStmt>(S)->value()) << ";\n";
     return;

@@ -270,6 +270,95 @@ end
 )mpl";
 }
 
+std::string corpus::nonblockingPing() {
+  return R"mpl(
+# Non-blocking ping: isend/irecv completed by waits on both sides.
+if id == 0 then
+  isend 7 -> 1 req s;
+  wait s;
+else
+  if id == 1 then
+    irecv x <- 0 req r;
+    wait r;
+    print x;
+  end
+end
+)mpl";
+}
+
+std::string corpus::isendFanout() {
+  return R"mpl(
+# Rank 0 posts two isends and completes both with one waitall.
+if id == 0 then
+  isend 10 -> 1 req s1;
+  isend 20 -> 2 req s2;
+  waitall;
+else
+  if id < 3 then
+    recv v <- 0;
+    print v;
+  end
+end
+)mpl";
+}
+
+std::string corpus::wildcardUniqueSender() {
+  return R"mpl(
+# A wildcard receive whose only statically eligible sender is rank 1.
+if id == 0 then
+  recv x <- any;
+  print x;
+else
+  if id == 1 then
+    send 5 -> 0;
+  end
+end
+)mpl";
+}
+
+std::string corpus::bufferRace() {
+  return R"mpl(
+# BUG: the irecv buffer is read before the completing wait.
+if id == 0 then
+  irecv x <- 1 req r;
+  print x;
+  wait r;
+else
+  if id == 1 then
+    send 1 -> 0;
+  end
+end
+)mpl";
+}
+
+std::string corpus::requestLeak() {
+  return R"mpl(
+# BUG: the irecv request is never waited on.
+if id == 0 then
+  irecv x <- 1 req r;
+else
+  if id == 1 then
+    send 1 -> 0;
+  end
+end
+)mpl";
+}
+
+std::string corpus::wildcardRace() {
+  return R"mpl(
+# BUG: ranks 1 and 2 race into rank 0's wildcard receives.
+if id == 0 then
+  recv x <- any;
+  recv y <- any;
+  print x + y;
+else
+  if id < 3 then
+    send id -> 0;
+  end
+end
+)mpl";
+}
+
 std::vector<corpus::NamedProgram> corpus::allPatterns() {
   return {
       {"figure2-exchange", figure2Exchange()},
@@ -286,5 +375,8 @@ std::vector<corpus::NamedProgram> corpus::allPatterns() {
       {"vshift-2d", vshift2d()},
       {"broadcast-then-gather", broadcastThenGather()},
       {"no-comm", noComm()},
+      {"nonblocking-ping", nonblockingPing()},
+      {"isend-fanout", isendFanout()},
+      {"wildcard-unique-sender", wildcardUniqueSender()},
   };
 }

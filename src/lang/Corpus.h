@@ -90,6 +90,30 @@ std::string ringShift();
 /// A sequential program with no communication (baseline for the engine).
 std::string noComm();
 
+/// Non-blocking ping: rank 0 isends to rank 1; both sides complete their
+/// request with a wait (the minimal isend/irecv/wait round trip).
+std::string nonblockingPing();
+
+/// Non-blocking fan-out: rank 0 posts isends to ranks 1 and 2 and
+/// completes both with one waitall; the receivers use blocking recvs.
+std::string isendFanout();
+
+/// Wildcard receive with a unique sender: `recv <- any` that still
+/// matches deterministically (exactly one statically eligible sender).
+std::string wildcardUniqueSender();
+
+/// Buggy program: the irecv buffer is read before the completing wait — a
+/// buffer race.
+std::string bufferRace();
+
+/// Buggy program: an irecv request is never waited on — a request leak
+/// (and the sender's message is never consumed).
+std::string requestLeak();
+
+/// Buggy program: two senders race into one wildcard receive — match
+/// nondeterminism.
+std::string wildcardRace();
+
 /// Names and sources of all well-formed pattern programs (excludes the
 /// intentionally buggy ones), for parameter sweeps.
 struct NamedProgram {

@@ -91,6 +91,9 @@ Token Lexer::lexIdentifierOrKeyword() {
       {"false", TokenKind::KwFalse},   {"and", TokenKind::KwAnd},
       {"or", TokenKind::KwOr},         {"not", TokenKind::KwNot},
       {"input", TokenKind::KwInput},   {"tag", TokenKind::KwTag},
+      {"isend", TokenKind::KwIsend},   {"irecv", TokenKind::KwIrecv},
+      {"wait", TokenKind::KwWait},     {"waitall", TokenKind::KwWaitall},
+      {"req", TokenKind::KwReq},       {"any", TokenKind::KwAny},
   };
 
   std::string Text;

@@ -95,6 +95,10 @@ private:
       case TokenKind::KwFor:
       case TokenKind::KwSend:
       case TokenKind::KwRecv:
+      case TokenKind::KwIsend:
+      case TokenKind::KwIrecv:
+      case TokenKind::KwWait:
+      case TokenKind::KwWaitall:
       case TokenKind::KwPrint:
       case TokenKind::KwEnd:
       case TokenKind::KwElse:
@@ -183,7 +187,9 @@ private:
       return Result.Prog.makeStmt<ForStmt>(Var, From, To, std::move(Body),
                                            Loc);
     }
-    case TokenKind::KwSend: {
+    case TokenKind::KwSend:
+    case TokenKind::KwIsend: {
+      bool NonBlocking = cur().is(TokenKind::KwIsend);
       take();
       const Expr *Value = parseExpr();
       if (!Value || !expect(TokenKind::Arrow))
@@ -197,31 +203,69 @@ private:
         if (!Tag)
           return nullptr;
       }
-      if (!expect(TokenKind::Semi))
+      if (!NonBlocking) {
+        if (!expect(TokenKind::Semi))
+          return nullptr;
+        return Result.Prog.makeStmt<SendStmt>(Value, Dest, Tag, Loc);
+      }
+      std::string Req;
+      if (!parseReqClause("isend", Req) || !expect(TokenKind::Semi))
         return nullptr;
-      return Result.Prog.makeStmt<SendStmt>(Value, Dest, Tag, Loc);
+      return Result.Prog.makeStmt<IsendStmt>(Value, Dest, Tag,
+                                             std::move(Req), Loc);
     }
-    case TokenKind::KwRecv: {
+    case TokenKind::KwRecv:
+    case TokenKind::KwIrecv: {
+      bool NonBlocking = cur().is(TokenKind::KwIrecv);
       take();
       if (cur().isNot(TokenKind::Identifier)) {
-        error("expected variable after 'recv'");
+        error(NonBlocking ? "expected variable after 'irecv'"
+                          : "expected variable after 'recv'");
         return nullptr;
       }
       std::string Var = take().Text;
       if (!expect(TokenKind::BackArrow))
         return nullptr;
-      const Expr *Src = parseExpr();
-      if (!Src)
-        return nullptr;
+      // `any` is the wildcard source: match a message from any sender.
+      const Expr *Src = nullptr;
+      if (!consumeIf(TokenKind::KwAny)) {
+        Src = parseExpr();
+        if (!Src)
+          return nullptr;
+      }
       const Expr *Tag = nullptr;
       if (consumeIf(TokenKind::KwTag)) {
         Tag = parseExpr();
         if (!Tag)
           return nullptr;
       }
+      if (!NonBlocking) {
+        if (!expect(TokenKind::Semi))
+          return nullptr;
+        return Result.Prog.makeStmt<RecvStmt>(Var, Src, Tag, Loc);
+      }
+      std::string Req;
+      if (!parseReqClause("irecv", Req) || !expect(TokenKind::Semi))
+        return nullptr;
+      return Result.Prog.makeStmt<IrecvStmt>(Var, Src, Tag, std::move(Req),
+                                             Loc);
+    }
+    case TokenKind::KwWait: {
+      take();
+      if (cur().isNot(TokenKind::Identifier)) {
+        error("expected request name after 'wait'");
+        return nullptr;
+      }
+      std::string Req = take().Text;
       if (!expect(TokenKind::Semi))
         return nullptr;
-      return Result.Prog.makeStmt<RecvStmt>(Var, Src, Tag, Loc);
+      return Result.Prog.makeStmt<WaitStmt>(std::move(Req), Loc);
+    }
+    case TokenKind::KwWaitall: {
+      take();
+      if (!expect(TokenKind::Semi))
+        return nullptr;
+      return Result.Prog.makeStmt<WaitallStmt>(Loc);
     }
     case TokenKind::KwPrint: {
       take();
@@ -255,6 +299,20 @@ private:
             tokenKindName(cur().Kind));
       return nullptr;
     }
+  }
+
+  /// Parses the mandatory `req <name>` clause of an isend/irecv.
+  bool parseReqClause(const char *Form, std::string &Req) {
+    if (!consumeIf(TokenKind::KwReq)) {
+      error(std::string("'") + Form + "' requires a 'req <name>' clause");
+      return false;
+    }
+    if (cur().isNot(TokenKind::Identifier)) {
+      error("expected request name after 'req'");
+      return false;
+    }
+    Req = take().Text;
+    return true;
   }
 
   /// Parses the remainder of an if statement after 'if' was consumed. Elif

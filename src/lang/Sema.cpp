@@ -29,6 +29,7 @@ public:
     collectDefs(Prog.body());
     checkBody(Prog.body());
     reportUndefinedUses();
+    reportNamespaceClashes();
   }
 
 private:
@@ -74,6 +75,9 @@ private:
         break;
       case Stmt::Kind::Recv:
         Defined.insert(cast<RecvStmt>(S)->var());
+        break;
+      case Stmt::Kind::Irecv:
+        Defined.insert(cast<IrecvStmt>(S)->var());
         break;
       case Stmt::Kind::For: {
         const auto *F = cast<ForStmt>(S);
@@ -171,14 +175,49 @@ private:
       if (isReservedName(Recv->var()))
         error(S->loc(), "cannot receive into reserved variable '" +
                             Recv->var() + "'");
-      noteUses(Recv->src());
-      checkPartnerExpr(Recv->src(), "receive source");
+      if (!Recv->isWildcard()) {
+        noteUses(Recv->src());
+        checkPartnerExpr(Recv->src(), "receive source");
+      }
       if (Recv->tag()) {
         noteUses(Recv->tag());
         checkPartnerExpr(Recv->tag(), "receive tag");
       }
       return;
     }
+    case Stmt::Kind::Isend: {
+      const auto *Send = cast<IsendStmt>(S);
+      noteUses(Send->value());
+      noteUses(Send->dest());
+      checkPartnerExpr(Send->dest(), "send destination");
+      if (Send->tag()) {
+        noteUses(Send->tag());
+        checkPartnerExpr(Send->tag(), "send tag");
+      }
+      noteRequest(Send->req(), S->loc());
+      return;
+    }
+    case Stmt::Kind::Irecv: {
+      const auto *Recv = cast<IrecvStmt>(S);
+      if (isReservedName(Recv->var()))
+        error(S->loc(), "cannot receive into reserved variable '" +
+                            Recv->var() + "'");
+      if (!Recv->isWildcard()) {
+        noteUses(Recv->src());
+        checkPartnerExpr(Recv->src(), "receive source");
+      }
+      if (Recv->tag()) {
+        noteUses(Recv->tag());
+        checkPartnerExpr(Recv->tag(), "receive tag");
+      }
+      noteRequest(Recv->req(), S->loc());
+      return;
+    }
+    case Stmt::Kind::Wait:
+      noteRequest(cast<WaitStmt>(S)->req(), S->loc());
+      return;
+    case Stmt::Kind::Waitall:
+      return;
     case Stmt::Kind::Print:
       noteUses(cast<PrintStmt>(S)->value());
       return;
@@ -194,6 +233,16 @@ private:
     csdf_unreachable("unhandled Stmt::Kind");
   }
 
+  /// Records a request-handle occurrence (isend/irecv `req r`, `wait r`).
+  /// Requests live in their own namespace; the checks are reservedness and
+  /// (later) no overlap with the scalar namespace.
+  void noteRequest(const std::string &Req, SourceLoc Loc) {
+    if (isReservedName(Req))
+      error(Loc, "cannot use reserved variable '" + Req +
+                     "' as a request name");
+    Requests.insert({Req, Loc});
+  }
+
   void reportUndefinedUses() {
     for (const auto &[Var, Loc] : Used)
       if (!Defined.count(Var))
@@ -203,9 +252,25 @@ private:
                          "the analysis");
   }
 
+  /// A name cannot be both a scalar variable and a request handle: the two
+  /// namespaces are disjoint by construction, and a clash is almost always
+  /// a confusion between the buffer and the request of an irecv.
+  void reportNamespaceClashes() {
+    std::set<std::string> ScalarNames = Defined;
+    for (const auto &[Var, Loc] : Used)
+      ScalarNames.insert(Var);
+    std::set<std::string> Reported;
+    for (const auto &[Req, Loc] : Requests)
+      if (ScalarNames.count(Req) && Reported.insert(Req).second)
+        error(Loc, "'" + Req + "' is used both as a request handle and as "
+                               "a scalar variable; the namespaces are "
+                               "disjoint");
+  }
+
   SemaResult &Result;
   std::set<std::string> Defined;
   std::set<std::pair<std::string, SourceLoc>> Used;
+  std::set<std::pair<std::string, SourceLoc>> Requests;
   unsigned Depth = 0;
   bool DepthErrorReported = false;
 };

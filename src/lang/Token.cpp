@@ -64,6 +64,18 @@ const char *csdf::tokenKindName(TokenKind Kind) {
     return "'input'";
   case TokenKind::KwTag:
     return "'tag'";
+  case TokenKind::KwIsend:
+    return "'isend'";
+  case TokenKind::KwIrecv:
+    return "'irecv'";
+  case TokenKind::KwWait:
+    return "'wait'";
+  case TokenKind::KwWaitall:
+    return "'waitall'";
+  case TokenKind::KwReq:
+    return "'req'";
+  case TokenKind::KwAny:
+    return "'any'";
   case TokenKind::LParen:
     return "'('";
   case TokenKind::RParen:

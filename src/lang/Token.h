@@ -72,6 +72,12 @@ enum class TokenKind {
   KwNot,
   KwInput,
   KwTag,
+  KwIsend,
+  KwIrecv,
+  KwWait,
+  KwWaitall,
+  KwReq,
+  KwAny,
 
   // Punctuation and operators.
   LParen,

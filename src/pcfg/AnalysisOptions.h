@@ -94,6 +94,13 @@ struct AnalysisOptions {
   /// above still apply).
   AnalysisBudget *Budget = nullptr;
 
+  /// Reports a MatchNondet bug when a wildcard receive has two or more
+  /// statically eligible senders. Disabling only suppresses the report;
+  /// the precision consequence (degrading to Top at ambiguous wildcard
+  /// matches) is unconditional because exact matching is impossible
+  /// there either way.
+  bool CheckMatchNondet = true;
+
   /// Summarizes singleton-sender send loops (`for v = lo to hi do
   /// send x -> v; end`) into one aggregated in-flight record — the
   /// Section X extension for non-blocking send loops. Requires buffered
@@ -138,6 +145,7 @@ struct AnalysisOptions {
     F += ";states=" + std::to_string(MaxStates);
     F += ";backend=" + std::to_string(static_cast<int>(Backend));
     F += ";agg=" + std::to_string(AggregateSendLoops);
+    F += ";nondet=" + std::to_string(CheckMatchNondet);
     F += ";params={";
     for (const auto &[Name, Value] : Params)
       F += Name + "=" + std::to_string(Value) + ",";

@@ -52,6 +52,9 @@ struct AnalysisBug {
     PossibleDeadlock,
     /// Send and receive on the same channel with provably different tags.
     TagMismatch,
+    /// A wildcard (`any`-source) receive with two or more statically
+    /// eligible senders: which message arrives first depends on timing.
+    MatchNondet,
   };
 
   Kind TheKind = Kind::MessageLeak;

@@ -7,6 +7,7 @@
 #include "pcfg/Engine.h"
 
 #include "cfg/LoopInfo.h"
+#include "cfg/RequestInfo.h"
 #include "lang/ExprOps.h"
 #include "pcfg/Matcher.h"
 #include "pcfg/PartnerExpr.h"
@@ -45,6 +46,8 @@ const char *csdf::analysisBugKindName(AnalysisBug::Kind Kind) {
     return "possible-deadlock";
   case AnalysisBug::Kind::TagMismatch:
     return "tag-mismatch";
+  case AnalysisBug::Kind::MatchNondet:
+    return "match-nondet";
   }
   csdf_unreachable("unhandled AnalysisBug::Kind");
 }
@@ -119,8 +122,10 @@ struct StepEffects {
 class Stepper {
 public:
   Stepper(const Cfg &Graph, const AnalysisOptions &Opts, const LoopInfo &Loops,
-          const std::set<std::string> &AssignedVars)
-      : Graph(Graph), Opts(Opts), Loops(Loops), AssignedVars(AssignedVars) {}
+          const std::set<std::string> &AssignedVars,
+          const std::map<CfgNodeId, WaitResolution> &WaitPlans)
+      : Graph(Graph), Opts(Opts), Loops(Loops), AssignedVars(AssignedVars),
+        WaitPlans(WaitPlans) {}
 
   /// Submits the initial state (the seeding half of Figure 4).
   void seed(PcfgState Init) { submit(std::move(Init)); }
@@ -1058,7 +1063,7 @@ private:
 
     CfgNodeId RecvId = Graph.branchSuccessor(BranchId, true);
     const CfgNode &Recv = Graph.node(RecvId);
-    if (Recv.Kind != CfgNodeKind::Recv)
+    if (Recv.Kind != CfgNodeKind::Recv || !Recv.Partner)
       return std::nullopt;
     const auto *Src = dyn_cast<VarRefExpr>(Recv.Partner);
     if (!Src || Src->name() != Loop.Var)
@@ -1245,8 +1250,14 @@ private:
   }
 
   /// Builds the CommDesc of a process set blocked at a send or recv node.
-  CommDesc descOfSet(const PcfgState &St, const ProcSetEntry &Set) const {
-    const CfgNode &Node = Graph.node(Set.Node);
+  /// \p Payload overrides the node supplying Partner/Tag — used for a set
+  /// blocked at a wait that completes an irecv: the set sits at the wait,
+  /// but the communication payload lives on the posting node. Evaluating
+  /// the posting's expressions at the wait is sound because resolveWait
+  /// proved partner/tag stable between post and wait.
+  CommDesc descOfSet(const PcfgState &St, const ProcSetEntry &Set,
+                     const CfgNode *Payload = nullptr) const {
+    const CfgNode &Node = Payload ? *Payload : Graph.node(Set.Node);
     CommDesc D;
     D.Node = Node.Id;
     D.Range = Set.Range;
@@ -1312,11 +1323,17 @@ private:
     if (M.ReceiverRest.After)
       M.ReceiverRest.After = Scratch(*M.ReceiverRest.After);
 
-    const CfgNode &RecvNode = Graph.node(St.Sets[RecvIdx].Node);
-    CfgNodeId RecvId = RecvNode.Id;
-    std::string RecvVar = RecvNode.Var;
+    // The set advances from the node it sits at (a recv, or a wait that
+    // completes an irecv); the received variable and the reported recv
+    // node come from the payload node (the irecv posting for waits).
+    const CfgNode &PosNode = Graph.node(St.Sets[RecvIdx].Node);
+    const CfgNode &Payload =
+        PosNode.isWaitOp() ? Graph.node(WaitPlans.at(PosNode.Id).Posting)
+                           : PosNode;
+    CfgNodeId RecvId = PosNode.Id;
+    std::string RecvVar = Payload.Var;
 
-    logMatch({SendNode, RecvId, displayRange(MIn.SProcs),
+    logMatch({SendNode, Payload.Id, displayRange(MIn.SProcs),
               displayRange(MIn.RProcs)});
 
     // Receiver side: matched piece advances, the rest stays blocked.
@@ -1457,14 +1474,190 @@ private:
     submit(std::move(St));
   }
 
+  /// Handles a wildcard (`any`-source) receive-like set \p R, whose
+  /// communication payload is \p Payload (the recv node itself, or the
+  /// irecv posting completed by a wait the set is blocked at). Counts the
+  /// statically eligible senders: with two or more, the match depends on
+  /// message timing — a MatchNondet bug is reported (when enabled) and the
+  /// analysis degrades to Top, since exact matching is impossible. With
+  /// exactly one *provable* source the wildcard is deterministic and the
+  /// match is applied. Returns true when the step was fully handled
+  /// (match applied or degraded); false when the receiver stays blocked.
+  bool tryWildcardMatch(const PcfgState &St, size_t R,
+                        const CfgNode &Payload) {
+    const ProcSetEntry &Set = St.Sets[R];
+    if (!Set.Range.provablySingleton(St.Cg)) {
+      fail(BudgetKind::None,
+           "wildcard receive at " + Graph.nodeLabel(Payload.Id) +
+               " executed by a process set not provably singleton",
+           St.configKey());
+      return true;
+    }
+    std::optional<LinearExpr> WantTag = classifyTag(St, Set, Payload.Tag);
+    if (!WantTag) {
+      fail(BudgetKind::None,
+           "cannot evaluate the tag of the wildcard receive at " +
+               Graph.nodeLabel(Payload.Id),
+           St.configKey());
+      return true;
+    }
+
+    // Tri-state tag comparison: 1 provably equal, -1 provably different,
+    // 0 unknown (mirrors the pending-tag test in aggregate matching).
+    auto TagEq = [&](const std::optional<LinearExpr> &T) -> int {
+      if (!T)
+        return 0;
+      if (St.Cg.provesEQ(*T, *WantTag))
+        return 1;
+      if (St.Cg.provesLE(T->plus(1), *WantTag) ||
+          St.Cg.provesLE(WantTag->plus(1), *T))
+        return -1;
+      return 0;
+    };
+
+    struct Candidate {
+      /// Provably the single deliverable message: singleton sender whose
+      /// destination image provably equals the receiver, tag equal.
+      bool Exact = false;
+      /// Every rank of the sender range targets one fixed destination —
+      /// a multi-rank candidate then contributes several eligible senders
+      /// all by itself.
+      bool UniformDest = false;
+      ProcRange Senders;
+      std::string Desc;
+      std::optional<size_t> Pending;
+      std::optional<size_t> SenderSet;
+      std::optional<LinearExpr> Value;
+      CfgNodeId SendNode = 0;
+    };
+    std::vector<Candidate> Cands;
+
+    // In-flight messages, FIFO order.
+    for (size_t P = 0; P < St.InFlight.size(); ++P) {
+      const PendingSend &Pend = St.InFlight[P];
+      auto Image = pendingImage(Pend);
+      if (Image && provablyDisjoint(*Image, Set.Range, St.Cg))
+        continue;
+      int TE = TagEq(Pend.Tag);
+      if (TE < 0)
+        continue;
+      Candidate C;
+      C.Pending = P;
+      C.SendNode = Pend.SendNode;
+      C.Value = Pend.Value;
+      C.Senders = Pend.Senders;
+      C.UniformDest = !Pend.IsAggregate && Pend.DestUniform.has_value();
+      C.Desc = displayRange(Pend.Senders);
+      C.Exact = TE > 0 && !Pend.IsAggregate && Image &&
+                Pend.Senders.provablySingleton(St.Cg) &&
+                provablyEqual(*Image, Set.Range, St.Cg);
+      Cands.push_back(std::move(C));
+    }
+
+    // Process sets blocked at send nodes (blocking semantics).
+    if (Opts.Sends == SendSemantics::Blocking) {
+      for (size_t S = 0; S < St.Sets.size(); ++S) {
+        if (S == R || Graph.node(St.Sets[S].Node).Kind != CfgNodeKind::Send)
+          continue;
+        CommDesc SendD = descOfSet(St, St.Sets[S]);
+        std::optional<ProcRange> Image;
+        if (SendD.Partner.isUniform())
+          Image = ProcRange(SymBound(SendD.Partner.Value),
+                            SymBound(SendD.Partner.Value));
+        else if (SendD.Partner.isIdPlusC())
+          Image = SendD.Range.shifted(SendD.Partner.Offset);
+        if (Image && provablyDisjoint(*Image, Set.Range, St.Cg))
+          continue;
+        int TE = TagEq(SendD.Tag);
+        if (TE < 0)
+          continue;
+        Candidate C;
+        C.SenderSet = S;
+        C.SendNode = SendD.Node;
+        C.Senders = St.Sets[S].Range;
+        C.UniformDest = SendD.Partner.isUniform();
+        C.Desc = displayRange(St.Sets[S].Range);
+        C.Exact = TE > 0 && Image &&
+                  St.Sets[S].Range.provablySingleton(St.Cg) &&
+                  provablyEqual(*Image, Set.Range, St.Cg);
+        const CfgNode &SendNode = Graph.node(St.Sets[S].Node);
+        PartnerExpr V = classify(St, St.Sets[S], SendNode.Value);
+        if (V.isUniform())
+          C.Value = V.Value;
+        Cands.push_back(std::move(C));
+      }
+    }
+
+    if (Cands.empty())
+      return false; // Nothing eligible yet; stays blocked.
+
+    if (Cands.size() == 1 && Cands[0].Exact) {
+      const Candidate &C = Cands[0];
+      MatchResult M;
+      M.SProcs = C.Pending ? St.InFlight[*C.Pending].Senders
+                           : St.Sets[*C.SenderSet].Range;
+      M.RProcs = Set.Range;
+      M.SenderFull = true;
+      M.ReceiverFull = true;
+      if (C.Pending && !fifoSafe(St, *C.Pending, M))
+        return false;
+      applyMatch(St, C.SenderSet, C.Pending, R, M, C.Value, C.SendNode);
+      return true;
+    }
+
+    // Several candidates, or one that is not provably the unique source.
+    // Distinct candidates each contribute at least one eligible sender; a
+    // single multi-rank candidate whose every rank targets one fixed
+    // destination provably contributes two or more on its own.
+    bool AtLeastTwo = Cands.size() >= 2;
+    if (!AtLeastTwo && Cands[0].UniformDest)
+      AtLeastTwo = St.Cg.provesLE(Cands[0].Senders.lb().primary().plus(1),
+                                  Cands[0].Senders.ub().primary());
+    if (Opts.CheckMatchNondet && AtLeastTwo) {
+      std::string Detail = "wildcard receive at " +
+                           Graph.nodeLabel(Payload.Id) +
+                           " can match messages from senders ";
+      for (size_t I = 0; I < Cands.size(); ++I)
+        Detail += (I ? ", " : "") + Cands[I].Desc;
+      Detail += "; which message arrives first depends on timing";
+      StepEffects::Item It;
+      It.K = StepEffects::Item::Kind::Leak;
+      It.Leak = {AnalysisBug::Kind::MatchNondet, Payload.Id, SourceLoc(),
+                 std::move(Detail)};
+      Fx.Items.push_back(std::move(It));
+    }
+    fail(BudgetKind::None,
+         "wildcard receive at " + Graph.nodeLabel(Payload.Id) +
+             " cannot be matched deterministically (no provably unique "
+             "sender)",
+         St.configKey());
+    return true;
+  }
+
   /// Figure 4's matchSendsRecvs: scans sender/receiver candidates and
   /// applies the first provable match. Returns true when one was applied.
+  /// Receive candidates are recv nodes and wait/waitall nodes statically
+  /// resolved to complete exactly one irecv (wait-as-recv).
   bool tryMatching(const PcfgState &St) {
     // Receiver candidates.
     for (size_t R = 0; R < St.Sets.size(); ++R) {
-      if (Graph.node(St.Sets[R].Node).Kind != CfgNodeKind::Recv)
+      const CfgNode &SetNode = Graph.node(St.Sets[R].Node);
+      const CfgNode *Payload = &SetNode;
+      if (SetNode.isWaitOp()) {
+        auto It = WaitPlans.find(SetNode.Id);
+        if (It == WaitPlans.end() ||
+            It->second.Result != WaitResolution::Kind::AsRecv)
+          continue;
+        Payload = &Graph.node(It->second.Posting);
+      } else if (SetNode.Kind != CfgNodeKind::Recv) {
         continue;
-      CommDesc RecvD = descOfSet(St, St.Sets[R]);
+      }
+      if (!Payload->Partner) {
+        if (tryWildcardMatch(St, R, *Payload))
+          return true;
+        continue;
+      }
+      CommDesc RecvD = descOfSet(St, St.Sets[R], Payload);
 
       // Buffered: in-flight sends in FIFO order.
       for (size_t P = 0; P < St.InFlight.size(); ++P) {
@@ -1582,6 +1775,35 @@ private:
             break;
           }
           continue; // Blocking send: blocked.
+        case CfgNodeKind::Isend:
+          // Isend is non-blocking by definition: it deposits an in-flight
+          // message and advances even under blocking-send semantics. The
+          // node payload is identical to Send, so emitSend applies as-is.
+          if (!emitSend(St, I))
+            return Moved;
+          break;
+        case CfgNodeKind::Irecv:
+          // Posting is a no-op for the abstraction: the receive happens at
+          // the matching wait (WaitPlans resolved it statically).
+          St.Sets[I].Node = Graph.soleSuccessor(Node.Id);
+          break;
+        case CfgNodeKind::Wait:
+        case CfgNodeKind::Waitall: {
+          const WaitResolution &Plan = WaitPlans.at(Node.Id);
+          if (Plan.Result == WaitResolution::Kind::NoOp) {
+            // All completed requests were isends: already in flight.
+            St.Sets[I].Node = Graph.soleSuccessor(Node.Id);
+            break;
+          }
+          if (Plan.Result == WaitResolution::Kind::Imprecise) {
+            fail(BudgetKind::None,
+                 "cannot model " + Graph.nodeLabel(Node.Id) + ": " +
+                     Plan.Why,
+                 St.configKey());
+            return Moved;
+          }
+          continue; // AsRecv: blocks until matched like a receive.
+        }
         case CfgNodeKind::Branch: // Handled by the caller (forks).
         case CfgNodeKind::Recv:
         case CfgNodeKind::Exit:
@@ -1659,7 +1881,7 @@ public:
     Fx.StuckBugs.clear();
     for (const ProcSetEntry &Set : Cur.Sets) {
       const CfgNode &Node = Graph.node(Set.Node);
-      if (Node.isCommOp())
+      if (Node.isCommOp() || Node.isWaitOp())
         Fx.StuckBugs.push_back(
             {AnalysisBug::Kind::PossibleDeadlock, Node.Id, SourceLoc(),
              Set.Range.str() + " blocked forever at " +
@@ -1676,6 +1898,9 @@ private:
   const AnalysisOptions &Opts;
   const LoopInfo &Loops;
   const std::set<std::string> &AssignedVars;
+  /// Static wait resolution, one entry per wait/waitall node (computed
+  /// once by the Engine; see WaitResolution).
+  const std::map<CfgNodeId, WaitResolution> &WaitPlans;
   /// The ordered effect log this step is accumulating.
   StepEffects Fx;
   /// Local mirror of the engine's topped-out flag for intra-step control
@@ -1698,8 +1923,16 @@ public:
   Engine(const Cfg &Graph, const AnalysisOptions &Opts, StatsRegistry *Stats)
       : Graph(Graph), Opts(Opts), Stats(Stats), Loops(Graph) {
     for (const CfgNode &N : Graph.nodes())
-      if (N.Kind == CfgNodeKind::Assign || N.Kind == CfgNodeKind::Recv)
+      if (N.Kind == CfgNodeKind::Assign || N.Kind == CfgNodeKind::Recv ||
+          N.Kind == CfgNodeKind::Irecv)
         AssignedVars.insert(N.Var);
+    // Resolve every wait/waitall statically once: which posting it
+    // completes and whether it behaves as a no-op, a receive, or is
+    // beyond the abstraction (degrades to Top when reached).
+    RequestInfo Requests = RequestInfo::compute(Graph);
+    for (const CfgNode &N : Graph.nodes())
+      if (N.isWaitOp())
+        WaitPlans.emplace(N.Id, Requests.resolveWait(N.Id));
   }
 
   AnalysisResult run();
@@ -1784,6 +2017,8 @@ private:
   StatsRegistry *Stats;
   LoopInfo Loops;
   std::set<std::string> AssignedVars;
+  /// Static wait resolution, one entry per wait/waitall node.
+  std::map<CfgNodeId, WaitResolution> WaitPlans;
   /// Interned configuration keys -> dense ids into Configs.
   std::unordered_map<std::string, std::uint32_t> ConfigIds;
   std::vector<ConfigEntry> Configs;
@@ -1890,7 +2125,7 @@ void Engine::commitEffects(StepEffects &Fx) {
 /// Runs one Stepper over \p Cur, capturing any exception into the log so
 /// the mutations that preceded it still commit in order.
 StepEffects Engine::computeStep(const PcfgState &Cur, unsigned TraceId) const {
-  Stepper S(Graph, Opts, Loops, AssignedVars);
+  Stepper S(Graph, Opts, Loops, AssignedVars, WaitPlans);
   StepEffects Fx;
   try {
     S.step(Cur, TraceId);
@@ -2041,7 +2276,7 @@ void Engine::explore() {
     Init.Facts.addRewrite(Name, Poly(Value));
   }
   {
-    Stepper S(Graph, Opts, Loops, AssignedVars);
+    Stepper S(Graph, Opts, Loops, AssignedVars, WaitPlans);
     StepEffects Fx;
     try {
       S.seed(std::move(Init));

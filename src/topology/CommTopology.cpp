@@ -67,6 +67,17 @@ ClassifiedPattern classifyPair(const Cfg &Graph, CfgNodeId SendId,
   P.SendNode = SendId;
   P.RecvNode = RecvId;
 
+  // Wildcard (`any`-source) receive: there is no source expression to
+  // classify against; the match was proved unique by the engine.
+  if (!Recv.Partner) {
+    auto DestConst = foldConstant(Send.Partner);
+    P.Kind = DestConst ? PatternKind::PointToPoint : PatternKind::Unknown;
+    P.Description =
+        "any-source receive matched with send to " +
+        exprToString(Send.Partner);
+    return P;
+  }
+
   auto DestShift = matchIdPlusC(Send.Partner);
   auto SrcShift = matchIdPlusC(Recv.Partner);
   if (DestShift && SrcShift && *DestShift + *SrcShift == 0 &&

@@ -1,0 +1,212 @@
+//===- tests/analysis/RequestCheckTest.cpp - Request-lifecycle checker -----===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests for the request-lifecycle detectors (analysis/RequestCheck):
+// buffer-race, request-leak (never-waited and re-post), double-wait and
+// wait-uninit, each with a buggy program and its clean twin, plus the
+// per-pass --disable gating and the "no requests, no work" fast path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RequestCheck.h"
+
+#include "analysis/Lint.h"
+#include "cfg/CfgBuilder.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace csdf;
+
+namespace {
+
+/// Runs just the request-lifecycle checkers and returns the pass names of
+/// everything reported, in emission order.
+std::vector<std::string> checksOn(const std::string &Source,
+                                  LintOptions Opts = LintOptions()) {
+  Program P = parseProgramOrDie(Source);
+  Cfg Graph = buildCfg(P);
+  DiagnosticEngine Diags;
+  runRequestChecks(Graph, Opts, Diags);
+  std::vector<std::string> Passes;
+  for (const Diagnostic &D : Diags.diagnostics())
+    Passes.push_back(D.Pass);
+  return Passes;
+}
+
+bool reports(const std::vector<std::string> &Passes, const char *Pass) {
+  for (const std::string &Got : Passes)
+    if (Got == Pass)
+      return true;
+  return false;
+}
+
+//===--------------------------------------------------------------------===//
+// buffer-race
+//===--------------------------------------------------------------------===//
+
+TEST(RequestCheck, ReadOfInFlightIrecvBufferIsARace) {
+  std::vector<std::string> Passes = checksOn(R"mpl(
+irecv x <- 1 req r;
+print x;
+wait r;
+)mpl");
+  EXPECT_TRUE(reports(Passes, "buffer-race"));
+}
+
+TEST(RequestCheck, WriteToInFlightIrecvBufferIsARace) {
+  std::vector<std::string> Passes = checksOn(R"mpl(
+irecv x <- 1 req r;
+x = 5;
+wait r;
+)mpl");
+  EXPECT_TRUE(reports(Passes, "buffer-race"));
+}
+
+TEST(RequestCheck, BufferUseAfterWaitIsClean) {
+  std::vector<std::string> Passes = checksOn(R"mpl(
+irecv x <- 1 req r;
+wait r;
+print x;
+x = x + 1;
+)mpl");
+  EXPECT_FALSE(reports(Passes, "buffer-race"));
+}
+
+TEST(RequestCheck, UnrelatedVariableIsNotARace) {
+  std::vector<std::string> Passes = checksOn(R"mpl(
+irecv x <- 1 req r;
+y = 5;
+print y;
+wait r;
+)mpl");
+  EXPECT_FALSE(reports(Passes, "buffer-race"));
+}
+
+//===--------------------------------------------------------------------===//
+// request-leak
+//===--------------------------------------------------------------------===//
+
+TEST(RequestCheck, NeverWaitedRequestLeaks) {
+  std::vector<std::string> Passes = checksOn(R"mpl(
+irecv x <- 1 req r;
+print id;
+)mpl");
+  EXPECT_TRUE(reports(Passes, "request-leak"));
+}
+
+TEST(RequestCheck, LeakOnOnePathOnlyIsStillALeak) {
+  std::vector<std::string> Passes = checksOn(R"mpl(
+isend 1 -> 1 req r;
+if id == 0 then
+  wait r;
+end
+)mpl");
+  EXPECT_TRUE(reports(Passes, "request-leak"));
+}
+
+TEST(RequestCheck, RepostWithoutWaitLeaksTheFirstPosting) {
+  std::vector<std::string> Passes = checksOn(R"mpl(
+isend 1 -> 1 req r;
+isend 2 -> 1 req r;
+wait r;
+)mpl");
+  EXPECT_TRUE(reports(Passes, "request-leak"));
+}
+
+TEST(RequestCheck, WaitThenRepostIsClean) {
+  std::vector<std::string> Passes = checksOn(R"mpl(
+isend 1 -> 1 req r;
+wait r;
+isend 2 -> 1 req r;
+wait r;
+)mpl");
+  EXPECT_FALSE(reports(Passes, "request-leak"));
+}
+
+TEST(RequestCheck, WaitallCompletesEveryRequest) {
+  std::vector<std::string> Passes = checksOn(R"mpl(
+isend 1 -> 1 req a;
+isend 2 -> 2 req b;
+waitall;
+)mpl");
+  EXPECT_FALSE(reports(Passes, "request-leak"));
+}
+
+//===--------------------------------------------------------------------===//
+// double-wait / wait-uninit
+//===--------------------------------------------------------------------===//
+
+TEST(RequestCheck, SecondWaitOnSameRequestIsDoubleWait) {
+  std::vector<std::string> Passes = checksOn(R"mpl(
+isend 1 -> 1 req r;
+wait r;
+wait r;
+)mpl");
+  EXPECT_TRUE(reports(Passes, "double-wait"));
+}
+
+TEST(RequestCheck, WaitBeforeAnyPostingIsUninit) {
+  std::vector<std::string> Passes = checksOn(R"mpl(
+wait r;
+irecv x <- 1 req r;
+wait r;
+)mpl");
+  EXPECT_TRUE(reports(Passes, "wait-uninit"));
+}
+
+TEST(RequestCheck, WaitPostedOnOnlyOnePathIsUninit) {
+  std::vector<std::string> Passes = checksOn(R"mpl(
+if id == 0 then
+  isend 1 -> 1 req r;
+end
+wait r;
+)mpl");
+  EXPECT_TRUE(reports(Passes, "wait-uninit"));
+}
+
+TEST(RequestCheck, StraightLinePostWaitIsClean) {
+  std::vector<std::string> Passes = checksOn(R"mpl(
+isend 1 -> 1 req r;
+wait r;
+)mpl");
+  EXPECT_TRUE(Passes.empty()) << Passes.front();
+}
+
+//===--------------------------------------------------------------------===//
+// Gating
+//===--------------------------------------------------------------------===//
+
+TEST(RequestCheck, DisabledPassesStaySilent) {
+  const std::string Buggy = R"mpl(
+irecv x <- 1 req r;
+print x;
+)mpl";
+  LintOptions Opts;
+  Opts.Disabled = {"buffer-race", "request-leak", "double-wait",
+                   "wait-uninit"};
+  EXPECT_TRUE(checksOn(Buggy, Opts).empty());
+
+  // Disabling one check must not mute its neighbours.
+  LintOptions OnlyRace;
+  OnlyRace.Disabled = {"request-leak"};
+  std::vector<std::string> Passes = checksOn(Buggy, OnlyRace);
+  EXPECT_TRUE(reports(Passes, "buffer-race"));
+  EXPECT_FALSE(reports(Passes, "request-leak"));
+}
+
+TEST(RequestCheck, ProgramsWithoutRequestsReportNothing) {
+  EXPECT_TRUE(checksOn(R"mpl(
+send 1 -> 1;
+recv x <- 1;
+print x;
+)mpl").empty());
+}
+
+} // namespace

@@ -66,7 +66,7 @@ TEST(RequestOptionsTest, SharedFlagsParseEverywhereTheSame) {
                         "--param",         "rows=3", "--threads",  "2",
                         "--max-states",    "500",    "--deadline-ms", "250",
                         "--max-memory-mb", "64",     "--prover-steps", "9000",
-                        "--test-hooks"};
+                        "--test-hooks",    "--no-match-nondet"};
   int Argc = static_cast<int>(std::size(Argv));
   api::RequestOptions Opts;
   std::string Error;
@@ -84,9 +84,11 @@ TEST(RequestOptionsTest, SharedFlagsParseEverywhereTheSame) {
   EXPECT_EQ(Opts.MaxMemoryMb, 64u);
   EXPECT_EQ(Opts.ProverSteps, 9000u);
   EXPECT_TRUE(Opts.TestHooks);
+  EXPECT_FALSE(Opts.CheckMatchNondet);
 
   // The resolved engine/session options reflect the overrides.
   AnalysisOptions An = Opts.analysis();
+  EXPECT_FALSE(An.CheckMatchNondet);
   EXPECT_EQ(An.FixedNp, 6);
   EXPECT_EQ(An.Threads, 2u);
   EXPECT_EQ(An.MaxStates, 500u);
@@ -131,7 +133,8 @@ TEST(RequestOptionsTest, JsonSpellingMatchesFlagSpelling) {
                         "\"params\": {\"rows\": 2}, \"threads\": 3, "
                         "\"max_states\": 10, \"deadline_ms\": 100, "
                         "\"max_memory_mb\": 32, \"prover_steps\": 7, "
-                        "\"test_hooks\": true}",
+                        "\"test_hooks\": true, "
+                        "\"check_match_nondet\": false}",
                         Json, Error))
       << Error;
   api::RequestOptions Opts;
@@ -145,6 +148,7 @@ TEST(RequestOptionsTest, JsonSpellingMatchesFlagSpelling) {
   EXPECT_EQ(Opts.MaxMemoryMb, 32u);
   EXPECT_EQ(Opts.ProverSteps, 7u);
   EXPECT_TRUE(Opts.TestHooks);
+  EXPECT_FALSE(Opts.CheckMatchNondet);
 
   // Typos and type mismatches are rejected, not silently defaulted.
   auto Fails = [](const char *Text) {
@@ -160,6 +164,7 @@ TEST(RequestOptionsTest, JsonSpellingMatchesFlagSpelling) {
   Fails("{\"client\": \"zap\"}");        // unknown preset
   Fails("{\"threads\": \"two\"}");       // type mismatch
   Fails("{\"fixed_np\": 0}");            // out of range
+  Fails("{\"check_match_nondet\": 3}");  // not a bool
   Fails("{\"params\": {\"rows\": \"x\"}}");
   Fails("[1]");                          // not an object
 }
@@ -186,6 +191,9 @@ TEST(RequestOptionsTest, FingerprintSeparatesSemanticallyDifferentRequests) {
   Differs([](api::RequestOptions &O) { O.MaxMemoryMb = 64; });
   Differs([](api::RequestOptions &O) { O.ProverSteps = 10; });
   Differs([](api::RequestOptions &O) { O.TestHooks = true; });
+  // Detector toggles must key the serve cache: a cached result computed
+  // with the check on would otherwise be replayed after it is turned off.
+  Differs([](api::RequestOptions &O) { O.CheckMatchNondet = false; });
 
   // Threads is excluded by design: results are bit-identical at any
   // worker count, so a cache hit across thread counts is correct.

@@ -171,6 +171,44 @@ TEST(ServeTest, CacheHitsReturnIdenticalBytes) {
   EXPECT_EQ(Server.cacheEntries(), 2u);
 }
 
+TEST(ServeTest, DetectorTogglesAreCacheKeysNotStaleHits) {
+  // Regression: toggling a detector must never replay a cached result that
+  // was computed with the old setting. The wildcard-race program reports a
+  // match-nondet bug by default; with check_match_nondet off the same
+  // (path, source) pair must be a cache miss and carry no such bug.
+  ServeOptions SOpts;
+  ServeServer Server(SOpts);
+  const std::string Source =
+      "if id == 0 then\\n  recv x <- any;\\n  recv y <- any;\\n"
+      "  print x + y;\\nelse\\n  if id < 3 then\\n    send id -> 0;\\n"
+      "  end\\nend\\n";
+  const std::string Common =
+      "\"type\": \"lint\", \"path\": \"race.mpl\", \"source\": \"" +
+      Source + "\"";
+
+  std::string On = request(Server, "{" + Common + "}");
+  EXPECT_FALSE(parsed(On).get("cached")->asBool());
+  EXPECT_NE(rawResult(On).find("match-nondet"), std::string::npos) << On;
+
+  std::string Off = request(
+      Server,
+      "{" + Common + ", \"options\": {\"check_match_nondet\": false}}");
+  EXPECT_FALSE(parsed(Off).get("cached")->asBool())
+      << "detector toggle must miss the cache, not replay the old result";
+  EXPECT_EQ(rawResult(Off).find("match-nondet"), std::string::npos) << Off;
+  EXPECT_EQ(Server.cacheEntries(), 2u);
+
+  // Both variants stay independently cached and replay their own bytes.
+  std::string OnAgain = request(Server, "{" + Common + "}");
+  EXPECT_TRUE(parsed(OnAgain).get("cached")->asBool());
+  EXPECT_EQ(rawResult(OnAgain), rawResult(On));
+  std::string OffAgain = request(
+      Server,
+      "{" + Common + ", \"options\": {\"check_match_nondet\": false}}");
+  EXPECT_TRUE(parsed(OffAgain).get("cached")->asBool());
+  EXPECT_EQ(rawResult(OffAgain), rawResult(Off));
+}
+
 TEST(ServeTest, LruEvictsAtCapacity) {
   ServeOptions SOpts;
   SOpts.CacheCapacity = 2;

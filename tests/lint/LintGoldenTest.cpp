@@ -68,6 +68,48 @@ TEST(LintGolden, EveryExampleMatchesGolden) {
   }
 }
 
+/// SARIF goldens: every tests/lint/golden/*.sarif is diffed against a fresh
+/// library-level render (rule catalog included) of its example. Regenerate
+/// with `csdf lint <f> --format sarif` from examples/mpl, mirroring the
+/// JSON recipe above.
+TEST(LintGolden, SarifGoldensMatchAndCarryRuleMetadata) {
+  const fs::path Examples = CSDF_EXAMPLES_DIR;
+  const fs::path Golden = CSDF_LINT_GOLDEN_DIR;
+
+  std::vector<fs::path> Goldens;
+  for (const fs::directory_entry &E : fs::directory_iterator(Golden))
+    if (E.path().extension() == ".sarif")
+      Goldens.push_back(E.path());
+  std::sort(Goldens.begin(), Goldens.end());
+  ASSERT_GE(Goldens.size(), 9u)
+      << "the non-blocking corpus ships with at least nine SARIF goldens";
+
+  for (const fs::path &GoldenFile : Goldens) {
+    SCOPED_TRACE(GoldenFile.filename().string());
+    fs::path Example = Examples / GoldenFile.stem();
+    Example += ".mpl";
+    ASSERT_TRUE(fs::exists(Example))
+        << "SARIF golden without a matching example";
+
+    DiagnosticEngine Diags;
+    lintSource(readFileOrDie(Example), LintOptions(), Diags);
+    std::string Actual =
+        renderDiagsSarif(Diags.diagnostics(),
+                         Example.filename().string(), lintRuleDocs());
+    EXPECT_EQ(readFileOrDie(GoldenFile), Actual);
+
+    // Every golden embeds the full rule catalog with documentation links.
+    for (const char *Rule :
+         {"csdf.buffer-race", "csdf.request-leak", "csdf.double-wait",
+          "csdf.wait-uninit", "csdf.match-nondet"})
+      EXPECT_NE(Actual.find(std::string("\"id\":\"") + Rule + "\""),
+                std::string::npos)
+          << Rule;
+    EXPECT_NE(Actual.find("\"helpUri\":"), std::string::npos);
+    EXPECT_NE(Actual.find("\"fullDescription\":"), std::string::npos);
+  }
+}
+
 /// The acceptance-criteria check: the message leak in leak.mpl is reported
 /// with its real source position (the second send, line 6 column 3).
 TEST(LintGolden, LeakHasPreciseLocation) {

@@ -90,6 +90,9 @@ std::vector<corpus::NamedProgram> sweepPrograms() {
   Progs.push_back({"head-to-head-deadlock", corpus::headToHeadDeadlock()});
   Progs.push_back({"tag-mismatch", corpus::tagMismatch()});
   Progs.push_back({"ring-shift", corpus::ringShift()});
+  Progs.push_back({"buffer-race", corpus::bufferRace()});
+  Progs.push_back({"request-leak", corpus::requestLeak()});
+  Progs.push_back({"wildcard-race", corpus::wildcardRace()});
   return Progs;
 }
 

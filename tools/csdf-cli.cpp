@@ -34,6 +34,8 @@
 //                               the analysis degrades to Top, not a hang
 //   --max-memory-mb N           soft ceiling on live DBM bytes
 //   --prover-steps N            HSM prover search-step budget
+//   --no-match-nondet           suppress match-nondet reports at wildcard
+//                               receives (Top degradation still applies)
 //   --test-hooks                honor `# csdf-test:` failure injection
 //
 // Interpreter options (run, analyze --validate):
@@ -144,6 +146,8 @@ void usage() {
                "results at any N)\n"
                "  --max-states N   engine state budget\n"
                "  --deadline-ms N  --max-memory-mb N  --prover-steps N\n"
+               "  --no-match-nondet  do not report wildcard receives with "
+               "multiple senders\n"
                "interpreter options:\n"
                "  --np N  --scheduler rr|lifo|random  --seed N\n"
                "  --validate  --stats\n"
@@ -334,6 +338,19 @@ int cmdRun(const Cfg &Graph, const CliOptions &Cli) {
     std::printf("LEAK: %d -> %d value %lld (sent at %s)\n", L.Sender,
                 L.Receiver, static_cast<long long>(L.Value),
                 Graph.nodeLabel(L.SendNode).c_str());
+  for (const LeakedRequest &L : R.RequestLeaks)
+    std::printf("REQUEST LEAK: rank %d never waited on '%s' (posted at "
+                "%s)\n",
+                L.Rank, L.Req.c_str(), Graph.nodeLabel(L.PostNode).c_str());
+  for (const NondetWitness &W : R.NondetWitnesses) {
+    std::string Senders;
+    for (int S : W.EligibleSenders)
+      Senders += (Senders.empty() ? "" : ", ") + std::to_string(S);
+    std::printf("NONDET: rank %d wildcard receive at %s had %zu eligible "
+                "senders {%s}\n",
+                W.Receiver, Graph.nodeLabel(W.RecvNode).c_str(),
+                W.EligibleSenders.size(), Senders.c_str());
+  }
   for (int Rank : R.BlockedRanks)
     std::printf("BLOCKED: rank %d never finished\n", Rank);
   return R.finished() ? 0 : 1;
@@ -509,7 +526,7 @@ int cmdLint(const std::string &Source, const CliOptions &Cli) {
   if (Cli.Format == "json")
     Out = renderDiagsJson(R.Diagnostics, Cli.File);
   else if (Cli.Format == "sarif")
-    Out = renderDiagsSarif(R.Diagnostics, Cli.File, lintRuleDescriptions());
+    Out = renderDiagsSarif(R.Diagnostics, Cli.File, lintRuleDocs());
   else
     Out = renderDiagsText(R.Diagnostics, Cli.File, Source);
   std::fputs(Out.c_str(), stdout);

@@ -41,14 +41,20 @@ namespace {
 /// Splicing fragments that steer mutants toward interesting shapes
 /// (communication statements, nesting, budget-stressing loops).
 const char *Fragments[] = {
-    "send(id + 1, x);\n",
-    "y = recv(id - 1);\n",
-    "if (id == 0) {\n",
-    "}\n",
-    "while (i < np) {\n i = i + 1;\n",
+    "send x -> id + 1;\n",
+    "recv y <- id - 1;\n",
+    "recv y <- any;\n",
+    "isend x -> id + 1 req r;\n",
+    "irecv y <- id - 1 req r;\n",
+    "irecv y <- any tag 3 req r;\n",
+    "wait r;\n",
+    "waitall;\n",
+    "if id == 0 then\n",
+    "end\n",
+    "while i < np do\n i = i + 1;\n",
     "x = x * 2 + id;\n",
-    "print(x);\n",
-    "assume(np == 2 * half);\n",
+    "print x;\n",
+    "assume np == 2 * half;\n",
 };
 
 std::string mutate(const std::string &Base, std::mt19937_64 &Rng) {
@@ -124,6 +130,9 @@ int main(int Argc, char **Argv) {
   Bases.push_back(corpus::headToHeadDeadlock());
   Bases.push_back(corpus::tagMismatch());
   Bases.push_back(corpus::ringShift());
+  Bases.push_back(corpus::bufferRace());
+  Bases.push_back(corpus::requestLeak());
+  Bases.push_back(corpus::wildcardRace());
 
   std::mt19937_64 Rng(Seed);
   auto Start = std::chrono::steady_clock::now();
