@@ -1,0 +1,192 @@
+//===- bench/bench_incremental.cpp - Edit-loop cost: cold vs seeded --------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the editor scenario the incremental pipeline exists for: a
+// program with many communication phases, the user edits one small
+// procedure, and the analyzer re-answers. A cold run pays the full
+// fixpoint over every phase each time; analyzeIncremental re-runs with
+// the prior engine trace attached as a seed, so worklist steps of
+// untouched phases are adopted (validated, not recomputed). Programs are
+// synthesized as N scatter phases plus a small `report` procedure; the
+// edit loop flips a literal inside report — a variable-preserving
+// single-procedure edit, so the seed is accepted and everything up to the
+// first report state adopts. The process count is fixed (np=12) so the
+// phase loops iterate concretely: no widening revisits, which would land
+// after the edited procedure's first worklist appearance and close the
+// adoption window early (trace adoption is positional and stops for good
+// at the first divergent step).
+//
+// Reports cold vs incremental microseconds per revision and the adoption
+// fraction for N in {8, 16, 24, 32}. `--json PATH` writes the curve;
+// BENCH_incremental.json in the repo root is this file's committed output
+// from the development container. Exit 1 when the largest size fails to
+// clear a 5x speedup — the number the docs claim.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Csdf.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace csdf;
+
+namespace {
+
+double nowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// N scatter phases, each its own procedure, called in sequence, then a
+/// small `report` procedure. \p Tweak perturbs a literal in report's
+/// body: same variables, same communication structure, different
+/// constant — the smallest single-procedure edit an editor session
+/// produces.
+std::string phasedProgram(unsigned Phases, unsigned Tweak) {
+  std::string Src;
+  for (unsigned P = 0; P < Phases; ++P) {
+    std::string V = "a" + std::to_string(P);
+    Src += "proc phase" + std::to_string(P) + " do\n";
+    Src += "  if id == 0 then\n";
+    Src += "    " + V + " = " + std::to_string(P) + ";\n";
+    Src += "    for i = 1 to np - 1 do\n";
+    Src += "      send " + V + " -> i;\n";
+    Src += "    end\n";
+    Src += "  else\n";
+    Src += "    recv " + V + " <- 0;\n";
+    Src += "  end\n";
+    Src += "end\n";
+  }
+  Src += "proc report do\n";
+  Src += "  if id == 0 then\n";
+  Src += "    r = " + std::to_string(Tweak) + ";\n";
+  Src += "    print r;\n";
+  Src += "  end\n";
+  Src += "end\n";
+  for (unsigned P = 0; P < Phases; ++P)
+    Src += "call phase" + std::to_string(P) + ";\n";
+  Src += "call report;\n";
+  return Src;
+}
+
+struct Point {
+  unsigned Phases = 0;
+  double ColdUs = 0;
+  double IncUs = 0;
+  double AdoptedFrac = 0;
+  double speedup() const { return IncUs > 0 ? ColdUs / IncUs : 0; }
+};
+
+Point measure(unsigned Phases, unsigned Revisions) {
+  Point Pt;
+  Pt.Phases = Phases;
+
+  // Cold: a fresh one-shot Analyzer per revision (what `csdf analyze`
+  // pays, minus process startup).
+  {
+    double Start = nowUs();
+    for (unsigned R = 0; R < Revisions; ++R) {
+      api::Analyzer An;
+      api::AnalyzeRequest Req;
+      Req.Path = "phased.mpl";
+      Req.Source = phasedProgram(Phases, R);
+      Req.Options.FixedNp = 12;
+      An.analyze(Req);
+    }
+    Pt.ColdUs = (nowUs() - Start) / Revisions;
+  }
+
+  // Incremental: one editor session. The first revision is the untimed
+  // warm-up that records the trace; every timed revision is a fresh edit
+  // (never an exact cache repeat) re-analyzed with the prior seed.
+  {
+    api::Analyzer An(api::AnalyzerConfig::warm());
+    api::AnalyzeRequest Req;
+    Req.Path = "phased.mpl";
+    Req.Options.FixedNp = 12;
+    Req.Source = phasedProgram(Phases, 9999);
+    An.analyzeIncremental(Req);
+
+    std::uint64_t Adopted = 0, Total = 0;
+    double Start = nowUs();
+    for (unsigned R = 0; R < Revisions; ++R) {
+      Req.Source = phasedProgram(Phases, R);
+      api::AnalyzeResponse Resp = An.analyzeIncremental(Req);
+      Adopted += Resp.Replay.AdoptedSteps;
+      Total += Resp.Replay.TotalSteps;
+    }
+    Pt.IncUs = (nowUs() - Start) / Revisions;
+    Pt.AdoptedFrac = Total ? static_cast<double>(Adopted) / Total : 0;
+  }
+  return Pt;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json" && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", Argv[0]);
+      return 2;
+    }
+  }
+
+  const unsigned Sizes[] = {8, 16, 24, 32};
+  const unsigned Revisions = 8;
+
+  std::printf("=== incremental pipeline: edit-loop cost, cold vs seeded ===\n");
+  std::printf("N scatter phases at np=12; each revision edits a literal in "
+              "the report procedure (%u revisions)\n\n",
+              Revisions);
+  std::printf("%8s %14s %14s %10s %10s\n", "phases", "cold us/rev",
+              "incr us/rev", "speedup", "adopted");
+
+  std::vector<Point> Curve;
+  for (unsigned N : Sizes) {
+    Point Pt = measure(N, Revisions);
+    std::printf("%8u %14.1f %14.1f %9.1fx %9.1f%%\n", Pt.Phases, Pt.ColdUs,
+                Pt.IncUs, Pt.speedup(), Pt.AdoptedFrac * 100);
+    Curve.push_back(Pt);
+  }
+
+  double BestSpeedup = Curve.back().speedup();
+  bool Cleared = BestSpeedup >= 5.0;
+  std::printf("\nlargest size speedup: %.1fx (%s the 5x bar)\n", BestSpeedup,
+              Cleared ? "clears" : "MISSES");
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    Out << "{\n  \"bench\": \"incremental\",\n  \"revisions\": " << Revisions
+        << ",\n  \"curve\": [\n";
+    char Buf[256];
+    for (std::size_t I = 0; I < Curve.size(); ++I) {
+      const Point &Pt = Curve[I];
+      std::snprintf(Buf, sizeof(Buf),
+                    "    {\"phases\": %u, \"cold_us_per_rev\": %.1f, "
+                    "\"incremental_us_per_rev\": %.1f, \"speedup\": %.1f, "
+                    "\"adopted_fraction\": %.3f}%s\n",
+                    Pt.Phases, Pt.ColdUs, Pt.IncUs, Pt.speedup(),
+                    Pt.AdoptedFrac, I + 1 < Curve.size() ? "," : "");
+      Out << Buf;
+    }
+    std::snprintf(Buf, sizeof(Buf),
+                  "  ],\n  \"largest_speedup\": %.1f,\n"
+                  "  \"clears_5x\": %s\n}\n",
+                  BestSpeedup, Cleared ? "true" : "false");
+    Out << Buf;
+    std::printf("wrote %s\n", JsonPath.c_str());
+  }
+  return Cleared ? 0 : 1;
+}

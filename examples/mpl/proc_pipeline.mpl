@@ -1,0 +1,23 @@
+# Procedure-structured pipeline: a scatter phase and a report phase as
+# named procedures called from the main body. Procedures are the unit of
+# the incremental pipeline — edit one body and `csdf lsp` / `csdf serve`
+# re-analyze with the prior engine trace as a seed, recomputing only the
+# steps the edit touches.
+# Try: csdf analyze examples/mpl/proc_pipeline.mpl --format json
+proc scatter do
+  if id == 0 then
+    x = 42;
+    for i = 1 to np - 1 do
+      send x -> i;
+    end
+  else
+    recv y <- 0;
+  end
+end
+proc report do
+  if id > 0 then
+    print y;
+  end
+end
+call scatter;
+call report;

@@ -507,17 +507,19 @@ void csdf::runLintPasses(const Cfg &Graph, const LintOptions &Opts,
 }
 
 bool csdf::lintSource(const std::string &Source, const LintOptions &Opts,
-                      DiagnosticEngine &Diags) {
-  ParseResult Parsed = parseProgram(Source);
-  if (!Parsed.succeeded()) {
+                      DiagnosticEngine &Diags, LintArtifacts *Artifacts) {
+  // Shared from the start: the CFG (and any engine trace captured through
+  // it) stores pointers into this AST, and Artifacts holders keep both.
+  auto Parsed = std::make_shared<ParseResult>(parseProgram(Source));
+  if (!Parsed->succeeded()) {
     if (Opts.isEnabled("parse"))
-      for (const ParseDiagnostic &D : Parsed.Diagnostics)
+      for (const ParseDiagnostic &D : Parsed->Diagnostics)
         Diags.report(
             makeDiag("parse", DiagSeverity::Error, D.Loc, D.Message));
     return false;
   }
 
-  SemaResult Sema = checkProgram(Parsed.Prog);
+  SemaResult Sema = checkProgram(Parsed->Prog);
   if (Opts.isEnabled("sema"))
     for (const SemaDiagnostic &D : Sema.Diagnostics)
       Diags.report(makeDiag("sema",
@@ -527,7 +529,11 @@ bool csdf::lintSource(const std::string &Source, const LintOptions &Opts,
   if (Sema.hasErrors())
     return false;
 
-  Cfg Graph = buildCfg(Parsed.Prog);
-  runLintPasses(Graph, Opts, Diags);
+  auto Graph = std::make_shared<Cfg>(buildCfg(Parsed->Prog));
+  if (Artifacts) {
+    Artifacts->Parsed = Parsed;
+    Artifacts->Graph = Graph;
+  }
+  runLintPasses(*Graph, Opts, Diags);
   return true;
 }

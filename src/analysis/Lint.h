@@ -33,9 +33,11 @@
 #include "cfg/Cfg.h"
 #include "diag/DiagRenderer.h"
 #include "diag/DiagnosticEngine.h"
+#include "lang/Parser.h"
 #include "pcfg/AnalysisOptions.h"
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -83,12 +85,23 @@ std::map<std::string, SarifRuleDoc> lintRuleDocs();
 void runLintPasses(const Cfg &Graph, const LintOptions &Opts,
                    DiagnosticEngine &Diags);
 
+/// The reusable intermediate artifacts of one lint run, exposed for the
+/// incremental pipeline (api::Analyzer::lintIncremental): the parsed AST
+/// and the CFG built from it. Graph stores pointers into Parsed's AST, so
+/// holders must keep both (a captured engine trace points into the same
+/// AST via the CFG's expression pointers).
+struct LintArtifacts {
+  std::shared_ptr<ParseResult> Parsed;
+  std::shared_ptr<Cfg> Graph;
+};
+
 /// Full lint pipeline over MPL source text: parse, sema, CFG construction,
 /// then runLintPasses(). Returns false when the program was too broken to
 /// lint past the front end (parse or sema errors); front-end findings are
-/// still reported into \p Diags.
+/// still reported into \p Diags. When \p Artifacts is non-null it receives
+/// the parse result and CFG once the front end succeeded.
 bool lintSource(const std::string &Source, const LintOptions &Opts,
-                DiagnosticEngine &Diags);
+                DiagnosticEngine &Diags, LintArtifacts *Artifacts = nullptr);
 
 } // namespace csdf
 

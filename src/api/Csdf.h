@@ -38,6 +38,7 @@
 #include "api/Options.h"
 #include "diag/DiagnosticEngine.h"
 #include "driver/Batch.h"
+#include "pcfg/Replay.h"
 
 #include <cstdint>
 #include <memory>
@@ -73,6 +74,19 @@ struct AnalyzeResponse {
   /// microseconds (the only field that differs between identical runs).
   std::uint64_t WallUs = 0;
 
+  /// RequestOptions::fingerprint() of the request that produced this
+  /// response — stamped into the JSON verdict so cached results can be
+  /// traced back to the exact option set.
+  std::string OptionsFingerprint;
+
+  /// True when an incremental entry point answered this request from its
+  /// cache without running the pipeline (exact source + options match).
+  bool FromCache = false;
+
+  /// Engine adoption counters when the run went through the incremental
+  /// pipeline (all-zero for plain analyze() and for cache hits).
+  ReplayStats Replay;
+
   int exitCode() const { return Session.ExitCode; }
   const AnalysisOutcome &outcome() const { return Session.Outcome; }
   bool degraded() const { return !Session.Outcome.complete(); }
@@ -106,6 +120,14 @@ struct LintResponse {
   std::string Error;
 
   std::uint64_t WallUs = 0;
+
+  /// True when lintIncremental answered from its cache (exact source +
+  /// options match) without running any pass.
+  bool FromCache = false;
+
+  /// Engine adoption counters when the run went through the incremental
+  /// pipeline (all-zero for plain lint() and for cache hits).
+  ReplayStats Replay;
 };
 
 /// One batch request: a corpus plus per-file options and isolation policy.
@@ -144,6 +166,31 @@ struct AnalyzerConfig {
   }
 };
 
+class PipelineCache;
+
+/// Lifetime counters of the incremental entry points
+/// (Analyzer::analyzeIncremental / lintIncremental). Reported by the
+/// serve daemon's "stats" request.
+struct IncrementalStats {
+  /// Incremental requests received (analyze + lint).
+  std::uint64_t Requests = 0;
+  /// Answered from the cached response (exact source + options match).
+  std::uint64_t CacheHits = 0;
+  /// Runs that entered the engine with an accepted seed trace.
+  std::uint64_t SeededRuns = 0;
+  /// Runs computed cold (no prior entry, or the seed was rejected).
+  std::uint64_t ColdRuns = 0;
+  /// Engine worklist steps adopted verbatim from seed traces.
+  std::uint64_t AdoptedSteps = 0;
+  /// Engine worklist steps computed live.
+  std::uint64_t LiveSteps = 0;
+  /// Procedures whose canonical fingerprint changed vs the prior revision,
+  /// summed over seed-capable requests.
+  std::uint64_t ChangedProcs = 0;
+  /// Why the most recent seed was rejected; empty when it was accepted.
+  std::string LastSeedRejectReason;
+};
+
 /// The facade handle. Thread-compatible, not thread-safe: issue requests
 /// from one thread at a time (runBatch parallelizes internally and is one
 /// such request). Copying is disabled — the whole point is *shared* warm
@@ -165,6 +212,27 @@ public:
   /// Runs the lint pass suite under the request's budget. Never throws.
   LintResponse lint(const LintRequest &Req);
 
+  /// analyze() through the incremental pipeline (see api/Pipeline.h). An
+  /// exact re-request (same path, source bytes, and options) is answered
+  /// from the cached response; an edited revision re-runs the pipeline
+  /// with the prior run's engine trace attached as a seed, so worklist
+  /// steps whose CFG footprint is unchanged are adopted instead of
+  /// recomputed. The verdict is bit-identical to analyze() in every case;
+  /// only the work to produce it differs. Requests with budget limits
+  /// (deadline, memory, prover steps) bypass the cache entirely — their
+  /// outcomes are timing-dependent and not safe to replay or memoize.
+  /// Incremental requests always run warm (shared symbols and closure
+  /// memo), even on a cold-configured Analyzer: seeding requires the
+  /// recording and seeded runs to share one intern table.
+  AnalyzeResponse analyzeIncremental(const AnalyzeRequest &Req);
+
+  /// lint() through the incremental pipeline; same contract as
+  /// analyzeIncremental. This is what the LSP server calls per keystroke.
+  LintResponse lintIncremental(const LintRequest &Req);
+
+  /// Lifetime counters of the incremental entry points.
+  const IncrementalStats &incrementalStats() const { return IncStats; }
+
   /// Runs every file through an isolated session. Fork mode delegates to
   /// the process-per-file driver; threads mode runs sessions on this
   /// Analyzer's pool, sharing its closure memo so closure work amortizes
@@ -180,11 +248,16 @@ private:
   /// Lazily (re)built pool for threads-mode batches.
   ThreadPool &pool(unsigned Workers);
 
+  /// Lazily constructed per-path entry cache of the incremental pipeline.
+  PipelineCache &cache();
+
   AnalyzerConfig Config;
   std::shared_ptr<SymbolTable> Syms;
   std::shared_ptr<ClosureMemo> Memo;
   std::unique_ptr<ThreadPool> Pool;
   unsigned PoolWorkers = 0;
+  std::unique_ptr<PipelineCache> Cache;
+  IncrementalStats IncStats;
 };
 
 /// Maps a response onto the batch report row shape — the one per-file
@@ -194,7 +267,12 @@ private:
 BatchEntry toBatchEntry(const std::string &File, const AnalyzeResponse &R);
 
 /// Renders the response as one JSON verdict object (batchEntryJson over
-/// toBatchEntry), without a trailing newline.
+/// toBatchEntry), without a trailing newline, extended with two identity
+/// members: "tool_version" (csdf::toolVersion()) and
+/// "options_fingerprint" (the request's RequestOptions::fingerprint()).
+/// `csdf analyze --format json` and the serve daemon's analyze "result"
+/// both go through here, so the two stay byte-identical by construction;
+/// batch report entries keep the unextended schema.
 std::string verdictJson(const std::string &File, const AnalyzeResponse &R);
 
 } // namespace csdf::api

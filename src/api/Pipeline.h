@@ -1,0 +1,160 @@
+//===- api/Pipeline.h - The incremental analysis pipeline cache -----------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// State the incremental entry points (Analyzer::analyzeIncremental,
+/// Analyzer::lintIncremental) keep between requests, keyed by document
+/// path. Each entry remembers, for the last analyzed revision of one
+/// document: the exact source bytes and options fingerprint (the L0 key —
+/// an exact match is answered from the cached response without running
+/// anything), the canonical per-procedure content fingerprints (see
+/// lang/Fingerprint.h — they tell the stats layer *which* procedures an
+/// edit touched), and the prior run's parse tree, CFG, and engine trace
+/// (the seed for pcfg/Replay.h's validated step adoption on the next
+/// revision).
+///
+/// Correctness note: the cached artifacts never substitute for analysis
+/// on a changed document. An edited revision always re-runs the full
+/// pipeline; the trace only lets the engine adopt recorded steps whose
+/// CFG footprint is provably unchanged, so the incremental verdict is
+/// bit-identical to a cold run by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_API_PIPELINE_H
+#define CSDF_API_PIPELINE_H
+
+#include "analysis/Lint.h"
+#include "api/Csdf.h"
+#include "lang/Fingerprint.h"
+#include "pcfg/Replay.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace csdf {
+class AnalysisTrace;
+class Cfg;
+struct ParseResult;
+} // namespace csdf
+
+namespace csdf::api {
+
+/// What the pipeline remembers about the last analyzed revision of one
+/// document (analyze flavor). Resp owns the parse tree and CFG through
+/// its SessionResult; Trace points into that parse tree's AST.
+struct AnalyzePipelineEntry {
+  /// RequestOptions::fingerprint() of the run that produced this entry.
+  std::string OptionsFp;
+  /// Exact source bytes analyzed.
+  std::string Source;
+  /// Canonical content fingerprints of that revision.
+  ProgramFingerprints FP;
+  /// The full cached response (plain data plus the owning Parsed/Graph
+  /// handles) — returned verbatim on an exact re-request.
+  AnalyzeResponse Resp;
+  /// The converged engine trace, when one was captured; null after a
+  /// degraded or front-end-failed run.
+  std::shared_ptr<const AnalysisTrace> Trace;
+};
+
+/// Lint flavor of the above. Artifacts are the lint pipeline's own parse
+/// tree and CFG (lint does not go through driver/Session).
+struct LintPipelineEntry {
+  /// Full lint cache key: options fingerprint plus the lint-only knobs
+  /// (werror, min severity, disabled passes).
+  std::string Key;
+  std::string Source;
+  ProgramFingerprints FP;
+  LintResponse Resp;
+  LintArtifacts Artifacts;
+  std::shared_ptr<const AnalysisTrace> Trace;
+};
+
+/// Per-path LRU over the two entry flavors. Bounded: editors hold a
+/// handful of documents, but a batch misusing the incremental entry
+/// points must not accumulate one AST + trace per corpus file forever.
+class PipelineCache {
+public:
+  explicit PipelineCache(std::size_t Capacity = 64) : Capacity(Capacity) {}
+
+  AnalyzePipelineEntry *findAnalyze(const std::string &Path) {
+    return find(Analyze, AnalyzeLru, Path);
+  }
+  LintPipelineEntry *findLint(const std::string &Path) {
+    return find(Lint, LintLru, Path);
+  }
+  void putAnalyze(const std::string &Path, AnalyzePipelineEntry Entry) {
+    put(Analyze, AnalyzeLru, Path, std::move(Entry));
+  }
+  void putLint(const std::string &Path, LintPipelineEntry Entry) {
+    put(Lint, LintLru, Path, std::move(Entry));
+  }
+  /// Drops both flavors for \p Path (LSP didClose).
+  void erase(const std::string &Path) {
+    erase(Analyze, AnalyzeLru, Path);
+    erase(Lint, LintLru, Path);
+  }
+  std::size_t entries() const { return Analyze.size() + Lint.size(); }
+
+private:
+  template <typename EntryT> struct Slot {
+    EntryT Entry;
+    std::list<std::string>::iterator LruIt;
+  };
+
+  template <typename EntryT>
+  EntryT *find(std::unordered_map<std::string, Slot<EntryT>> &Map,
+               std::list<std::string> &Lru, const std::string &Path) {
+    auto It = Map.find(Path);
+    if (It == Map.end())
+      return nullptr;
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    return &It->second.Entry;
+  }
+
+  template <typename EntryT>
+  void put(std::unordered_map<std::string, Slot<EntryT>> &Map,
+           std::list<std::string> &Lru, const std::string &Path,
+           EntryT Entry) {
+    auto It = Map.find(Path);
+    if (It != Map.end()) {
+      It->second.Entry = std::move(Entry);
+      Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+      return;
+    }
+    if (Capacity && Map.size() >= Capacity && !Lru.empty()) {
+      Map.erase(Lru.back());
+      Lru.pop_back();
+    }
+    Lru.push_front(Path);
+    Map.emplace(Path, Slot<EntryT>{std::move(Entry), Lru.begin()});
+  }
+
+  template <typename EntryT>
+  void erase(std::unordered_map<std::string, Slot<EntryT>> &Map,
+             std::list<std::string> &Lru, const std::string &Path) {
+    auto It = Map.find(Path);
+    if (It == Map.end())
+      return;
+    Lru.erase(It->second.LruIt);
+    Map.erase(It);
+  }
+
+  std::size_t Capacity;
+  std::unordered_map<std::string, Slot<AnalyzePipelineEntry>> Analyze;
+  std::unordered_map<std::string, Slot<LintPipelineEntry>> Lint;
+  std::list<std::string> AnalyzeLru;
+  std::list<std::string> LintLru;
+};
+
+} // namespace csdf::api
+
+#endif // CSDF_API_PIPELINE_H

@@ -9,6 +9,8 @@
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
 
+#include <set>
+
 using namespace csdf;
 
 namespace {
@@ -129,6 +131,21 @@ private:
       CfgNodeId Node = Graph.addNode(CfgNodeKind::Skip, S);
       return appendSimple(Node, std::move(Frontier));
     }
+    case Stmt::Kind::Call: {
+      // Pure splicing: a call contributes no node of its own; the callee
+      // body is built in place. Sema rejects unknown callees and
+      // recursion; if an unchecked AST reaches us anyway, degrade the
+      // call to a skip node instead of recursing forever.
+      const auto *C = cast<CallStmt>(S);
+      const ProcDecl *Callee = Prog.findProc(C->callee());
+      if (!Callee || !InlineStack.insert(C->callee()).second) {
+        CfgNodeId Node = Graph.addNode(CfgNodeKind::Skip, S);
+        return appendSimple(Node, std::move(Frontier));
+      }
+      Frontier = buildStmts(Callee->Body, std::move(Frontier));
+      InlineStack.erase(C->callee());
+      return Frontier;
+    }
     case Stmt::Kind::If: {
       const auto *If = cast<IfStmt>(S);
       CfgNodeId Branch = Graph.addNode(CfgNodeKind::Branch, S);
@@ -193,6 +210,8 @@ private:
 
   Program &Prog;
   Cfg Graph;
+  /// Procs currently being inlined, to break cycles on unchecked ASTs.
+  std::set<std::string> InlineStack;
 };
 
 } // namespace

@@ -1,0 +1,86 @@
+//===- driver/Lsp.h - Language Server Protocol front end ------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `csdf lsp` speaks a minimal Language Server Protocol subset over stdio
+/// so editors get csdf lint diagnostics as they type, powered by the
+/// incremental pipeline: every didOpen/didChange runs
+/// api::Analyzer::lintIncremental over the full document text (the server
+/// advertises full-document sync), so an unchanged document is answered
+/// from cache and a small edit re-analyzes with the prior engine trace as
+/// a seed. Published diagnostics are always exactly the findings `csdf
+/// lint --format json` would print for the same text — the server is a
+/// transport, never a different analyzer.
+///
+/// Handled methods: initialize, initialized, shutdown, exit,
+/// textDocument/didOpen, textDocument/didChange, textDocument/didClose
+/// (clears the document's diagnostics). Unknown *requests* get a
+/// MethodNotFound error; unknown notifications are ignored, per the spec.
+///
+/// The protocol mapping of one csdf Diagnostic:
+///   range     — the primary location, zero-length, 0-based (LSP) from
+///               the 1-based SourceLoc; whole-program findings (invalid
+///               location) anchor at 0:0
+///   severity  — Error=1, Warning=2, Note=3 (Information)
+///   code      — the stable rule ID ("csdf.<pass>")
+///   source    — "csdf"
+///   message   — the finding message (the note, when present, is
+///               appended after a newline)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_DRIVER_LSP_H
+#define CSDF_DRIVER_LSP_H
+
+#include "api/Csdf.h"
+
+#include <string>
+#include <vector>
+
+namespace csdf {
+
+/// Configuration of one LSP server instance.
+struct LspOptions {
+  /// Analysis options for every lint run (the shared CLI flags).
+  api::RequestOptions Defaults;
+};
+
+/// The transport-agnostic message processor: feed it one JSON-RPC message
+/// body (no framing), collect zero or more response/notification bodies.
+/// Tests drive this directly; runLsp() wires it to Content-Length framed
+/// stdio.
+class LspServer {
+public:
+  explicit LspServer(const LspOptions &Opts);
+
+  /// Handles one message. Appends any responses and notifications (bodies
+  /// only, no framing) to \p Out. Returns false once `exit` is received —
+  /// the transport loop should stop.
+  bool handleMessage(const std::string &Body, std::vector<std::string> &Out);
+
+  /// Process exit code per the spec: 0 when `exit` followed `shutdown`,
+  /// 1 otherwise.
+  int exitCode() const { return SawShutdown ? 0 : 1; }
+
+  /// The analyzer behind the server (exposed for tests and stats).
+  api::Analyzer &analyzer() { return An; }
+
+private:
+  void publishDiagnostics(const std::string &Uri, const std::string &Text,
+                          std::vector<std::string> &Out);
+
+  LspOptions Opts;
+  api::Analyzer An{api::AnalyzerConfig::warm()};
+  bool SawShutdown = false;
+};
+
+/// Runs the server over Content-Length framed stdio until `exit` or EOF.
+/// Returns the process exit code.
+int runLsp(const LspOptions &Opts);
+
+} // namespace csdf
+
+#endif // CSDF_DRIVER_LSP_H

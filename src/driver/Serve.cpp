@@ -68,17 +68,24 @@ std::string ServeStats::json(std::size_t CacheEntries,
   char Rate[32];
   std::snprintf(Rate, sizeof(Rate), "%.4f", hitRate());
   std::string S = "{";
-  S += "\"analyze_requests\":" + std::to_string(AnalyzeRequests);
+  S += "\"adopted_steps\":" + std::to_string(AdoptedSteps);
+  S += ",\"analyze_requests\":" + std::to_string(AnalyzeRequests);
   S += ",\"budget_trips\":" + std::to_string(BudgetTrips);
   S += ",\"cache_capacity\":" + std::to_string(CacheCapacity);
   S += ",\"cache_entries\":" + std::to_string(CacheEntries);
+  S += ",\"cold_runs\":" + std::to_string(ColdRuns);
   S += ",\"errors\":" + std::to_string(Errors);
   S += ",\"evictions\":" + std::to_string(Evictions);
   S += ",\"hit_rate\":" + std::string(Rate);
   S += ",\"hits\":" + std::to_string(Hits);
+  S += ",\"incremental_cache_hits\":" + std::to_string(IncrementalCacheHits);
+  S += ",\"incremental_requests\":" + std::to_string(IncrementalRequests);
+  S += ",\"last_seed_reject\":\"" + jsonEscape(LastSeedReject) + "\"";
   S += ",\"lint_requests\":" + std::to_string(LintRequests);
+  S += ",\"live_steps\":" + std::to_string(LiveSteps);
   S += ",\"misses\":" + std::to_string(Misses);
   S += ",\"requests\":" + std::to_string(Requests);
+  S += ",\"seeded_runs\":" + std::to_string(SeededRuns);
   S += ",\"wall_us_avg\":" +
        std::to_string(Requests ? WallUsTotal / Requests : 0);
   S += ",\"wall_us_total\":" + std::to_string(WallUsTotal);
@@ -102,6 +109,18 @@ struct ServeServer::Request {
 
 ServeServer::ServeServer(const ServeOptions &Opts)
     : Opts(Opts), Analyzer(api::AnalyzerConfig::warm()) {}
+
+const ServeStats &ServeServer::stats() {
+  const api::IncrementalStats &I = Analyzer.incrementalStats();
+  Stats.IncrementalRequests = I.Requests;
+  Stats.IncrementalCacheHits = I.CacheHits;
+  Stats.SeededRuns = I.SeededRuns;
+  Stats.ColdRuns = I.ColdRuns;
+  Stats.AdoptedSteps = I.AdoptedSteps;
+  Stats.LiveSteps = I.LiveSteps;
+  Stats.LastSeedReject = I.LastSeedRejectReason;
+  return Stats;
+}
 
 const std::string *ServeServer::cacheGet(const std::string &Key) {
   auto It = CacheMap.find(Key);
@@ -164,7 +183,10 @@ std::string ServeServer::handleAnalyze(const Request &Req) {
   AReq.Path = Req.Path;
   AReq.Source = std::move(Source);
   AReq.Options = Req.Options;
-  api::AnalyzeResponse R = Analyzer.analyze(AReq);
+  // Through the incremental pipeline: after this daemon-level cache
+  // missed (edited source), the prior revision's engine trace seeds the
+  // re-analysis. The verdict is bit-identical to a cold run either way.
+  api::AnalyzeResponse R = Analyzer.analyzeIncremental(AReq);
   if (!R.Session.Outcome.complete() && !R.Session.Outcome.internalError())
     ++Stats.BudgetTrips;
 
@@ -212,7 +234,7 @@ std::string ServeServer::handleLint(const Request &Req) {
   LReq.Disabled = Req.Disabled;
   LReq.Werror = Req.Werror;
   LReq.MinSeverity = Req.MinSeverity;
-  api::LintResponse R = Analyzer.lint(LReq);
+  api::LintResponse R = Analyzer.lintIncremental(LReq);
 
   std::string Payload =
       "{\"diagnostics\":" + diagsJsonArray(R.Diagnostics, Req.Path) +
@@ -303,7 +325,7 @@ std::string ServeServer::handleLine(const std::string &Line, bool &Shutdown) {
   } else if (Req.Type == "stats") {
     Stats.WallUsTotal += nowUs() - Start;
     return "{\"id\":" + Req.IdJson + ",\"ok\":true,\"stats\":" +
-           Stats.json(cacheEntries(), Opts.CacheCapacity) + "}";
+           stats().json(cacheEntries(), Opts.CacheCapacity) + "}";
   } else if (Req.Type == "shutdown") {
     Shutdown = true;
     Stats.WallUsTotal += nowUs() - Start;

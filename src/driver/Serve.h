@@ -75,6 +75,22 @@ struct ServeStats {
   std::uint64_t Errors = 0;
   std::uint64_t WallUsTotal = 0;
 
+  /// Incremental-pipeline counters, mirrored from the warm Analyzer's
+  /// IncrementalStats when a stats request is answered. The daemon's own
+  /// LRU answers exact repeats before the Analyzer sees them, so
+  /// IncrementalCacheHits counts only requests that got past it (e.g.
+  /// after an eviction).
+  std::uint64_t IncrementalRequests = 0;
+  std::uint64_t IncrementalCacheHits = 0;
+  /// Misses that re-ran the engine with an accepted seed trace / cold.
+  std::uint64_t SeededRuns = 0;
+  std::uint64_t ColdRuns = 0;
+  /// Engine worklist steps adopted from seed traces vs computed live.
+  std::uint64_t AdoptedSteps = 0;
+  std::uint64_t LiveSteps = 0;
+  /// Why the most recent seed was rejected (empty: accepted or none).
+  std::string LastSeedReject;
+
   double hitRate() const {
     std::uint64_t Lookups = Hits + Misses;
     return Lookups ? static_cast<double>(Hits) / Lookups : 0.0;
@@ -99,7 +115,9 @@ public:
   /// response. Sets \p Shutdown on a shutdown request.
   std::string handleLine(const std::string &Line, bool &Shutdown);
 
-  const ServeStats &stats() const { return Stats; }
+  /// Daemon counters with the incremental-pipeline section freshly
+  /// mirrored from the warm Analyzer.
+  const ServeStats &stats();
   std::size_t cacheEntries() const { return CacheMap.size(); }
 
 private:

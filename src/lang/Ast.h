@@ -190,6 +190,7 @@ public:
     Assume,
     Assert,
     Skip,
+    Call,
   };
 
   Kind kind() const { return TheKind; }
@@ -457,6 +458,31 @@ public:
   static bool classof(const Stmt *S) { return S->kind() == Kind::Skip; }
 };
 
+/// `call name;` — runs the body of procedure `name`. Procedures share the
+/// program's flat variable namespace (no parameters, no locals) and may
+/// not recurse; the CFG builder splices the callee body in place, so a
+/// call contributes no node of its own to the graph.
+class CallStmt : public Stmt {
+public:
+  CallStmt(std::string Callee, SourceLoc Loc)
+      : Stmt(Kind::Call, Loc), Callee(std::move(Callee)) {}
+
+  const std::string &callee() const { return Callee; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Call; }
+
+private:
+  std::string Callee;
+};
+
+/// A top-level `proc name do ... end` declaration. Declaration order is
+/// irrelevant: a proc may call procs declared later in the file.
+struct ProcDecl {
+  std::string Name;
+  StmtList Body;
+  SourceLoc Loc;
+};
+
 //===----------------------------------------------------------------------===//
 // Program and arena
 //===----------------------------------------------------------------------===//
@@ -471,6 +497,18 @@ public:
 
   const StmtList &body() const { return Body; }
   void setBody(StmtList NewBody) { Body = std::move(NewBody); }
+
+  /// Top-level procedure declarations, in declaration order.
+  const std::vector<ProcDecl> &procs() const { return Procs; }
+  void addProc(ProcDecl Decl) { Procs.push_back(std::move(Decl)); }
+
+  /// The declaration named \p Name, or null.
+  const ProcDecl *findProc(const std::string &Name) const {
+    for (const ProcDecl &P : Procs)
+      if (P.Name == Name)
+        return &P;
+    return nullptr;
+  }
 
   /// Allocates an expression node owned by this program.
   template <typename T, typename... Args> const T *makeExpr(Args &&...A) {
@@ -490,6 +528,7 @@ public:
 
 private:
   StmtList Body;
+  std::vector<ProcDecl> Procs;
   std::vector<std::unique_ptr<const Expr>> ExprArena;
   std::vector<std::unique_ptr<const Stmt>> StmtArena;
 };

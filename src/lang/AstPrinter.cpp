@@ -113,6 +113,9 @@ void printStmt(const Stmt *S, unsigned Indent, std::ostringstream &OS) {
   case Stmt::Kind::Skip:
     OS << "skip;\n";
     return;
+  case Stmt::Kind::Call:
+    OS << "call " << cast<CallStmt>(S)->callee() << ";\n";
+    return;
   }
   csdf_unreachable("unhandled Stmt::Kind");
 }
@@ -127,6 +130,11 @@ std::string csdf::stmtToString(const Stmt *S, unsigned Indent) {
 
 std::string csdf::programToString(const Program &Prog) {
   std::ostringstream OS;
+  for (const ProcDecl &P : Prog.procs()) {
+    OS << "proc " << P.Name << " do\n";
+    printBody(P.Body, 1, OS);
+    OS << "end\n";
+  }
   printBody(Prog.body(), 0, OS);
   return OS.str();
 }

@@ -1,0 +1,281 @@
+//===- lang/Fingerprint.cpp ------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Fingerprint.h"
+
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace csdf;
+
+namespace {
+
+/// FNV-1a, 64 bit. Stable across platforms; not cryptographic — collisions
+/// only cost a spurious cache hit *candidate*, and every adoption is
+/// re-validated structurally by the engine before any state is reused.
+class Hasher {
+public:
+  void bytes(const void *Data, size_t N) {
+    const auto *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < N; ++I) {
+      H ^= P[I];
+      H *= 0x100000001b3ULL;
+    }
+  }
+  void u8(std::uint8_t V) { bytes(&V, 1); }
+  void u64(std::uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      u8(static_cast<std::uint8_t>(V >> (I * 8)));
+  }
+  void i64(std::int64_t V) { u64(static_cast<std::uint64_t>(V)); }
+  /// Length-prefixed so "ab","c" and "a","bc" hash differently.
+  void str(const std::string &S) {
+    u64(S.size());
+    bytes(S.data(), S.size());
+  }
+  std::uint64_t done() const { return H; }
+
+private:
+  std::uint64_t H = 0xcbf29ce484222325ULL;
+};
+
+// Tag bytes: expressions 1..9, statements 32..63, structure markers 128+.
+// Any change here invalidates every cached fingerprint, which is safe.
+enum : std::uint8_t {
+  TagIntLit = 1,
+  TagVarRef = 2,
+  TagUnary = 3,
+  TagBinary = 4,
+  TagInput = 5,
+  TagNullExpr = 9,
+  TagBodyBegin = 128,
+  TagBodyEnd = 129,
+};
+
+void hashExpr(Hasher &H, const Expr *E) {
+  if (!E) {
+    H.u8(TagNullExpr);
+    return;
+  }
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    H.u8(TagIntLit);
+    H.i64(cast<IntLitExpr>(E)->value());
+    return;
+  case Expr::Kind::VarRef:
+    H.u8(TagVarRef);
+    H.str(cast<VarRefExpr>(E)->name());
+    return;
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    H.u8(TagUnary);
+    H.u8(static_cast<std::uint8_t>(U->op()));
+    hashExpr(H, U->operand());
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    H.u8(TagBinary);
+    H.u8(static_cast<std::uint8_t>(B->op()));
+    hashExpr(H, B->lhs());
+    hashExpr(H, B->rhs());
+    return;
+  }
+  case Expr::Kind::Input:
+    H.u8(TagInput);
+    return;
+  }
+  csdf_unreachable("unhandled Expr::Kind");
+}
+
+void hashBody(Hasher &H, const StmtList &Body);
+
+void hashStmt(Hasher &H, const Stmt *S) {
+  H.u8(static_cast<std::uint8_t>(32 + static_cast<int>(S->kind())));
+  switch (S->kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    H.str(A->var());
+    hashExpr(H, A->value());
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    hashExpr(H, If->cond());
+    hashBody(H, If->thenBody());
+    hashBody(H, If->elseBody());
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    hashExpr(H, W->cond());
+    hashBody(H, W->body());
+    return;
+  }
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    H.str(F->var());
+    hashExpr(H, F->from());
+    hashExpr(H, F->to());
+    hashBody(H, F->body());
+    return;
+  }
+  case Stmt::Kind::Send: {
+    const auto *Send = cast<SendStmt>(S);
+    hashExpr(H, Send->value());
+    hashExpr(H, Send->dest());
+    hashExpr(H, Send->tag());
+    return;
+  }
+  case Stmt::Kind::Recv: {
+    const auto *Recv = cast<RecvStmt>(S);
+    H.str(Recv->var());
+    hashExpr(H, Recv->src()); // Null for the `any` wildcard.
+    hashExpr(H, Recv->tag());
+    return;
+  }
+  case Stmt::Kind::Isend: {
+    const auto *Send = cast<IsendStmt>(S);
+    hashExpr(H, Send->value());
+    hashExpr(H, Send->dest());
+    hashExpr(H, Send->tag());
+    H.str(Send->req());
+    return;
+  }
+  case Stmt::Kind::Irecv: {
+    const auto *Recv = cast<IrecvStmt>(S);
+    H.str(Recv->var());
+    hashExpr(H, Recv->src());
+    hashExpr(H, Recv->tag());
+    H.str(Recv->req());
+    return;
+  }
+  case Stmt::Kind::Wait:
+    H.str(cast<WaitStmt>(S)->req());
+    return;
+  case Stmt::Kind::Waitall:
+    return;
+  case Stmt::Kind::Print:
+    hashExpr(H, cast<PrintStmt>(S)->value());
+    return;
+  case Stmt::Kind::Assume:
+    hashExpr(H, cast<AssumeStmt>(S)->cond());
+    return;
+  case Stmt::Kind::Assert:
+    hashExpr(H, cast<AssertStmt>(S)->cond());
+    return;
+  case Stmt::Kind::Skip:
+    return;
+  case Stmt::Kind::Call:
+    // Call sites depend on the callee by *name*; the body of the callee
+    // is folded in by ProcsWithDeps/Combined, not here.
+    H.str(cast<CallStmt>(S)->callee());
+    return;
+  }
+  csdf_unreachable("unhandled Stmt::Kind");
+}
+
+void hashBody(Hasher &H, const StmtList &Body) {
+  H.u8(TagBodyBegin);
+  for (const Stmt *S : Body)
+    hashStmt(H, S);
+  H.u8(TagBodyEnd);
+}
+
+void collectCallees(const StmtList &Body, std::set<std::string> &Out) {
+  for (const Stmt *S : Body) {
+    switch (S->kind()) {
+    case Stmt::Kind::Call:
+      Out.insert(cast<CallStmt>(S)->callee());
+      break;
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(S);
+      collectCallees(If->thenBody(), Out);
+      collectCallees(If->elseBody(), Out);
+      break;
+    }
+    case Stmt::Kind::While:
+      collectCallees(cast<WhileStmt>(S)->body(), Out);
+      break;
+    case Stmt::Kind::For:
+      collectCallees(cast<ForStmt>(S)->body(), Out);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+/// Dependency-closed hash of proc \p Name: own hash + closed hashes of the
+/// direct callees, sorted by name. The call graph is acyclic after sema;
+/// the OnStack guard keeps unchecked cyclic ASTs from looping (a revisit
+/// hashes as a fixed tag, which is stable and deterministic).
+std::uint64_t closedHash(const std::string &Name,
+                         const ProgramFingerprints &FP,
+                         std::map<std::string, std::uint64_t> &Memo,
+                         std::set<std::string> &OnStack) {
+  if (auto It = Memo.find(Name); It != Memo.end())
+    return It->second;
+  Hasher H;
+  auto OwnIt = FP.Procs.find(Name);
+  H.u64(OwnIt != FP.Procs.end() ? OwnIt->second : 0);
+  if (!OnStack.insert(Name).second)
+    return H.done(); // Cycle on an unchecked AST; stay deterministic.
+  if (auto DepIt = FP.Deps.find(Name); DepIt != FP.Deps.end())
+    for (const std::string &Callee : DepIt->second) { // std::set: sorted.
+      H.str(Callee);
+      H.u64(closedHash(Callee, FP, Memo, OnStack));
+    }
+  OnStack.erase(Name);
+  Memo[Name] = H.done();
+  return H.done();
+}
+
+} // namespace
+
+std::uint64_t csdf::fingerprintBody(const StmtList &Body) {
+  Hasher H;
+  hashBody(H, Body);
+  return H.done();
+}
+
+ProgramFingerprints csdf::fingerprintProgram(const Program &Prog) {
+  ProgramFingerprints FP;
+  FP.Main = fingerprintBody(Prog.body());
+  collectCallees(Prog.body(), FP.Deps[""]);
+  for (const ProcDecl &P : Prog.procs()) {
+    FP.Procs[P.Name] = fingerprintBody(P.Body);
+    collectCallees(P.Body, FP.Deps[P.Name]);
+  }
+  std::map<std::string, std::uint64_t> Memo;
+  for (const ProcDecl &P : Prog.procs()) {
+    std::set<std::string> OnStack;
+    FP.ProcsWithDeps[P.Name] = closedHash(P.Name, FP, Memo, OnStack);
+  }
+  // Combined: main + every proc sorted by name, so reordering unrelated
+  // declarations never invalidates the program-level key.
+  Hasher H;
+  H.u64(FP.Main);
+  for (const auto &[Name, Hash] : FP.Procs) { // std::map: name-sorted.
+    H.str(Name);
+    H.u64(Hash);
+  }
+  FP.Combined = H.done();
+  return FP;
+}
+
+std::string csdf::fingerprintHex(std::uint64_t H) {
+  static const char *Digits = "0123456789abcdef";
+  std::string S(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    S[static_cast<size_t>(I)] = Digits[H & 0xF];
+    H >>= 4;
+  }
+  return S;
+}

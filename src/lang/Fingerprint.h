@@ -1,0 +1,64 @@
+//===- lang/Fingerprint.h - Canonical AST content fingerprints -------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content fingerprints over the canonical AST, computed after sema. The
+/// hash covers structure only — statement/expression kinds, operators,
+/// variable and request names, literal values, call targets — and never
+/// source locations, so it is insensitive to whitespace, comments, and
+/// reformatting. Per-procedure hashes cover one body with call sites
+/// hashed by callee *name*; the dependency-closed hash folds in the
+/// hashes of every (transitively) called procedure, and the combined
+/// program hash is invariant under reordering of procedure declarations.
+///
+/// These fingerprints key the incremental `PipelineCache` (see
+/// api/Csdf.h): equal combined fingerprints mean the edit was
+/// whitespace/comment/decl-order only and the prior engine fixpoint
+/// replays in full; per-procedure deltas tell the cache which dependency
+/// chains were invalidated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_LANG_FINGERPRINT_H
+#define CSDF_LANG_FINGERPRINT_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace csdf {
+
+/// Canonical content fingerprints for one program.
+struct ProgramFingerprints {
+  /// Hash of the main body (call statements hashed by callee name).
+  std::uint64_t Main = 0;
+  /// Whole-program hash: main + every procedure, sorted by name. Invariant
+  /// under declaration reordering; changes when any body changes.
+  std::uint64_t Combined = 0;
+  /// Per-procedure hash of the own body only.
+  std::map<std::string, std::uint64_t> Procs;
+  /// Per-procedure hash closed over (transitive) callees: changes when the
+  /// procedure or anything it calls changes.
+  std::map<std::string, std::uint64_t> ProcsWithDeps;
+  /// Direct callees per procedure ("" keys the main body).
+  std::map<std::string, std::set<std::string>> Deps;
+};
+
+/// Computes canonical content fingerprints for \p Prog.
+ProgramFingerprints fingerprintProgram(const Program &Prog);
+
+/// Hashes one statement list (exposed for tests).
+std::uint64_t fingerprintBody(const StmtList &Body);
+
+/// 16-digit lowercase hex rendering of a fingerprint.
+std::string fingerprintHex(std::uint64_t H);
+
+} // namespace csdf
+
+#endif // CSDF_LANG_FINGERPRINT_H

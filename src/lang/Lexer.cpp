@@ -94,6 +94,7 @@ Token Lexer::lexIdentifierOrKeyword() {
       {"isend", TokenKind::KwIsend},   {"irecv", TokenKind::KwIrecv},
       {"wait", TokenKind::KwWait},     {"waitall", TokenKind::KwWaitall},
       {"req", TokenKind::KwReq},       {"any", TokenKind::KwAny},
+      {"proc", TokenKind::KwProc},     {"call", TokenKind::KwCall},
   };
 
   std::string Text;

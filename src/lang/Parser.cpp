@@ -26,7 +26,23 @@ public:
       : Tokens(std::move(Tokens)), Result(Result), MaxDepth(MaxDepth) {}
 
   void run() {
-    StmtList Body = parseStmtsUntil({TokenKind::Eof});
+    // Top level: interleaved proc declarations and main-body statements.
+    // Procs nest nowhere else; their declaration order is irrelevant.
+    StmtList Body;
+    while (cur().isNot(TokenKind::Eof) && cur().isNot(TokenKind::Error)) {
+      if (cur().is(TokenKind::KwProc)) {
+        parseProcDecl();
+        continue;
+      }
+      size_t Before = Pos;
+      StmtList Piece = parseStmtsUntil({TokenKind::KwProc});
+      for (const Stmt *S : Piece)
+        Body.push_back(S);
+      if (Pos == Before && cur().isNot(TokenKind::KwProc))
+        take(); // No progress; bail out of a stuck position.
+    }
+    if (cur().is(TokenKind::Error) && !LexErrorReported)
+      error(cur().Text);
     Result.Prog.setBody(std::move(Body));
   }
 
@@ -103,6 +119,8 @@ private:
       case TokenKind::KwEnd:
       case TokenKind::KwElse:
       case TokenKind::KwElif:
+      case TokenKind::KwProc:
+      case TokenKind::KwCall:
         return;
       default:
         take();
@@ -130,9 +148,31 @@ private:
         take();
       }
     }
-    if (cur().is(TokenKind::Error))
+    if (cur().is(TokenKind::Error)) {
       error(cur().Text);
+      LexErrorReported = true;
+    }
     return Stmts;
+  }
+
+  /// Parses `proc name do ... end` after lookahead saw `proc`.
+  void parseProcDecl() {
+    SourceLoc Loc = cur().Loc;
+    take(); // proc
+    if (cur().isNot(TokenKind::Identifier)) {
+      error("expected procedure name after 'proc'");
+      synchronize();
+      return;
+    }
+    std::string Name = take().Text;
+    if (!expect(TokenKind::KwDo)) {
+      synchronize();
+      return;
+    }
+    StmtList Body = parseStmtsUntil({TokenKind::KwEnd});
+    if (!expect(TokenKind::KwEnd))
+      return;
+    Result.Prog.addProc(ProcDecl{std::move(Name), std::move(Body), Loc});
   }
 
   const Stmt *parseStmt() {
@@ -294,6 +334,20 @@ private:
         return nullptr;
       return Result.Prog.makeStmt<SkipStmt>(Loc);
     }
+    case TokenKind::KwCall: {
+      take();
+      if (cur().isNot(TokenKind::Identifier)) {
+        error("expected procedure name after 'call'");
+        return nullptr;
+      }
+      std::string Callee = take().Text;
+      if (!expect(TokenKind::Semi))
+        return nullptr;
+      return Result.Prog.makeStmt<CallStmt>(std::move(Callee), Loc);
+    }
+    case TokenKind::KwProc:
+      error("'proc' declarations are only allowed at the top level");
+      return nullptr;
     default:
       error(std::string("expected statement but found ") +
             tokenKindName(cur().Kind));
@@ -511,6 +565,7 @@ private:
   unsigned MaxDepth;
   unsigned Depth = 0;
   bool DepthErrorReported = false;
+  bool LexErrorReported = false;
 };
 
 } // namespace

@@ -11,6 +11,7 @@
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
 
+#include <map>
 #include <set>
 
 using namespace csdf;
@@ -26,8 +27,16 @@ public:
   explicit SemaImpl(SemaResult &Result) : Result(Result) {}
 
   void run(const Program &Prog) {
+    checkProcs(Prog);
+    // The variable namespace is flat across the main body and every proc
+    // body: a proc is spliced into its caller by the CFG builder, so defs
+    // anywhere count everywhere.
     collectDefs(Prog.body());
+    for (const ProcDecl &P : Prog.procs())
+      collectDefs(P.Body);
     checkBody(Prog.body());
+    for (const ProcDecl &P : Prog.procs())
+      checkBody(P.Body);
     reportUndefinedUses();
     reportNamespaceClashes();
   }
@@ -229,8 +238,79 @@ private:
       return;
     case Stmt::Kind::Skip:
       return;
+    case Stmt::Kind::Call: {
+      const auto *C = cast<CallStmt>(S);
+      if (!ProcNames.count(C->callee()))
+        error(S->loc(),
+              "call to undefined procedure '" + C->callee() + "'");
+      return;
+    }
     }
     csdf_unreachable("unhandled Stmt::Kind");
+  }
+
+  /// Duplicate-name and recursion checks over the proc declarations.
+  /// Procedures are inlined at CFG build, so the call graph must be
+  /// acyclic; declaration order is irrelevant.
+  void checkProcs(const Program &Prog) {
+    for (const ProcDecl &P : Prog.procs()) {
+      if (!ProcNames.insert(P.Name).second)
+        error(P.Loc, "duplicate procedure '" + P.Name + "'");
+    }
+    // Direct-call adjacency, then a colored DFS for cycles.
+    std::map<std::string, std::set<std::string>> Calls;
+    for (const ProcDecl &P : Prog.procs())
+      collectCalls(P.Body, Calls[P.Name]);
+    std::map<std::string, int> Color; // 0 = white, 1 = on stack, 2 = done.
+    for (const ProcDecl &P : Prog.procs())
+      if (Color[P.Name] == 0 && hasCycle(P.Name, Calls, Color))
+        error(P.Loc, "procedure '" + P.Name +
+                         "' is recursive; procedures are inlined and may "
+                         "not call themselves directly or indirectly");
+  }
+
+  void collectCalls(const StmtList &Body, std::set<std::string> &Out) {
+    for (const Stmt *S : Body) {
+      switch (S->kind()) {
+      case Stmt::Kind::Call:
+        Out.insert(cast<CallStmt>(S)->callee());
+        break;
+      case Stmt::Kind::If: {
+        const auto *If = cast<IfStmt>(S);
+        collectCalls(If->thenBody(), Out);
+        collectCalls(If->elseBody(), Out);
+        break;
+      }
+      case Stmt::Kind::While:
+        collectCalls(cast<WhileStmt>(S)->body(), Out);
+        break;
+      case Stmt::Kind::For:
+        collectCalls(cast<ForStmt>(S)->body(), Out);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  bool hasCycle(const std::string &Name,
+                const std::map<std::string, std::set<std::string>> &Calls,
+                std::map<std::string, int> &Color) {
+    Color[Name] = 1;
+    auto It = Calls.find(Name);
+    if (It != Calls.end()) {
+      for (const std::string &Callee : It->second) {
+        if (!ProcNames.count(Callee))
+          continue; // Unknown callee; reported at the call site.
+        int C = Color[Callee];
+        if (C == 1 || (C == 0 && hasCycle(Callee, Calls, Color))) {
+          Color[Name] = 2;
+          return true;
+        }
+      }
+    }
+    Color[Name] = 2;
+    return false;
   }
 
   /// Records a request-handle occurrence (isend/irecv `req r`, `wait r`).
@@ -268,6 +348,7 @@ private:
   }
 
   SemaResult &Result;
+  std::set<std::string> ProcNames;
   std::set<std::string> Defined;
   std::set<std::pair<std::string, SourceLoc>> Used;
   std::set<std::pair<std::string, SourceLoc>> Requests;

@@ -76,6 +76,10 @@ const char *csdf::tokenKindName(TokenKind Kind) {
     return "'req'";
   case TokenKind::KwAny:
     return "'any'";
+  case TokenKind::KwProc:
+    return "'proc'";
+  case TokenKind::KwCall:
+    return "'call'";
   case TokenKind::LParen:
     return "'('";
   case TokenKind::RParen:

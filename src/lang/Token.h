@@ -78,6 +78,8 @@ enum class TokenKind {
   KwWaitall,
   KwReq,
   KwAny,
+  KwProc,
+  KwCall,
 
   // Punctuation and operators.
   LParen,

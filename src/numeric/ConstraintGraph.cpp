@@ -353,6 +353,14 @@ void ConstraintGraph::close() const {
   B.Closed = true;
 }
 
+void ConstraintGraph::detachAccounting() const {
+  DbmShared &B = Cow.rwShared();
+  if (B.Accountant && B.AccountedBytes)
+    B.Accountant->accountBytes(-static_cast<std::int64_t>(B.AccountedBytes));
+  B.Accountant = nullptr;
+  B.AccountedBytes = 0;
+}
+
 void ConstraintGraph::fullClose(DbmShared &B) const {
   unsigned N = static_cast<unsigned>(Vars.size());
   bump(Cells.FullCalls);

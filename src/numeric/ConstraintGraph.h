@@ -265,6 +265,15 @@ public:
   /// Forces full closure now (otherwise lazy on first query).
   void close() const;
 
+  /// Releases this graph's DBM block from budget accounting: refunds the
+  /// accounted bytes and unbinds the Accountant, exactly what
+  /// ClosureMemo::insert does for cross-session blocks. Required before
+  /// state containing this graph escapes the session that owns the
+  /// (stack-local) AnalysisBudget — e.g. a captured replay trace.
+  /// Idempotent; safe on blocks shared with live states (accounting is
+  /// enforcement bookkeeping, never semantics).
+  void detachAccounting() const;
+
   DbmBackend backend() const { return Backend; }
 
   /// True when this graph still shares its matrix with another copy (or a

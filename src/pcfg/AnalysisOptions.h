@@ -32,6 +32,9 @@ namespace csdf {
 
 class SymbolTable;
 class ClosureMemo;
+struct EngineSeed;
+struct ReplayCapture;
+struct ReplayStats;
 
 /// How the analysis models sends (Section III vs Section X).
 enum class SendSemantics {
@@ -122,6 +125,22 @@ struct AnalysisOptions {
   /// runs that may share DBM blocks through that memo.
   std::shared_ptr<SymbolTable> SharedSymbols;
   std::shared_ptr<ClosureMemo> SharedMemo;
+
+  /// Warm start from a prior converged run over an edited version of the
+  /// same program (see pcfg/Replay.h). Requires SharedSymbols to be the
+  /// seed's own table. Null = cold run. Like the shared handles above,
+  /// this is runtime wiring, not semantics — a validated seed changes
+  /// nothing about the result, only how much of it is recomputed — so it
+  /// is excluded from fingerprint().
+  std::shared_ptr<const EngineSeed> Seed;
+
+  /// When set, a converged run deposits its exploration trace here for a
+  /// future Seed. Ignored (never filled) for budgeted runs. Excluded
+  /// from fingerprint() like Seed.
+  std::shared_ptr<ReplayCapture> Capture;
+
+  /// When set, the engine fills adoption/live counters for this run.
+  std::shared_ptr<ReplayStats> Replay;
 
   /// Canonical one-line encoding of every field that can change an
   /// analysis result — the engine half of a content-addressed cache key

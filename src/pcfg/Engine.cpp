@@ -11,6 +11,7 @@
 #include "lang/ExprOps.h"
 #include "pcfg/Matcher.h"
 #include "pcfg/PartnerExpr.h"
+#include "pcfg/Replay.h"
 #include "support/Budget.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
@@ -71,13 +72,7 @@ std::string AnalysisOutcome::str() const {
   return S;
 }
 
-namespace {
-
-/// One target piece when a process set splits.
-struct SplitPiece {
-  ProcRange Range;
-  CfgNodeId Node = 0;
-};
+namespace csdf {
 
 /// The buffered outcome of speculatively stepping one state.
 ///
@@ -112,6 +107,53 @@ struct StepEffects {
   unsigned SetsSeen = 0;
   /// Exception the step died with, if any (rethrown after commit).
   std::exception_ptr Error;
+};
+
+/// The committer's decision for one submitted state, recorded alongside
+/// the effect log so a replay can reproduce the configuration table's
+/// evolution without re-running joins, widenings, or equality tests.
+struct CommitOutcome {
+  enum class Kind {
+    /// The state was unjoinable with every stored variant: appended.
+    NewVariant,
+    /// Folded into variant `Variant` without changing it.
+    Fixpoint,
+    /// Folded into variant `Variant`, producing `NewState`.
+    Updated,
+  };
+  Kind K = Kind::NewVariant;
+  std::uint32_t Variant = 0;
+  /// Updated only: the stored variant's post-join state, captured after
+  /// closure (exactly what the table held after this commit).
+  PcfgState NewState;
+};
+
+/// One worklist position of a recorded exploration: the step's effect log
+/// plus the committer's decision for each Submit item, in order.
+struct TraceStep {
+  StepEffects Fx;
+  std::vector<CommitOutcome> Outcomes;
+};
+
+/// A converged exploration, step by step. Steps[i] corresponds to
+/// worklist position i (the initial seeding commit is not recorded: it is
+/// determined by the options alone and runs identically in both modes).
+/// States inside the trace point into the AST of the run that captured
+/// it; EngineSeed::PriorKeepAlive must own that AST. Adopted steps are
+/// re-captured with remapped pointers, so every trace stands alone.
+class AnalysisTrace {
+public:
+  std::vector<TraceStep> Steps;
+};
+
+} // namespace csdf
+
+namespace {
+
+/// One target piece when a process set splits.
+struct SplitPiece {
+  ProcRange Range;
+  CfgNodeId Node = 0;
 };
 
 /// One speculative step of the pCFG exploration: all transfer functions,
@@ -1912,6 +1954,67 @@ private:
   unsigned FreshSets = 0;
 };
 
+/// Canonical structural signature of one CFG node, for the replay
+/// validator's per-node diff. Two nodes with equal signatures (at the
+/// same id, with equal signatures across their relevant neighborhood —
+/// see the Safe[] closure) are indistinguishable to every engine read:
+/// the signature covers the kind, names, every payload expression
+/// (rendered, with distinct markers for a wildcard partner vs an absent
+/// expression), the successor edge sequence, the in-loop flag that
+/// drives join-vs-widen decisions, and — for wait nodes — the full
+/// static wait resolution including the posting node's payload (the
+/// matcher evaluates partner/tag/var on the *posting* when a wait acts
+/// as a receive). Source locations are deliberately absent: whitespace
+/// and comment edits must not change any signature.
+std::string nodeSignature(const Cfg &G, const LoopInfo &Loops,
+                          const std::map<CfgNodeId, WaitResolution> &Plans,
+                          CfgNodeId Id) {
+  const CfgNode &N = G.node(Id);
+  std::string S = cfgNodeKindName(N.Kind);
+  auto Text = [&](const Expr *E, const char *Absent) {
+    S += '|';
+    S += E ? exprToString(E) : Absent;
+  };
+  S += '|';
+  S += N.Var;
+  S += '|';
+  S += N.Req;
+  Text(N.Value, "<none>");
+  Text(N.Cond, "<none>");
+  Text(N.Partner, "<any>"); // A null partner on a comm op is a wildcard.
+  Text(N.Tag, "<none>");
+  S += "|succs:";
+  for (const CfgEdge &E : N.Succs) {
+    S += std::to_string(static_cast<int>(E.Kind));
+    S += '>';
+    S += std::to_string(E.Target);
+    S += ',';
+  }
+  S += Loops.isInLoop(Id) ? "|L1" : "|L0";
+  if (N.isWaitOp()) {
+    auto It = Plans.find(Id);
+    if (It == Plans.end()) {
+      S += "|plan:none";
+    } else {
+      const WaitResolution &Plan = It->second;
+      S += "|plan:" + std::to_string(static_cast<int>(Plan.Result));
+      S += ";post=" + std::to_string(Plan.Posting);
+      S += ";done=";
+      for (CfgNodeId C : Plan.Completed)
+        S += std::to_string(C) + ",";
+      S += ";why=" + Plan.Why;
+      if (Plan.Result == WaitResolution::Kind::AsRecv) {
+        const CfgNode &Post = G.node(Plan.Posting);
+        S += ";payload=" + Post.Var;
+        Text(Post.Partner, "<any>");
+        Text(Post.Tag, "<none>");
+        Text(Post.Value, "<none>");
+      }
+    }
+  }
+  return S;
+}
+
 /// The analysis coordinator: owns the configuration table, the worklist
 /// and the AnalysisResult, and is the only mutator of all three. Steps
 /// are computed by Steppers — inline (sequential drain) or speculatively
@@ -1933,6 +2036,7 @@ public:
     for (const CfgNode &N : Graph.nodes())
       if (N.isWaitOp())
         WaitPlans.emplace(N.Id, Requests.resolveWait(N.Id));
+    setupReplay();
   }
 
   AnalysisResult run();
@@ -2012,6 +2116,19 @@ private:
   void explore();
   void finish();
 
+  //===--------------------------------------------------------------------===
+  // Trace capture and replay (the incremental pipeline's engine half)
+  //===--------------------------------------------------------------------===
+
+  void setupReplay();
+  bool stoppingNode(const CfgNode &N) const;
+  bool stateAdoptable(const PcfgState &St, bool NeedSafe) const;
+  bool adoptable(const TraceStep &Rec, const PcfgState &Popped) const;
+  void remapTraceStates(TraceStep &T) const;
+  void adoptStep(const TraceStep &Rec, WorkItem W);
+  void applyRecordedSubmission(PcfgState St, const std::string &Key,
+                               CommitOutcome &Out);
+
   const Cfg &Graph;
   AnalysisOptions Opts;
   StatsRegistry *Stats;
@@ -2032,7 +2149,297 @@ private:
   /// Configuration key of the state currently being committed, for budget
   /// failure attribution and crash reports.
   std::string CurrentConfig;
+
+  /// Trace being captured this run (null when not capturing). Deposited
+  /// into Opts.Capture only when the run converges.
+  std::shared_ptr<AnalysisTrace> Captured;
+  /// The step currently being recorded; commitSubmission appends its
+  /// outcome decisions here. Null outside a recorded commit (in
+  /// particular during the initial seeding commit, which is not traced).
+  TraceStep *Recording = nullptr;
+  /// Validated seed trace to replay from (null = cold run).
+  const AnalysisTrace *SeedTrace = nullptr;
+  /// True while recorded steps are still being adopted. Cleared forever
+  /// at the first non-adoptable step: from there the configuration table
+  /// may evolve differently from the recording run.
+  bool ReplayOn = false;
+  /// Node ids valid in both graphs: min(prior size, current size).
+  CfgNodeId Ncommon = 0;
+  /// Clean[n]: node n has an identical structural signature in the prior
+  /// and current graphs (every direct read of n behaves identically).
+  std::vector<char> Clean;
+  /// Safe[n]: Clean[n] and the whole advance-to-quiescence walk starting
+  /// at n stays on clean nodes up to and including its stopping node
+  /// (greatest fixpoint; see setupReplay).
+  std::vector<char> Safe;
+  /// Step counters for ReplayStats.
+  unsigned StepsTotal = 0, StepsAdopted = 0, StepsLive = 0;
 };
+
+/// Validates the seed (if any) and prepares capture. Runs once, from the
+/// constructor, after AssignedVars/WaitPlans are computed. Replay and
+/// capture force the sequential drain: results are bit-identical at any
+/// thread count, so pinning Threads=1 is semantics-neutral, and it keeps
+/// the trace's step<->position correspondence trivial.
+void Engine::setupReplay() {
+  // Limit-bounded runs neither replay nor capture: a deadline makes the
+  // exploration prefix nondeterministic, which is exactly what a trace
+  // must not be. (An unlimited budget is pure accounting and is fine.)
+  if (Opts.Budget && Opts.Budget->limited())
+    Opts.Capture.reset();
+  if (Opts.Capture)
+    Captured = std::make_shared<AnalysisTrace>();
+  if (Opts.Seed || Captured)
+    Opts.Threads = 1;
+  if (!Opts.Seed)
+    return;
+
+  auto Reject = [&](std::string Why) {
+    if (Opts.Replay)
+      Opts.Replay->SeedRejectReason = std::move(Why);
+  };
+  const EngineSeed &Seed = *Opts.Seed;
+  if (!Seed.Trace || !Seed.PriorGraph)
+    return Reject("seed missing trace or prior graph");
+  if (Opts.Budget && Opts.Budget->limited())
+    return Reject("budget-limited run; replaying is disabled");
+  if (!Opts.SharedSymbols || Opts.SharedSymbols != Seed.Symbols)
+    return Reject("symbol table differs from the seed's");
+  if (Seed.OptionsFingerprint != Opts.fingerprint())
+    return Reject("analysis options differ from the recording run's");
+
+  // The transfer functions scope variables through the *global* assigned-
+  // variable set (PcfgState::scopedVar); recorded states are only
+  // meaningful when that set is unchanged.
+  const Cfg &Old = *Seed.PriorGraph;
+  std::set<std::string> OldAssigned;
+  for (const CfgNode &N : Old.nodes())
+    if (N.Kind == CfgNodeKind::Assign || N.Kind == CfgNodeKind::Recv ||
+        N.Kind == CfgNodeKind::Irecv)
+      OldAssigned.insert(N.Var);
+  if (OldAssigned != AssignedVars)
+    return Reject("assigned-variable set changed");
+
+  // Per-node structural diff over the common id range.
+  LoopInfo OldLoops(Old);
+  RequestInfo OldRequests = RequestInfo::compute(Old);
+  std::map<CfgNodeId, WaitResolution> OldPlans;
+  for (const CfgNode &N : Old.nodes())
+    if (N.isWaitOp())
+      OldPlans.emplace(N.Id, OldRequests.resolveWait(N.Id));
+  Ncommon = static_cast<CfgNodeId>(std::min(Old.size(), Graph.size()));
+  Clean.assign(Ncommon, 0);
+  for (CfgNodeId N = 0; N < Ncommon; ++N)
+    Clean[N] = nodeSignature(Old, OldLoops, OldPlans, N) ==
+               nodeSignature(Graph, Loops, WaitPlans, N);
+
+  // Safe[] greatest fixpoint: a stepped set at node n macro-advances
+  // through every non-stopping node to its stopping point; the whole walk
+  // must be clean for the recorded step to be byte-equal to a cold one.
+  // Branches additionally expose their loop shape to the Section X
+  // aggregate recognizers, which peek at the true-successor body.
+  Safe = Clean;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (CfgNodeId N = 0; N < Ncommon; ++N) {
+      if (!Safe[N])
+        continue;
+      const CfgNode &Node = Graph.node(N);
+      bool Ok = true;
+      if (Node.isBranch()) {
+        if (Opts.AggregateSendLoops &&
+            Opts.Sends == SendSemantics::Buffered) {
+          CfgNodeId T = Graph.branchSuccessor(N, true);
+          Ok = T < Ncommon && Clean[T];
+          if (Ok && Graph.node(T).Succs.size() == 1) {
+            CfgNodeId Body = Graph.soleSuccessor(T);
+            Ok = Body < Ncommon && Clean[Body];
+          }
+        }
+      } else if (!stoppingNode(Node)) {
+        Ok = Node.Succs.size() == 1;
+        if (Ok) {
+          CfgNodeId Next = Node.Succs.front().Target;
+          Ok = Next < Ncommon && Safe[Next];
+        }
+      }
+      if (!Ok) {
+        Safe[N] = 0;
+        Changed = true;
+      }
+    }
+  }
+
+  SeedTrace = Seed.Trace.get();
+  ReplayOn = true;
+  if (Opts.Replay)
+    Opts.Replay->SeedUsed = true;
+}
+
+/// Nodes where advanceToQuiescence leaves a set blocked (or forks): the
+/// end points of the macro-step walk. Everything else advances through
+/// its sole successor.
+bool Engine::stoppingNode(const CfgNode &N) const {
+  switch (N.Kind) {
+  case CfgNodeKind::Branch:
+  case CfgNodeKind::Exit:
+  case CfgNodeKind::Recv:
+    return true;
+  case CfgNodeKind::Send:
+    return Opts.Sends == SendSemantics::Blocking;
+  case CfgNodeKind::Wait:
+  case CfgNodeKind::Waitall: {
+    auto It = WaitPlans.find(N.Id);
+    // NoOp waits step straight over; AsRecv blocks, Imprecise fails in
+    // place — both of the latter end the walk.
+    return !(It != WaitPlans.end() &&
+             It->second.Result == WaitResolution::Kind::NoOp);
+  }
+  default:
+    return false;
+  }
+}
+
+/// Every CFG reference of \p St must survive into the current graph.
+/// Popped states need the full quiescence walk clean (Safe); states
+/// inside recorded effects only need the nodes the committer itself
+/// reads (terminal/exit test, loop flag, node labels) — Clean suffices,
+/// and their own step, if ever popped, is re-validated then.
+bool Engine::stateAdoptable(const PcfgState &St, bool NeedSafe) const {
+  for (const ProcSetEntry &Set : St.Sets) {
+    if (Set.Node >= Ncommon)
+      return false;
+    if (!(NeedSafe ? Safe[Set.Node] : Clean[Set.Node]))
+      return false;
+  }
+  for (const PendingSend &P : St.InFlight)
+    if (P.SendNode >= Ncommon || !Clean[P.SendNode])
+      return false;
+  return true;
+}
+
+/// Would a cold step over \p Popped produce exactly the recorded effects?
+/// True only when every graph read the step performs — the quiescence
+/// walks from each set, each in-flight send's payload node, and the
+/// submit-side reads on each successor state — lands on provably
+/// unchanged nodes. Conservative by design: any doubt says no.
+bool Engine::adoptable(const TraceStep &Rec, const PcfgState &Popped) const {
+  if (Rec.Fx.Error)
+    return false;
+  if (!stateAdoptable(Popped, /*NeedSafe=*/true))
+    return false;
+  std::size_t Submits = 0;
+  for (const StepEffects::Item &It : Rec.Fx.Items) {
+    if (It.K == StepEffects::Item::Kind::Fail)
+      return false; // Converged traces carry none; refuse defensively.
+    if (It.K == StepEffects::Item::Kind::Submit) {
+      ++Submits;
+      if (!stateAdoptable(It.Sub, /*NeedSafe=*/false))
+        return false;
+    }
+  }
+  if (Submits != Rec.Outcomes.size())
+    return false; // Malformed trace (e.g. truncated by a failure).
+  for (const CommitOutcome &O : Rec.Outcomes)
+    if (O.K == CommitOutcome::Kind::Updated &&
+        !stateAdoptable(O.NewState, /*NeedSafe=*/false))
+      return false;
+  return true;
+}
+
+/// Points every recorded in-flight send's destination AST at the current
+/// graph. The adoption check proved the node clean, so the new Partner is
+/// structurally identical to the recorded one — this only swaps which
+/// (equivalent) AST the state references, making the adopted state
+/// bit-identical to what a cold run would have built and freeing the
+/// trace from the prior run's AST lifetime.
+void Engine::remapTraceStates(TraceStep &T) const {
+  auto Remap = [&](PcfgState &St) {
+    for (PendingSend &P : St.InFlight)
+      P.DestExprAst = Graph.node(P.SendNode).Partner;
+  };
+  for (StepEffects::Item &It : T.Fx.Items)
+    if (It.K == StepEffects::Item::Kind::Submit)
+      Remap(It.Sub);
+  for (CommitOutcome &O : T.Outcomes)
+    if (O.K == CommitOutcome::Kind::Updated)
+      Remap(O.NewState);
+}
+
+/// Replays one recorded step: applies its effect log exactly like
+/// commitEffects, but resolves each Submit with the recorded committer
+/// decision instead of re-running joins. When this run is itself being
+/// captured, the remapped copy joins the new trace so the new trace
+/// references only the current AST.
+void Engine::adoptStep(const TraceStep &Rec, WorkItem W) {
+  TraceStep Local = Rec; // Copy-on-write states make this cheap.
+  remapTraceStates(Local);
+  if (Captured)
+    Captured->Steps.push_back(Local);
+  Result.MaxSetsSeen = std::max(Result.MaxSetsSeen, Local.Fx.SetsSeen);
+  std::size_t NextOutcome = 0;
+  for (StepEffects::Item &It : Local.Fx.Items) {
+    switch (It.K) {
+    case StepEffects::Item::Kind::Match:
+      Result.Matches.insert(std::move(It.Match));
+      break;
+    case StepEffects::Item::Kind::Print:
+      Result.PrintFacts.insert(std::move(It.Print));
+      break;
+    case StepEffects::Item::Kind::TagConflict:
+      noteTagConflict(It.ConflictSend, It.ConflictRecv);
+      break;
+    case StepEffects::Item::Kind::Leak:
+      Result.Bugs.push_back(std::move(It.Leak));
+      break;
+    case StepEffects::Item::Kind::Snapshot:
+      Result.FinalSnapshots.push_back(std::move(It.Snapshot));
+      break;
+    case StepEffects::Item::Kind::Fail:
+      // Unreachable: adoptable() refuses steps with failures.
+      fail(It.FailKind, It.FailReason, std::move(It.FailConfig));
+      break;
+    case StepEffects::Item::Kind::Submit:
+      applyRecordedSubmission(std::move(It.Sub), It.SubKey,
+                              Local.Outcomes[NextOutcome++]);
+      break;
+    }
+  }
+  Configs[W.Config].Variants[W.Variant].Stuck = std::move(Local.Fx.StuckBugs);
+}
+
+/// The replay twin of commitSubmission: identical table bookkeeping,
+/// with the join/widen/equality work replaced by the recorded decision.
+void Engine::applyRecordedSubmission(PcfgState St, const std::string &Key,
+                                     CommitOutcome &Out) {
+  auto [IdIt, New] =
+      ConfigIds.emplace(Key, static_cast<std::uint32_t>(Configs.size()));
+  if (New) {
+    Configs.push_back(ConfigEntry{Key, {}});
+    Result.ConfigsVisited++;
+  }
+  std::uint32_t Cid = IdIt->second;
+  std::vector<Stored> &Variants = Configs[Cid].Variants;
+  switch (Out.K) {
+  case CommitOutcome::Kind::NewVariant:
+    Variants.push_back(Stored{std::move(St), 1, {}});
+    push(Cid, Variants.size() - 1);
+    return;
+  case CommitOutcome::Kind::Fixpoint:
+    Variants[Out.Variant].Visits++;
+    return;
+  case CommitOutcome::Kind::Updated: {
+    Stored &Entry = Variants[Out.Variant];
+    Entry.Visits++;
+    Entry.State = std::move(Out.NewState); // Recorded post-close state.
+    Entry.Stamp++;
+    Entry.Stuck.clear();
+    push(Cid, Out.Variant);
+    return;
+  }
+  }
+}
 
 /// Folds the submitted state into the configuration table: joins/widens
 /// with a stored variant and enqueues when something changed. This is the
@@ -2064,6 +2471,12 @@ void Engine::commitSubmission(PcfgState St, const std::string &Key,
       if (tracingEnabled())
         std::fprintf(stderr, "submit: fixpoint at %s (variant %zu)\n",
                      Key.c_str(), V);
+      if (Recording) {
+        CommitOutcome O;
+        O.K = CommitOutcome::Kind::Fixpoint;
+        O.Variant = static_cast<std::uint32_t>(V);
+        Recording->Outcomes.push_back(std::move(O));
+      }
       return; // Fixpoint at this variant.
     }
     if (tracingEnabled())
@@ -2076,6 +2489,13 @@ void Engine::commitSubmission(PcfgState St, const std::string &Key,
     Entry.Stamp++; // Invalidates speculation snapshotted from the old state.
     Entry.Stuck.clear(); // Superseded; the variant will be re-stepped.
     push(Cid, V);
+    if (Recording) {
+      CommitOutcome O;
+      O.K = CommitOutcome::Kind::Updated;
+      O.Variant = static_cast<std::uint32_t>(V);
+      O.NewState = Entry.State; // Post-close; exactly what the table holds.
+      Recording->Outcomes.push_back(std::move(O));
+    }
     return;
   }
   if (Variants.size() >= Opts.MaxVariantsPerConfig) {
@@ -2085,6 +2505,8 @@ void Engine::commitSubmission(PcfgState St, const std::string &Key,
   }
   Variants.push_back(Stored{std::move(St), 1, {}});
   push(Cid, Variants.size() - 1);
+  if (Recording)
+    Recording->Outcomes.emplace_back(); // Default kind: NewVariant.
 }
 
 /// Replays one step's effect log against the result and the table, in
@@ -2138,6 +2560,8 @@ StepEffects Engine::computeStep(const PcfgState &Cur, unsigned TraceId) const {
 }
 
 /// The classic Figure 4 drain: compute and commit one step at a time.
+/// Also the only drain that replays and captures: worklist position i
+/// corresponds to trace step i in both directions.
 void Engine::drainSequential() {
   while (Head < Worklist.size() && !ToppedOut) {
     budgetCheckpoint();
@@ -2150,9 +2574,36 @@ void Engine::drainSequential() {
     Configs[W.Config].Variants[W.Variant].InWorklist = false;
     CurrentConfig = Configs[W.Config].Key;
     Result.StatesExplored++;
+    StepsTotal++;
+
+    // While the replay window is open and every CFG node this step would
+    // read is provably unchanged, adopt the recorded step wholesale. The
+    // first doubt closes the window forever: from there the table may
+    // evolve differently from the recording run, so later recorded
+    // positions no longer correspond.
+    if (ReplayOn &&
+        (Pos >= SeedTrace->Steps.size() ||
+         !adoptable(SeedTrace->Steps[Pos],
+                    Configs[W.Config].Variants[W.Variant].State)))
+      ReplayOn = false;
+    if (ReplayOn) {
+      StepsAdopted++;
+      adoptStep(SeedTrace->Steps[Pos], W);
+      continue;
+    }
+
+    StepsLive++;
     StepEffects Fx = computeStep(Configs[W.Config].Variants[W.Variant].State,
                                  static_cast<unsigned>(Pos) + 1);
+    if (Captured) {
+      Captured->Steps.emplace_back();
+      Recording = &Captured->Steps.back();
+      // Copy the log before commitEffects moves its payloads into the
+      // result; CoW states make the copy cheap.
+      Recording->Fx = Fx;
+    }
     commitEffects(Fx);
+    Recording = nullptr;
     // Re-index: the commit may have grown Configs/Variants (references
     // into either would dangle).
     Configs[W.Config].Variants[W.Variant].Stuck = std::move(Fx.StuckBugs);
@@ -2225,6 +2676,8 @@ void Engine::drainParallel() {
     Configs[W.Config].Variants[W.Variant].InWorklist = false;
     CurrentConfig = Configs[W.Config].Key;
     Result.StatesExplored++;
+    StepsTotal++;
+    StepsLive++; // Replay/capture force Threads=1; this drain is all-live.
 
     StepEffects Fx;
     bool UsedSpeculation = false;
@@ -2361,6 +2814,27 @@ AnalysisResult Engine::run() {
     Result.Outcome.Configuration = CurrentConfig;
     Result.Converged = false;
     Result.TopReason = std::string("internal error: ") + E.what();
+  }
+  // Deposit the captured trace only for converged runs: a degraded or
+  // failed exploration is both untrustworthy and not worth replaying.
+  // The trace outlives this session's (typically stack-local) budget, so
+  // every contained DBM block must first be released from accounting —
+  // the same escape hatch ClosureMemo uses for cross-session blocks.
+  if (Captured && Result.Converged && Opts.Capture) {
+    for (TraceStep &S : Captured->Steps) {
+      for (StepEffects::Item &It : S.Fx.Items)
+        if (It.K == StepEffects::Item::Kind::Submit)
+          It.Sub.Cg.detachAccounting();
+      for (CommitOutcome &O : S.Outcomes)
+        if (O.K == CommitOutcome::Kind::Updated)
+          O.NewState.Cg.detachAccounting();
+    }
+    Opts.Capture->Trace = std::move(Captured);
+  }
+  if (Opts.Replay) {
+    Opts.Replay->TotalSteps = StepsTotal;
+    Opts.Replay->AdoptedSteps = StepsAdopted;
+    Opts.Replay->LiveSteps = StepsLive;
   }
   return std::move(Result);
 }

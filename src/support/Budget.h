@@ -83,6 +83,11 @@ public:
   /// HSM prover search-step bound across the whole session; 0 = unlimited.
   std::uint64_t MaxProverSteps = 0;
 
+  /// True when any limit is configured. An unlimited budget never trips:
+  /// it is pure accounting, so deterministic-exploration consumers (trace
+  /// capture/replay) treat it like no budget at all.
+  bool limited() const { return DeadlineMs || MaxMemoryMb || MaxProverSteps; }
+
   /// Stamps the deadline clock and resets accounting. Call once, just
   /// before the work the budget governs.
   void begin();

@@ -1,0 +1,30 @@
+//===- support/Version.h - Tool version identity --------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single definition of the tool's version string. Every surface that
+/// stamps output with a version — `csdf analyze --format json`, the serve
+/// daemon, the LSP server's serverInfo — reads it from here, so cached or
+/// recorded results can always be traced back to the build that produced
+/// them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_SUPPORT_VERSION_H
+#define CSDF_SUPPORT_VERSION_H
+
+#define CSDF_VERSION_MAJOR 0
+#define CSDF_VERSION_MINOR 7
+#define CSDF_VERSION_PATCH 0
+
+namespace csdf {
+
+/// "major.minor.patch", e.g. "0.7.0".
+inline const char *toolVersion() { return "0.7.0"; }
+
+} // namespace csdf
+
+#endif // CSDF_SUPPORT_VERSION_H

@@ -10,6 +10,7 @@
 
 #include "api/Csdf.h"
 #include "driver/Batch.h"
+#include "support/Version.h"
 
 #include <gtest/gtest.h>
 
@@ -280,9 +281,9 @@ TEST(AnalyzerTest, WarmAndColdAnalyzersAgreeOnVerdicts) {
 #ifndef _WIN32
 
 TEST(AnalyzerTest, VerdictJsonMatchesBatchReportRow) {
-  // `csdf analyze --format json` output for a file and the corresponding
-  // `csdf batch --report` entry are the same object, modulo the volatile
-  // measurement fields.
+  // `csdf analyze --format json` output for a file is the corresponding
+  // `csdf batch --report` entry plus the identity suffix (tool_version,
+  // options_fingerprint), modulo the volatile measurement fields.
   TempDir Dir;
   std::string Clean = Dir.add("clean.mpl", CleanSource);
   std::string Leak = Dir.add("leak.mpl", LeakSource);
@@ -304,8 +305,12 @@ TEST(AnalyzerTest, VerdictJsonMatchesBatchReportRow) {
     api::AnalyzeRequest Req;
     Req.Path = BReq.Files[I];
     api::AnalyzeResponse R = An.analyze(Req);
-    EXPECT_EQ(Normalize(api::verdictJson(Req.Path, R)),
-              Normalize(batchEntryJson(Report.Entries[I])))
+    std::string Row = batchEntryJson(Report.Entries[I]);
+    std::string Expected =
+        Row.substr(0, Row.size() - 1) + ", \"tool_version\": \"" +
+        std::string(toolVersion()) + "\", \"options_fingerprint\": \"" +
+        Req.Options.fingerprint() + "\"}";
+    EXPECT_EQ(Normalize(api::verdictJson(Req.Path, R)), Normalize(Expected))
         << BReq.Files[I];
   }
 }

@@ -1,0 +1,294 @@
+//===- tests/api/IncrementalTest.cpp - Incremental ≡ cold, byte for byte ---===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The incremental pipeline's one non-negotiable guarantee: for any edit
+// sequence, analyzeIncremental/lintIncremental produce byte-identical
+// JSON to a cold one-shot run of the same revision — caching and trace
+// seeding change the work, never the verdict. The edit-replay harness
+// drives every corpus example through scripted mutations (exact repeat,
+// whitespace/comment reformat, revert, appended statements) and diffs the
+// rendered verdicts against a fresh Analyzer each time. The unit tests
+// pin the cache/seed observables: hit flags, adoption counters, seed
+// rejection on variable-set changes, and budget bypass.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Csdf.h"
+#include "diag/DiagRenderer.h"
+#include "support/Version.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+using namespace csdf;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string readFileOrDie(const fs::path &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot read " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// The only legitimately run-dependent byte in a verdict.
+std::string scrubWall(std::string S) {
+  return std::regex_replace(S, std::regex("\"wall_ms\": \\d+"),
+                            "\"wall_ms\": 0");
+}
+
+/// Whitespace/comment-only reformat: same canonical AST, different bytes.
+std::string reformat(const std::string &Source) {
+  std::string Out = "# reformatted revision\n";
+  for (char C : Source) {
+    if (C == '\n')
+      Out += " \n\n";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+/// What a cold one-shot `csdf analyze --format json` would print.
+std::string coldVerdict(const api::AnalyzeRequest &Req) {
+  api::Analyzer Cold;
+  return scrubWall(api::verdictJson(Req.Path, Cold.analyze(Req)));
+}
+
+/// What a cold one-shot `csdf lint --format json` would print.
+std::string coldLint(const api::LintRequest &Req) {
+  api::Analyzer Cold;
+  api::LintResponse R = Cold.lint(Req);
+  return renderDiagsJson(R.Diagnostics, Req.Path);
+}
+
+const char *TwoProcs = R"(proc scatter do
+  if id == 0 then
+    x = 42;
+    for i = 1 to np - 1 do
+      send x -> i;
+    end
+  else
+    recv y <- 0;
+  end
+end
+proc report do
+  if id > 0 then
+    print y;
+  end
+end
+call scatter;
+call report;
+)";
+
+api::AnalyzeRequest request(const std::string &Source,
+                            const std::string &Path = "incr.mpl") {
+  api::AnalyzeRequest Req;
+  Req.Path = Path;
+  Req.Source = Source;
+  return Req;
+}
+
+TEST(IncrementalTest, ExactRepeatIsCacheHit) {
+  api::Analyzer An(api::AnalyzerConfig::warm());
+  api::AnalyzeRequest Req = request(TwoProcs);
+
+  api::AnalyzeResponse First = An.analyzeIncremental(Req);
+  EXPECT_FALSE(First.FromCache);
+  api::AnalyzeResponse Second = An.analyzeIncremental(Req);
+  EXPECT_TRUE(Second.FromCache);
+
+  EXPECT_EQ(scrubWall(api::verdictJson(Req.Path, First)),
+            scrubWall(api::verdictJson(Req.Path, Second)));
+  EXPECT_EQ(An.incrementalStats().Requests, 2u);
+  EXPECT_EQ(An.incrementalStats().CacheHits, 1u);
+}
+
+TEST(IncrementalTest, VerdictCarriesIdentity) {
+  api::Analyzer An(api::AnalyzerConfig::warm());
+  api::AnalyzeRequest Req = request(TwoProcs);
+  std::string Json = api::verdictJson(Req.Path, An.analyzeIncremental(Req));
+
+  EXPECT_NE(Json.find("\"tool_version\": \"" + std::string(toolVersion()) +
+                      "\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"options_fingerprint\": \"" +
+                      Req.Options.fingerprint() + "\""),
+            std::string::npos);
+}
+
+TEST(IncrementalTest, WhitespaceEditAdoptsFullTrace) {
+  api::Analyzer An(api::AnalyzerConfig::warm());
+  An.analyzeIncremental(request(TwoProcs));
+
+  api::AnalyzeRequest Edited = request(reformat(TwoProcs));
+  api::AnalyzeResponse R = An.analyzeIncremental(Edited);
+
+  EXPECT_FALSE(R.FromCache);
+  EXPECT_TRUE(R.Replay.SeedUsed) << R.Replay.SeedRejectReason;
+  EXPECT_GT(R.Replay.TotalSteps, 0u);
+  // Same canonical CFG: every worklist step replays verbatim.
+  EXPECT_EQ(R.Replay.AdoptedSteps, R.Replay.TotalSteps);
+  EXPECT_EQ(scrubWall(api::verdictJson(Edited.Path, R)), coldVerdict(Edited));
+}
+
+TEST(IncrementalTest, VarPreservingEditSeeds) {
+  api::Analyzer An(api::AnalyzerConfig::warm());
+  An.analyzeIncremental(request(TwoProcs));
+
+  std::string Edited = TwoProcs;
+  size_t At = Edited.find("print y;");
+  ASSERT_NE(At, std::string::npos);
+  Edited.replace(At, 8, "y = y + 2;\n    print y;");
+
+  api::AnalyzeRequest Req = request(Edited);
+  api::AnalyzeResponse R = An.analyzeIncremental(Req);
+
+  EXPECT_TRUE(R.Replay.SeedUsed) << R.Replay.SeedRejectReason;
+  EXPECT_GT(R.Replay.AdoptedSteps, 0u);
+  EXPECT_EQ(scrubWall(api::verdictJson(Req.Path, R)), coldVerdict(Req));
+  EXPECT_EQ(An.incrementalStats().SeededRuns, 1u);
+}
+
+TEST(IncrementalTest, NewVariableRejectsSeed) {
+  api::Analyzer An(api::AnalyzerConfig::warm());
+  An.analyzeIncremental(request(TwoProcs));
+
+  // A brand-new assigned variable changes the constraint-graph shape; the
+  // seed must be rejected wholesale and the run computed cold — with the
+  // verdict still matching a from-scratch run.
+  std::string Edited = std::string(TwoProcs) + "z = 1;\nprint z;\n";
+  api::AnalyzeRequest Req = request(Edited);
+  api::AnalyzeResponse R = An.analyzeIncremental(Req);
+
+  EXPECT_FALSE(R.Replay.SeedUsed);
+  EXPECT_EQ(R.Replay.SeedRejectReason, "assigned-variable set changed");
+  EXPECT_EQ(R.Replay.AdoptedSteps, 0u);
+  EXPECT_EQ(scrubWall(api::verdictJson(Req.Path, R)), coldVerdict(Req));
+  EXPECT_EQ(An.incrementalStats().LastSeedRejectReason,
+            "assigned-variable set changed");
+}
+
+TEST(IncrementalTest, BudgetedRequestBypassesCache) {
+  api::Analyzer An(api::AnalyzerConfig::warm());
+  api::AnalyzeRequest Req = request(TwoProcs);
+  Req.Options.DeadlineMs = 60000; // generous: no degradation, still "limited"
+
+  api::AnalyzeResponse First = An.analyzeIncremental(Req);
+  api::AnalyzeResponse Second = An.analyzeIncremental(Req);
+  EXPECT_FALSE(First.FromCache);
+  EXPECT_FALSE(Second.FromCache);
+  EXPECT_EQ(An.incrementalStats().CacheHits, 0u);
+  EXPECT_EQ(An.incrementalStats().ColdRuns, 2u);
+}
+
+TEST(IncrementalTest, OptionsChangeIsMiss) {
+  api::Analyzer An(api::AnalyzerConfig::warm());
+  api::AnalyzeRequest Cartesian = request(TwoProcs);
+  api::AnalyzeRequest Linear = request(TwoProcs);
+  Linear.Options.Client = "linear";
+
+  An.analyzeIncremental(Cartesian);
+  api::AnalyzeResponse R = An.analyzeIncremental(Linear);
+  EXPECT_FALSE(R.FromCache);
+  EXPECT_EQ(scrubWall(api::verdictJson(Linear.Path, R)), coldVerdict(Linear));
+
+  // The per-path entry now holds the linear revision; repeating it hits.
+  EXPECT_TRUE(An.analyzeIncremental(Linear).FromCache);
+}
+
+TEST(IncrementalTest, LintExactRepeatIsCacheHit) {
+  api::Analyzer An(api::AnalyzerConfig::warm());
+  api::LintRequest Req;
+  Req.Path = "incr.mpl";
+  Req.Source = std::string(TwoProcs);
+
+  api::LintResponse First = An.lintIncremental(Req);
+  EXPECT_FALSE(First.FromCache);
+  api::LintResponse Second = An.lintIncremental(Req);
+  EXPECT_TRUE(Second.FromCache);
+  EXPECT_EQ(renderDiagsJson(First.Diagnostics, Req.Path),
+            renderDiagsJson(Second.Diagnostics, Req.Path));
+  EXPECT_EQ(First.ExitCode, Second.ExitCode);
+}
+
+TEST(IncrementalTest, LintEditMatchesCold) {
+  api::Analyzer An(api::AnalyzerConfig::warm());
+  api::LintRequest Req;
+  Req.Path = "incr.mpl";
+  Req.Source = std::string(TwoProcs);
+  An.lintIncremental(Req);
+
+  // Introduce a dead store; the incremental diagnostics must match a cold
+  // lint of the edited revision exactly.
+  Req.Source = std::string(TwoProcs) + "deadv = 7;\n";
+  api::LintResponse R = An.lintIncremental(Req);
+  EXPECT_FALSE(R.FromCache);
+  EXPECT_EQ(renderDiagsJson(R.Diagnostics, Req.Path), coldLint(Req));
+  EXPECT_EQ(R.ExitCode, 1); // findings
+}
+
+TEST(IncrementalTest, LintKnobsArePartOfTheKey) {
+  api::Analyzer An(api::AnalyzerConfig::warm());
+  api::LintRequest Req;
+  Req.Path = "incr.mpl";
+  Req.Source = std::string(TwoProcs) + "deadv = 7;\n";
+
+  api::LintResponse Plain = An.lintIncremental(Req);
+  api::LintRequest Filtered = Req;
+  Filtered.Disabled.insert("dead-store");
+  api::LintResponse R = An.lintIncremental(Filtered);
+  EXPECT_FALSE(R.FromCache);
+  EXPECT_EQ(renderDiagsJson(R.Diagnostics, Req.Path), coldLint(Filtered));
+  EXPECT_NE(renderDiagsJson(Plain.Diagnostics, Req.Path),
+            renderDiagsJson(R.Diagnostics, Req.Path));
+}
+
+// The edit-replay harness: every corpus example through a scripted edit
+// session, each revision diffed byte-for-byte against a cold run.
+TEST(IncrementalTest, CorpusEditReplayMatchesCold) {
+  unsigned Checked = 0;
+  for (const fs::directory_entry &Entry :
+       fs::directory_iterator(CSDF_EXAMPLES_DIR)) {
+    if (Entry.path().extension() != ".mpl")
+      continue;
+    std::string Original = readFileOrDie(Entry.path());
+    std::string Path = Entry.path().filename().string();
+
+    // One warm editor session per example; revisions replayed in order.
+    api::Analyzer An(api::AnalyzerConfig::warm());
+    const std::string Revisions[] = {
+        Original,
+        Original, // exact repeat: cache hit
+        reformat(Original),
+        Original, // revert
+        Original + "\nzz9 = id;\nprint zz9;\n",
+    };
+    for (const std::string &Rev : Revisions) {
+      api::AnalyzeRequest Req = request(Rev, Path);
+      api::AnalyzeResponse Inc = An.analyzeIncremental(Req);
+      EXPECT_EQ(scrubWall(api::verdictJson(Path, Inc)), coldVerdict(Req))
+          << Entry.path() << " revision " << (&Rev - Revisions);
+
+      api::LintRequest LReq;
+      LReq.Path = Path;
+      LReq.Source = Rev;
+      api::LintResponse LInc = An.lintIncremental(LReq);
+      EXPECT_EQ(renderDiagsJson(LInc.Diagnostics, Path), coldLint(LReq))
+          << Entry.path() << " revision " << (&Rev - Revisions);
+    }
+    ++Checked;
+  }
+  EXPECT_GE(Checked, 10u) << "example corpus went missing?";
+}
+
+} // namespace

@@ -1,0 +1,226 @@
+//===- tests/lang/FingerprintTest.cpp - Canonical fingerprint stability ----===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The contract the incremental pipeline rests on: canonical content
+// fingerprints are *stable* under everything that cannot change analysis
+// results — whitespace, comments, procedure declaration order — and
+// *sensitive* to everything that can: statement bodies, partner
+// expressions, tags, callee names. The corpus-wide section re-checks
+// stability over every examples/mpl program, so a lexer or printer change
+// that accidentally makes hashes location-dependent fails here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Fingerprint.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace csdf;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string readFileOrDie(const fs::path &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot read " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Parse + sema (fingerprints are defined over the canonical post-sema
+/// AST) and fingerprint, failing the test on front-end errors.
+ProgramFingerprints fingerprintOrDie(const std::string &Source) {
+  ParseResult Parsed = parseProgram(Source);
+  EXPECT_TRUE(Parsed.succeeded()) << Source;
+  SemaResult Sema = checkProgram(Parsed.Prog);
+  EXPECT_FALSE(Sema.hasErrors()) << Source;
+  return fingerprintProgram(Parsed.Prog);
+}
+
+const char *TwoProcs = R"(proc scatter do
+  if id == 0 then
+    x = 42;
+    for i = 1 to np - 1 do
+      send x -> i;
+    end
+  else
+    recv y <- 0;
+  end
+end
+proc report do
+  if id > 0 then
+    print y;
+  end
+end
+call scatter;
+call report;
+)";
+
+TEST(FingerprintTest, WhitespaceAndCommentsAreInvisible) {
+  ProgramFingerprints A = fingerprintOrDie(TwoProcs);
+
+  // Leading/trailing comments, blank lines, and trailing spaces on every
+  // line: same canonical AST, different bytes and source locations.
+  std::string Reformatted = "# a leading comment\n\n";
+  for (const char *P = TwoProcs; *P; ++P) {
+    if (*P == '\n')
+      Reformatted += "  \n\n";
+    else
+      Reformatted += *P;
+  }
+  Reformatted += "\n# a trailing comment\n";
+  ProgramFingerprints B = fingerprintOrDie(Reformatted);
+
+  EXPECT_EQ(A.Main, B.Main);
+  EXPECT_EQ(A.Combined, B.Combined);
+  EXPECT_EQ(A.Procs, B.Procs);
+  EXPECT_EQ(A.ProcsWithDeps, B.ProcsWithDeps);
+}
+
+TEST(FingerprintTest, ProcReorderKeepsCombined) {
+  ProgramFingerprints A = fingerprintOrDie(TwoProcs);
+
+  std::string Reordered = R"(proc report do
+  if id > 0 then
+    print y;
+  end
+end
+proc scatter do
+  if id == 0 then
+    x = 42;
+    for i = 1 to np - 1 do
+      send x -> i;
+    end
+  else
+    recv y <- 0;
+  end
+end
+call scatter;
+call report;
+)";
+  ProgramFingerprints B = fingerprintOrDie(Reordered);
+
+  EXPECT_EQ(A.Combined, B.Combined);
+  EXPECT_EQ(A.Procs, B.Procs);
+}
+
+TEST(FingerprintTest, BodyEditChangesOnlyThatProc) {
+  ProgramFingerprints A = fingerprintOrDie(TwoProcs);
+
+  std::string Edited = TwoProcs;
+  size_t At = Edited.find("print y;");
+  ASSERT_NE(At, std::string::npos);
+  Edited.replace(At, 8, "y = y + 2;\n    print y;");
+  ProgramFingerprints B = fingerprintOrDie(Edited);
+
+  EXPECT_NE(A.Combined, B.Combined);
+  EXPECT_NE(A.Procs.at("report"), B.Procs.at("report"));
+  EXPECT_EQ(A.Procs.at("scatter"), B.Procs.at("scatter"));
+  EXPECT_EQ(A.Main, B.Main);
+}
+
+TEST(FingerprintTest, PartnerExpressionChangeIsVisible) {
+  ProgramFingerprints A = fingerprintOrDie(TwoProcs);
+
+  std::string Edited = TwoProcs;
+  size_t At = Edited.find("recv y <- 0;");
+  ASSERT_NE(At, std::string::npos);
+  Edited.replace(At, 12, "recv y <- id - id;");
+  ProgramFingerprints B = fingerprintOrDie(Edited);
+
+  EXPECT_NE(A.Procs.at("scatter"), B.Procs.at("scatter"));
+  EXPECT_NE(A.Combined, B.Combined);
+}
+
+TEST(FingerprintTest, RenameChangesCallerAndCombined) {
+  ProgramFingerprints A = fingerprintOrDie(TwoProcs);
+
+  // Renaming a procedure changes its key, the call site that names it
+  // (calls hash by callee name), and hence the main-body hash.
+  std::string Renamed = TwoProcs;
+  size_t At;
+  while ((At = Renamed.find("report")) != std::string::npos)
+    Renamed.replace(At, 6, "relay2");
+  ProgramFingerprints B = fingerprintOrDie(Renamed);
+
+  EXPECT_EQ(A.Procs.count("relay2"), 0u);
+  EXPECT_EQ(B.Procs.count("report"), 0u);
+  EXPECT_EQ(B.Procs.at("relay2"), A.Procs.at("report"));
+  EXPECT_NE(A.Main, B.Main);
+  EXPECT_NE(A.Combined, B.Combined);
+}
+
+TEST(FingerprintTest, DepClosedHashSeesCalleeEdits) {
+  const char *Nested = R"(proc inner do
+  x = 1;
+end
+proc outer do
+  call inner;
+  print x;
+end
+call outer;
+)";
+  ProgramFingerprints A = fingerprintOrDie(Nested);
+
+  std::string Edited = Nested;
+  size_t At = Edited.find("x = 1;");
+  ASSERT_NE(At, std::string::npos);
+  Edited.replace(At, 6, "x = 2;");
+  ProgramFingerprints B = fingerprintOrDie(Edited);
+
+  // outer's own body is untouched, but its dependency-closed hash must
+  // see the callee's edit.
+  EXPECT_EQ(A.Procs.at("outer"), B.Procs.at("outer"));
+  EXPECT_NE(A.ProcsWithDeps.at("outer"), B.ProcsWithDeps.at("outer"));
+  EXPECT_NE(A.ProcsWithDeps.at("inner"), B.ProcsWithDeps.at("inner"));
+  EXPECT_TRUE(A.Deps.at("outer").count("inner"));
+}
+
+TEST(FingerprintTest, HexRendering) {
+  EXPECT_EQ(fingerprintHex(0), "0000000000000000");
+  EXPECT_EQ(fingerprintHex(0xdeadbeef12345678ull), "deadbeef12345678");
+}
+
+TEST(FingerprintTest, CorpusWideStability) {
+  unsigned Checked = 0;
+  for (const fs::directory_entry &Entry :
+       fs::directory_iterator(CSDF_EXAMPLES_DIR)) {
+    if (Entry.path().extension() != ".mpl")
+      continue;
+    std::string Source = readFileOrDie(Entry.path());
+    ParseResult Parsed = parseProgram(Source);
+    ASSERT_TRUE(Parsed.succeeded()) << Entry.path();
+    ProgramFingerprints A = fingerprintProgram(Parsed.Prog);
+
+    // Reformat: comments, blank lines, trailing spaces.
+    std::string Reformatted = "# corpus stability check\n";
+    for (char C : Source) {
+      if (C == '\n')
+        Reformatted += " \n\n";
+      else
+        Reformatted += C;
+    }
+    ParseResult Reparsed = parseProgram(Reformatted);
+    ASSERT_TRUE(Reparsed.succeeded()) << Entry.path();
+    ProgramFingerprints B = fingerprintProgram(Reparsed.Prog);
+
+    EXPECT_EQ(A.Main, B.Main) << Entry.path();
+    EXPECT_EQ(A.Combined, B.Combined) << Entry.path();
+    EXPECT_EQ(A.Procs, B.Procs) << Entry.path();
+    EXPECT_EQ(A.ProcsWithDeps, B.ProcsWithDeps) << Entry.path();
+    ++Checked;
+  }
+  EXPECT_GE(Checked, 10u) << "example corpus went missing?";
+}
+
+} // namespace

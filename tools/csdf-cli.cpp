@@ -20,6 +20,10 @@
 //                                             JSON-lines requests on stdio
 //                                             or a unix socket, answered
 //                                             from a warm result cache
+//   csdf lsp      [options]                   Language Server Protocol
+//                                             server on stdio: lint
+//                                             diagnostics on every edit,
+//                                             via the incremental pipeline
 //
 // Analysis requests (analyze, lint, batch, serve) all go through the
 // csdf::api facade, so the shared request flags parse and validate
@@ -86,6 +90,7 @@
 #include "diag/DiagRenderer.h"
 #include "cfg/CfgBuilder.h"
 #include "cfg/CfgDot.h"
+#include "driver/Lsp.h"
 #include "driver/Serve.h"
 #include "driver/Session.h"
 #include "interp/Interpreter.h"
@@ -139,6 +144,7 @@ void usage() {
                "usage: csdf <check|cfg|run|analyze|topo|baseline|lint|batch> "
                "<file.mpl|dir> [options]\n"
                "       csdf serve [options]\n"
+               "       csdf lsp [options]\n"
                "analysis options (analyze, lint, batch, serve):\n"
                "  --client linear|cartesian|sectionx  --fixed-np N  "
                "--param NAME=V\n"
@@ -168,6 +174,10 @@ void usage() {
                "  --cache-size N   result-cache entries (default 256, 0 "
                "disables)\n"
                "  --socket PATH    unix-socket transport instead of stdio\n"
+               "lsp: a Language Server Protocol server on stdio (lint "
+               "diagnostics\n"
+               "  on every change, incremental re-analysis); takes the "
+               "analysis options\n"
                "exit codes: 0 complete, 1 degraded/findings, 2 usage/IO, "
                "3 internal error\n");
 }
@@ -186,8 +196,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     return usageError("expected a command and an input path");
   Opts.Command = Argv[1];
   int First = 3;
-  if (Opts.Command == "serve") {
-    // The daemon takes no input path; its flags set per-request defaults.
+  if (Opts.Command == "serve" || Opts.Command == "lsp") {
+    // The daemons take no input path; their flags set per-request
+    // defaults.
     First = 2;
   } else {
     if (Argc < 3)
@@ -598,6 +609,12 @@ int cmdServe(const CliOptions &Cli) {
   return runServe(Opts);
 }
 
+int cmdLsp(const CliOptions &Cli) {
+  LspOptions Opts;
+  Opts.Defaults = Cli.Request;
+  return runLsp(Opts);
+}
+
 int cmdListPasses() {
   for (const LintPassInfo &P : lintPassRegistry())
     std::printf("%-18s %s\n", P.Name.c_str(), P.Description.c_str());
@@ -628,9 +645,11 @@ int main(int Argc, char **Argv) {
   if (Cli.Command == "lint" && Cli.File == "--list-passes")
     return cmdListPasses();
 
-  // The daemon and the batch driver resolve their own inputs.
+  // The daemons and the batch driver resolve their own inputs.
   if (Cli.Command == "serve")
     return cmdServe(Cli);
+  if (Cli.Command == "lsp")
+    return cmdLsp(Cli);
   if (Cli.Command == "batch")
     return cmdBatch(Cli);
 
