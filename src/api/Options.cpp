@@ -270,3 +270,33 @@ bool csdf::api::optionsFromJson(const JsonValue &Json, RequestOptions &Opts,
   }
   return true;
 }
+
+std::string csdf::api::optionsToJson(const RequestOptions &Opts) {
+  std::string J = "{";
+  J += "\"check_match_nondet\":";
+  J += Opts.CheckMatchNondet ? "true" : "false";
+  J += ",\"client\":\"" + Opts.Client + "\"";
+  J += ",\"deadline_ms\":" + std::to_string(Opts.DeadlineMs);
+  if (Opts.FixedNp > 0)
+    J += ",\"fixed_np\":" + std::to_string(Opts.FixedNp);
+  J += ",\"max_memory_mb\":" + std::to_string(Opts.MaxMemoryMb);
+  if (Opts.MaxStates > 0)
+    J += ",\"max_states\":" + std::to_string(Opts.MaxStates);
+  if (!Opts.Params.empty()) {
+    J += ",\"params\":{";
+    bool First = true;
+    for (const auto &[Name, Value] : Opts.Params) {
+      if (!First)
+        J += ',';
+      First = false;
+      J += "\"" + Name + "\":" + std::to_string(Value);
+    }
+    J += "}";
+  }
+  J += ",\"prover_steps\":" + std::to_string(Opts.ProverSteps);
+  J += ",\"test_hooks\":";
+  J += Opts.TestHooks ? "true" : "false";
+  J += ",\"threads\":" + std::to_string(Opts.Threads);
+  J += "}";
+  return J;
+}

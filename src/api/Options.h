@@ -110,6 +110,14 @@ ArgStatus parseSharedOption(int Argc, const char *const *Argv, int &I,
 bool optionsFromJson(const JsonValue &Json, RequestOptions &Opts,
                      std::string &Error);
 
+/// The inverse spelling: \p Opts as a serve-protocol "options" object
+/// (sorted keys, compact). Round-trips through optionsFromJson to an
+/// options value with the identical fingerprint(), so `csdf client` can
+/// forward its command-line flags to a daemon without a third spelling.
+/// Fields whose zero value optionsFromJson rejects (fixed_np, max_states)
+/// are omitted when unset, as is an empty params object.
+std::string optionsToJson(const RequestOptions &Opts);
+
 } // namespace csdf::api
 
 #endif // CSDF_API_OPTIONS_H

@@ -1,0 +1,205 @@
+//===- driver/Client.cpp --------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Client.h"
+
+#include "diag/DiagRenderer.h"
+#include "driver/Session.h"
+#include "support/Json.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace csdf;
+
+namespace {
+
+/// Connects to the daemon's unix socket; -1 on failure.
+int connectUnix(const std::string &Path) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path))
+    return -1;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// One attempt: send the line, read one response line. Returns false on
+/// any transport failure (connect refused, EOF mid-response) — all
+/// retryable, since the daemon may be restarting or crashed mid-write.
+bool attempt(const ClientOptions &Opts, const std::string &RequestLine,
+             std::string &ResponseLine) {
+  int Fd = connectUnix(Opts.SocketPath);
+  if (Fd < 0)
+    return false;
+  std::string Out = RequestLine + "\n";
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    // MSG_NOSIGNAL: a daemon that sheds the connection (writes the
+    // overloaded error and closes) must surface as a retryable EPIPE,
+    // not kill the client with SIGPIPE.
+    ssize_t N = ::send(Fd, Out.data() + Off, Out.size() - Off, MSG_NOSIGNAL);
+    if (N <= 0) {
+      ::close(Fd);
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  std::string Buf;
+  char Chunk[4096];
+  size_t Nl;
+  while ((Nl = Buf.find('\n')) == std::string::npos) {
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N <= 0) {
+      ::close(Fd);
+      return false; // EOF before a full line: daemon died mid-response
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  ResponseLine = Buf.substr(0, Nl);
+  return true;
+}
+
+std::string buildRequest(const ClientOptions &Opts, std::string &Error) {
+  std::string Req = "{\"id\":1,\"type\":\"" + Opts.Type + "\"";
+  if (Opts.Type == "analyze" || Opts.Type == "lint") {
+    Req += ",\"path\":\"" + jsonEscape(Opts.Path) + "\"";
+    if (Opts.SendSource) {
+      std::string Source;
+      if (!readSessionFile(Opts.Path, Source, Error))
+        return "";
+      Req += ",\"source\":\"" + jsonEscape(Source) + "\"";
+    }
+  }
+  if (Opts.HasOptions)
+    Req += ",\"options\":" + api::optionsToJson(Opts.Options);
+  if (Opts.Type == "lint") {
+    if (Opts.Werror)
+      Req += ",\"werror\":true";
+    if (!Opts.MinSeverity.empty())
+      Req += ",\"min_severity\":\"" + Opts.MinSeverity + "\"";
+    if (!Opts.Disabled.empty()) {
+      Req += ",\"disable\":[";
+      bool First = true;
+      for (const std::string &Pass : Opts.Disabled) {
+        if (!First)
+          Req += ',';
+        First = false;
+        Req += "\"" + Pass + "\"";
+      }
+      Req += "]";
+    }
+  }
+  Req += "}";
+  return Req;
+}
+
+} // namespace
+
+int csdf::runClient(const ClientOptions &Opts) {
+  if (Opts.SocketPath.empty()) {
+    std::fprintf(stderr, "csdf: error: client requires --socket PATH\n");
+    return 2;
+  }
+  if ((Opts.Type == "analyze" || Opts.Type == "lint") && Opts.Path.empty()) {
+    std::fprintf(stderr, "csdf: error: client %s requires an input file\n",
+                 Opts.Type.c_str());
+    return 2;
+  }
+
+  std::string Error;
+  std::string RequestLine = buildRequest(Opts, Error);
+  if (RequestLine.empty()) {
+    std::fprintf(stderr, "csdf: error: %s\n", Error.c_str());
+    return 2;
+  }
+
+  // Jitter decorrelates a fleet of retrying clients; determinism is not a
+  // goal here (this is wall-clock scheduling, not analysis).
+  std::mt19937_64 Rng(static_cast<std::uint64_t>(::getpid()) ^
+                      static_cast<std::uint64_t>(
+                          std::chrono::steady_clock::now()
+                              .time_since_epoch()
+                              .count()));
+
+  std::string Response;
+  bool SawResponse = false;
+  for (unsigned Attempt = 0; Attempt <= Opts.Retries; ++Attempt) {
+    if (Attempt > 0) {
+      std::uint64_t Delay = std::min<std::uint64_t>(
+          Opts.RetryCapMs,
+          static_cast<std::uint64_t>(Opts.RetryBaseMs)
+              << std::min(Attempt - 1, 20u));
+      // Honor the server's hint when it asks for more patience.
+      if (SawResponse) {
+        JsonValue V;
+        std::string ParseError;
+        if (parseJson(Response, V, ParseError) && V.get("retry_after_ms"))
+          Delay = std::max<std::uint64_t>(
+              Delay, static_cast<std::uint64_t>(
+                         V.get("retry_after_ms")->asInt()));
+      }
+      // +-50% jitter.
+      std::uniform_int_distribution<std::uint64_t> Dist(Delay / 2, Delay +
+                                                                       1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(Dist(Rng)));
+    }
+
+    std::string Line;
+    if (!attempt(Opts, RequestLine, Line)) {
+      SawResponse = false;
+      continue; // transport failure: retryable
+    }
+    Response = Line;
+    SawResponse = true;
+
+    JsonValue V;
+    std::string ParseError;
+    if (!parseJson(Line, V, ParseError)) {
+      // A daemon speaking garbage is not retryable — surface it.
+      std::fprintf(stderr, "csdf: error: unparseable response: %s\n",
+                   ParseError.c_str());
+      std::printf("%s\n", Line.c_str());
+      return 1;
+    }
+    const JsonValue *Ok = V.get("ok");
+    if (Ok && Ok->isBool() && Ok->asBool()) {
+      std::printf("%s\n", Line.c_str());
+      return 0;
+    }
+    const JsonValue *Retryable = V.get("retryable");
+    if (Retryable && Retryable->isBool() && Retryable->asBool())
+      continue;
+    std::printf("%s\n", Line.c_str());
+    return 1;
+  }
+
+  if (SawResponse) {
+    std::printf("%s\n", Response.c_str());
+    std::fprintf(stderr, "csdf: error: retries exhausted\n");
+    return 1;
+  }
+  std::fprintf(stderr, "csdf: error: cannot reach daemon at '%s'\n",
+               Opts.SocketPath.c_str());
+  return 2;
+}

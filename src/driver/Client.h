@@ -1,0 +1,77 @@
+//===- driver/Client.h - One-shot serve client with retry/backoff ---------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `csdf client` is the reference consumer of the serve daemon's failure
+/// contract: it sends exactly one request over the daemon's unix socket,
+/// prints the response line, and — crucially — implements the retry side
+/// of the structured-error protocol, so the contract is exercised
+/// end-to-end by real binaries, not just unit tests:
+///
+///  - A response with `"retryable": true` (e.g. `"code": "overloaded"`)
+///    is retried after max(`retry_after_ms`, capped exponential backoff
+///    with jitter).
+///  - A dropped connection or EOF before a full response line (daemon
+///    crashed mid-response, or is restarting) is treated the same way.
+///  - A non-retryable `"ok": false` response is printed and exits 1.
+///
+/// Exit codes: 0 — the daemon answered `"ok": true`; 1 — a structured,
+/// non-retryable error (or retries exhausted on a retryable one); 2 —
+/// usage error or the socket never became reachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_DRIVER_CLIENT_H
+#define CSDF_DRIVER_CLIENT_H
+
+#include "api/Options.h"
+
+#include <set>
+#include <string>
+
+namespace csdf {
+
+struct ClientOptions {
+  /// The daemon's unix socket (required).
+  std::string SocketPath;
+
+  /// Request type: "analyze", "lint", "stats", or "shutdown".
+  std::string Type = "analyze";
+
+  /// Input file for analyze/lint.
+  std::string Path;
+
+  /// Read the file locally and embed it as "source" (the daemon then
+  /// never touches the filesystem for this request).
+  bool SendSource = false;
+
+  /// Shared analysis options; sent as the request's "options" object
+  /// only when HasOptions is set, so a plain request inherits the
+  /// daemon's defaults instead of overriding them with client defaults.
+  api::RequestOptions Options;
+  bool HasOptions = false;
+
+  // Lint policy.
+  std::set<std::string> Disabled;
+  bool Werror = false;
+  std::string MinSeverity;
+
+  /// Retry policy: attempts = Retries + 1; backoff for attempt k sleeps
+  /// min(RetryCapMs, RetryBaseMs << k) with +-50% jitter, or the
+  /// server-suggested retry_after_ms when larger.
+  unsigned Retries = 5;
+  unsigned RetryBaseMs = 25;
+  unsigned RetryCapMs = 2000;
+};
+
+/// Runs one request per \p Opts, printing the daemon's response line to
+/// stdout (retried attempts print nothing; only the final response is
+/// shown). Returns the process exit code described in the file comment.
+int runClient(const ClientOptions &Opts);
+
+} // namespace csdf
+
+#endif // CSDF_DRIVER_CLIENT_H

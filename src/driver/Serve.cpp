@@ -9,16 +9,23 @@
 #include "analysis/Lint.h"
 #include "diag/DiagRenderer.h"
 #include "driver/Session.h"
+#include "support/Fault.h"
+#include "support/Version.h"
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <mutex>
 #include <optional>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <thread>
 #include <unistd.h>
+#include <vector>
 
 using namespace csdf;
 
@@ -55,13 +62,25 @@ std::string diagsJsonArray(const std::vector<Diagnostic> &Diags,
   return Out;
 }
 
-std::string errorResponse(const std::string &IdJson,
+/// Structured error envelope: every rejection names its category so
+/// clients can branch on `code` instead of parsing prose, and carries an
+/// explicit `retryable` so the retry policy lives in the contract, not
+/// in client guesswork.
+std::string errorResponse(const std::string &IdJson, const char *Code,
                           const std::string &Message) {
-  return "{\"id\":" + IdJson + ",\"ok\":false,\"error\":\"" +
-         jsonEscape(Message) + "\"}";
+  return "{\"id\":" + IdJson + ",\"ok\":false,\"code\":\"" + Code +
+         "\",\"error\":\"" + jsonEscape(Message) +
+         "\",\"retryable\":false}";
 }
 
 } // namespace
+
+std::string csdf::overloadedResponse(unsigned RetryAfterMs) {
+  return "{\"id\":null,\"ok\":false,\"code\":\"overloaded\",\"error\":"
+         "\"server overloaded, retry later\",\"retryable\":true,"
+         "\"retry_after_ms\":" +
+         std::to_string(RetryAfterMs) + "}";
+}
 
 std::string ServeStats::json(std::size_t CacheEntries,
                              std::size_t CacheCapacity) const {
@@ -74,6 +93,13 @@ std::string ServeStats::json(std::size_t CacheEntries,
   S += ",\"cache_capacity\":" + std::to_string(CacheCapacity);
   S += ",\"cache_entries\":" + std::to_string(CacheEntries);
   S += ",\"cold_runs\":" + std::to_string(ColdRuns);
+  S += ",\"disk_evictions\":" + std::to_string(DiskEvictions);
+  S += ",\"disk_hits\":" + std::to_string(DiskHits);
+  S += ",\"disk_misses\":" + std::to_string(DiskMisses);
+  S += ",\"disk_quarantined\":" + std::to_string(DiskQuarantined);
+  S += ",\"disk_read_failures\":" + std::to_string(DiskReadFailures);
+  S += ",\"disk_write_failures\":" + std::to_string(DiskWriteFailures);
+  S += ",\"disk_writes\":" + std::to_string(DiskWrites);
   S += ",\"errors\":" + std::to_string(Errors);
   S += ",\"evictions\":" + std::to_string(Evictions);
   S += ",\"hit_rate\":" + std::string(Rate);
@@ -86,6 +112,11 @@ std::string ServeStats::json(std::size_t CacheEntries,
   S += ",\"misses\":" + std::to_string(Misses);
   S += ",\"requests\":" + std::to_string(Requests);
   S += ",\"seeded_runs\":" + std::to_string(SeededRuns);
+  S += ",\"shed_connections\":" + std::to_string(ShedConnections);
+  S += ",\"store_enabled\":" + std::string(StoreEnabled ? "true" : "false");
+  S += ",\"store_entries\":" + std::to_string(StoreEntries);
+  S += ",\"store_live_bytes\":" + std::to_string(StoreLiveBytes);
+  S += ",\"store_temps_cleaned\":" + std::to_string(StoreTempsCleaned);
   S += ",\"wall_us_avg\":" +
        std::to_string(Requests ? WallUsTotal / Requests : 0);
   S += ",\"wall_us_total\":" + std::to_string(WallUsTotal);
@@ -108,7 +139,19 @@ struct ServeServer::Request {
 };
 
 ServeServer::ServeServer(const ServeOptions &Opts)
-    : Opts(Opts), Analyzer(api::AnalyzerConfig::warm()) {}
+    : Opts(Opts), Analyzer(api::AnalyzerConfig::warm()) {
+  if (Opts.StoreDir.empty())
+    return;
+  DiskStoreOptions SOpts;
+  SOpts.Dir = Opts.StoreDir;
+  SOpts.MaxBytes = Opts.StoreMaxBytes;
+  // Version-salted keys: a store written by one build never answers for
+  // another whose verdict bytes may legitimately differ.
+  SOpts.Namespace = toolVersion();
+  Store = std::make_unique<DiskStore>(std::move(SOpts));
+  if (!Store->open(StoreError))
+    Store.reset();
+}
 
 const ServeStats &ServeServer::stats() {
   const api::IncrementalStats &I = Analyzer.incrementalStats();
@@ -119,18 +162,46 @@ const ServeStats &ServeServer::stats() {
   Stats.AdoptedSteps = I.AdoptedSteps;
   Stats.LiveSteps = I.LiveSteps;
   Stats.LastSeedReject = I.LastSeedRejectReason;
+  Stats.StoreEnabled = Store != nullptr;
+  if (Store) {
+    const DiskStoreStats &D = Store->stats();
+    Stats.DiskHits = D.Hits;
+    Stats.DiskMisses = D.Misses;
+    Stats.DiskWrites = D.Writes;
+    Stats.DiskWriteFailures = D.WriteFailures;
+    Stats.DiskReadFailures = D.ReadFailures;
+    Stats.DiskQuarantined = D.Quarantined;
+    Stats.DiskEvictions = D.Evictions;
+    Stats.StoreEntries = Store->entryCount();
+    Stats.StoreLiveBytes = Store->liveBytes();
+    Stats.StoreTempsCleaned = D.TempsCleaned;
+  }
   return Stats;
 }
 
-const std::string *ServeServer::cacheGet(const std::string &Key) {
+std::optional<std::string> ServeServer::cacheGet(const std::string &Key,
+                                                const char *&Tier) {
   auto It = CacheMap.find(Key);
-  if (It == CacheMap.end())
-    return nullptr;
-  CacheList.splice(CacheList.begin(), CacheList, It->second);
-  return &It->second->second;
+  if (It != CacheMap.end()) {
+    CacheList.splice(CacheList.begin(), CacheList, It->second);
+    Tier = "memory";
+    return It->second->second;
+  }
+  if (Store) {
+    if (std::optional<std::string> Payload = Store->get(Key)) {
+      // Backfill the memory tier so the next repeat is a memory hit.
+      cachePut(Key, *Payload, /*WriteDisk=*/false);
+      Tier = "disk";
+      return Payload;
+    }
+  }
+  return std::nullopt;
 }
 
-void ServeServer::cachePut(const std::string &Key, std::string Payload) {
+void ServeServer::cachePut(const std::string &Key, std::string Payload,
+                           bool WriteDisk) {
+  if (WriteDisk && Store)
+    Store->put(Key, Payload);
   if (Opts.CacheCapacity == 0)
     return;
   auto It = CacheMap.find(Key);
@@ -146,6 +217,11 @@ void ServeServer::cachePut(const std::string &Key, std::string Payload) {
     CacheList.pop_back();
     ++Stats.Evictions;
   }
+}
+
+void ServeServer::flushStore() {
+  if (Store)
+    Store->sync();
 }
 
 std::string ServeServer::handleAnalyze(const Request &Req) {
@@ -172,10 +248,12 @@ std::string ServeServer::handleAnalyze(const Request &Req) {
   std::string Key =
       "analyze\n" + Req.Options.fingerprint() + "\n" + Req.Path + "\n" +
       Source;
-  if (const std::string *Payload = cacheGet(Key)) {
-    ++Stats.Hits;
-    return "{\"id\":" + Req.IdJson +
-           ",\"ok\":true,\"cached\":true,\"result\":" + *Payload + "}";
+  const char *Tier = "memory";
+  if (std::optional<std::string> Payload = cacheGet(Key, Tier)) {
+    if (Tier[0] == 'm') // disk hits are counted by the store's own stats
+      ++Stats.Hits;
+    return "{\"id\":" + Req.IdJson + ",\"ok\":true,\"cached\":true," +
+           "\"tier\":\"" + Tier + "\",\"result\":" + *Payload + "}";
   }
   ++Stats.Misses;
 
@@ -209,7 +287,7 @@ std::string ServeServer::handleLint(const Request &Req) {
     std::string Error;
     if (!readSessionFile(Req.Path, Source, Error)) {
       ++Stats.Errors;
-      return errorResponse(Req.IdJson, Error);
+      return errorResponse(Req.IdJson, "io-error", Error);
     }
   }
 
@@ -220,10 +298,12 @@ std::string ServeServer::handleLint(const Request &Req) {
   for (const std::string &Pass : Req.Disabled)
     Key += Pass + ",";
   Key += "\n" + Source;
-  if (const std::string *Payload = cacheGet(Key)) {
-    ++Stats.Hits;
-    return "{\"id\":" + Req.IdJson +
-           ",\"ok\":true,\"cached\":true,\"result\":" + *Payload + "}";
+  const char *Tier = "memory";
+  if (std::optional<std::string> Payload = cacheGet(Key, Tier)) {
+    if (Tier[0] == 'm')
+      ++Stats.Hits;
+    return "{\"id\":" + Req.IdJson + ",\"ok\":true,\"cached\":true," +
+           "\"tier\":\"" + Tier + "\",\"result\":" + *Payload + "}";
   }
   ++Stats.Misses;
 
@@ -249,18 +329,27 @@ std::string ServeServer::handleLine(const std::string &Line, bool &Shutdown) {
   std::uint64_t Start = nowUs();
   ++Stats.Requests;
 
-  auto Fail = [&](const std::string &IdJson, const std::string &Msg) {
+  auto Fail = [&](const std::string &IdJson, const char *Code,
+                  const std::string &Msg) {
     ++Stats.Errors;
     Stats.WallUsTotal += nowUs() - Start;
-    return errorResponse(IdJson, Msg);
+    return errorResponse(IdJson, Code, Msg);
   };
+
+  // The size cap is checked before the parser ever sees the bytes: an
+  // oversized request is a protocol violation answered structurally, not
+  // an invitation to buffer without bound.
+  if (Line.size() > Opts.MaxRequestBytes)
+    return Fail("null", "parse-error",
+                "request exceeds " + std::to_string(Opts.MaxRequestBytes) +
+                    " bytes");
 
   JsonValue Json;
   std::string Error;
   if (!parseJson(Line, Json, Error))
-    return Fail("null", "malformed request: " + Error);
+    return Fail("null", "parse-error", "malformed request: " + Error);
   if (!Json.isObject())
-    return Fail("null", "request must be a JSON object");
+    return Fail("null", "parse-error", "request must be a JSON object");
 
   Request Req;
   if (const JsonValue *Id = Json.get("id"))
@@ -272,30 +361,34 @@ std::string ServeServer::handleLine(const std::string &Line, bool &Shutdown) {
       // Echoed verbatim; any JSON value is fine.
     } else if (Key == "type") {
       if (!Value.isString())
-        return Fail(Req.IdJson, "type must be a string");
+        return Fail(Req.IdJson, "invalid-request", "type must be a string");
       Req.Type = Value.asString();
     } else if (Key == "path") {
       if (!Value.isString())
-        return Fail(Req.IdJson, "path must be a string");
+        return Fail(Req.IdJson, "invalid-request", "path must be a string");
       Req.Path = Value.asString();
     } else if (Key == "source") {
       if (!Value.isString())
-        return Fail(Req.IdJson, "source must be a string");
+        return Fail(Req.IdJson, "invalid-request",
+                    "source must be a string");
       Req.Source = Value.asString();
     } else if (Key == "options") {
       if (!api::optionsFromJson(Value, Req.Options, Error))
-        return Fail(Req.IdJson, Error);
+        return Fail(Req.IdJson, "invalid-request", Error);
     } else if (Key == "disable") {
       if (!Value.isArray())
-        return Fail(Req.IdJson, "disable must be an array of pass names");
+        return Fail(Req.IdJson, "invalid-request",
+                    "disable must be an array of pass names");
       for (const JsonValue &Pass : Value.asArray()) {
         if (!Pass.isString() || !isKnownLintPass(Pass.asString()))
-          return Fail(Req.IdJson, "disable names an unknown lint pass");
+          return Fail(Req.IdJson, "invalid-request",
+                      "disable names an unknown lint pass");
         Req.Disabled.insert(Pass.asString());
       }
     } else if (Key == "werror") {
       if (!Value.isBool())
-        return Fail(Req.IdJson, "werror must be a boolean");
+        return Fail(Req.IdJson, "invalid-request",
+                    "werror must be a boolean");
       Req.Werror = Value.asBool();
     } else if (Key == "min_severity") {
       const std::string &S = Value.isString() ? Value.asString() : "";
@@ -306,21 +399,24 @@ std::string ServeServer::handleLine(const std::string &Line, bool &Shutdown) {
       else if (S == "error")
         Req.MinSeverity = DiagSeverity::Error;
       else
-        return Fail(Req.IdJson,
+        return Fail(Req.IdJson, "invalid-request",
                     "min_severity must be note, warning, or error");
     } else {
-      return Fail(Req.IdJson, "unknown request field '" + Key + "'");
+      return Fail(Req.IdJson, "invalid-request",
+                  "unknown request field '" + Key + "'");
     }
   }
 
   std::string Resp;
   if (Req.Type == "analyze") {
     if (!Req.Source && Req.Path == "<request>")
-      return Fail(Req.IdJson, "analyze needs a path or a source");
+      return Fail(Req.IdJson, "invalid-request",
+                  "analyze needs a path or a source");
     Resp = handleAnalyze(Req);
   } else if (Req.Type == "lint") {
     if (!Req.Source && Req.Path == "<request>")
-      return Fail(Req.IdJson, "lint needs a path or a source");
+      return Fail(Req.IdJson, "invalid-request",
+                  "lint needs a path or a source");
     Resp = handleLint(Req);
   } else if (Req.Type == "stats") {
     Stats.WallUsTotal += nowUs() - Start;
@@ -328,13 +424,24 @@ std::string ServeServer::handleLine(const std::string &Line, bool &Shutdown) {
            stats().json(cacheEntries(), Opts.CacheCapacity) + "}";
   } else if (Req.Type == "shutdown") {
     Shutdown = true;
+    // Graceful drain: pending store writes are flushed before the
+    // response goes out, so an acknowledged shutdown is a durable one.
+    flushStore();
     Stats.WallUsTotal += nowUs() - Start;
     return "{\"id\":" + Req.IdJson + ",\"ok\":true,\"shutting_down\":true}";
   } else if (Req.Type.empty()) {
-    return Fail(Req.IdJson, "request has no type");
+    return Fail(Req.IdJson, "invalid-request", "request has no type");
   } else {
-    return Fail(Req.IdJson, "unknown request type '" + Req.Type + "'");
+    return Fail(Req.IdJson, "invalid-request",
+                "unknown request type '" + Req.Type + "'");
   }
+
+  // Deliberate mid-response crash site: the request was handled but the
+  // response never leaves. Clients must treat the dropped connection as
+  // retryable.
+  if (FaultInjector::global().armed() &&
+      FaultInjector::global().shouldFail("serve-crash-response"))
+    ::_exit(141);
 
   std::uint64_t Wall = nowUs() - Start;
   Stats.WallUsTotal += Wall;
@@ -359,17 +466,51 @@ void csdf::runServeLoop(ServeServer &Server, std::istream &In,
 
 namespace {
 
-/// Serves one accepted socket connection with the same line protocol.
-void serveConnection(ServeServer &Server, int Fd, bool &Shutdown) {
+bool writeAllFd(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N <= 0)
+      return false;
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Serves one accepted socket connection with the line protocol.
+/// handleLine calls are serialized through \p Mu; reads poll with a short
+/// timeout so the thread notices a daemon-wide shutdown promptly.
+void serveConnection(ServeServer &Server, std::mutex &Mu, int Fd,
+                     std::atomic<bool> &Shutdown, const ServeOptions &Opts) {
+  timeval Tv{0, 200000};
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+
   std::string Buf;
   char Chunk[4096];
-  while (!Shutdown) {
-    size_t Nl;
-    while ((Nl = Buf.find('\n')) == std::string::npos) {
-      ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
-      if (N <= 0)
+  while (!Shutdown.load()) {
+    size_t Nl = Buf.find('\n');
+    if (Nl == std::string::npos) {
+      // A runaway line (no newline past the cap) is answered and the
+      // connection dropped — the daemon never buffers without bound.
+      if (Buf.size() > Opts.MaxRequestBytes + 4096) {
+        writeAllFd(Fd, errorResponse(
+                           "null", "parse-error",
+                           "request exceeds " +
+                               std::to_string(Opts.MaxRequestBytes) +
+                               " bytes") +
+                           "\n");
         return;
+      }
+      ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+      if (N == 0)
+        return; // client EOF
+      if (N < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+          continue; // timeout: re-check Shutdown
+        return;
+      }
       Buf.append(Chunk, static_cast<size_t>(N));
+      continue;
     }
     std::string Line = Buf.substr(0, Nl);
     Buf.erase(0, Nl + 1);
@@ -377,14 +518,19 @@ void serveConnection(ServeServer &Server, int Fd, bool &Shutdown) {
       Line.pop_back();
     if (Line.empty())
       continue;
-    std::string Resp = Server.handleLine(Line, Shutdown) + "\n";
-    size_t Off = 0;
-    while (Off < Resp.size()) {
-      ssize_t N = ::write(Fd, Resp.data() + Off, Resp.size() - Off);
-      if (N <= 0)
-        return;
-      Off += static_cast<size_t>(N);
+    std::string Resp;
+    bool WantShutdown = false;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Resp = Server.handleLine(Line, WantShutdown);
     }
+    bool Wrote = writeAllFd(Fd, Resp + "\n");
+    if (WantShutdown) {
+      Shutdown.store(true);
+      return;
+    }
+    if (!Wrote)
+      return;
   }
 }
 
@@ -392,8 +538,13 @@ void serveConnection(ServeServer &Server, int Fd, bool &Shutdown) {
 
 int csdf::runServe(const ServeOptions &Opts) {
   ServeServer Server(Opts);
+  if (!Server.storeError().empty()) {
+    std::fprintf(stderr, "csdf: error: %s\n", Server.storeError().c_str());
+    return 2;
+  }
   if (Opts.SocketPath.empty()) {
     runServeLoop(Server, std::cin, std::cout);
+    Server.flushStore();
     return 0;
   }
 
@@ -415,27 +566,60 @@ int csdf::runServe(const ServeOptions &Opts) {
   }
   ::unlink(Opts.SocketPath.c_str());
   if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
-      ::listen(Fd, 8) != 0) {
+      ::listen(Fd, 64) != 0) {
     std::fprintf(stderr, "csdf: error: cannot listen on '%s': %s\n",
                  Opts.SocketPath.c_str(), std::strerror(errno));
     ::close(Fd);
     return 2;
   }
 
-  // Connections are served one at a time; daemon state (warm analyzer,
-  // cache, stats) persists across them.
-  bool Shutdown = false;
-  while (!Shutdown) {
+  // Each connection gets its own thread; request handling is serialized
+  // through Mu (one warm analyzer). The admission gate sheds connections
+  // beyond MaxInflight + QueueDepth with a structured `overloaded`
+  // response instead of queueing unboundedly.
+  std::atomic<bool> Shutdown{false};
+  std::atomic<unsigned> Inflight{0};
+  std::mutex Mu;
+  std::vector<std::thread> Threads;
+  const unsigned AdmitLimit = Opts.MaxInflight + Opts.QueueDepth;
+
+  while (!Shutdown.load()) {
+    pollfd P{Fd, POLLIN, 0};
+    int R = ::poll(&P, 1, 200);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (R == 0)
+      continue; // timeout: re-check Shutdown
     int Conn = ::accept(Fd, nullptr, nullptr);
     if (Conn < 0) {
       if (errno == EINTR)
         continue;
       break;
     }
-    serveConnection(Server, Conn, Shutdown);
-    ::close(Conn);
+    if (Inflight.load() >= AdmitLimit) {
+      writeAllFd(Conn, overloadedResponse(/*RetryAfterMs=*/50) + "\n");
+      ::close(Conn);
+      std::lock_guard<std::mutex> Lock(Mu);
+      Server.countShed();
+      continue;
+    }
+    ++Inflight;
+    Threads.emplace_back([&Server, &Mu, &Shutdown, &Inflight, &Opts,
+                          Conn]() {
+      serveConnection(Server, Mu, Conn, Shutdown, Opts);
+      ::close(Conn);
+      --Inflight;
+    });
   }
+  // Drain: every admitted connection finishes its in-flight request and
+  // gets its response before the process exits.
+  for (std::thread &T : Threads)
+    T.join();
   ::close(Fd);
   ::unlink(Opts.SocketPath.c_str());
+  Server.flushStore();
   return 0;
 }

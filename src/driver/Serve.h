@@ -13,6 +13,12 @@
 /// recomputation per file; repeated requests are answered from a
 /// content-addressed LRU cache keyed by (source text, request options).
 ///
+/// With `--store-dir` the daemon adds a second, *durable* tier: an
+/// on-disk content-addressed store (support/Store.h) consulted on a
+/// memory miss and backfilled on every cacheable result, so a `kill -9`
+/// + restart serves the same requests byte-identically from disk instead
+/// of re-analyzing. Cached responses carry `"tier": "memory"|"disk"`.
+///
 /// Requests:
 ///
 ///   {"id": 1, "type": "analyze", "path": "ring.mpl"}
@@ -30,16 +36,41 @@
 /// --format json` prints for the same input — the daemon is a cache in
 /// front of the CLI, never a different analyzer.
 ///
+/// Error responses are structured and machine-retryable:
+///
+///   {"id": null, "ok": false, "code": "parse-error",
+///    "error": "...", "retryable": false}
+///   {"id": null, "ok": false, "code": "overloaded",
+///    "error": "...", "retryable": true, "retry_after_ms": 50}
+///
+/// `code` is one of: "parse-error" (malformed JSON, non-object, or a
+/// request over the size cap), "invalid-request" (a well-formed envelope
+/// with a bad field/type/option), "io-error" (an unreadable input file on
+/// a lint request), "overloaded" (the socket admission gate shed the
+/// connection; retry after `retry_after_ms`). A bad line never kills the
+/// daemon. `csdf client` implements the retry side of this contract with
+/// capped exponential backoff.
+///
+/// On the socket transport each connection is served on its own thread
+/// (request handling itself is serialized through the single warm
+/// analyzer); the admission gate sheds connections beyond
+/// `--max-inflight` + `--queue-depth` with an `overloaded` response
+/// instead of queueing unboundedly. A `shutdown` request drains: requests
+/// already in flight still get responses, the disk store is flushed, and
+/// the process exits 0 deterministically.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSDF_DRIVER_SERVE_H
 #define CSDF_DRIVER_SERVE_H
 
 #include "api/Csdf.h"
+#include "support/Store.h"
 
 #include <cstdint>
 #include <istream>
 #include <list>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <unordered_map>
@@ -55,9 +86,28 @@ struct ServeOptions {
   /// Result-cache capacity in entries; 0 disables caching.
   std::size_t CacheCapacity = 256;
 
+  /// When non-empty, results are also persisted to this directory's
+  /// content-addressed DiskStore and served from it after a restart.
+  std::string StoreDir;
+
+  /// Disk-store byte budget (oldest records evicted past it).
+  std::uint64_t StoreMaxBytes = 256ull << 20;
+
+  /// Socket admission gate: connections concurrently being served, plus
+  /// how many more may wait. A connection arriving past
+  /// MaxInflight + QueueDepth gets an `overloaded` response and is
+  /// closed. (Request handling is serialized through the one warm
+  /// analyzer; the gate bounds admitted work, not parallel analyses.)
+  unsigned MaxInflight = 8;
+  unsigned QueueDepth = 16;
+
+  /// Requests over this many bytes are rejected with a structured
+  /// `parse-error` instead of being buffered without bound.
+  std::size_t MaxRequestBytes = 8ull << 20;
+
   /// When non-empty, listen on this unix domain socket path instead of
-  /// stdio (one connection served at a time; the daemon state — cache,
-  /// warm analyzer, stats — persists across connections).
+  /// stdio (the daemon state — cache, warm analyzer, stats — persists
+  /// across connections).
   std::string SocketPath;
 };
 
@@ -66,14 +116,33 @@ struct ServeStats {
   std::uint64_t Requests = 0;
   std::uint64_t AnalyzeRequests = 0;
   std::uint64_t LintRequests = 0;
+  /// Memory-LRU tier hits. Disk-tier hits are counted separately below;
+  /// Misses counts requests that missed *both* tiers and analyzed.
   std::uint64_t Hits = 0;
   std::uint64_t Misses = 0;
+  /// Memory-LRU evictions (the disk tier's evictions are DiskEvictions).
   std::uint64_t Evictions = 0;
   /// Requests whose analysis degraded to Top on a budget limit.
   std::uint64_t BudgetTrips = 0;
   /// Malformed or rejected requests (parse error, unknown type/option).
   std::uint64_t Errors = 0;
+  /// Connections shed by the admission gate with an `overloaded` error.
+  std::uint64_t ShedConnections = 0;
   std::uint64_t WallUsTotal = 0;
+
+  /// Disk-store tier, mirrored from the DiskStore when a stats request
+  /// is answered (all zero when no --store-dir is configured).
+  bool StoreEnabled = false;
+  std::uint64_t DiskHits = 0;
+  std::uint64_t DiskMisses = 0;
+  std::uint64_t DiskWrites = 0;
+  std::uint64_t DiskWriteFailures = 0;
+  std::uint64_t DiskReadFailures = 0;
+  std::uint64_t DiskQuarantined = 0;
+  std::uint64_t DiskEvictions = 0;
+  std::uint64_t StoreEntries = 0;
+  std::uint64_t StoreLiveBytes = 0;
+  std::uint64_t StoreTempsCleaned = 0;
 
   /// Incremental-pipeline counters, mirrored from the warm Analyzer's
   /// IncrementalStats when a stats request is answered. The daemon's own
@@ -102,23 +171,41 @@ struct ServeStats {
                    std::size_t CacheCapacity) const;
 };
 
+/// The structured `overloaded` response the admission gate writes before
+/// closing a shed connection.
+std::string overloadedResponse(unsigned RetryAfterMs);
+
 /// The daemon's request processor, transport-agnostic: feed it one request
 /// line, get one response line back. Owns the warm Analyzer, the result
-/// cache, and the stats. Tests drive this directly; runServe() wires it to
-/// stdio or a socket.
+/// cache, the optional disk store, and the stats. Not internally
+/// synchronized — the socket transport serializes handleLine calls under
+/// one mutex. Tests drive this directly; runServe() wires it to stdio or
+/// a socket.
 class ServeServer {
 public:
   explicit ServeServer(const ServeOptions &Opts);
+
+  /// Non-empty when --store-dir was configured but the store could not
+  /// be opened; runServe() refuses to start in that case.
+  const std::string &storeError() const { return StoreError; }
 
   /// Handles one request line and returns the response line (no trailing
   /// newline). Never throws; malformed input yields an "ok": false
   /// response. Sets \p Shutdown on a shutdown request.
   std::string handleLine(const std::string &Line, bool &Shutdown);
 
-  /// Daemon counters with the incremental-pipeline section freshly
-  /// mirrored from the warm Analyzer.
+  /// Daemon counters with the incremental-pipeline and disk-store
+  /// sections freshly mirrored.
   const ServeStats &stats();
   std::size_t cacheEntries() const { return CacheMap.size(); }
+  DiskStore *store() { return Store.get(); }
+
+  /// Counts one admission-gate shed (called by the socket accept loop
+  /// under the server mutex).
+  void countShed() { ++Stats.ShedConnections; }
+
+  /// Flushes the disk store (graceful-drain step of shutdown).
+  void flushStore();
 
 private:
   struct Request;
@@ -126,13 +213,19 @@ private:
   std::string handleAnalyze(const Request &Req);
   std::string handleLint(const Request &Req);
 
-  /// Content-addressed cache lookup; moves the entry to MRU on hit.
-  const std::string *cacheGet(const std::string &Key);
-  void cachePut(const std::string &Key, std::string Payload);
+  /// Two-tier lookup: memory LRU first (moves the entry to MRU), then
+  /// the disk store (backfilling the LRU). \p Tier names the hit's tier
+  /// for the response. Returns empty optional on a full miss.
+  std::optional<std::string> cacheGet(const std::string &Key,
+                                      const char *&Tier);
+  void cachePut(const std::string &Key, std::string Payload,
+                bool WriteDisk = true);
 
   ServeOptions Opts;
   api::Analyzer Analyzer;
   ServeStats Stats;
+  std::unique_ptr<DiskStore> Store;
+  std::string StoreError;
 
   /// LRU list, most recent first; the map points into it. The key embeds
   /// the full option fingerprint and source text, so a hit is exact by
@@ -149,7 +242,8 @@ void runServeLoop(ServeServer &Server, std::istream &In, std::ostream &Out);
 
 /// Runs the daemon per \p Opts: stdio, or an AF_UNIX listener when
 /// SocketPath is set. Returns a process exit code (0 on clean shutdown or
-/// EOF, 2 on a transport setup failure).
+/// EOF — deterministically, with the store flushed; 2 on a transport or
+/// store setup failure).
 int runServe(const ServeOptions &Opts);
 
 } // namespace csdf

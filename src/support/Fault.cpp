@@ -1,0 +1,117 @@
+//===- support/Fault.cpp --------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Fault.h"
+
+#include <cstdlib>
+
+using namespace csdf;
+
+FaultInjector &FaultInjector::global() {
+  static FaultInjector Injector;
+  return Injector;
+}
+
+const std::vector<FaultSiteInfo> &FaultInjector::knownSites() {
+  static const std::vector<FaultSiteInfo> Catalog = {
+      {"store-open-fail", "DiskStore::open fails as if the directory were "
+                          "uncreatable"},
+      {"store-write-fail", "a store put() fails cleanly before the record "
+                           "reaches disk (counts a write failure; the "
+                           "response is unaffected)"},
+      {"store-short-write", "the record's temp file is truncated to half "
+                            "its bytes before the atomic rename — the "
+                            "framing must catch it on read"},
+      {"store-torn-write", "the record is written truncated *directly* at "
+                           "its final path, bypassing temp+rename — "
+                           "simulates a torn write/lying disk; read must "
+                           "quarantine"},
+      {"store-corrupt", "one payload byte is flipped after the checksum "
+                        "is computed — read must detect the mismatch and "
+                        "quarantine"},
+      {"store-read-fail", "a store get() fails as if the read syscall "
+                          "errored; treated as a miss"},
+      {"serve-crash-write", "the process _exits mid-write, after the temp "
+                            "file exists but before the rename — a "
+                            "restart must see an intact store and clean "
+                            "the temp"},
+      {"serve-crash-response", "the process _exits after handling a "
+                               "request but before the response line is "
+                               "written — the client sees EOF and must "
+                               "treat it as retryable"},
+  };
+  return Catalog;
+}
+
+bool FaultInjector::isKnownSite(const std::string &Name) {
+  for (const FaultSiteInfo &S : knownSites())
+    if (Name == S.Name)
+      return true;
+  return false;
+}
+
+bool FaultInjector::configure(const std::string &Spec, std::string &Error) {
+  std::map<std::string, Arm> Parsed;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Token = Spec.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Token.empty())
+      continue;
+
+    Arm A;
+    std::string Name = Token;
+    size_t Colon = Token.find(':');
+    if (Colon != std::string::npos) {
+      Name = Token.substr(0, Colon);
+      std::string Count = Token.substr(Colon + 1);
+      if (!Count.empty() && Count.back() == '+') {
+        A.AndAfter = true;
+        Count.pop_back();
+      }
+      char *End = nullptr;
+      A.Nth = std::strtoull(Count.c_str(), &End, 10);
+      if (Count.empty() || *End != '\0' || A.Nth == 0) {
+        Error = "bad fault count in '" + Token +
+                "' (expected site, site:N, or site:N+)";
+        return false;
+      }
+    }
+    if (!isKnownSite(Name)) {
+      Error = "unknown fault site '" + Name + "'";
+      return false;
+    }
+    Parsed[Name] = A;
+  }
+  Sites = std::move(Parsed);
+  Fired = 0;
+  return true;
+}
+
+bool FaultInjector::configureFromEnv(std::string &Error) {
+  const char *Spec = std::getenv("CSDF_FAULT");
+  if (!Spec || !*Spec)
+    return true;
+  return configure(Spec, Error);
+}
+
+bool FaultInjector::shouldFail(const char *Site) {
+  if (Sites.empty())
+    return false;
+  auto It = Sites.find(Site);
+  if (It == Sites.end())
+    return false;
+  Arm &A = It->second;
+  ++A.Hits;
+  bool Fire = A.Nth == 0 || A.Hits == A.Nth ||
+              (A.AndAfter && A.Hits > A.Nth);
+  if (Fire)
+    ++Fired;
+  return Fire;
+}

@@ -1,0 +1,98 @@
+//===- support/Fault.h - Deterministic fault injection --------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide fault injector for testing recovery paths deliberately
+/// instead of hoping a disk or a kill arrives at the right moment. Code
+/// that has a recovery path names the spot with a *site* string and asks
+/// `FaultInjector::global().shouldFail("site")`; nothing fires unless a
+/// fault spec was configured via the `CSDF_FAULT` environment variable or
+/// the `--fault` flag of `csdf serve`.
+///
+/// Spec grammar (comma-separated, no spaces):
+///
+///   site          the site fires on every hit
+///   site:N        the site fires on its Nth hit only (1-based)
+///   site:N+       the site fires on the Nth hit and every one after
+///
+/// e.g. `CSDF_FAULT=store-write-fail:2,store-corrupt` fails the second
+/// store write and corrupts every written record. Sites must come from
+/// the registered catalog (`knownSites()`); a typo in a spec is a loud
+/// configuration error, not a silently-never-firing fault.
+///
+/// The injector is deterministic by construction — it holds no RNG. Soak
+/// harnesses that want randomized faults pick a random spec *outside* the
+/// process (see tests/scripts/serve_soak.py), so any failure reproduces
+/// from the spec alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_SUPPORT_FAULT_H
+#define CSDF_SUPPORT_FAULT_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace csdf {
+
+/// The registered fault sites. Keeping the catalog in one table means a
+/// soak script can enumerate every site (`csdf serve --fault list` prints
+/// them) and the spec parser can reject unknown names.
+struct FaultSiteInfo {
+  const char *Name;
+  const char *Description;
+};
+
+/// Process-wide deterministic fault injector. Thread-safe: hit counters
+/// are guarded by the sites map being configured once, up front, and the
+/// per-site counters being atomic-free but only mutated under the
+/// injector's own lock-free single-writer discipline — in practice serve
+/// serializes request handling, and tests configure before spawning.
+class FaultInjector {
+public:
+  /// The singleton every instrumented site consults.
+  static FaultInjector &global();
+
+  /// The full site catalog.
+  static const std::vector<FaultSiteInfo> &knownSites();
+  static bool isKnownSite(const std::string &Name);
+
+  /// Parses and installs \p Spec (see file comment for the grammar),
+  /// replacing any previous configuration. An empty spec disarms every
+  /// site. Returns false with \p Error set on a malformed token or an
+  /// unknown site name.
+  bool configure(const std::string &Spec, std::string &Error);
+
+  /// configure() from the CSDF_FAULT environment variable when it is set
+  /// and non-empty. Returns false (with \p Error) only on a bad spec.
+  bool configureFromEnv(std::string &Error);
+
+  /// True when the named site should fail on this hit. Counts the hit
+  /// either way. Unconfigured sites never fire and count nothing.
+  bool shouldFail(const char *Site);
+
+  /// Total fired faults since the last configure(), for stats surfaces.
+  std::uint64_t firedCount() const { return Fired; }
+
+  /// True when any site is armed (cheap early-out for hot paths).
+  bool armed() const { return !Sites.empty(); }
+
+private:
+  struct Arm {
+    std::uint64_t Hits = 0; ///< Hits observed so far.
+    std::uint64_t Nth = 0;  ///< 0 = every hit; else the 1-based target.
+    bool AndAfter = false;  ///< With Nth: fire on every hit >= Nth.
+  };
+
+  std::map<std::string, Arm> Sites;
+  std::uint64_t Fired = 0;
+};
+
+} // namespace csdf
+
+#endif // CSDF_SUPPORT_FAULT_H

@@ -1,0 +1,305 @@
+//===- support/Store.cpp --------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Store.h"
+
+#include "support/Fault.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace csdf;
+namespace fs = std::filesystem;
+
+std::uint64_t csdf::fnv1a64(const std::string &Data) {
+  std::uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+namespace {
+
+/// Record layout: magic, lengths, checksum over (key + payload), then the
+/// raw key and payload bytes. Fixed little-endian integers so a store
+/// directory is portable between builds.
+constexpr char Magic[4] = {'C', 'S', 'R', '1'};
+constexpr size_t HeaderSize = 4 + 4 + 4 + 8;
+
+void putU32(std::string &Out, std::uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU64(std::string &Out, std::uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+std::uint32_t getU32(const char *P) {
+  std::uint32_t V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | static_cast<unsigned char>(P[I]);
+  return V;
+}
+
+std::uint64_t getU64(const char *P) {
+  std::uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | static_cast<unsigned char>(P[I]);
+  return V;
+}
+
+std::string frameRecord(const std::string &Key, const std::string &Payload) {
+  std::string Rec;
+  Rec.reserve(HeaderSize + Key.size() + Payload.size());
+  Rec.append(Magic, sizeof(Magic));
+  putU32(Rec, static_cast<std::uint32_t>(Key.size()));
+  putU32(Rec, static_cast<std::uint32_t>(Payload.size()));
+  putU64(Rec, fnv1a64(Key + Payload));
+  Rec += Key;
+  Rec += Payload;
+  return Rec;
+}
+
+/// Parses \p Rec against \p Key. Returns the payload, or nullopt when the
+/// record is torn, corrupted, or belongs to a different key (collision).
+std::optional<std::string> unframeRecord(const std::string &Rec,
+                                         const std::string &Key) {
+  if (Rec.size() < HeaderSize ||
+      std::memcmp(Rec.data(), Magic, sizeof(Magic)) != 0)
+    return std::nullopt;
+  std::uint64_t KeyLen = getU32(Rec.data() + 4);
+  std::uint64_t PayloadLen = getU32(Rec.data() + 8);
+  std::uint64_t Checksum = getU64(Rec.data() + 12);
+  if (Rec.size() != HeaderSize + KeyLen + PayloadLen)
+    return std::nullopt;
+  std::string Body = Rec.substr(HeaderSize);
+  if (fnv1a64(Body) != Checksum)
+    return std::nullopt;
+  if (Body.compare(0, KeyLen, Key) != 0)
+    return std::nullopt;
+  return Body.substr(KeyLen);
+}
+
+bool writeAll(int Fd, const char *Data, size_t Size) {
+  size_t Off = 0;
+  while (Off < Size) {
+    ssize_t N = ::write(Fd, Data + Off, Size - Off);
+    if (N <= 0)
+      return false;
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+std::string DiskStore::recordPath(const std::string &Key) const {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "e-%016llx.rec",
+                static_cast<unsigned long long>(
+                    fnv1a64(Opts.Namespace + "\n" + Key)));
+  return Opts.Dir + "/" + Name;
+}
+
+bool DiskStore::open(std::string &Error) {
+  std::error_code Ec;
+  fs::create_directories(Opts.Dir, Ec);
+  if (FaultInjector::global().shouldFail("store-open-fail"))
+    Ec = std::make_error_code(std::errc::permission_denied);
+  if (Ec || !fs::is_directory(Opts.Dir)) {
+    Error = "cannot open store directory '" + Opts.Dir +
+            "': " + (Ec ? Ec.message() : "not a directory");
+    return false;
+  }
+
+  LiveBytes = 0;
+  Entries = 0;
+  for (const auto &E : fs::directory_iterator(Opts.Dir, Ec)) {
+    if (!E.is_regular_file())
+      continue;
+    std::string Name = E.path().filename().string();
+    if (Name.find(".tmp.") != std::string::npos) {
+      // Debris from a writer that died between create and rename.
+      fs::remove(E.path(), Ec);
+      ++Stats.TempsCleaned;
+      continue;
+    }
+    if (Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".rec") == 0) {
+      LiveBytes += E.file_size(Ec);
+      ++Entries;
+    }
+  }
+  Opened = true;
+  return true;
+}
+
+void DiskStore::quarantine(const std::string &Path) {
+  std::error_code Ec;
+  fs::path Dir = fs::path(Opts.Dir) / "quarantine";
+  fs::create_directories(Dir, Ec);
+  std::uint64_t Size = fs::file_size(Path, Ec);
+  fs::rename(Path, Dir / fs::path(Path).filename(), Ec);
+  if (Ec) // e.g. quarantine dir uncreatable — never serve the bytes
+    fs::remove(Path, Ec);
+  ++Stats.Quarantined;
+  if (Entries > 0)
+    --Entries;
+  LiveBytes -= std::min(LiveBytes, Size);
+}
+
+std::optional<std::string> DiskStore::get(const std::string &Key) {
+  if (!Opened) {
+    ++Stats.Misses;
+    return std::nullopt;
+  }
+  std::string Path = recordPath(Key);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In.is_open()) {
+    ++Stats.Misses;
+    return std::nullopt;
+  }
+  if (FaultInjector::global().shouldFail("store-read-fail")) {
+    ++Stats.ReadFailures;
+    ++Stats.Misses;
+    return std::nullopt;
+  }
+  std::string Rec((std::istreambuf_iterator<char>(In)),
+                  std::istreambuf_iterator<char>());
+  if (!In.good() && !In.eof()) {
+    ++Stats.ReadFailures;
+    ++Stats.Misses;
+    return std::nullopt;
+  }
+  std::optional<std::string> Payload = unframeRecord(Rec, Key);
+  if (!Payload) {
+    // Torn, corrupted, or a different key's record (hash collision). A
+    // collision is not damage, but quarantining is still the safe move:
+    // the record can never answer for this key, and its own key will
+    // simply re-analyze once.
+    quarantine(Path);
+    ++Stats.Misses;
+    return std::nullopt;
+  }
+  ++Stats.Hits;
+  // Touch the record so the eviction sweep's mtime order is true LRU,
+  // not write order.
+  std::error_code Ec;
+  fs::last_write_time(Path, fs::file_time_type::clock::now(), Ec);
+  return Payload;
+}
+
+bool DiskStore::put(const std::string &Key, const std::string &Payload) {
+  if (!Opened)
+    return false;
+  FaultInjector &Faults = FaultInjector::global();
+  if (Faults.shouldFail("store-write-fail")) {
+    ++Stats.WriteFailures;
+    return false;
+  }
+
+  std::string Rec = frameRecord(Key, Payload);
+  if (Faults.shouldFail("store-corrupt") && !Payload.empty())
+    Rec[HeaderSize + Key.size()] ^= 0x40; // flip a payload bit post-checksum
+
+  std::string Final = recordPath(Key);
+
+  if (Faults.shouldFail("store-torn-write")) {
+    // Simulate a torn write / lying disk: half the record lands at the
+    // final path with no temp+rename protecting it.
+    std::ofstream Out(Final, std::ios::binary | std::ios::trunc);
+    Out.write(Rec.data(), static_cast<std::streamsize>(Rec.size() / 2));
+    Out.close();
+    ++Stats.Writes; // the writer believed it succeeded
+    return true;
+  }
+
+  std::string Tmp = Final + ".tmp." + std::to_string(::getpid());
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    ++Stats.WriteFailures;
+    return false;
+  }
+  size_t WriteSize = Rec.size();
+  if (Faults.shouldFail("store-short-write"))
+    WriteSize /= 2; // truncated but "successful" — read-side must catch
+  bool Ok = writeAll(Fd, Rec.data(), WriteSize);
+  if (Ok)
+    Ok = ::fsync(Fd) == 0;
+  ::close(Fd);
+  if (Faults.shouldFail("serve-crash-write"))
+    ::_exit(137); // process dies between temp write and rename
+  if (!Ok || ::rename(Tmp.c_str(), Final.c_str()) != 0) {
+    ::unlink(Tmp.c_str());
+    ++Stats.WriteFailures;
+    return false;
+  }
+
+  std::error_code Ec;
+  std::uint64_t Size = fs::file_size(Final, Ec);
+  LiveBytes += Ec ? Rec.size() : Size;
+  ++Entries;
+  ++Stats.Writes;
+  if (Opts.MaxBytes && LiveBytes > Opts.MaxBytes)
+    evictToBudget();
+  return true;
+}
+
+void DiskStore::evictToBudget() {
+  // LRU by mtime: collect (mtime, size, path) for every record and
+  // remove oldest-first until comfortably under budget, so back-to-back
+  // puts don't each pay a sweep.
+  std::uint64_t Target = Opts.MaxBytes - Opts.MaxBytes / 10;
+  struct Victim {
+    fs::file_time_type MTime;
+    std::uint64_t Size;
+    fs::path Path;
+  };
+  std::vector<Victim> Records;
+  std::error_code Ec;
+  for (const auto &E : fs::directory_iterator(Opts.Dir, Ec)) {
+    if (!E.is_regular_file())
+      continue;
+    std::string Name = E.path().filename().string();
+    if (Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".rec") == 0)
+      Records.push_back({E.last_write_time(Ec), E.file_size(Ec), E.path()});
+  }
+  std::sort(Records.begin(), Records.end(),
+            [](const Victim &A, const Victim &B) {
+              return A.MTime < B.MTime;
+            });
+  for (const Victim &V : Records) {
+    if (LiveBytes <= Target)
+      break;
+    fs::remove(V.Path, Ec);
+    if (Ec)
+      continue;
+    LiveBytes -= std::min(LiveBytes, V.Size);
+    if (Entries > 0)
+      --Entries;
+    ++Stats.Evictions;
+  }
+}
+
+void DiskStore::sync() {
+  if (!Opened)
+    return;
+  int Fd = ::open(Opts.Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd >= 0) {
+    ::fsync(Fd);
+    ::close(Fd);
+  }
+}

@@ -1,0 +1,130 @@
+//===- support/Store.h - On-disk content-addressed result store -----------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DiskStore persists (key -> payload) records so an analysis result
+/// outlives the process that computed it: `csdf serve --store-dir D`
+/// consults memory-LRU -> disk -> cold-analyze, and a `kill -9` +
+/// restart is warm instead of empty. The store is deliberately paranoid,
+/// because its whole value proposition is surviving failures:
+///
+///  - **Atomic writes.** A record is written to `<name>.tmp.<pid>`,
+///    fsynced, and renamed into place. A crash mid-write leaves a stale
+///    temp file (cleaned on the next open()), never a half-record at the
+///    final path.
+///
+///  - **Framed, checksummed records.** Every record carries a magic, the
+///    key and payload lengths, and an FNV-1a checksum over both. A torn,
+///    truncated, or bit-flipped record is detected on read, counted, and
+///    *quarantined* — renamed into `<dir>/quarantine/` so it can never be
+///    served and the bytes stay available for postmortems.
+///
+///  - **Exact keys.** File names are a 64-bit hash of (namespace + key),
+///    but the full key is stored in the record and compared on read, so
+///    a hash collision degrades to a miss, never to wrong bytes. The
+///    namespace (serve passes the tool version) keeps records written by
+///    one build from answering for another whose verdicts may differ.
+///
+///  - **Budgeted eviction.** Live bytes are tracked; when a put pushes
+///    the store past MaxBytes, an LRU-by-mtime sweep evicts records
+///    until the store is back under ~90% of budget.
+///
+/// Failure paths are exercised deliberately via support/Fault.h sites
+/// (`store-*`, `serve-crash-write`), not hoped-for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_SUPPORT_STORE_H
+#define CSDF_SUPPORT_STORE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace csdf {
+
+/// FNV-1a 64-bit over \p Data — the store's record checksum and file-name
+/// hash. Stable across platforms/builds by construction (pure integer
+/// arithmetic, no layout dependence), which the on-disk format requires.
+std::uint64_t fnv1a64(const std::string &Data);
+
+/// Store behaviour knobs.
+struct DiskStoreOptions {
+  /// Root directory; created (one level) by open() if missing.
+  std::string Dir;
+
+  /// Live-byte budget; a put that crosses it triggers an eviction sweep.
+  /// 0 means unbudgeted.
+  std::uint64_t MaxBytes = 256ull << 20;
+
+  /// Key-space salt, stored and verified with every record. `csdf serve`
+  /// passes the tool version so stale-build records never hit.
+  std::string Namespace;
+};
+
+/// Store-lifetime counters, surfaced through `csdf serve` stats as the
+/// disk tier's distinct accounting.
+struct DiskStoreStats {
+  std::uint64_t Hits = 0;
+  std::uint64_t Misses = 0;
+  std::uint64_t Writes = 0;
+  /// Puts that failed before a record reached its final path (IO error,
+  /// injected fault). Never fatal: the caller just stays uncached.
+  std::uint64_t WriteFailures = 0;
+  /// Gets that failed at the syscall level (not: absent or corrupt).
+  std::uint64_t ReadFailures = 0;
+  /// Records detected torn/corrupted/mismatched and moved to quarantine/.
+  std::uint64_t Quarantined = 0;
+  /// Records removed by the byte-budget sweep.
+  std::uint64_t Evictions = 0;
+  /// Stale temp files removed by open() (crash debris).
+  std::uint64_t TempsCleaned = 0;
+};
+
+/// A content-addressed (key -> payload) store over one directory. Not
+/// internally synchronized: `csdf serve` serializes request handling, and
+/// that single-writer discipline is this class's concurrency contract.
+class DiskStore {
+public:
+  explicit DiskStore(DiskStoreOptions Opts) : Opts(std::move(Opts)) {}
+
+  /// Creates the directory if needed, removes stale `*.tmp.*` debris from
+  /// crashed writers, and sums live bytes. Returns false with \p Error on
+  /// an unusable directory.
+  bool open(std::string &Error);
+
+  /// Looks up \p Key. A torn/corrupt/mismatched record is quarantined and
+  /// reported as a miss.
+  std::optional<std::string> get(const std::string &Key);
+
+  /// Writes (\p Key -> \p Payload) atomically. Returns false when the
+  /// record could not be persisted; the store stays consistent either way.
+  bool put(const std::string &Key, const std::string &Payload);
+
+  /// Best-effort directory fsync so renames are durable; `csdf serve`
+  /// calls this on graceful shutdown.
+  void sync();
+
+  const DiskStoreStats &stats() const { return Stats; }
+  std::uint64_t liveBytes() const { return LiveBytes; }
+  std::uint64_t entryCount() const { return Entries; }
+  const std::string &dir() const { return Opts.Dir; }
+
+private:
+  std::string recordPath(const std::string &Key) const;
+  void quarantine(const std::string &Path);
+  void evictToBudget();
+
+  DiskStoreOptions Opts;
+  DiskStoreStats Stats;
+  std::uint64_t LiveBytes = 0;
+  std::uint64_t Entries = 0;
+  bool Opened = false;
+};
+
+} // namespace csdf
+
+#endif // CSDF_SUPPORT_STORE_H

@@ -170,6 +170,38 @@ TEST(RequestOptionsTest, JsonSpellingMatchesFlagSpelling) {
   Fails("[1]");                          // not an object
 }
 
+TEST(RequestOptionsTest, OptionsToJsonRoundTripsThroughFromJson) {
+  // The third spelling (`csdf client` request bodies) must round-trip:
+  // optionsToJson -> optionsFromJson lands on an identical fingerprint,
+  // for defaults and for a fully non-default bag.
+  auto RoundTrips = [](const api::RequestOptions &Opts) {
+    std::string Text = api::optionsToJson(Opts);
+    JsonValue Json;
+    std::string Error;
+    ASSERT_TRUE(parseJson(Text, Json, Error)) << Text << ": " << Error;
+    api::RequestOptions Back;
+    ASSERT_TRUE(api::optionsFromJson(Json, Back, Error)) << Text << ": "
+                                                         << Error;
+    EXPECT_EQ(Back.fingerprint(), Opts.fingerprint()) << Text;
+    EXPECT_EQ(Back.Threads, Opts.Threads) << Text;
+  };
+  RoundTrips(api::RequestOptions());
+
+  api::RequestOptions Full;
+  Full.Client = "sectionx";
+  Full.FixedNp = 4;
+  Full.Params["rows"] = 2;
+  Full.Params["cols"] = 3;
+  Full.Threads = 3;
+  Full.MaxStates = 10;
+  Full.DeadlineMs = 100;
+  Full.MaxMemoryMb = 32;
+  Full.ProverSteps = 7;
+  Full.TestHooks = true;
+  Full.CheckMatchNondet = false;
+  RoundTrips(Full);
+}
+
 //===--------------------------------------------------------------------===//
 // Fingerprint (the cache key's option half)
 //===--------------------------------------------------------------------===//

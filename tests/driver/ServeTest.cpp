@@ -12,6 +12,7 @@
 #include "driver/Serve.h"
 
 #include "api/Csdf.h"
+#include "support/Fault.h"
 #include "support/Json.h"
 
 #include <gtest/gtest.h>
@@ -20,6 +21,8 @@
 #include <fstream>
 #include <regex>
 #include <sstream>
+
+#include <unistd.h>
 
 using namespace csdf;
 namespace fs = std::filesystem;
@@ -310,8 +313,231 @@ TEST(ServeTest, LintRequestsCarryDiagnosticsAndCache) {
 }
 
 //===--------------------------------------------------------------------===//
+// Disk-store tier: restart warmness, quarantine, stats
+//===--------------------------------------------------------------------===//
+
+/// A scoped store directory + fault disarm for the disk-tier tests.
+struct ScopedStoreDir {
+  fs::path Dir;
+  ScopedStoreDir() {
+    Dir = fs::temp_directory_path() /
+          ("csdf-serve-store-" + std::to_string(::getpid()) + "-" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(Dir);
+  }
+  ~ScopedStoreDir() {
+    fs::remove_all(Dir);
+    std::string Error;
+    FaultInjector::global().configure("", Error);
+  }
+};
+
+TEST(ServeTest, DiskTierServesByteIdenticalResultsAcrossRestart) {
+  // The point of --store-dir: a fresh daemon (fresh memory LRU, fresh
+  // analyzer) over the same store directory answers from disk with the
+  // exact bytes the first daemon computed.
+  ScopedStoreDir S;
+  ServeOptions SOpts;
+  SOpts.StoreDir = S.Dir.string();
+
+  const std::string LineA =
+      "{\"type\": \"analyze\", \"path\": \"a.mpl\", "
+      "\"source\": \"x = 1;\\nprint x;\\n\"}";
+  const std::string LineB =
+      "{\"type\": \"lint\", \"path\": \"b.mpl\", "
+      "\"source\": \"x = 1;\\nx = 2;\\nprint x;\\n\"}";
+
+  std::string FirstA, FirstB;
+  {
+    ServeServer Server(SOpts);
+    ASSERT_TRUE(Server.storeError().empty()) << Server.storeError();
+    FirstA = request(Server, LineA);
+    FirstB = request(Server, LineB);
+    EXPECT_FALSE(parsed(FirstA).get("cached")->asBool());
+    EXPECT_EQ(Server.stats().DiskWrites, 2u);
+  } // "kill": the daemon and its memory cache are gone
+
+  ServeServer Restarted(SOpts);
+  std::string SecondA = request(Restarted, LineA);
+  std::string SecondB = request(Restarted, LineB);
+  EXPECT_TRUE(parsed(SecondA).get("cached")->asBool());
+  EXPECT_EQ(parsed(SecondA).get("tier")->asString(), "disk");
+  EXPECT_EQ(rawResult(SecondA), rawResult(FirstA));
+  EXPECT_EQ(rawResult(SecondB), rawResult(FirstB));
+  EXPECT_EQ(Restarted.stats().DiskHits, 2u);
+  EXPECT_EQ(Restarted.stats().Misses, 0u); // no re-analysis
+
+  // The disk hit backfilled the memory tier: a repeat is a memory hit.
+  std::string ThirdA = request(Restarted, LineA);
+  EXPECT_EQ(parsed(ThirdA).get("tier")->asString(), "memory");
+  EXPECT_EQ(rawResult(ThirdA), rawResult(FirstA));
+}
+
+TEST(ServeTest, CorruptedStoreEntryIsQuarantinedAndReanalyzed) {
+  ScopedStoreDir S;
+  ServeOptions SOpts;
+  SOpts.StoreDir = S.Dir.string();
+  const std::string Line =
+      "{\"type\": \"analyze\", \"path\": \"c.mpl\", "
+      "\"source\": \"x = 3;\\nprint x;\\n\"}";
+
+  std::string First;
+  {
+    ServeServer Server(SOpts);
+    First = request(Server, Line);
+  }
+
+  // Corrupt the one record on disk (bit flip in the payload).
+  fs::path Rec;
+  for (const auto &E : fs::directory_iterator(S.Dir))
+    if (E.path().extension() == ".rec")
+      Rec = E.path();
+  ASSERT_FALSE(Rec.empty());
+  {
+    std::ifstream In(Rec, std::ios::binary);
+    std::string Bytes((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    Bytes[Bytes.size() - 2] ^= 0x01;
+    std::ofstream(Rec, std::ios::binary | std::ios::trunc) << Bytes;
+  }
+
+  ServeServer Restarted(SOpts);
+  std::string Second = request(Restarted, Line);
+  // Never served: the corrupt record was quarantined and the request
+  // re-analyzed — landing on the same (deterministic) result bytes.
+  EXPECT_FALSE(parsed(Second).get("cached")->asBool());
+  EXPECT_EQ(rawResult(Second), rawResult(First));
+  EXPECT_EQ(Restarted.stats().DiskQuarantined, 1u);
+  EXPECT_TRUE(fs::exists(S.Dir / "quarantine"));
+  // The re-analysis re-populated the store: next restart hits again.
+  ServeServer Third(SOpts);
+  EXPECT_TRUE(parsed(request(Third, Line)).get("cached")->asBool());
+}
+
+TEST(ServeTest, StoreWriteFaultsDegradeToUncachedNeverFail) {
+  // With every store write failing, the daemon still answers correctly —
+  // it just stays cold on disk. Write failures are counted distinctly.
+  ScopedStoreDir S;
+  std::string Error;
+  ASSERT_TRUE(FaultInjector::global().configure("store-write-fail", Error));
+  ServeOptions SOpts;
+  SOpts.StoreDir = S.Dir.string();
+  ServeServer Server(SOpts);
+  std::string Resp = request(Server,
+                             "{\"type\": \"analyze\", \"path\": \"f.mpl\", "
+                             "\"source\": \"x = 1;\\nprint x;\\n\"}");
+  EXPECT_TRUE(parsed(Resp).get("ok")->asBool());
+  EXPECT_EQ(Server.stats().DiskWriteFailures, 1u);
+  EXPECT_EQ(Server.stats().DiskWrites, 0u);
+  // Memory tier still works.
+  EXPECT_TRUE(
+      parsed(request(Server,
+                     "{\"type\": \"analyze\", \"path\": \"f.mpl\", "
+                     "\"source\": \"x = 1;\\nprint x;\\n\"}"))
+          .get("cached")
+          ->asBool());
+}
+
+TEST(ServeTest, StatsSeparateMemoryAndDiskTiers) {
+  ScopedStoreDir S;
+  ServeOptions SOpts;
+  SOpts.StoreDir = S.Dir.string();
+  const std::string Line =
+      "{\"type\": \"analyze\", \"path\": \"t.mpl\", "
+      "\"source\": \"x = 9;\\nprint x;\\n\"}";
+  {
+    ServeServer Server(SOpts);
+    request(Server, Line); // miss -> analyze -> disk write
+    request(Server, Line); // memory hit
+    const ServeStats &St = Server.stats();
+    EXPECT_TRUE(St.StoreEnabled);
+    EXPECT_EQ(St.Hits, 1u);
+    EXPECT_EQ(St.Misses, 1u);
+    EXPECT_EQ(St.DiskHits, 0u);
+    EXPECT_EQ(St.DiskMisses, 1u); // probed before the cold analyze
+    EXPECT_EQ(St.DiskWrites, 1u);
+    EXPECT_GT(St.StoreLiveBytes, 0u);
+    EXPECT_EQ(St.StoreEntries, 1u);
+  }
+  ServeServer Restarted(SOpts);
+  request(Restarted, Line); // disk hit
+  request(Restarted, Line); // memory hit (backfilled)
+  const ServeStats &St = Restarted.stats();
+  EXPECT_EQ(St.DiskHits, 1u);
+  EXPECT_EQ(St.Hits, 1u);
+  EXPECT_EQ(St.Misses, 0u);
+
+  // The JSON rendering carries the distinct counters.
+  bool Shutdown = false;
+  std::string StatsResp =
+      Restarted.handleLine("{\"type\": \"stats\"}", Shutdown);
+  JsonValue V = parsed(StatsResp);
+  EXPECT_EQ(V.get("stats")->get("disk_hits")->asInt(), 1);
+  EXPECT_EQ(V.get("stats")->get("store_enabled")->asBool(), true);
+  EXPECT_EQ(V.get("stats")->get("disk_quarantined")->asInt(), 0);
+}
+
+TEST(ServeTest, StoreOpenFailureIsLoudNotSilent) {
+  ScopedStoreDir S;
+  std::string Error;
+  ASSERT_TRUE(FaultInjector::global().configure("store-open-fail:1", Error));
+  ServeOptions SOpts;
+  SOpts.StoreDir = S.Dir.string();
+  ServeServer Server(SOpts);
+  EXPECT_FALSE(Server.storeError().empty());
+}
+
+//===--------------------------------------------------------------------===//
 // Protocol robustness, stats, shutdown
 //===--------------------------------------------------------------------===//
+
+TEST(ServeTest, GarbageTruncatedAndOversizedRequestsKeepTheDaemonAlive) {
+  // The satellite contract: a bad line — garbage, truncated JSON, or an
+  // oversized request — yields a structured `parse-error` response and
+  // the daemon keeps serving.
+  ServeOptions SOpts;
+  ServeServer Server(SOpts);
+
+  auto ExpectParseError = [&](const std::string &Line) {
+    std::string Resp = request(Server, Line);
+    JsonValue V = parsed(Resp);
+    EXPECT_FALSE(V.get("ok")->asBool()) << Resp;
+    EXPECT_EQ(V.get("code")->asString(), "parse-error") << Resp;
+    EXPECT_FALSE(V.get("retryable")->asBool()) << Resp;
+  };
+
+  ExpectParseError("garbage \x01\x02 not json");
+  ExpectParseError("{\"type\": \"analyze\", \"path\""); // truncated line
+  ExpectParseError("{\"type\": \"analyze\", \"source\": \"x = 1;");
+
+  // An over-8MB request is rejected before the parser touches it.
+  std::string Huge = "{\"type\": \"analyze\", \"source\": \"";
+  Huge += std::string(9 * 1024 * 1024, 'x');
+  Huge += "\"}";
+  std::string Resp = request(Server, Huge);
+  JsonValue V = parsed(Resp);
+  EXPECT_EQ(V.get("code")->asString(), "parse-error");
+  EXPECT_NE(V.get("error")->asString().find("exceeds"), std::string::npos);
+
+  // Envelope-level rejections carry the invalid-request code.
+  std::string Bad = request(Server, "{\"type\": \"frobnicate\"}");
+  EXPECT_EQ(parsed(Bad).get("code")->asString(), "invalid-request");
+
+  // And the daemon is still alive and serving.
+  std::string Good = request(Server,
+                             "{\"type\": \"analyze\", \"path\": \"a.mpl\", "
+                             "\"source\": \"x = 1;\\nprint x;\\n\"}");
+  EXPECT_TRUE(parsed(Good).get("ok")->asBool());
+  EXPECT_EQ(Server.stats().Errors, 5u);
+}
+
+TEST(ServeTest, OverloadedResponseIsStructuredAndRetryable) {
+  JsonValue V = parsed(overloadedResponse(50));
+  EXPECT_FALSE(V.get("ok")->asBool());
+  EXPECT_EQ(V.get("code")->asString(), "overloaded");
+  EXPECT_TRUE(V.get("retryable")->asBool());
+  EXPECT_EQ(V.get("retry_after_ms")->asInt(), 50);
+}
 
 TEST(ServeTest, MalformedAndUnknownRequestsAreRejectedLoudly) {
   ServeOptions SOpts;

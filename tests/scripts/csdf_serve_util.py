@@ -1,0 +1,142 @@
+"""Shared helpers for the csdf serve end-to-end scripts.
+
+These scripts drive the real `csdf` binary over its unix-socket
+transport with raw JSON lines, so they exercise exactly what a client
+process sees: framing, structured errors, crash/restart behavior.
+"""
+
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import time
+
+
+def log(msg):
+    print(msg, flush=True)
+
+
+def fail(msg):
+    print("FAIL: " + msg, flush=True)
+    sys.exit(1)
+
+
+def start_daemon(csdf, sock_path, extra_args=(), env_extra=None):
+    """Starts `csdf serve --socket` and waits for the socket to accept."""
+    env = dict(os.environ)
+    if env_extra:
+        env.update(env_extra)
+    proc = subprocess.Popen(
+        [csdf, "serve", "--socket", sock_path, *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+    )
+    deadline = time.time() + 10.0
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            out, err = proc.communicate()
+            fail(
+                "daemon exited rc=%d before accepting: %s %s"
+                % (proc.returncode, out.decode(), err.decode())
+            )
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+                s.connect(sock_path)
+            return proc
+        except OSError:
+            time.sleep(0.02)
+    proc.kill()
+    fail("daemon socket %s never came up" % sock_path)
+
+
+def request_line(sock_path, line, timeout=10.0):
+    """One request, one response line. Returns the raw line, or None on
+    any transport failure (connect refused, EOF mid-line)."""
+    try:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+            s.settimeout(timeout)
+            s.connect(sock_path)
+            s.sendall(line.encode() + b"\n")
+            buf = b""
+            while b"\n" not in buf:
+                chunk = s.recv(65536)
+                if not chunk:
+                    return None
+                buf += chunk
+            return buf.split(b"\n", 1)[0].decode()
+    except OSError:
+        return None
+
+
+def request_json(sock_path, obj, timeout=10.0):
+    """Sends one JSON request; returns (raw_line, parsed) or (None, None)
+    on transport failure. A non-JSON response is a hard failure: the
+    daemon's contract is structured output, always."""
+    raw = request_line(sock_path, json.dumps(obj), timeout)
+    if raw is None:
+        return None, None
+    try:
+        return raw, json.loads(raw)
+    except ValueError:
+        fail("non-JSON response from daemon: %r" % raw[:200])
+
+
+def raw_result(line):
+    """The "result" member exactly as the daemon sent it (byte-level),
+    mirroring ServeTest's extraction: up to the trailing ,"wall_us":N}."""
+    start = line.find('"result":')
+    if start < 0:
+        fail('no "result" in response: %r' % line[:200])
+    start += len('"result":')
+    end = line.rfind(',"wall_us":')
+    if end < 0 or end < start:
+        end = len(line) - 1
+    return line[start:end]
+
+
+def normalize_wall(result_bytes):
+    """Zeroes the wall_ms measurement inside a "result" payload, the one
+    member that legitimately differs between two analyses of the same
+    input (mirrors ServeTest's normalizeWallMs)."""
+    return re.sub(r'"wall_ms": \d+', '"wall_ms": 0', result_bytes)
+
+
+def shutdown_daemon(proc, sock_path, expect_rc=0):
+    """Sends shutdown, asserts acknowledgment and the pinned exit code."""
+    raw, resp = request_json(sock_path, {"type": "shutdown"})
+    if resp is None or not resp.get("ok"):
+        fail("shutdown not acknowledged: %r" % (raw,))
+    try:
+        rc = proc.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail("daemon did not exit after shutdown")
+    if rc != expect_rc:
+        fail("daemon exit code %d after shutdown, want %d" % (rc, expect_rc))
+
+
+def get_stats(sock_path):
+    raw, resp = request_json(sock_path, {"type": "stats"})
+    if resp is None or not resp.get("ok"):
+        fail("stats request failed: %r" % (raw,))
+    return resp["stats"]
+
+
+def program(i):
+    """A tiny distinct-but-deterministic analysis input per index: a
+    nearest-neighbor shift with a per-index payload, so every index has
+    its own cache key but a stable verdict."""
+    return (
+        "x = id + %d;\n"
+        "if id == 0 then\n"
+        "  send x -> id + 1;\n"
+        "elif id == np - 1 then\n"
+        "  recv y <- id - 1;\n"
+        "else\n"
+        "  recv y <- id - 1;\n"
+        "  send x -> id + 1;\n"
+        "end\n" % i
+    )

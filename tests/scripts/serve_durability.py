@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Crash-recovery smoke for the durable serve store (real binary).
+
+Phases:
+  1. Populate a store over the socket, shut down cleanly (exit 0 pinned).
+  2. Crash the daemon mid-store-write with CSDF_FAULT=serve-crash-write
+     (SIGKILL-equivalent: _exit between temp write and rename).
+  3. Corrupt one surviving record and truncate another on disk.
+  4. Restart cold and replay the whole population: >=90% must be served
+     from the disk tier byte-identically; the damaged records must be
+     quarantined and re-analyzed, never served.
+
+Usage: serve_durability.py <csdf-binary>
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from csdf_serve_util import (
+    fail,
+    get_stats,
+    log,
+    program,
+    normalize_wall,
+    raw_result,
+    request_json,
+    shutdown_daemon,
+    start_daemon,
+)
+
+N = 30  # population size; 2 damaged records still leaves 28/30 > 90%
+
+
+def main():
+    csdf = sys.argv[1]
+    work = tempfile.mkdtemp(prefix="csdf-durability-")
+    store = os.path.join(work, "store")
+    sock = os.path.join(work, "serve.sock")
+    try:
+        run(csdf, store, sock)
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+    log("PASS: serve durability")
+
+
+def populate(sock):
+    results = {}
+    for i in range(N):
+        raw, resp = request_json(
+            sock,
+            {"id": i, "type": "analyze", "path": "p%d.mpl" % i,
+             "source": program(i)},
+        )
+        if resp is None or not resp.get("ok"):
+            fail("populate request %d failed: %r" % (i, raw))
+        results[i] = normalize_wall(raw_result(raw))
+    return results
+
+def run(csdf, store, sock):
+    # --- Phase 1: populate, clean shutdown. --------------------------------
+    proc = start_daemon(csdf, sock, ["--store-dir", store])
+    golden = populate(sock)
+    stats = get_stats(sock)
+    if stats["disk_writes"] != N:
+        fail("expected %d disk writes, got %s" % (N, stats["disk_writes"]))
+    shutdown_daemon(proc, sock, expect_rc=0)
+    log("phase 1: populated %d entries, clean shutdown rc=0" % N)
+
+    # --- Phase 2: crash mid-write. -----------------------------------------
+    # The fault site fires on the first store write after restart: the
+    # daemon dies between writing the temp file and renaming it, exactly
+    # the torn state a power cut leaves behind.
+    proc = start_daemon(
+        csdf, sock, ["--store-dir", store],
+        env_extra={"CSDF_FAULT": "serve-crash-write:1"},
+    )
+    raw, resp = request_json(
+        sock,
+        {"type": "analyze", "path": "crash.mpl", "source": program(1000)},
+    )
+    rc = proc.wait(timeout=10)
+    if rc != 137:
+        fail("crash-write daemon exit code %d, want 137" % rc)
+    temps = [f for f in os.listdir(store) if ".tmp." in f]
+    if not temps:
+        fail("crash left no temp file behind; fault site did not fire")
+    log("phase 2: daemon crashed mid-write, %d orphan temp(s)" % len(temps))
+
+    # --- Phase 3: damage two surviving records. ----------------------------
+    recs = sorted(
+        f for f in os.listdir(store) if f.endswith(".rec")
+    )
+    if len(recs) != N:
+        fail("expected %d records on disk, found %d" % (N, len(recs)))
+    corrupt = os.path.join(store, recs[3])
+    with open(corrupt, "r+b") as f:
+        data = bytearray(f.read())
+        data[len(data) // 2] ^= 0x10
+        f.seek(0)
+        f.write(data)
+    truncated = os.path.join(store, recs[7])
+    with open(truncated, "r+b") as f:
+        f.truncate(os.path.getsize(truncated) // 2)
+    log("phase 3: corrupted %s, truncated %s" % (recs[3], recs[7]))
+
+    # --- Phase 4: cold restart must be warm from disk. ---------------------
+    proc = start_daemon(csdf, sock, ["--store-dir", store])
+    disk_hits = 0
+    for i in range(N):
+        raw, resp = request_json(
+            sock,
+            {"id": i, "type": "analyze", "path": "p%d.mpl" % i,
+             "source": program(i)},
+        )
+        if resp is None or not resp.get("ok"):
+            fail("replay request %d failed: %r" % (i, raw))
+        if normalize_wall(raw_result(raw)) != golden[i]:
+            fail("request %d not byte-identical after restart" % i)
+        if resp.get("cached") and resp.get("tier") == "disk":
+            disk_hits += 1
+        elif resp.get("cached"):
+            fail("request %d hit tier %r on a cold daemon"
+                 % (i, resp.get("tier")))
+    stats = get_stats(sock)
+    if disk_hits < 0.9 * N:
+        fail("only %d/%d disk-tier hits (<90%%)" % (disk_hits, N))
+    if stats["disk_quarantined"] < 2:
+        fail("expected >=2 quarantined records, got %s"
+             % stats["disk_quarantined"])
+    if stats["store_temps_cleaned"] < 1:
+        fail("orphan temp from the crash was not cleaned on open")
+    qdir = os.path.join(store, "quarantine")
+    if not os.path.isdir(qdir) or len(os.listdir(qdir)) < 2:
+        fail("quarantine directory missing the damaged records")
+    log(
+        "phase 4: %d/%d disk hits, %s quarantined, %s temps cleaned"
+        % (disk_hits, N, stats["disk_quarantined"],
+           stats["store_temps_cleaned"])
+    )
+    shutdown_daemon(proc, sock, expect_rc=0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Timed fault-injection soak for `csdf serve` (real binary).
+
+Runs rounds until the time budget is spent. Each round starts a daemon
+over a shared store with a randomly chosen fault spec (CSDF_FAULT) and
+fires a burst of requests. The contract under any injected fault:
+
+  * every response line the daemon emits parses as structured JSON
+    (ok, or an error envelope with a code) — zero non-structured
+    failures;
+  * store-level faults never crash the daemon (exit stays orderly);
+  * the serve-crash-* sites kill the daemon only with their own pinned
+    exit codes (137 / 141), and the next round's restart recovers;
+  * no round ever serves wrong bytes: responses for a key always match
+    the first bytes ever computed for it.
+
+The chosen spec is printed per round, so any failure reproduces from
+the log alone (the injector itself is deterministic).
+
+Usage: serve_soak.py <csdf-binary> [seconds] [stats-out.json]
+"""
+
+import json
+import os
+import random
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from csdf_serve_util import (
+    fail,
+    get_stats,
+    log,
+    program,
+    normalize_wall,
+    raw_result,
+    request_json,
+    shutdown_daemon,
+    start_daemon,
+)
+
+STORE_SITES = [
+    "store-write-fail",
+    "store-short-write",
+    "store-torn-write",
+    "store-corrupt",
+    "store-read-fail",
+]
+CRASH_SITES = ["serve-crash-write", "serve-crash-response"]
+CRASH_EXITS = {"serve-crash-write": 137, "serve-crash-response": 141}
+BURST = 12
+
+
+def random_spec(rng):
+    """A random one- or two-site spec; crash sites always get a hit
+    count so the daemon survives long enough to show recovery."""
+    if rng.random() < 0.3:
+        site = rng.choice(CRASH_SITES)
+        return "%s:%d" % (site, rng.randint(2, BURST)), site
+    sites = rng.sample(STORE_SITES, rng.randint(1, 2))
+    parts = []
+    for s in sites:
+        form = rng.randint(0, 2)
+        if form == 0:
+            parts.append(s)
+        elif form == 1:
+            parts.append("%s:%d" % (s, rng.randint(1, BURST)))
+        else:
+            parts.append("%s:%d+" % (s, rng.randint(1, BURST)))
+    return ",".join(parts), None
+
+
+def main():
+    csdf = sys.argv[1]
+    budget = float(sys.argv[2]) if len(sys.argv) > 2 else 10.0
+    stats_out = sys.argv[3] if len(sys.argv) > 3 else None
+    seed = int(os.environ.get("CSDF_SOAK_SEED", random.randrange(1 << 30)))
+    rng = random.Random(seed)
+    log("soak: %.0fs budget, seed %d (CSDF_SOAK_SEED reruns it)"
+        % (budget, seed))
+
+    work = tempfile.mkdtemp(prefix="csdf-soak-")
+    store = os.path.join(work, "store")
+    sock = os.path.join(work, "serve.sock")
+    golden = {}  # key index -> first result bytes ever seen
+    rounds = responses = transport_drops = 0
+    deadline = time.time() + budget
+    try:
+        while time.time() < deadline:
+            spec, crash_site = random_spec(rng)
+            rounds += 1
+            log("round %d: CSDF_FAULT=%s" % (rounds, spec))
+            proc = start_daemon(
+                csdf, sock, ["--store-dir", store],
+                env_extra={"CSDF_FAULT": spec},
+            )
+            dropped = False
+            for i in range(BURST):
+                key = rng.randrange(8)  # small keyspace -> cache traffic
+                raw, resp = request_json(
+                    sock,
+                    {"id": i, "type": "analyze", "path": "s%d.mpl" % key,
+                     "source": program(key)},
+                    timeout=15.0,
+                )
+                if raw is None:
+                    # Transport drop: legal only when a crash site is
+                    # armed (the daemon is allowed to die mid-burst).
+                    if crash_site is None and proc.poll() is None:
+                        fail("round %d: transport drop with no crash site"
+                             % rounds)
+                    transport_drops += 1
+                    dropped = True
+                    break
+                responses += 1
+                if resp.get("ok"):
+                    bytes_ = normalize_wall(raw_result(raw))
+                    if key in golden and bytes_ != golden[key]:
+                        fail("round %d: wrong bytes for key %d"
+                             % (rounds, key))
+                    golden.setdefault(key, bytes_)
+                elif "code" not in resp:
+                    fail("round %d: unstructured error: %r" % (rounds, raw))
+            if crash_site and dropped:
+                # The injected crash: the exit code must be the site's
+                # pinned one, never a real crash signature.
+                try:
+                    rc = proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    fail("round %d: transport drop but daemon still alive"
+                         % rounds)
+                if rc != CRASH_EXITS[crash_site]:
+                    fail("round %d: %s exit rc=%d, want %d"
+                         % (rounds, crash_site, rc,
+                            CRASH_EXITS[crash_site]))
+                continue
+            if proc.poll() is not None:
+                fail("round %d: daemon died rc=%d without a crash site firing"
+                     % (rounds, proc.returncode))
+            shutdown_daemon(proc, sock, expect_rc=0)
+
+        # Final clean round: restart with no faults; the store must still
+        # open and the whole keyspace must hit disk byte-identically.
+        proc = start_daemon(csdf, sock, ["--store-dir", store])
+        for key in sorted(golden):
+            raw, resp = request_json(
+                sock,
+                {"type": "analyze", "path": "s%d.mpl" % key,
+                 "source": program(key)},
+            )
+            if resp is None or not resp.get("ok"):
+                fail("clean round: key %d failed: %r" % (key, raw))
+            if normalize_wall(raw_result(raw)) != golden[key]:
+                fail("clean round: wrong bytes for key %d" % key)
+        stats = get_stats(sock)
+        shutdown_daemon(proc, sock, expect_rc=0)
+        if stats_out:
+            stats["soak_rounds"] = rounds
+            stats["soak_responses"] = responses
+            stats["soak_transport_drops"] = transport_drops
+            stats["soak_seed"] = seed
+            with open(stats_out, "w") as f:
+                json.dump(stats, f, indent=2, sort_keys=True)
+                f.write("\n")
+            log("store stats written to %s" % stats_out)
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+    log("PASS: soak, %d rounds, %d structured responses, %d crash drops"
+        % (rounds, responses, transport_drops))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+//===- tests/support/FaultTest.cpp - fault injector tests ------------------===//
+//
+// Spec parsing, firing semantics (always / Nth hit / Nth-and-after), env
+// configuration, and loud rejection of unknown sites. The injector is a
+// process-wide singleton, so every test disarms it on the way out.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace csdf;
+
+namespace {
+
+/// Disarms the global injector when a test scope ends, so fault state
+/// never leaks into later tests in the same binary.
+struct Disarm {
+  ~Disarm() {
+    std::string Error;
+    FaultInjector::global().configure("", Error);
+  }
+};
+
+TEST(FaultTest, UnconfiguredSitesNeverFire) {
+  Disarm D;
+  FaultInjector &F = FaultInjector::global();
+  EXPECT_FALSE(F.armed());
+  EXPECT_FALSE(F.shouldFail("store-write-fail"));
+  EXPECT_EQ(F.firedCount(), 0u);
+}
+
+TEST(FaultTest, BareSiteFiresEveryHit) {
+  Disarm D;
+  FaultInjector &F = FaultInjector::global();
+  std::string Error;
+  ASSERT_TRUE(F.configure("store-write-fail", Error)) << Error;
+  EXPECT_TRUE(F.armed());
+  EXPECT_TRUE(F.shouldFail("store-write-fail"));
+  EXPECT_TRUE(F.shouldFail("store-write-fail"));
+  // Other sites stay dormant.
+  EXPECT_FALSE(F.shouldFail("store-corrupt"));
+  EXPECT_EQ(F.firedCount(), 2u);
+}
+
+TEST(FaultTest, NthHitFiresExactlyOnce) {
+  Disarm D;
+  FaultInjector &F = FaultInjector::global();
+  std::string Error;
+  ASSERT_TRUE(F.configure("store-read-fail:3", Error)) << Error;
+  EXPECT_FALSE(F.shouldFail("store-read-fail"));
+  EXPECT_FALSE(F.shouldFail("store-read-fail"));
+  EXPECT_TRUE(F.shouldFail("store-read-fail"));
+  EXPECT_FALSE(F.shouldFail("store-read-fail"));
+  EXPECT_EQ(F.firedCount(), 1u);
+}
+
+TEST(FaultTest, NthPlusFiresFromThereOn) {
+  Disarm D;
+  FaultInjector &F = FaultInjector::global();
+  std::string Error;
+  ASSERT_TRUE(F.configure("store-write-fail:2+", Error)) << Error;
+  EXPECT_FALSE(F.shouldFail("store-write-fail"));
+  EXPECT_TRUE(F.shouldFail("store-write-fail"));
+  EXPECT_TRUE(F.shouldFail("store-write-fail"));
+}
+
+TEST(FaultTest, MultipleSitesParseTogether) {
+  Disarm D;
+  FaultInjector &F = FaultInjector::global();
+  std::string Error;
+  ASSERT_TRUE(
+      F.configure("store-write-fail:1,store-corrupt,store-read-fail:2+",
+                  Error))
+      << Error;
+  EXPECT_TRUE(F.shouldFail("store-write-fail"));
+  EXPECT_FALSE(F.shouldFail("store-write-fail"));
+  EXPECT_TRUE(F.shouldFail("store-corrupt"));
+}
+
+TEST(FaultTest, BadSpecsAreLoudErrors) {
+  Disarm D;
+  FaultInjector &F = FaultInjector::global();
+  std::string Error;
+  EXPECT_FALSE(F.configure("no-such-site", Error));
+  EXPECT_NE(Error.find("unknown fault site"), std::string::npos) << Error;
+  EXPECT_FALSE(F.configure("store-write-fail:zero", Error));
+  EXPECT_FALSE(F.configure("store-write-fail:0", Error));
+  // A failed configure leaves the injector disarmed, never half-armed.
+  EXPECT_FALSE(F.armed());
+}
+
+TEST(FaultTest, ReconfigureResetsCountersAndArms) {
+  Disarm D;
+  FaultInjector &F = FaultInjector::global();
+  std::string Error;
+  ASSERT_TRUE(F.configure("store-corrupt:1", Error));
+  EXPECT_TRUE(F.shouldFail("store-corrupt"));
+  ASSERT_TRUE(F.configure("store-corrupt:1", Error));
+  EXPECT_EQ(F.firedCount(), 0u);
+  EXPECT_TRUE(F.shouldFail("store-corrupt")); // hit counter restarted
+  ASSERT_TRUE(F.configure("", Error));
+  EXPECT_FALSE(F.armed());
+}
+
+TEST(FaultTest, EnvConfigurationIsHonored) {
+  Disarm D;
+  ::setenv("CSDF_FAULT", "store-write-fail:1", 1);
+  std::string Error;
+  EXPECT_TRUE(FaultInjector::global().configureFromEnv(Error)) << Error;
+  EXPECT_TRUE(FaultInjector::global().shouldFail("store-write-fail"));
+  ::setenv("CSDF_FAULT", "bogus-site", 1);
+  EXPECT_FALSE(FaultInjector::global().configureFromEnv(Error));
+  ::unsetenv("CSDF_FAULT");
+  // Unset env: configureFromEnv is a no-op success.
+  EXPECT_TRUE(FaultInjector::global().configureFromEnv(Error));
+}
+
+TEST(FaultTest, CatalogNamesAreUniqueAndDescribed) {
+  const auto &Sites = FaultInjector::knownSites();
+  ASSERT_GE(Sites.size(), 6u);
+  for (size_t I = 0; I < Sites.size(); ++I) {
+    EXPECT_TRUE(FaultInjector::isKnownSite(Sites[I].Name));
+    EXPECT_NE(Sites[I].Description[0], '\0');
+    for (size_t J = I + 1; J < Sites.size(); ++J)
+      EXPECT_STRNE(Sites[I].Name, Sites[J].Name);
+  }
+}
+
+} // namespace

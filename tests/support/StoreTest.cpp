@@ -1,0 +1,307 @@
+//===- tests/support/StoreTest.cpp - on-disk result store tests ------------===//
+//
+// DiskStore invariants: round-trip, atomic temp+rename writes (crash
+// debris cleaned on open), torn/corrupted/short records detected by the
+// framing and quarantined — never served, hash-collision safety via full
+// key comparison, byte-budget eviction in LRU order, and the fault
+// injection sites that make the recovery paths testable on purpose.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Store.h"
+
+#include "support/Fault.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <unistd.h>
+
+using namespace csdf;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A unique store directory per test, removed on scope exit, plus a
+/// fault-injector disarm so no site leaks into later tests.
+struct StoreDir {
+  fs::path Dir;
+  StoreDir() {
+    Dir = fs::temp_directory_path() /
+          ("csdf-store-test-" + std::to_string(::getpid()) + "-" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(Dir);
+  }
+  ~StoreDir() {
+    fs::remove_all(Dir);
+    std::string Error;
+    FaultInjector::global().configure("", Error);
+  }
+  DiskStoreOptions options(std::uint64_t MaxBytes = 0) const {
+    DiskStoreOptions Opts;
+    Opts.Dir = Dir.string();
+    Opts.MaxBytes = MaxBytes;
+    Opts.Namespace = "test";
+    return Opts;
+  }
+};
+
+/// The single .rec file in \p Dir (asserts there is exactly one).
+fs::path onlyRecord(const fs::path &Dir) {
+  fs::path Found;
+  int Count = 0;
+  for (const auto &E : fs::directory_iterator(Dir))
+    if (E.path().extension() == ".rec") {
+      Found = E.path();
+      ++Count;
+    }
+  EXPECT_EQ(Count, 1);
+  return Found;
+}
+
+TEST(StoreTest, RoundTripAndStats) {
+  StoreDir T;
+  DiskStore Store(T.options());
+  std::string Error;
+  ASSERT_TRUE(Store.open(Error)) << Error;
+
+  EXPECT_FALSE(Store.get("missing").has_value());
+  ASSERT_TRUE(Store.put("key-a", "payload-a"));
+  ASSERT_TRUE(Store.put("key-b", std::string(4096, 'b')));
+  EXPECT_EQ(Store.entryCount(), 2u);
+  EXPECT_GT(Store.liveBytes(), 4096u);
+
+  auto A = Store.get("key-a");
+  ASSERT_TRUE(A.has_value());
+  EXPECT_EQ(*A, "payload-a");
+  auto B = Store.get("key-b");
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(B->size(), 4096u);
+
+  EXPECT_EQ(Store.stats().Writes, 2u);
+  EXPECT_EQ(Store.stats().Hits, 2u);
+  EXPECT_EQ(Store.stats().Misses, 1u);
+  EXPECT_EQ(Store.stats().Quarantined, 0u);
+
+  // Overwrite replaces the payload.
+  ASSERT_TRUE(Store.put("key-a", "payload-a2"));
+  EXPECT_EQ(*Store.get("key-a"), "payload-a2");
+}
+
+TEST(StoreTest, SurvivesReopenWithSameBytes) {
+  StoreDir T;
+  std::string Error;
+  {
+    DiskStore Store(T.options());
+    ASSERT_TRUE(Store.open(Error)) << Error;
+    ASSERT_TRUE(Store.put("key", "the exact bytes\n\x01\x02"));
+    Store.sync();
+  }
+  DiskStore Reopened(T.options());
+  ASSERT_TRUE(Reopened.open(Error)) << Error;
+  EXPECT_EQ(Reopened.entryCount(), 1u);
+  auto V = Reopened.get("key");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(*V, "the exact bytes\n\x01\x02");
+}
+
+TEST(StoreTest, NamespaceSaltsTheKeySpace) {
+  // Records written under one namespace (tool version) never answer for
+  // another: the file name hash diverges, so the lookup plain-misses.
+  StoreDir T;
+  std::string Error;
+  DiskStoreOptions V1 = T.options();
+  V1.Namespace = "1.0.0";
+  {
+    DiskStore Store(V1);
+    ASSERT_TRUE(Store.open(Error)) << Error;
+    ASSERT_TRUE(Store.put("key", "old-build-bytes"));
+  }
+  DiskStoreOptions V2 = T.options();
+  V2.Namespace = "2.0.0";
+  DiskStore Store(V2);
+  ASSERT_TRUE(Store.open(Error)) << Error;
+  EXPECT_FALSE(Store.get("key").has_value());
+}
+
+TEST(StoreTest, CorruptedRecordIsQuarantinedNeverServed) {
+  StoreDir T;
+  std::string Error;
+  DiskStore Store(T.options());
+  ASSERT_TRUE(Store.open(Error)) << Error;
+  ASSERT_TRUE(Store.put("key", "precious bytes"));
+
+  // Flip one byte in the middle of the record on disk.
+  fs::path Rec = onlyRecord(T.Dir);
+  {
+    std::ifstream In(Rec, std::ios::binary);
+    std::string Bytes((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    Bytes[Bytes.size() / 2] ^= 0x20;
+    std::ofstream(Rec, std::ios::binary | std::ios::trunc) << Bytes;
+  }
+
+  EXPECT_FALSE(Store.get("key").has_value());
+  EXPECT_EQ(Store.stats().Quarantined, 1u);
+  EXPECT_EQ(Store.entryCount(), 0u);
+  // The damaged bytes moved to quarantine/ for postmortems.
+  EXPECT_TRUE(fs::exists(T.Dir / "quarantine" / Rec.filename()));
+  EXPECT_FALSE(fs::exists(Rec));
+  // A fresh put repairs the entry.
+  ASSERT_TRUE(Store.put("key", "precious bytes"));
+  EXPECT_EQ(*Store.get("key"), "precious bytes");
+}
+
+TEST(StoreTest, TruncatedRecordIsQuarantined) {
+  StoreDir T;
+  std::string Error;
+  DiskStore Store(T.options());
+  ASSERT_TRUE(Store.open(Error)) << Error;
+  ASSERT_TRUE(Store.put("key", std::string(1000, 'x')));
+  fs::path Rec = onlyRecord(T.Dir);
+  fs::resize_file(Rec, fs::file_size(Rec) / 2);
+  EXPECT_FALSE(Store.get("key").has_value());
+  EXPECT_EQ(Store.stats().Quarantined, 1u);
+}
+
+TEST(StoreTest, WrongKeyRecordDegradesToMissNotWrongBytes) {
+  // Simulate a file-name hash collision: hand-place another key's record
+  // at this key's path. The full-key comparison must reject it.
+  StoreDir T;
+  std::string Error;
+  DiskStore Store(T.options());
+  ASSERT_TRUE(Store.open(Error)) << Error;
+  ASSERT_TRUE(Store.put("key-one", "bytes-one"));
+  fs::path Rec = onlyRecord(T.Dir);
+
+  DiskStoreOptions Other = T.options();
+  Other.Dir = (T.Dir / "other").string();
+  DiskStore OtherStore(Other);
+  ASSERT_TRUE(OtherStore.open(Error)) << Error;
+  ASSERT_TRUE(OtherStore.put("key-two", "bytes-two"));
+  fs::copy_file(onlyRecord(Other.Dir), Rec,
+                fs::copy_options::overwrite_existing);
+
+  EXPECT_FALSE(Store.get("key-one").has_value());
+  EXPECT_EQ(Store.stats().Quarantined, 1u);
+}
+
+TEST(StoreTest, StaleTempFilesAreCleanedOnOpen) {
+  StoreDir T;
+  std::string Error;
+  fs::create_directories(T.Dir);
+  std::ofstream(T.Dir / "e-0000000000000000.rec.tmp.1234")
+      << "half a record from a dead writer";
+  DiskStore Store(T.options());
+  ASSERT_TRUE(Store.open(Error)) << Error;
+  EXPECT_EQ(Store.stats().TempsCleaned, 1u);
+  EXPECT_FALSE(fs::exists(T.Dir / "e-0000000000000000.rec.tmp.1234"));
+  EXPECT_EQ(Store.entryCount(), 0u);
+}
+
+TEST(StoreTest, EvictionSweepsOldestFirstUnderBudget) {
+  StoreDir T;
+  std::string Error;
+  // Budget for roughly four of the ~1 KB records below.
+  DiskStore Store(T.options(/*MaxBytes=*/4300));
+  ASSERT_TRUE(Store.open(Error)) << Error;
+  std::string Payload(1000, 'p');
+  for (int I = 0; I < 4; ++I) {
+    ASSERT_TRUE(Store.put("key-" + std::to_string(I), Payload));
+    // mtime granularity: ensure a strict LRU order between records.
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  }
+  EXPECT_EQ(Store.stats().Evictions, 0u);
+  ASSERT_TRUE(Store.put("key-4", Payload));
+  EXPECT_GT(Store.stats().Evictions, 0u);
+  EXPECT_LE(Store.liveBytes(), 4300u);
+  // The newest record survived; the oldest went first.
+  EXPECT_TRUE(Store.get("key-4").has_value());
+  EXPECT_FALSE(Store.get("key-0").has_value());
+}
+
+TEST(StoreTest, InjectedWriteFaultFailsCleanly) {
+  StoreDir T;
+  std::string Error;
+  DiskStore Store(T.options());
+  ASSERT_TRUE(Store.open(Error)) << Error;
+  ASSERT_TRUE(
+      FaultInjector::global().configure("store-write-fail:1", Error))
+      << Error;
+  EXPECT_FALSE(Store.put("key", "bytes"));
+  EXPECT_EQ(Store.stats().WriteFailures, 1u);
+  EXPECT_EQ(Store.entryCount(), 0u);
+  // The next write (fault spent) succeeds and the store is intact.
+  EXPECT_TRUE(Store.put("key", "bytes"));
+  EXPECT_EQ(*Store.get("key"), "bytes");
+}
+
+TEST(StoreTest, InjectedShortWriteIsCaughtOnRead) {
+  StoreDir T;
+  std::string Error;
+  DiskStore Store(T.options());
+  ASSERT_TRUE(Store.open(Error)) << Error;
+  ASSERT_TRUE(
+      FaultInjector::global().configure("store-short-write:1", Error));
+  EXPECT_TRUE(Store.put("key", std::string(500, 'y'))); // "succeeded"
+  EXPECT_FALSE(Store.get("key").has_value());
+  EXPECT_EQ(Store.stats().Quarantined, 1u);
+}
+
+TEST(StoreTest, InjectedTornWriteIsCaughtOnRead) {
+  StoreDir T;
+  std::string Error;
+  DiskStore Store(T.options());
+  ASSERT_TRUE(Store.open(Error)) << Error;
+  ASSERT_TRUE(
+      FaultInjector::global().configure("store-torn-write:1", Error));
+  EXPECT_TRUE(Store.put("key", std::string(500, 'z')));
+  EXPECT_FALSE(Store.get("key").has_value());
+  EXPECT_EQ(Store.stats().Quarantined, 1u);
+}
+
+TEST(StoreTest, InjectedCorruptionIsCaughtByChecksum) {
+  StoreDir T;
+  std::string Error;
+  DiskStore Store(T.options());
+  ASSERT_TRUE(Store.open(Error)) << Error;
+  ASSERT_TRUE(FaultInjector::global().configure("store-corrupt:1", Error));
+  EXPECT_TRUE(Store.put("key", "bytes that will be flipped"));
+  EXPECT_FALSE(Store.get("key").has_value());
+  EXPECT_EQ(Store.stats().Quarantined, 1u);
+}
+
+TEST(StoreTest, InjectedReadFaultIsAMissNotAServe) {
+  StoreDir T;
+  std::string Error;
+  DiskStore Store(T.options());
+  ASSERT_TRUE(Store.open(Error)) << Error;
+  ASSERT_TRUE(Store.put("key", "bytes"));
+  ASSERT_TRUE(FaultInjector::global().configure("store-read-fail:1", Error));
+  EXPECT_FALSE(Store.get("key").has_value());
+  EXPECT_EQ(Store.stats().ReadFailures, 1u);
+  // The record itself is intact; the next read serves it.
+  EXPECT_EQ(*Store.get("key"), "bytes");
+}
+
+TEST(StoreTest, InjectedOpenFaultFailsLoudly) {
+  StoreDir T;
+  std::string Error;
+  ASSERT_TRUE(FaultInjector::global().configure("store-open-fail:1", Error));
+  DiskStore Store(T.options());
+  EXPECT_FALSE(Store.open(Error));
+  EXPECT_NE(Error.find("cannot open store"), std::string::npos) << Error;
+}
+
+TEST(StoreTest, Fnv1a64IsTheDocumentedConstant) {
+  // Pin the hash so the on-disk format cannot silently change: these are
+  // the published FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+} // namespace

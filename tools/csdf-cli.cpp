@@ -20,6 +20,12 @@
 //                                             JSON-lines requests on stdio
 //                                             or a unix socket, answered
 //                                             from a warm result cache
+//                                             and an optional crash-safe
+//                                             on-disk store (--store-dir)
+//   csdf client   <type> [file] --socket P    one-shot request against a
+//                                             serve daemon, with retry +
+//                                             capped backoff on overload
+//                                             and dropped connections
 //   csdf lsp      [options]                   Language Server Protocol
 //                                             server on stdio: lint
 //                                             diagnostics on every edit,
@@ -73,6 +79,22 @@
 // Serve options:
 //   --cache-size N              result-cache entries (default 256; 0 off)
 //   --socket PATH               listen on a unix socket instead of stdio
+//   --store-dir DIR             durable on-disk result store: atomic,
+//                               checksummed records; a restarted daemon
+//                               serves them byte-identically
+//   --store-max-mb N            store byte budget in MB (default 256)
+//   --max-inflight N            connections served concurrently (def. 8)
+//   --queue-depth N             connections allowed to wait beyond that
+//                               (def. 16); more are shed with a
+//                               structured `overloaded` error
+//   --fault SPEC                arm fault-injection sites (also the
+//                               CSDF_FAULT env var); `--fault list`
+//                               prints the site catalog
+//
+// Client options (plus the shared analysis flags and lint flags):
+//   --socket PATH               the daemon's socket (required)
+//   --send-source               embed the file's bytes as "source"
+//   --retries N  --retry-base-ms N  --retry-cap-ms N
 //
 // Exit codes (analyze, batch, lint):
 //   0  complete, no findings
@@ -90,9 +112,11 @@
 #include "diag/DiagRenderer.h"
 #include "cfg/CfgBuilder.h"
 #include "cfg/CfgDot.h"
+#include "driver/Client.h"
 #include "driver/Lsp.h"
 #include "driver/Serve.h"
 #include "driver/Session.h"
+#include "support/Fault.h"
 #include "interp/Interpreter.h"
 #include "lang/Parser.h"
 #include "lang/Sema.h"
@@ -137,6 +161,21 @@ struct CliOptions {
   // Serve daemon.
   std::size_t CacheSize = 256;
   std::string SocketPath;
+  std::string StoreDir;
+  std::uint64_t StoreMaxMb = 256;
+  unsigned MaxInflight = 8;
+  unsigned QueueDepth = 16;
+  std::string FaultSpec;
+  // Client.
+  std::string ClientType;
+  bool SendSource = false;
+  std::uint64_t Retries = 5;
+  std::uint64_t RetryBaseMs = 25;
+  std::uint64_t RetryCapMs = 2000;
+  /// True once any shared analysis flag was given — `csdf client` only
+  /// sends an "options" object then, so plain requests inherit the
+  /// daemon's defaults.
+  bool HasRequestFlags = false;
 };
 
 void usage() {
@@ -144,6 +183,8 @@ void usage() {
                "usage: csdf <check|cfg|run|analyze|topo|baseline|lint|batch> "
                "<file.mpl|dir> [options]\n"
                "       csdf serve [options]\n"
+               "       csdf client <analyze|lint|stats|shutdown> [file.mpl] "
+               "--socket PATH [options]\n"
                "       csdf lsp [options]\n"
                "analysis options (analyze, lint, batch, serve):\n"
                "  --client linear|cartesian|sectionx  --fixed-np N  "
@@ -174,6 +215,19 @@ void usage() {
                "  --cache-size N   result-cache entries (default 256, 0 "
                "disables)\n"
                "  --socket PATH    unix-socket transport instead of stdio\n"
+               "  --store-dir DIR  durable on-disk result store (crash-safe,"
+               " checksummed)\n"
+               "  --store-max-mb N store byte budget in MB (default 256)\n"
+               "  --max-inflight N --queue-depth N  socket admission gate; "
+               "connections\n"
+               "                   beyond the two are shed with a "
+               "structured `overloaded` error\n"
+               "  --fault SPEC     arm fault-injection sites (CSDF_FAULT "
+               "env too; `list` prints them)\n"
+               "client options (one-shot request to a serve daemon):\n"
+               "  --socket PATH    the daemon's socket (required)\n"
+               "  --send-source    embed the file bytes as \"source\"\n"
+               "  --retries N  --retry-base-ms N  --retry-cap-ms N\n"
                "lsp: a Language Server Protocol server on stdio (lint "
                "diagnostics\n"
                "  on every change, incremental re-analysis); takes the "
@@ -200,6 +254,21 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     // The daemons take no input path; their flags set per-request
     // defaults.
     First = 2;
+  } else if (Opts.Command == "client") {
+    // client <type> [file] --socket PATH [options]
+    if (Argc < 3)
+      return usageError(
+          "client requires a request type (analyze, lint, stats, shutdown)");
+    Opts.ClientType = Argv[2];
+    if (Opts.ClientType != "analyze" && Opts.ClientType != "lint" &&
+        Opts.ClientType != "stats" && Opts.ClientType != "shutdown")
+      return usageError("unknown client request type '" + Opts.ClientType +
+                        "'");
+    First = 3;
+    if (First < Argc && Argv[First][0] != '-') {
+      Opts.File = Argv[First];
+      ++First;
+    }
   } else {
     if (Argc < 3)
       return usageError("expected a command and an input path");
@@ -212,6 +281,7 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     switch (api::parseSharedOption(Argc, Argv, I, Opts.Request,
                                    SharedError)) {
     case api::ArgStatus::Consumed:
+      Opts.HasRequestFlags = true;
       continue;
     case api::ArgStatus::Error:
       return usageError(SharedError);
@@ -310,6 +380,44 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return usageError("missing value for --socket");
       Opts.SocketPath = V;
+    } else if (Arg == "--store-dir") {
+      const char *V = Next();
+      if (!V)
+        return usageError("missing value for --store-dir");
+      Opts.StoreDir = V;
+    } else if (Arg == "--store-max-mb") {
+      if (!NextUint(Opts.StoreMaxMb))
+        return false;
+    } else if (Arg == "--max-inflight") {
+      std::uint64_t V = 0;
+      if (!NextUint(V))
+        return false;
+      Opts.MaxInflight = static_cast<unsigned>(std::max<std::uint64_t>(1, V));
+    } else if (Arg == "--queue-depth") {
+      std::uint64_t V = 0;
+      if (!NextUint(V))
+        return false;
+      Opts.QueueDepth = static_cast<unsigned>(V);
+    } else if (Arg == "--fault") {
+      const char *V = Next();
+      if (!V)
+        return usageError("missing value for --fault");
+      Opts.FaultSpec = V;
+    } else if (Arg == "--send-source") {
+      Opts.SendSource = true;
+    } else if (Arg == "--retries") {
+      if (!NextUint(Opts.Retries))
+        return false;
+    } else if (Arg == "--retry-base-ms") {
+      if (!NextUint(Opts.RetryBaseMs))
+        return false;
+      if (Opts.RetryBaseMs == 0)
+        return usageError("--retry-base-ms requires a positive integer");
+    } else if (Arg == "--retry-cap-ms") {
+      if (!NextUint(Opts.RetryCapMs))
+        return false;
+      if (Opts.RetryCapMs == 0)
+        return usageError("--retry-cap-ms requires a positive integer");
     } else {
       return usageError("unknown option '" + Arg + "'");
     }
@@ -602,11 +710,47 @@ int cmdBatch(const CliOptions &Cli) {
 }
 
 int cmdServe(const CliOptions &Cli) {
+  if (Cli.FaultSpec == "list") {
+    for (const FaultSiteInfo &S : FaultInjector::knownSites())
+      std::printf("%-22s %s\n", S.Name, S.Description);
+    return 0;
+  }
+  // Env first so --fault can override a stale environment.
+  std::string FaultError;
+  if (!FaultInjector::global().configureFromEnv(FaultError) ||
+      (!Cli.FaultSpec.empty() &&
+       !FaultInjector::global().configure(Cli.FaultSpec, FaultError))) {
+    std::fprintf(stderr, "csdf: error: %s\n", FaultError.c_str());
+    return 2;
+  }
+
   ServeOptions Opts;
   Opts.Defaults = Cli.Request;
   Opts.CacheCapacity = Cli.CacheSize;
   Opts.SocketPath = Cli.SocketPath;
+  Opts.StoreDir = Cli.StoreDir;
+  Opts.StoreMaxBytes = Cli.StoreMaxMb << 20;
+  Opts.MaxInflight = Cli.MaxInflight;
+  Opts.QueueDepth = Cli.QueueDepth;
   return runServe(Opts);
+}
+
+int cmdClient(const CliOptions &Cli) {
+  ClientOptions Opts;
+  Opts.SocketPath = Cli.SocketPath;
+  Opts.Type = Cli.ClientType;
+  Opts.Path = Cli.File;
+  Opts.SendSource = Cli.SendSource;
+  Opts.Options = Cli.Request;
+  Opts.HasOptions = Cli.HasRequestFlags;
+  Opts.Disabled = Cli.Disabled;
+  Opts.Werror = Cli.Werror;
+  if (Cli.MinSeverity != "note") // the daemon's default; omit when unset
+    Opts.MinSeverity = Cli.MinSeverity;
+  Opts.Retries = static_cast<unsigned>(Cli.Retries);
+  Opts.RetryBaseMs = static_cast<unsigned>(Cli.RetryBaseMs);
+  Opts.RetryCapMs = static_cast<unsigned>(Cli.RetryCapMs);
+  return runClient(Opts);
 }
 
 int cmdLsp(const CliOptions &Cli) {
@@ -648,6 +792,8 @@ int main(int Argc, char **Argv) {
   // The daemons and the batch driver resolve their own inputs.
   if (Cli.Command == "serve")
     return cmdServe(Cli);
+  if (Cli.Command == "client")
+    return cmdClient(Cli);
   if (Cli.Command == "lsp")
     return cmdLsp(Cli);
   if (Cli.Command == "batch")
