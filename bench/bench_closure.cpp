@@ -18,6 +18,8 @@
 
 #include "numeric/ConstraintGraph.h"
 
+#include "BenchMeta.h"
+
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -41,6 +43,21 @@ ConstraintGraph buildGraph(DbmBackend Backend, int N, StatsRegistry *Stats,
   for (int I = 0; I < N; I += 3)
     G.addLE("v" + std::to_string((I * 5 + 2) % N),
             "v" + std::to_string((I * 11 + 7) % N), 3 + I % 4);
+  return G;
+}
+
+/// Builds a mostly-unconstrained graph: all N variables exist, but only
+/// every 16th pair carries a bound. The common shape for cold pCFG states
+/// (most symbolic variables never interact); the closure kernel's
+/// occupancy bitmap should collapse the O(n^3) to the few live rows.
+ConstraintGraph buildSparseGraph(DbmBackend Backend, int N,
+                                 StatsRegistry *Stats) {
+  ConstraintGraph G(Backend, Stats);
+  for (int I = 0; I < N; ++I)
+    G.ensureVar("v" + std::to_string(I));
+  for (int I = 0; I + 1 < N; I += 16)
+    G.addLE("v" + std::to_string(I), "v" + std::to_string(I + 1),
+            (I * 7) % 5);
   return G;
 }
 
@@ -221,6 +238,35 @@ void sweepInto(std::vector<JsonRecord> &Records, DbmBackend Backend, int N,
                        Stats.counter("cg.closure.full.calls"),
                        Stats.counter("cg.closure.incr.calls"), 0});
   }
+  {
+    // Cold close of a mostly-unconstrained graph: the sparse-row-skip
+    // win. The dense full_closure record above is the baseline.
+    Stats.clear();
+    std::int64_t Start = nowNs();
+    for (int R = 0; R < Repeats; ++R) {
+      ConstraintGraph G = buildSparseGraph(Backend, N, &Stats);
+      G.close();
+      benchmark::DoNotOptimize(G.isFeasible());
+    }
+    Records.push_back({"sparse_cold", Backend, N, nowNs() - Start,
+                       Stats.counter("cg.closure.full.calls"),
+                       Stats.counter("cg.closure.incr.calls"), 0});
+  }
+}
+
+/// Dense-backend full closures at blocked-FW-relevant sizes (multiple
+/// tiles per axis), the cache-blocking tuning record.
+void blockedSweepInto(std::vector<JsonRecord> &Records, int N, int Repeats) {
+  StatsRegistry Stats;
+  std::int64_t Start = nowNs();
+  for (int R = 0; R < Repeats; ++R) {
+    ConstraintGraph G = buildGraph(DbmBackend::Dense, N, &Stats);
+    G.close();
+    benchmark::DoNotOptimize(G.isFeasible());
+  }
+  Records.push_back({"blocked_sweep", DbmBackend::Dense, N, nowNs() - Start,
+                     Stats.counter("cg.closure.full.calls"),
+                     Stats.counter("cg.closure.incr.calls"), 0});
 }
 
 /// Writes the sweep as a JSON array so CI can archive closure cost per
@@ -230,13 +276,16 @@ int runJsonSweep(const std::string &Path, const std::vector<int> &Sizes) {
   for (DbmBackend Backend : {DbmBackend::Dense, DbmBackend::MapBased})
     for (int N : Sizes)
       sweepInto(Records, Backend, N, /*Repeats=*/20);
+  for (int N : {64, 128, 256})
+    blockedSweepInto(Records, N, /*Repeats=*/20);
 
   std::FILE *Out = std::fopen(Path.c_str(), "w");
   if (!Out) {
     std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
     return 1;
   }
-  std::fprintf(Out, "[\n");
+  std::fprintf(Out, "{\n\"meta\": %s,\n\"records\": [\n",
+               bench::benchMetaJson().c_str());
   for (size_t I = 0; I < Records.size(); ++I) {
     const JsonRecord &R = Records[I];
     std::fprintf(Out,
@@ -250,7 +299,7 @@ int runJsonSweep(const std::string &Path, const std::vector<int> &Sizes) {
                  static_cast<long long>(R.MemoHits),
                  I + 1 < Records.size() ? "," : "");
   }
-  std::fprintf(Out, "]\n");
+  std::fprintf(Out, "]\n}\n");
   std::fclose(Out);
   std::printf("wrote %zu records to %s\n", Records.size(), Path.c_str());
   return 0;

@@ -22,6 +22,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchMeta.h"
 #include "cfg/CfgBuilder.h"
 #include "lang/Corpus.h"
 #include "lang/Parser.h"
@@ -89,7 +90,8 @@ int writeJson(const std::string &Path) {
     std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
     return 1;
   }
-  std::fprintf(Out, "[\n");
+  std::fprintf(Out, "{\n\"meta\": %s,\n\"records\": [\n",
+               bench::benchMetaJson().c_str());
   bool First = true;
   for (auto [Backend, Name] :
        {std::pair{DbmBackend::MapBased, "map"},
@@ -110,7 +112,7 @@ int writeJson(const std::string &Path) {
         Row.CowDetaches, Row.MemoHits, Row.Converged ? "true" : "false");
     First = false;
   }
-  std::fprintf(Out, "\n]\n");
+  std::fprintf(Out, "\n]\n}\n");
   std::fclose(Out);
   std::printf("wrote fan-out profile to %s\n", Path.c_str());
   return 0;

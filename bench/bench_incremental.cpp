@@ -27,6 +27,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchMeta.h"
 #include "api/Csdf.h"
 
 #include <chrono>
@@ -168,7 +169,8 @@ int main(int Argc, char **Argv) {
 
   if (!JsonPath.empty()) {
     std::ofstream Out(JsonPath);
-    Out << "{\n  \"bench\": \"incremental\",\n  \"revisions\": " << Revisions
+    Out << "{\n  \"bench\": \"incremental\",\n  \"meta\": "
+        << bench::benchMetaJson() << ",\n  \"revisions\": " << Revisions
         << ",\n  \"curve\": [\n";
     char Buf[256];
     for (std::size_t I = 0; I < Curve.size(); ++I) {

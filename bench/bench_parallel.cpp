@@ -25,6 +25,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchMeta.h"
 #include "api/Csdf.h"
 #include "cfg/CfgBuilder.h"
 #include "driver/Batch.h"
@@ -258,7 +259,7 @@ int main(int Argc, char **Argv) {
     std::ofstream Out(JsonPath);
     Out << "{\n"
         << "  \"bench\": \"parallel\",\n"
-        << "  \"host\": {\"hardware_threads\": " << HW << "},\n"
+        << "  \"meta\": " << bench::benchMetaJson() << ",\n"
         << "  \"engine\": {\n"
         << "    \"workload\": \"" << W.Graphs.size()
         << " corpus kernels, cartesian, np=32\",\n"

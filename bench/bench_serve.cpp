@@ -23,6 +23,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchMeta.h"
 #include "api/Csdf.h"
 #include "diag/DiagRenderer.h"
 #include "driver/Serve.h"
@@ -131,19 +132,20 @@ int main(int Argc, char **Argv) {
 
   if (!JsonPath.empty()) {
     std::ofstream Out(JsonPath);
-    char Buf[512];
+    char Buf[1024];
     std::snprintf(
         Buf, sizeof(Buf),
         "{\n"
         "  \"bench\": \"serve\",\n"
+        "  \"meta\": %s,\n"
         "  \"corpus_kernels\": %zu,\n"
         "  \"cold_us_per_request\": %.1f,\n"
         "  \"warm_miss_us_per_request\": %.1f,\n"
         "  \"hit_us_per_request\": %.1f,\n"
         "  \"hit_speedup_vs_cold\": %.1f,\n"
         "  \"warm_miss_speedup_vs_cold\": %.2f,\n",
-        Lines.size(), ColdUs, WarmMissUs, HitUs, ColdUs / HitUs,
-        ColdUs / WarmMissUs);
+        bench::benchMetaJson().c_str(), Lines.size(), ColdUs, WarmMissUs,
+        HitUs, ColdUs / HitUs, ColdUs / WarmMissUs);
     Out << Buf;
     Out << "  \"workload\": {\"requests\": " << Stats.Requests
         << ", \"hits\": " << Stats.Hits << ", \"misses\": " << Stats.Misses

@@ -6,6 +6,7 @@
 
 #include "numeric/ConstraintGraph.h"
 
+#include "numeric/ClosureKernel.h"
 #include "support/Budget.h"
 
 #include <algorithm>
@@ -366,29 +367,8 @@ void ConstraintGraph::fullClose(DbmShared &B) const {
   bump(Cells.FullCalls);
   bump(Cells.FullVarsum, N);
   ScopedNanoTimer Timer(Cells.ClosureNanos);
-  DbmStorage &M = *B.M;
-  for (unsigned K = 0; K < N; ++K) {
-    // The O(n^3) hot spot of the paper's Section IX profile: poll the
-    // session budget once per outer iteration so a deadline can interrupt
-    // even a single huge closure.
-    budgetCheckpoint();
-    for (unsigned I = 0; I < N; ++I) {
-      std::int64_t BIK = M.get(I, K);
-      if (BIK >= DbmInfinity)
-        continue;
-      for (unsigned J = 0; J < N; ++J) {
-        std::int64_t Through = dbmAdd(BIK, M.get(K, J));
-        if (Through < M.get(I, J))
-          M.set(I, J, Through);
-      }
-    }
-  }
-  for (unsigned I = 0; I < N; ++I) {
-    if (M.get(I, I) < 0) {
-      B.Feasible = false;
-      return;
-    }
-  }
+  if (!kernel::fullClose(*B.M))
+    B.Feasible = false;
 }
 
 void ConstraintGraph::closeAfterEdge(DbmShared &B, unsigned I,
@@ -397,23 +377,8 @@ void ConstraintGraph::closeAfterEdge(DbmShared &B, unsigned I,
   bump(Cells.IncrCalls);
   bump(Cells.IncrVarsum, N);
   ScopedNanoTimer Timer(Cells.ClosureNanos);
-  DbmStorage &M = *B.M;
-  std::int64_t C = M.get(I, J);
-  if (dbmAdd(M.get(J, I), C) < 0) {
+  if (!kernel::closeAfterEdge(*B.M, I, J))
     B.Feasible = false;
-    return;
-  }
-  for (unsigned A = 0; A < N; ++A) {
-    std::int64_t AI = M.get(A, I);
-    if (AI >= DbmInfinity)
-      continue;
-    std::int64_t AIC = dbmAdd(AI, C);
-    for (unsigned Bc = 0; Bc < N; ++Bc) {
-      std::int64_t Through = dbmAdd(AIC, M.get(J, Bc));
-      if (Through < M.get(A, Bc))
-        M.set(A, Bc, Through);
-    }
-  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -309,11 +309,14 @@ private:
   /// cg.cow.detach counter when a real clone happened.
   DbmShared &mutableBlock();
 
-  /// Floyd-Warshall closure; sets Feasible. O(n^3).
+  /// Floyd-Warshall closure; sets Feasible. O(n^3). Bumps the stats
+  /// cells, then delegates to kernel::fullClose (numeric/ClosureKernel.h:
+  /// the flat blocked/sparse kernel on dense storage, the reference loop
+  /// otherwise).
   void fullClose(DbmShared &B) const;
 
   /// Repairs closure after tightening edge (I, J); requires the matrix was
-  /// closed before. O(n^2).
+  /// closed before. O(n^2). Delegates to kernel::closeAfterEdge.
   void closeAfterEdge(DbmShared &B, unsigned I, unsigned J) const;
 
   /// Cached StatsRegistry counter cells, resolved once per fresh graph so

@@ -9,6 +9,7 @@
 #include "support/Budget.h"
 #include "support/ErrorHandling.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace csdf;
@@ -33,32 +34,59 @@ void DenseDbmStorage::resize(unsigned NewN) {
   assert(NewN >= N && "DBM storage cannot shrink via resize");
   if (NewN == N)
     return;
-  std::vector<std::int64_t> NewData(static_cast<size_t>(NewN) * NewN,
-                                    DbmInfinity);
-  for (unsigned I = 0; I < N; ++I)
-    for (unsigned J = 0; J < N; ++J)
-      NewData[static_cast<size_t>(I) * NewN + J] = Data[I * N + J];
-  Data = std::move(NewData);
+  if (NewN > Cap) {
+    // Re-layout into a geometrically grown buffer so the engine's
+    // one-variable-at-a-time growth costs one fill per variable, not one
+    // O(n^2) copy per variable.
+    unsigned NewCap = std::max(NewN, Cap ? Cap * 2 : 8u);
+    std::vector<std::int64_t, PoolAllocator<std::int64_t>> NewData(
+        static_cast<std::size_t>(NewCap) * NewCap, DbmInfinity);
+    for (unsigned I = 0; I < N; ++I)
+      std::copy_n(Data.data() + static_cast<std::size_t>(I) * Cap, N,
+                  NewData.data() + static_cast<std::size_t>(I) * NewCap);
+    Data = std::move(NewData);
+    Cap = NewCap;
+  } else {
+    // Within capacity: unconstrain the incoming cells (they may hold
+    // stale bounds from an earlier, wider use of this buffer).
+    for (unsigned I = 0; I < N; ++I)
+      std::fill_n(Data.data() + static_cast<std::size_t>(I) * Cap + N,
+                  NewN - N, DbmInfinity);
+    for (unsigned I = N; I < NewN; ++I)
+      std::fill_n(Data.data() + static_cast<std::size_t>(I) * Cap, NewN,
+                  DbmInfinity);
+  }
+  Occ.resize(NewN, 0);
   N = NewN;
 }
 
 void DenseDbmStorage::removeVar(unsigned Victim) {
   assert(Victim < N && "removing a variable that does not exist");
-  std::vector<std::int64_t> NewData(static_cast<size_t>(N - 1) * (N - 1),
-                                    DbmInfinity);
+  // Compact in place: rows keep their stride, the victim row/column is
+  // squeezed out. Also the one point where the occupancy bitmap is
+  // recomputed exactly, clearing any stale bits.
   for (unsigned I = 0, NI = 0; I < N; ++I) {
     if (I == Victim)
       continue;
+    const std::int64_t *Src = Data.data() + static_cast<std::size_t>(I) * Cap;
+    std::int64_t *Dst = Data.data() + static_cast<std::size_t>(NI) * Cap;
     for (unsigned J = 0, NJ = 0; J < N; ++J) {
       if (J == Victim)
         continue;
-      NewData[static_cast<size_t>(NI) * (N - 1) + NJ] = Data[I * N + J];
+      Dst[NJ] = Src[J];
       ++NJ;
     }
     ++NI;
   }
-  Data = std::move(NewData);
   --N;
+  Occ.resize(N);
+  for (unsigned I = 0; I < N; ++I) {
+    const std::int64_t *Row = Data.data() + static_cast<std::size_t>(I) * Cap;
+    std::uint8_t Any = 0;
+    for (unsigned J = 0; J < N; ++J)
+      Any |= static_cast<std::uint8_t>(J != I && Row[J] < DbmInfinity);
+    Occ[I] = Any;
+  }
 }
 
 void MapDbmStorage::removeVar(unsigned Victim) {
@@ -87,20 +115,37 @@ bool CowDbm::detach() {
   return true;
 }
 
-std::uint64_t csdf::dbmFingerprint(const DbmStorage &M) {
-  constexpr std::uint64_t Offset = 1469598103934665603ull;
-  constexpr std::uint64_t Prime = 1099511628211ull;
-  unsigned N = M.size();
-  std::uint64_t H = Offset ^ N;
-  for (unsigned I = 0; I < N; ++I) {
-    for (unsigned J = 0; J < N; ++J) {
-      auto V = static_cast<std::uint64_t>(M.get(I, J));
-      for (int Byte = 0; Byte < 8; ++Byte) {
-        H ^= (V >> (8 * Byte)) & 0xff;
-        H *= Prime;
-      }
-    }
+namespace {
+
+constexpr std::uint64_t FnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t FnvPrime = 1099511628211ull;
+
+inline std::uint64_t fnvMix(std::uint64_t H, std::uint64_t V) {
+  for (int Byte = 0; Byte < 8; ++Byte) {
+    H ^= (V >> (8 * Byte)) & 0xff;
+    H *= FnvPrime;
   }
+  return H;
+}
+
+} // namespace
+
+std::uint64_t csdf::dbmFingerprint(const DbmStorage &M) {
+  unsigned N = M.size();
+  std::uint64_t H = FnvOffset ^ N;
+  if (const DenseDbmStorage *D = M.asDense()) {
+    const std::int64_t *Rows = D->rows();
+    std::size_t Stride = D->rowStride();
+    for (unsigned I = 0; I < N; ++I) {
+      const std::int64_t *Row = Rows + I * Stride;
+      for (unsigned J = 0; J < N; ++J)
+        H = fnvMix(H, static_cast<std::uint64_t>(Row[J]));
+    }
+    return H;
+  }
+  for (unsigned I = 0; I < N; ++I)
+    for (unsigned J = 0; J < N; ++J)
+      H = fnvMix(H, static_cast<std::uint64_t>(M.get(I, J)));
   return H;
 }
 
@@ -108,6 +153,13 @@ std::vector<std::int64_t> csdf::dbmSnapshot(const DbmStorage &M) {
   unsigned N = M.size();
   std::vector<std::int64_t> Image;
   Image.reserve(static_cast<size_t>(N) * N);
+  if (const DenseDbmStorage *D = M.asDense()) {
+    const std::int64_t *Rows = D->rows();
+    std::size_t Stride = D->rowStride();
+    for (unsigned I = 0; I < N; ++I)
+      Image.insert(Image.end(), Rows + I * Stride, Rows + I * Stride + N);
+    return Image;
+  }
   for (unsigned I = 0; I < N; ++I)
     for (unsigned J = 0; J < N; ++J)
       Image.push_back(M.get(I, J));

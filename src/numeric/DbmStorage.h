@@ -11,7 +11,11 @@
 /// of C++ STL containers" as optimization direction 3. Both variants are
 /// implemented here so the ablation benchmark (E6) can measure the gap:
 ///
-///   * DenseDbmStorage — flat contiguous array, cache friendly;
+///   * DenseDbmStorage — flat contiguous rows (stride >= logical size, so
+///     variable growth is an O(n) fill instead of an O(n^2) re-layout),
+///     arena-pooled buffers, and a per-row occupancy bitmap; exposes a
+///     raw row view that the non-virtual closure kernel
+///     (numeric/ClosureKernel.h) vectorizes over;
 ///   * MapDbmStorage   — std::map keyed by (row, col), mirroring the
 ///     prototype's container-heavy state representation.
 ///
@@ -19,6 +23,8 @@
 
 #ifndef CSDF_NUMERIC_DBMSTORAGE_H
 #define CSDF_NUMERIC_DBMSTORAGE_H
+
+#include "support/Arena.h"
 
 #include <cstdint>
 #include <limits>
@@ -31,6 +37,7 @@
 namespace csdf {
 
 class AnalysisBudget;
+class DenseDbmStorage;
 
 /// The "no constraint" bound. Kept far from the int64 limits so saturated
 /// additions cannot overflow.
@@ -63,16 +70,41 @@ public:
   /// Approximate heap bytes held by this matrix, for the AnalysisBudget
   /// memory ceiling.
   virtual std::uint64_t byteSize() const = 0;
+
+  /// The flat-kernel discriminator: non-null when this storage is a
+  /// DenseDbmStorage, in which case the closure kernel bypasses virtual
+  /// get/set entirely (one virtual call per closure instead of three per
+  /// matrix element).
+  virtual DenseDbmStorage *asDense() { return nullptr; }
+  virtual const DenseDbmStorage *asDense() const { return nullptr; }
 };
 
 /// Flat row-major array backend (the paper's optimization direction 3).
+///
+/// v2 layout: row I starts at `rows() + I * rowStride()`, with
+/// rowStride() == allocated capacity >= size(). Keeping the stride at
+/// capacity means growing by one variable (the engine adds variables one
+/// at a time while building cold graphs) only fills the new row/column
+/// with DbmInfinity instead of re-laying-out the whole matrix; the buffer
+/// itself is recycled through the support/Arena pool. A per-row occupancy
+/// bitmap records which rows carry any finite off-diagonal bound — the
+/// closure kernel skips unoccupied rows wholesale, which collapses the
+/// O(n^3) cold closure on the common mostly-unconstrained graphs.
+///
+/// Bitmap contract (conservative, one-sided): a clear bit guarantees the
+/// row has no finite off-diagonal entry; a set bit may be stale (set()
+/// never clears — writing DbmInfinity over a bound leaves the bit set).
+/// Closure preserves it without maintenance because min-plus updates only
+/// ever write finite bounds into rows that already had one.
 class DenseDbmStorage final : public DbmStorage {
 public:
   std::int64_t get(unsigned I, unsigned J) const override {
-    return Data[I * N + J];
+    return Data[static_cast<std::size_t>(I) * Cap + J];
   }
   void set(unsigned I, unsigned J, std::int64_t Bound) override {
-    Data[I * N + J] = Bound;
+    Data[static_cast<std::size_t>(I) * Cap + J] = Bound;
+    Occ[I] = static_cast<std::uint8_t>(
+        Occ[I] | static_cast<std::uint8_t>(I != J && Bound < DbmInfinity));
   }
   void resize(unsigned NewN) override;
   unsigned size() const override { return N; }
@@ -81,12 +113,34 @@ public:
   }
   void removeVar(unsigned Victim) override;
   std::uint64_t byteSize() const override {
-    return Data.capacity() * sizeof(std::int64_t);
+    return Data.capacity() * sizeof(std::int64_t) + Occ.capacity();
   }
 
+  DenseDbmStorage *asDense() override { return this; }
+  const DenseDbmStorage *asDense() const override { return this; }
+
+  //===--------------------------------------------------------------------===
+  // Flat view for the closure kernel
+  //===--------------------------------------------------------------------===
+
+  /// First element of row 0; row I is at rows() + I * rowStride(). Only
+  /// the leading size() entries of each row are meaningful.
+  std::int64_t *rows() { return Data.data(); }
+  const std::int64_t *rows() const { return Data.data(); }
+
+  /// Distance in elements between consecutive rows (the allocation
+  /// capacity, >= size()).
+  unsigned rowStride() const { return Cap; }
+
+  /// Per-row occupancy: rowOccupancy()[I] == 0 guarantees row I has no
+  /// finite off-diagonal bound.
+  const std::uint8_t *rowOccupancy() const { return Occ.data(); }
+
 private:
-  unsigned N = 0;
-  std::vector<std::int64_t> Data;
+  unsigned N = 0;   ///< Logical variable count.
+  unsigned Cap = 0; ///< Row stride; Data holds Cap * Cap elements.
+  std::vector<std::int64_t, PoolAllocator<std::int64_t>> Data;
+  std::vector<std::uint8_t> Occ; ///< N entries.
 };
 
 /// std::map backend modelling the prototype's STL-heavy state (only finite
@@ -226,7 +280,9 @@ private:
 
 /// 64-bit FNV-1a fingerprint of \p M's contents (size + every bound), the
 /// closure-memo key. Collisions are tolerated: memo hits verify the full
-/// pre-closure image before adopting a result.
+/// pre-closure image before adopting a result. Dense storages hash their
+/// flat rows directly; the value is layout-independent (row-major logical
+/// order), so it is unchanged from the virtual-dispatch implementation.
 std::uint64_t dbmFingerprint(const DbmStorage &M);
 
 /// Row-major snapshot of every bound in \p M, the collision-proof part of

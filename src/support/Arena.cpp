@@ -1,0 +1,97 @@
+//===- support/Arena.cpp --------------------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <new>
+
+using namespace csdf;
+
+namespace {
+
+/// Smallest bucket; everything below rounds up to this.
+constexpr std::size_t MinBucketBytes = 64;
+/// Requests above the largest bucket bypass the pool entirely.
+constexpr int NumBuckets = 22; // 64 B .. 128 MiB
+/// At most this many cached buffers per bucket.
+constexpr std::size_t MaxPerBucket = 32;
+/// Total cached bytes per thread before release() starts freeing.
+constexpr std::size_t MaxCachedBytes = std::size_t(16) << 20;
+
+/// Bucket index for a request, or -1 when the request is too large to
+/// pool. Bucket B holds buffers of exactly (MinBucketBytes << B) bytes.
+int bucketFor(std::size_t Bytes) {
+  std::size_t Size = MinBucketBytes;
+  for (int B = 0; B < NumBuckets; ++B, Size <<= 1)
+    if (Bytes <= Size)
+      return B;
+  return -1;
+}
+
+struct ThreadPoolArena {
+  /// Intrusive free list: the first word of a cached buffer points to
+  /// the next one. Every bucket's buffers are at least 64 bytes, so the
+  /// link always fits.
+  void *Free[NumBuckets] = {};
+  std::size_t Count[NumBuckets] = {};
+  std::size_t CachedBytes = 0;
+
+  ~ThreadPoolArena() { drain(); }
+
+  void drain() {
+    for (int B = 0; B < NumBuckets; ++B) {
+      while (Free[B]) {
+        void *Next = *static_cast<void **>(Free[B]);
+        ::operator delete(Free[B]);
+        Free[B] = Next;
+      }
+      Count[B] = 0;
+    }
+    CachedBytes = 0;
+  }
+};
+
+ThreadPoolArena &pool() {
+  thread_local ThreadPoolArena P;
+  return P;
+}
+
+} // namespace
+
+void *csdf::arenaAcquire(std::size_t Bytes) {
+  int B = bucketFor(Bytes);
+  if (B < 0)
+    return ::operator new(Bytes);
+  ThreadPoolArena &P = pool();
+  if (void *Buf = P.Free[B]) {
+    P.Free[B] = *static_cast<void **>(Buf);
+    --P.Count[B];
+    P.CachedBytes -= MinBucketBytes << B;
+    return Buf;
+  }
+  return ::operator new(MinBucketBytes << B);
+}
+
+void csdf::arenaRelease(void *P, std::size_t Bytes) noexcept {
+  if (!P)
+    return;
+  int B = bucketFor(Bytes);
+  ThreadPoolArena &Pool = pool();
+  std::size_t Size = B < 0 ? 0 : (MinBucketBytes << B);
+  if (B < 0 || Pool.Count[B] >= MaxPerBucket ||
+      Pool.CachedBytes + Size > MaxCachedBytes) {
+    ::operator delete(P);
+    return;
+  }
+  *static_cast<void **>(P) = Pool.Free[B];
+  Pool.Free[B] = P;
+  ++Pool.Count[B];
+  Pool.CachedBytes += Size;
+}
+
+std::size_t csdf::arenaCachedBytes() { return pool().CachedBytes; }
+
+void csdf::arenaDrain() { pool().drain(); }

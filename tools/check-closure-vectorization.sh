@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Verifies the DBM closure kernel's min-plus inner loop actually
+# auto-vectorizes. The kernel's whole premise (DESIGN.md "Numeric core
+# representation", v2) is that the branchless compare/select loop compiles
+# to SIMD compare/min lanes; a toolchain or flag regression that silently
+# drops back to scalar code would erase most of the speedup while every
+# test still passes. CI runs this after the build.
+#
+# Strategy: recompile ClosureKernel.cpp exactly as the build does (same
+# include path, -O3 + the SIMD flags) but with GCC's vectorization report
+# enabled, and require a "loop vectorized" remark on the anchored inner
+# loop in minPlusRow. Invoking the compiler directly (not through the
+# build) keeps this immune to ccache/ninja skipping the compile.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+CXX="${CXX:-g++}"
+SIMD_FLAGS="${CSDF_CLOSURE_SIMD:--msse4.2}"
+SRC="$REPO_ROOT/src/numeric/ClosureKernel.cpp"
+
+ANCHOR_LINE="$(grep -n 'CSDF-VEC-ANCHOR' "$SRC" | cut -d: -f1 | head -n1)"
+if [[ -z "$ANCHOR_LINE" ]]; then
+  echo "error: CSDF-VEC-ANCHOR marker not found in $SRC" >&2
+  exit 1
+fi
+
+REPORT="$("$CXX" -std=c++20 -O3 $SIMD_FLAGS -I "$REPO_ROOT/src" \
+  -fopt-info-vec-optimized -c "$SRC" -o /dev/null 2>&1 || true)"
+
+echo "$REPORT"
+
+# The inner loop may be reported at the anchor line or (after inlining)
+# a couple of lines into the loop body.
+if echo "$REPORT" | grep -E "ClosureKernel\.cpp:($ANCHOR_LINE|$((ANCHOR_LINE + 1))|$((ANCHOR_LINE + 2))|$((ANCHOR_LINE + 3))|$((ANCHOR_LINE + 4))):[0-9]+: optimized: loop vectorized" >/dev/null; then
+  echo "OK: closure kernel inner loop vectorized (anchor at line $ANCHOR_LINE, flags: $SIMD_FLAGS)"
+  exit 0
+fi
+
+echo "error: closure kernel inner loop (ClosureKernel.cpp:$ANCHOR_LINE) was NOT vectorized with '$SIMD_FLAGS'" >&2
+exit 1
