@@ -17,23 +17,32 @@
 //   * hit       — the same requests again, answered from the LRU cache.
 //
 // A mixed workload (several rounds over the corpus) then reports the
-// daemon's own stats counters. `--json PATH` writes everything;
+// daemon's own stats counters. A fleet regime follows: the same
+// mixed-tenant workload partitioned by the consistent-hash ring over 1
+// vs 3 in-process shards (one drain thread per shard — each shard
+// serializes its own requests exactly like a real daemon), reporting
+// aggregate requests/second. `--json PATH` writes everything;
 // BENCH_serve.json in the repo root is this file's committed output from
-// the development container.
+// the development container (single hardware thread there, so the
+// committed fleet speedup shows overhead, not scaling).
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchMeta.h"
 #include "api/Csdf.h"
+#include "api/Wire.h"
 #include "diag/DiagRenderer.h"
 #include "driver/Serve.h"
 #include "lang/Corpus.h"
+#include "support/HashRing.h"
 #include "support/Json.h"
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace csdf;
@@ -64,6 +73,64 @@ double feedOnce(ServeServer &Server, const std::vector<std::string> &Lines) {
   for (const std::string &Line : Lines)
     Server.handleLine(Line, Shutdown);
   return (nowUs() - Start) / static_cast<double>(Lines.size());
+}
+
+/// The fleet workload: three rounds over the corpus with round-varied
+/// fixed_np (every request a distinct cache key, so the work is real
+/// analysis, not cache lookups) and a rotating tenant member — the
+/// mixed-tenant traffic a router fronts.
+std::vector<std::string> fleetRequests() {
+  static const char *Tenants[] = {"ci", "editor", "batch"};
+  std::vector<std::string> Lines;
+  unsigned I = 0;
+  for (int Round = 0; Round < 3; ++Round)
+    for (const auto &[Name, Source] : corpus::allPatterns()) {
+      api::WireRequest Req;
+      Req.IdJson = std::to_string(I);
+      Req.Type = "analyze";
+      Req.Path = Name + ".mpl";
+      Req.Source = Source;
+      Req.Tenant = Tenants[I % 3];
+      Req.Options.FixedNp = 4 + Round;
+      Lines.push_back(api::wireRequestJson(Req, /*IncludeOptions=*/true));
+      ++I;
+    }
+  return Lines;
+}
+
+/// Drains the workload through \p NShards in-process shards, each behind
+/// its ring partition with one drain thread (a real shard serializes its
+/// own requests; the fleet's parallelism is across shards). Returns
+/// aggregate requests/second.
+double fleetThroughput(unsigned NShards,
+                       const std::vector<std::string> &Lines) {
+  std::vector<std::unique_ptr<ServeServer>> Shards;
+  HashRing Ring(64);
+  for (unsigned S = 0; S < NShards; ++S) {
+    Shards.push_back(std::make_unique<ServeServer>(ServeOptions()));
+    Ring.addNode("shard" + std::to_string(S));
+  }
+  std::vector<std::vector<const std::string *>> Partition(NShards);
+  for (const std::string &Line : Lines) {
+    api::WireRequest Req;
+    std::string Error;
+    api::parseWireRequest(Line, 8ull << 20, api::RequestOptions(), Req,
+                          Error);
+    std::string Owner = Ring.owner(api::wireRoutingKey(Req));
+    Partition[std::stoul(Owner.substr(5))].push_back(&Line);
+  }
+  double Start = nowUs();
+  std::vector<std::thread> Drains;
+  for (unsigned S = 0; S < NShards; ++S)
+    Drains.emplace_back([&Shards, &Partition, S] {
+      bool Shutdown = false;
+      for (const std::string *Line : Partition[S])
+        Shards[S]->handleLine(*Line, Shutdown);
+    });
+  for (std::thread &T : Drains)
+    T.join();
+  double WallUs = nowUs() - Start;
+  return static_cast<double>(Lines.size()) / (WallUs / 1e6);
 }
 
 } // namespace
@@ -130,6 +197,16 @@ int main(int Argc, char **Argv) {
   std::printf("cache vs cold: %s\n",
               CacheFaster ? "measurably faster (>2x)" : "NOT faster — bug?");
 
+  // Fleet regime: the same mixed-tenant workload over 1 vs 3 shards,
+  // ring-partitioned exactly as `csdf router` would place it.
+  std::vector<std::string> FleetLines = fleetRequests();
+  double Rps1 = fleetThroughput(1, FleetLines);
+  double Rps3 = fleetThroughput(3, FleetLines);
+  std::printf("\nfleet (mixed-tenant, %zu requests, all-miss):\n"
+              "  1 shard   %10.1f req/s\n"
+              "  3 shards  %10.1f req/s  (%.2fx)\n",
+              FleetLines.size(), Rps1, Rps3, Rps3 / Rps1);
+
   if (!JsonPath.empty()) {
     std::ofstream Out(JsonPath);
     char Buf[1024];
@@ -151,7 +228,13 @@ int main(int Argc, char **Argv) {
         << ", \"hits\": " << Stats.Hits << ", \"misses\": " << Stats.Misses
         << ", \"evictions\": " << Stats.Evictions << ", \"hit_rate\": ";
     std::snprintf(Buf, sizeof(Buf), "%.4f", Stats.hitRate());
-    Out << Buf << "}\n}\n";
+    Out << Buf << "},\n";
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"fleet\": {\"requests\": %zu, \"tenants\": 3, "
+                  "\"shards_1_rps\": %.1f, \"shards_3_rps\": %.1f, "
+                  "\"speedup_3v1\": %.2f}\n}\n",
+                  FleetLines.size(), Rps1, Rps3, Rps3 / Rps1);
+    Out << Buf;
     std::printf("wrote %s\n", JsonPath.c_str());
   }
   return CacheFaster ? 0 : 1;

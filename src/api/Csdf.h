@@ -233,6 +233,12 @@ public:
   /// Lifetime counters of the incremental entry points.
   const IncrementalStats &incrementalStats() const { return IncStats; }
 
+  /// The cross-session closure memo shared by this Analyzer's requests.
+  /// Exposed so a long-lived holder can persist it across restarts
+  /// (serve's --memo-dir snapshots, numeric/MemoSnapshot.h); treat it as
+  /// read/insert-only.
+  const std::shared_ptr<ClosureMemo> &closureMemo() const { return Memo; }
+
   /// Runs every file through an isolated session. Fork mode delegates to
   /// the process-per-file driver; threads mode runs sessions on this
   /// Analyzer's pool, sharing its closure memo so closure work amortizes

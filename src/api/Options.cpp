@@ -6,6 +6,8 @@
 
 #include "api/Options.h"
 
+#include "diag/DiagRenderer.h"
+
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -289,7 +291,7 @@ std::string csdf::api::optionsToJson(const RequestOptions &Opts) {
       if (!First)
         J += ',';
       First = false;
-      J += "\"" + Name + "\":" + std::to_string(Value);
+      J += "\"" + jsonEscape(Name) + "\":" + std::to_string(Value);
     }
     J += "}";
   }

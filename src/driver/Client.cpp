@@ -6,7 +6,7 @@
 
 #include "driver/Client.h"
 
-#include "diag/DiagRenderer.h"
+#include "api/Wire.h"
 #include "driver/Session.h"
 #include "support/Json.h"
 
@@ -81,37 +81,46 @@ bool attempt(const ClientOptions &Opts, const std::string &RequestLine,
 }
 
 std::string buildRequest(const ClientOptions &Opts, std::string &Error) {
-  std::string Req = "{\"id\":1,\"type\":\"" + Opts.Type + "\"";
+  api::WireRequest Req;
+  Req.IdJson = "1";
+  Req.Type = Opts.Type;
+  Req.Tenant = Opts.Tenant;
   if (Opts.Type == "analyze" || Opts.Type == "lint") {
-    Req += ",\"path\":\"" + jsonEscape(Opts.Path) + "\"";
+    Req.Path = Opts.Path;
     if (Opts.SendSource) {
       std::string Source;
       if (!readSessionFile(Opts.Path, Source, Error))
         return "";
-      Req += ",\"source\":\"" + jsonEscape(Source) + "\"";
+      Req.Source = std::move(Source);
     }
   }
   if (Opts.HasOptions)
-    Req += ",\"options\":" + api::optionsToJson(Opts.Options);
-  if (Opts.Type == "lint") {
-    if (Opts.Werror)
-      Req += ",\"werror\":true";
-    if (!Opts.MinSeverity.empty())
-      Req += ",\"min_severity\":\"" + Opts.MinSeverity + "\"";
-    if (!Opts.Disabled.empty()) {
-      Req += ",\"disable\":[";
-      bool First = true;
-      for (const std::string &Pass : Opts.Disabled) {
-        if (!First)
-          Req += ',';
-        First = false;
-        Req += "\"" + Pass + "\"";
-      }
-      Req += "]";
+    Req.Options = Opts.Options;
+  Req.Werror = Opts.Werror;
+  if (Opts.MinSeverity == "warning")
+    Req.MinSeverity = DiagSeverity::Warning;
+  else if (Opts.MinSeverity == "error")
+    Req.MinSeverity = DiagSeverity::Error;
+  Req.Disabled = Opts.Disabled;
+  return api::wireRequestJson(Req, Opts.HasOptions);
+}
+
+/// The router stamps `"shard":"<backend socket>"` into forwarded
+/// responses; surface it so a human can see which shard answered.
+void narrateShard(const ClientOptions &Opts, const std::string &Response) {
+  if (!Opts.Verbose)
+    return;
+  JsonValue V;
+  std::string ParseError;
+  if (parseJson(Response, V, ParseError)) {
+    const JsonValue *Shard = V.get("shard");
+    if (Shard && Shard->isString()) {
+      std::fprintf(stderr, "csdf client: answered by shard '%s'\n",
+                   Shard->asString().c_str());
+      return;
     }
   }
-  Req += "}";
-  return Req;
+  std::fprintf(stderr, "csdf client: answered directly (no shard member)\n");
 }
 
 } // namespace
@@ -142,22 +151,37 @@ int csdf::runClient(const ClientOptions &Opts) {
                               .time_since_epoch()
                               .count()));
 
+  // The two failure classes back off independently: `overloaded` is a
+  // live server asking for patience (exponential, honors its hint), a
+  // transport drop is a shard dying or restarting (short linear track —
+  // behind a router the next attempt lands on a healthy shard, so long
+  // sleeps would serialize a failover the fleet already absorbed).
+  unsigned OverloadRetries = 0, TransportRetries = 0;
+  bool LastWasOverload = false;
   std::string Response;
   bool SawResponse = false;
   for (unsigned Attempt = 0; Attempt <= Opts.Retries; ++Attempt) {
     if (Attempt > 0) {
-      std::uint64_t Delay = std::min<std::uint64_t>(
-          Opts.RetryCapMs,
-          static_cast<std::uint64_t>(Opts.RetryBaseMs)
-              << std::min(Attempt - 1, 20u));
-      // Honor the server's hint when it asks for more patience.
-      if (SawResponse) {
-        JsonValue V;
-        std::string ParseError;
-        if (parseJson(Response, V, ParseError) && V.get("retry_after_ms"))
-          Delay = std::max<std::uint64_t>(
-              Delay, static_cast<std::uint64_t>(
-                         V.get("retry_after_ms")->asInt()));
+      std::uint64_t Delay;
+      if (LastWasOverload) {
+        Delay = std::min<std::uint64_t>(
+            Opts.RetryCapMs,
+            static_cast<std::uint64_t>(Opts.RetryBaseMs)
+                << std::min(OverloadRetries - 1, 20u));
+        // Honor the server's hint when it asks for more patience.
+        if (SawResponse) {
+          JsonValue V;
+          std::string ParseError;
+          if (parseJson(Response, V, ParseError) &&
+              V.get("retry_after_ms"))
+            Delay = std::max<std::uint64_t>(
+                Delay, static_cast<std::uint64_t>(
+                           V.get("retry_after_ms")->asInt()));
+        }
+      } else {
+        Delay = std::min<std::uint64_t>(
+            Opts.RetryCapMs,
+            static_cast<std::uint64_t>(Opts.RetryBaseMs) * TransportRetries);
       }
       // +-50% jitter.
       std::uniform_int_distribution<std::uint64_t> Dist(Delay / 2, Delay +
@@ -168,7 +192,13 @@ int csdf::runClient(const ClientOptions &Opts) {
     std::string Line;
     if (!attempt(Opts, RequestLine, Line)) {
       SawResponse = false;
-      continue; // transport failure: retryable
+      ++TransportRetries;
+      LastWasOverload = false;
+      if (Opts.Verbose)
+        std::fprintf(stderr,
+                     "csdf client: attempt %u: transport drop, retrying\n",
+                     Attempt + 1);
+      continue;
     }
     Response = Line;
     SawResponse = true;
@@ -184,12 +214,25 @@ int csdf::runClient(const ClientOptions &Opts) {
     }
     const JsonValue *Ok = V.get("ok");
     if (Ok && Ok->isBool() && Ok->asBool()) {
+      narrateShard(Opts, Line);
       std::printf("%s\n", Line.c_str());
       return 0;
     }
     const JsonValue *Retryable = V.get("retryable");
-    if (Retryable && Retryable->isBool() && Retryable->asBool())
+    if (Retryable && Retryable->isBool() && Retryable->asBool()) {
+      ++OverloadRetries;
+      LastWasOverload = true;
+      if (Opts.Verbose) {
+        const JsonValue *Code = V.get("code");
+        std::fprintf(stderr,
+                     "csdf client: attempt %u: retryable '%s', backing off\n",
+                     Attempt + 1,
+                     Code && Code->isString() ? Code->asString().c_str()
+                                              : "?");
+      }
       continue;
+    }
+    narrateShard(Opts, Line);
     std::printf("%s\n", Line.c_str());
     return 1;
   }

@@ -5,18 +5,28 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// `csdf client` is the reference consumer of the serve daemon's failure
-/// contract: it sends exactly one request over the daemon's unix socket,
-/// prints the response line, and — crucially — implements the retry side
-/// of the structured-error protocol, so the contract is exercised
-/// end-to-end by real binaries, not just unit tests:
+/// `csdf client` is the reference consumer of the wire protocol's failure
+/// contract (api/Wire.h): it sends exactly one request over a daemon's or
+/// router's unix socket, prints the response line, and implements the
+/// retry side of the structured-error protocol, so the contract is
+/// exercised end-to-end by real binaries, not just unit tests. The two
+/// failure classes back off on *separate tracks*, because they mean
+/// different things in a fleet:
 ///
-///  - A response with `"retryable": true` (e.g. `"code": "overloaded"`)
-///    is retried after max(`retry_after_ms`, capped exponential backoff
-///    with jitter).
-///  - A dropped connection or EOF before a full response line (daemon
-///    crashed mid-response, or is restarting) is treated the same way.
+///  - A structured `"retryable": true` response (`"code": "overloaded"`)
+///    is the server saying "I exist but am saturated" — the client waits
+///    max(`retry_after_ms`, capped exponential backoff with jitter)
+///    before adding load back.
+///  - A dropped connection or EOF before a full response line (a shard
+///    killed mid-response, a daemon restarting) is retried *promptly* on
+///    a short linear track: behind a router the very next attempt is
+///    re-routed to a healthy shard, so sleeping an exponential backoff
+///    would just serialize the failover the fleet already absorbed.
 ///  - A non-retryable `"ok": false` response is printed and exits 1.
+///
+/// With Verbose set, each attempt's fate and the answering shard (the
+/// router's `"shard"` response member) go to stderr — stdout stays
+/// exactly one response line either way.
 ///
 /// Exit codes: 0 — the daemon answered `"ok": true`; 1 — a structured,
 /// non-retryable error (or retries exhausted on a retryable one); 2 —
@@ -35,7 +45,7 @@
 namespace csdf {
 
 struct ClientOptions {
-  /// The daemon's unix socket (required).
+  /// The daemon's (or router's) unix socket (required).
   std::string SocketPath;
 
   /// Request type: "analyze", "lint", "stats", or "shutdown".
@@ -54,17 +64,26 @@ struct ClientOptions {
   api::RequestOptions Options;
   bool HasOptions = false;
 
+  /// Tenant name stamped into the envelope; the router enforces
+  /// per-tenant admission quotas on it (empty = the default tenant).
+  std::string Tenant;
+
   // Lint policy.
   std::set<std::string> Disabled;
   bool Werror = false;
   std::string MinSeverity;
 
-  /// Retry policy: attempts = Retries + 1; backoff for attempt k sleeps
-  /// min(RetryCapMs, RetryBaseMs << k) with +-50% jitter, or the
-  /// server-suggested retry_after_ms when larger.
+  /// Retry policy: attempts = Retries + 1. An `overloaded` response
+  /// backs off min(RetryCapMs, RetryBaseMs << k) with +-50% jitter, or
+  /// the server-suggested retry_after_ms when larger; a transport drop
+  /// retries on the short linear track min(RetryCapMs, RetryBaseMs * k)
+  /// (fleet failover makes the next attempt cheap).
   unsigned Retries = 5;
   unsigned RetryBaseMs = 25;
   unsigned RetryCapMs = 2000;
+
+  /// Narrate attempts and the answering shard on stderr.
+  bool Verbose = false;
 };
 
 /// Runs one request per \p Opts, printing the daemon's response line to

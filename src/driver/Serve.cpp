@@ -6,10 +6,11 @@
 
 #include "driver/Serve.h"
 
-#include "analysis/Lint.h"
 #include "diag/DiagRenderer.h"
 #include "driver/Session.h"
+#include "numeric/MemoSnapshot.h"
 #include "support/Fault.h"
+#include "support/Stats.h"
 #include "support/Version.h"
 
 #include <atomic>
@@ -62,24 +63,10 @@ std::string diagsJsonArray(const std::vector<Diagnostic> &Diags,
   return Out;
 }
 
-/// Structured error envelope: every rejection names its category so
-/// clients can branch on `code` instead of parsing prose, and carries an
-/// explicit `retryable` so the retry policy lives in the contract, not
-/// in client guesswork.
-std::string errorResponse(const std::string &IdJson, const char *Code,
-                          const std::string &Message) {
-  return "{\"id\":" + IdJson + ",\"ok\":false,\"code\":\"" + Code +
-         "\",\"error\":\"" + jsonEscape(Message) +
-         "\",\"retryable\":false}";
-}
-
 } // namespace
 
 std::string csdf::overloadedResponse(unsigned RetryAfterMs) {
-  return "{\"id\":null,\"ok\":false,\"code\":\"overloaded\",\"error\":"
-         "\"server overloaded, retry later\",\"retryable\":true,"
-         "\"retry_after_ms\":" +
-         std::to_string(RetryAfterMs) + "}";
+  return api::wireOverloaded(RetryAfterMs);
 }
 
 std::string ServeStats::json(std::size_t CacheEntries,
@@ -92,6 +79,8 @@ std::string ServeStats::json(std::size_t CacheEntries,
   S += ",\"budget_trips\":" + std::to_string(BudgetTrips);
   S += ",\"cache_capacity\":" + std::to_string(CacheCapacity);
   S += ",\"cache_entries\":" + std::to_string(CacheEntries);
+  S += ",\"closure_full_calls\":" + std::to_string(ClosureFullCalls);
+  S += ",\"closure_memo_hits\":" + std::to_string(ClosureMemoHits);
   S += ",\"cold_runs\":" + std::to_string(ColdRuns);
   S += ",\"disk_evictions\":" + std::to_string(DiskEvictions);
   S += ",\"disk_hits\":" + std::to_string(DiskHits);
@@ -109,7 +98,13 @@ std::string ServeStats::json(std::size_t CacheEntries,
   S += ",\"last_seed_reject\":\"" + jsonEscape(LastSeedReject) + "\"";
   S += ",\"lint_requests\":" + std::to_string(LintRequests);
   S += ",\"live_steps\":" + std::to_string(LiveSteps);
+  S += ",\"memo_adopted\":" + std::to_string(MemoAdopted);
+  S += ",\"memo_entries\":" + std::to_string(MemoEntries);
+  S += ",\"memo_quarantined\":" + std::to_string(MemoQuarantined);
+  S += ",\"memo_snapshot_rejected\":" + std::to_string(MemoSnapshotRejected);
+  S += ",\"memo_snapshot_saves\":" + std::to_string(MemoSnapshotSaves);
   S += ",\"misses\":" + std::to_string(Misses);
+  S += ",\"proto\":" + std::to_string(api::WireProtoVersion);
   S += ",\"requests\":" + std::to_string(Requests);
   S += ",\"seeded_runs\":" + std::to_string(SeededRuns);
   S += ",\"shed_connections\":" + std::to_string(ShedConnections);
@@ -124,22 +119,19 @@ std::string ServeStats::json(std::size_t CacheEntries,
   return S;
 }
 
-/// One decoded request envelope.
-struct ServeServer::Request {
-  /// The request's "id", re-serialized for echoing (null when absent).
-  std::string IdJson = "null";
-  std::string Type;
-  std::string Path = "<request>";
-  std::optional<std::string> Source;
-  api::RequestOptions Options;
-  // Lint policy (ignored by analyze).
-  std::set<std::string> Disabled;
-  bool Werror = false;
-  DiagSeverity MinSeverity = DiagSeverity::Note;
-};
-
 ServeServer::ServeServer(const ServeOptions &Opts)
     : Opts(Opts), Analyzer(api::AnalyzerConfig::warm()) {
+  if (!Opts.MemoDir.empty()) {
+    // Adopt the prior process's closure memo before the first request, so
+    // a restarted daemon is warm on near-miss workloads too. Rejection is
+    // non-fatal: the snapshot is a cache, and the daemon just runs cold.
+    MemoSnapshotStats MStats;
+    loadMemoSnapshot(Opts.MemoDir, toolVersion(), *Analyzer.closureMemo(),
+                     MStats);
+    Stats.MemoAdopted = MStats.Adopted;
+    Stats.MemoSnapshotRejected = MStats.Rejected;
+    Stats.MemoQuarantined = MStats.Quarantined;
+  }
   if (Opts.StoreDir.empty())
     return;
   DiskStoreOptions SOpts;
@@ -162,6 +154,14 @@ const ServeStats &ServeServer::stats() {
   Stats.AdoptedSteps = I.AdoptedSteps;
   Stats.LiveSteps = I.LiveSteps;
   Stats.LastSeedReject = I.LastSeedRejectReason;
+  Stats.MemoEntries = Analyzer.closureMemo()->size();
+  // The closure counters accumulate in the process-global registry (every
+  // engine run records there); mirroring them here is what lets the fleet
+  // smoke test assert a warm restart did measurably less closure work.
+  Stats.ClosureFullCalls = static_cast<std::uint64_t>(
+      StatsRegistry::global().counter("cg.closure.full.calls"));
+  Stats.ClosureMemoHits = static_cast<std::uint64_t>(
+      StatsRegistry::global().counter("cg.closure.memo.hits"));
   Stats.StoreEnabled = Store != nullptr;
   if (Store) {
     const DiskStoreStats &D = Store->stats();
@@ -222,9 +222,26 @@ void ServeServer::cachePut(const std::string &Key, std::string Payload,
 void ServeServer::flushStore() {
   if (Store)
     Store->sync();
+  maybeFlushMemo(/*Force=*/true);
 }
 
-std::string ServeServer::handleAnalyze(const Request &Req) {
+void ServeServer::maybeFlushMemo(bool Force) {
+  if (Opts.MemoDir.empty())
+    return;
+  if (!Force && ColdSinceMemoFlush < Opts.MemoFlushEvery)
+    return;
+  ColdSinceMemoFlush = 0;
+  MemoSnapshotStats MStats;
+  std::string Error;
+  // A failed flush is logged in the counters only (the daemon keeps the
+  // previous good snapshot on disk); durability here is best-effort by
+  // design — the memo is a cache.
+  if (saveMemoSnapshot(Opts.MemoDir, toolVersion(), *Analyzer.closureMemo(),
+                       MStats, Error))
+    ++Stats.MemoSnapshotSaves;
+}
+
+std::string ServeServer::handleAnalyze(const api::WireRequest &Req) {
   ++Stats.AnalyzeRequests;
 
   std::string Source;
@@ -237,7 +254,7 @@ std::string ServeServer::handleAnalyze(const Request &Req) {
       api::AnalyzeResponse R;
       R.Session.ExitCode = SessionExitUsage;
       R.Session.Error = Error;
-      return "{\"id\":" + Req.IdJson +
+      return api::wireResponseHead(Req.IdJson) +
              ",\"ok\":true,\"cached\":false,\"result\":" +
              api::verdictJson(Req.Path, R) + "}";
     }
@@ -252,7 +269,7 @@ std::string ServeServer::handleAnalyze(const Request &Req) {
   if (std::optional<std::string> Payload = cacheGet(Key, Tier)) {
     if (Tier[0] == 'm') // disk hits are counted by the store's own stats
       ++Stats.Hits;
-    return "{\"id\":" + Req.IdJson + ",\"ok\":true,\"cached\":true," +
+    return api::wireResponseHead(Req.IdJson) + ",\"ok\":true,\"cached\":true," +
            "\"tier\":\"" + Tier + "\",\"result\":" + *Payload + "}";
   }
   ++Stats.Misses;
@@ -273,11 +290,13 @@ std::string ServeServer::handleAnalyze(const Request &Req) {
   // violations, not a property of the input worth replaying.
   if (!R.Session.Outcome.internalError())
     cachePut(Key, Payload);
-  return "{\"id\":" + Req.IdJson +
+  ++ColdSinceMemoFlush;
+  maybeFlushMemo(/*Force=*/false);
+  return api::wireResponseHead(Req.IdJson) +
          ",\"ok\":true,\"cached\":false,\"result\":" + Payload + "}";
 }
 
-std::string ServeServer::handleLint(const Request &Req) {
+std::string ServeServer::handleLint(const api::WireRequest &Req) {
   ++Stats.LintRequests;
 
   std::string Source;
@@ -287,7 +306,8 @@ std::string ServeServer::handleLint(const Request &Req) {
     std::string Error;
     if (!readSessionFile(Req.Path, Source, Error)) {
       ++Stats.Errors;
-      return errorResponse(Req.IdJson, "io-error", Error);
+      return api::wireError(Req.IdJson, "io-error", Error,
+                            /*Retryable=*/false);
     }
   }
 
@@ -302,7 +322,7 @@ std::string ServeServer::handleLint(const Request &Req) {
   if (std::optional<std::string> Payload = cacheGet(Key, Tier)) {
     if (Tier[0] == 'm')
       ++Stats.Hits;
-    return "{\"id\":" + Req.IdJson + ",\"ok\":true,\"cached\":true," +
+    return api::wireResponseHead(Req.IdJson) + ",\"ok\":true,\"cached\":true," +
            "\"tier\":\"" + Tier + "\",\"result\":" + *Payload + "}";
   }
   ++Stats.Misses;
@@ -321,7 +341,9 @@ std::string ServeServer::handleLint(const Request &Req) {
       ",\"exit_code\":" + std::to_string(R.ExitCode) + "}";
   if (R.ExitCode != SessionExitInternal)
     cachePut(Key, Payload);
-  return "{\"id\":" + Req.IdJson +
+  ++ColdSinceMemoFlush;
+  maybeFlushMemo(/*Force=*/false);
+  return api::wireResponseHead(Req.IdJson) +
          ",\"ok\":true,\"cached\":false,\"result\":" + Payload + "}";
 }
 
@@ -333,78 +355,19 @@ std::string ServeServer::handleLine(const std::string &Line, bool &Shutdown) {
                   const std::string &Msg) {
     ++Stats.Errors;
     Stats.WallUsTotal += nowUs() - Start;
-    return errorResponse(IdJson, Code, Msg);
+    return api::wireError(IdJson, Code, Msg, /*Retryable=*/false);
   };
 
-  // The size cap is checked before the parser ever sees the bytes: an
-  // oversized request is a protocol violation answered structurally, not
-  // an invitation to buffer without bound.
-  if (Line.size() > Opts.MaxRequestBytes)
-    return Fail("null", "parse-error",
-                "request exceeds " + std::to_string(Opts.MaxRequestBytes) +
-                    " bytes");
-
-  JsonValue Json;
-  std::string Error;
-  if (!parseJson(Line, Json, Error))
-    return Fail("null", "parse-error", "malformed request: " + Error);
-  if (!Json.isObject())
-    return Fail("null", "parse-error", "request must be a JSON object");
-
-  Request Req;
-  if (const JsonValue *Id = Json.get("id"))
-    Req.IdJson = Id->str();
-  Req.Options = Opts.Defaults;
-
-  for (const auto &[Key, Value] : Json.asObject()) {
-    if (Key == "id") {
-      // Echoed verbatim; any JSON value is fine.
-    } else if (Key == "type") {
-      if (!Value.isString())
-        return Fail(Req.IdJson, "invalid-request", "type must be a string");
-      Req.Type = Value.asString();
-    } else if (Key == "path") {
-      if (!Value.isString())
-        return Fail(Req.IdJson, "invalid-request", "path must be a string");
-      Req.Path = Value.asString();
-    } else if (Key == "source") {
-      if (!Value.isString())
-        return Fail(Req.IdJson, "invalid-request",
-                    "source must be a string");
-      Req.Source = Value.asString();
-    } else if (Key == "options") {
-      if (!api::optionsFromJson(Value, Req.Options, Error))
-        return Fail(Req.IdJson, "invalid-request", Error);
-    } else if (Key == "disable") {
-      if (!Value.isArray())
-        return Fail(Req.IdJson, "invalid-request",
-                    "disable must be an array of pass names");
-      for (const JsonValue &Pass : Value.asArray()) {
-        if (!Pass.isString() || !isKnownLintPass(Pass.asString()))
-          return Fail(Req.IdJson, "invalid-request",
-                      "disable names an unknown lint pass");
-        Req.Disabled.insert(Pass.asString());
-      }
-    } else if (Key == "werror") {
-      if (!Value.isBool())
-        return Fail(Req.IdJson, "invalid-request",
-                    "werror must be a boolean");
-      Req.Werror = Value.asBool();
-    } else if (Key == "min_severity") {
-      const std::string &S = Value.isString() ? Value.asString() : "";
-      if (S == "note")
-        Req.MinSeverity = DiagSeverity::Note;
-      else if (S == "warning")
-        Req.MinSeverity = DiagSeverity::Warning;
-      else if (S == "error")
-        Req.MinSeverity = DiagSeverity::Error;
-      else
-        return Fail(Req.IdJson, "invalid-request",
-                    "min_severity must be note, warning, or error");
-    } else {
-      return Fail(Req.IdJson, "invalid-request",
-                  "unknown request field '" + Key + "'");
-    }
+  // The envelope — size cap, JSON shape, member types, protocol version —
+  // is enforced by the shared codec, so serve, router, and client agree
+  // byte-for-byte on what a malformed request is answered with.
+  api::WireRequest Req;
+  std::string ErrorLine;
+  if (!api::parseWireRequest(Line, Opts.MaxRequestBytes, Opts.Defaults, Req,
+                             ErrorLine)) {
+    ++Stats.Errors;
+    Stats.WallUsTotal += nowUs() - Start;
+    return ErrorLine;
   }
 
   std::string Resp;
@@ -420,15 +383,17 @@ std::string ServeServer::handleLine(const std::string &Line, bool &Shutdown) {
     Resp = handleLint(Req);
   } else if (Req.Type == "stats") {
     Stats.WallUsTotal += nowUs() - Start;
-    return "{\"id\":" + Req.IdJson + ",\"ok\":true,\"stats\":" +
+    return api::wireResponseHead(Req.IdJson) + ",\"ok\":true,\"stats\":" +
            stats().json(cacheEntries(), Opts.CacheCapacity) + "}";
   } else if (Req.Type == "shutdown") {
     Shutdown = true;
-    // Graceful drain: pending store writes are flushed before the
-    // response goes out, so an acknowledged shutdown is a durable one.
+    // Graceful drain: pending store writes and the memo snapshot are
+    // flushed before the response goes out, so an acknowledged shutdown
+    // is a durable one.
     flushStore();
     Stats.WallUsTotal += nowUs() - Start;
-    return "{\"id\":" + Req.IdJson + ",\"ok\":true,\"shutting_down\":true}";
+    return api::wireResponseHead(Req.IdJson) +
+           ",\"ok\":true,\"shutting_down\":true}";
   } else if (Req.Type.empty()) {
     return Fail(Req.IdJson, "invalid-request", "request has no type");
   } else {
@@ -493,11 +458,12 @@ void serveConnection(ServeServer &Server, std::mutex &Mu, int Fd,
       // A runaway line (no newline past the cap) is answered and the
       // connection dropped — the daemon never buffers without bound.
       if (Buf.size() > Opts.MaxRequestBytes + 4096) {
-        writeAllFd(Fd, errorResponse(
+        writeAllFd(Fd, api::wireError(
                            "null", "parse-error",
                            "request exceeds " +
                                std::to_string(Opts.MaxRequestBytes) +
-                               " bytes") +
+                               " bytes",
+                           /*Retryable=*/false) +
                            "\n");
         return;
       }

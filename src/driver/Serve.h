@@ -31,25 +31,19 @@
 ///
 /// "source" is analyzed as given (the file is not read); otherwise "path"
 /// is read per request. "options" layers on the daemon's defaults (the
-/// shared CLI flags). Responses echo "id" and carry "ok"; an analyze
-/// response's "result" is byte-identical to the object `csdf analyze
-/// --format json` prints for the same input — the daemon is a cache in
-/// front of the CLI, never a different analyzer.
+/// shared CLI flags). The envelope (members, versioning, `tenant`, error
+/// vocabulary) is specified once in api/Wire.h and shared with `csdf
+/// client` and `csdf router`; every response leads with "id", "proto",
+/// and "tool_version", then "ok". An analyze response's "result" is
+/// byte-identical to the object `csdf analyze --format json` prints for
+/// the same input — the daemon is a cache in front of the CLI, never a
+/// different analyzer.
 ///
-/// Error responses are structured and machine-retryable:
-///
-///   {"id": null, "ok": false, "code": "parse-error",
-///    "error": "...", "retryable": false}
-///   {"id": null, "ok": false, "code": "overloaded",
-///    "error": "...", "retryable": true, "retry_after_ms": 50}
-///
-/// `code` is one of: "parse-error" (malformed JSON, non-object, or a
-/// request over the size cap), "invalid-request" (a well-formed envelope
-/// with a bad field/type/option), "io-error" (an unreadable input file on
-/// a lint request), "overloaded" (the socket admission gate shed the
-/// connection; retry after `retry_after_ms`). A bad line never kills the
-/// daemon. `csdf client` implements the retry side of this contract with
-/// capped exponential backoff.
+/// Error responses are structured and machine-retryable (see Wire.h for
+/// the code vocabulary); a bad line never kills the daemon, and a
+/// mismatched "proto" gets a non-retryable "proto-mismatch" answer.
+/// `csdf client` implements the retry side of this contract with capped
+/// exponential backoff.
 ///
 /// On the socket transport each connection is served on its own thread
 /// (request handling itself is serialized through the single warm
@@ -65,6 +59,7 @@
 #define CSDF_DRIVER_SERVE_H
 
 #include "api/Csdf.h"
+#include "api/Wire.h"
 #include "support/Store.h"
 
 #include <cstdint>
@@ -92,6 +87,17 @@ struct ServeOptions {
 
   /// Disk-store byte budget (oldest records evicted past it).
   std::uint64_t StoreMaxBytes = 256ull << 20;
+
+  /// When non-empty, the warm ClosureMemo is periodically snapshotted to
+  /// this directory (numeric/MemoSnapshot.h) and adopted back on
+  /// startup, so a restarted daemon is warm on *near-miss* workloads —
+  /// edited sources whose constraint graphs mostly repeat — not only the
+  /// exact repeats the result store answers.
+  std::string MemoDir;
+
+  /// Snapshot the memo after this many cache-missing (analyzed) requests
+  /// since the last flush; also flushed on graceful shutdown.
+  unsigned MemoFlushEvery = 16;
 
   /// Socket admission gate: connections concurrently being served, plus
   /// how many more may wait. A connection arriving past
@@ -160,6 +166,18 @@ struct ServeStats {
   /// Why the most recent seed was rejected (empty: accepted or none).
   std::string LastSeedReject;
 
+  /// ClosureMemo snapshot tier (--memo-dir), plus the process-global
+  /// closure counters it exists to reduce: a restarted shard that adopted
+  /// a snapshot shows MemoAdopted > 0 and fewer ClosureFullCalls than a
+  /// cold shard on the same near-miss workload.
+  std::uint64_t MemoEntries = 0;
+  std::uint64_t MemoAdopted = 0;
+  std::uint64_t MemoSnapshotSaves = 0;
+  std::uint64_t MemoSnapshotRejected = 0;
+  std::uint64_t MemoQuarantined = 0;
+  std::uint64_t ClosureFullCalls = 0;
+  std::uint64_t ClosureMemoHits = 0;
+
   double hitRate() const {
     std::uint64_t Lookups = Hits + Misses;
     return Lookups ? static_cast<double>(Hits) / Lookups : 0.0;
@@ -172,7 +190,8 @@ struct ServeStats {
 };
 
 /// The structured `overloaded` response the admission gate writes before
-/// closing a shed connection.
+/// closing a shed connection (api::wireOverloaded, re-exported for the
+/// transport loop and its tests).
 std::string overloadedResponse(unsigned RetryAfterMs);
 
 /// The daemon's request processor, transport-agnostic: feed it one request
@@ -204,14 +223,17 @@ public:
   /// under the server mutex).
   void countShed() { ++Stats.ShedConnections; }
 
-  /// Flushes the disk store (graceful-drain step of shutdown).
+  /// Flushes the disk store and the memo snapshot (graceful-drain step of
+  /// shutdown).
   void flushStore();
 
 private:
-  struct Request;
+  std::string handleAnalyze(const api::WireRequest &Req);
+  std::string handleLint(const api::WireRequest &Req);
 
-  std::string handleAnalyze(const Request &Req);
-  std::string handleLint(const Request &Req);
+  /// Snapshot the closure memo to MemoDir when due (every MemoFlushEvery
+  /// analyzed requests); \p Force flushes unconditionally (shutdown).
+  void maybeFlushMemo(bool Force);
 
   /// Two-tier lookup: memory LRU first (moves the entry to MRU), then
   /// the disk store (backfilling the LRU). \p Tier names the hit's tier
@@ -226,6 +248,8 @@ private:
   ServeStats Stats;
   std::unique_ptr<DiskStore> Store;
   std::string StoreError;
+  /// Analyzed (cache-missing) requests since the last memo flush.
+  unsigned ColdSinceMemoFlush = 0;
 
   /// LRU list, most recent first; the map points into it. The key embeds
   /// the full option fingerprint and source text, so a hit is exact by

@@ -57,6 +57,16 @@ std::size_t ClosureMemo::size() const {
   return Entries.size();
 }
 
+void ClosureMemo::forEach(
+    const std::function<void(std::uint64_t, DbmBackend,
+                             const std::vector<std::int64_t> &,
+                             const DbmShared &)> &Fn) const {
+  std::lock_guard<std::mutex> L(M);
+  for (const auto &[Key, E] : Entries)
+    if (E.Closed && E.Closed->M)
+      Fn(Key, E.Backend, E.Pre, *E.Closed);
+}
+
 //===----------------------------------------------------------------------===//
 // Construction and copying
 //===----------------------------------------------------------------------===//

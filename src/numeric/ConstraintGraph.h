@@ -42,6 +42,7 @@
 #include "numeric/SymbolTable.h"
 #include "support/Stats.h"
 
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -85,6 +86,15 @@ public:
               std::shared_ptr<DbmShared> Closed);
 
   std::size_t size() const;
+
+  /// Visits every entry under the memo lock, in unspecified order. The
+  /// snapshot serializer (numeric/MemoSnapshot.h) walks the memo through
+  /// here; \p Fn must not call back into the memo. Visited blocks are
+  /// Closed, hence immutable under the engine's closed-shared-block
+  /// invariant, so reading them without copying is safe.
+  void forEach(const std::function<void(std::uint64_t Key, DbmBackend Backend,
+                                        const std::vector<std::int64_t> &Pre,
+                                        const DbmShared &Closed)> &Fn) const;
 
 private:
   struct Entry {

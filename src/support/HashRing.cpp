@@ -1,0 +1,90 @@
+//===- support/HashRing.cpp -----------------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/HashRing.h"
+
+#include "support/Store.h"
+
+#include <algorithm>
+
+using namespace csdf;
+
+namespace {
+
+/// splitmix64 finalizer over the FNV digest. FNV-1a alone leaves the high
+/// bits of short, similar strings (socket paths differing in one digit)
+/// badly avalanched, which clusters vnode points and skews ownership up
+/// to several-fold; the finalizer restores a uniform spread.
+std::uint64_t mix64(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+HashRing::HashRing(unsigned Replicas)
+    : Replicas(Replicas == 0 ? 1 : Replicas) {}
+
+void HashRing::addNode(const std::string &Node) {
+  if (std::find(Nodes.begin(), Nodes.end(), Node) != Nodes.end())
+    return;
+  Nodes.push_back(Node);
+  rebuild();
+}
+
+void HashRing::removeNode(const std::string &Node) {
+  auto It = std::find(Nodes.begin(), Nodes.end(), Node);
+  if (It == Nodes.end())
+    return;
+  Nodes.erase(It);
+  rebuild();
+}
+
+void HashRing::rebuild() {
+  Points.clear();
+  Points.reserve(Nodes.size() * Replicas);
+  for (std::uint32_t N = 0; N < Nodes.size(); ++N)
+    for (unsigned R = 0; R < Replicas; ++R)
+      Points.push_back(
+          {mix64(fnv1a64(Nodes[N] + "#" + std::to_string(R))), N});
+  std::sort(Points.begin(), Points.end(),
+            [](const Point &A, const Point &B) {
+              // Node index tiebreak keeps ownership deterministic even on
+              // a (vanishingly unlikely) 64-bit hash collision.
+              return A.Hash != B.Hash ? A.Hash < B.Hash
+                                      : A.NodeIndex < B.NodeIndex;
+            });
+}
+
+std::string HashRing::owner(const std::string &Key) const {
+  std::vector<std::string> Order = successors(Key);
+  return Order.empty() ? std::string() : Order.front();
+}
+
+std::vector<std::string> HashRing::successors(const std::string &Key) const {
+  std::vector<std::string> Order;
+  if (Points.empty())
+    return Order;
+  std::uint64_t H = mix64(fnv1a64(Key));
+  auto Start = std::lower_bound(
+      Points.begin(), Points.end(), H,
+      [](const Point &P, std::uint64_t Hash) { return P.Hash < Hash; });
+  std::vector<bool> Seen(Nodes.size(), false);
+  Order.reserve(Nodes.size());
+  for (std::size_t I = 0; I < Points.size() && Order.size() < Nodes.size();
+       ++I) {
+    const Point &P =
+        Points[(static_cast<std::size_t>(Start - Points.begin()) + I) %
+               Points.size()];
+    if (!Seen[P.NodeIndex]) {
+      Seen[P.NodeIndex] = true;
+      Order.push_back(Nodes[P.NodeIndex]);
+    }
+  }
+  return Order;
+}

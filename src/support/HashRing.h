@@ -1,0 +1,76 @@
+//===- support/HashRing.h - Consistent-hash ring over named nodes ---------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The consistent-hash ring behind `csdf router`'s shard ownership. Each
+/// node (a backend's socket path) is placed on a 64-bit ring at Replicas
+/// virtual positions — fnv1a64(name + "#" + i) — and a key is owned by
+/// the first node position clockwise of fnv1a64(key). Virtual replicas
+/// smooth the key distribution (with R replicas per node the expected
+/// per-node load imbalance is O(1/sqrt(R))), and consistency means
+/// adding or removing one shard only remaps the keys that shard owned —
+/// the property that makes warm shard caches survive fleet resizes.
+///
+/// successors() yields the distinct-node ownership order for a key: the
+/// owner first, then each next-closest node clockwise. The router walks
+/// it for shed-aware failover — a dead or overloaded owner's requests go
+/// to the ring successor, which is exactly the node that would own the
+/// key if the owner were removed, so retried and failed-over requests
+/// agree on their destination.
+///
+/// Deliberately value-typed and unsynchronized: the router rebuilds its
+/// view under its own lock; the ring itself is cheap to copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSDF_SUPPORT_HASHRING_H
+#define CSDF_SUPPORT_HASHRING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csdf {
+
+class HashRing {
+public:
+  /// \p Replicas virtual points per node; 0 is clamped to 1.
+  explicit HashRing(unsigned Replicas = 64);
+
+  /// Adds \p Node (idempotent: re-adding an existing name is a no-op).
+  void addNode(const std::string &Node);
+
+  /// Removes \p Node and its virtual points (no-op when absent).
+  void removeNode(const std::string &Node);
+
+  std::size_t nodeCount() const { return Nodes.size(); }
+  bool empty() const { return Nodes.empty(); }
+
+  /// The node owning \p Key, or empty when the ring has no nodes.
+  std::string owner(const std::string &Key) const;
+
+  /// Every distinct node in ownership order for \p Key: the owner first,
+  /// then each clockwise successor. Size == nodeCount().
+  std::vector<std::string> successors(const std::string &Key) const;
+
+private:
+  struct Point {
+    std::uint64_t Hash;
+    std::uint32_t NodeIndex;
+  };
+
+  unsigned Replicas;
+  std::vector<std::string> Nodes;
+  /// Virtual points sorted by hash; rebuilt on membership change
+  /// (membership changes are rare, lookups are per-request).
+  std::vector<Point> Points;
+
+  void rebuild();
+};
+
+} // namespace csdf
+
+#endif // CSDF_SUPPORT_HASHRING_H

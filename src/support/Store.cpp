@@ -62,7 +62,21 @@ std::uint64_t getU64(const char *P) {
   return V;
 }
 
-std::string frameRecord(const std::string &Key, const std::string &Payload) {
+bool writeAll(int Fd, const char *Data, size_t Size) {
+  size_t Off = 0;
+  while (Off < Size) {
+    ssize_t N = ::write(Fd, Data + Off, Size - Off);
+    if (N <= 0)
+      return false;
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+std::string csdf::frameStoreRecord(const std::string &Key,
+                                   const std::string &Payload) {
   std::string Rec;
   Rec.reserve(HeaderSize + Key.size() + Payload.size());
   Rec.append(Magic, sizeof(Magic));
@@ -74,10 +88,8 @@ std::string frameRecord(const std::string &Key, const std::string &Payload) {
   return Rec;
 }
 
-/// Parses \p Rec against \p Key. Returns the payload, or nullopt when the
-/// record is torn, corrupted, or belongs to a different key (collision).
-std::optional<std::string> unframeRecord(const std::string &Rec,
-                                         const std::string &Key) {
+std::optional<std::string> csdf::unframeStoreRecord(const std::string &Rec,
+                                                    const std::string &Key) {
   if (Rec.size() < HeaderSize ||
       std::memcmp(Rec.data(), Magic, sizeof(Magic)) != 0)
     return std::nullopt;
@@ -93,19 +105,6 @@ std::optional<std::string> unframeRecord(const std::string &Rec,
     return std::nullopt;
   return Body.substr(KeyLen);
 }
-
-bool writeAll(int Fd, const char *Data, size_t Size) {
-  size_t Off = 0;
-  while (Off < Size) {
-    ssize_t N = ::write(Fd, Data + Off, Size - Off);
-    if (N <= 0)
-      return false;
-    Off += static_cast<size_t>(N);
-  }
-  return true;
-}
-
-} // namespace
 
 std::string DiskStore::recordPath(const std::string &Key) const {
   char Name[32];
@@ -184,7 +183,7 @@ std::optional<std::string> DiskStore::get(const std::string &Key) {
     ++Stats.Misses;
     return std::nullopt;
   }
-  std::optional<std::string> Payload = unframeRecord(Rec, Key);
+  std::optional<std::string> Payload = unframeStoreRecord(Rec, Key);
   if (!Payload) {
     // Torn, corrupted, or a different key's record (hash collision). A
     // collision is not damage, but quarantining is still the safe move:
@@ -211,7 +210,7 @@ bool DiskStore::put(const std::string &Key, const std::string &Payload) {
     return false;
   }
 
-  std::string Rec = frameRecord(Key, Payload);
+  std::string Rec = frameStoreRecord(Key, Payload);
   if (Faults.shouldFail("store-corrupt") && !Payload.empty())
     Rec[HeaderSize + Key.size()] ^= 0x40; // flip a payload bit post-checksum
 

@@ -51,6 +51,19 @@ namespace csdf {
 /// arithmetic, no layout dependence), which the on-disk format requires.
 std::uint64_t fnv1a64(const std::string &Data);
 
+/// Frames (\p Key -> \p Payload) as one on-disk record: magic "CSR1",
+/// little-endian key/payload lengths, an FNV-1a checksum over both, then
+/// the raw bytes. This is the store's record format, exported so other
+/// durable artifacts (numeric/MemoSnapshot) share one framing and one
+/// corruption story instead of inventing a second container.
+std::string frameStoreRecord(const std::string &Key,
+                             const std::string &Payload);
+
+/// Parses \p Rec against \p Key. Returns the payload, or nullopt when the
+/// record is torn, corrupted, or carries a different key.
+std::optional<std::string> unframeStoreRecord(const std::string &Rec,
+                                              const std::string &Key);
+
 /// Store behaviour knobs.
 struct DiskStoreOptions {
   /// Root directory; created (one level) by open() if missing.

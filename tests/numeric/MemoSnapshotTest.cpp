@@ -1,0 +1,310 @@
+//===- tests/numeric/MemoSnapshotTest.cpp ---------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// ClosureMemo snapshots: serialize -> adopt round trip, the all-or-nothing
+// rejection discipline (salt mismatch, truncation, bit flips, trailing
+// garbage, unknown backend bytes each reject the whole file with nothing
+// inserted), and the on-disk save/load path including quarantine of
+// corrupt files.
+//
+//===----------------------------------------------------------------------===//
+
+#include "numeric/MemoSnapshot.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace csdf;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Builds a closed block the way the engine leaves them: matrix filled,
+/// Closed, EverClosed, Feasible as given.
+std::shared_ptr<DbmShared> makeBlock(unsigned N, std::int64_t Seed,
+                                     bool Feasible,
+                                     DbmBackend Backend = DbmBackend::Dense) {
+  auto Block = std::make_shared<DbmShared>(makeDbmStorage(Backend));
+  Block->M->resize(N);
+  for (unsigned I = 0; I < N; ++I)
+    for (unsigned J = 0; J < N; ++J)
+      Block->M->set(I, J, I == J ? 0 : Seed + static_cast<std::int64_t>(I) *
+                                                  N +
+                                              J);
+  Block->Closed = true;
+  Block->Feasible = Feasible;
+  Block->EverClosed = true;
+  return Block;
+}
+
+/// The pre-image the memo keys an entry on: any n*n vector works, the
+/// memo compares it byte-for-byte.
+std::vector<std::int64_t> makePre(unsigned N, std::int64_t Seed) {
+  std::vector<std::int64_t> Pre(static_cast<std::size_t>(N) * N);
+  for (std::size_t I = 0; I < Pre.size(); ++I)
+    Pre[I] = Seed - static_cast<std::int64_t>(I);
+  return Pre;
+}
+
+/// Fills \p Memo with a few representative entries: two backends, an
+/// infeasible block, and two entries sharing a key (the memo is a
+/// multimap). Fill-in-place because ClosureMemo owns a mutex and cannot
+/// be moved.
+void fillMemo(ClosureMemo &Memo) {
+  Memo.insert(11, DbmBackend::Dense, makePre(3, 100),
+              makeBlock(3, 100, /*Feasible=*/true));
+  Memo.insert(11, DbmBackend::Dense, makePre(3, 200),
+              makeBlock(3, 200, /*Feasible=*/true));
+  Memo.insert(22, DbmBackend::MapBased, makePre(4, 300),
+              makeBlock(4, 300, /*Feasible=*/false, DbmBackend::MapBased));
+}
+
+void expectAdoptedEquals(const ClosureMemo &Memo) {
+  EXPECT_EQ(Memo.size(), 3u);
+  std::shared_ptr<DbmShared> B1 =
+      Memo.lookup(11, DbmBackend::Dense, makePre(3, 100));
+  ASSERT_NE(B1, nullptr);
+  EXPECT_TRUE(B1->Closed);
+  EXPECT_TRUE(B1->EverClosed);
+  EXPECT_TRUE(B1->Feasible);
+  ASSERT_EQ(B1->M->size(), 3u);
+  EXPECT_EQ(B1->M->get(0, 0), 0);
+  EXPECT_EQ(B1->M->get(1, 2), 100 + 1 * 3 + 2);
+
+  std::shared_ptr<DbmShared> B2 =
+      Memo.lookup(11, DbmBackend::Dense, makePre(3, 200));
+  ASSERT_NE(B2, nullptr);
+  EXPECT_EQ(B2->M->get(2, 1), 200 + 2 * 3 + 1);
+
+  std::shared_ptr<DbmShared> B3 =
+      Memo.lookup(22, DbmBackend::MapBased, makePre(4, 300));
+  ASSERT_NE(B3, nullptr);
+  EXPECT_FALSE(B3->Feasible);
+  ASSERT_EQ(B3->M->size(), 4u);
+  EXPECT_EQ(B3->M->get(3, 0), 300 + 3 * 4 + 0);
+}
+
+TEST(MemoSnapshotTest, SerializeAdoptRoundTrip) {
+  ClosureMemo Memo(/*CrossSession=*/true);
+  fillMemo(Memo);
+  MemoSnapshotStats SaveStats;
+  std::string Bytes = serializeClosureMemo(Memo, "salt-a", SaveStats);
+  EXPECT_EQ(SaveStats.Saved, 3u);
+
+  ClosureMemo Fresh(/*CrossSession=*/true);
+  MemoSnapshotStats AdoptStats;
+  ASSERT_TRUE(adoptClosureMemo(Bytes, "salt-a", Fresh, AdoptStats));
+  EXPECT_EQ(AdoptStats.Adopted, 3u);
+  EXPECT_EQ(AdoptStats.Rejected, 0u);
+  expectAdoptedEquals(Fresh);
+}
+
+TEST(MemoSnapshotTest, EmptyMemoRoundTrips) {
+  ClosureMemo Empty(/*CrossSession=*/true);
+  MemoSnapshotStats Stats;
+  std::string Bytes = serializeClosureMemo(Empty, "s", Stats);
+  ClosureMemo Fresh(/*CrossSession=*/true);
+  EXPECT_TRUE(adoptClosureMemo(Bytes, "s", Fresh, Stats));
+  EXPECT_EQ(Fresh.size(), 0u);
+}
+
+TEST(MemoSnapshotTest, SaltMismatchRejectsEverything) {
+  ClosureMemo Memo(/*CrossSession=*/true);
+  fillMemo(Memo);
+  MemoSnapshotStats Stats;
+  std::string Bytes = serializeClosureMemo(Memo, "build-0.7.0", Stats);
+
+  ClosureMemo Fresh(/*CrossSession=*/true);
+  MemoSnapshotStats AdoptStats;
+  EXPECT_FALSE(adoptClosureMemo(Bytes, "build-0.8.0", Fresh, AdoptStats));
+  EXPECT_EQ(AdoptStats.Rejected, 1u);
+  EXPECT_EQ(AdoptStats.Adopted, 0u);
+  EXPECT_EQ(Fresh.size(), 0u);
+}
+
+TEST(MemoSnapshotTest, TruncationRejectsWholeFileNothingInserted) {
+  ClosureMemo Memo(/*CrossSession=*/true);
+  fillMemo(Memo);
+  MemoSnapshotStats Stats;
+  std::string Bytes = serializeClosureMemo(Memo, "s", Stats);
+
+  // Every proper prefix must reject in full — never adopt the entries
+  // that happened to decode before the cliff.
+  for (std::size_t Cut : {Bytes.size() - 1, Bytes.size() / 2,
+                          Bytes.size() / 4, std::size_t(5)}) {
+    ClosureMemo Fresh(/*CrossSession=*/true);
+    MemoSnapshotStats AdoptStats;
+    EXPECT_FALSE(
+        adoptClosureMemo(Bytes.substr(0, Cut), "s", Fresh, AdoptStats))
+        << "cut at " << Cut;
+    EXPECT_EQ(Fresh.size(), 0u) << "cut at " << Cut;
+  }
+}
+
+TEST(MemoSnapshotTest, BitFlipRejects) {
+  ClosureMemo Memo(/*CrossSession=*/true);
+  fillMemo(Memo);
+  MemoSnapshotStats Stats;
+  std::string Bytes = serializeClosureMemo(Memo, "s", Stats);
+
+  // The frame checksums key + payload, so any payload flip fails the
+  // frame check before the decoder even runs.
+  for (std::size_t Pos : {Bytes.size() / 3, Bytes.size() - 2}) {
+    std::string Bad = Bytes;
+    Bad[Pos] = static_cast<char>(Bad[Pos] ^ 0x40);
+    ClosureMemo Fresh(/*CrossSession=*/true);
+    MemoSnapshotStats AdoptStats;
+    EXPECT_FALSE(adoptClosureMemo(Bad, "s", Fresh, AdoptStats))
+        << "flip at " << Pos;
+    EXPECT_EQ(Fresh.size(), 0u);
+  }
+}
+
+TEST(MemoSnapshotTest, TrailingGarbageRejects) {
+  // Garbage inside the frame's payload (the frame records its own
+  // lengths, so bytes appended after a valid record also fail).
+  ClosureMemo Memo(/*CrossSession=*/true);
+  fillMemo(Memo);
+  MemoSnapshotStats Stats;
+  std::string Bytes = serializeClosureMemo(Memo, "s", Stats) + "extra";
+  ClosureMemo Fresh(/*CrossSession=*/true);
+  MemoSnapshotStats AdoptStats;
+  EXPECT_FALSE(adoptClosureMemo(Bytes, "s", Fresh, AdoptStats));
+  EXPECT_EQ(Fresh.size(), 0u);
+}
+
+TEST(MemoSnapshotTest, GarbageBytesReject) {
+  ClosureMemo Fresh(/*CrossSession=*/true);
+  MemoSnapshotStats Stats;
+  EXPECT_FALSE(adoptClosureMemo("not a snapshot", "s", Fresh, Stats));
+  EXPECT_FALSE(adoptClosureMemo("", "s", Fresh, Stats));
+  EXPECT_EQ(Fresh.size(), 0u);
+  EXPECT_EQ(Stats.Rejected, 2u);
+}
+
+TEST(MemoSnapshotTest, SaveLoadRoundTripOnDisk) {
+  fs::path Dir = fs::temp_directory_path() /
+                 ("csdf-memosnap-" + std::to_string(::getpid()));
+  fs::remove_all(Dir);
+
+  ClosureMemo Memo(/*CrossSession=*/true);
+  fillMemo(Memo);
+  MemoSnapshotStats SaveStats;
+  std::string Error;
+  ASSERT_TRUE(
+      saveMemoSnapshot(Dir.string(), "v", Memo, SaveStats, Error))
+      << Error;
+  EXPECT_EQ(SaveStats.Saved, 3u);
+  EXPECT_TRUE(fs::exists(Dir / "closure-memo.snap"));
+
+  ClosureMemo Fresh(/*CrossSession=*/true);
+  MemoSnapshotStats LoadStats;
+  EXPECT_TRUE(loadMemoSnapshot(Dir.string(), "v", Fresh, LoadStats));
+  EXPECT_EQ(LoadStats.Adopted, 3u);
+  expectAdoptedEquals(Fresh);
+
+  fs::remove_all(Dir);
+}
+
+TEST(MemoSnapshotTest, MissingFileIsNotAnError) {
+  fs::path Dir = fs::temp_directory_path() /
+                 ("csdf-memosnap-missing-" + std::to_string(::getpid()));
+  fs::remove_all(Dir);
+  ClosureMemo Fresh(/*CrossSession=*/true);
+  MemoSnapshotStats Stats;
+  EXPECT_TRUE(loadMemoSnapshot(Dir.string(), "v", Fresh, Stats));
+  EXPECT_EQ(Stats.Adopted, 0u);
+  EXPECT_EQ(Stats.Rejected, 0u);
+}
+
+TEST(MemoSnapshotTest, CorruptFileIsQuarantined) {
+  fs::path Dir = fs::temp_directory_path() /
+                 ("csdf-memosnap-quar-" + std::to_string(::getpid()));
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  {
+    std::ofstream Out(Dir / "closure-memo.snap", std::ios::binary);
+    Out << "garbage that is definitely not a framed record";
+  }
+
+  ClosureMemo Fresh(/*CrossSession=*/true);
+  MemoSnapshotStats Stats;
+  EXPECT_FALSE(loadMemoSnapshot(Dir.string(), "v", Fresh, Stats));
+  EXPECT_EQ(Stats.Rejected, 1u);
+  EXPECT_EQ(Stats.Quarantined, 1u);
+  EXPECT_EQ(Fresh.size(), 0u);
+  // The corrupt bytes moved aside: a subsequent boot is a clean first
+  // boot, not a rejection loop.
+  EXPECT_FALSE(fs::exists(Dir / "closure-memo.snap"));
+  EXPECT_TRUE(fs::exists(Dir / "quarantine" / "closure-memo.snap"));
+  ClosureMemo Again(/*CrossSession=*/true);
+  MemoSnapshotStats AgainStats;
+  EXPECT_TRUE(loadMemoSnapshot(Dir.string(), "v", Again, AgainStats));
+
+  fs::remove_all(Dir);
+}
+
+TEST(MemoSnapshotTest, StaleSaltOnDiskIsQuarantined) {
+  fs::path Dir = fs::temp_directory_path() /
+                 ("csdf-memosnap-salt-" + std::to_string(::getpid()));
+  fs::remove_all(Dir);
+
+  ClosureMemo Memo(/*CrossSession=*/true);
+  fillMemo(Memo);
+  MemoSnapshotStats SaveStats;
+  std::string Error;
+  ASSERT_TRUE(
+      saveMemoSnapshot(Dir.string(), "old-build", Memo, SaveStats, Error));
+
+  // The "upgraded" daemon opens the same dir with its own salt: the old
+  // snapshot must be quarantined, never adopted.
+  ClosureMemo Fresh(/*CrossSession=*/true);
+  MemoSnapshotStats Stats;
+  EXPECT_FALSE(loadMemoSnapshot(Dir.string(), "new-build", Fresh, Stats));
+  EXPECT_EQ(Stats.Quarantined, 1u);
+  EXPECT_EQ(Fresh.size(), 0u);
+  EXPECT_TRUE(fs::exists(Dir / "quarantine" / "closure-memo.snap"));
+
+  fs::remove_all(Dir);
+}
+
+TEST(MemoSnapshotTest, SaveOverwritesAtomically) {
+  fs::path Dir = fs::temp_directory_path() /
+                 ("csdf-memosnap-over-" + std::to_string(::getpid()));
+  fs::remove_all(Dir);
+
+  ClosureMemo First(/*CrossSession=*/true);
+  First.insert(1, DbmBackend::Dense, makePre(2, 10),
+               makeBlock(2, 10, true));
+  MemoSnapshotStats Stats;
+  std::string Error;
+  ASSERT_TRUE(saveMemoSnapshot(Dir.string(), "v", First, Stats, Error));
+
+  ClosureMemo Second(/*CrossSession=*/true);
+  fillMemo(Second);
+  ASSERT_TRUE(saveMemoSnapshot(Dir.string(), "v", Second, Stats, Error));
+
+  // No temp litter left behind, and the newest snapshot wins.
+  unsigned Files = 0;
+  for (const auto &Ent : fs::directory_iterator(Dir))
+    if (Ent.is_regular_file())
+      ++Files;
+  EXPECT_EQ(Files, 1u);
+  ClosureMemo Fresh(/*CrossSession=*/true);
+  MemoSnapshotStats LoadStats;
+  EXPECT_TRUE(loadMemoSnapshot(Dir.string(), "v", Fresh, LoadStats));
+  EXPECT_EQ(Fresh.size(), 3u);
+
+  fs::remove_all(Dir);
+}
+
+} // namespace

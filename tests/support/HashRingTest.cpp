@@ -1,0 +1,128 @@
+//===- tests/support/HashRingTest.cpp -------------------------------------===//
+//
+// Part of the csdf project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The consistent-hash ring: determinism, the consistency property (one
+// membership change only remaps the keys the changed node owned), load
+// spread across virtual replicas, and the failover identity the router
+// relies on — a key's first successor is its owner after the owner is
+// removed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/HashRing.h"
+
+#include "gtest/gtest.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace csdf;
+
+namespace {
+
+std::vector<std::string> keys(unsigned N) {
+  std::vector<std::string> Out;
+  Out.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Out.push_back("analyze\nfp" + std::to_string(I) + "\npath" +
+                  std::to_string(I % 7) + "\nsource body " +
+                  std::to_string(I));
+  return Out;
+}
+
+TEST(HashRingTest, EmptyRing) {
+  HashRing Ring;
+  EXPECT_TRUE(Ring.empty());
+  EXPECT_EQ(Ring.owner("k"), "");
+  EXPECT_TRUE(Ring.successors("k").empty());
+}
+
+TEST(HashRingTest, SingleNodeOwnsEverything) {
+  HashRing Ring;
+  Ring.addNode("a.sock");
+  for (const std::string &K : keys(50))
+    EXPECT_EQ(Ring.owner(K), "a.sock");
+}
+
+TEST(HashRingTest, AddIsIdempotent) {
+  HashRing Ring;
+  Ring.addNode("a.sock");
+  Ring.addNode("a.sock");
+  EXPECT_EQ(Ring.nodeCount(), 1u);
+}
+
+TEST(HashRingTest, OwnershipIsDeterministic) {
+  HashRing A, B;
+  for (const char *N : {"s0", "s1", "s2"}) {
+    A.addNode(N);
+    B.addNode(N);
+  }
+  for (const std::string &K : keys(200))
+    EXPECT_EQ(A.owner(K), B.owner(K));
+}
+
+TEST(HashRingTest, SuccessorsCoverEveryNodeOnceOwnerFirst) {
+  HashRing Ring;
+  for (const char *N : {"s0", "s1", "s2", "s3"})
+    Ring.addNode(N);
+  for (const std::string &K : keys(100)) {
+    std::vector<std::string> Order = Ring.successors(K);
+    ASSERT_EQ(Order.size(), 4u);
+    EXPECT_EQ(Order.front(), Ring.owner(K));
+    std::set<std::string> Distinct(Order.begin(), Order.end());
+    EXPECT_EQ(Distinct.size(), 4u);
+  }
+}
+
+TEST(HashRingTest, RemovingOneNodeOnlyRemapsItsKeys) {
+  HashRing Before;
+  for (const char *N : {"s0", "s1", "s2", "s3", "s4"})
+    Before.addNode(N);
+  HashRing After = Before;
+  After.removeNode("s2");
+
+  for (const std::string &K : keys(500)) {
+    std::string Old = Before.owner(K);
+    std::string New = After.owner(K);
+    if (Old != "s2") {
+      // The consistency property: untouched nodes keep their keys.
+      EXPECT_EQ(New, Old) << K;
+    } else {
+      // Orphaned keys land exactly on the old ring's first successor —
+      // the identity the router's failover order depends on.
+      EXPECT_EQ(New, Before.successors(K)[1]) << K;
+    }
+  }
+}
+
+TEST(HashRingTest, VirtualReplicasSpreadLoad) {
+  HashRing Ring(64);
+  const unsigned NNodes = 4, NKeys = 4000;
+  for (unsigned N = 0; N < NNodes; ++N)
+    Ring.addNode("shard" + std::to_string(N) + ".sock");
+  std::map<std::string, unsigned> Load;
+  for (const std::string &K : keys(NKeys))
+    ++Load[Ring.owner(K)];
+  ASSERT_EQ(Load.size(), NNodes);
+  for (const auto &[Node, Count] : Load) {
+    // Perfect balance is NKeys/NNodes = 1000; with 64 replicas the
+    // imbalance is O(1/sqrt(64)) — a generous 2x band never flakes while
+    // still catching a broken placement (which lands everything on one
+    // node).
+    EXPECT_GT(Count, NKeys / NNodes / 2) << Node;
+    EXPECT_LT(Count, NKeys / NNodes * 2) << Node;
+  }
+}
+
+TEST(HashRingTest, ZeroReplicasClampsToOne) {
+  HashRing Ring(0);
+  Ring.addNode("only");
+  EXPECT_EQ(Ring.owner("k"), "only");
+}
+
+} // namespace

@@ -23,9 +23,15 @@
 //                                             and an optional crash-safe
 //                                             on-disk store (--store-dir)
 //   csdf client   <type> [file] --socket P    one-shot request against a
-//                                             serve daemon, with retry +
-//                                             capped backoff on overload
-//                                             and dropped connections
+//                                             serve daemon or router, with
+//                                             overload-aware backoff and
+//                                             prompt failover retry on
+//                                             dropped connections
+//   csdf router   [options]                   fleet front end: consistent-
+//                                             hash routing of requests over
+//                                             N serve daemons, failover to
+//                                             ring successors, per-tenant
+//                                             admission control
 //   csdf lsp      [options]                   Language Server Protocol
 //                                             server on stdio: lint
 //                                             diagnostics on every edit,
@@ -87,6 +93,11 @@
 //   --queue-depth N             connections allowed to wait beyond that
 //                               (def. 16); more are shed with a
 //                               structured `overloaded` error
+//   --memo-dir DIR              snapshot the warm closure memo here and
+//                               adopt it back on startup, so a restarted
+//                               daemon is warm on near-miss (edited
+//                               source) workloads too
+//   --memo-flush-every N        snapshot after N analyzed requests (16)
 //   --fault SPEC                arm fault-injection sites (also the
 //                               CSDF_FAULT env var); `--fault list`
 //                               prints the site catalog
@@ -94,7 +105,17 @@
 // Client options (plus the shared analysis flags and lint flags):
 //   --socket PATH               the daemon's socket (required)
 //   --send-source               embed the file's bytes as "source"
+//   --tenant NAME               tenant name for router admission quotas
+//   --verbose                   narrate attempts + answering shard (stderr)
 //   --retries N  --retry-base-ms N  --retry-cap-ms N
+//
+// Router options:
+//   --socket PATH               the router's own listening socket (req.)
+//   --backend PATH              a shard's socket (repeatable; >= 1 req.)
+//   --replicas N                ring virtual nodes per shard (default 64)
+//   --tenant-inflight N         per-tenant concurrent forwards (default 4)
+//   --tenant-queue N            per-tenant waiters beyond that (default 8)
+//   --health-interval-ms N      health-probe period (default 200; 0 off)
 //
 // Exit codes (analyze, batch, lint):
 //   0  complete, no findings
@@ -114,6 +135,7 @@
 #include "cfg/CfgDot.h"
 #include "driver/Client.h"
 #include "driver/Lsp.h"
+#include "driver/Router.h"
 #include "driver/Serve.h"
 #include "driver/Session.h"
 #include "support/Fault.h"
@@ -165,13 +187,23 @@ struct CliOptions {
   std::uint64_t StoreMaxMb = 256;
   unsigned MaxInflight = 8;
   unsigned QueueDepth = 16;
+  std::string MemoDir;
+  std::uint64_t MemoFlushEvery = 16;
   std::string FaultSpec;
   // Client.
   std::string ClientType;
   bool SendSource = false;
+  std::string Tenant;
+  bool Verbose = false;
   std::uint64_t Retries = 5;
   std::uint64_t RetryBaseMs = 25;
   std::uint64_t RetryCapMs = 2000;
+  // Router.
+  std::vector<std::string> Backends;
+  std::uint64_t Replicas = 64;
+  std::uint64_t TenantInflight = 4;
+  std::uint64_t TenantQueue = 8;
+  std::uint64_t HealthIntervalMs = 200;
   /// True once any shared analysis flag was given — `csdf client` only
   /// sends an "options" object then, so plain requests inherit the
   /// daemon's defaults.
@@ -185,6 +217,8 @@ void usage() {
                "       csdf serve [options]\n"
                "       csdf client <analyze|lint|stats|shutdown> [file.mpl] "
                "--socket PATH [options]\n"
+               "       csdf router --socket PATH --backend PATH... "
+               "[options]\n"
                "       csdf lsp [options]\n"
                "analysis options (analyze, lint, batch, serve):\n"
                "  --client linear|cartesian|sectionx  --fixed-np N  "
@@ -222,12 +256,31 @@ void usage() {
                "connections\n"
                "                   beyond the two are shed with a "
                "structured `overloaded` error\n"
+               "  --memo-dir DIR   snapshot the warm closure memo; a "
+               "restarted daemon adopts it\n"
+               "  --memo-flush-every N  snapshot period in analyzed "
+               "requests (default 16)\n"
                "  --fault SPEC     arm fault-injection sites (CSDF_FAULT "
                "env too; `list` prints them)\n"
-               "client options (one-shot request to a serve daemon):\n"
+               "client options (one-shot request to a serve daemon or "
+               "router):\n"
                "  --socket PATH    the daemon's socket (required)\n"
                "  --send-source    embed the file bytes as \"source\"\n"
+               "  --tenant NAME    tenant name for router admission "
+               "quotas\n"
+               "  --verbose        narrate attempts and the answering "
+               "shard on stderr\n"
                "  --retries N  --retry-base-ms N  --retry-cap-ms N\n"
+               "router options (fleet front end over serve daemons):\n"
+               "  --socket PATH    the router's listening socket "
+               "(required)\n"
+               "  --backend PATH   a shard's socket (repeat per shard)\n"
+               "  --replicas N     ring virtual nodes per shard (default "
+               "64)\n"
+               "  --tenant-inflight N --tenant-queue N  per-tenant "
+               "admission quotas\n"
+               "  --health-interval-ms N  probe period (default 200, 0 "
+               "disables)\n"
                "lsp: a Language Server Protocol server on stdio (lint "
                "diagnostics\n"
                "  on every change, incremental re-analysis); takes the "
@@ -250,7 +303,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     return usageError("expected a command and an input path");
   Opts.Command = Argv[1];
   int First = 3;
-  if (Opts.Command == "serve" || Opts.Command == "lsp") {
+  if (Opts.Command == "serve" || Opts.Command == "lsp" ||
+      Opts.Command == "router") {
     // The daemons take no input path; their flags set per-request
     // defaults.
     First = 2;
@@ -398,6 +452,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!NextUint(V))
         return false;
       Opts.QueueDepth = static_cast<unsigned>(V);
+    } else if (Arg == "--memo-dir") {
+      const char *V = Next();
+      if (!V)
+        return usageError("missing value for --memo-dir");
+      Opts.MemoDir = V;
+    } else if (Arg == "--memo-flush-every") {
+      if (!NextUint(Opts.MemoFlushEvery))
+        return false;
     } else if (Arg == "--fault") {
       const char *V = Next();
       if (!V)
@@ -405,6 +467,34 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.FaultSpec = V;
     } else if (Arg == "--send-source") {
       Opts.SendSource = true;
+    } else if (Arg == "--tenant") {
+      const char *V = Next();
+      if (!V)
+        return usageError("missing value for --tenant");
+      Opts.Tenant = V;
+    } else if (Arg == "--verbose") {
+      Opts.Verbose = true;
+    } else if (Arg == "--backend") {
+      const char *V = Next();
+      if (!V)
+        return usageError("missing value for --backend");
+      Opts.Backends.push_back(V);
+    } else if (Arg == "--replicas") {
+      if (!NextUint(Opts.Replicas))
+        return false;
+      if (Opts.Replicas == 0)
+        return usageError("--replicas requires a positive integer");
+    } else if (Arg == "--tenant-inflight") {
+      if (!NextUint(Opts.TenantInflight))
+        return false;
+      if (Opts.TenantInflight == 0)
+        return usageError("--tenant-inflight requires a positive integer");
+    } else if (Arg == "--tenant-queue") {
+      if (!NextUint(Opts.TenantQueue))
+        return false;
+    } else if (Arg == "--health-interval-ms") {
+      if (!NextUint(Opts.HealthIntervalMs))
+        return false;
     } else if (Arg == "--retries") {
       if (!NextUint(Opts.Retries))
         return false;
@@ -732,7 +822,20 @@ int cmdServe(const CliOptions &Cli) {
   Opts.StoreMaxBytes = Cli.StoreMaxMb << 20;
   Opts.MaxInflight = Cli.MaxInflight;
   Opts.QueueDepth = Cli.QueueDepth;
+  Opts.MemoDir = Cli.MemoDir;
+  Opts.MemoFlushEvery = static_cast<unsigned>(Cli.MemoFlushEvery);
   return runServe(Opts);
+}
+
+int cmdRouter(const CliOptions &Cli) {
+  RouterOptions Opts;
+  Opts.Backends = Cli.Backends;
+  Opts.SocketPath = Cli.SocketPath;
+  Opts.Replicas = static_cast<unsigned>(Cli.Replicas);
+  Opts.TenantMaxInflight = static_cast<unsigned>(Cli.TenantInflight);
+  Opts.TenantQueueDepth = static_cast<unsigned>(Cli.TenantQueue);
+  Opts.HealthIntervalMs = static_cast<unsigned>(Cli.HealthIntervalMs);
+  return runRouter(Opts);
 }
 
 int cmdClient(const CliOptions &Cli) {
@@ -743,6 +846,8 @@ int cmdClient(const CliOptions &Cli) {
   Opts.SendSource = Cli.SendSource;
   Opts.Options = Cli.Request;
   Opts.HasOptions = Cli.HasRequestFlags;
+  Opts.Tenant = Cli.Tenant;
+  Opts.Verbose = Cli.Verbose;
   Opts.Disabled = Cli.Disabled;
   Opts.Werror = Cli.Werror;
   if (Cli.MinSeverity != "note") // the daemon's default; omit when unset
@@ -794,6 +899,8 @@ int main(int Argc, char **Argv) {
     return cmdServe(Cli);
   if (Cli.Command == "client")
     return cmdClient(Cli);
+  if (Cli.Command == "router")
+    return cmdRouter(Cli);
   if (Cli.Command == "lsp")
     return cmdLsp(Cli);
   if (Cli.Command == "batch")
